@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one figure of the paper on a shared
+nationwide-scale context and prints the same rows/series the paper
+plots.  ``--benchmark-only`` runs them; the printed reports are the
+textual equivalents of the figures.
+"""
+
+import pytest
+
+from repro.experiments import build_default_context
+
+#: One context for the whole benchmark session: 1,600 communes is the
+#: default experiment scale (seconds per figure, stable statistics).
+BENCH_SEED = 7
+BENCH_COMMUNES = 1_600
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return build_default_context(seed=BENCH_SEED, n_communes=BENCH_COMMUNES)
+
+
+def run_and_report(benchmark, ctx, experiment_id, max_failures=0):
+    """Benchmark one figure runner, print its report, assert its checks."""
+    from repro.experiments import run_figure
+
+    result = benchmark.pedantic(
+        run_figure, args=(experiment_id, ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    failed = [c.name for c in result.checks if not c.passed]
+    assert len(failed) <= max_failures, f"failed checks: {failed}"
+    return result

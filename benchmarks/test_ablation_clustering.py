@@ -1,0 +1,64 @@
+"""Ablation: does SBD (k-shape) change the Fig. 5 conclusion vs
+Euclidean k-means on z-normalized series?
+
+DESIGN.md §6.  The paper picks k-shape as the state of the art; this
+ablation verifies that its headline conclusion — no strong, clearly-
+winning clustering of the 20 services — is robust to the distance
+choice, i.e. not an artifact of SBD.
+"""
+
+import numpy as np
+
+from repro.core.indices import evaluate_clustering
+from repro.core.kshape import kshape, sbd_matrix, z_normalize
+
+
+def euclidean_kmeans(data, k, seed, iterations=50):
+    """Plain Lloyd's algorithm on z-normalized series."""
+    rng = np.random.default_rng(seed)
+    centroids = data[rng.choice(len(data), size=k, replace=False)]
+    labels = np.zeros(len(data), dtype=int)
+    for _ in range(iterations):
+        distances = ((data[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        new_labels = distances.argmin(axis=1)
+        for c in range(k):
+            if not np.any(new_labels == c):
+                new_labels[int(distances[:, c].argmax())] = c
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+        for c in range(k):
+            centroids[c] = data[labels == c].mean(axis=0)
+    return labels
+
+
+def run_ablation(ctx):
+    data = z_normalize(ctx.national_series_fine("dl"))
+    sbd_distances = sbd_matrix(data)
+    euclid_distances = np.linalg.norm(
+        data[:, None, :] - data[None, :, :], axis=2
+    )
+    rows = []
+    for k in range(2, 11):
+        kshape_labels = kshape(data, k, seed=k).labels
+        kmeans_labels = euclidean_kmeans(data, k, seed=k)
+        rows.append(
+            (
+                k,
+                evaluate_clustering(sbd_distances, kshape_labels).silhouette,
+                evaluate_clustering(euclid_distances, kmeans_labels).silhouette,
+            )
+        )
+    return rows
+
+
+def test_ablation_clustering(benchmark, ctx):
+    rows = benchmark.pedantic(run_ablation, args=(ctx,), rounds=1, iterations=1)
+    print()
+    print("k    sil(k-shape/SBD)  sil(k-means/Euclid)")
+    for k, sil_shape, sil_euclid in rows:
+        print(f"{k:<4d} {sil_shape:>16.3f} {sil_euclid:>19.3f}")
+    # The inconclusiveness is distance-agnostic: neither method finds a
+    # strong structure at any k.
+    assert max(r[1] for r in rows) < 0.6
+    assert max(r[2] for r in rows) < 0.6

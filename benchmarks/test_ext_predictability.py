@@ -1,0 +1,37 @@
+"""Extension: per-service demand predictability ladder.
+
+Related work [15] reports high predictability for service categories;
+this bench scores individual services under the baseline ladder and
+verifies that daily seasonality dominates despite the per-service peak
+idiosyncrasy.
+"""
+
+from repro.core.predictability import (
+    rank_by_predictability,
+    service_predictability,
+)
+
+
+def test_ext_predictability(benchmark, ctx):
+    reports = benchmark.pedantic(
+        service_predictability, args=(ctx.dataset, "dl"), rounds=1, iterations=1
+    )
+    ranked = rank_by_predictability(reports)
+    print()
+    print("service               last-value  seasonal-naive  seasonal-profile")
+    for name in ranked[:5] + ranked[-3:]:
+        per = reports[name]
+        print(
+            f"{name:<21s} {per['last_value'].mape:>9.1%} "
+            f"{per['seasonal_naive'].mape:>14.1%} "
+            f"{per['seasonal_profile'].mape:>16.1%}"
+        )
+    wins = sum(
+        per["seasonal_profile"].mape < per["last_value"].mape
+        for per in reports.values()
+    )
+    assert wins >= 15
+    # Individual services remain highly predictable (MAPE under 25 %).
+    assert all(
+        per["seasonal_profile"].mape < 0.25 for per in reports.values()
+    )

@@ -1,0 +1,47 @@
+"""Extension: land-use recovery from usage signatures.
+
+The sociological reading of the paper's findings: commune usage
+signatures carry enough structure to recover urbanization classes far
+above chance, supervised and unsupervised.
+"""
+
+import numpy as np
+
+from repro.apps.signatures import (
+    classify_by_centroids,
+    cluster_communes,
+    commune_signatures,
+)
+from repro.geo.urbanization import UrbanizationClass
+
+
+def run_study(ctx, seed=13):
+    dataset = ctx.dataset
+    features, commune_ids = commune_signatures(dataset, include_temporal=True)
+    labels = dataset.commune_classes[commune_ids]
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(commune_ids))
+    train, test = order[::2], order[1::2]
+    predicted = classify_by_centroids(features, labels, train, test)
+    accuracy = float((predicted == labels[test]).mean())
+
+    clustering = cluster_communes(dataset, k=4, include_temporal=True, seed=seed)
+    cluster_labels = dataset.commune_classes[clustering.commune_ids]
+    purity = 0
+    for c in range(clustering.k):
+        members = cluster_labels[clustering.labels == c]
+        if members.size:
+            purity += int((members == np.bincount(members).argmax()).sum())
+    purity = purity / len(cluster_labels)
+    return accuracy, purity
+
+
+def test_ext_signatures(benchmark, ctx):
+    accuracy, purity = benchmark.pedantic(
+        run_study, args=(ctx,), rounds=1, iterations=1
+    )
+    print()
+    print(f"urbanization recovery accuracy: {accuracy:.0%} (chance 25%)")
+    print(f"unsupervised cluster purity   : {purity:.0%}")
+    assert accuracy > 0.5
+    assert purity > 0.5

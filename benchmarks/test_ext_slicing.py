@@ -1,0 +1,30 @@
+"""Extension: slice-dimensioning study over the reproduced dataset.
+
+Quantifies the intro's orchestration argument: the multiplexing gain
+that demand-aware slicing harvests from the temporal heterogeneity of
+Figs. 6-7, nationally and per urbanization class.
+"""
+
+from repro.apps.slicing import dimension_slices, gain_by_region
+
+
+def run_study(ctx):
+    dataset = ctx.dataset
+    national = dimension_slices(dataset, "dl")
+    return national, gain_by_region(dataset, "dl")
+
+
+def test_ext_slicing(benchmark, ctx):
+    national, regional = benchmark.pedantic(
+        run_study, args=(ctx,), rounds=1, iterations=1
+    )
+    print()
+    print(f"national multiplexing gain: {national.multiplexing_gain:.3f}x "
+          f"(savings {100 * national.savings_over_static():.1f}%)")
+    for cls, gain in regional.items():
+        print(f"  {cls.label:<11s} {gain:.3f}x")
+    assert national.multiplexing_gain > 1.0
+    assert all(gain >= 1.0 for gain in regional.values())
+    # Peak diversity: not all services peak in the same hour.
+    peak_bins = {plan.peak_bin for plan in national.plans}
+    assert len(peak_bins) >= 3

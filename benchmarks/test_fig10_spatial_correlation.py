@@ -1,0 +1,7 @@
+"""Fig. 10 — pairwise spatial correlation of per-user traffic."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig10_spatial_correlation(benchmark, ctx):
+    run_and_report(benchmark, ctx, "fig10")

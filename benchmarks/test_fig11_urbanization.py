@@ -1,0 +1,7 @@
+"""Fig. 11 — volume ratios and temporal correlation by urbanization."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig11_urbanization(benchmark, ctx):
+    run_and_report(benchmark, ctx, "fig11")

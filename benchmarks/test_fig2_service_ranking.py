@@ -1,0 +1,7 @@
+"""Fig. 2 — service ranking and Zipf fit."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig2_service_ranking(benchmark, ctx):
+    run_and_report(benchmark, ctx, "fig2")

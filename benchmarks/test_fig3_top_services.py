@@ -1,0 +1,7 @@
+"""Fig. 3 — top-20 services ranked on relative traffic volume."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig3_top_services(benchmark, ctx):
+    run_and_report(benchmark, ctx, "fig3")

@@ -1,0 +1,7 @@
+"""Fig. 4 — sample time series + smoothed z-score illustration."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig4_time_series(benchmark, ctx):
+    run_and_report(benchmark, ctx, "fig4")

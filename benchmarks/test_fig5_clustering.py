@@ -1,0 +1,7 @@
+"""Fig. 5 — k-shape clustering quality indices vs k."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig5_clustering(benchmark, ctx):
+    run_and_report(benchmark, ctx, "fig5")

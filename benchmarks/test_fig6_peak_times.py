@@ -1,0 +1,7 @@
+"""Fig. 6 — activity peak times of mobile services."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig6_peak_times(benchmark, ctx):
+    run_and_report(benchmark, ctx, "fig6", max_failures=1)

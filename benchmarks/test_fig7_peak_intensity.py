@@ -1,0 +1,7 @@
+"""Fig. 7 — peak-to-average ratios per service and topical time."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig7_peak_intensity(benchmark, ctx):
+    run_and_report(benchmark, ctx, "fig7", max_failures=1)

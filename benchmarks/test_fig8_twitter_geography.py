@@ -1,0 +1,7 @@
+"""Fig. 8 — Twitter commune concentration and per-subscriber CDF."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig8_twitter_geography(benchmark, ctx):
+    run_and_report(benchmark, ctx, "fig8")

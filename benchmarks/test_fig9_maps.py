@@ -1,0 +1,7 @@
+"""Fig. 9 — per-subscriber activity maps and 3G/4G coverage."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig9_maps(benchmark, ctx):
+    run_and_report(benchmark, ctx, "fig9")

@@ -1,0 +1,33 @@
+"""Performance: throughput of the session-level measurement chain.
+
+Not a paper figure — the systems-level benchmark a user sizing a larger
+simulation needs: how many sessions/flows per second the full chain
+(generation → GTP → probe → DPI → aggregation) sustains.
+"""
+
+from repro.dataset.builder import build_session_level_dataset
+from repro.geo.country import CountryConfig
+
+
+def run_pipeline():
+    return build_session_level_dataset(
+        n_subscribers=1_000,
+        country_config=CountryConfig(n_communes=144),
+        seed=77,
+    )
+
+
+def test_perf_session_pipeline(benchmark):
+    artifacts = benchmark.pedantic(run_pipeline, rounds=1, iterations=1)
+    generator = artifacts.extras["generator"]
+    elapsed = benchmark.stats.stats.total
+    sessions_per_s = generator.sessions_generated / elapsed
+    flows_per_s = generator.flows_generated / elapsed
+    print()
+    print(f"sessions generated : {generator.sessions_generated}")
+    print(f"flows generated    : {generator.flows_generated}")
+    print(f"throughput         : {sessions_per_s:,.0f} sessions/s, "
+          f"{flows_per_s:,.0f} flows/s (end-to-end)")
+    # A laptop-scale floor: the chain must stay usable for 10^5-subscriber
+    # panels.
+    assert sessions_per_s > 1_000

@@ -1,0 +1,51 @@
+"""Scaling: the pipeline at a 6,400-commune tessellation.
+
+The paper's full tessellation has ~36,000 communes; the default
+benchmarks run at 1,600 for speed.  This bench builds the whole volume
+pipeline at 6,400 communes (~5.3 M synthetic residents, ~170 MB of
+tensors) and verifies the headline spatial statistics keep their shape
+as the resolution approaches the paper's — the concentration figures
+should move *toward* the paper's values (see EXPERIMENTS.md, Fig. 8
+deviation note).
+"""
+
+import numpy as np
+
+from repro.core.correlation import upper_triangle
+from repro.core.spatial_analysis import pairwise_r2_matrix, ranked_commune_curve
+from repro.dataset.builder import build_volume_level_dataset
+from repro.geo.country import CountryConfig
+
+
+def build_large(seed=7, n_communes=6_400):
+    artifacts = build_volume_level_dataset(
+        country_config=CountryConfig(n_communes=n_communes), seed=seed
+    )
+    return artifacts.dataset
+
+
+def test_scale_tessellation(benchmark):
+    dataset = benchmark.pedantic(build_large, rounds=1, iterations=1)
+
+    curve = ranked_commune_curve(dataset.commune_volumes("Twitter", "dl"))
+    matrix, names = pairwise_r2_matrix(dataset, "dl")
+    pairs = upper_triangle(matrix)
+    top1 = curve.share_at(0.01)
+    top10 = curve.share_at(0.10)
+
+    print()
+    print(f"communes              : {dataset.n_communes}")
+    print(f"Twitter top-1% share  : {top1:.2f} (paper: >0.50)")
+    print(f"Twitter top-10% share : {top10:.2f} (paper: >0.90)")
+    print(f"mean pairwise r2      : {pairs.mean():.2f} (paper: 0.60)")
+
+    assert top1 > 0.45
+    assert top10 > 0.75
+    assert 0.40 < pairs.mean() < 0.75
+    # Outlier identification survives the scale change.
+    scores = {
+        name: float(np.delete(matrix[i], i).mean())
+        for i, name in enumerate(names)
+    }
+    weakest = sorted(scores, key=scores.get)[:2]
+    assert set(weakest) == {"Netflix", "iCloud"}

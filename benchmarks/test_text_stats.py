@@ -1,0 +1,7 @@
+"""§2-§3 in-text statistics over the session-level pipeline."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_text_stats(benchmark, ctx):
+    run_and_report(benchmark, ctx, "text")

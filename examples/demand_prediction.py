@@ -1,0 +1,76 @@
+"""How predictable is per-service demand?
+
+Related work found service-*category* traffic highly predictable
+(Shafiq et al., SIGMETRICS 2011).  The paper shows individual services
+carry far more idiosyncratic temporal structure — does that hurt
+predictability?  This example scores the standard baseline ladder
+(:mod:`repro.core.predictability`) on every head service and relates
+prediction error to each service's peak behaviour.
+
+Run:
+    python examples/demand_prediction.py
+"""
+
+import numpy as np
+
+from repro.core.predictability import (
+    rank_by_predictability,
+    service_predictability,
+)
+from repro.experiments import build_default_context
+from repro.report.tables import format_table
+
+
+def main() -> None:
+    ctx = build_default_context(seed=7, n_communes=900)
+    dataset = ctx.dataset
+
+    reports = service_predictability(dataset, "dl")
+    ranked = rank_by_predictability(reports)
+
+    rows = []
+    for name in ranked:
+        per = reports[name]
+        rows.append(
+            (
+                name,
+                f"{100 * per['last_value'].mape:.1f}%",
+                f"{100 * per['seasonal_naive'].mape:.1f}%",
+                f"{100 * per['seasonal_profile'].mape:.1f}%",
+            )
+        )
+    print(
+        format_table(
+            ("service", "last-value", "seasonal-naive", "seasonal-profile"),
+            rows,
+            title="One-step-ahead MAPE per predictor (most predictable first)",
+        )
+    )
+
+    profile_mapes = np.array(
+        [reports[n]["seasonal_profile"].mape for n in ranked]
+    )
+    naive_mapes = np.array([reports[n]["last_value"].mape for n in ranked])
+    print()
+    print(
+        f"seasonal-profile beats last-value for "
+        f"{int((profile_mapes < naive_mapes).sum())}/20 services — daily "
+        "seasonality dominates individual-service demand."
+    )
+    print(
+        f"most predictable : {ranked[0]} "
+        f"({100 * reports[ranked[0]]['seasonal_profile'].mape:.1f}% MAPE)"
+    )
+    print(
+        f"least predictable: {ranked[-1]} "
+        f"({100 * reports[ranked[-1]]['seasonal_profile'].mape:.1f}% MAPE)"
+    )
+    print(
+        "\nEven with unique peak signatures, every service stays highly "
+        "predictable from its own daily profile — heterogeneity across "
+        "services, regularity within each."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Export the Fig. 9 maps as viewable images.
+
+Writes the per-subscriber activity maps of Twitter and Netflix, plus
+the population-density and 4G-coverage rasters, as PGM images (openable
+in any viewer, convertible with `magick x.pgm x.png`).
+
+Run:
+    python examples/export_maps.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.spatial_analysis import activity_grid
+from repro.experiments import build_default_context
+from repro.report.image import upscale, write_pgm
+
+GRID = 96
+SCALE = 4
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("maps")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    ctx = build_default_context(seed=7, n_communes=6_400)
+    dataset = ctx.dataset
+
+    written = []
+    for service in ("Twitter", "Netflix"):
+        grid = activity_grid(dataset, service, "dl", grid_size=GRID)
+        path = write_pgm(grid, out_dir / f"{service.lower()}_per_subscriber.pgm")
+        written.append(path)
+
+    # Population density and 4G coverage as context layers.
+    xy = dataset.coordinates
+    span = xy.max(axis=0) - xy.min(axis=0)
+    cols = np.clip(((xy[:, 0] - xy[:, 0].min()) / span[0] * GRID).astype(int), 0, GRID - 1)
+    rows = np.clip(((xy[:, 1] - xy[:, 1].min()) / span[1] * GRID).astype(int), 0, GRID - 1)
+
+    density = np.full((GRID, GRID), np.nan)
+    coverage = np.full((GRID, GRID), np.nan)
+    for r, c, d, has4g in zip(rows, cols, dataset.density, dataset.has_4g):
+        density[r, c] = np.nanmax([density[r, c], d])
+        coverage[r, c] = np.nanmax([coverage[r, c], 2.0 if has4g else 1.0])
+    written.append(write_pgm(density, out_dir / "population_density.pgm"))
+    written.append(
+        write_pgm(coverage, out_dir / "coverage_4g.pgm", log_scale=False)
+    )
+
+    # An upscaled copy of the Twitter map for direct viewing.
+    from repro.report.image import read_pgm
+
+    big = upscale(read_pgm(written[0]), SCALE)
+    big_path = out_dir / "twitter_per_subscriber_large.pgm"
+    header = f"P5\n{big.shape[1]} {big.shape[0]}\n255\n".encode()
+    big_path.write_bytes(header + big.tobytes())
+    written.append(big_path)
+
+    print(f"{len(written)} maps written to {out_dir}/:")
+    for path in written:
+        print(f"  {path}")
+    print(
+        "\nCities and the high-speed rail corridors light up in the "
+        "Twitter map; the Netflix map shows the starker urban/4G duality "
+        "of the paper's Fig. 9."
+    )
+
+
+if __name__ == "__main__":
+    main()

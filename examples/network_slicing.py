@@ -1,0 +1,82 @@
+"""Network-slicing dimensioning from per-service traffic dynamics.
+
+The paper's introduction motivates the study with resource
+orchestration: "an effective orchestration of network slices builds on
+the spatial [and temporal] complementarity of the demands for the
+different services".  This example uses :mod:`repro.apps.slicing` to
+quantify that complementarity:
+
+1. If every service were given a dedicated slice dimensioned at its own
+   peak, how much capacity would the slices sum to?
+2. How much capacity does the *joint* peak actually need?
+
+The gap is the multiplexing gain that demand-aware slice orchestration
+can harvest — and it exists precisely because services peak at
+different topical times (Fig. 6).
+
+Run:
+    python examples/network_slicing.py
+"""
+
+from repro._time import DAY_NAMES
+from repro._units import format_bytes
+from repro.apps.slicing import dimension_slices, gain_by_region
+from repro.experiments import build_default_context
+from repro.report.tables import format_table
+
+
+def main() -> None:
+    ctx = build_default_context(seed=7, n_communes=900)
+    dataset = ctx.dataset
+
+    study = dimension_slices(dataset, "dl")
+    rows = []
+    for plan in sorted(study.plans, key=lambda p: -p.peak_volume):
+        day, hour = divmod(plan.peak_bin, 24)
+        rows.append(
+            (
+                plan.service_name,
+                format_bytes(plan.peak_volume),
+                f"{plan.peak_to_mean:.2f}x",
+                f"{DAY_NAMES[day]} {hour:02d}:00",
+            )
+        )
+    print(
+        format_table(
+            ("service", "peak hourly volume", "peak/mean", "peak moment"),
+            rows,
+            title="Per-service slice dimensioning (downlink)",
+        )
+    )
+    print()
+    print(f"sum of per-slice peaks : {format_bytes(study.static_capacity)}")
+    print(f"joint traffic peak     : {format_bytes(study.joint_peak)}")
+    print(f"multiplexing gain      : {study.multiplexing_gain:.2f}x")
+    print(
+        f"capacity saved         : {100 * study.savings_over_static():.0f}% "
+        f"({100 * study.savings_over_static(0.1):.0f}% with a 10% isolation margin)"
+    )
+    print()
+    print(
+        "A static slice-per-service dimensioning over-provisions by "
+        f"{100 * (study.multiplexing_gain - 1):.0f}% relative to demand-aware "
+        "orchestration —\nthe headroom the paper's temporal heterogeneity "
+        "finding (no two services peak alike) makes available."
+    )
+
+    print()
+    rows = [
+        (cls.label, f"{gain:.2f}x")
+        for cls, gain in gain_by_region(dataset, "dl").items()
+    ]
+    print(
+        format_table(
+            ("region type", "multiplexing gain"),
+            rows,
+            title="Multiplexing gain by urbanization class",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

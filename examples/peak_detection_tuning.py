@@ -1,0 +1,69 @@
+"""Exploring the smoothed z-score detector on a service time series.
+
+The paper tunes the detector to (threshold 3, lag 2 h, influence 0.4)
+"upon an extensive tuning process".  This example makes that process
+visible: it renders Facebook's weekly series with the detected peaks
+under several parameterizations and prints the resulting topical-time
+signatures side by side.
+
+Run:
+    python examples/peak_detection_tuning.py
+"""
+
+from repro.experiments import build_default_context
+from repro.core.topical import peak_signature
+from repro.report.series import render_series
+from repro.report.tables import format_table
+
+SERVICE = "Facebook"
+
+
+def main() -> None:
+    ctx = build_default_context(seed=7, n_communes=900)
+    axis = ctx.fine_axis
+    series = ctx.national_series_fine("dl")[ctx.head_names.index(SERVICE)]
+
+    print(f"{SERVICE}, one week at 15-minute resolution "
+          "(Sat..Fri; ^ marks detected peak moments):\n")
+
+    settings = (
+        ("paper (thr=3, lag=2h, infl=0.4)", dict()),
+        ("permissive (thr=2.5)", dict(threshold=2.5)),
+        ("strict (thr=4.5)", dict(threshold=4.5)),
+        ("long memory (lag=6h)", dict(lag_hours=6.0)),
+        ("frozen baseline (infl=0.0)", dict(influence=0.0)),
+    )
+
+    rows = []
+    for label, kwargs in settings:
+        signature = peak_signature(series, axis, SERVICE, **kwargs)
+        print(render_series(
+            label[:16], series, markers=[int(b) for b in signature.moment_bins]
+        ))
+        rows.append(
+            (
+                label,
+                len(signature.detection.rising_fronts()),
+                len(signature.moment_bins),
+                ", ".join(sorted(t.value for t in signature.topical_times)),
+            )
+        )
+        print()
+
+    print(
+        format_table(
+            ("parameters", "raw fronts", "genuine peaks", "topical signature"),
+            rows,
+            max_col_width=58,
+            title="Detector sensitivity",
+        )
+    )
+    print(
+        "\nThe signature is stable around the paper's operating point; "
+        "overly permissive settings flood it with diurnal-trend crossings "
+        "and overly strict ones miss the weekend peaks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Why the paper measures a *clean* week.
+
+§2: the measurement week "was carefully selected so as to avoid major
+nationwide events like holidays or strikes".  This example shows what
+would have happened otherwise: it injects a transport strike and a cup
+final into the synthetic week and re-runs the Fig. 6 analysis — the
+topical-time signatures pick up phantom peaks and lose designed ones.
+
+Run:
+    python examples/special_event_week.py
+"""
+
+from repro.apps.anomaly import nationwide_events, scan_dataset_days
+from repro.core.topical import peak_signature
+from repro.experiments import build_default_context
+from repro.report.tables import format_table
+from repro.traffic.events import EventSpec, event_week_distortion, inject_events
+
+
+def signatures_for(series, ctx):
+    axis = ctx.fine_axis
+    return {
+        name: set(peak_signature(series[j], axis, name).topical_times)
+        for j, name in enumerate(ctx.head_names)
+    }
+
+
+def main() -> None:
+    ctx = build_default_context(seed=7, n_communes=900)
+    clean = ctx.national_series_fine("dl")
+    categories = [
+        ctx.artifacts.catalog.by_name(name).category for name in ctx.head_names
+    ]
+    events = [
+        EventSpec("strike", day=4),  # Wednesday transport strike
+        EventSpec("broadcast", day=5),  # Thursday cup final
+    ]
+    eventful = inject_events(clean, categories, ctx.fine_axis, events)
+
+    distortion = event_week_distortion(clean, eventful)
+    print(f"week-shape distortion from the two events: {distortion:.3f} "
+          "(0 = identical weeks)\n")
+
+    clean_sigs = signatures_for(clean, ctx)
+    event_sigs = signatures_for(eventful, ctx)
+
+    rows = []
+    changed = 0
+    for name in ctx.head_names:
+        lost = clean_sigs[name] - event_sigs[name]
+        gained = event_sigs[name] - clean_sigs[name]
+        if lost or gained:
+            changed += 1
+            rows.append(
+                (
+                    name,
+                    ", ".join(t.value for t in sorted(lost, key=str)) or "-",
+                    ", ".join(t.value for t in sorted(gained, key=str)) or "-",
+                )
+            )
+    print(
+        format_table(
+            ("service", "peaks lost", "phantom peaks gained"),
+            rows,
+            max_col_width=44,
+            title=f"Fig. 6 signatures contaminated for {changed}/20 services",
+        )
+    )
+    print(
+        "\nA single strike plus one broadcast evening rewrites a "
+        "substantial share of the topical-time signatures — the paper's "
+        "clean-week requirement is load-bearing for Fig. 6."
+    )
+
+    # The operational answer: the anomaly scanner spots the dirty days.
+    by_day = scan_dataset_days(eventful, ctx.head_names, ctx.fine_axis)
+    flagged = nationwide_events(by_day, len(ctx.head_names), min_share=0.3)
+    day_names = ("Sat", "Sun", "Mon", "Tue", "Wed", "Thu", "Fri")
+    print(
+        "\nAnomaly scan (repro.apps.anomaly): nationwide events detected on "
+        + (", ".join(day_names[d] for d in flagged) or "no days")
+        + f" — the injected events were on {day_names[4]} and {day_names[5]}."
+    )
+
+
+if __name__ == "__main__":
+    main()

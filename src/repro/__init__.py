@@ -1,0 +1,37 @@
+"""repro — reproduction of "Not All Apps Are Created Equal" (CoNEXT 2017).
+
+This package reimplements, end to end, the measurement study of Marquez et
+al. on the spatiotemporal heterogeneity of nationwide mobile service usage.
+Because the original input (one week of Orange France core-network traces)
+is proprietary, the package also contains every substrate needed to produce
+an equivalent dataset synthetically:
+
+- :mod:`repro.geo` — a synthetic-France geography (communes, population,
+  urbanization classes, TGV rail lines, 3G/4G coverage);
+- :mod:`repro.network` — a 3G/4G mobile network simulator (RAN + packet
+  core, GTP tunnels, PDP contexts / EPS bearers, passive probes);
+- :mod:`repro.services` — a 500+-entry mobile service catalog with the
+  paper's 20 head services and their temporal/spatial usage profiles;
+- :mod:`repro.traffic` — subscriber population, mobility, and a
+  dual-resolution workload generator (session level and volume level);
+- :mod:`repro.dpi` — a deep-packet-inspection engine classifying flows
+  into services at the paper's ~88 % coverage;
+- :mod:`repro.dataset` — the aggregation pipeline turning probe records
+  into the commune-level dataset the paper analyses;
+- :mod:`repro.core` — the paper's analyses: Zipf fitting, k-shape
+  clustering, cluster-quality indices, smoothed z-score peak detection,
+  topical-time signatures, spatial correlation, urbanization analysis;
+- :mod:`repro.experiments` — one runner per figure of the paper.
+
+Quickstart::
+
+    from repro.experiments import build_default_dataset, run_figure
+
+    dataset = build_default_dataset(seed=7)
+    result = run_figure("fig10", dataset)
+    print(result.render())
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

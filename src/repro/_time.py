@@ -1,0 +1,134 @@
+"""Time model shared by the whole package.
+
+The paper studies one week of traffic starting on Saturday, September 24,
+2016 (Fig. 4 x-axis runs Sat..Fri).  Everything in this package uses the
+same convention:
+
+- a week is ``WEEK_HOURS`` = 168 hours, hour 0 = Saturday 00:00;
+- days 0 and 1 (Saturday, Sunday) are the weekend, days 2..6 are working
+  days;
+- time series may be sampled at sub-hourly resolution; the number of bins
+  per hour is carried explicitly by :class:`TimeAxis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+HOURS_PER_DAY = 24
+DAYS_PER_WEEK = 7
+WEEK_HOURS = HOURS_PER_DAY * DAYS_PER_WEEK
+
+#: Day names in dataset order (the measurement week starts on a Saturday).
+DAY_NAMES = ("Sat", "Sun", "Mon", "Tue", "Wed", "Thu", "Fri")
+
+#: Indices of weekend days within the week (Saturday, Sunday).
+WEEKEND_DAYS = (0, 1)
+
+#: Indices of working days within the week (Monday..Friday).
+WORKING_DAYS = (2, 3, 4, 5, 6)
+
+
+@dataclass(frozen=True)
+class TimeAxis:
+    """A uniform sampling of the measurement week.
+
+    Parameters
+    ----------
+    bins_per_hour:
+        Sampling resolution.  The paper works at an (implicit) sub-hourly
+        resolution; the default of 1 bin/hour keeps the nationwide tensors
+        small while finer axes are used by the peak-detection analyses.
+    """
+
+    bins_per_hour: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bins_per_hour < 1:
+            raise ValueError(
+                f"bins_per_hour must be >= 1, got {self.bins_per_hour}"
+            )
+
+    @property
+    def n_bins(self) -> int:
+        """Total number of bins covering the week."""
+        return WEEK_HOURS * self.bins_per_hour
+
+    @property
+    def bin_hours(self) -> float:
+        """Duration of one bin, in hours."""
+        return 1.0 / self.bins_per_hour
+
+    def hours(self) -> np.ndarray:
+        """Return the fractional hour-of-week at the start of each bin."""
+        return np.arange(self.n_bins) / self.bins_per_hour
+
+    def bin_of(self, day: int, hour: float) -> int:
+        """Return the bin index containing ``hour`` o'clock on ``day``.
+
+        ``day`` is an index into :data:`DAY_NAMES` (0 = Saturday).
+        """
+        if not 0 <= day < DAYS_PER_WEEK:
+            raise ValueError(f"day must be in [0, 7), got {day}")
+        if not 0 <= hour < HOURS_PER_DAY:
+            raise ValueError(f"hour must be in [0, 24), got {hour}")
+        return int((day * HOURS_PER_DAY + hour) * self.bins_per_hour)
+
+    def day_of_bin(self, bin_index: int) -> int:
+        """Return the day index (0 = Saturday) of a bin."""
+        if not 0 <= bin_index < self.n_bins:
+            raise ValueError(
+                f"bin_index must be in [0, {self.n_bins}), got {bin_index}"
+            )
+        return bin_index // (HOURS_PER_DAY * self.bins_per_hour)
+
+    def hour_of_bin(self, bin_index: int) -> float:
+        """Return the fractional hour of day at the start of a bin."""
+        day = self.day_of_bin(bin_index)
+        return bin_index / self.bins_per_hour - day * HOURS_PER_DAY
+
+    def is_weekend_bin(self, bin_index: int) -> bool:
+        """True when a bin falls on Saturday or Sunday."""
+        return self.day_of_bin(bin_index) in WEEKEND_DAYS
+
+    def resample_to(self, series: np.ndarray, other: "TimeAxis") -> np.ndarray:
+        """Resample a week-long series from this axis onto ``other``.
+
+        Downsampling sums bins (traffic volumes are extensive quantities);
+        upsampling splits each bin evenly.  The total volume is preserved
+        exactly in both directions.
+        """
+        series = np.asarray(series, dtype=float)
+        if series.shape[-1] != self.n_bins:
+            raise ValueError(
+                f"series has {series.shape[-1]} bins, axis expects {self.n_bins}"
+            )
+        if other.bins_per_hour == self.bins_per_hour:
+            return series.copy()
+        if other.bins_per_hour < self.bins_per_hour:
+            factor, rem = divmod(self.bins_per_hour, other.bins_per_hour)
+            if rem:
+                raise ValueError(
+                    "can only downsample by an integer factor: "
+                    f"{self.bins_per_hour} -> {other.bins_per_hour}"
+                )
+            shape = series.shape[:-1] + (other.n_bins, factor)
+            return series.reshape(shape).sum(axis=-1)
+        factor, rem = divmod(other.bins_per_hour, self.bins_per_hour)
+        if rem:
+            raise ValueError(
+                "can only upsample by an integer factor: "
+                f"{self.bins_per_hour} -> {other.bins_per_hour}"
+            )
+        return np.repeat(series / factor, factor, axis=-1)
+
+
+def hour_of_week(day: int, hour: float) -> float:
+    """Return the fractional hour-of-week for ``hour`` o'clock on ``day``."""
+    if not 0 <= day < DAYS_PER_WEEK:
+        raise ValueError(f"day must be in [0, 7), got {day}")
+    if not 0 <= hour < HOURS_PER_DAY:
+        raise ValueError(f"hour must be in [0, 24), got {hour}")
+    return day * HOURS_PER_DAY + hour

@@ -1,0 +1,50 @@
+"""Application layer: what the paper's findings are *for*.
+
+The introduction motivates the study with two consumer domains; this
+package implements both as reusable analyses over a
+:class:`~repro.dataset.store.MobileTrafficDataset`:
+
+- :mod:`repro.apps.slicing` — network-slice dimensioning: per-service
+  peak capacity, multiplexing gains from temporal complementarity, and
+  demand-aware capacity schedules ("an effective orchestration of
+  network slices builds on the ... complementarity of the demands");
+- :mod:`repro.apps.signatures` — land-use analysis from usage
+  signatures: commune feature vectors, k-means clustering, and
+  urbanization-class recovery ("unveiling interplays between the
+  digital and physical worlds ... relevant to urban development or
+  planning").
+"""
+
+from repro.apps.anomaly import (
+    DayAnomaly,
+    detect_anomalous_days,
+    nationwide_events,
+    scan_dataset_days,
+)
+from repro.apps.signatures import (
+    SignatureClustering,
+    classify_by_centroids,
+    cluster_communes,
+    commune_signatures,
+)
+from repro.apps.slicing import (
+    SliceDimensioning,
+    SlicePlan,
+    dimension_slices,
+    multiplexing_gain,
+)
+
+__all__ = [
+    "DayAnomaly",
+    "detect_anomalous_days",
+    "scan_dataset_days",
+    "nationwide_events",
+    "SlicePlan",
+    "SliceDimensioning",
+    "dimension_slices",
+    "multiplexing_gain",
+    "commune_signatures",
+    "cluster_communes",
+    "classify_by_centroids",
+    "SignatureClustering",
+]

@@ -1,0 +1,140 @@
+"""Demand anomaly detection.
+
+The operational counterpart of the paper's clean-week requirement: a
+network operator consuming these analyses continuously needs to know
+*when a week is not clean*.  The detector scores each (service, day)
+against the service's own seasonal profile — the same structure the
+predictability module exploits — and flags days whose residual is
+inconsistent with the service's normal day-to-day variability.
+
+Ground truth for the tests comes from :mod:`repro.traffic.events`: an
+injected strike or broadcast evening must be flagged on the right day
+and (for broadcasts) for the right service categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro._time import DAY_NAMES, TimeAxis
+
+
+@dataclass(frozen=True)
+class DayAnomaly:
+    """One flagged (service, day) cell."""
+
+    service_name: str
+    day: int  # 0 = Saturday
+    score: float  # robust z-score of the day's residual
+
+    @property
+    def day_name(self) -> str:
+        return DAY_NAMES[self.day]
+
+
+def day_residuals(series: np.ndarray, axis: TimeAxis) -> np.ndarray:
+    """(7,) mean absolute relative deviation of each day from its peers.
+
+    Each day's curve is compared against the mean curve of the *other*
+    days of the same type (weekend vs working day), normalized to shape
+    (levels out; the paper's analyses are shape-driven).
+    """
+    series = np.asarray(series, dtype=float)
+    bins_per_day = 24 * axis.bins_per_hour
+    if series.shape[-1] != 7 * bins_per_day:
+        raise ValueError("series does not span one week on this axis")
+    days = series.reshape(7, bins_per_day)
+    sums = days.sum(axis=1, keepdims=True)
+    if np.any(sums <= 0):
+        raise ValueError("every day needs positive volume")
+    shapes = days / sums
+
+    residuals = np.zeros(7)
+    groups = ((0, 1), (2, 3, 4, 5, 6))
+    for group in groups:
+        for day in group:
+            peers = [d for d in group if d != day]
+            reference = shapes[peers].mean(axis=0)
+            residuals[day] = float(
+                np.abs(shapes[day] - reference).sum() / reference.sum()
+            )
+    return residuals
+
+
+def detect_anomalous_days(
+    series: np.ndarray,
+    axis: TimeAxis,
+    service_name: str = "",
+    threshold: float = 3.5,
+) -> List[DayAnomaly]:
+    """Flag days whose shape residual is an outlier for this service.
+
+    Scores are robust z-scores (median / MAD over the 7 days), so one
+    bad day cannot hide itself by inflating the baseline.
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be > 0, got {threshold}")
+    residuals = day_residuals(series, axis)
+    median = float(np.median(residuals))
+    mad = float(np.median(np.abs(residuals - median)))
+    scale = 1.4826 * mad if mad > 0 else max(median, 1e-9) * 0.1
+    scores = (residuals - median) / scale
+    return [
+        DayAnomaly(service_name=service_name, day=day, score=float(score))
+        for day, score in enumerate(scores)
+        if score > threshold
+    ]
+
+
+def scan_dataset_days(
+    national_series: np.ndarray,
+    service_names: Sequence[str],
+    axis: TimeAxis,
+    threshold: float = 3.5,
+) -> Dict[int, List[DayAnomaly]]:
+    """Scan all services; returns day -> flagged anomalies.
+
+    A day flagged across many services is a nationwide event (strike,
+    broadcast); a single-service flag is service-local (an outage or a
+    release).
+    """
+    national_series = np.asarray(national_series, dtype=float)
+    if national_series.shape[0] != len(service_names):
+        raise ValueError(
+            f"{national_series.shape[0]} series for "
+            f"{len(service_names)} names"
+        )
+    by_day: Dict[int, List[DayAnomaly]] = {}
+    for j, name in enumerate(service_names):
+        for anomaly in detect_anomalous_days(
+            national_series[j], axis, name, threshold=threshold
+        ):
+            by_day.setdefault(anomaly.day, []).append(anomaly)
+    return by_day
+
+
+def nationwide_events(
+    by_day: Dict[int, List[DayAnomaly]],
+    n_services: int,
+    min_share: float = 0.3,
+) -> List[int]:
+    """Days flagged for at least ``min_share`` of the services."""
+    if not 0 < min_share <= 1:
+        raise ValueError(f"min_share must be in (0, 1], got {min_share}")
+    return sorted(
+        day
+        for day, anomalies in by_day.items()
+        if len(anomalies) / n_services >= min_share
+    )
+
+
+__all__ = [
+    "DayAnomaly",
+    "day_residuals",
+    "detect_anomalous_days",
+    "scan_dataset_days",
+    "nationwide_events",
+]

@@ -1,0 +1,200 @@
+"""Land-use analysis from mobile service usage signatures.
+
+Communes are characterized by *what mix* of services their subscribers
+consume, not by how much: the paper's Fig. 11 shows the level is set by
+urbanization while the follow-up literature (e.g. Furno et al., "A Tale
+of Ten Cities") clusters areas by such signatures to recover land use.
+This module provides:
+
+- :func:`commune_signatures` — per-commune feature vectors (normalized
+  log service mix, optionally augmented with temporal shape features);
+- :func:`cluster_communes` — k-means over signatures (implemented here;
+  scikit-learn is not a dependency);
+- :func:`classify_by_centroids` — nearest-centroid classification, e.g.
+  to recover urbanization classes from usage alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro._rng import SeedLike, as_generator
+from repro.dataset.store import MobileTrafficDataset
+
+
+def commune_signatures(
+    dataset: MobileTrafficDataset,
+    direction: str = "dl",
+    include_temporal: bool = False,
+    min_users: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build per-commune usage-signature vectors.
+
+    Returns ``(signatures, commune_ids)``: communes with fewer than
+    ``min_users`` observed subscribers are dropped (their mixes are
+    sampling noise).  The base signature is the commune's log-scaled
+    per-subscriber service mix, L1-normalized; with
+    ``include_temporal=True`` four coarse temporal shares (night,
+    morning, afternoon, evening) of the commune's total demand are
+    appended.
+    """
+    if min_users < 0:
+        raise ValueError(f"min_users must be >= 0, got {min_users}")
+    keep = np.nonzero(dataset.users >= min_users)[0]
+    if keep.size == 0:
+        raise ValueError("no commune passes the min_users filter")
+    matrix = dataset.per_subscriber_matrix(direction)[keep]
+    features = np.log1p(matrix)
+    norms = features.sum(axis=1, keepdims=True)
+    features = np.divide(features, norms, out=np.zeros_like(features), where=norms > 0)
+
+    if include_temporal:
+        tensor = dataset.tensor(direction)[keep].sum(axis=1)  # (kept, bins)
+        bins_per_hour = dataset.axis.bins_per_hour
+        hour_of_bin = (np.arange(dataset.n_bins) / bins_per_hour) % 24
+        shares = []
+        for lo, hi in ((0, 6), (6, 12), (12, 18), (18, 24)):
+            window = (hour_of_bin >= lo) & (hour_of_bin < hi)
+            shares.append(tensor[:, window].sum(axis=1))
+        temporal = np.stack(shares, axis=1)
+        totals = temporal.sum(axis=1, keepdims=True)
+        temporal = np.divide(
+            temporal, totals, out=np.zeros_like(temporal), where=totals > 0
+        )
+        features = np.concatenate([features, temporal], axis=1)
+    return features, keep
+
+
+@dataclass(frozen=True)
+class SignatureClustering:
+    """Outcome of clustering commune signatures."""
+
+    labels: np.ndarray  # (n_kept,) cluster per signature
+    centroids: np.ndarray  # (k, n_features)
+    commune_ids: np.ndarray  # (n_kept,) commune of each signature
+    inertia: float
+
+    @property
+    def k(self) -> int:
+        return self.centroids.shape[0]
+
+    def cluster_of_commune(self, commune_id: int) -> Optional[int]:
+        """Cluster of a commune, or None if it was filtered out."""
+        hits = np.nonzero(self.commune_ids == commune_id)[0]
+        if hits.size == 0:
+            return None
+        return int(self.labels[hits[0]])
+
+    def sizes(self) -> np.ndarray:
+        return np.bincount(self.labels, minlength=self.k)
+
+
+def _kmeans(
+    data: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iterations: int = 100,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Lloyd's algorithm with k-means++-style seeding."""
+    n = data.shape[0]
+    centroids = np.empty((k, data.shape[1]))
+    centroids[0] = data[int(rng.integers(n))]
+    for c in range(1, k):
+        d2 = np.min(
+            ((data[:, None, :] - centroids[None, :c, :]) ** 2).sum(axis=2), axis=1
+        )
+        total = d2.sum()
+        if total <= 0:
+            centroids[c] = data[int(rng.integers(n))]
+        else:
+            centroids[c] = data[int(rng.choice(n, p=d2 / total))]
+
+    labels = np.zeros(n, dtype=int)
+    for _ in range(max_iterations):
+        distances = ((data[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        new_labels = distances.argmin(axis=1)
+        for c in range(k):
+            if not np.any(new_labels == c):
+                new_labels[int(distances[:, c].argmax())] = c
+        if np.array_equal(new_labels, labels):
+            labels = new_labels
+            break
+        labels = new_labels
+        for c in range(k):
+            centroids[c] = data[labels == c].mean(axis=0)
+    inertia = float(
+        ((data - centroids[labels]) ** 2).sum()
+    )
+    return labels, centroids, inertia
+
+
+def cluster_communes(
+    dataset: MobileTrafficDataset,
+    k: int,
+    direction: str = "dl",
+    include_temporal: bool = False,
+    min_users: float = 1.0,
+    n_restarts: int = 3,
+    seed: SeedLike = None,
+) -> SignatureClustering:
+    """K-means clustering of commune usage signatures."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    features, commune_ids = commune_signatures(
+        dataset, direction, include_temporal=include_temporal, min_users=min_users
+    )
+    if k > features.shape[0]:
+        raise ValueError(
+            f"k={k} exceeds the {features.shape[0]} retained communes"
+        )
+    rng = as_generator(seed)
+    best = None
+    for _ in range(max(1, n_restarts)):
+        labels, centroids, inertia = _kmeans(features, k, rng)
+        if best is None or inertia < best[2]:
+            best = (labels, centroids, inertia)
+    labels, centroids, inertia = best
+    return SignatureClustering(
+        labels=labels,
+        centroids=centroids,
+        commune_ids=commune_ids,
+        inertia=inertia,
+    )
+
+
+def classify_by_centroids(
+    features: np.ndarray,
+    labels: np.ndarray,
+    train_index: np.ndarray,
+    test_index: np.ndarray,
+) -> np.ndarray:
+    """Nearest-centroid classification of signatures.
+
+    Centroids are estimated per label over ``train_index``; the function
+    returns predicted labels for ``test_index``.  Used to measure how
+    much land-use information usage signatures carry.
+    """
+    classes = np.unique(labels[train_index])
+    if classes.size == 0:
+        raise ValueError("empty training set")
+    centroids = np.stack(
+        [
+            features[train_index[labels[train_index] == cls]].mean(axis=0)
+            for cls in classes
+        ]
+    )
+    distances = np.linalg.norm(
+        features[test_index][:, None, :] - centroids[None, :, :], axis=2
+    )
+    return classes[distances.argmin(axis=1)]
+
+
+__all__ = [
+    "commune_signatures",
+    "SignatureClustering",
+    "cluster_communes",
+    "classify_by_centroids",
+]

@@ -1,0 +1,82 @@
+"""The paper's analyses.
+
+Everything in this package operates on a
+:class:`~repro.dataset.store.MobileTrafficDataset` (or plain numpy
+arrays) and implements the methodology of the paper section by section:
+
+- :mod:`repro.core.zipf_fit` — rank-volume Zipf fitting (§3, Fig. 2);
+- :mod:`repro.core.ranking` — head-service ranking and category shares
+  (§3, Fig. 3);
+- :mod:`repro.core.kshape` — k-Shape time-series clustering, implemented
+  from scratch (§4, Fig. 5);
+- :mod:`repro.core.indices` — Davies-Bouldin, modified Davies-Bouldin,
+  Dunn and Silhouette clustering-quality indices (§4, Fig. 5);
+- :mod:`repro.core.peaks` — the smoothed z-score peak detector (§4,
+  Fig. 4);
+- :mod:`repro.core.topical` — topical-time mapping, per-service peak
+  signatures and peak intensities (§4, Figs. 6-7);
+- :mod:`repro.core.spatial_analysis` — commune concentration curves,
+  per-subscriber CDFs and pairwise spatial correlation (§5, Figs. 8-10);
+- :mod:`repro.core.urbanization_analysis` — per-user volume ratios and
+  cross-region temporal correlation (§5, Fig. 11);
+- :mod:`repro.core.correlation` — shared Pearson helpers.
+"""
+
+from repro.core.correlation import pearson_r, pearson_r2
+from repro.core.indices import (
+    ClusterIndexReport,
+    davies_bouldin,
+    davies_bouldin_star,
+    dunn,
+    evaluate_clustering,
+    silhouette,
+)
+from repro.core.kshape import KShapeResult, kshape, sbd, z_normalize
+from repro.core.peaks import PeakDetection, smoothed_zscore
+from repro.core.ranking import RankingEntry, rank_services
+from repro.core.spatial_analysis import (
+    pairwise_r2_matrix,
+    per_subscriber_cdf,
+    ranked_commune_curve,
+)
+from repro.core.topical import (
+    PeakSignature,
+    peak_intensities,
+    peak_signature,
+    topical_windows,
+)
+from repro.core.urbanization_analysis import (
+    cross_region_r2,
+    volume_ratio_slopes,
+)
+from repro.core.zipf_fit import ZipfFit, fit_zipf
+
+__all__ = [
+    "pearson_r",
+    "pearson_r2",
+    "KShapeResult",
+    "kshape",
+    "sbd",
+    "z_normalize",
+    "ClusterIndexReport",
+    "davies_bouldin",
+    "davies_bouldin_star",
+    "dunn",
+    "silhouette",
+    "evaluate_clustering",
+    "PeakDetection",
+    "smoothed_zscore",
+    "PeakSignature",
+    "topical_windows",
+    "peak_signature",
+    "peak_intensities",
+    "RankingEntry",
+    "rank_services",
+    "ranked_commune_curve",
+    "per_subscriber_cdf",
+    "pairwise_r2_matrix",
+    "cross_region_r2",
+    "volume_ratio_slopes",
+    "ZipfFit",
+    "fit_zipf",
+]

@@ -1,0 +1,72 @@
+"""Pearson correlation helpers shared by the spatial and temporal analyses.
+
+The paper's §5 works throughout with "Pearson's r²" — the coefficient of
+determination between two vectors.  These helpers add the guards numpy's
+``corrcoef`` lacks (zero-variance vectors, length checks) and a matrix
+variant for the Fig. 10 service-pair analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pearson_r(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient; 0.0 for degenerate vectors."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError(f"vector shapes differ: {x.shape} vs {y.shape}")
+    if x.ndim != 1:
+        raise ValueError(f"expected 1-D vectors, got shape {x.shape}")
+    if x.size < 2:
+        raise ValueError("need at least two samples for a correlation")
+    xd = x - x.mean()
+    yd = y - y.mean()
+    denom = float(np.linalg.norm(xd) * np.linalg.norm(yd))
+    if denom == 0:
+        return 0.0
+    return float(np.clip((xd @ yd) / denom, -1.0, 1.0))
+
+
+def pearson_r2(x: np.ndarray, y: np.ndarray) -> float:
+    """Coefficient of determination (the paper's r²)."""
+    r = pearson_r(x, y)
+    return r * r
+
+
+def pairwise_r2(columns: np.ndarray) -> np.ndarray:
+    """(k, k) matrix of pairwise r² between the columns of ``(n, k)``.
+
+    Degenerate (zero-variance) columns correlate 0 with everything and 1
+    with themselves, matching :func:`pearson_r2`.
+    """
+    columns = np.asarray(columns, dtype=float)
+    if columns.ndim != 2:
+        raise ValueError(f"expected an (n, k) array, got shape {columns.shape}")
+    k = columns.shape[1]
+    centred = columns - columns.mean(axis=0, keepdims=True)
+    norms = np.linalg.norm(centred, axis=0)
+    out = np.eye(k)
+    # Columns whose variation is at floating-point noise level are
+    # constant for correlation purposes.
+    scale = np.maximum(np.abs(columns).max(axis=0), 1.0)
+    valid = norms > 1e-9 * scale
+    if valid.any():
+        sub = centred[:, valid] / norms[valid]
+        r = np.clip(sub.T @ sub, -1.0, 1.0)
+        out[np.ix_(valid, valid)] = r**2
+    np.fill_diagonal(out, 1.0)
+    return out
+
+
+def upper_triangle(matrix: np.ndarray) -> np.ndarray:
+    """Flattened strict upper triangle (the distinct pairs of Fig. 10)."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    i, j = np.triu_indices(matrix.shape[0], k=1)
+    return matrix[i, j]
+
+
+__all__ = ["pearson_r", "pearson_r2", "pairwise_r2", "upper_triangle"]

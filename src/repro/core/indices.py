@@ -1,0 +1,186 @@
+"""Clustering-quality indices.
+
+The paper ranks k-Shape outcomes over all k with "the (modified)
+Davies-Bouldin, Dunn, and Silhouette indices, which constitute a
+representative selection of popular indices used in the literature"
+(§4, citing Milligan & Cooper 1985).  All four are implemented over an
+arbitrary precomputed distance matrix, so they can score clusterings
+under SBD (the paper's setting) or any other metric (the ablation
+benchmarks use Euclidean distance).
+
+Conventions (as in the paper's Fig. 5):
+
+- Davies-Bouldin (DB) and modified Davies-Bouldin (DB*): *lower* is
+  better;
+- Dunn (D) and Silhouette (Sil): *higher* is better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+def _validate(distances: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    distances = np.asarray(distances, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+        raise ValueError(f"distance matrix must be square, got {distances.shape}")
+    if labels.shape[0] != distances.shape[0]:
+        raise ValueError(
+            f"{labels.shape[0]} labels for {distances.shape[0]} points"
+        )
+    if np.unique(labels).size < 2:
+        raise ValueError("need at least two clusters to score a clustering")
+    return labels
+
+
+def _cluster_stats(distances: np.ndarray, labels: np.ndarray):
+    """Per-cluster medoid-style scatter and pairwise separation.
+
+    Working purely from a distance matrix (no coordinate space), each
+    cluster's centre is its medoid; scatter is the mean distance to the
+    medoid, separation the distance between medoids.
+    """
+    cluster_ids = np.unique(labels)
+    medoids: Dict[int, int] = {}
+    scatters: Dict[int, float] = {}
+    for c in cluster_ids:
+        members = np.nonzero(labels == c)[0]
+        sub = distances[np.ix_(members, members)]
+        medoid_local = int(np.argmin(sub.sum(axis=1)))
+        medoids[c] = int(members[medoid_local])
+        scatters[c] = float(sub[medoid_local].mean())
+    return cluster_ids, medoids, scatters
+
+
+def davies_bouldin(distances: np.ndarray, labels: np.ndarray) -> float:
+    """Davies-Bouldin index (lower is better)."""
+    labels = _validate(distances, labels)
+    cluster_ids, medoids, scatters = _cluster_stats(distances, labels)
+    ratios = []
+    for i in cluster_ids:
+        worst = 0.0
+        for j in cluster_ids:
+            if i == j:
+                continue
+            separation = distances[medoids[i], medoids[j]]
+            if separation <= 0:
+                return float("inf")
+            worst = max(worst, (scatters[i] + scatters[j]) / separation)
+        ratios.append(worst)
+    return float(np.mean(ratios))
+
+
+def davies_bouldin_star(distances: np.ndarray, labels: np.ndarray) -> float:
+    """Modified Davies-Bouldin (DB*, Kim & Ramakrishna 2005; lower better).
+
+    Decouples the numerator and denominator: for each cluster, the worst
+    pairwise scatter sum is divided by the *smallest* separation, which
+    penalizes one close neighbour even when another is far.
+    """
+    labels = _validate(distances, labels)
+    cluster_ids, medoids, scatters = _cluster_stats(distances, labels)
+    ratios = []
+    for i in cluster_ids:
+        num = 0.0
+        den = float("inf")
+        for j in cluster_ids:
+            if i == j:
+                continue
+            num = max(num, scatters[i] + scatters[j])
+            den = min(den, distances[medoids[i], medoids[j]])
+        if den <= 0:
+            return float("inf")
+        ratios.append(num / den)
+    return float(np.mean(ratios))
+
+
+def dunn(distances: np.ndarray, labels: np.ndarray) -> float:
+    """Dunn index: min inter-cluster / max intra-cluster (higher better)."""
+    labels = _validate(distances, labels)
+    cluster_ids = np.unique(labels)
+    max_diameter = 0.0
+    for c in cluster_ids:
+        members = np.nonzero(labels == c)[0]
+        if members.size > 1:
+            sub = distances[np.ix_(members, members)]
+            max_diameter = max(max_diameter, float(sub.max()))
+    min_separation = float("inf")
+    for a_pos, a in enumerate(cluster_ids):
+        for b in cluster_ids[a_pos + 1:]:
+            rows = np.nonzero(labels == a)[0]
+            cols = np.nonzero(labels == b)[0]
+            sep = float(distances[np.ix_(rows, cols)].min())
+            min_separation = min(min_separation, sep)
+    if max_diameter == 0.0:
+        return float("inf")
+    return min_separation / max_diameter
+
+
+def silhouette(distances: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient (higher is better, in [-1, 1])."""
+    labels = _validate(distances, labels)
+    n = distances.shape[0]
+    cluster_ids = np.unique(labels)
+    scores = []
+    for i in range(n):
+        own = labels[i]
+        own_members = np.nonzero((labels == own) & (np.arange(n) != i))[0]
+        if own_members.size == 0:
+            scores.append(0.0)  # singleton clusters score 0 by convention
+            continue
+        a = float(distances[i, own_members].mean())
+        b = float("inf")
+        for c in cluster_ids:
+            if c == own:
+                continue
+            others = np.nonzero(labels == c)[0]
+            b = min(b, float(distances[i, others].mean()))
+        denom = max(a, b)
+        scores.append(0.0 if denom == 0 else (b - a) / denom)
+    return float(np.mean(scores))
+
+
+@dataclass(frozen=True)
+class ClusterIndexReport:
+    """All four index values for one clustering."""
+
+    k: int
+    davies_bouldin: float
+    davies_bouldin_star: float
+    dunn: float
+    silhouette: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "DB": self.davies_bouldin,
+            "DB*": self.davies_bouldin_star,
+            "D": self.dunn,
+            "Sil": self.silhouette,
+        }
+
+
+def evaluate_clustering(
+    distances: np.ndarray, labels: np.ndarray
+) -> ClusterIndexReport:
+    """Score one clustering with all four indices."""
+    return ClusterIndexReport(
+        k=int(np.unique(labels).size),
+        davies_bouldin=davies_bouldin(distances, labels),
+        davies_bouldin_star=davies_bouldin_star(distances, labels),
+        dunn=dunn(distances, labels),
+        silhouette=silhouette(distances, labels),
+    )
+
+
+__all__ = [
+    "davies_bouldin",
+    "davies_bouldin_star",
+    "dunn",
+    "silhouette",
+    "ClusterIndexReport",
+    "evaluate_clustering",
+]

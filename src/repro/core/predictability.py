@@ -1,0 +1,119 @@
+"""Predictability of per-service demand.
+
+The paper's related work credits service-category traffic with "high
+predictability" (Shafiq et al., SIGMETRICS 2011); a natural question
+over the reproduced dataset is whether that transfers to *individual*
+services, whose temporal patterns the paper shows to be far more
+idiosyncratic.  This module implements the standard baseline ladder:
+
+- **last-value** — demand(t) ≈ demand(t-1);
+- **seasonal-naive** — demand(t) ≈ demand(t - 24 h), the strongest
+  simple predictor for strongly diurnal signals;
+- **seasonal-profile** — demand(t) ≈ trailing mean of the same
+  time-of-day over previous days;
+
+with per-service error metrics (MAE, MAPE, and the relative improvement
+over last-value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro._time import TimeAxis
+from repro.dataset.store import MobileTrafficDataset
+
+PREDICTORS = ("last_value", "seasonal_naive", "seasonal_profile")
+
+
+def predict(series: np.ndarray, method: str, axis: TimeAxis) -> np.ndarray:
+    """One-step-ahead predictions for a weekly series.
+
+    The returned array aligns with ``series``; entries without enough
+    history are NaN (the first bin, the first day, ...).
+    """
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 1:
+        raise ValueError(f"expected a 1-D series, got shape {series.shape}")
+    n = len(series)
+    day = 24 * axis.bins_per_hour
+    out = np.full(n, np.nan)
+    if method == "last_value":
+        out[1:] = series[:-1]
+    elif method == "seasonal_naive":
+        out[day:] = series[:-day]
+    elif method == "seasonal_profile":
+        for t in range(day, n):
+            history = series[t % day : t : day]
+            out[t] = history.mean()
+    else:
+        raise ValueError(
+            f"method must be one of {PREDICTORS}, got {method!r}"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class PredictabilityReport:
+    """Error metrics of one predictor on one series."""
+
+    method: str
+    mae: float
+    mape: float  # mean absolute percentage error over positive truth
+    n_scored: int
+
+
+def score(
+    series: np.ndarray, method: str, axis: TimeAxis
+) -> PredictabilityReport:
+    """Score one predictor on one series."""
+    series = np.asarray(series, dtype=float)
+    predictions = predict(series, method, axis)
+    valid = np.isfinite(predictions) & (series > 0)
+    if not valid.any():
+        raise ValueError("no scorable bins (series empty or too short)")
+    errors = np.abs(predictions[valid] - series[valid])
+    return PredictabilityReport(
+        method=method,
+        mae=float(errors.mean()),
+        mape=float((errors / series[valid]).mean()),
+        n_scored=int(valid.sum()),
+    )
+
+
+def service_predictability(
+    dataset: MobileTrafficDataset,
+    direction: str = "dl",
+) -> Dict[str, Dict[str, PredictabilityReport]]:
+    """Score every head service under every predictor."""
+    out: Dict[str, Dict[str, PredictabilityReport]] = {}
+    for name in dataset.head_names:
+        series = dataset.national_series(name, direction)
+        out[name] = {
+            method: score(series, method, dataset.axis)
+            for method in PREDICTORS
+        }
+    return out
+
+
+def rank_by_predictability(
+    reports: Dict[str, Dict[str, PredictabilityReport]],
+    method: str = "seasonal_profile",
+) -> List[str]:
+    """Service names from most to least predictable under a method."""
+    if method not in PREDICTORS:
+        raise ValueError(f"method must be one of {PREDICTORS}, got {method!r}")
+    return sorted(reports, key=lambda name: reports[name][method].mape)
+
+
+__all__ = [
+    "PREDICTORS",
+    "predict",
+    "PredictabilityReport",
+    "score",
+    "service_predictability",
+    "rank_by_predictability",
+]

@@ -1,0 +1,102 @@
+"""Service ranking and category shares (Fig. 3 and §3 statistics)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.dataset.store import MobileTrafficDataset
+from repro.services.catalog import ServiceCatalog, ServiceCategory
+
+
+@dataclass(frozen=True)
+class RankingEntry:
+    """One row of the Fig. 3 ranking."""
+
+    rank: int
+    service_name: str
+    category: ServiceCategory
+    volume_bytes: float
+    share_of_direction: float  # of the classified traffic in the direction
+
+
+def rank_services(
+    dataset: MobileTrafficDataset,
+    catalog: ServiceCatalog,
+    direction: str,
+    head_only: bool = True,
+) -> List[RankingEntry]:
+    """Rank services on national volume in one direction."""
+    totals = dataset.national_dl if direction == "dl" else dataset.national_ul
+    if direction not in ("dl", "ul"):
+        raise ValueError(f"direction must be 'dl' or 'ul', got {direction!r}")
+    totals = np.asarray(totals, dtype=float)
+    direction_total = float(totals.sum())
+    entries = []
+    for name, volume in zip(dataset.all_service_names, totals):
+        service = catalog.by_name(name)
+        if head_only and not service.is_head:
+            continue
+        entries.append((name, service.category, float(volume)))
+    entries.sort(key=lambda item: item[2], reverse=True)
+    return [
+        RankingEntry(
+            rank=i + 1,
+            service_name=name,
+            category=category,
+            volume_bytes=volume,
+            share_of_direction=volume / direction_total if direction_total else 0.0,
+        )
+        for i, (name, category, volume) in enumerate(entries)
+    ]
+
+
+def category_shares(
+    dataset: MobileTrafficDataset,
+    catalog: ServiceCatalog,
+    direction: str,
+) -> Dict[ServiceCategory, float]:
+    """Share of each category in one direction's classified traffic."""
+    ranking = rank_services(dataset, catalog, direction, head_only=False)
+    shares: Dict[ServiceCategory, float] = {c: 0.0 for c in ServiceCategory}
+    for entry in ranking:
+        shares[entry.category] += entry.share_of_direction
+    return shares
+
+
+def video_streaming_share(
+    dataset: MobileTrafficDataset,
+    catalog: ServiceCatalog,
+    direction: str = "dl",
+    exclude: Optional[tuple] = ("Audio",),
+) -> float:
+    """Aggregate share of video streaming services (the paper's 46 %).
+
+    The paper's streaming figure refers to *video*; the Audio service is
+    excluded by default.
+    """
+    exclude = exclude or ()
+    ranking = rank_services(dataset, catalog, direction, head_only=False)
+    return sum(
+        e.share_of_direction
+        for e in ranking
+        if e.category is ServiceCategory.STREAMING and e.service_name not in exclude
+    )
+
+
+def uplink_fraction(dataset: MobileTrafficDataset) -> float:
+    """Uplink share of the total classified load (§3: below 1/20)."""
+    ul = float(np.asarray(dataset.national_ul).sum())
+    total = dataset.total_volume()
+    return ul / total if total else 0.0
+
+
+__all__ = [
+    "RankingEntry",
+    "rank_services",
+    "category_shares",
+    "video_streaming_share",
+    "uplink_fraction",
+]

@@ -1,0 +1,180 @@
+"""Spatial analyses of §5: Figs. 8, 9 and 10.
+
+- :func:`ranked_commune_curve` — cumulative traffic over ranked communes
+  (Fig. 8 left: "the top 1 % and 10 % of the communes generate over 50 %
+  and 90 % of the Twitter traffic");
+- :func:`per_subscriber_cdf` — the CDF of weekly per-subscriber volume
+  over communes (Fig. 8 right);
+- :func:`pairwise_r2_matrix` / :func:`spatial_correlation_cdf` — the
+  geographic correlation of usage between service pairs (Fig. 10);
+- :func:`activity_grid` — per-subscriber activity rasterized onto a
+  square grid (the data behind the Fig. 9 maps);
+- :func:`technology_contrast` — per-subscriber usage conditioned on 4G
+  availability (the Netflix-vs-coverage argument of Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.correlation import pairwise_r2, upper_triangle
+from repro.dataset.store import MobileTrafficDataset
+
+
+@dataclass(frozen=True)
+class ConcentrationCurve:
+    """Cumulative traffic share over communes ranked by volume."""
+
+    fractions: np.ndarray  # commune-rank fractions in (0, 1]
+    cumulative_share: np.ndarray  # cumulative traffic share at each fraction
+
+    def share_at(self, fraction: float) -> float:
+        """Cumulative share held by the top ``fraction`` of communes."""
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        idx = int(np.searchsorted(self.fractions, fraction))
+        idx = min(idx, len(self.cumulative_share) - 1)
+        return float(self.cumulative_share[idx])
+
+
+def ranked_commune_curve(volumes: np.ndarray) -> ConcentrationCurve:
+    """Build the Fig. 8 (left) concentration curve from commune volumes."""
+    volumes = np.asarray(volumes, dtype=float)
+    if volumes.ndim != 1 or volumes.size == 0:
+        raise ValueError("need a non-empty 1-D volume vector")
+    total = volumes.sum()
+    if total <= 0:
+        raise ValueError("total volume must be positive")
+    ranked = np.sort(volumes)[::-1]
+    cumulative = np.cumsum(ranked) / total
+    fractions = np.arange(1, len(ranked) + 1) / len(ranked)
+    return ConcentrationCurve(fractions=fractions, cumulative_share=cumulative)
+
+
+def per_subscriber_cdf(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF points (sorted values, cumulative probability)."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError("need a non-empty 1-D value vector")
+    ordered = np.sort(values)
+    prob = np.arange(1, len(ordered) + 1) / len(ordered)
+    return ordered, prob
+
+
+def pairwise_r2_matrix(
+    dataset: MobileTrafficDataset, direction: str
+) -> Tuple[np.ndarray, List[str]]:
+    """(S, S) Pearson r² between per-subscriber commune vectors (Fig. 10).
+
+    Each service is "a vector of the weekly per-subscriber traffic
+    recorded in each commune"; the matrix holds the coefficient of
+    determination for every pair.
+    """
+    matrix = dataset.per_subscriber_matrix(direction)
+    return pairwise_r2(matrix), list(dataset.head_names)
+
+
+def spatial_correlation_cdf(
+    dataset: MobileTrafficDataset, direction: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """CDF of the pairwise r² values (Fig. 10 left)."""
+    matrix, _ = pairwise_r2_matrix(dataset, direction)
+    return per_subscriber_cdf(upper_triangle(matrix))
+
+
+def outlier_scores(
+    dataset: MobileTrafficDataset, direction: str
+) -> Dict[str, float]:
+    """Mean r² of each service against all others (low = outlier).
+
+    Identifies the paper's Netflix and iCloud outliers quantitatively.
+    """
+    matrix, names = pairwise_r2_matrix(dataset, direction)
+    n = len(names)
+    scores = {}
+    for i, name in enumerate(names):
+        others = [j for j in range(n) if j != i]
+        scores[name] = float(matrix[i, others].mean())
+    return scores
+
+
+def activity_grid(
+    dataset: MobileTrafficDataset,
+    service_name: str,
+    direction: str,
+    grid_size: int = 24,
+) -> np.ndarray:
+    """Rasterize per-subscriber activity onto a (grid_size, grid_size) map.
+
+    Each cell averages the per-subscriber weekly volume of the communes
+    whose centroid falls in it (weighted by subscribers); empty cells are
+    NaN.  This is the quantity colour-coded in the Fig. 9 maps.
+    """
+    if grid_size < 2:
+        raise ValueError(f"grid_size must be >= 2, got {grid_size}")
+    per_sub = dataset.per_subscriber_volumes(service_name, direction)
+    users = dataset.users
+    xy = dataset.coordinates
+    span = xy.max(axis=0) - xy.min(axis=0)
+    span[span == 0] = 1.0
+    cols = np.clip(
+        ((xy[:, 0] - xy[:, 0].min()) / span[0] * grid_size).astype(int),
+        0,
+        grid_size - 1,
+    )
+    rows = np.clip(
+        ((xy[:, 1] - xy[:, 1].min()) / span[1] * grid_size).astype(int),
+        0,
+        grid_size - 1,
+    )
+    volume = np.zeros((grid_size, grid_size))
+    weight = np.zeros((grid_size, grid_size))
+    np.add.at(volume, (rows, cols), per_sub * users)
+    np.add.at(weight, (rows, cols), users)
+    with np.errstate(invalid="ignore"):
+        grid = volume / weight
+    grid[weight == 0] = np.nan
+    return grid
+
+
+def technology_contrast(
+    dataset: MobileTrafficDataset, service_name: str, direction: str
+) -> Dict[str, float]:
+    """Mean per-subscriber usage in 4G vs 3G-only communes.
+
+    The paper's Fig. 9 argument: Netflix usage follows the 4G footprint
+    (large contrast), while Twitter's does not (3G "already provides
+    sufficient performance").
+    """
+    per_sub = dataset.per_subscriber_volumes(service_name, direction)
+    users = dataset.users
+    has_4g = dataset.has_4g.astype(bool)
+    only_3g = dataset.has_3g.astype(bool) & ~has_4g
+
+    def weighted_mean(mask: np.ndarray) -> float:
+        if not mask.any() or users[mask].sum() == 0:
+            return 0.0
+        return float((per_sub[mask] * users[mask]).sum() / users[mask].sum())
+
+    mean_4g = weighted_mean(has_4g)
+    mean_3g = weighted_mean(only_3g)
+    return {
+        "mean_4g": mean_4g,
+        "mean_3g_only": mean_3g,
+        "ratio_4g_over_3g": mean_4g / mean_3g if mean_3g > 0 else float("inf"),
+    }
+
+
+__all__ = [
+    "ConcentrationCurve",
+    "ranked_commune_curve",
+    "per_subscriber_cdf",
+    "pairwise_r2_matrix",
+    "spatial_correlation_cdf",
+    "outlier_scores",
+    "activity_grid",
+    "technology_contrast",
+]

@@ -1,0 +1,123 @@
+"""Urbanization analysis (§5, Fig. 11).
+
+Two questions, two functions:
+
+- **how much** does the typical subscriber in each region type consume?
+  :func:`volume_ratio_slopes` regresses the per-subscriber time series of
+  semi-urban / rural / TGV regions against the urban one ("each bar
+  represents the slope of the linear least square regression of
+  per-subscriber time series in urban and ... regions");
+- **when** do they consume?  :func:`cross_region_r2` computes "the mean
+  coefficient of determination between the time series of a same service
+  recorded in one type of region and those of the other types".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.correlation import pearson_r2
+from repro.dataset.store import MobileTrafficDataset
+from repro.geo.urbanization import UrbanizationClass
+
+#: Region types compared against urban in the Fig. 11 (top) ratios.
+COMPARED_CLASSES = (
+    UrbanizationClass.SEMI_URBAN,
+    UrbanizationClass.RURAL,
+    UrbanizationClass.TGV,
+)
+
+
+def regression_slope(y: np.ndarray, x: np.ndarray) -> float:
+    """Least-squares slope of ``y ≈ slope * x`` (through the origin).
+
+    Traffic series are ratios of positive quantities with a common zero
+    (no users, no traffic), so the regression is anchored at the origin;
+    the slope is then exactly the volume ratio the paper plots.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("need two 1-D series of equal length")
+    denom = float(x @ x)
+    if denom == 0:
+        return 0.0
+    return float((y @ x) / denom)
+
+
+def volume_ratio_slopes(
+    dataset: MobileTrafficDataset,
+    service_name: str,
+    direction: str = "dl",
+) -> Dict[UrbanizationClass, float]:
+    """Fig. 11 (top): per-user volume ratio of each region type vs urban."""
+    urban = dataset.region_series(service_name, direction, UrbanizationClass.URBAN)
+    out: Dict[UrbanizationClass, float] = {}
+    for cls in COMPARED_CLASSES:
+        series = dataset.region_series(service_name, direction, cls)
+        out[cls] = regression_slope(series, urban)
+    return out
+
+
+def cross_region_r2(
+    dataset: MobileTrafficDataset,
+    service_name: str,
+    direction: str = "dl",
+) -> Dict[UrbanizationClass, float]:
+    """Fig. 11 (bottom): mean r² of each region's series vs the others."""
+    classes = list(UrbanizationClass)
+    series = {
+        cls: dataset.region_series(service_name, direction, cls)
+        for cls in classes
+    }
+    out: Dict[UrbanizationClass, float] = {}
+    for cls in classes:
+        others = [c for c in classes if c is not cls]
+        out[cls] = float(
+            np.mean([pearson_r2(series[cls], series[c]) for c in others])
+        )
+    return out
+
+
+def all_services_slopes(
+    dataset: MobileTrafficDataset, direction: str = "dl"
+) -> Dict[str, Dict[UrbanizationClass, float]]:
+    """Volume-ratio slopes for every head service."""
+    return {
+        name: volume_ratio_slopes(dataset, name, direction)
+        for name in dataset.head_names
+    }
+
+
+def all_services_cross_r2(
+    dataset: MobileTrafficDataset, direction: str = "dl"
+) -> Dict[str, Dict[UrbanizationClass, float]]:
+    """Cross-region temporal r² for every head service."""
+    return {
+        name: cross_region_r2(dataset, name, direction)
+        for name in dataset.head_names
+    }
+
+
+def summarize_slopes(
+    slopes: Dict[str, Dict[UrbanizationClass, float]]
+) -> Dict[UrbanizationClass, float]:
+    """Mean slope per region type over all services."""
+    out: Dict[UrbanizationClass, List[float]] = {c: [] for c in COMPARED_CLASSES}
+    for per_service in slopes.values():
+        for cls in COMPARED_CLASSES:
+            out[cls].append(per_service[cls])
+    return {cls: float(np.mean(values)) for cls, values in out.items()}
+
+
+__all__ = [
+    "COMPARED_CLASSES",
+    "regression_slope",
+    "volume_ratio_slopes",
+    "cross_region_r2",
+    "all_services_slopes",
+    "all_services_cross_r2",
+    "summarize_slopes",
+]

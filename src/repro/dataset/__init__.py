@@ -1,0 +1,41 @@
+"""The dataset pipeline.
+
+Turns probe records into the commune-level dataset the paper analyses
+(§2): DPI classification, ULI-based geo-referencing, and aggregation over
+communes — the aggregation being the anonymization boundary (no
+individual data survives it).
+
+- :mod:`repro.dataset.store` — :class:`MobileTrafficDataset`, the single
+  interface every analysis consumes, with npz persistence;
+- :mod:`repro.dataset.aggregation` — streaming aggregator from probe
+  records to the dataset;
+- :mod:`repro.dataset.builder` — end-to-end builders for both workload
+  resolutions.
+"""
+
+from repro.dataset.aggregation import CommuneAggregator
+from repro.dataset.store import MobileTrafficDataset
+
+__all__ = [
+    "MobileTrafficDataset",
+    "CommuneAggregator",
+    "PipelineArtifacts",
+    "build_session_level_dataset",
+    "build_volume_level_dataset",
+]
+
+_BUILDER_EXPORTS = (
+    "PipelineArtifacts",
+    "build_session_level_dataset",
+    "build_volume_level_dataset",
+)
+
+
+def __getattr__(name):
+    # The builder pulls in repro.traffic, which itself needs
+    # repro.dataset.store — loading it lazily breaks that cycle.
+    if name in _BUILDER_EXPORTS:
+        from repro.dataset import builder
+
+        return getattr(builder, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

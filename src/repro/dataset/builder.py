@@ -1,0 +1,171 @@
+"""End-to-end dataset builders for both workload resolutions.
+
+``build_volume_level_dataset`` is the fast path used by the figure
+benchmarks; ``build_session_level_dataset`` runs the full measurement
+chain (subscribers → network → GTP → probe → DPI → aggregation) at a
+configurable scale and is what validates the fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro._rng import SeedLike, as_generator, spawn
+from repro._time import TimeAxis
+from repro.dataset.aggregation import CommuneAggregator
+from repro.dataset.store import MobileTrafficDataset
+from repro.dpi.classifier import ClassificationReport, DpiEngine
+from repro.dpi.fingerprints import FingerprintDatabase
+from repro.geo.country import Country, CountryConfig, build_country
+from repro.network.probes import CoreProbe
+from repro.network.topology import build_topology
+from repro.services.catalog import ServiceCatalog, build_catalog
+from repro.services.profiles import ProfileLibrary, build_profile_library
+from repro.traffic.generator import SessionLevelGenerator, WorkloadConfig
+from repro.traffic.intensity import IntensityModel, build_intensity_model
+from repro.traffic.subscribers import synthesize_population
+from repro.traffic.volume_model import VolumeModelConfig, synthesize_volume_dataset
+
+
+@dataclass
+class PipelineArtifacts:
+    """Everything a builder created, for callers who need the internals."""
+
+    country: Country
+    catalog: ServiceCatalog
+    profiles: ProfileLibrary
+    model: IntensityModel
+    dataset: MobileTrafficDataset
+    dpi_report: Optional[ClassificationReport] = None
+    extras: dict = field(default_factory=dict)
+
+
+def build_volume_level_dataset(
+    country: Optional[Country] = None,
+    country_config: CountryConfig = CountryConfig(),
+    axis: TimeAxis = TimeAxis(1),
+    total_weekly_bytes: Optional[float] = None,
+    volume_config: VolumeModelConfig = VolumeModelConfig(),
+    n_services: int = 520,
+    seed: SeedLike = None,
+) -> PipelineArtifacts:
+    """Build a nationwide-scale dataset with the closed-form volume model."""
+    rng = as_generator(seed)
+    if country is None:
+        country = build_country(country_config, seed=spawn(rng, "builder.country"))
+    catalog = build_catalog(n_services=n_services)
+    profiles = build_profile_library()
+    model = build_intensity_model(
+        country,
+        catalog,
+        profiles,
+        axis=axis,
+        total_weekly_bytes=total_weekly_bytes,
+        seed=spawn(rng, "builder.intensity"),
+    )
+    dataset = synthesize_volume_dataset(
+        model, config=volume_config, seed=spawn(rng, "builder.volume")
+    )
+    return PipelineArtifacts(
+        country=country,
+        catalog=catalog,
+        profiles=profiles,
+        model=model,
+        dataset=dataset,
+    )
+
+
+def build_session_level_dataset(
+    n_subscribers: int = 2_000,
+    country: Optional[Country] = None,
+    country_config: CountryConfig = CountryConfig(n_communes=400),
+    axis: TimeAxis = TimeAxis(1),
+    total_weekly_bytes: Optional[float] = None,
+    workload_config: WorkloadConfig = WorkloadConfig(),
+    n_services: int = 60,
+    unclassifiable_rate: float = 0.12,
+    control_loss_rate: float = 0.0,
+    audit_localization: bool = False,
+    seed: SeedLike = None,
+) -> PipelineArtifacts:
+    """Run the full measurement chain at session resolution.
+
+    The returned artifacts include the DPI classification report and, in
+    ``extras``, the generator and probe objects for deeper inspection;
+    with ``audit_localization=True`` a
+    :class:`~repro.network.localization.LocalizationAuditor` measures
+    the ULI error of every flow (``extras["auditor"]``).
+    """
+    rng = as_generator(seed)
+    if country is None:
+        country = build_country(country_config, seed=spawn(rng, "builder.country"))
+    catalog = build_catalog(n_services=n_services)
+    profiles = build_profile_library()
+    model = build_intensity_model(
+        country,
+        catalog,
+        profiles,
+        axis=axis,
+        total_weekly_bytes=total_weekly_bytes,
+        seed=spawn(rng, "builder.intensity"),
+    )
+    topology = build_topology(country, seed=spawn(rng, "builder.topology"))
+    population = synthesize_population(
+        country, model, n_subscribers, seed=spawn(rng, "builder.population")
+    )
+    fingerprints = FingerprintDatabase(
+        catalog,
+        unclassifiable_rate=unclassifiable_rate,
+        seed=spawn(rng, "builder.fingerprints"),
+    )
+    generator = SessionLevelGenerator(
+        model,
+        population,
+        topology,
+        fingerprints,
+        config=workload_config,
+        seed=spawn(rng, "builder.generator"),
+    )
+    probe = CoreProbe(control_loss_rate=control_loss_rate, seed=7).attach_to(
+        generator.session_manager
+    )
+    auditor = None
+    if audit_localization:
+        from repro.network.localization import LocalizationAuditor
+
+        auditor = LocalizationAuditor(
+            topology, seed=spawn(rng, "builder.auditor")
+        )
+        generator.auditor = auditor
+
+    generator.run_week()
+
+    engine = DpiEngine(FingerprintDatabase(catalog, seed=0))
+    aggregator = CommuneAggregator(country, catalog, engine, axis=axis)
+    aggregator.ingest_all(probe.drain())
+    dataset = aggregator.finalize()
+
+    return PipelineArtifacts(
+        country=country,
+        catalog=catalog,
+        profiles=profiles,
+        model=model,
+        dataset=dataset,
+        dpi_report=engine.report,
+        extras={
+            "generator": generator,
+            "probe": probe,
+            "population": population,
+            "topology": topology,
+            "aggregator": aggregator,
+            "auditor": auditor,
+        },
+    )
+
+
+__all__ = [
+    "PipelineArtifacts",
+    "build_volume_level_dataset",
+    "build_session_level_dataset",
+]

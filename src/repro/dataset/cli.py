@@ -1,0 +1,147 @@
+"""Command-line dataset tooling: ``repro-dataset``.
+
+Examples::
+
+    repro-dataset build --communes 1600 --seed 7 --out week.npz
+    repro-dataset build --session --subscribers 2000 --out panel.npz
+    repro-dataset info week.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro._units import format_bytes
+from repro.dataset.store import MobileTrafficDataset
+from repro.geo.urbanization import UrbanizationClass
+from repro.report.tables import format_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dataset",
+        description="Build and inspect synthetic nationwide mobile traffic datasets.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="synthesize a dataset and save it")
+    build.add_argument("--communes", type=int, default=1_600)
+    build.add_argument("--seed", type=int, default=7)
+    build.add_argument("--out", required=True, metavar="PATH")
+    build.add_argument(
+        "--session",
+        action="store_true",
+        help="run the session-level pipeline instead of the volume model",
+    )
+    build.add_argument(
+        "--subscribers",
+        type=int,
+        default=2_000,
+        help="panel size for --session runs",
+    )
+
+    info = sub.add_parser("info", help="summarize a saved dataset")
+    info.add_argument("path", metavar="PATH")
+
+    maps = sub.add_parser(
+        "maps", help="export per-subscriber activity maps as PGM images"
+    )
+    maps.add_argument("path", metavar="PATH")
+    maps.add_argument(
+        "--services",
+        nargs="+",
+        default=["Twitter", "Netflix"],
+        help="head services to map",
+    )
+    maps.add_argument("--grid", type=int, default=64)
+    maps.add_argument("--out-dir", default="maps", metavar="DIR")
+    return parser
+
+
+def _build(args: argparse.Namespace) -> int:
+    from repro.dataset.builder import (
+        build_session_level_dataset,
+        build_volume_level_dataset,
+    )
+    from repro.geo.country import CountryConfig
+
+    config = CountryConfig(n_communes=args.communes)
+    if args.session:
+        artifacts = build_session_level_dataset(
+            n_subscribers=args.subscribers,
+            country_config=config,
+            seed=args.seed,
+        )
+    else:
+        artifacts = build_volume_level_dataset(
+            country_config=config, seed=args.seed
+        )
+    path = artifacts.dataset.save(args.out)
+    print(f"dataset written to {path}")
+    return 0
+
+
+def _info(args: argparse.Namespace) -> int:
+    dataset = MobileTrafficDataset.load(args.path)
+    rows = [
+        ("communes", dataset.n_communes),
+        ("head services", dataset.n_head),
+        ("catalog services", len(dataset.all_service_names)),
+        ("time bins", f"{dataset.n_bins} ({dataset.axis.bins_per_hour}/hour)"),
+        ("total weekly volume", format_bytes(dataset.total_volume())),
+        ("uplink share", f"{dataset.national_ul.sum() / dataset.total_volume():.1%}"),
+        ("subscribers observed", f"{dataset.users.sum():,.0f}"),
+        ("DPI classified fraction", f"{dataset.classified_fraction:.1%}"),
+    ]
+    for cls in UrbanizationClass:
+        count = int(dataset.class_mask(cls).sum())
+        rows.append((f"{cls.label} communes", count))
+    print(format_table(("property", "value"), rows, title=str(args.path)))
+
+    volumes = dataset.dl.sum(axis=(0, 2)) + dataset.ul.sum(axis=(0, 2))
+    order = np.argsort(volumes)[::-1][:5]
+    rows = [
+        (dataset.head_names[j], format_bytes(float(volumes[j])))
+        for j in order
+    ]
+    print()
+    print(format_table(("top service", "weekly volume"), rows))
+    return 0
+
+
+def _maps(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core.spatial_analysis import activity_grid
+    from repro.report.image import write_pgm
+
+    dataset = MobileTrafficDataset.load(args.path)
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for service in args.services:
+        grid = activity_grid(dataset, service, "dl", grid_size=args.grid)
+        path = write_pgm(
+            grid, out_dir / f"{service.lower().replace(' ', '_')}.pgm"
+        )
+        print(f"wrote {path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "build":
+        return _build(args)
+    if args.command == "info":
+        return _info(args)
+    if args.command == "maps":
+        return _maps(args)
+    print(f"unknown command {args.command!r}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

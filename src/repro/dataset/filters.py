@@ -1,0 +1,130 @@
+"""Dataset views: subsetting by services, communes, region, or time.
+
+Analyses often need a slice of the dataset — one region's communes, a
+few services, a sub-week window.  These helpers return new
+:class:`~repro.dataset.store.MobileTrafficDataset` objects (copies, not
+views) so everything downstream keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.dataset.store import MobileTrafficDataset
+from repro.geo.urbanization import UrbanizationClass
+
+
+def select_communes(
+    dataset: MobileTrafficDataset, commune_ids: Sequence[int]
+) -> MobileTrafficDataset:
+    """Restrict the dataset to a set of communes.
+
+    Note: national totals (``national_dl``/``national_ul``) keep their
+    nationwide meaning and are *not* rescaled — Fig. 2/3 statistics are
+    defined nationally.
+    """
+    index = np.asarray(commune_ids, dtype=int)
+    if index.ndim != 1 or index.size == 0:
+        raise ValueError("commune_ids must be a non-empty 1-D sequence")
+    if index.min() < 0 or index.max() >= dataset.n_communes:
+        raise ValueError("commune_ids out of range")
+    return replace(
+        dataset,
+        dl=dataset.dl[index],
+        ul=dataset.ul[index],
+        users=dataset.users[index],
+        commune_classes=dataset.commune_classes[index],
+        density=dataset.density[index],
+        coordinates=dataset.coordinates[index],
+        has_3g=dataset.has_3g[index],
+        has_4g=dataset.has_4g[index],
+    )
+
+
+def select_region(
+    dataset: MobileTrafficDataset, cls: UrbanizationClass
+) -> MobileTrafficDataset:
+    """Restrict the dataset to one urbanization class."""
+    ids = np.nonzero(dataset.class_mask(cls))[0]
+    if ids.size == 0:
+        raise ValueError(f"dataset has no {cls.label} communes")
+    return select_communes(dataset, ids)
+
+
+def select_services(
+    dataset: MobileTrafficDataset, service_names: Sequence[str]
+) -> MobileTrafficDataset:
+    """Restrict the head tensors to a subset of head services.
+
+    The full-catalog national totals are narrowed to the same subset so
+    rank analyses on the filtered dataset stay self-consistent.
+    """
+    names = list(service_names)
+    if not names:
+        raise ValueError("service_names must be non-empty")
+    head_idx = np.array([dataset.head_index(name) for name in names])
+    catalog_idx = np.array(
+        [dataset.all_service_names.index(name) for name in names]
+    )
+    return replace(
+        dataset,
+        head_names=names,
+        all_service_names=names,
+        dl=dataset.dl[:, head_idx, :],
+        ul=dataset.ul[:, head_idx, :],
+        national_dl=np.asarray(dataset.national_dl)[catalog_idx],
+        national_ul=np.asarray(dataset.national_ul)[catalog_idx],
+    )
+
+
+def select_days(
+    dataset: MobileTrafficDataset, days: Sequence[int]
+) -> MobileTrafficDataset:
+    """Restrict the tensors to a set of days (0 = Saturday).
+
+    The resulting dataset keeps the full weekly axis with the other
+    days zeroed, so time-of-week bookkeeping stays valid; per-service
+    national head totals are recomputed over the kept days.
+    """
+    days = sorted(set(int(d) for d in days))
+    if not days or any(not 0 <= d < 7 for d in days):
+        raise ValueError("days must be a non-empty subset of 0..6")
+    bins_per_day = dataset.n_bins // 7
+    mask = np.zeros(dataset.n_bins, dtype=bool)
+    for d in days:
+        mask[d * bins_per_day : (d + 1) * bins_per_day] = True
+    dl = dataset.dl * mask[None, None, :].astype(dataset.dl.dtype)
+    ul = dataset.ul * mask[None, None, :].astype(dataset.ul.dtype)
+
+    national_dl = np.asarray(dataset.national_dl, dtype=float).copy()
+    national_ul = np.asarray(dataset.national_ul, dtype=float).copy()
+    for j, name in enumerate(dataset.head_names):
+        catalog_j = dataset.all_service_names.index(name)
+        national_dl[catalog_j] = dl[:, j, :].sum()
+        national_ul[catalog_j] = ul[:, j, :].sum()
+    return replace(
+        dataset, dl=dl, ul=ul, national_dl=national_dl, national_ul=national_ul
+    )
+
+
+def weekend_only(dataset: MobileTrafficDataset) -> MobileTrafficDataset:
+    """The Saturday-Sunday view."""
+    return select_days(dataset, (0, 1))
+
+
+def workdays_only(dataset: MobileTrafficDataset) -> MobileTrafficDataset:
+    """The Monday-Friday view."""
+    return select_days(dataset, (2, 3, 4, 5, 6))
+
+
+__all__ = [
+    "select_communes",
+    "select_region",
+    "select_services",
+    "select_days",
+    "weekend_only",
+    "workdays_only",
+]

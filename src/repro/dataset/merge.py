@@ -1,0 +1,79 @@
+"""Merging datasets from sharded runs.
+
+Session-level generation parallelizes naturally by splitting the
+subscriber panel into shards and running each through its own pipeline
+over the *same country*; :func:`merge_panels` recombines the resulting
+datasets.  Traffic tensors and national totals add; users add (the
+shards observe disjoint subscribers); the classified fraction is
+volume-weighted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.dataset.store import MobileTrafficDataset
+
+
+def _check_compatible(datasets: Sequence[MobileTrafficDataset]) -> None:
+    first = datasets[0]
+    for other in datasets[1:]:
+        if other.head_names != first.head_names:
+            raise ValueError("datasets have different head services")
+        if other.all_service_names != first.all_service_names:
+            raise ValueError("datasets have different catalogs")
+        if other.dl.shape != first.dl.shape:
+            raise ValueError(
+                f"tensor shapes differ: {other.dl.shape} vs {first.dl.shape}"
+            )
+        if other.axis.bins_per_hour != first.axis.bins_per_hour:
+            raise ValueError("datasets have different time resolutions")
+        if not np.array_equal(other.commune_classes, first.commune_classes):
+            raise ValueError(
+                "datasets cover different countries (commune classes differ)"
+            )
+
+
+def merge_panels(
+    datasets: Sequence[MobileTrafficDataset],
+) -> MobileTrafficDataset:
+    """Merge datasets produced by disjoint subscriber panels.
+
+    All datasets must share the country (same communes and metadata) and
+    the catalog.  Returns a new dataset; inputs are unchanged.
+    """
+    datasets = list(datasets)
+    if not datasets:
+        raise ValueError("nothing to merge")
+    if len(datasets) == 1:
+        return datasets[0]
+    _check_compatible(datasets)
+
+    first = datasets[0]
+    dl = np.sum([d.dl for d in datasets], axis=0, dtype=np.float64)
+    ul = np.sum([d.ul for d in datasets], axis=0, dtype=np.float64)
+    national_dl = np.sum([np.asarray(d.national_dl) for d in datasets], axis=0)
+    national_ul = np.sum([np.asarray(d.national_ul) for d in datasets], axis=0)
+    users = np.sum([d.users for d in datasets], axis=0)
+
+    volumes = np.array([d.total_volume() for d in datasets])
+    fractions = np.array([d.classified_fraction for d in datasets])
+    total = volumes.sum()
+    classified = float((volumes * fractions).sum() / total) if total else 0.0
+
+    return replace(
+        first,
+        dl=dl.astype(np.float32),
+        ul=ul.astype(np.float32),
+        national_dl=national_dl,
+        national_ul=national_ul,
+        users=users,
+        classified_fraction=classified,
+        meta={**first.meta, "merged_panels": float(len(datasets))},
+    )
+
+
+__all__ = ["merge_panels"]

@@ -1,0 +1,221 @@
+"""The commune-level mobile traffic dataset.
+
+:class:`MobileTrafficDataset` is the reproduction of the paper's working
+dataset: per-commune, per-head-service, per-time-bin traffic volumes in
+both directions, national weekly totals for the full service catalog,
+the average subscriber count per commune, and the geographic metadata
+(urbanization class, density, coverage) the spatial analyses need.
+
+Everything downstream — every figure — reads only from this object, so
+the analyses cannot tell whether the data came from the session-level
+pipeline or from the closed-form volume model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro._time import TimeAxis
+from repro.geo.urbanization import UrbanizationClass
+
+
+@dataclass
+class MobileTrafficDataset:
+    """Commune × head-service × time traffic tensors plus metadata."""
+
+    axis: TimeAxis
+    head_names: List[str]
+    all_service_names: List[str]
+    #: (n_communes, n_head, n_bins) weekly traffic, bytes, float32.
+    dl: np.ndarray
+    ul: np.ndarray
+    #: (n_services,) national weekly totals over the *full* catalog.
+    national_dl: np.ndarray
+    national_ul: np.ndarray
+    #: (n_communes,) average subscribers per commune.
+    users: np.ndarray
+    #: (n_communes,) urbanization class values.
+    commune_classes: np.ndarray
+    #: (n_communes,) population density.
+    density: np.ndarray
+    #: (n_communes, 2) commune coordinates, km.
+    coordinates: np.ndarray
+    #: (n_communes,) coverage masks.
+    has_3g: np.ndarray
+    has_4g: np.ndarray
+    #: Fraction of traffic volume the DPI attributed to a service.
+    classified_fraction: float = 1.0
+    meta: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        c, s, t = self.dl.shape
+        if self.ul.shape != (c, s, t):
+            raise ValueError(f"ul shape {self.ul.shape} != dl shape {self.dl.shape}")
+        if s != len(self.head_names):
+            raise ValueError(
+                f"{s} head slices for {len(self.head_names)} head names"
+            )
+        if t != self.axis.n_bins:
+            raise ValueError(f"{t} time bins, axis expects {self.axis.n_bins}")
+        if len(self.national_dl) != len(self.all_service_names):
+            raise ValueError("national totals do not cover the full catalog")
+        for name, arr in (
+            ("users", self.users),
+            ("commune_classes", self.commune_classes),
+            ("density", self.density),
+            ("has_3g", self.has_3g),
+            ("has_4g", self.has_4g),
+        ):
+            if arr.shape[0] != c:
+                raise ValueError(f"{name} has {arr.shape[0]} rows, expected {c}")
+        if self.coordinates.shape != (c, 2):
+            raise ValueError(
+                f"coordinates shape {self.coordinates.shape}, expected ({c}, 2)"
+            )
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_communes(self) -> int:
+        return self.dl.shape[0]
+
+    @property
+    def n_head(self) -> int:
+        return self.dl.shape[1]
+
+    @property
+    def n_bins(self) -> int:
+        return self.dl.shape[2]
+
+    def head_index(self, service_name: str) -> int:
+        """Index of a head service by name."""
+        try:
+            return self.head_names.index(service_name)
+        except ValueError:
+            raise KeyError(
+                f"{service_name!r} is not a head service of this dataset"
+            ) from None
+
+    def tensor(self, direction: str) -> np.ndarray:
+        """The (C, S, T) tensor for one direction."""
+        if direction == "dl":
+            return self.dl
+        if direction == "ul":
+            return self.ul
+        raise ValueError(f"direction must be 'dl' or 'ul', got {direction!r}")
+
+    # ------------------------------------------------------------------
+    # the paper's standard views
+    # ------------------------------------------------------------------
+    def national_series(self, service_name: str, direction: str) -> np.ndarray:
+        """Nationwide weekly time series of one head service (§4)."""
+        j = self.head_index(service_name)
+        return self.tensor(direction)[:, j, :].sum(axis=0).astype(float)
+
+    def all_national_series(self, direction: str) -> np.ndarray:
+        """(n_head, n_bins) nationwide series of every head service."""
+        return self.tensor(direction).sum(axis=0).astype(float)
+
+    def commune_volumes(self, service_name: str, direction: str) -> np.ndarray:
+        """(n_communes,) weekly volume of one service per commune (§5)."""
+        j = self.head_index(service_name)
+        return self.tensor(direction)[:, j, :].sum(axis=1).astype(float)
+
+    def per_subscriber_volumes(
+        self, service_name: str, direction: str
+    ) -> np.ndarray:
+        """(n_communes,) weekly per-subscriber volume — the paper's
+        "ratio of the traffic volume to the average number of users in
+        each commune"."""
+        volumes = self.commune_volumes(service_name, direction)
+        return volumes / np.maximum(self.users, 1.0)
+
+    def per_subscriber_matrix(self, direction: str) -> np.ndarray:
+        """(n_communes, n_head) per-subscriber volumes for all services."""
+        volumes = self.tensor(direction).sum(axis=2).astype(float)
+        return volumes / np.maximum(self.users, 1.0)[:, None]
+
+    def class_mask(self, cls: UrbanizationClass) -> np.ndarray:
+        """Boolean mask of communes in one urbanization class."""
+        return self.commune_classes == int(cls)
+
+    def region_series(
+        self, service_name: str, direction: str, cls: UrbanizationClass
+    ) -> np.ndarray:
+        """Per-subscriber time series aggregated over one region type (§5)."""
+        j = self.head_index(service_name)
+        mask = self.class_mask(cls)
+        if not mask.any():
+            raise ValueError(f"dataset has no {cls.label} communes")
+        volume = self.tensor(direction)[mask, j, :].sum(axis=0).astype(float)
+        return volume / max(float(self.users[mask].sum()), 1.0)
+
+    def service_rank_volumes(self, direction: str) -> np.ndarray:
+        """Descending national volumes over the full catalog (Fig. 2)."""
+        totals = self.national_dl if direction == "dl" else self.national_ul
+        if direction not in ("dl", "ul"):
+            raise ValueError(f"direction must be 'dl' or 'ul', got {direction!r}")
+        return np.sort(np.asarray(totals, dtype=float))[::-1]
+
+    def total_volume(self) -> float:
+        """Total classified weekly traffic, both directions."""
+        return float(self.national_dl.sum() + self.national_ul.sum())
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Save to an ``.npz`` archive; returns the written path."""
+        path = Path(path)
+        np.savez_compressed(
+            path,
+            bins_per_hour=np.array([self.axis.bins_per_hour]),
+            head_names=np.array(self.head_names),
+            all_service_names=np.array(self.all_service_names),
+            dl=self.dl,
+            ul=self.ul,
+            national_dl=self.national_dl,
+            national_ul=self.national_ul,
+            users=self.users,
+            commune_classes=self.commune_classes,
+            density=self.density,
+            coordinates=self.coordinates,
+            has_3g=self.has_3g,
+            has_4g=self.has_4g,
+            classified_fraction=np.array([self.classified_fraction]),
+            meta_keys=np.array(sorted(self.meta.keys())),
+            meta_values=np.array([self.meta[k] for k in sorted(self.meta.keys())]),
+        )
+        return path if path.suffix == ".npz" else path.with_suffix(".npz")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "MobileTrafficDataset":
+        """Load a dataset previously written by :meth:`save`."""
+        with np.load(Path(path), allow_pickle=False) as data:
+            meta_keys = [str(k) for k in data["meta_keys"]]
+            meta_values = data["meta_values"]
+            return cls(
+                axis=TimeAxis(int(data["bins_per_hour"][0])),
+                head_names=[str(n) for n in data["head_names"]],
+                all_service_names=[str(n) for n in data["all_service_names"]],
+                dl=data["dl"],
+                ul=data["ul"],
+                national_dl=data["national_dl"],
+                national_ul=data["national_ul"],
+                users=data["users"],
+                commune_classes=data["commune_classes"],
+                density=data["density"],
+                coordinates=data["coordinates"],
+                has_3g=data["has_3g"],
+                has_4g=data["has_4g"],
+                classified_fraction=float(data["classified_fraction"][0]),
+                meta=dict(zip(meta_keys, (float(v) for v in meta_values))),
+            )
+
+
+__all__ = ["MobileTrafficDataset"]

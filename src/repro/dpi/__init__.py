@@ -1,0 +1,29 @@
+"""Deep Packet Inspection substrate.
+
+The operator's proprietary DPI classifies 88 % of the mobile traffic into
+services "via Deep Packet Inspection and multiple fingerprinting
+techniques, each tailored to a specific traffic type" (§2).  We rebuild
+that pipeline:
+
+- :mod:`repro.dpi.fingerprints` — the fingerprint database: per-service
+  TLS SNI suffixes, HTTP host suffixes, port/protocol signatures and
+  payload hints, and the *emitter* side that stamps synthetic flows with
+  the service's real-world fingerprint material;
+- :mod:`repro.dpi.classifier` — the classification engine matching flow
+  descriptors back to services, with per-technique attribution and
+  coverage accounting.
+"""
+
+from repro.dpi.classifier import ClassificationReport, DpiEngine, Technique
+from repro.dpi.fingerprints import FingerprintDatabase, ServiceFingerprint
+from repro.dpi.validation import ConfusionReport, confusion_matrix
+
+__all__ = [
+    "ServiceFingerprint",
+    "FingerprintDatabase",
+    "DpiEngine",
+    "Technique",
+    "ClassificationReport",
+    "ConfusionReport",
+    "confusion_matrix",
+]

@@ -1,0 +1,146 @@
+"""The DPI classification engine.
+
+Matches :class:`~repro.network.gtp.FlowDescriptor` features against the
+fingerprint database using a cascade of techniques, in decreasing order
+of reliability — mirroring the "multiple fingerprinting techniques, each
+tailored to a specific traffic type" of §2:
+
+1. **SNI** — TLS server-name suffix match;
+2. **HOST** — clear-text HTTP host suffix match;
+3. **PAYLOAD** — stateful payload hints (QUIC tags, proprietary
+   protocols);
+4. **PORT** — well-known (port, protocol) signatures.
+
+Flows matching nothing stay unclassified; with the default emitter
+settings the engine classifies ≈88 % of the volume, the paper's rate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dpi.fingerprints import FingerprintDatabase
+from repro.network.gtp import FlowDescriptor
+
+
+class Technique(enum.Enum):
+    """Classification techniques, in match-priority order."""
+
+    SNI = "sni"
+    HOST = "host"
+    PAYLOAD = "payload"
+    PORT = "port"
+
+
+@dataclass
+class ClassificationReport:
+    """Aggregate accounting of a classification run."""
+
+    flows_total: int = 0
+    flows_classified: int = 0
+    bytes_total: float = 0.0
+    bytes_classified: float = 0.0
+    by_technique: Dict[Technique, int] = field(
+        default_factory=lambda: {t: 0 for t in Technique}
+    )
+
+    @property
+    def flow_coverage(self) -> float:
+        """Fraction of flows attributed to a service."""
+        return self.flows_classified / self.flows_total if self.flows_total else 0.0
+
+    @property
+    def byte_coverage(self) -> float:
+        """Fraction of traffic volume attributed to a service (the 88 %)."""
+        return self.bytes_classified / self.bytes_total if self.bytes_total else 0.0
+
+    def record(
+        self, technique: Optional[Technique], volume_bytes: float
+    ) -> None:
+        """Account one flow's outcome."""
+        self.flows_total += 1
+        self.bytes_total += volume_bytes
+        if technique is not None:
+            self.flows_classified += 1
+            self.bytes_classified += volume_bytes
+            self.by_technique[technique] += 1
+
+
+class DpiEngine:
+    """Flow-to-service classifier over a fingerprint database."""
+
+    def __init__(self, database: FingerprintDatabase):
+        self._db = database
+        # Build inverted indices once; lookups are then O(#labels) for
+        # suffix matches and O(1) for ports/hints.
+        self._sni_index: List[Tuple[str, str]] = []
+        self._host_index: List[Tuple[str, str]] = []
+        self._hint_index: Dict[str, str] = {}
+        self._port_index: Dict[Tuple[int, str], str] = {}
+        for fp in database.all_fingerprints():
+            for suffix in fp.sni_suffixes:
+                self._sni_index.append((suffix, fp.service_name))
+            for suffix in fp.host_suffixes:
+                self._host_index.append((suffix, fp.service_name))
+            for hint in fp.payload_hints:
+                self._hint_index[hint] = fp.service_name
+            for port, protocol in fp.port_signatures:
+                self._port_index[(port, protocol)] = fp.service_name
+        # Longest suffix first, so "video.xx.fbcdn.net" beats "fbcdn.net".
+        self._sni_index.sort(key=lambda item: len(item[0]), reverse=True)
+        self._host_index.sort(key=lambda item: len(item[0]), reverse=True)
+        self.report = ClassificationReport()
+
+    def classify(
+        self, flow: FlowDescriptor, volume_bytes: float = 0.0
+    ) -> Optional[str]:
+        """Return the service name for a flow, or None if unclassifiable.
+
+        ``volume_bytes`` feeds the byte-coverage accounting of
+        :attr:`report`.
+        """
+        outcome = self._match(flow)
+        technique = outcome[1] if outcome else None
+        self.report.record(technique, volume_bytes)
+        return outcome[0] if outcome else None
+
+    def _match(self, flow: FlowDescriptor) -> Optional[Tuple[str, Technique]]:
+        if flow.sni:
+            service = _suffix_lookup(self._sni_index, flow.sni)
+            if service:
+                return service, Technique.SNI
+        if flow.host:
+            service = _suffix_lookup(self._host_index, flow.host)
+            if service:
+                return service, Technique.HOST
+        if flow.payload_hint and flow.payload_hint in self._hint_index:
+            return self._hint_index[flow.payload_hint], Technique.PAYLOAD
+        key = (flow.server_port, flow.protocol)
+        if key in self._port_index:
+            return self._port_index[key], Technique.PORT
+        return None
+
+    def reset_report(self) -> ClassificationReport:
+        """Return the current report and start a fresh one."""
+        report, self.report = self.report, ClassificationReport()
+        return report
+
+
+def _suffix_lookup(index: List[Tuple[str, str]], name: str) -> Optional[str]:
+    """Longest-suffix match of a DNS name against an index.
+
+    Prefix-style patterns (ending with ``.``, e.g. ``"imap."``) match
+    name *prefixes* instead, covering protocol-conventional hostnames.
+    """
+    for suffix, service in index:
+        if suffix.endswith("."):
+            if name.startswith(suffix):
+                return service
+        elif name == suffix or name.endswith("." + suffix):
+            return service
+    return None
+
+
+__all__ = ["Technique", "ClassificationReport", "DpiEngine"]

@@ -1,0 +1,86 @@
+"""Experiment registry: one runner per figure of the paper.
+
+Usage::
+
+    from repro.experiments import build_default_context, run_figure
+
+    ctx = build_default_context(seed=7)
+    result = run_figure("fig10", ctx)
+    print(result.render())
+"""
+
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    fig2_service_ranking,
+    fig3_top_services,
+    fig4_time_series,
+    fig5_clustering,
+    fig6_peak_times,
+    fig7_peak_intensity,
+    fig8_twitter_geography,
+    fig9_maps,
+    fig10_spatial_correlation,
+    fig11_urbanization,
+    text_stats,
+)
+from repro.experiments.base import Check, ExperimentResult
+from repro.experiments.context import (
+    ExperimentContext,
+    build_default_context,
+    build_default_dataset,
+)
+
+_MODULES = (
+    fig2_service_ranking,
+    fig3_top_services,
+    fig4_time_series,
+    fig5_clustering,
+    fig6_peak_times,
+    fig7_peak_intensity,
+    fig8_twitter_geography,
+    fig9_maps,
+    fig10_spatial_correlation,
+    fig11_urbanization,
+    text_stats,
+)
+
+#: experiment id -> (title, runner)
+REGISTRY: Dict[str, tuple] = {
+    m.EXPERIMENT_ID: (m.TITLE, m.run) for m in _MODULES
+}
+
+
+def experiment_ids() -> List[str]:
+    """All experiment ids, in paper order."""
+    return list(REGISTRY.keys())
+
+
+def run_figure(experiment_id: str, ctx: ExperimentContext) -> ExperimentResult:
+    """Run one figure reproduction against a shared context."""
+    try:
+        _, runner = REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(REGISTRY)}"
+        ) from None
+    return runner(ctx)
+
+
+def run_all(ctx: ExperimentContext) -> Dict[str, ExperimentResult]:
+    """Run every figure reproduction."""
+    return {eid: run_figure(eid, ctx) for eid in REGISTRY}
+
+
+__all__ = [
+    "Check",
+    "ExperimentResult",
+    "ExperimentContext",
+    "build_default_context",
+    "build_default_dataset",
+    "experiment_ids",
+    "run_figure",
+    "run_all",
+    "REGISTRY",
+]

@@ -1,0 +1,85 @@
+"""Experiment scaffolding: results, checks, rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class Check:
+    """One paper-expectation check: a measured value vs the paper's claim.
+
+    The reproduction targets *shapes*, not absolute numbers: each check
+    encodes the qualitative/quantitative claim the paper makes and
+    whether the synthetic reproduction satisfies it.
+    """
+
+    name: str
+    measured: float
+    expectation: str
+    passed: bool
+
+    def render(self) -> str:
+        status = "OK " if self.passed else "FAIL"
+        return f"  [{status}] {self.name}: measured {self.measured:.4g} — paper: {self.expectation}"
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one figure reproduction."""
+
+    experiment_id: str
+    title: str
+    #: Raw result payload (arrays, dicts) for programmatic use.
+    data: Dict[str, Any] = field(default_factory=dict)
+    #: Pre-rendered report blocks (tables, sparklines, maps).
+    blocks: List[str] = field(default_factory=list)
+    checks: List[Check] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def add_check(
+        self, name: str, measured: float, expectation: str, passed: bool
+    ) -> None:
+        """Record one expectation check."""
+        self.checks.append(
+            Check(
+                name=name,
+                measured=float(measured),
+                expectation=expectation,
+                passed=bool(passed),
+            )
+        )
+
+    def check_range(
+        self,
+        name: str,
+        measured: float,
+        lo: Optional[float],
+        hi: Optional[float],
+        expectation: str,
+    ) -> None:
+        """Check that a measured value falls within [lo, hi]."""
+        ok = True
+        if lo is not None and measured < lo:
+            ok = False
+        if hi is not None and measured > hi:
+            ok = False
+        self.add_check(name, measured, expectation, ok)
+
+    def render(self) -> str:
+        """Full text report of this experiment."""
+        lines = [f"=== {self.experiment_id}: {self.title} ==="]
+        lines.extend(self.blocks)
+        if self.checks:
+            lines.append("Paper-expectation checks:")
+            lines.extend(check.render() for check in self.checks)
+            status = "PASS" if self.all_passed else "PARTIAL"
+            lines.append(f"Overall: {status} ({sum(c.passed for c in self.checks)}/{len(self.checks)} checks)")
+        return "\n".join(lines)
+
+
+__all__ = ["Check", "ExperimentResult"]

@@ -1,0 +1,90 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Examples::
+
+    repro-experiments --list
+    repro-experiments fig10
+    repro-experiments --all --seed 13 --communes 2500
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    REGISTRY,
+    build_default_context,
+    experiment_ids,
+    run_figure,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the figures of 'Not All Apps Are Created Equal' "
+            "(CoNEXT 2017) on a synthetic nationwide dataset."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment ids to run (e.g. fig2 fig10); default: all",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--seed", type=int, default=7, help="master seed")
+    parser.add_argument(
+        "--communes",
+        type=int,
+        default=1_600,
+        help="tessellation size (36000 = the paper's full France)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="also write a markdown report of the run to PATH",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for eid in experiment_ids():
+            print(f"{eid:8s} {REGISTRY[eid][0]}")
+        return 0
+
+    targets = args.experiments or []
+    if args.all or not targets:
+        targets = experiment_ids()
+    unknown = [t for t in targets if t not in REGISTRY]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(experiment_ids())}", file=sys.stderr)
+        return 2
+
+    ctx = build_default_context(seed=args.seed, n_communes=args.communes)
+    failures = 0
+    results = {}
+    for eid in targets:
+        result = run_figure(eid, ctx)
+        results[eid] = result
+        print(result.render())
+        print()
+        if not result.all_passed:
+            failures += 1
+    if args.output:
+        from repro.experiments.report_writer import write_report
+
+        path = write_report(results, args.output)
+        print(f"report written to {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

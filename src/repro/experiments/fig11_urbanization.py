@@ -1,0 +1,133 @@
+"""Fig. 11 — per-user volume ratios and temporal correlation by
+urbanization level.
+
+Paper claims: (top) semi-urban subscribers consume like urban ones
+(ratio ≈1), rural subscribers about half, TGV passengers twice or more;
+the results are fairly consistent across services.  (bottom) the
+cross-region temporal r² is high for urban/semi-urban/rural
+combinations — urbanization barely affects *when* services are used —
+while TGV regions show distinct temporal patterns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.urbanization_analysis import (
+    all_services_cross_r2,
+    all_services_slopes,
+    summarize_slopes,
+)
+from repro.experiments.base import ExperimentResult
+from repro.experiments.context import ExperimentContext
+from repro.geo.urbanization import UrbanizationClass
+from repro.report.tables import format_table
+
+EXPERIMENT_ID = "fig11"
+TITLE = "Per-user volume ratios and temporal correlation across urbanization levels"
+
+
+def run(ctx: ExperimentContext, direction: str = "dl") -> ExperimentResult:
+    result = ExperimentResult(EXPERIMENT_ID, TITLE)
+    slopes = all_services_slopes(ctx.dataset, direction)
+    cross = all_services_cross_r2(ctx.dataset, direction)
+    result.data["slopes"] = slopes
+    result.data["cross_r2"] = cross
+
+    rows = [
+        (
+            name,
+            f"{per[UrbanizationClass.SEMI_URBAN]:.2f}",
+            f"{per[UrbanizationClass.RURAL]:.2f}",
+            f"{per[UrbanizationClass.TGV]:.2f}",
+        )
+        for name, per in slopes.items()
+    ]
+    result.blocks.append(
+        format_table(
+            ("service", "semi-urban/urban", "rural/urban", "TGV/urban"),
+            rows,
+            title="Per-user volume ratio vs urban (regression slopes)",
+        )
+    )
+    rows = [
+        (
+            name,
+            f"{per[UrbanizationClass.URBAN]:.2f}",
+            f"{per[UrbanizationClass.SEMI_URBAN]:.2f}",
+            f"{per[UrbanizationClass.RURAL]:.2f}",
+            f"{per[UrbanizationClass.TGV]:.2f}",
+        )
+        for name, per in cross.items()
+    ]
+    result.blocks.append(
+        format_table(
+            ("service", "urban", "semi-urban", "rural", "TGV"),
+            rows,
+            title="Mean temporal r2 of each region vs the others",
+        )
+    )
+
+    means = summarize_slopes(slopes)
+    result.check_range(
+        "mean semi-urban/urban ratio",
+        means[UrbanizationClass.SEMI_URBAN],
+        0.75,
+        1.15,
+        "semi-urban and urban usage levels are similar (≈1)",
+    )
+    result.check_range(
+        "mean rural/urban ratio",
+        means[UrbanizationClass.RURAL],
+        0.30,
+        0.70,
+        "rural subscribers consume around a half",
+    )
+    result.check_range(
+        "mean TGV/urban ratio",
+        means[UrbanizationClass.TGV],
+        1.8,
+        None,
+        "TGV passengers generate twice or more the urban volume",
+    )
+
+    # Consistency across services (excluding the designed outliers).
+    rural_ratios = [
+        per[UrbanizationClass.RURAL]
+        for name, per in slopes.items()
+        if name not in ("Netflix", "iCloud", "Pokemon Go")
+    ]
+    result.check_range(
+        "rural ratio spread across services (std)",
+        float(np.std(rural_ratios)),
+        None,
+        0.25,
+        "results are fairly consistent across services",
+    )
+
+    non_tgv = [
+        np.mean([
+            per[UrbanizationClass.URBAN],
+            per[UrbanizationClass.SEMI_URBAN],
+            per[UrbanizationClass.RURAL],
+        ])
+        for per in cross.values()
+    ]
+    tgv = [per[UrbanizationClass.TGV] for per in cross.values()]
+    result.check_range(
+        "mean temporal r2 among urban/semi/rural",
+        float(np.mean(non_tgv)),
+        0.75,
+        None,
+        "correlations are high for urban/semi-urban/rural combinations",
+    )
+    result.add_check(
+        "TGV temporal r2 is markedly lower",
+        float(np.mean(tgv)),
+        "subscribers on TGVs have quite different temporal patterns",
+        float(np.mean(tgv)) < float(np.mean(non_tgv)) - 0.15,
+    )
+    return result
+
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "run"]

@@ -1,0 +1,108 @@
+"""Fig. 3 — the 20 head services ranked on relative traffic volume.
+
+Paper claims: video streaming dominates downlink at ≈46 % of traffic
+(up from 36 % six years earlier); YouTube leads, iTunes second; in
+uplink, social/messaging services take the top three spots (SnapChat
+and Facebook named) due to content sharing with small audiences; the
+head services cover over 60 % of the overall network traffic.
+"""
+
+from __future__ import annotations
+
+from repro.core.ranking import (
+    rank_services,
+    uplink_fraction,
+    video_streaming_share,
+)
+from repro.experiments.base import ExperimentResult
+from repro.experiments.context import ExperimentContext
+from repro.report.tables import format_table
+from repro.services.catalog import ServiceCategory
+
+EXPERIMENT_ID = "fig3"
+TITLE = "Head services ranked on downlink / uplink traffic volume"
+
+_SOCIAL_LIKE = (ServiceCategory.SOCIAL, ServiceCategory.MESSAGING)
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    result = ExperimentResult(EXPERIMENT_ID, TITLE)
+    catalog = ctx.artifacts.catalog
+
+    for direction in ("dl", "ul"):
+        ranking = rank_services(ctx.dataset, catalog, direction)
+        rows = [
+            (
+                e.rank,
+                e.service_name,
+                e.category.value,
+                f"{100 * e.share_of_direction:.2f}%",
+            )
+            for e in ranking
+        ]
+        result.blocks.append(
+            format_table(
+                ("rank", "service", "category", "share of direction"),
+                rows,
+                title=f"[{direction.upper()}] head services",
+            )
+        )
+        result.data[direction] = ranking
+
+    dl_ranking = result.data["dl"]
+    ul_ranking = result.data["ul"]
+
+    video_dl = video_streaming_share(ctx.dataset, catalog, "dl")
+    result.check_range(
+        "video streaming share of DL",
+        video_dl,
+        0.40,
+        0.55,
+        "≈46 % of downlink traffic",
+    )
+    result.add_check(
+        "YouTube ranks first in DL",
+        dl_ranking[0].rank,
+        "YouTube is the dominant provider",
+        dl_ranking[0].service_name == "YouTube",
+    )
+    result.add_check(
+        "iTunes ranks second in DL",
+        dl_ranking[1].rank,
+        "followed at a distance by iTunes",
+        dl_ranking[1].service_name == "iTunes",
+    )
+    top3_ul = [e for e in ul_ranking[:3]]
+    result.add_check(
+        "UL top three are social/messaging",
+        sum(e.category in _SOCIAL_LIKE for e in top3_ul),
+        "social networks and messaging occupy the top three UL positions",
+        all(e.category in _SOCIAL_LIKE for e in top3_ul),
+    )
+    result.add_check(
+        "SnapChat and Facebook in UL top three",
+        0.0,
+        "services such as SnapChat and Facebook",
+        {"SnapChat", "Facebook"}
+        <= {e.service_name for e in top3_ul},
+    )
+    head_share = sum(e.share_of_direction for e in dl_ranking)
+    result.check_range(
+        "head services share of classified DL",
+        head_share,
+        0.60,
+        None,
+        "the selection covers over 60 % of overall traffic",
+    )
+    ul_frac = uplink_fraction(ctx.dataset)
+    result.check_range(
+        "uplink fraction of total load",
+        ul_frac,
+        None,
+        0.05,
+        "uplink accounts for less than one twentieth of the load",
+    )
+    return result
+
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "run"]

@@ -1,0 +1,104 @@
+"""Fig. 5 — clustering-quality indices vs the number of clusters.
+
+Paper claims: running k-shape over all k with the Davies-Bouldin,
+modified Davies-Bouldin, Dunn and Silhouette indices is *inconclusive* —
+no index pinpoints a winning k; quality steadily degrades as k grows;
+no consistent grouping of services exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.indices import evaluate_clustering
+from repro.core.kshape import kshape, kshape_best, sbd_matrix, z_normalize
+from repro.experiments.base import ExperimentResult
+from repro.experiments.context import ExperimentContext
+from repro.report.tables import format_table
+
+EXPERIMENT_ID = "fig5"
+TITLE = "k-shape clustering quality indices vs k (inconclusive grouping)"
+
+
+def run(ctx: ExperimentContext, k_values=None, n_restarts: int = 3) -> ExperimentResult:
+    result = ExperimentResult(EXPERIMENT_ID, TITLE)
+    for direction in ("dl", "ul"):
+        series = ctx.national_series_fine(direction)
+        data = z_normalize(series)
+        distances = sbd_matrix(data)
+        n_series = data.shape[0]
+        ks = list(k_values) if k_values is not None else list(range(2, n_series))
+
+        rows = []
+        reports = {}
+        for k in ks:
+            best = kshape_best(data, k, n_restarts=n_restarts, seed=1000 + k)
+            report = evaluate_clustering(distances, best.labels)
+            reports[k] = report
+            rows.append(
+                (
+                    k,
+                    f"{report.davies_bouldin:.3f}",
+                    f"{report.davies_bouldin_star:.3f}",
+                    f"{report.dunn:.3f}",
+                    f"{report.silhouette:.3f}",
+                )
+            )
+        result.blocks.append(
+            format_table(
+                ("k", "DB (min best)", "DB* (min best)", "D (max best)", "Sil (max best)"),
+                rows,
+                title=f"[{direction.upper()}] k-shape over all k",
+            )
+        )
+        result.data[direction] = reports
+
+        # "None of the indices pinpoints a value of k as a clear winner":
+        # the best silhouette is weak in absolute terms, and no single k
+        # stands out from the runner-up by a decisive margin.
+        sils = np.array([reports[k].silhouette for k in ks])
+        result.check_range(
+            f"{direction} best silhouette",
+            float(sils.max()),
+            None,
+            0.55,
+            "no strong cluster structure (weak silhouette everywhere)",
+        )
+        if len(sils) >= 2:
+            top_two = np.sort(sils)[-2:]
+            result.check_range(
+                f"{direction} winner margin (silhouette)",
+                float(top_two[1] - top_two[0]),
+                None,
+                0.15,
+                "none of the indices pinpoints a k as a clear winner",
+            )
+        # "Steadily decreasing clustering quality as k grows": quality at
+        # high k is worse than at low k.
+        low_k = [k for k in ks[: max(1, len(ks) // 3)]]
+        high_k = [k for k in ks[-max(1, len(ks) // 3):]]
+        sil_low = float(np.mean([reports[k].silhouette for k in low_k]))
+        sil_high = float(np.mean([reports[k].silhouette for k in high_k]))
+        result.add_check(
+            f"{direction} quality degrades with k (silhouette)",
+            sil_low - sil_high,
+            "indices indicate steadily decreasing quality as k grows",
+            sil_low >= sil_high,
+        )
+        # "A thorough manual examination of the internal structure ...
+        # does not reveal any consistent grouping": at small k the
+        # partition should neither collapse into one catch-all cluster
+        # nor isolate a tight dominant group.
+        small = kshape(data, ks[0], seed=1)
+        dominant = float(np.bincount(small.labels).max() / data.shape[0])
+        result.check_range(
+            f"{direction} largest cluster share at k={ks[0]}",
+            dominant,
+            None,
+            0.95,
+            "no consistent grouping of mobile services emerges",
+        )
+    return result
+
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "run"]

@@ -1,0 +1,118 @@
+"""Fig. 8 — Twitter: commune concentration and per-subscriber CDF.
+
+Paper claims: the top 1 % / 10 % of communes generate over 50 % / 90 %
+of the Twitter traffic; the per-subscriber weekly usage CDF over
+communes is highly skewed — half of the communes consume a negligible
+load while other areas reach tens of MB per subscriber and week.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._units import format_bytes
+from repro.core.spatial_analysis import per_subscriber_cdf, ranked_commune_curve
+from repro.experiments.base import ExperimentResult
+from repro.experiments.context import ExperimentContext
+from repro.report.tables import format_table
+
+EXPERIMENT_ID = "fig8"
+TITLE = "Twitter geography: commune concentration and per-subscriber CDF"
+
+SERVICE = "Twitter"
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    result = ExperimentResult(EXPERIMENT_ID, TITLE)
+    for direction in ("dl", "ul"):
+        volumes = ctx.dataset.commune_volumes(SERVICE, direction)
+        curve = ranked_commune_curve(volumes)
+        rows = [
+            (f"{100 * f:g}%", f"{100 * curve.share_at(f):.1f}%")
+            for f in (0.01, 0.05, 0.10, 0.50, 1.00)
+        ]
+        result.blocks.append(
+            format_table(
+                ("top communes", "share of traffic"),
+                rows,
+                title=f"[{direction.upper()}] cumulative {SERVICE} traffic on ranked communes",
+            )
+        )
+        result.data[f"curve_{direction}"] = curve
+
+    dl_curve = result.data["curve_dl"]
+    result.check_range(
+        "top 1% commune share (DL)",
+        dl_curve.share_at(0.01),
+        0.40,
+        None,
+        "top 1 % of communes generate over 50 % of the traffic",
+    )
+    result.check_range(
+        "top 10% commune share (DL)",
+        dl_curve.share_at(0.10),
+        0.75,
+        None,
+        "top 10 % of communes generate over 90 % of the traffic",
+    )
+
+    per_sub = ctx.dataset.per_subscriber_volumes(SERVICE, "dl")
+    values, prob = per_subscriber_cdf(per_sub)
+    result.data["per_subscriber"] = (values, prob)
+    quantiles = (0.10, 0.25, 0.50, 0.75, 0.90, 0.99)
+    rows = [
+        (f"p{int(100 * q)}", format_bytes(float(np.quantile(per_sub, q))))
+        for q in quantiles
+    ]
+    result.blocks.append(
+        format_table(
+            ("quantile", "weekly per-subscriber volume"),
+            rows,
+            title="[DL] per-subscriber usage over communes",
+        )
+    )
+
+    median = float(np.median(per_sub))
+    p95 = float(np.quantile(per_sub, 0.95))
+    result.check_range(
+        "per-subscriber skew (p95/median)",
+        p95 / max(median, 1.0),
+        4.0,
+        None,
+        "highly skewed distribution across communes",
+    )
+    result.check_range(
+        "heaviest communes (p95)",
+        p95,
+        10e6,
+        None,
+        "users in some areas download tens of MB per week",
+    )
+    bottom_quarter = float(np.quantile(per_sub, 0.25))
+    result.add_check(
+        "bottom-quartile communes are light",
+        bottom_quarter,
+        "half of the communes consume a (comparatively) negligible load",
+        bottom_quarter < 0.25 * p95,
+    )
+
+    # "The considerations above refer to Twitter, but they are valid for
+    # any mobile service": the concentration must hold across the board.
+    top1_shares = []
+    for name in ctx.dataset.head_names:
+        volumes = ctx.dataset.commune_volumes(name, "dl")
+        if volumes.sum() > 0:
+            top1_shares.append(ranked_commune_curve(volumes).share_at(0.01))
+    strong = sum(share > 0.35 for share in top1_shares)
+    result.data["top1_shares"] = top1_shares
+    result.check_range(
+        "services with concentrated geography",
+        strong,
+        len(top1_shares) - 2,
+        None,
+        "the considerations are valid for any mobile service",
+    )
+    return result
+
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "SERVICE", "run"]

@@ -1,0 +1,61 @@
+"""Markdown report generation for experiment runs.
+
+``repro-experiments --all --output report.md`` writes a single document
+with every figure's data blocks and expectation checks — the artifact a
+reviewer reads next to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.experiments.base import ExperimentResult
+
+
+def render_markdown(results: Dict[str, ExperimentResult]) -> str:
+    """Render a dict of experiment results as one markdown document."""
+    if not results:
+        raise ValueError("no results to render")
+    lines = ["# Reproduction report", ""]
+    total = passed = 0
+    for result in results.values():
+        total += len(result.checks)
+        passed += sum(c.passed for c in result.checks)
+    lines.append(
+        f"{len(results)} experiments, {passed}/{total} paper-expectation "
+        "checks passed."
+    )
+    lines.append("")
+
+    for result in results.values():
+        lines.append(f"## {result.experiment_id} — {result.title}")
+        lines.append("")
+        for block in result.blocks:
+            lines.append("```")
+            lines.append(block)
+            lines.append("```")
+            lines.append("")
+        if result.checks:
+            lines.append("| check | paper | measured | status |")
+            lines.append("|---|---|---|---|")
+            for check in result.checks:
+                status = "pass" if check.passed else "**FAIL**"
+                lines.append(
+                    f"| {check.name} | {check.expectation} | "
+                    f"{check.measured:.4g} | {status} |"
+                )
+            lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    results: Dict[str, ExperimentResult], path: Union[str, Path]
+) -> Path:
+    """Write the markdown report to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(render_markdown(results), encoding="utf-8")
+    return path
+
+
+__all__ = ["render_markdown", "write_report"]

@@ -1,0 +1,47 @@
+"""Synthetic geography substrate.
+
+The paper tessellates France into >36,000 *communes* (mean surface
+~16 km²), classifies them by urbanization level following INSEE, singles
+out rural communes crossed by high-speed (TGV) rail lines, and overlays
+the operator's 3G/4G coverage.  None of those inputs ship with the paper,
+so this package synthesizes a country with the same structural properties:
+
+- :mod:`repro.geo.communes` — a jittered-grid tessellation of a square
+  territory into communes of realistic size;
+- :mod:`repro.geo.population` — a Zipf city-size model producing a skewed
+  population-density field over the communes;
+- :mod:`repro.geo.urbanization` — INSEE-like urban / semi-urban / rural
+  classes plus the paper's TGV class;
+- :mod:`repro.geo.transport` — a high-speed rail graph connecting the
+  largest cities (built on networkx);
+- :mod:`repro.geo.coverage` — pervasive 3G plus density-driven 4G
+  coverage;
+- :mod:`repro.geo.country` — the :class:`~repro.geo.country.Country`
+  aggregate and its builder.
+"""
+
+from repro.geo.communes import Commune, CommuneGrid, build_tessellation
+from repro.geo.country import Country, CountryConfig, build_country
+from repro.geo.coverage import CoverageMap, Technology, build_coverage
+from repro.geo.population import CityModel, PopulationField, build_population
+from repro.geo.transport import RailNetwork, build_rail_network
+from repro.geo.urbanization import UrbanizationClass, classify_communes
+
+__all__ = [
+    "Commune",
+    "CommuneGrid",
+    "build_tessellation",
+    "CityModel",
+    "PopulationField",
+    "build_population",
+    "UrbanizationClass",
+    "classify_communes",
+    "RailNetwork",
+    "build_rail_network",
+    "CoverageMap",
+    "Technology",
+    "build_coverage",
+    "Country",
+    "CountryConfig",
+    "build_country",
+]

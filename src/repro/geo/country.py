@@ -1,0 +1,184 @@
+"""The :class:`Country` aggregate: everything geographic in one object.
+
+A :class:`Country` bundles the tessellation, population field,
+urbanization classes, rail network and coverage map, built consistently
+from one configuration and one seed.  All higher layers (network
+deployment, subscriber synthesis, the volume model) take a ``Country``
+rather than its parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro._rng import SeedLike, as_generator, spawn
+from repro.geo.communes import CommuneGrid, build_tessellation
+from repro.geo.coverage import CoverageMap, Technology, build_coverage
+from repro.geo.population import PopulationField, build_population
+from repro.geo.transport import RailNetwork, build_rail_network
+from repro.geo.urbanization import (
+    UrbanizationClass,
+    UrbanizationResult,
+    classify_communes,
+)
+
+
+@dataclass(frozen=True)
+class CountryConfig:
+    """Knobs of the synthetic country.
+
+    The defaults give a laptop-scale country (2,500 communes) with the
+    structural properties of France; ``n_communes=36_000`` reproduces the
+    paper's full tessellation when memory allows.
+    """
+
+    n_communes: int = 2_500
+    mean_commune_area_km2: float = 16.0
+    #: None scales the French 30 M population down with the tessellation
+    #: (30 M × n_communes / 36,000), keeping commune sizes realistic; set
+    #: an explicit value to decouple the two.
+    total_population: Optional[float] = None
+    n_cities: int = 40
+    city_zipf_exponent: float = 1.05
+    urban_population_fraction: float = 0.82
+    n_rail_hubs: int = 8
+    n_rail_cross_links: int = 2
+    tgv_corridor_km: float = 6.0
+    urban_population_share: float = 0.45
+    semi_urban_population_share: float = 0.35
+    pop_coverage_target_4g: float = 0.65
+
+    #: Reference scale: France has ~36,000 communes and ~30 M residents
+    #: covered by the studied operator's market.
+    REFERENCE_COMMUNES = 36_000
+    REFERENCE_POPULATION = 30_000_000
+
+    def __post_init__(self) -> None:
+        if self.n_communes < 4:
+            raise ValueError(f"n_communes must be >= 4, got {self.n_communes}")
+        if self.n_rail_hubs > self.n_cities:
+            raise ValueError(
+                f"n_rail_hubs ({self.n_rail_hubs}) cannot exceed "
+                f"n_cities ({self.n_cities})"
+            )
+
+    @property
+    def effective_population(self) -> float:
+        """Resolved population (scaled with the tessellation when unset)."""
+        if self.total_population is not None:
+            return float(self.total_population)
+        return (
+            self.REFERENCE_POPULATION * self.n_communes / self.REFERENCE_COMMUNES
+        )
+
+    @property
+    def population_scale(self) -> float:
+        """effective_population / reference — used to scale traffic totals."""
+        return self.effective_population / self.REFERENCE_POPULATION
+
+
+@dataclass(frozen=True)
+class Country:
+    """A fully built synthetic country."""
+
+    config: CountryConfig
+    grid: CommuneGrid
+    population: PopulationField
+    rail: RailNetwork
+    urbanization: UrbanizationResult
+    coverage: CoverageMap
+    _subscriber_share: float = field(default=0.5, repr=False)
+
+    @property
+    def n_communes(self) -> int:
+        return len(self.grid)
+
+    def subscribers_per_commune(self) -> np.ndarray:
+        """Expected operator subscribers resident in each commune.
+
+        The operator serves a fixed share of the population (Orange holds
+        roughly one third to one half of the French market; the exact
+        share only scales absolute volumes, which the paper anonymizes
+        away).
+        """
+        return self.population.residents * self._subscriber_share
+
+    def class_of(self, commune_id: int) -> UrbanizationClass:
+        """Urbanization class of a commune."""
+        return UrbanizationClass(int(self.urbanization.classes[commune_id]))
+
+    def communes_in_class(self, cls: UrbanizationClass) -> np.ndarray:
+        """Ids of all communes in an urbanization class."""
+        return np.nonzero(self.urbanization.mask(cls))[0]
+
+    def describe(self) -> dict:
+        """Summary statistics used by reports and sanity tests."""
+        shares = self.urbanization.population_shares(self.population)
+        return {
+            "n_communes": self.n_communes,
+            "territory_km2": self.grid.territory_area_km2,
+            "total_population": self.population.total_population,
+            "commune_counts": self.urbanization.counts(),
+            "population_shares": shares,
+            "coverage_3g": self.coverage.coverage_share(Technology.G3),
+            "coverage_4g": self.coverage.coverage_share(Technology.G4),
+            "rail_length_km": self.rail.total_length_km,
+        }
+
+
+def build_country(
+    config: CountryConfig = CountryConfig(), seed: SeedLike = None
+) -> Country:
+    """Build a consistent :class:`Country` from a config and a seed."""
+    rng = as_generator(seed)
+    grid_rng = spawn(rng, "geo.grid")
+    pop_rng = spawn(rng, "geo.population")
+    cov_rng = spawn(rng, "geo.coverage")
+
+    grid = build_tessellation(
+        n_communes=config.n_communes,
+        mean_area_km2=config.mean_commune_area_km2,
+        seed=grid_rng,
+    )
+    population = build_population(
+        grid,
+        total_population=config.effective_population,
+        n_cities=config.n_cities,
+        zipf_exponent=config.city_zipf_exponent,
+        urban_fraction=config.urban_population_fraction,
+        seed=pop_rng,
+    )
+    rail = build_rail_network(
+        grid,
+        population.city_model,
+        n_hub_cities=config.n_rail_hubs,
+        n_cross_links=config.n_rail_cross_links,
+    )
+    urbanization = classify_communes(
+        population,
+        rail=rail,
+        urban_population_share=config.urban_population_share,
+        semi_urban_population_share=config.semi_urban_population_share,
+        tgv_corridor_km=config.tgv_corridor_km,
+    )
+    coverage = build_coverage(
+        population,
+        rail=rail,
+        pop_coverage_target_4g=config.pop_coverage_target_4g,
+        tgv_corridor_km=config.tgv_corridor_km,
+        seed=cov_rng,
+    )
+    return Country(
+        config=config,
+        grid=grid,
+        population=population,
+        rail=rail,
+        urbanization=urbanization,
+        coverage=coverage,
+    )
+
+
+__all__ = ["CountryConfig", "Country", "build_country"]

@@ -1,0 +1,148 @@
+"""3G/4G coverage model.
+
+The right plot of the paper's Fig. 9 shows Orange's coverage in France:
+3G is pervasive, while 4G concentrates on cities and transport arteries.
+The paper uses that asymmetry to explain the Netflix outlier (high-rate
+video needs 4G, so Netflix usage follows the 4G footprint).
+
+We model per-commune coverage as:
+
+- 3G: present in (almost) every commune — a small outage probability in
+  the lowest-density communes accounts for white zones;
+- 4G: deployed where the business case holds — probability increasing
+  with population density, plus guaranteed deployment along the TGV
+  corridors (operators cover high-speed lines for premium passengers).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro._rng import SeedLike, as_generator
+from repro.geo.population import PopulationField
+from repro.geo.transport import RailNetwork
+
+
+class Technology(enum.IntEnum):
+    """Radio access technologies relevant to the study."""
+
+    G3 = 3
+    G4 = 4
+
+    @property
+    def label(self) -> str:
+        return {Technology.G3: "3G", Technology.G4: "4G"}[self]
+
+
+@dataclass(frozen=True)
+class CoverageMap:
+    """Per-commune availability of each technology."""
+
+    has_3g: np.ndarray  # (n_communes,), bool
+    has_4g: np.ndarray  # (n_communes,), bool
+
+    def __post_init__(self) -> None:
+        if self.has_3g.shape != self.has_4g.shape:
+            raise ValueError("3G and 4G masks must have the same shape")
+        if np.any(self.has_4g & ~self.has_3g):
+            raise ValueError("4G coverage without 3G coverage is not modelled")
+
+    @property
+    def n_communes(self) -> int:
+        return int(self.has_3g.shape[0])
+
+    def best_technology(self, commune_id: int) -> Optional[Technology]:
+        """Best technology available in a commune, or None for a white zone."""
+        if self.has_4g[commune_id]:
+            return Technology.G4
+        if self.has_3g[commune_id]:
+            return Technology.G3
+        return None
+
+    def supports(self, commune_id: int, technology: Technology) -> bool:
+        """Whether a commune offers at least the given technology."""
+        if technology is Technology.G4:
+            return bool(self.has_4g[commune_id])
+        return bool(self.has_3g[commune_id])
+
+    def coverage_share(self, technology: Technology) -> float:
+        """Fraction of communes covered by a technology."""
+        mask = self.has_4g if technology is Technology.G4 else self.has_3g
+        return float(mask.mean())
+
+
+def _density_midpoint(population: PopulationField, pop_target: float) -> float:
+    """Density threshold above which ``pop_target`` of residents live.
+
+    Using a population-share target (rather than an absolute persons/km²
+    threshold) keeps the coverage model meaningful at any tessellation
+    scale: operators deploy 4G to *cover people*, and scaled-down
+    synthetic countries have inflated absolute densities.
+    """
+    density = population.density_km2
+    residents = population.residents
+    order = np.argsort(density)[::-1]
+    cum = np.cumsum(residents[order]) / residents.sum()
+    idx = int(np.searchsorted(cum, pop_target))
+    idx = min(idx, len(order) - 1)
+    return float(density[order[idx]])
+
+
+def build_coverage(
+    population: PopulationField,
+    rail: Optional[RailNetwork] = None,
+    pop_coverage_target_4g: float = 0.65,
+    density_4g_steepness: float = 1.6,
+    white_zone_probability: float = 0.01,
+    tgv_corridor_km: float = 6.0,
+    seed: SeedLike = None,
+) -> CoverageMap:
+    """Build a :class:`CoverageMap` from population density and rail lines.
+
+    The 4G deployment probability is a log-logistic function of commune
+    density whose midpoint is the density above which
+    ``pop_coverage_target_4g`` of the population lives — dense communes
+    are (almost) surely covered, empty countryside (almost) surely not,
+    matching the 2016 French deployment the paper's Fig. 9 shows.  TGV
+    corridor communes are force-covered.  3G is pervasive except for rare
+    white zones among the least dense communes.
+    """
+    if not 0 < pop_coverage_target_4g < 1:
+        raise ValueError(
+            f"pop_coverage_target_4g must be in (0, 1), got {pop_coverage_target_4g}"
+        )
+    if not 0 <= white_zone_probability < 1:
+        raise ValueError(
+            f"white_zone_probability must be in [0, 1), got {white_zone_probability}"
+        )
+    rng = as_generator(seed)
+    density = population.density_km2
+    n = len(density)
+
+    # Log-logistic adoption curve for 4G.
+    midpoint = _density_midpoint(population, pop_coverage_target_4g)
+    ratio = np.maximum(density, 1e-9) / midpoint
+    p_4g = ratio**density_4g_steepness / (1.0 + ratio**density_4g_steepness)
+    has_4g = rng.random(n) < p_4g
+
+    # Pervasive 3G; the rare white zones appear only in the bottom density
+    # decile (remote valleys).
+    has_3g = np.ones(n, dtype=bool)
+    low_density = density <= np.quantile(density, 0.10)
+    white = rng.random(n) < white_zone_probability
+    has_3g[low_density & white] = False
+
+    if rail is not None:
+        corridor = rail.communes_within(tgv_corridor_km)
+        has_3g[corridor] = True
+        has_4g[corridor] = True
+
+    has_4g &= has_3g
+    return CoverageMap(has_3g=has_3g, has_4g=has_4g)
+
+
+__all__ = ["Technology", "CoverageMap", "build_coverage"]

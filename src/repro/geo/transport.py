@@ -1,0 +1,202 @@
+"""High-speed (TGV) rail network.
+
+The paper singles out rural communes crossed by high-speed train lines as
+a separate urbanization class with unique usage dynamics (Fig. 9 shows the
+Paris-Lyon-Marseille arteries lighting up on the per-subscriber traffic
+maps).  We synthesize a rail network as a graph over the largest cities:
+
+- nodes are the top ``n_hub_cities`` cities of the population model;
+- edges form a star from the largest city (the "Paris" of the synthetic
+  country) to every other hub — the actual French LGV topology — plus a
+  few cross links between the nearest hub pairs;
+- each edge is a straight polyline; communes whose seed lies within a
+  corridor of the polyline are "crossed" by the line.
+
+The graph is a :class:`networkx.Graph`, so downstream code (mobility,
+examples) can run shortest-path itineraries over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.geo.communes import CommuneGrid
+from repro.geo.population import City, CityModel
+
+
+@dataclass(frozen=True)
+class RailSegment:
+    """One straight line segment of the rail network, between two hubs."""
+
+    u: int  # city rank of one endpoint
+    v: int  # city rank of the other endpoint
+    start_km: Tuple[float, float]
+    end_km: Tuple[float, float]
+
+    @property
+    def length_km(self) -> float:
+        dx = self.end_km[0] - self.start_km[0]
+        dy = self.end_km[1] - self.start_km[1]
+        return float(np.hypot(dx, dy))
+
+
+class RailNetwork:
+    """The synthetic high-speed rail network.
+
+    Wraps a :class:`networkx.Graph` whose nodes are city ranks and whose
+    edges carry :class:`RailSegment` geometry, plus the commune grid needed
+    for corridor queries.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        segments: Sequence[RailSegment],
+        grid: CommuneGrid,
+        hub_cities: Sequence[City],
+    ):
+        self.graph = graph
+        self.segments: List[RailSegment] = list(segments)
+        self._grid = grid
+        self.hub_cities: List[City] = list(hub_cities)
+        self._hub_by_rank: Dict[int, City] = {c.rank: c for c in self.hub_cities}
+
+    @property
+    def total_length_km(self) -> float:
+        return float(sum(s.length_km for s in self.segments))
+
+    def hub(self, rank: int) -> City:
+        """Return the hub city with the given population rank."""
+        if rank not in self._hub_by_rank:
+            raise KeyError(f"no rail hub with city rank {rank}")
+        return self._hub_by_rank[rank]
+
+    def itinerary(self, origin_rank: int, dest_rank: int) -> List[int]:
+        """Shortest hub-to-hub path (by track length), as a list of ranks."""
+        return nx.shortest_path(
+            self.graph, source=origin_rank, target=dest_rank, weight="length_km"
+        )
+
+    def segment_between(self, u: int, v: int) -> RailSegment:
+        """Return the segment connecting two adjacent hubs."""
+        data = self.graph.get_edge_data(u, v)
+        if data is None:
+            raise KeyError(f"no rail segment between hubs {u} and {v}")
+        return data["segment"]
+
+    def points_along(self, segment: RailSegment, spacing_km: float = 2.0) -> np.ndarray:
+        """Sample points along a segment at roughly ``spacing_km`` intervals."""
+        if spacing_km <= 0:
+            raise ValueError(f"spacing_km must be > 0, got {spacing_km}")
+        n = max(2, int(np.ceil(segment.length_km / spacing_km)) + 1)
+        t = np.linspace(0.0, 1.0, n)
+        start = np.asarray(segment.start_km)
+        end = np.asarray(segment.end_km)
+        return start[None, :] + t[:, None] * (end - start)[None, :]
+
+    def communes_within(self, corridor_km: float) -> np.ndarray:
+        """Ids of communes whose seed lies within ``corridor_km`` of a track."""
+        if corridor_km <= 0:
+            raise ValueError(f"corridor_km must be > 0, got {corridor_km}")
+        xy = self._grid.coordinates_km
+        near = np.zeros(len(self._grid), dtype=bool)
+        for segment in self.segments:
+            d = _point_segment_distance(
+                xy,
+                np.asarray(segment.start_km),
+                np.asarray(segment.end_km),
+            )
+            near |= d <= corridor_km
+        return np.nonzero(near)[0]
+
+    def communes_along(
+        self, origin_rank: int, dest_rank: int, corridor_km: float
+    ) -> np.ndarray:
+        """Commune ids traversed by the itinerary between two hubs, in order."""
+        path = self.itinerary(origin_rank, dest_rank)
+        visited: List[int] = []
+        seen = set()
+        for u, v in zip(path[:-1], path[1:]):
+            segment = self.segment_between(u, v)
+            points = self.points_along(segment, spacing_km=corridor_km)
+            if (segment.start_km[0], segment.start_km[1]) != (
+                self._hub_by_rank[u].x_km,
+                self._hub_by_rank[u].y_km,
+            ):
+                points = points[::-1]
+            for commune_id in self._grid.communes_at(points):
+                if commune_id not in seen:
+                    seen.add(int(commune_id))
+                    visited.append(int(commune_id))
+        return np.asarray(visited, dtype=int)
+
+
+def _point_segment_distance(
+    points: np.ndarray, a: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Distance from each point to the segment ``a-b`` (vectorized)."""
+    ab = b - a
+    denom = float(ab @ ab)
+    if denom == 0.0:
+        return np.linalg.norm(points - a, axis=1)
+    t = np.clip(((points - a) @ ab) / denom, 0.0, 1.0)
+    proj = a[None, :] + t[:, None] * ab[None, :]
+    return np.linalg.norm(points - proj, axis=1)
+
+
+def build_rail_network(
+    grid: CommuneGrid,
+    city_model: CityModel,
+    n_hub_cities: int = 8,
+    n_cross_links: int = 2,
+) -> RailNetwork:
+    """Build the star-plus-crosslinks high-speed rail network.
+
+    The largest city is the hub of a star reaching every other hub city
+    (the French LGV layout radiates from Paris); ``n_cross_links``
+    additional edges connect the geographically closest non-adjacent hub
+    pairs, adding the few transversal lines France has.
+    """
+    if n_hub_cities < 2:
+        raise ValueError(f"n_hub_cities must be >= 2, got {n_hub_cities}")
+    hubs = city_model.largest(n_hub_cities)
+    centre = hubs[0]
+
+    graph = nx.Graph()
+    for city in hubs:
+        graph.add_node(city.rank, x_km=city.x_km, y_km=city.y_km)
+
+    segments: List[RailSegment] = []
+
+    def add_edge(u: City, v: City) -> None:
+        segment = RailSegment(
+            u=u.rank,
+            v=v.rank,
+            start_km=(u.x_km, u.y_km),
+            end_km=(v.x_km, v.y_km),
+        )
+        graph.add_edge(u.rank, v.rank, length_km=segment.length_km, segment=segment)
+        segments.append(segment)
+
+    for city in hubs[1:]:
+        add_edge(centre, city)
+
+    # Cross links between the closest pairs of non-centre hubs.
+    candidates = []
+    for i in range(1, len(hubs)):
+        for j in range(i + 1, len(hubs)):
+            d = np.hypot(hubs[i].x_km - hubs[j].x_km, hubs[i].y_km - hubs[j].y_km)
+            candidates.append((float(d), i, j))
+    candidates.sort()
+    for _, i, j in candidates[:n_cross_links]:
+        if not graph.has_edge(hubs[i].rank, hubs[j].rank):
+            add_edge(hubs[i], hubs[j])
+
+    return RailNetwork(graph=graph, segments=segments, grid=grid, hub_cities=hubs)
+
+
+__all__ = ["RailSegment", "RailNetwork", "build_rail_network"]

@@ -1,0 +1,88 @@
+"""RAN and core network elements.
+
+Mirrors the simplified architecture of the paper's Fig. 1: on the 3G side
+NodeBs connect through RNCs and SGSNs to a GGSN; on the 4G side eNodeBs
+connect through the MME (control) and S-GW to a P-GW.  The GGSN and P-GW
+are co-located (as in the Orange deployment), which is where the passive
+probes sit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.geo.coverage import Technology
+
+
+class CoreNodeRole(enum.Enum):
+    """Roles of packet-core elements."""
+
+    RNC = "RNC"
+    SGSN = "SGSN"
+    GGSN = "GGSN"
+    MME = "MME"
+    SGW = "S-GW"
+    PGW = "P-GW"
+
+
+@dataclass(frozen=True)
+class CoreNode:
+    """One packet-core element."""
+
+    node_id: int
+    role: CoreNodeRole
+
+    def __str__(self) -> str:
+        return f"{self.role.value}-{self.node_id}"
+
+
+@dataclass(frozen=True)
+class BaseStation:
+    """A NodeB (3G) or eNodeB (4G) serving one commune.
+
+    Base stations are the anchors of geo-referencing: the ULI reported in
+    GTP-C messages identifies the serving cell, and the dataset pipeline
+    maps each base station to the commune where it is deployed (§2).
+    """
+
+    bs_id: int
+    commune_id: int
+    technology: Technology
+    x_km: float
+    y_km: float
+    routing_area_id: int
+
+    @property
+    def kind(self) -> str:
+        return "eNodeB" if self.technology is Technology.G4 else "NodeB"
+
+    def __str__(self) -> str:
+        return f"{self.kind}-{self.bs_id}@commune{self.commune_id}"
+
+
+@dataclass
+class RoutingArea:
+    """A 3G Routing Area / 4G Tracking Area.
+
+    ULI updates happen on RA/TA changes (and on session establishment and
+    inter-RAT handover), which is what limits the paper's localization
+    accuracy; the simulator reproduces that update behaviour.
+    """
+
+    area_id: int
+    commune_ids: List[int] = field(default_factory=list)
+    serving_sgsn: int = 0
+    serving_mme: int = 0
+
+    def contains(self, commune_id: int) -> bool:
+        return commune_id in self._commune_set
+
+    @property
+    def _commune_set(self) -> set:
+        # Computed lazily but cheaply; RAs hold tens of communes.
+        return set(self.commune_ids)
+
+
+__all__ = ["CoreNodeRole", "CoreNode", "BaseStation", "RoutingArea"]

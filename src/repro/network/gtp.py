@@ -1,0 +1,194 @@
+"""GPRS Tunneling Protocol structures.
+
+The probes of the paper tap two planes at the Gn (3G) and S5/S8 (4G)
+interfaces:
+
+- **GTP-C** (control): PDP-context and EPS-bearer signalling, from which
+  the User Location Information (ULI) is extracted to geo-reference each
+  IP session;
+- **GTP-U** (user): the tunneled IP traffic itself, from which per-flow
+  byte counts and DPI fingerprint material are extracted.
+
+This module models the message structures the probes parse.  Only the
+fields the measurement pipeline needs are carried — the point is to
+reproduce the probe's *information flow*, not the wire format.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geo.coverage import Technology
+
+
+class GtpcMessageType(enum.Enum):
+    """Control-plane messages relevant to the probes.
+
+    The 3G names follow GTPv1-C (TS 29.060), the 4G names GTPv2-C
+    (TS 29.274); both planes transit the probed interfaces.
+    """
+
+    # 3G / GTPv1-C
+    CREATE_PDP_CONTEXT_REQUEST = "CreatePDPContextRequest"
+    CREATE_PDP_CONTEXT_RESPONSE = "CreatePDPContextResponse"
+    UPDATE_PDP_CONTEXT_REQUEST = "UpdatePDPContextRequest"
+    DELETE_PDP_CONTEXT_REQUEST = "DeletePDPContextRequest"
+    # 4G / GTPv2-C
+    CREATE_SESSION_REQUEST = "CreateSessionRequest"
+    CREATE_SESSION_RESPONSE = "CreateSessionResponse"
+    MODIFY_BEARER_REQUEST = "ModifyBearerRequest"
+    DELETE_SESSION_REQUEST = "DeleteSessionRequest"
+
+    @property
+    def is_3g(self) -> bool:
+        return "PDP" in self.value
+
+    @property
+    def creates_tunnel(self) -> bool:
+        return self in (
+            GtpcMessageType.CREATE_PDP_CONTEXT_REQUEST,
+            GtpcMessageType.CREATE_SESSION_REQUEST,
+        )
+
+    @property
+    def updates_location(self) -> bool:
+        return self in (
+            GtpcMessageType.CREATE_PDP_CONTEXT_REQUEST,
+            GtpcMessageType.UPDATE_PDP_CONTEXT_REQUEST,
+            GtpcMessageType.CREATE_SESSION_REQUEST,
+            GtpcMessageType.MODIFY_BEARER_REQUEST,
+        )
+
+    @property
+    def deletes_tunnel(self) -> bool:
+        return self in (
+            GtpcMessageType.DELETE_PDP_CONTEXT_REQUEST,
+            GtpcMessageType.DELETE_SESSION_REQUEST,
+        )
+
+
+@dataclass(frozen=True)
+class UserLocationInformation:
+    """The ULI information element (SAI/CGI on 3G, ECGI/TAI on 4G).
+
+    ``cell_commune_id`` is the commune of the reporting cell — the
+    simulator's stand-in for the cell identifier that the real pipeline
+    resolves to a commune through the operator's cell database.
+    """
+
+    technology: Technology
+    routing_area_id: int
+    cell_id: int
+    cell_commune_id: int
+
+    def __str__(self) -> str:
+        area = "TAI" if self.technology is Technology.G4 else "SAI"
+        return f"ULI[{area}={self.routing_area_id} cell={self.cell_id}]"
+
+
+@dataclass(frozen=True)
+class GtpcMessage:
+    """A control-plane message observed on Gn or S5/S8."""
+
+    message_type: GtpcMessageType
+    timestamp_s: float
+    imsi_hash: int
+    teid: int
+    uli: Optional[UserLocationInformation] = None
+
+    def __post_init__(self) -> None:
+        if self.message_type.updates_location and self.uli is None:
+            raise ValueError(
+                f"{self.message_type.value} must carry a ULI information element"
+            )
+
+    @property
+    def interface(self) -> str:
+        """The probed interface this message transits."""
+        return "Gn" if self.message_type.is_3g else "S5/S8"
+
+
+@dataclass(frozen=True)
+class FlowDescriptor:
+    """DPI-relevant attributes of one IP flow.
+
+    These are the features the operator's proprietary classifier uses:
+    the TLS SNI (when present), the HTTP host (for clear-text flows),
+    the server port, the transport protocol, and an opaque payload hint
+    standing in for stateful protocol fingerprints.  They ride inside the
+    GTP-U payload, which is where the probes extract them from.
+    """
+
+    flow_id: int
+    sni: Optional[str]
+    host: Optional[str]
+    server_port: int
+    protocol: str  # "tcp" / "udp"
+    payload_hint: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.server_port < 65536:
+            raise ValueError(f"invalid server port {self.server_port}")
+        if self.protocol not in ("tcp", "udp"):
+            raise ValueError(f"protocol must be tcp or udp, got {self.protocol!r}")
+
+
+@dataclass(frozen=True)
+class GtpuPacket:
+    """An accounting record of user-plane traffic within one tunnel.
+
+    Rather than simulating individual IP packets, the simulator batches
+    the traffic a flow exchanges within one reporting interval into one
+    ``GtpuPacket`` carrying byte counters — the same granularity at which
+    the real probes export flow records.
+    """
+
+    timestamp_s: float
+    teid: int
+    flow: FlowDescriptor
+    dl_bytes: float
+    ul_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.dl_bytes < 0 or self.ul_bytes < 0:
+            raise ValueError("byte counters must be non-negative")
+
+    @property
+    def total_bytes(self) -> float:
+        return self.dl_bytes + self.ul_bytes
+
+
+class TeidAllocator:
+    """Allocates unique Tunnel Endpoint IDs.
+
+    Real GGSNs/P-GWs allocate 32-bit TEIDs per tunnel endpoint; the
+    simulator only needs uniqueness, so a simple counter (wrapping within
+    32 bits) suffices.
+    """
+
+    _MAX = 2**32
+
+    def __init__(self, start: int = 1):
+        if not 0 < start < self._MAX:
+            raise ValueError(f"start must be in (0, 2^32), got {start}")
+        self._counter = itertools.count(start)
+
+    def allocate(self) -> int:
+        """Return the next TEID."""
+        teid = next(self._counter) % self._MAX
+        if teid == 0:  # TEID 0 is reserved for signalling
+            teid = next(self._counter) % self._MAX
+        return teid
+
+
+__all__ = [
+    "GtpcMessageType",
+    "UserLocationInformation",
+    "GtpcMessage",
+    "FlowDescriptor",
+    "GtpuPacket",
+    "TeidAllocator",
+]

@@ -1,0 +1,232 @@
+"""PDP context / EPS bearer lifecycle and IP flows.
+
+A :class:`UserSession` models one data session: on 3G a PDP context, on
+4G an EPS bearer (the differences that matter to the probes — message
+names, interface, ULI format — are captured; the rest is deliberately
+uniform).  The :class:`SessionManager` drives lifecycles and publishes
+the resulting control- and user-plane events to registered listeners,
+which is exactly how the passive probes observe the network.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Callable, List
+
+import numpy as np
+
+from repro.geo.coverage import Technology
+from repro.network.gtp import (
+    FlowDescriptor,
+    GtpcMessage,
+    GtpcMessageType,
+    GtpuPacket,
+    TeidAllocator,
+    UserLocationInformation,
+)
+from repro.network.topology import NetworkTopology
+
+
+class BearerState(enum.Enum):
+    """Lifecycle states of a PDP context / EPS bearer."""
+
+    IDLE = "idle"
+    ACTIVE = "active"
+    RELEASED = "released"
+
+
+@dataclass
+class UserSession:
+    """One active data session of one subscriber."""
+
+    imsi_hash: int
+    teid: int
+    technology: Technology
+    uli: UserLocationInformation
+    state: BearerState = BearerState.ACTIVE
+    established_at_s: float = 0.0
+
+    @property
+    def is_3g(self) -> bool:
+        return self.technology is Technology.G3
+
+
+ControlListener = Callable[[GtpcMessage], None]
+UserPlaneListener = Callable[[GtpuPacket], None]
+
+
+class SessionManager:
+    """Creates, relocates and tears down sessions, publishing GTP events.
+
+    The manager plays the role of the whole signalling chain
+    (SGSN↔GGSN / MME↔S-GW↔P-GW): callers only say *what happens to the
+    subscriber* (attach, move, transfer traffic, detach) and the manager
+    emits the control- and user-plane messages a probe on Gn / S5-S8
+    would see.
+    """
+
+    def __init__(self, topology: NetworkTopology, rng: np.random.Generator):
+        self._topology = topology
+        self._rng = rng
+        self._teids = TeidAllocator()
+        self._control_listeners: List[ControlListener] = []
+        self._user_listeners: List[UserPlaneListener] = []
+        self.active_sessions: dict = {}
+
+    def add_control_listener(self, listener: ControlListener) -> None:
+        """Subscribe to GTP-C messages (what a probe taps)."""
+        self._control_listeners.append(listener)
+
+    def add_user_plane_listener(self, listener: UserPlaneListener) -> None:
+        """Subscribe to GTP-U accounting records."""
+        self._user_listeners.append(listener)
+
+    def _emit_control(self, message: GtpcMessage) -> None:
+        for listener in self._control_listeners:
+            listener(message)
+
+    def _emit_user(self, packet: GtpuPacket) -> None:
+        for listener in self._user_listeners:
+            listener(packet)
+
+    def _uli_for(self, commune_id: int, technology: Technology) -> UserLocationInformation:
+        station = self._topology.serving_station(commune_id, technology, self._rng)
+        return UserLocationInformation(
+            technology=station.technology,
+            routing_area_id=station.routing_area_id,
+            cell_id=station.bs_id,
+            cell_commune_id=station.commune_id,
+        )
+
+    def attach(
+        self,
+        imsi_hash: int,
+        commune_id: int,
+        wants_4g: bool,
+        timestamp_s: float,
+    ) -> UserSession:
+        """Establish a data session for a subscriber camped in a commune."""
+        technology = self._topology.available_technology(commune_id, wants_4g)
+        uli = self._uli_for(commune_id, technology)
+        teid = self._teids.allocate()
+        session = UserSession(
+            imsi_hash=imsi_hash,
+            teid=teid,
+            technology=uli.technology,
+            uli=uli,
+            established_at_s=timestamp_s,
+        )
+        request = (
+            GtpcMessageType.CREATE_PDP_CONTEXT_REQUEST
+            if session.is_3g
+            else GtpcMessageType.CREATE_SESSION_REQUEST
+        )
+        response = (
+            GtpcMessageType.CREATE_PDP_CONTEXT_RESPONSE
+            if session.is_3g
+            else GtpcMessageType.CREATE_SESSION_RESPONSE
+        )
+        self._emit_control(
+            GtpcMessage(
+                message_type=request,
+                timestamp_s=timestamp_s,
+                imsi_hash=imsi_hash,
+                teid=teid,
+                uli=uli,
+            )
+        )
+        self._emit_control(
+            GtpcMessage(
+                message_type=response,
+                timestamp_s=timestamp_s,
+                imsi_hash=imsi_hash,
+                teid=teid,
+                uli=uli,
+            )
+        )
+        self.active_sessions[teid] = session
+        return session
+
+    def update_location(
+        self,
+        session: UserSession,
+        commune_id: int,
+        wants_4g: bool,
+        timestamp_s: float,
+    ) -> UserSession:
+        """Refresh a session's ULI after a RA/TA or inter-RAT change.
+
+        The caller (the :class:`~repro.network.handover.HandoverManager`)
+        decides *whether* the move warrants an update; this method emits
+        the corresponding UpdatePDPContext / ModifyBearer message.
+        """
+        if session.state is not BearerState.ACTIVE:
+            raise ValueError("cannot relocate a non-active session")
+        technology = self._topology.available_technology(commune_id, wants_4g)
+        uli = self._uli_for(commune_id, technology)
+        updated = replace(session, uli=uli, technology=uli.technology)
+        message_type = (
+            GtpcMessageType.UPDATE_PDP_CONTEXT_REQUEST
+            if updated.is_3g
+            else GtpcMessageType.MODIFY_BEARER_REQUEST
+        )
+        self._emit_control(
+            GtpcMessage(
+                message_type=message_type,
+                timestamp_s=timestamp_s,
+                imsi_hash=session.imsi_hash,
+                teid=session.teid,
+                uli=uli,
+            )
+        )
+        self.active_sessions[session.teid] = updated
+        return updated
+
+    def report_flow(
+        self,
+        session: UserSession,
+        flow: FlowDescriptor,
+        dl_bytes: float,
+        ul_bytes: float,
+        timestamp_s: float,
+    ) -> GtpuPacket:
+        """Account user-plane traffic for a flow inside a session."""
+        if session.state is not BearerState.ACTIVE:
+            raise ValueError("cannot carry traffic on a non-active session")
+        packet = GtpuPacket(
+            timestamp_s=timestamp_s,
+            teid=session.teid,
+            flow=flow,
+            dl_bytes=dl_bytes,
+            ul_bytes=ul_bytes,
+        )
+        self._emit_user(packet)
+        return packet
+
+    def detach(self, session: UserSession, timestamp_s: float) -> UserSession:
+        """Tear down a session."""
+        message_type = (
+            GtpcMessageType.DELETE_PDP_CONTEXT_REQUEST
+            if session.is_3g
+            else GtpcMessageType.DELETE_SESSION_REQUEST
+        )
+        self._emit_control(
+            GtpcMessage(
+                message_type=message_type,
+                timestamp_s=timestamp_s,
+                imsi_hash=session.imsi_hash,
+                teid=session.teid,
+            )
+        )
+        released = replace(session, state=BearerState.RELEASED)
+        self.active_sessions.pop(session.teid, None)
+        return released
+
+
+__all__ = [
+    "BearerState",
+    "FlowDescriptor",
+    "UserSession",
+    "SessionManager",
+]

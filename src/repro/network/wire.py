@@ -1,0 +1,314 @@
+"""GTP wire-format encoding and decoding.
+
+The simulator's probes exchange structured objects; real probes parse
+bytes.  This module implements the byte-level codec for the subset of
+GTP the pipeline models, so traces can be exported in (and re-ingested
+from) a wire-faithful form:
+
+- **GTPv1** header (3GPP TS 29.060 §6): version/PT/E/S/PN flags, message
+  type, length, TEID, optional sequence number — used by GTP-U and by
+  the 3G control plane (GTPv1-C);
+- **GTPv2** header (3GPP TS 29.274 §5.1): version/P/T flags, message
+  type, length, TEID, 3-byte sequence — the 4G control plane;
+- the **ULI information element** in a simplified TLV form carrying the
+  fields the pipeline uses (technology, area id, cell id).
+
+The codec is strict on decode: truncated buffers, bad versions and
+length mismatches raise :class:`WireFormatError` rather than returning
+partial objects.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.geo.coverage import Technology
+from repro.network.gtp import UserLocationInformation
+
+
+class WireFormatError(ValueError):
+    """Raised when a buffer does not parse as the expected structure."""
+
+
+# ----------------------------------------------------------------------
+# GTPv1 (TS 29.060): used on Gn for 3G control and for GTP-U
+# ----------------------------------------------------------------------
+
+#: GTPv1 message types the pipeline uses (TS 29.060 table 1).
+GTPV1_MESSAGE_TYPES = {
+    "EchoRequest": 1,
+    "CreatePDPContextRequest": 16,
+    "CreatePDPContextResponse": 17,
+    "UpdatePDPContextRequest": 18,
+    "DeletePDPContextRequest": 20,
+    "GPDU": 255,
+}
+
+_GTPV1_FIXED = struct.Struct("!BBHI")  # flags, type, length, teid
+
+
+@dataclass(frozen=True)
+class Gtpv1Header:
+    """The GTPv1 fixed header plus the optional sequence number."""
+
+    message_type: int
+    teid: int
+    payload_length: int
+    sequence: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.message_type <= 255:
+            raise ValueError(f"invalid message type {self.message_type}")
+        if not 0 <= self.teid < 2**32:
+            raise ValueError(f"invalid TEID {self.teid}")
+        if self.payload_length < 0:
+            raise ValueError("payload_length must be >= 0")
+        if self.sequence is not None and not 0 <= self.sequence < 2**16:
+            raise ValueError(f"invalid sequence {self.sequence}")
+
+    def encode(self) -> bytes:
+        """Serialize to wire bytes."""
+        has_seq = self.sequence is not None
+        # version=1 (bits 7-5), PT=1 (bit 4), E=0, S=seq flag, PN=0.
+        flags = (1 << 5) | (1 << 4) | ((1 << 1) if has_seq else 0)
+        length = self.payload_length + (4 if has_seq else 0)
+        header = _GTPV1_FIXED.pack(flags, self.message_type, length, self.teid)
+        if has_seq:
+            # Sequence (2 bytes) + N-PDU number + next-ext type, zeroed.
+            header += struct.pack("!HBB", self.sequence, 0, 0)
+        return header
+
+    @classmethod
+    def decode(cls, buffer: bytes) -> Tuple["Gtpv1Header", int]:
+        """Parse from wire bytes; returns (header, header_size)."""
+        if len(buffer) < _GTPV1_FIXED.size:
+            raise WireFormatError("buffer shorter than a GTPv1 header")
+        flags, message_type, length, teid = _GTPV1_FIXED.unpack_from(buffer)
+        version = flags >> 5
+        if version != 1:
+            raise WireFormatError(f"not GTPv1 (version {version})")
+        if not flags & (1 << 4):
+            raise WireFormatError("GTP' (PT=0) is not supported")
+        has_opt = bool(flags & 0b111)  # E, S or PN present
+        header_size = _GTPV1_FIXED.size + (4 if has_opt else 0)
+        sequence = None
+        if has_opt:
+            if len(buffer) < header_size:
+                raise WireFormatError("truncated GTPv1 optional fields")
+            if flags & (1 << 1):  # S flag
+                sequence = struct.unpack_from("!H", buffer, _GTPV1_FIXED.size)[0]
+        payload_length = length - (4 if has_opt else 0)
+        if payload_length < 0:
+            raise WireFormatError("GTPv1 length field inconsistent")
+        return (
+            cls(
+                message_type=message_type,
+                teid=teid,
+                payload_length=payload_length,
+                sequence=sequence,
+            ),
+            header_size,
+        )
+
+
+# ----------------------------------------------------------------------
+# GTPv2 (TS 29.274): the 4G control plane on S5/S8
+# ----------------------------------------------------------------------
+
+#: GTPv2 message types the pipeline uses (TS 29.274 table 6.1-1).
+GTPV2_MESSAGE_TYPES = {
+    "EchoRequest": 1,
+    "CreateSessionRequest": 32,
+    "CreateSessionResponse": 33,
+    "ModifyBearerRequest": 34,
+    "DeleteSessionRequest": 36,
+}
+
+_GTPV2_FIXED = struct.Struct("!BBH")  # flags, type, length
+
+
+@dataclass(frozen=True)
+class Gtpv2Header:
+    """The GTPv2 header with TEID present (T=1)."""
+
+    message_type: int
+    teid: int
+    payload_length: int
+    sequence: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.message_type <= 255:
+            raise ValueError(f"invalid message type {self.message_type}")
+        if not 0 <= self.teid < 2**32:
+            raise ValueError(f"invalid TEID {self.teid}")
+        if self.payload_length < 0:
+            raise ValueError("payload_length must be >= 0")
+        if not 0 <= self.sequence < 2**24:
+            raise ValueError(f"invalid sequence {self.sequence}")
+
+    def encode(self) -> bytes:
+        """Serialize to wire bytes."""
+        flags = (2 << 5) | (1 << 3)  # version=2, T=1
+        # Length counts everything after the first 4 octets.
+        length = 8 + self.payload_length
+        return (
+            _GTPV2_FIXED.pack(flags, self.message_type, length)
+            + struct.pack("!I", self.teid)
+            + self.sequence.to_bytes(3, "big")
+            + b"\x00"  # spare
+        )
+
+    @classmethod
+    def decode(cls, buffer: bytes) -> Tuple["Gtpv2Header", int]:
+        """Parse from wire bytes; returns (header, header_size)."""
+        if len(buffer) < 12:
+            raise WireFormatError("buffer shorter than a GTPv2 header")
+        flags, message_type, length = _GTPV2_FIXED.unpack_from(buffer)
+        if flags >> 5 != 2:
+            raise WireFormatError(f"not GTPv2 (version {flags >> 5})")
+        if not flags & (1 << 3):
+            raise WireFormatError("GTPv2 without TEID is not supported")
+        teid = struct.unpack_from("!I", buffer, 4)[0]
+        sequence = int.from_bytes(buffer[8:11], "big")
+        payload_length = length - 8
+        if payload_length < 0:
+            raise WireFormatError("GTPv2 length field inconsistent")
+        return (
+            cls(
+                message_type=message_type,
+                teid=teid,
+                payload_length=payload_length,
+                sequence=sequence,
+            ),
+            12,
+        )
+
+
+# ----------------------------------------------------------------------
+# ULI information element (simplified TLV)
+# ----------------------------------------------------------------------
+
+#: IE type code for ULI (the GTPv2 value; reused on both planes here).
+ULI_IE_TYPE = 86
+
+_ULI_BODY = struct.Struct("!BIII")  # technology, area, cell, commune
+
+
+def encode_uli(uli: UserLocationInformation) -> bytes:
+    """Serialize a ULI IE as type-length-value."""
+    body = _ULI_BODY.pack(
+        int(uli.technology),
+        uli.routing_area_id,
+        uli.cell_id,
+        uli.cell_commune_id,
+    )
+    return struct.pack("!BH", ULI_IE_TYPE, len(body)) + body
+
+
+def decode_uli(buffer: bytes) -> Tuple[UserLocationInformation, int]:
+    """Parse a ULI IE; returns (uli, bytes_consumed)."""
+    if len(buffer) < 3:
+        raise WireFormatError("buffer shorter than an IE header")
+    ie_type, length = struct.unpack_from("!BH", buffer)
+    if ie_type != ULI_IE_TYPE:
+        raise WireFormatError(f"not a ULI IE (type {ie_type})")
+    if len(buffer) < 3 + length or length != _ULI_BODY.size:
+        raise WireFormatError("truncated or malformed ULI IE")
+    technology, area, cell, commune = _ULI_BODY.unpack_from(buffer, 3)
+    try:
+        tech = Technology(technology)
+    except ValueError as exc:
+        raise WireFormatError(f"unknown technology code {technology}") from exc
+    return (
+        UserLocationInformation(
+            technology=tech,
+            routing_area_id=area,
+            cell_id=cell,
+            cell_commune_id=commune,
+        ),
+        3 + length,
+    )
+
+
+# ----------------------------------------------------------------------
+# Whole-message convenience: control message <-> bytes
+# ----------------------------------------------------------------------
+
+def encode_control_message(
+    message_name: str,
+    teid: int,
+    uli: Optional[UserLocationInformation] = None,
+    sequence: int = 0,
+    version: Optional[int] = None,
+) -> bytes:
+    """Encode a named control message (with optional ULI payload).
+
+    ``version`` disambiguates names that exist on both planes
+    (EchoRequest); unambiguous names infer it.
+    """
+    payload = encode_uli(uli) if uli is not None else b""
+    in_v1 = message_name in GTPV1_MESSAGE_TYPES
+    in_v2 = message_name in GTPV2_MESSAGE_TYPES
+    if not in_v1 and not in_v2:
+        raise ValueError(f"unknown control message {message_name!r}")
+    if version is None:
+        if in_v1 and in_v2:
+            raise ValueError(
+                f"{message_name!r} exists in GTPv1 and GTPv2; pass version="
+            )
+        version = 1 if in_v1 else 2
+    if version == 1 and in_v1:
+        header = Gtpv1Header(
+            message_type=GTPV1_MESSAGE_TYPES[message_name],
+            teid=teid,
+            payload_length=len(payload),
+            sequence=sequence & 0xFFFF,
+        )
+        return header.encode() + payload
+    if version == 2 and in_v2:
+        header = Gtpv2Header(
+            message_type=GTPV2_MESSAGE_TYPES[message_name],
+            teid=teid,
+            payload_length=len(payload),
+            sequence=sequence & 0xFFFFFF,
+        )
+        return header.encode() + payload
+    raise ValueError(
+        f"{message_name!r} is not a GTPv{version} message"
+    )
+
+
+def decode_control_message(
+    buffer: bytes,
+) -> Tuple[int, int, Optional[UserLocationInformation]]:
+    """Decode a control message; returns (version, teid, uli-or-None)."""
+    if not buffer:
+        raise WireFormatError("empty buffer")
+    version = buffer[0] >> 5
+    if version == 1:
+        header, size = Gtpv1Header.decode(buffer)
+    elif version == 2:
+        header, size = Gtpv2Header.decode(buffer)
+    else:
+        raise WireFormatError(f"unknown GTP version {version}")
+    payload = buffer[size : size + header.payload_length]
+    uli = None
+    if payload:
+        uli, _ = decode_uli(payload)
+    return version, header.teid, uli
+
+
+__all__ = [
+    "WireFormatError",
+    "GTPV1_MESSAGE_TYPES",
+    "GTPV2_MESSAGE_TYPES",
+    "Gtpv1Header",
+    "Gtpv2Header",
+    "ULI_IE_TYPE",
+    "encode_uli",
+    "decode_uli",
+    "encode_control_message",
+    "decode_control_message",
+]

@@ -1,0 +1,15 @@
+"""Text rendering of figures.
+
+matplotlib is not available in the reproduction environment, so every
+"figure" is emitted as data: aligned ASCII tables (:mod:`tables`),
+sparkline-style series strips (:mod:`series`), and density grids
+rendered as character maps (:mod:`maps`).  The benchmark harness prints
+these, which is the textual equivalent of regenerating the paper's
+plots.
+"""
+
+from repro.report.maps import render_grid
+from repro.report.series import render_series, sparkline
+from repro.report.tables import format_table
+
+__all__ = ["format_table", "sparkline", "render_series", "render_grid"]

@@ -1,0 +1,95 @@
+"""Grayscale image export of spatial grids (no matplotlib required).
+
+The Fig. 9 maps are density rasters; :func:`write_pgm` exports any
+2-D grid as a **binary PGM** (portable graymap) — a format every image
+viewer and converter opens — so the reproduction can ship actual map
+images without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+
+def grid_to_gray(
+    grid: np.ndarray,
+    log_scale: bool = True,
+    invert: bool = False,
+) -> np.ndarray:
+    """Map a grid to uint8 gray levels (NaN/empty cells -> 0).
+
+    With ``log_scale`` the gray level tracks log10 of the value,
+    matching the paper's logarithmic colour bars; ``invert`` renders
+    high values dark (print-friendly).
+    """
+    grid = np.asarray(grid, dtype=float)
+    if grid.ndim != 2:
+        raise ValueError(f"expected a 2-D grid, got shape {grid.shape}")
+    valid = np.isfinite(grid) & (grid > 0)
+    gray = np.zeros(grid.shape, dtype=np.uint8)
+    if not valid.any():
+        return gray
+    values = grid.copy()
+    if log_scale:
+        values[valid] = np.log10(values[valid])
+    lo = float(values[valid].min())
+    hi = float(values[valid].max())
+    span = hi - lo if hi > lo else 1.0
+    # Reserve 0 for empty cells; data occupies 1..255.
+    levels = 1 + np.round(254 * (values[valid] - lo) / span).astype(np.int64)
+    if invert:
+        levels = 256 - levels
+    gray[valid] = levels.astype(np.uint8)
+    return gray
+
+
+def write_pgm(
+    grid: np.ndarray,
+    path: Union[str, Path],
+    log_scale: bool = True,
+    invert: bool = False,
+    flip_north_up: bool = True,
+) -> Path:
+    """Write a grid as a binary PGM (P5) image; returns the path.
+
+    ``flip_north_up`` puts grid row 0 (the south edge in this package's
+    convention) at the bottom of the image.
+    """
+    gray = grid_to_gray(grid, log_scale=log_scale, invert=invert)
+    if flip_north_up:
+        gray = gray[::-1]
+    path = Path(path)
+    header = f"P5\n{gray.shape[1]} {gray.shape[0]}\n255\n".encode("ascii")
+    path.write_bytes(header + gray.tobytes())
+    return path
+
+
+def read_pgm(path: Union[str, Path]) -> np.ndarray:
+    """Read back a binary PGM written by :func:`write_pgm`."""
+    data = Path(path).read_bytes()
+    if not data.startswith(b"P5"):
+        raise ValueError(f"{path} is not a binary PGM")
+    parts = data.split(b"\n", 3)
+    if len(parts) < 4:
+        raise ValueError(f"{path} has a malformed PGM header")
+    width, height = (int(v) for v in parts[1].split())
+    maxval = int(parts[2])
+    if maxval != 255:
+        raise ValueError(f"unsupported maxval {maxval}")
+    pixels = np.frombuffer(parts[3][: width * height], dtype=np.uint8)
+    if pixels.size != width * height:
+        raise ValueError(f"{path} is truncated")
+    return pixels.reshape(height, width)
+
+
+def upscale(gray: np.ndarray, factor: int) -> np.ndarray:
+    """Nearest-neighbour upscaling, for viewable map sizes."""
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    return np.repeat(np.repeat(gray, factor, axis=0), factor, axis=1)
+
+
+__all__ = ["grid_to_gray", "write_pgm", "read_pgm", "upscale"]

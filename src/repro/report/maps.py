@@ -1,0 +1,65 @@
+"""Character rendering of spatial grids (the Fig. 9 maps, in text)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro._units import format_bytes
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_grid(
+    grid: np.ndarray,
+    title: Optional[str] = None,
+    log_scale: bool = True,
+    legend_units: str = "bytes",
+) -> str:
+    """Render a 2-D grid as shaded characters, darkest = highest.
+
+    NaN cells (no communes) render as spaces.  With ``log_scale`` the
+    shade tracks log10 of the value, matching the paper's logarithmic
+    colour bars.
+    """
+    grid = np.asarray(grid, dtype=float)
+    if grid.ndim != 2:
+        raise ValueError(f"expected a 2-D grid, got shape {grid.shape}")
+    valid = np.isfinite(grid) & (grid > 0)
+    lines = []
+    if title:
+        lines.append(title)
+    if not valid.any():
+        lines.append("(empty grid)")
+        return "\n".join(lines)
+
+    values = grid.copy()
+    if log_scale:
+        values[valid] = np.log10(values[valid])
+    lo = float(values[valid].min())
+    hi = float(values[valid].max())
+    span = hi - lo if hi > lo else 1.0
+
+    # Row 0 is the south edge; render north at the top.
+    for row in range(grid.shape[0] - 1, -1, -1):
+        chars = []
+        for col in range(grid.shape[1]):
+            if not valid[row, col]:
+                chars.append(" ")
+                continue
+            level = (values[row, col] - lo) / span
+            chars.append(_SHADES[min(len(_SHADES) - 1, int(level * len(_SHADES)))])
+        lines.append("".join(chars))
+
+    raw_lo = float(grid[valid].min())
+    raw_hi = float(grid[valid].max())
+    if legend_units == "bytes":
+        legend = f"scale: ' '={format_bytes(raw_lo)}  '@'={format_bytes(raw_hi)}"
+    else:
+        legend = f"scale: ' '={raw_lo:.3g}  '@'={raw_hi:.3g} {legend_units}"
+    lines.append(legend + ("  (log colour scale)" if log_scale else ""))
+    return "\n".join(lines)
+
+
+__all__ = ["render_grid"]

@@ -1,0 +1,58 @@
+"""Sparkline rendering of time series."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Render a series as a unicode block sparkline.
+
+    ``width`` resamples the series (by bin averaging) to at most that
+    many characters.
+    """
+    data = np.asarray(values, dtype=float)
+    if data.ndim != 1 or data.size == 0:
+        raise ValueError("need a non-empty 1-D series")
+    if width is not None and width > 0 and data.size > width:
+        edges = np.linspace(0, data.size, width + 1).astype(int)
+        data = np.array(
+            [data[a:b].mean() if b > a else data[min(a, data.size - 1)]
+             for a, b in zip(edges[:-1], edges[1:])]
+        )
+    lo, hi = float(np.nanmin(data)), float(np.nanmax(data))
+    if hi <= lo:
+        return _BLOCKS[1] * data.size
+    scaled = (data - lo) / (hi - lo) * (len(_BLOCKS) - 2) + 1
+    return "".join(_BLOCKS[int(round(v))] for v in scaled)
+
+
+def render_series(
+    label: str,
+    values: Sequence[float],
+    width: int = 84,
+    markers: Optional[Sequence[int]] = None,
+) -> str:
+    """One labelled sparkline line, optionally with a marker strip.
+
+    ``markers`` are bin indices (e.g. detected peak fronts); a second
+    line carries ``^`` carets under the marked positions, which is how
+    the Fig. 4 red lines appear in text form.
+    """
+    data = np.asarray(values, dtype=float)
+    line = f"{label:>16s} {sparkline(data, width=width)}"
+    if markers is None:
+        return line
+    strip = [" "] * min(width, data.size)
+    scale = len(strip) / data.size
+    for marker in markers:
+        pos = min(len(strip) - 1, int(marker * scale))
+        strip[pos] = "^"
+    return line + "\n" + " " * 17 + "".join(strip)
+
+
+__all__ = ["sparkline", "render_series"]

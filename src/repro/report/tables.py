@@ -1,0 +1,54 @@
+"""Aligned ASCII tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    max_col_width: int = 28,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Cells are stringified; floats keep whatever formatting the caller
+    applied before passing them in (pass pre-formatted strings for
+    control).  Overlong cells are truncated with an ellipsis.
+    """
+    if max_col_width < 4:
+        raise ValueError(f"max_col_width must be >= 4, got {max_col_width}")
+
+    def clip(value: object) -> str:
+        text = str(value)
+        if len(text) > max_col_width:
+            return text[: max_col_width - 1] + "…"
+        return text
+
+    str_rows: List[List[str]] = [[clip(c) for c in row] for row in rows]
+    str_headers = [clip(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(str_headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(str_headers)}"
+            )
+
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(str_headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+__all__ = ["format_table"]

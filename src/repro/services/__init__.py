@@ -1,0 +1,46 @@
+"""Mobile service catalog and usage models.
+
+The paper's dataset contains >500 detected services, of which 20 head
+services (over 60 % of total traffic) are analysed individually.  This
+package provides:
+
+- :mod:`repro.services.catalog` — the service registry: the 20 named head
+  services with categories and directional volume shares, plus a
+  Zipf-tailed long tail of anonymous services;
+- :mod:`repro.services.zipf` — the rank-volume law of Fig. 2 (Zipf head,
+  sharper-than-Zipf tail cutoff);
+- :mod:`repro.services.profiles` — per-service temporal profiles (base
+  diurnal rhythm + peaks at the paper's seven topical times) and spatial
+  profiles (urbanization affinity, density coupling, technology gating).
+"""
+
+from repro.services.catalog import (
+    HEAD_SERVICE_NAMES,
+    Service,
+    ServiceCatalog,
+    ServiceCategory,
+    build_catalog,
+)
+from repro.services.profiles import (
+    ProfileLibrary,
+    SpatialProfile,
+    TemporalProfile,
+    TopicalTime,
+    build_profile_library,
+)
+from repro.services.zipf import RankVolumeLaw, build_rank_volume_law
+
+__all__ = [
+    "Service",
+    "ServiceCategory",
+    "ServiceCatalog",
+    "HEAD_SERVICE_NAMES",
+    "build_catalog",
+    "RankVolumeLaw",
+    "build_rank_volume_law",
+    "TopicalTime",
+    "TemporalProfile",
+    "SpatialProfile",
+    "ProfileLibrary",
+    "build_profile_library",
+]

@@ -1,0 +1,242 @@
+"""Service registry.
+
+The 20 head services are those named in the paper (Figs. 3, 6, 7, 10, 11);
+their categories follow Fig. 3's legend, and their relative volume shares
+are set so that the paper's headline statistics hold:
+
+- video streaming ≈ 46 % of downlink (§3);
+- social networks and messaging occupy the top-three uplink positions
+  (SnapChat and Facebook explicitly named, §3);
+- uplink is less than one twentieth of the total load (§3, footnote 2);
+- the head covers over 60 % of the overall network traffic (§3).
+
+The remaining ~480 tail services carry Zipf-tailed volumes (Fig. 2) and
+are anonymous (the paper never names them).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.services.zipf import RankVolumeLaw, build_rank_volume_law
+
+
+class ServiceCategory(enum.Enum):
+    """Service categories, as per the legend of Fig. 3."""
+
+    STREAMING = "streaming"
+    SOCIAL = "social"
+    MESSAGING = "messaging"
+    CLOUD = "cloud"
+    WEB = "web"
+    STORE = "store"
+    GAMING = "gaming"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class Service:
+    """One mobile service.
+
+    ``dl_share`` / ``ul_share`` are the service's fractions of the total
+    *classified* traffic in each direction.  Head services carry the
+    paper-calibrated shares; tail services carry Zipf-law shares.
+    """
+
+    service_id: int
+    name: str
+    category: ServiceCategory
+    dl_share: float
+    ul_share: float
+    is_head: bool
+
+    def __post_init__(self) -> None:
+        if self.dl_share < 0 or self.ul_share < 0:
+            raise ValueError(f"negative share for service {self.name!r}")
+
+
+# name -> (category, dl share of classified DL, ul share of classified UL)
+# DL shares: video streaming (YouTube + iTunes + Facebook Video +
+# Instagram video + Netflix) sums to ~46.3 % of DL.
+# UL shares: SnapChat, Facebook, WhatsApp are the top three.
+_HEAD_SPEC = (
+    ("YouTube", ServiceCategory.STREAMING, 0.2300, 0.0600),
+    ("iTunes", ServiceCategory.STREAMING, 0.0850, 0.0250),
+    ("Facebook Video", ServiceCategory.STREAMING, 0.0620, 0.0400),
+    ("Instagram video", ServiceCategory.STREAMING, 0.0480, 0.0350),
+    ("Netflix", ServiceCategory.STREAMING, 0.0380, 0.0050),
+    ("Audio", ServiceCategory.STREAMING, 0.0290, 0.0150),
+    ("Facebook", ServiceCategory.SOCIAL, 0.0700, 0.1200),
+    ("Twitter", ServiceCategory.SOCIAL, 0.0220, 0.0500),
+    ("Google Services", ServiceCategory.WEB, 0.0320, 0.0450),
+    ("Instagram", ServiceCategory.SOCIAL, 0.0260, 0.0800),
+    ("News", ServiceCategory.WEB, 0.0160, 0.0100),
+    ("Adult", ServiceCategory.WEB, 0.0210, 0.0080),
+    ("Apple store", ServiceCategory.STORE, 0.0180, 0.0130),
+    ("Google Play", ServiceCategory.STORE, 0.0150, 0.0120),
+    ("iCloud", ServiceCategory.CLOUD, 0.0080, 0.0750),
+    ("SnapChat", ServiceCategory.SOCIAL, 0.0310, 0.1400),
+    ("WhatsApp", ServiceCategory.MESSAGING, 0.0070, 0.0900),
+    ("Mail", ServiceCategory.MESSAGING, 0.0090, 0.0300),
+    ("MMS", ServiceCategory.MESSAGING, 0.0030, 0.0200),
+    ("Pokemon Go", ServiceCategory.GAMING, 0.0050, 0.0070),
+)
+
+#: The paper's 20 head services, in Fig. 7 x-axis order.
+HEAD_SERVICE_NAMES = tuple(name for name, _, _, _ in _HEAD_SPEC)
+
+
+class ServiceCatalog:
+    """The full service registry: head services plus anonymous tail."""
+
+    def __init__(self, services: Sequence[Service], uplink_fraction: float):
+        if not services:
+            raise ValueError("catalog cannot be empty")
+        if not 0 < uplink_fraction < 0.5:
+            raise ValueError(
+                f"uplink_fraction must be in (0, 0.5), got {uplink_fraction}"
+            )
+        self._services: List[Service] = list(services)
+        self._by_name: Dict[str, Service] = {s.name: s for s in self._services}
+        if len(self._by_name) != len(self._services):
+            raise ValueError("duplicate service names in catalog")
+        self.uplink_fraction = float(uplink_fraction)
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def __iter__(self):
+        return iter(self._services)
+
+    def __getitem__(self, service_id: int) -> Service:
+        return self._services[service_id]
+
+    def by_name(self, name: str) -> Service:
+        """Look up a service by its display name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown service {name!r}") from None
+
+    @property
+    def head_services(self) -> List[Service]:
+        """The 20 named head services, in registry order."""
+        return [s for s in self._services if s.is_head]
+
+    @property
+    def tail_services(self) -> List[Service]:
+        """The anonymous tail services."""
+        return [s for s in self._services if not s.is_head]
+
+    def head_ids(self) -> np.ndarray:
+        """Dense ids of the head services."""
+        return np.array([s.service_id for s in self.head_services], dtype=int)
+
+    def in_category(self, category: ServiceCategory) -> List[Service]:
+        """All services of a category."""
+        return [s for s in self._services if s.category is category]
+
+    def volume_vector(self, direction: str) -> np.ndarray:
+        """Per-service share of total (DL+UL) classified traffic.
+
+        ``direction`` is ``"dl"`` or ``"ul"``.  Downlink shares sum to
+        ``1 - uplink_fraction``; uplink shares sum to ``uplink_fraction``,
+        so that uplink carries less than one twentieth of the total load
+        with the default fraction.
+        """
+        if direction == "dl":
+            shares = np.array([s.dl_share for s in self._services])
+            return shares * (1.0 - self.uplink_fraction)
+        if direction == "ul":
+            shares = np.array([s.ul_share for s in self._services])
+            return shares * self.uplink_fraction
+        raise ValueError(f"direction must be 'dl' or 'ul', got {direction!r}")
+
+    def category_share(self, category: ServiceCategory, direction: str) -> float:
+        """Share of a category within one direction's classified traffic."""
+        members = {s.service_id for s in self.in_category(category)}
+        shares = np.array(
+            [
+                s.dl_share if direction == "dl" else s.ul_share
+                for s in self._services
+                if s.service_id in members
+            ]
+        )
+        return float(shares.sum())
+
+    def head_share(self, direction: str) -> float:
+        """Share of head services within one direction's classified traffic."""
+        attr = "dl_share" if direction == "dl" else "ul_share"
+        if direction not in ("dl", "ul"):
+            raise ValueError(f"direction must be 'dl' or 'ul', got {direction!r}")
+        return float(sum(getattr(s, attr) for s in self.head_services))
+
+
+def build_catalog(
+    n_services: int = 520,
+    uplink_fraction: float = 0.045,
+    dl_law: Optional[RankVolumeLaw] = None,
+    ul_law: Optional[RankVolumeLaw] = None,
+) -> ServiceCatalog:
+    """Build the full catalog: 20 head services + a Zipf-tailed long tail.
+
+    Tail volumes follow :class:`RankVolumeLaw` (Zipf with exponent 1.69 DL
+    / 1.55 UL over the top half of ranks, sharper decay beyond — Fig. 2),
+    renormalized so the tail carries whatever classified volume the head
+    leaves over.
+    """
+    n_head = len(_HEAD_SPEC)
+    if n_services <= n_head:
+        raise ValueError(
+            f"n_services must exceed the {n_head} head services, got {n_services}"
+        )
+    n_tail = n_services - n_head
+    dl_law = dl_law or build_rank_volume_law(n_services, exponent=1.69)
+    ul_law = ul_law or build_rank_volume_law(n_services, exponent=1.55)
+
+    head_dl = sum(spec[2] for spec in _HEAD_SPEC)
+    head_ul = sum(spec[3] for spec in _HEAD_SPEC)
+
+    # Tail shares continue the rank-volume law from rank n_head+1 onward.
+    tail_dl = dl_law.volumes[n_head:]
+    tail_ul = ul_law.volumes[n_head:]
+    tail_dl = tail_dl / tail_dl.sum() * (1.0 - head_dl)
+    tail_ul = tail_ul / tail_ul.sum() * (1.0 - head_ul)
+
+    services: List[Service] = []
+    for idx, (name, category, dl, ul) in enumerate(_HEAD_SPEC):
+        services.append(
+            Service(
+                service_id=idx,
+                name=name,
+                category=category,
+                dl_share=dl,
+                ul_share=ul,
+                is_head=True,
+            )
+        )
+    for t in range(n_tail):
+        services.append(
+            Service(
+                service_id=n_head + t,
+                name=f"service-{n_head + t:04d}",
+                category=ServiceCategory.OTHER,
+                dl_share=float(tail_dl[t]),
+                ul_share=float(tail_ul[t]),
+                is_head=False,
+            )
+        )
+    return ServiceCatalog(services, uplink_fraction=uplink_fraction)
+
+
+__all__ = [
+    "ServiceCategory",
+    "Service",
+    "ServiceCatalog",
+    "HEAD_SERVICE_NAMES",
+    "build_catalog",
+]

@@ -1,0 +1,476 @@
+"""Per-service temporal and spatial usage profiles.
+
+These profiles are the generative model behind every figure of the paper.
+They encode, for each head service:
+
+**Temporal profile** — a normalized weekly demand curve built from
+
+- a base diurnal rhythm (overnight trough, daytime plateau, evening
+  shoulder), with separate weekday and weekend shapes;
+- additive activity peaks at a service-specific subset of the paper's
+  seven *topical times* (Fig. 6): weekday morning commute (8am), morning
+  break (10am), midday (1pm), afternoon commute (6pm) and evening (9pm),
+  plus weekend midday (1pm) and weekend evening (9pm), each with a
+  service-specific amplitude (Fig. 7).
+
+Because every service carries a different peak signature and base-shape
+parameters, the 20 nationwide series are mutually distinctive — which is
+what makes the paper's k-shape clustering inconclusive (Fig. 5).
+
+**Spatial profile** — per-subscriber demand intensity as a function of
+where the subscriber is:
+
+- urbanization-class multipliers (urban ≈ semi-urban, rural ≈ half,
+  TGV ≥ double — Fig. 11 top);
+- a mild coupling with population density shared across services (this
+  drives the strong pairwise spatial correlations of Fig. 10);
+- technology gating (Netflix requires 4G, hence its urban-only footprint
+  in Fig. 9) and a uniformity flag (iCloud background uploads are
+  density-independent, hence its low correlation with everything else).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro._time import TimeAxis, WEEKEND_DAYS, WORKING_DAYS
+from repro.geo.coverage import Technology
+from repro.geo.urbanization import UrbanizationClass
+from repro.services.catalog import HEAD_SERVICE_NAMES
+
+
+class TopicalTime(enum.Enum):
+    """The seven peak moments the paper finds across all services (§4)."""
+
+    MORNING_COMMUTE = "Morning commuting"  # 8am, working days
+    MORNING_BREAK = "Morning break"  # 10am, working days
+    MIDDAY = "Midday"  # 1pm, working days
+    AFTERNOON_COMMUTE = "Afternoon commuting"  # 6pm, working days
+    EVENING = "Evening"  # 9pm, working days
+    WEEKEND_MIDDAY = "Weekend midday"  # 1pm, weekends
+    WEEKEND_EVENING = "Weekend evening"  # 9pm, weekends
+
+    @property
+    def hour(self) -> float:
+        """Hour of day of the topical time."""
+        return _TOPICAL_HOURS[self]
+
+    @property
+    def days(self) -> Tuple[int, ...]:
+        """Days of the dataset week (0 = Saturday) on which it occurs."""
+        if self in (TopicalTime.WEEKEND_MIDDAY, TopicalTime.WEEKEND_EVENING):
+            return WEEKEND_DAYS
+        return WORKING_DAYS
+
+
+_TOPICAL_HOURS = {
+    TopicalTime.MORNING_COMMUTE: 8.0,
+    TopicalTime.MORNING_BREAK: 10.0,
+    TopicalTime.MIDDAY: 13.0,
+    TopicalTime.AFTERNOON_COMMUTE: 18.0,
+    TopicalTime.EVENING: 21.0,
+    TopicalTime.WEEKEND_MIDDAY: 13.0,
+    TopicalTime.WEEKEND_EVENING: 21.0,
+}
+
+#: Half-width (hours) of the interval the paper's z-score detector tags
+#: around a topical time; also the width of the generated peak bumps.
+PEAK_HALF_WIDTH_HOURS = 1.0
+
+
+@dataclass(frozen=True)
+class TemporalProfile:
+    """Weekly demand shape of one service."""
+
+    name: str
+    #: Peak amplitude at each topical time, as a fraction of the local
+    #: base level (0 = the service does not peak there).
+    peaks: Mapping[TopicalTime, float]
+    #: Overnight demand floor relative to the daytime plateau.
+    night_floor: float = 0.38
+    #: Height of the evening shoulder relative to the daytime plateau.
+    evening_shoulder: float = 0.35
+    #: Hour of the evening shoulder's centre.
+    evening_hour: float = 20.5
+    #: Weekend demand level relative to weekdays.
+    weekend_factor: float = 0.9
+    #: Hour of day around which the diurnal bump centres.
+    day_center: float = 14.5
+    #: Concentration of the diurnal bump (von Mises kappa): higher means
+    #: a sharper morning rise and evening fall.
+    day_kappa: float = 1.0
+
+    def __post_init__(self) -> None:
+        for topical, amplitude in self.peaks.items():
+            if amplitude < 0:
+                raise ValueError(
+                    f"negative peak amplitude for {self.name!r} at {topical}"
+                )
+        if not 0 < self.night_floor < 1:
+            raise ValueError(f"night_floor must be in (0, 1), got {self.night_floor}")
+        if self.day_kappa <= 0:
+            raise ValueError(f"day_kappa must be > 0, got {self.day_kappa}")
+
+    def base_day_curve(self, hours: np.ndarray, weekend: bool) -> np.ndarray:
+        """Base diurnal curve (no topical peaks) for one day type.
+
+        The curve is built from 24h-periodic components (a von Mises
+        diurnal bump plus a circular-Gaussian evening shoulder), so
+        concatenated days join continuously at midnight — a jump there
+        would read as a spurious activity peak to the z-score detector.
+        """
+        hours = np.asarray(hours, dtype=float)
+        centre = self.day_center + (1.0 if weekend else 0.0)
+        angle = 2.0 * np.pi * (hours - centre) / 24.0
+        bump = np.exp(self.day_kappa * (np.cos(angle) - 1.0))
+        low = float(np.exp(-2.0 * self.day_kappa))
+        bump = (bump - low) / (1.0 - low)
+        shoulder = self.evening_shoulder * _circular_bump(
+            hours, self.evening_hour, 1.8
+        )
+        curve = self.night_floor + (1.0 - self.night_floor) * bump + shoulder
+        if weekend:
+            curve = self.night_floor + (curve - self.night_floor) * self.weekend_factor
+        return curve
+
+    def weekly_curve(self, axis: TimeAxis, peak_scale: float = 1.0) -> np.ndarray:
+        """Normalized weekly demand curve (sums to 1) on ``axis``.
+
+        ``peak_scale`` multiplies every topical-peak amplitude; the
+        uplink direction of a service shares its base rhythm but peaks
+        harder or softer (content sharing vs content consumption), which
+        is what keeps the paper's DL and UL analyses from being copies
+        of each other.
+        """
+        if peak_scale < 0:
+            raise ValueError(f"peak_scale must be >= 0, got {peak_scale}")
+        hours = np.arange(24 * axis.bins_per_hour) / axis.bins_per_hour
+        weekday = self.base_day_curve(hours, weekend=False)
+        weekend = self.base_day_curve(hours, weekend=True)
+
+        days = []
+        for day in range(7):
+            is_weekend = day in WEEKEND_DAYS
+            base = (weekend if is_weekend else weekday).copy()
+            for topical, amplitude in self.peaks.items():
+                amplitude = amplitude * peak_scale
+                if amplitude <= 0 or day not in topical.days:
+                    continue
+                local = base[
+                    _nearest_bin(hours, topical.hour, axis.bins_per_hour)
+                ]
+                base = base + amplitude * local * _gaussian_bump(
+                    hours, topical.hour, PEAK_HALF_WIDTH_HOURS / 2.0
+                )
+            days.append(base)
+        curve = np.concatenate(days)
+        return curve / curve.sum()
+
+    def peak_set(self) -> Tuple[TopicalTime, ...]:
+        """Topical times at which this service genuinely peaks."""
+        return tuple(t for t, a in self.peaks.items() if a > 0)
+
+
+def _gaussian_bump(hours: np.ndarray, centre: float, sigma: float) -> np.ndarray:
+    return np.exp(-0.5 * ((hours - centre) / sigma) ** 2)
+
+
+def _circular_bump(hours: np.ndarray, centre: float, sigma: float) -> np.ndarray:
+    """Gaussian bump in circular (24 h wrap-around) hour distance."""
+    delta = np.abs(hours - centre)
+    delta = np.minimum(delta, 24.0 - delta)
+    return np.exp(-0.5 * (delta / sigma) ** 2)
+
+
+def _nearest_bin(hours: np.ndarray, hour: float, bins_per_hour: int) -> int:
+    return min(len(hours) - 1, int(round(hour * bins_per_hour)))
+
+
+@dataclass(frozen=True)
+class SpatialProfile:
+    """Where, and how intensely, one service is consumed."""
+
+    name: str
+    #: Per-subscriber intensity multiplier per urbanization class.
+    class_multipliers: Mapping[UrbanizationClass, float]
+    #: Exponent of the (density / national mean)^gamma coupling.
+    density_exponent: float = 1.20
+    #: Minimum technology the service needs to be usable.
+    required_technology: Technology = Technology.G3
+    #: Residual usage share in communes lacking the required technology
+    #: (e.g. Netflix at very low rates over 3G).
+    fallback_share: float = 1.0
+    #: Weight of the country-wide shared spatial field in this service's
+    #: per-commune variation; 0 makes the service spatially uniform.
+    shared_field_weight: float = 1.0
+    #: Standard deviation of the service-private lognormal noise.
+    private_noise_sigma: float = 0.35
+    #: Fraction of subscribers who use the service at all.  Low-adoption
+    #: services vanish from small communes (no adopters drawn), which is
+    #: what makes the paper's per-subscriber CDFs (Fig. 8) span from a
+    #: few KB to tens of MB across communes.
+    adoption_rate: float = 0.35
+
+    def __post_init__(self) -> None:
+        for cls in UrbanizationClass:
+            if cls not in self.class_multipliers:
+                raise ValueError(
+                    f"spatial profile {self.name!r} misses class {cls.label}"
+                )
+        if not 0 <= self.fallback_share <= 1:
+            raise ValueError(
+                f"fallback_share must be in [0, 1], got {self.fallback_share}"
+            )
+        if not 0 < self.adoption_rate <= 1:
+            raise ValueError(
+                f"adoption_rate must be in (0, 1], got {self.adoption_rate}"
+            )
+
+    def multiplier(self, cls: UrbanizationClass) -> float:
+        """Class multiplier accessor."""
+        return float(self.class_multipliers[cls])
+
+
+def _peaks(**kwargs: float) -> Dict[TopicalTime, float]:
+    """Shorthand building a peak map from keyword aliases."""
+    alias = {
+        "mc": TopicalTime.MORNING_COMMUTE,
+        "mb": TopicalTime.MORNING_BREAK,
+        "md": TopicalTime.MIDDAY,
+        "ac": TopicalTime.AFTERNOON_COMMUTE,
+        "ev": TopicalTime.EVENING,
+        "wm": TopicalTime.WEEKEND_MIDDAY,
+        "we": TopicalTime.WEEKEND_EVENING,
+    }
+    return {alias[k]: float(v) for k, v in kwargs.items() if v > 0}
+
+
+# Peak signatures (Fig. 6) and intensities (Fig. 7).  Almost every service
+# peaks at weekday midday; commuting and weekend-evening peaks hit large
+# (but different) service subsets; the morning-break peak singles out the
+# student-heavy services (SnapChat, Instagram, Facebook, Twitter).
+_TEMPORAL_SPEC: Dict[str, dict] = {
+    "YouTube": dict(
+        peaks=_peaks(mb=0.30, md=0.80, ac=0.30, ev=0.60, wm=0.30, we=0.45),
+        night_floor=0.40, evening_shoulder=0.45, weekend_factor=1.05,
+    ),
+    "iTunes": dict(
+        peaks=_peaks(mc=0.20, md=0.60, ev=0.50, we=0.30),
+        night_floor=0.35, evening_shoulder=0.40, weekend_factor=0.95,
+    ),
+    "Facebook Video": dict(
+        peaks=_peaks(mb=0.35, md=0.90, ac=0.40, ev=0.40, we=0.45),
+        night_floor=0.36, evening_shoulder=0.35, weekend_factor=1.0,
+    ),
+    "Instagram video": dict(
+        peaks=_peaks(mb=0.40, md=0.70, ac=0.45, ev=0.50, wm=0.30),
+        night_floor=0.42, evening_shoulder=0.40, weekend_factor=1.1,
+    ),
+    "Netflix": dict(
+        peaks=_peaks(md=0.30, ev=0.80, we=0.52),
+        night_floor=0.32, evening_shoulder=0.80, evening_hour=21.2,
+        weekend_factor=1.15,
+    ),
+    "Audio": dict(
+        peaks=_peaks(mc=0.90, md=0.50, ac=0.45),
+        night_floor=0.30, evening_shoulder=0.15, weekend_factor=0.7, day_center=13.0,
+    ),
+    "Facebook": dict(
+        peaks=_peaks(mc=0.30, mb=0.45, md=1.20, ac=0.40, ev=0.30, wm=0.45,
+                     we=0.38),
+        night_floor=0.38, evening_shoulder=0.30, weekend_factor=0.95,
+    ),
+    "Twitter": dict(
+        peaks=_peaks(mc=0.50, mb=0.35, md=0.90, ac=0.30, ev=0.20, wm=0.22),
+        night_floor=0.40, evening_shoulder=0.25, weekend_factor=0.85,
+    ),
+    "Google Services": dict(
+        peaks=_peaks(mc=0.60, md=1.00, ac=0.35, wm=0.15),
+        night_floor=0.34, evening_shoulder=0.20, weekend_factor=0.8, day_center=13.5,
+    ),
+    "Instagram": dict(
+        peaks=_peaks(mb=0.50, md=0.80, ac=0.40, ev=0.40, wm=0.38, we=0.52),
+        night_floor=0.44, evening_shoulder=0.35, weekend_factor=1.1,
+    ),
+    "News": dict(
+        peaks=_peaks(mc=1.10, mb=0.30, md=0.90, ac=0.30, wm=0.22),
+        night_floor=0.32, evening_shoulder=0.15, weekend_factor=0.75, day_center=12.0, day_kappa=1.2,
+    ),
+    "Adult": dict(
+        peaks=_peaks(md=0.40, ev=0.70, we=0.45),
+        night_floor=0.55, evening_shoulder=0.60, evening_hour=22.0,
+        weekend_factor=1.0,
+    ),
+    "Apple store": dict(
+        peaks=_peaks(md=1.30, ev=0.30, wm=0.30),
+        night_floor=0.32, evening_shoulder=0.25, weekend_factor=0.9,
+    ),
+    "Google Play": dict(
+        peaks=_peaks(md=1.10, ac=0.25, ev=0.30, wm=0.22, we=0.15),
+        night_floor=0.33, evening_shoulder=0.25, weekend_factor=0.9,
+    ),
+    "iCloud": dict(
+        peaks=_peaks(md=0.50, ev=0.40, wm=0.15, we=0.22),
+        night_floor=0.60, evening_shoulder=0.25, weekend_factor=0.95,
+    ),
+    "SnapChat": dict(
+        peaks=_peaks(mc=0.25, mb=0.50, md=1.00, ac=0.45, ev=0.35, wm=0.30,
+                     we=0.45),
+        night_floor=0.40, evening_shoulder=0.35, weekend_factor=1.05,
+    ),
+    "WhatsApp": dict(
+        peaks=_peaks(mc=0.35, mb=0.25, md=1.10, ac=0.40, ev=0.30, we=0.30),
+        night_floor=0.35, evening_shoulder=0.30, weekend_factor=0.95,
+    ),
+    "Mail": dict(
+        peaks=_peaks(mc=0.80, mb=0.30, md=1.00, ac=0.25),
+        night_floor=0.36, evening_shoulder=0.12, weekend_factor=0.6, day_center=12.5, day_kappa=1.2,
+    ),
+    "MMS": dict(
+        peaks=_peaks(mc=0.30, md=0.90, ac=0.30, ev=0.20, wm=0.38, we=0.15),
+        night_floor=0.30, evening_shoulder=0.20, weekend_factor=0.9,
+    ),
+    "Pokemon Go": dict(
+        peaks=_peaks(md=0.60, ac=0.50, ev=0.50, we=0.38),
+        night_floor=0.28, evening_shoulder=0.40, evening_hour=19.5,
+        weekend_factor=1.2,
+    ),
+}
+
+
+def _classes(urban: float, semi: float, rural: float, tgv: float) -> dict:
+    return {
+        UrbanizationClass.URBAN: urban,
+        UrbanizationClass.SEMI_URBAN: semi,
+        UrbanizationClass.RURAL: rural,
+        UrbanizationClass.TGV: tgv,
+    }
+
+
+# Spatial profiles (Figs. 9-11).  The default pattern — urban ≈ semi-urban,
+# rural about a half, TGV at least double — is shared by almost every
+# service; Netflix and iCloud are the two outliers the paper singles out.
+_DEFAULT_CLASSES = _classes(urban=1.0, semi=0.95, rural=0.50, tgv=2.30)
+
+# Service adoption rates: fraction of subscribers using the service at all.
+_ADOPTION = {
+    "YouTube": 0.60, "iTunes": 0.35, "Facebook Video": 0.50,
+    "Instagram video": 0.28, "Netflix": 0.03, "Audio": 0.20,
+    "Facebook": 0.55, "Twitter": 0.08, "Google Services": 0.80,
+    "Instagram": 0.30, "News": 0.20, "Adult": 0.15, "Apple store": 0.50,
+    "Google Play": 0.50, "iCloud": 0.30, "SnapChat": 0.25,
+    "WhatsApp": 0.35, "Mail": 0.45, "MMS": 0.50, "Pokemon Go": 0.10,
+}
+
+_SPATIAL_SPEC: Dict[str, dict] = {
+    name: dict(class_multipliers=_DEFAULT_CLASSES, adoption_rate=_ADOPTION[name])
+    for name in HEAD_SERVICE_NAMES
+}
+_SPATIAL_SPEC["Netflix"] = dict(
+    class_multipliers=_classes(urban=1.0, semi=0.55, rural=0.04, tgv=1.80),
+    density_exponent=1.50,
+    required_technology=Technology.G4,
+    fallback_share=0.05,
+    shared_field_weight=0.55,
+    private_noise_sigma=0.55,
+    adoption_rate=_ADOPTION["Netflix"],
+)
+_SPATIAL_SPEC["iCloud"] = dict(
+    class_multipliers=_classes(urban=1.0, semi=1.0, rural=0.93, tgv=1.05),
+    density_exponent=0.0,
+    shared_field_weight=0.10,
+    private_noise_sigma=0.30,
+    adoption_rate=_ADOPTION["iCloud"],
+)
+# Pokemon Go skews urban (the game needs points of interest) but not as
+# starkly as Netflix.
+_SPATIAL_SPEC["Pokemon Go"] = dict(
+    class_multipliers=_classes(urban=1.0, semi=0.85, rural=0.38, tgv=1.60),
+    density_exponent=1.00,
+    adoption_rate=_ADOPTION["Pokemon Go"],
+)
+
+
+@dataclass(frozen=True)
+class ProfileLibrary:
+    """Temporal + spatial profiles for every head service."""
+
+    temporal: Mapping[str, TemporalProfile]
+    spatial: Mapping[str, SpatialProfile]
+    #: Generic profile used for anonymous tail services.
+    tail_temporal: TemporalProfile = field(
+        default_factory=lambda: TemporalProfile(
+            name="tail",
+            peaks=_peaks(md=0.6, ev=0.3),
+        )
+    )
+    tail_spatial: SpatialProfile = field(
+        default_factory=lambda: SpatialProfile(
+            name="tail", class_multipliers=_DEFAULT_CLASSES
+        )
+    )
+
+    def temporal_for(self, service_name: str) -> TemporalProfile:
+        """Temporal profile for a service (tail default for unknown names)."""
+        return self.temporal.get(service_name, self.tail_temporal)
+
+    def spatial_for(self, service_name: str) -> SpatialProfile:
+        """Spatial profile for a service (tail default for unknown names)."""
+        return self.spatial.get(service_name, self.tail_spatial)
+
+    def peak_signature_matrix(self) -> Tuple[np.ndarray, list, list]:
+        """Binary (service x topical-time) matrix of designed peaks.
+
+        Returns the matrix along with the row (service) and column
+        (topical time) labels; used as ground truth by the Fig. 6 tests.
+        """
+        names = list(self.temporal.keys())
+        topicals = list(TopicalTime)
+        matrix = np.zeros((len(names), len(topicals)), dtype=bool)
+        for i, name in enumerate(names):
+            profile = self.temporal[name]
+            for j, topical in enumerate(topicals):
+                matrix[i, j] = profile.peaks.get(topical, 0.0) > 0
+        return matrix, names, topicals
+
+
+def build_profile_library(
+    temporal_overrides: Optional[Mapping[str, dict]] = None,
+    spatial_overrides: Optional[Mapping[str, dict]] = None,
+) -> ProfileLibrary:
+    """Build the default profile library, with optional per-service overrides.
+
+    Overrides are merged into the per-service spec dictionaries before the
+    profile objects are constructed, so callers can tweak single fields
+    (e.g. ``{"Netflix": {"fallback_share": 0.2}}``).
+    """
+    temporal: Dict[str, TemporalProfile] = {}
+    for name, spec in _TEMPORAL_SPEC.items():
+        merged = dict(spec)
+        if temporal_overrides and name in temporal_overrides:
+            merged.update(temporal_overrides[name])
+        temporal[name] = TemporalProfile(name=name, **merged)
+
+    spatial: Dict[str, SpatialProfile] = {}
+    for name, spec in _SPATIAL_SPEC.items():
+        merged = dict(spec)
+        if spatial_overrides and name in spatial_overrides:
+            merged.update(spatial_overrides[name])
+        spatial[name] = SpatialProfile(name=name, **merged)
+
+    return ProfileLibrary(temporal=temporal, spatial=spatial)
+
+
+__all__ = [
+    "TopicalTime",
+    "PEAK_HALF_WIDTH_HOURS",
+    "TemporalProfile",
+    "SpatialProfile",
+    "ProfileLibrary",
+    "build_profile_library",
+]

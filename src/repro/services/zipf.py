@@ -1,0 +1,101 @@
+"""The rank-volume law of Fig. 2.
+
+The paper observes that per-service traffic volumes span ~10 orders of
+magnitude; the top half of the ~500 services follows a Zipf distribution
+(exponent 1.69 downlink, 1.55 uplink) while the bottom half falls off
+faster ("a cut-off intervenes that separates the bottom half of
+services").  :func:`build_rank_volume_law` produces exactly that shape:
+
+    v(r) ∝ r^-e                       for r <= cutoff_rank
+    v(r) ∝ r^-e * exp(-(r - c)/tau)   for r >  cutoff_rank
+
+with ``tau`` chosen so that the full range spans ``orders_of_magnitude``
+decades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RankVolumeLaw:
+    """Normalized volumes by rank, plus the generating parameters."""
+
+    volumes: np.ndarray  # (n,), normalized to sum 1, decreasing
+    exponent: float
+    cutoff_rank: int
+    tail_scale: float
+
+    def __post_init__(self) -> None:
+        if np.any(np.diff(self.volumes) > 0):
+            raise ValueError("rank-volume law must be non-increasing")
+
+    @property
+    def n_services(self) -> int:
+        return int(self.volumes.shape[0])
+
+    def span_orders_of_magnitude(self) -> float:
+        """Decades between the largest and smallest service volume."""
+        return float(np.log10(self.volumes[0] / self.volumes[-1]))
+
+    def head_half(self) -> np.ndarray:
+        """Volumes of the top half of the ranking (the Zipf regime)."""
+        return self.volumes[: self.cutoff_rank]
+
+
+def build_rank_volume_law(
+    n_services: int,
+    exponent: float = 1.69,
+    orders_of_magnitude: float = 10.0,
+    cutoff_fraction: float = 0.5,
+) -> RankVolumeLaw:
+    """Build the Fig. 2 rank-volume law.
+
+    Parameters
+    ----------
+    n_services:
+        Total number of ranked services.
+    exponent:
+        Zipf exponent of the head (1.69 DL / 1.55 UL in the paper).
+    orders_of_magnitude:
+        Target span between the top and bottom service volumes.
+    cutoff_fraction:
+        Fraction of ranks in the pure-Zipf regime (the paper's "top half").
+    """
+    if n_services < 4:
+        raise ValueError(f"n_services must be >= 4, got {n_services}")
+    if exponent <= 0:
+        raise ValueError(f"exponent must be > 0, got {exponent}")
+    if not 0 < cutoff_fraction < 1:
+        raise ValueError(f"cutoff_fraction must be in (0, 1), got {cutoff_fraction}")
+
+    ranks = np.arange(1, n_services + 1, dtype=float)
+    cutoff_rank = max(2, int(round(cutoff_fraction * n_services)))
+    volumes = ranks**-exponent
+
+    # The pure-Zipf head spans exponent*log10(cutoff_rank) decades; the
+    # exponential tail factor supplies the remaining decades over the
+    # bottom-half ranks.
+    zipf_span = exponent * np.log10(float(n_services))
+    extra_decades = max(0.0, orders_of_magnitude - zipf_span)
+    tail_ranks = n_services - cutoff_rank
+    if tail_ranks > 0 and extra_decades > 0:
+        tail_scale = tail_ranks / (extra_decades * np.log(10.0))
+        beyond = ranks > cutoff_rank
+        volumes[beyond] *= np.exp(-(ranks[beyond] - cutoff_rank) / tail_scale)
+    else:
+        tail_scale = np.inf
+
+    volumes /= volumes.sum()
+    return RankVolumeLaw(
+        volumes=volumes,
+        exponent=exponent,
+        cutoff_rank=cutoff_rank,
+        tail_scale=float(tail_scale),
+    )
+
+
+__all__ = ["RankVolumeLaw", "build_rank_volume_law"]

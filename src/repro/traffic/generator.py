@@ -1,0 +1,213 @@
+"""Session-level workload generation.
+
+Drives synthetic subscribers through their week on the full network
+path: each data session is established through the
+:class:`~repro.network.session.SessionManager` (emitting the GTP-C
+signalling a probe taps), exchanges fingerprinted flows (GTP-U), follows
+the subscriber across communes (RA/TA handovers), and is torn down.
+
+The per-(subscriber, service) volumes and session times derive from the
+same :class:`~repro.traffic.intensity.IntensityModel` as the closed-form
+volume model, so the two resolutions agree on their statistical
+marginals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro._rng import SeedLike, as_generator, spawn
+from repro._time import WEEK_HOURS
+from repro.dpi.fingerprints import FingerprintDatabase
+from repro.network.handover import HandoverManager
+from repro.network.session import SessionManager
+from repro.network.topology import NetworkTopology
+from repro.traffic.intensity import IntensityModel
+from repro.traffic.mobility import MobilityModel
+from repro.traffic.subscribers import SubscriberPopulation
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of the session-level workload."""
+
+    #: Mean number of weekly sessions per (subscriber, adopted service).
+    sessions_per_service: float = 6.0
+    #: Mean flows per session (geometric).
+    flows_per_session: float = 2.0
+    #: Lognormal sigma of per-session volume jitter.
+    session_volume_sigma: float = 0.8
+    #: Sessions longer than this may span a mobility change (minutes).
+    long_session_minutes: float = 45.0
+
+    def __post_init__(self) -> None:
+        if self.sessions_per_service <= 0:
+            raise ValueError("sessions_per_service must be > 0")
+        if self.flows_per_session < 1:
+            raise ValueError("flows_per_session must be >= 1")
+
+
+class SessionLevelGenerator:
+    """Generates one measurement week of session-level traffic."""
+
+    def __init__(
+        self,
+        model: IntensityModel,
+        population: SubscriberPopulation,
+        topology: NetworkTopology,
+        fingerprints: FingerprintDatabase,
+        config: WorkloadConfig = WorkloadConfig(),
+        seed: SeedLike = None,
+    ):
+        self._model = model
+        self._population = population
+        self._topology = topology
+        self._fingerprints = fingerprints
+        self._config = config
+        rng = as_generator(seed)
+        self._rng = spawn(rng, "generator.main")
+        self._session_manager = SessionManager(topology, spawn(rng, "generator.net"))
+        self._mobility = MobilityModel(
+            population.country, seed=spawn(rng, "generator.mobility")
+        )
+        self._handover = HandoverManager(topology, self._session_manager)
+        self.sessions_generated = 0
+        self.flows_generated = 0
+        #: Optional localization auditor (see
+        #: :mod:`repro.network.localization`); when set, every reported
+        #: flow contributes a (true position, ULI cell) error sample.
+        self.auditor = None
+
+    @property
+    def session_manager(self) -> SessionManager:
+        """The session manager — attach probes here before running."""
+        return self._session_manager
+
+    @property
+    def mobility(self) -> MobilityModel:
+        return self._mobility
+
+    def run_week(self, time_limit_hours: Optional[float] = None) -> None:
+        """Generate the whole week of traffic for every subscriber.
+
+        ``time_limit_hours`` truncates the generated week (useful in
+        tests); sessions starting past the limit are skipped.
+        """
+        horizon = time_limit_hours if time_limit_hours is not None else WEEK_HOURS
+        for subscriber in self._population:
+            self._run_subscriber(subscriber, horizon)
+
+    def _run_subscriber(self, subscriber, horizon: float) -> None:
+        rng = self._rng
+        model = self._model
+        config = self._config
+        itinerary = self._mobility.itinerary_for(subscriber)
+        home = subscriber.home_commune
+        home_cls = self._population.country.class_of(home)
+        curves = model.class_temporal_weights[home_cls]
+        bins_per_hour = model.axis.bins_per_hour
+        adoption = model.adoption[home]
+
+        for service_index in subscriber.adopted_services:
+            # Per-adopter weekly volume: the commune-level expectation is
+            # adoption * per-adopter, so divide the per-subscriber figure
+            # by the local adoption rate.
+            p_adopt = max(float(adoption[service_index]), 1e-6)
+            weekly_dl = (
+                float(model.per_subscriber_dl[home, service_index])
+                / p_adopt
+                * subscriber.activity_scale
+            )
+            weekly_ul = (
+                float(model.per_subscriber_ul[home, service_index])
+                / p_adopt
+                * subscriber.activity_scale
+            )
+            n_sessions = int(rng.poisson(config.sessions_per_service))
+            if n_sessions == 0 or weekly_dl + weekly_ul <= 0:
+                continue
+
+            weights = curves[service_index]
+            bins = rng.choice(len(weights), size=n_sessions, p=weights / weights.sum())
+            jitter = np.exp(
+                rng.normal(0.0, config.session_volume_sigma, n_sessions)
+            )
+            jitter /= jitter.sum()
+            service_name = model.head_names[service_index]
+
+            for k in range(n_sessions):
+                start_hour = (bins[k] + rng.random()) / bins_per_hour
+                if start_hour >= horizon:
+                    continue
+                self._one_session(
+                    subscriber,
+                    itinerary,
+                    service_name,
+                    start_hour,
+                    weekly_dl * float(jitter[k]),
+                    weekly_ul * float(jitter[k]),
+                )
+
+    def _one_session(
+        self,
+        subscriber,
+        itinerary,
+        service_name: str,
+        start_hour: float,
+        dl_bytes: float,
+        ul_bytes: float,
+    ) -> None:
+        rng = self._rng
+        config = self._config
+        commune = itinerary.location_at(start_hour)
+        timestamp = start_hour * 3600.0
+        session = self._session_manager.attach(
+            imsi_hash=subscriber.imsi_hash,
+            commune_id=commune,
+            wants_4g=subscriber.has_4g_device,
+            timestamp_s=timestamp,
+        )
+        self.sessions_generated += 1
+
+        duration_minutes = float(rng.exponential(15.0)) + 1.0
+        n_flows = 1 + int(rng.geometric(1.0 / config.flows_per_session) - 1)
+        splits = rng.dirichlet(np.ones(n_flows))
+
+        # Long sessions may span a mobility change, exercising the
+        # handover path (and the ULI staleness it creates).
+        span_move = duration_minutes > config.long_session_minutes
+        mid_hour = min(start_hour + duration_minutes / 120.0, WEEK_HOURS - 1e-6)
+        mid_commune = itinerary.location_at(mid_hour)
+
+        for f in range(n_flows):
+            flow = self._fingerprints.emit_flow(service_name)
+            flow_time = timestamp + f * 30.0
+            true_commune = commune
+            if span_move and mid_commune != commune and f == n_flows - 1:
+                session = self._handover.move(
+                    session,
+                    mid_commune,
+                    subscriber.has_4g_device,
+                    mid_hour * 3600.0,
+                )
+                flow_time = mid_hour * 3600.0
+                true_commune = mid_commune
+            self._session_manager.report_flow(
+                session,
+                flow,
+                dl_bytes=dl_bytes * float(splits[f]),
+                ul_bytes=ul_bytes * float(splits[f]),
+                timestamp_s=flow_time,
+            )
+            self.flows_generated += 1
+            if self.auditor is not None:
+                self.auditor.record(true_commune, session.uli)
+
+        end = timestamp + duration_minutes * 60.0
+        self._session_manager.detach(session, timestamp_s=end)
+
+
+__all__ = ["WorkloadConfig", "SessionLevelGenerator"]

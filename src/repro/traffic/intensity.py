@@ -1,0 +1,285 @@
+"""The shared statistical model behind both workload resolutions.
+
+:class:`IntensityModel` turns the service profiles into concrete numbers:
+
+- ``per_subscriber_volume[c, s]`` — expected weekly bytes a subscriber
+  resident in commune ``c`` exchanges with head service ``s``
+  (adoption × per-adopter volume, modulated by urbanization class,
+  population density, technology gating and spatially-correlated noise);
+- ``temporal_weights[s, t]`` — the normalized weekly demand curve of
+  each head service, plus per-urbanization-class variants (near-identical
+  for urban/semi-urban/rural, train-schedule-gated for TGV communes).
+
+Both the closed-form volume model and the session-level generator draw
+from this object, which is what makes the two resolutions agree (tested
+in ``tests/integration/test_model_agreement.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro._rng import SeedLike, as_generator, spawn
+from repro._time import TimeAxis
+from repro.geo.country import Country
+from repro.geo.coverage import Technology
+from repro.geo.urbanization import UrbanizationClass
+from repro.services.catalog import ServiceCatalog
+from repro.services.profiles import ProfileLibrary
+
+#: Scale of the country-wide shared lognormal field (common to all
+#: services); drives the strong pairwise spatial correlations of Fig. 10.
+SHARED_FIELD_SIGMA = 1.0
+
+#: Strength of the per-class temporal perturbation for urban, semi-urban
+#: and rural communes (small: the paper finds timing barely depends on
+#: urbanization).
+CLASS_TEMPORAL_EPSILON = {
+    UrbanizationClass.URBAN: 0.00,
+    UrbanizationClass.SEMI_URBAN: 0.03,
+    UrbanizationClass.RURAL: 0.07,
+}
+
+#: Uplink topical-peak scaling by service category: sharing-oriented
+#: services burst upstream around social moments, streaming barely does.
+UPLINK_PEAK_SCALE = {
+    "social": 1.30,
+    "messaging": 1.30,
+    "cloud": 1.20,
+    "streaming": 0.75,
+}
+
+
+def train_schedule_gate(axis: TimeAxis) -> np.ndarray:
+    """Weekly gating curve of high-speed-rail ridership.
+
+    Trains run roughly 6am-10pm with departure waves in the morning,
+    around midday and in the late afternoon; weekend ridership leans to
+    Friday/Sunday evening returns.  TGV communes see traffic only while
+    trains pass, so their demand curves are the product of the service
+    curve and this gate — which is why the paper finds TGV temporal
+    dynamics uncorrelated with everybody else's (Fig. 11, bottom).
+    """
+    hours = axis.hours() % 24.0
+    gate = np.zeros(axis.n_bins)
+    in_service = (hours >= 6.0) & (hours <= 22.0)
+    gate[in_service] = 0.25
+    for centre, width, height in ((7.5, 1.2, 1.0), (12.5, 1.5, 0.6), (17.8, 1.5, 1.0)):
+        gate += height * np.exp(-0.5 * ((hours - centre) / width) ** 2)
+    gate[~in_service] *= 0.05
+    return gate
+
+
+def _class_perturbation(axis: TimeAxis, cls: UrbanizationClass) -> np.ndarray:
+    """Small deterministic per-class reshaping of the daily curve.
+
+    Rural evenings start earlier and mornings sharper; semi-urban sits in
+    between.  The perturbation is smooth and class-specific, so series of
+    the same service in different classes stay strongly correlated but
+    not identical.
+    """
+    hours = axis.hours() % 24.0
+    phase = {  # hours of small positive/negative pressure per class
+        UrbanizationClass.URBAN: 0.0,
+        UrbanizationClass.SEMI_URBAN: 0.4,
+        UrbanizationClass.RURAL: 0.9,
+    }.get(cls, 0.0)
+    return np.sin(2.0 * np.pi * (hours - 19.0 + phase) / 24.0)
+
+
+@dataclass
+class IntensityModel:
+    """Concrete intensities for one (country, catalog, profiles) triple."""
+
+    country: Country
+    catalog: ServiceCatalog
+    profiles: ProfileLibrary
+    axis: TimeAxis
+    total_weekly_bytes: float
+    #: (n_communes, n_head) expected weekly DL bytes per resident subscriber.
+    per_subscriber_dl: np.ndarray
+    #: (n_communes, n_head) expected weekly UL bytes per resident subscriber.
+    per_subscriber_ul: np.ndarray
+    #: (n_head, n_bins) normalized national temporal weights (downlink).
+    temporal_weights: np.ndarray
+    #: class -> (n_head, n_bins) normalized temporal weights (downlink).
+    class_temporal_weights: Dict[UrbanizationClass, np.ndarray]
+    #: (n_communes,) expected adopter share actually drawn per service —
+    #: kept for the session-level generator's adoption sampling.
+    adoption: np.ndarray  # (n_communes, n_head)
+    #: Uplink variants: same base rhythms, direction-scaled peaks.
+    temporal_weights_ul: Optional[np.ndarray] = None
+    class_temporal_weights_ul: Optional[Dict[UrbanizationClass, np.ndarray]] = None
+
+    @property
+    def head_names(self) -> List[str]:
+        return [s.name for s in self.catalog.head_services]
+
+    def expected_commune_volume(self, direction: str) -> np.ndarray:
+        """(n_communes, n_head) expected weekly commune volume."""
+        per_sub = self.per_subscriber_dl if direction == "dl" else self.per_subscriber_ul
+        if direction not in ("dl", "ul"):
+            raise ValueError(f"direction must be 'dl' or 'ul', got {direction!r}")
+        subs = self.country.subscribers_per_commune()
+        return per_sub * subs[:, None]
+
+    def temporal_for_commune(self, commune_id: int) -> np.ndarray:
+        """(n_head, n_bins) temporal weights for one commune's class."""
+        cls = self.country.class_of(commune_id)
+        return self.class_temporal_weights[cls]
+
+    def class_weights_for(
+        self, direction: str
+    ) -> Dict[UrbanizationClass, np.ndarray]:
+        """Per-class temporal weights for one direction."""
+        if direction == "dl":
+            return self.class_temporal_weights
+        if direction == "ul":
+            return self.class_temporal_weights_ul or self.class_temporal_weights
+        raise ValueError(f"direction must be 'dl' or 'ul', got {direction!r}")
+
+
+#: Nationwide weekly mobile data volume at full (30 M subscriber) scale,
+#: ~2016 French levels.  Scaled-down countries get a proportional share so
+#: per-subscriber volumes stay realistic at any tessellation size.
+REFERENCE_WEEKLY_BYTES = 8.0e15
+
+
+def build_intensity_model(
+    country: Country,
+    catalog: ServiceCatalog,
+    profiles: ProfileLibrary,
+    axis: TimeAxis = TimeAxis(1),
+    total_weekly_bytes: Optional[float] = None,
+    seed: SeedLike = None,
+) -> IntensityModel:
+    """Instantiate the shared statistical model.
+
+    The per-subscriber volume matrix is calibrated so the national
+    per-service totals match the catalog's volume shares exactly: the
+    spatial structure redistributes each service's national volume, it
+    never changes it — Fig. 2/3 therefore hold by construction while
+    Figs. 8-11 emerge from the redistribution.
+
+    ``total_weekly_bytes=None`` scales the reference nationwide volume by
+    the country's population scale.
+    """
+    if total_weekly_bytes is None:
+        total_weekly_bytes = REFERENCE_WEEKLY_BYTES * country.config.population_scale
+    rng = as_generator(seed)
+    field_rng = spawn(rng, "intensity.shared-field")
+    noise_rng = spawn(rng, "intensity.private-noise")
+
+    head = catalog.head_services
+    n_communes = country.n_communes
+    n_head = len(head)
+    density = country.population.density_km2
+    classes = country.urbanization.classes
+    subs = country.subscribers_per_commune()
+
+    # Density coupling is computed relative to each commune's *class
+    # median* density: it creates the within-class gradient that
+    # concentrates traffic on city cores (Fig. 8) and correlates services
+    # (Fig. 10) without shifting the class-aggregate per-subscriber
+    # levels that Fig. 11 pins to the class multipliers.
+    class_median = np.ones(n_communes)
+    for cls in UrbanizationClass:
+        mask = classes == int(cls)
+        if mask.any():
+            class_median[mask] = np.median(density[mask])
+    relative_density = np.maximum(density, 1e-9) / class_median
+
+    shared_field = field_rng.normal(0.0, 1.0, size=n_communes)
+
+    per_sub = {d: np.zeros((n_communes, n_head)) for d in ("dl", "ul")}
+    adoption = np.zeros((n_communes, n_head))
+    dl_shares = catalog.volume_vector("dl")
+    ul_shares = catalog.volume_vector("ul")
+
+    for j, service in enumerate(head):
+        spatial = profiles.spatial_for(service.name)
+        mult = np.array(
+            [spatial.multiplier(UrbanizationClass(int(c))) for c in classes]
+        )
+        coupling = relative_density**spatial.density_exponent
+        gate = np.ones(n_communes)
+        if spatial.required_technology is Technology.G4:
+            gate = np.where(country.coverage.has_4g, 1.0, spatial.fallback_share)
+        noise = np.exp(
+            SHARED_FIELD_SIGMA * spatial.shared_field_weight * shared_field
+            + spatial.private_noise_sigma * noise_rng.normal(0.0, 1.0, n_communes)
+        )
+        # Pin each class's subscriber-weighted mean of the gradient+noise
+        # term to 1, so the Fig. 11 class aggregates equal the class
+        # multipliers (the gradient only redistributes *within* classes).
+        gradient = coupling * noise
+        for cls in UrbanizationClass:
+            mask = classes == int(cls)
+            if mask.any():
+                weighted = float(
+                    (gradient[mask] * subs[mask]).sum() / max(subs[mask].sum(), 1e-9)
+                )
+                if weighted > 0:
+                    gradient[mask] /= weighted
+        shape = mult * gate * gradient
+        adoption[:, j] = np.clip(spatial.adoption_rate * np.sqrt(mult * gate), 0.0, 1.0)
+
+        for direction, shares in (("dl", dl_shares), ("ul", ul_shares)):
+            national = total_weekly_bytes * shares[service.service_id]
+            commune_volume = shape * subs
+            commune_volume = commune_volume / commune_volume.sum() * national
+            per_sub[direction][:, j] = commune_volume / np.maximum(subs, 1e-9)
+
+    def build_direction_curves(peak_scales):
+        curves = np.zeros((n_head, axis.n_bins))
+        for j, service in enumerate(head):
+            curves[j] = profiles.temporal_for(service.name).weekly_curve(
+                axis, peak_scale=peak_scales[j]
+            )
+        gate = train_schedule_gate(axis)
+        by_class: Dict[UrbanizationClass, np.ndarray] = {}
+        for cls in UrbanizationClass:
+            if cls is UrbanizationClass.TGV:
+                shaped = curves * gate[None, :]
+            else:
+                eps = CLASS_TEMPORAL_EPSILON[cls]
+                perturb = 1.0 + eps * _class_perturbation(axis, cls)[None, :]
+                shaped = curves * perturb
+            by_class[cls] = shaped / shaped.sum(axis=1, keepdims=True)
+        return curves, by_class
+
+    temporal, class_weights = build_direction_curves(np.ones(n_head))
+    # Uplink peaks harder for sharing-oriented services and softer for
+    # consumption-oriented ones — the DL and UL weekly shapes stay close
+    # but are not copies (the paper analyses them separately throughout).
+    ul_scales = np.array(
+        [UPLINK_PEAK_SCALE.get(s.category.value, 1.0) for s in head]
+    )
+    temporal_ul, class_weights_ul = build_direction_curves(ul_scales)
+
+    return IntensityModel(
+        country=country,
+        catalog=catalog,
+        profiles=profiles,
+        axis=axis,
+        total_weekly_bytes=total_weekly_bytes,
+        per_subscriber_dl=per_sub["dl"],
+        per_subscriber_ul=per_sub["ul"],
+        temporal_weights=temporal,
+        class_temporal_weights=class_weights,
+        adoption=adoption,
+        temporal_weights_ul=temporal_ul,
+        class_temporal_weights_ul=class_weights_ul,
+    )
+
+
+__all__ = [
+    "SHARED_FIELD_SIGMA",
+    "CLASS_TEMPORAL_EPSILON",
+    "train_schedule_gate",
+    "IntensityModel",
+    "build_intensity_model",
+]

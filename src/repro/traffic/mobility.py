@@ -1,0 +1,198 @@
+"""Weekly itineraries.
+
+The :class:`MobilityModel` answers one question for the session-level
+generator: *where is subscriber X at hour t of the week?*  Itineraries
+are deterministic per subscriber (drawn once from the subscriber's class
+and a seed), piecewise-constant in time:
+
+- **residents** stay in their home commune;
+- **commuters** are at work 9am-6pm on working days (arriving through
+  the 8am commute, leaving through the 6pm one);
+- **students** follow the school rhythm (8am-5pm) — their mid-morning
+  presence at school is what concentrates the morning-break usage peak
+  of the student-heavy services;
+- **TGV travellers** make return trips between two rail hubs on 1-3 days
+  of the week, traversing the corridor communes during the ride.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro._rng import SeedLike, as_generator
+from repro._time import DAYS_PER_WEEK, HOURS_PER_DAY, WORKING_DAYS, hour_of_week
+from repro.geo.country import Country
+from repro.traffic.subscribers import Subscriber, SubscriberClass
+
+
+@dataclass(frozen=True)
+class Itinerary:
+    """A piecewise-constant weekly location trajectory.
+
+    ``breakpoints`` are hour-of-week values (sorted, starting at 0.0) and
+    ``communes[i]`` is the commune occupied from ``breakpoints[i]`` until
+    the next breakpoint.
+    """
+
+    breakpoints: Tuple[float, ...]
+    communes: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.breakpoints) != len(self.communes):
+            raise ValueError("breakpoints and communes must have equal length")
+        if not self.breakpoints or self.breakpoints[0] != 0.0:
+            raise ValueError("itinerary must start at hour 0.0")
+        if list(self.breakpoints) != sorted(self.breakpoints):
+            raise ValueError("breakpoints must be sorted")
+
+    def location_at(self, hour: float) -> int:
+        """Commune occupied at a given hour-of-week."""
+        if not 0 <= hour < DAYS_PER_WEEK * HOURS_PER_DAY:
+            raise ValueError(f"hour must be in [0, 168), got {hour}")
+        idx = bisect.bisect_right(self.breakpoints, hour) - 1
+        return self.communes[idx]
+
+    def visited_communes(self) -> Tuple[int, ...]:
+        """Distinct communes, in first-visit order."""
+        seen: Dict[int, None] = {}
+        for commune in self.communes:
+            seen.setdefault(commune, None)
+        return tuple(seen.keys())
+
+
+def _segments_to_itinerary(
+    segments: List[Tuple[float, int]]
+) -> Itinerary:
+    """Collapse (start_hour, commune) segments, merging repeats."""
+    breakpoints: List[float] = []
+    communes: List[int] = []
+    for start, commune in segments:
+        if communes and communes[-1] == commune:
+            continue
+        breakpoints.append(start)
+        communes.append(commune)
+    return Itinerary(tuple(breakpoints), tuple(communes))
+
+
+class MobilityModel:
+    """Builds and caches per-subscriber weekly itineraries."""
+
+    def __init__(self, country: Country, seed: SeedLike = None):
+        self._country = country
+        self._rng = as_generator(seed)
+        self._cache: Dict[int, Itinerary] = {}
+
+    def itinerary_for(self, subscriber: Subscriber) -> Itinerary:
+        """Return (building on first use) the subscriber's itinerary."""
+        cached = self._cache.get(subscriber.imsi_hash)
+        if cached is not None:
+            return cached
+        builder = {
+            SubscriberClass.RESIDENT: self._resident,
+            SubscriberClass.COMMUTER: self._commuter,
+            SubscriberClass.STUDENT: self._student,
+            SubscriberClass.TGV_TRAVELLER: self._tgv_traveller,
+        }[subscriber.subscriber_class]
+        itinerary = builder(subscriber)
+        self._cache[subscriber.imsi_hash] = itinerary
+        return itinerary
+
+    def _resident(self, subscriber: Subscriber) -> Itinerary:
+        return Itinerary((0.0,), (subscriber.home_commune,))
+
+    def _daily_shuttle(
+        self, subscriber: Subscriber, leave: float, back: float
+    ) -> Itinerary:
+        work = subscriber.work_commune
+        if work is None or work == subscriber.home_commune:
+            return self._resident(subscriber)
+        segments: List[Tuple[float, int]] = [(0.0, subscriber.home_commune)]
+        for day in WORKING_DAYS:
+            segments.append((hour_of_week(day, leave), work))
+            segments.append((hour_of_week(day, back), subscriber.home_commune))
+        return _segments_to_itinerary(segments)
+
+    def _commuter(self, subscriber: Subscriber) -> Itinerary:
+        jitter = float(self._rng.uniform(-0.5, 0.5))
+        return self._daily_shuttle(subscriber, 8.0 + jitter, 18.2 + jitter)
+
+    def _student(self, subscriber: Subscriber) -> Itinerary:
+        return self._daily_shuttle(subscriber, 7.8, 17.2)
+
+    def _tgv_traveller(self, subscriber: Subscriber) -> Itinerary:
+        rail = self._country.rail
+        hubs = rail.hub_cities
+        if len(hubs) < 2:
+            return self._resident(subscriber)
+        rng = self._rng
+        origin, dest = rng.choice(len(hubs), size=2, replace=False)
+        origin_rank = hubs[int(origin)].rank
+        dest_rank = hubs[int(dest)].rank
+        corridor = rail.communes_along(origin_rank, dest_rank, corridor_km=4.0)
+        if corridor.size == 0:
+            return self._resident(subscriber)
+
+        n_trips = int(rng.integers(1, 4))
+        trip_days = sorted(
+            int(d) for d in rng.choice(DAYS_PER_WEEK, size=n_trips, replace=False)
+        )
+        segments: List[Tuple[float, int]] = [(0.0, subscriber.home_commune)]
+        ride_hours = max(1.0, len(corridor) * 0.02)  # ~300 km/h over ~6 km cells
+        for day in trip_days:
+            depart = float(rng.choice((7.5, 12.5, 17.5)))
+            self._append_ride(segments, day, depart, corridor, ride_hours)
+            # Return ride in the evening, along the reversed corridor.
+            return_depart = min(21.0, depart + ride_hours + 3.0)
+            self._append_ride(
+                segments, day, return_depart, corridor[::-1], ride_hours
+            )
+            arrive_home = hour_of_week(day, return_depart) + ride_hours
+            if arrive_home < DAYS_PER_WEEK * HOURS_PER_DAY:
+                segments.append((arrive_home, subscriber.home_commune))
+        segments.sort(key=lambda item: item[0])
+        return _segments_to_itinerary(segments)
+
+    @staticmethod
+    def _append_ride(
+        segments: List[Tuple[float, int]],
+        day: int,
+        depart: float,
+        corridor: Sequence[int],
+        ride_hours: float,
+    ) -> None:
+        start = hour_of_week(day, depart)
+        step = ride_hours / len(corridor)
+        for k, commune in enumerate(corridor):
+            t = start + k * step
+            if t >= DAYS_PER_WEEK * HOURS_PER_DAY:
+                break
+            segments.append((t, int(commune)))
+
+    def presence_matrix(
+        self, subscribers: Sequence[Subscriber], bins_per_hour: int = 1
+    ) -> np.ndarray:
+        """(n_communes, n_bins) count of subscribers present per bin.
+
+        A diagnostic/aggregation helper: integrates all itineraries onto a
+        time grid.  Used by tests and by the dataset pipeline to estimate
+        "average number of users per commune" the way the paper does.
+        """
+        n_bins = DAYS_PER_WEEK * HOURS_PER_DAY * bins_per_hour
+        presence = np.zeros((self._country.n_communes, n_bins), dtype=np.int32)
+        for subscriber in subscribers:
+            itinerary = self.itinerary_for(subscriber)
+            # Each bin counts the location at its start, so every
+            # subscriber contributes exactly once per bin.
+            breaks = list(itinerary.breakpoints) + [DAYS_PER_WEEK * HOURS_PER_DAY]
+            for i, commune in enumerate(itinerary.communes):
+                b0 = int(np.ceil(breaks[i] * bins_per_hour - 1e-9))
+                b1 = int(np.ceil(breaks[i + 1] * bins_per_hour - 1e-9))
+                presence[commune, b0:b1] += 1
+        return presence
+
+
+__all__ = ["Itinerary", "MobilityModel"]

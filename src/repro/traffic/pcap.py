@@ -1,0 +1,283 @@
+"""Pcap export of the simulated GTP traffic.
+
+Real measurement pipelines are debugged with packet captures; this
+module writes the simulator's control- and user-plane events as a
+classic **pcap file** with wire-faithful framing — Ethernet / IPv4 /
+UDP (port 2123 for GTP-C, 2152 for GTP-U) / GTP — so the synthetic
+traffic opens in standard tooling (Wireshark dissects the GTP layer).
+
+The G-PDU payload carries a compact TLV flow record (the simulator
+accounts flows, not packets); its layout is documented in
+:data:`FLOW_RECORD_MAGIC` and round-trips through :func:`read_pcap`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.network.gtp import FlowDescriptor, GtpcMessage, UserLocationInformation
+from repro.network.probes import ProbeRecord
+from repro.network.wire import (
+    Gtpv1Header,
+    WireFormatError,
+    decode_control_message,
+    decode_uli,
+    encode_control_message,
+    encode_uli,
+)
+
+GTPC_PORT = 2123
+GTPU_PORT = 2152
+
+_PCAP_GLOBAL = struct.Struct("<IHHiIII")
+_PCAP_RECORD = struct.Struct("<IIII")
+_PCAP_MAGIC = 0xA1B2C3D4
+_LINKTYPE_ETHERNET = 1
+
+#: Magic prefix of the custom flow-record payload inside G-PDUs.
+FLOW_RECORD_MAGIC = b"RPRF"
+
+
+def _ethernet_ipv4_udp(payload: bytes, sport: int, dport: int) -> bytes:
+    """Frame a payload in Ethernet / IPv4 / UDP headers (checksums 0)."""
+    ether = b"\x02\x00\x00\x00\x00\x01" + b"\x02\x00\x00\x00\x00\x02" + b"\x08\x00"
+    udp_length = 8 + len(payload)
+    udp = struct.pack("!HHHH", sport, dport, udp_length, 0)
+    total_length = 20 + udp_length
+    ipv4 = struct.pack(
+        "!BBHHHBBH4s4s",
+        0x45,  # version 4, IHL 5
+        0,
+        total_length,
+        0,
+        0,
+        64,  # TTL
+        17,  # UDP
+        0,  # checksum left zero (offload convention)
+        bytes([10, 0, 0, 1]),
+        bytes([10, 0, 0, 2]),
+    )
+    return ether + ipv4 + udp + payload
+
+
+def _strip_ethernet_ipv4_udp(frame: bytes) -> Tuple[int, bytes]:
+    """Return (udp destination port, payload) of a frame we wrote."""
+    if len(frame) < 14 + 20 + 8:
+        raise WireFormatError("frame shorter than Ethernet/IPv4/UDP headers")
+    if frame[12:14] != b"\x08\x00":
+        raise WireFormatError("not an IPv4 frame")
+    ihl = (frame[14] & 0x0F) * 4
+    udp_start = 14 + ihl
+    dport = struct.unpack_from("!H", frame, udp_start + 2)[0]
+    return dport, frame[udp_start + 8 :]
+
+
+def _encode_flow_record(record: ProbeRecord) -> bytes:
+    """Serialize the accounting payload carried inside a G-PDU."""
+    flow = record.flow
+    sni = (flow.sni or "").encode("utf-8")
+    host = (flow.host or "").encode("utf-8")
+    hint = (flow.payload_hint or "").encode("utf-8")
+    return (
+        FLOW_RECORD_MAGIC
+        + struct.pack(
+            "!dQIHBddHHH",
+            record.timestamp_s,
+            record.imsi_hash,
+            flow.flow_id,
+            flow.server_port,
+            1 if flow.protocol == "udp" else 0,
+            record.dl_bytes,
+            record.ul_bytes,
+            len(sni),
+            len(host),
+            len(hint),
+        )
+        + sni
+        + host
+        + hint
+        + encode_uli(
+            UserLocationInformation(
+                technology=record.technology,
+                routing_area_id=0,
+                cell_id=0,
+                cell_commune_id=record.commune_id,
+            )
+        )
+    )
+
+
+def _decode_flow_record(payload: bytes) -> ProbeRecord:
+    if not payload.startswith(FLOW_RECORD_MAGIC):
+        raise WireFormatError("G-PDU payload is not a repro flow record")
+    fixed = struct.Struct("!dQIHBddHHH")
+    offset = len(FLOW_RECORD_MAGIC)
+    (
+        timestamp_s,
+        imsi_hash,
+        flow_id,
+        server_port,
+        is_udp,
+        dl_bytes,
+        ul_bytes,
+        sni_len,
+        host_len,
+        hint_len,
+    ) = fixed.unpack_from(payload, offset)
+    offset += fixed.size
+    sni = payload[offset : offset + sni_len].decode("utf-8")
+    offset += sni_len
+    host = payload[offset : offset + host_len].decode("utf-8")
+    offset += host_len
+    hint = payload[offset : offset + hint_len].decode("utf-8")
+    offset += hint_len
+    uli, _ = decode_uli(payload[offset:])
+    return ProbeRecord(
+        timestamp_s=timestamp_s,
+        imsi_hash=imsi_hash,
+        commune_id=uli.cell_commune_id,
+        technology=uli.technology,
+        flow=FlowDescriptor(
+            flow_id=flow_id,
+            sni=sni or None,
+            host=host or None,
+            server_port=server_port,
+            protocol="udp" if is_udp else "tcp",
+            payload_hint=hint or None,
+        ),
+        dl_bytes=dl_bytes,
+        ul_bytes=ul_bytes,
+    )
+
+
+class PcapWriter:
+    """Writes GTP events as a pcap capture."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fh = open(self.path, "wb")
+        self._fh.write(
+            _PCAP_GLOBAL.pack(
+                _PCAP_MAGIC, 2, 4, 0, 0, 65535, _LINKTYPE_ETHERNET
+            )
+        )
+        self.packets_written = 0
+
+    def _write_frame(self, timestamp_s: float, frame: bytes) -> None:
+        seconds = int(timestamp_s)
+        micros = int(round((timestamp_s - seconds) * 1e6))
+        self._fh.write(
+            _PCAP_RECORD.pack(seconds, micros, len(frame), len(frame))
+        )
+        self._fh.write(frame)
+        self.packets_written += 1
+
+    def write_control(self, message: GtpcMessage) -> None:
+        """Write one GTP-C message as a UDP/2123 packet."""
+        payload = encode_control_message(
+            message.message_type.value,
+            teid=message.teid,
+            uli=message.uli,
+            sequence=self.packets_written,
+        )
+        self._write_frame(
+            message.timestamp_s,
+            _ethernet_ipv4_udp(payload, GTPC_PORT, GTPC_PORT),
+        )
+
+    def write_user(self, record: ProbeRecord, teid: int = 0) -> None:
+        """Write one accounted flow as a G-PDU on UDP/2152."""
+        inner = _encode_flow_record(record)
+        gpdu = (
+            Gtpv1Header(
+                message_type=255, teid=teid, payload_length=len(inner)
+            ).encode()
+            + inner
+        )
+        self._write_frame(
+            record.timestamp_s, _ethernet_ipv4_udp(gpdu, GTPU_PORT, GTPU_PORT)
+        )
+
+    def write_records(self, records: Iterable[ProbeRecord]) -> int:
+        count = 0
+        for record in records:
+            self.write_user(record)
+            count += 1
+        return count
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class PcapPacket:
+    """One parsed capture packet."""
+
+    timestamp_s: float
+    kind: str  # "gtp-c" or "gtp-u"
+    teid: int
+    uli: Optional[UserLocationInformation] = None
+    record: Optional[ProbeRecord] = None
+
+
+def read_pcap(path: Union[str, Path]) -> List[PcapPacket]:
+    """Parse a capture written by :class:`PcapWriter`."""
+    data = Path(path).read_bytes()
+    if len(data) < _PCAP_GLOBAL.size:
+        raise WireFormatError("file shorter than a pcap global header")
+    magic = struct.unpack_from("<I", data)[0]
+    if magic != _PCAP_MAGIC:
+        raise WireFormatError(f"bad pcap magic {magic:#x}")
+    offset = _PCAP_GLOBAL.size
+    packets: List[PcapPacket] = []
+    while offset < len(data):
+        if offset + _PCAP_RECORD.size > len(data):
+            raise WireFormatError("truncated pcap record header")
+        seconds, micros, caplen, _ = _PCAP_RECORD.unpack_from(data, offset)
+        offset += _PCAP_RECORD.size
+        frame = data[offset : offset + caplen]
+        if len(frame) < caplen:
+            raise WireFormatError("truncated pcap frame")
+        offset += caplen
+        timestamp = seconds + micros / 1e6
+        dport, payload = _strip_ethernet_ipv4_udp(frame)
+        if dport == GTPC_PORT:
+            _, teid, uli = decode_control_message(payload)
+            packets.append(
+                PcapPacket(timestamp_s=timestamp, kind="gtp-c", teid=teid, uli=uli)
+            )
+        elif dport == GTPU_PORT:
+            header, size = Gtpv1Header.decode(payload)
+            record = _decode_flow_record(
+                payload[size : size + header.payload_length]
+            )
+            packets.append(
+                PcapPacket(
+                    timestamp_s=timestamp,
+                    kind="gtp-u",
+                    teid=header.teid,
+                    record=record,
+                )
+            )
+        else:
+            raise WireFormatError(f"unexpected UDP port {dport}")
+    return packets
+
+
+__all__ = [
+    "GTPC_PORT",
+    "GTPU_PORT",
+    "FLOW_RECORD_MAGIC",
+    "PcapWriter",
+    "PcapPacket",
+    "read_pcap",
+]

@@ -1,0 +1,206 @@
+"""Synthetic subscriber population.
+
+Subscribers have a home commune (drawn from the resident distribution), a
+behavioural class driving their weekly mobility, a device capability
+(4G-capable or 3G-only), a per-service adoption set, and an activity
+scale (heavy/light users).  The session-level generator walks these
+subscribers through their week.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro._rng import SeedLike, as_generator, spawn
+from repro.geo.country import Country
+from repro.geo.urbanization import UrbanizationClass
+from repro.traffic.intensity import IntensityModel
+
+
+class SubscriberClass(enum.Enum):
+    """Behavioural classes with distinct weekly itineraries."""
+
+    RESIDENT = "resident"  # stays in/near the home commune
+    COMMUTER = "commuter"  # weekday home -> work -> home
+    STUDENT = "student"  # weekday school rhythm with breaks
+    TGV_TRAVELLER = "tgv"  # takes high-speed trains on some days
+
+
+#: Class mix by home urbanization level.  Students and commuters
+#: concentrate where there are schools and jobs; TGV travellers are rare
+#: everywhere (and irrelevant to where they live — what matters is the
+#: traffic they generate along the line).
+_CLASS_MIX: Dict[UrbanizationClass, Tuple[Tuple[SubscriberClass, float], ...]] = {
+    UrbanizationClass.URBAN: (
+        (SubscriberClass.RESIDENT, 0.52),
+        (SubscriberClass.COMMUTER, 0.30),
+        (SubscriberClass.STUDENT, 0.15),
+        (SubscriberClass.TGV_TRAVELLER, 0.03),
+    ),
+    UrbanizationClass.SEMI_URBAN: (
+        (SubscriberClass.RESIDENT, 0.50),
+        (SubscriberClass.COMMUTER, 0.35),
+        (SubscriberClass.STUDENT, 0.13),
+        (SubscriberClass.TGV_TRAVELLER, 0.02),
+    ),
+    UrbanizationClass.RURAL: (
+        (SubscriberClass.RESIDENT, 0.62),
+        (SubscriberClass.COMMUTER, 0.28),
+        (SubscriberClass.STUDENT, 0.09),
+        (SubscriberClass.TGV_TRAVELLER, 0.01),
+    ),
+    UrbanizationClass.TGV: (
+        (SubscriberClass.RESIDENT, 0.60),
+        (SubscriberClass.COMMUTER, 0.29),
+        (SubscriberClass.STUDENT, 0.09),
+        (SubscriberClass.TGV_TRAVELLER, 0.02),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Subscriber:
+    """One synthetic subscriber."""
+
+    imsi_hash: int
+    home_commune: int
+    subscriber_class: SubscriberClass
+    has_4g_device: bool
+    #: Lognormal heavy/light-user multiplier on all volumes.
+    activity_scale: float
+    #: Indices (into the head-service list) of adopted services.
+    adopted_services: Tuple[int, ...]
+    #: Work/school commune for commuters and students; None otherwise.
+    work_commune: Optional[int] = None
+
+
+class SubscriberPopulation:
+    """A set of subscribers plus the lookups the generator needs."""
+
+    def __init__(self, subscribers: List[Subscriber], country: Country):
+        if not subscribers:
+            raise ValueError("population cannot be empty")
+        self.subscribers = subscribers
+        self.country = country
+
+    def __len__(self) -> int:
+        return len(self.subscribers)
+
+    def __iter__(self):
+        return iter(self.subscribers)
+
+    def counts_by_class(self) -> Dict[SubscriberClass, int]:
+        counts = {cls: 0 for cls in SubscriberClass}
+        for sub in self.subscribers:
+            counts[sub.subscriber_class] += 1
+        return counts
+
+    def home_counts(self) -> np.ndarray:
+        """Number of subscribers homed in each commune."""
+        counts = np.zeros(self.country.n_communes, dtype=int)
+        for sub in self.subscribers:
+            counts[sub.home_commune] += 1
+        return counts
+
+
+def _draw_class(
+    rng: np.random.Generator, cls: UrbanizationClass
+) -> SubscriberClass:
+    mix = _CLASS_MIX[cls]
+    r = rng.random()
+    acc = 0.0
+    for subscriber_class, share in mix:
+        acc += share
+        if r < acc:
+            return subscriber_class
+    return mix[-1][0]
+
+
+def _pick_work_commune(
+    country: Country, home: int, rng: np.random.Generator
+) -> int:
+    """Pick a plausible work/school commune: a denser commune nearby.
+
+    Candidates are drawn among communes within a commuting radius,
+    weighted by population (jobs follow people); falls back to the home
+    commune when it is already the local maximum.
+    """
+    grid = country.grid
+    xy = grid.coordinates_km
+    home_xy = xy[home]
+    d = np.linalg.norm(xy - home_xy, axis=1)
+    radius = 30.0
+    candidates = np.nonzero((d <= radius) & (d > 0))[0]
+    if candidates.size == 0:
+        return home
+    weights = country.population.residents[candidates]
+    weights = weights / weights.sum()
+    return int(rng.choice(candidates, p=weights))
+
+
+def synthesize_population(
+    country: Country,
+    model: IntensityModel,
+    n_subscribers: int,
+    seed: SeedLike = None,
+) -> SubscriberPopulation:
+    """Draw ``n_subscribers`` subscribers consistent with the country.
+
+    Home communes follow the resident distribution; classes follow the
+    urbanization-dependent mix; service adoption follows the intensity
+    model's per-commune adoption rates, so the session-level workload
+    reproduces the same spatial sparsity as the volume model.
+    """
+    if n_subscribers < 1:
+        raise ValueError(f"n_subscribers must be >= 1, got {n_subscribers}")
+    rng = as_generator(seed)
+    home_rng = spawn(rng, "population.homes")
+    class_rng = spawn(rng, "population.classes")
+    device_rng = spawn(rng, "population.devices")
+    adoption_rng = spawn(rng, "population.adoption")
+    work_rng = spawn(rng, "population.work")
+    scale_rng = spawn(rng, "population.scale")
+
+    residents = country.population.residents
+    homes = home_rng.choice(
+        country.n_communes, size=n_subscribers, p=residents / residents.sum()
+    )
+    n_head = model.adoption.shape[1]
+
+    subscribers: List[Subscriber] = []
+    for i in range(n_subscribers):
+        home = int(homes[i])
+        urb = country.class_of(home)
+        subscriber_class = _draw_class(class_rng, urb)
+        adopted = tuple(
+            int(j)
+            for j in range(n_head)
+            if adoption_rng.random() < model.adoption[home, j]
+        )
+        work = None
+        if subscriber_class in (SubscriberClass.COMMUTER, SubscriberClass.STUDENT):
+            work = _pick_work_commune(country, home, work_rng)
+        subscribers.append(
+            Subscriber(
+                imsi_hash=int(1_000_000_007 * (i + 1) % (2**61 - 1)),
+                home_commune=home,
+                subscriber_class=subscriber_class,
+                has_4g_device=bool(device_rng.random() < 0.62),
+                activity_scale=float(scale_rng.lognormal(mean=-0.125, sigma=0.5)),
+                adopted_services=adopted,
+                work_commune=work,
+            )
+        )
+    return SubscriberPopulation(subscribers, country)
+
+
+__all__ = [
+    "SubscriberClass",
+    "Subscriber",
+    "SubscriberPopulation",
+    "synthesize_population",
+]

@@ -1,0 +1,258 @@
+"""Closed-form volume-level workload synthesis.
+
+Builds the commune × service × time tensors of a
+:class:`~repro.dataset.store.MobileTrafficDataset` directly from the
+:class:`~repro.traffic.intensity.IntensityModel`, without simulating
+individual sessions.  This is the resolution used for nationwide-scale
+figure reproduction; the session-level pipeline validates it at reduced
+scale (``tests/integration/test_model_agreement.py``).
+
+The synthesis steps:
+
+1. expected weekly commune volumes from the intensity model;
+2. **adoption sampling** — each (commune, service) volume is scaled by
+   ``Binomial(n_subscribers, adoption) / (n_subscribers * adoption)``,
+   which leaves large communes untouched but makes low-adoption services
+   vanish from small communes (the Fig. 8 skew);
+3. temporal expansion with the commune class's demand curves (the TGV
+   train-schedule gate included);
+4. multiplicative measurement noise;
+5. per-service renormalization so national totals match the catalog
+   exactly (Fig. 2/3 hold by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._rng import SeedLike, as_generator, spawn
+from repro._time import TimeAxis
+from repro.dataset.store import MobileTrafficDataset
+from repro.geo.urbanization import UrbanizationClass
+from repro.traffic.intensity import IntensityModel
+
+
+@dataclass(frozen=True)
+class VolumeModelConfig:
+    """Knobs of the volume-level synthesis."""
+
+    #: Multiplicative lognormal noise on each (commune, service, bin) cell.
+    cell_noise_sigma: float = 0.05
+    #: Multiplicative lognormal noise on each national (service, bin) —
+    #: the measurement jitter that makes peak detection non-trivial.
+    national_noise_sigma: float = 0.015
+    #: Whether to sample adopters (disable for exact expected volumes).
+    sample_adoption: bool = True
+    #: Gamma shape of individual weekly usage.  Individual consumption is
+    #: heavy-tailed; a commune with n adopters realizes
+    #: ``Gamma(n * shape) / (n * shape)`` of its expected volume, so small
+    #: communes fluctuate wildly while large ones converge to the mean —
+    #: the second driver (besides adoption sampling) of the Fig. 8 skew.
+    usage_shape: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.cell_noise_sigma < 0 or self.national_noise_sigma < 0:
+            raise ValueError("noise sigmas must be >= 0")
+        if self.usage_shape <= 0:
+            raise ValueError(f"usage_shape must be > 0, got {self.usage_shape}")
+
+
+def _adoption_factor(
+    model: IntensityModel,
+    usage_shape: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """(n_communes, n_head) realized/expected volume ratio.
+
+    Combines adopter sampling (``Binomial(n_subs, adoption)``) with
+    per-adopter usage variability (gamma-distributed individual weekly
+    volumes): communes with no drawn adopter contribute zero, communes
+    with few adopters realize a noisy multiple of the expectation.
+    """
+    subs = np.maximum(np.round(model.country.subscribers_per_commune()), 1).astype(
+        np.int64
+    )
+    adoption = np.clip(model.adoption, 1e-9, 1.0)
+    n = np.broadcast_to(subs[:, None], adoption.shape)
+    adopters = rng.binomial(n, adoption)
+    expected = n * adoption
+
+    factor = np.zeros_like(expected, dtype=float)
+    active = adopters > 0
+    total_shape = adopters[active] * usage_shape
+    usage = rng.gamma(shape=total_shape) / total_shape
+    factor[active] = adopters[active] / expected[active] * usage
+    return factor
+
+
+def synthesize_volume_tensor(
+    model: IntensityModel,
+    direction: str,
+    config: VolumeModelConfig = VolumeModelConfig(),
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """(C, S, T) float32 tensor of weekly traffic for one direction."""
+    rng = as_generator(seed)
+    adoption_rng = spawn(rng, f"volume.adoption.{direction}")
+    cell_rng = spawn(rng, f"volume.cell.{direction}")
+    national_rng = spawn(rng, f"volume.national.{direction}")
+
+    expected = model.expected_commune_volume(direction)  # (C, S)
+    if config.sample_adoption:
+        expected = expected * _adoption_factor(
+            model, config.usage_shape, adoption_rng
+        )
+
+    n_communes, n_head = expected.shape
+    n_bins = model.axis.n_bins
+    tensor = np.empty((n_communes, n_head, n_bins), dtype=np.float32)
+
+    national_jitter = np.exp(
+        national_rng.normal(0.0, config.national_noise_sigma, (n_head, n_bins))
+    ).astype(np.float32)
+
+    classes = model.country.urbanization.classes
+    for cls in UrbanizationClass:
+        mask = classes == int(cls)
+        if not mask.any():
+            continue
+        curves = (
+            model.class_weights_for(direction)[cls].astype(np.float32)
+            * national_jitter
+        )
+        tensor[mask] = expected[mask].astype(np.float32)[:, :, None] * curves[None, :, :]
+
+    if config.cell_noise_sigma > 0:
+        noise = cell_rng.normal(
+            0.0, config.cell_noise_sigma, size=tensor.shape
+        ).astype(np.float32)
+        tensor *= np.exp(noise)
+
+    # Renormalize each service to its exact national total.
+    targets = expected.sum(axis=0)
+    actual = tensor.sum(axis=(0, 2))
+    scale = np.divide(
+        targets, actual, out=np.ones_like(targets), where=actual > 0
+    ).astype(np.float32)
+    tensor *= scale[None, :, None]
+    return tensor
+
+
+def _ar1_noise(
+    rng: np.random.Generator, shape: tuple, sigma: float, rho: float
+) -> np.ndarray:
+    """AR(1) log-noise along the last axis.
+
+    Aggregate traffic fluctuations are serially correlated (load moves
+    smoothly over minutes), which matters to the smoothed z-score
+    detector: correlated noise widens its trailing window's standard
+    deviation instead of producing isolated spikes.
+    """
+    innovations = rng.normal(0.0, sigma * np.sqrt(1.0 - rho**2), size=shape)
+    out = np.empty(shape)
+    out[..., 0] = rng.normal(0.0, sigma, size=shape[:-1])
+    for t in range(1, shape[-1]):
+        out[..., t] = rho * out[..., t - 1] + innovations[..., t]
+    return out
+
+
+def synthesize_national_series(
+    model: IntensityModel,
+    direction: str,
+    noise_sigma: float = 0.06,
+    noise_rho: float = 0.7,
+    day_jitter_sigma: float = 0.10,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """(n_head, n_bins) nationwide weekly series, without commune tensors.
+
+    The nationwide aggregate of the volume model in closed form: each
+    urbanization class contributes its share of every service's national
+    volume with the class's own temporal curve, and AR(1)-correlated
+    multiplicative measurement noise is applied on top.  Used by the
+    temporal analyses (Figs. 4-7), which need fine time resolution but no
+    spatial detail — a full (commune, service, fine-bin) tensor would not
+    fit in memory at nationwide scale, exactly the reason the paper
+    aggregates first.
+    """
+    if noise_sigma < 0:
+        raise ValueError(f"noise_sigma must be >= 0, got {noise_sigma}")
+    if not 0 <= noise_rho < 1:
+        raise ValueError(f"noise_rho must be in [0, 1), got {noise_rho}")
+    rng = as_generator(seed)
+    expected = model.expected_commune_volume(direction)  # (C, S)
+    classes = model.country.urbanization.classes
+    n_head = expected.shape[1]
+    series = np.zeros((n_head, model.axis.n_bins))
+    for cls in UrbanizationClass:
+        mask = classes == int(cls)
+        if not mask.any():
+            continue
+        class_volume = expected[mask].sum(axis=0)  # (S,)
+        series += class_volume[:, None] * model.class_weights_for(direction)[cls]
+    if day_jitter_sigma > 0:
+        # Day-level editorial jitter: content releases, news cycles and
+        # campaigns shift whole days of a service's demand up or down,
+        # independently across services.  This is the idiosyncratic
+        # variation that keeps nationwide series from clustering cleanly.
+        bins_per_day = series.shape[1] // 7
+        day_factors = np.exp(
+            rng.normal(0.0, day_jitter_sigma, size=(n_head, 7))
+        )
+        series *= np.repeat(day_factors, bins_per_day, axis=1)
+    if noise_sigma > 0:
+        series *= np.exp(_ar1_noise(rng, series.shape, noise_sigma, noise_rho))
+    return series
+
+
+def synthesize_volume_dataset(
+    model: IntensityModel,
+    config: VolumeModelConfig = VolumeModelConfig(),
+    classified_fraction: float = 0.88,
+    seed: SeedLike = None,
+) -> MobileTrafficDataset:
+    """Build a full :class:`MobileTrafficDataset` at volume resolution."""
+    rng = as_generator(seed)
+    country = model.country
+    catalog = model.catalog
+
+    dl = synthesize_volume_tensor(model, "dl", config, spawn(rng, "volume.dl"))
+    ul = synthesize_volume_tensor(model, "ul", config, spawn(rng, "volume.ul"))
+
+    national_dl = catalog.volume_vector("dl") * model.total_weekly_bytes
+    national_ul = catalog.volume_vector("ul") * model.total_weekly_bytes
+    # Head totals reflect the sampled tensors (adoption sampling shifts
+    # them slightly from the nominal shares).
+    head_ids = catalog.head_ids()
+    national_dl = national_dl.copy()
+    national_ul = national_ul.copy()
+    national_dl[head_ids] = dl.sum(axis=(0, 2))
+    national_ul[head_ids] = ul.sum(axis=(0, 2))
+
+    return MobileTrafficDataset(
+        axis=model.axis,
+        head_names=model.head_names,
+        all_service_names=[s.name for s in catalog],
+        dl=dl,
+        ul=ul,
+        national_dl=national_dl,
+        national_ul=national_ul,
+        users=country.subscribers_per_commune(),
+        commune_classes=country.urbanization.classes.copy(),
+        density=country.population.density_km2.copy(),
+        coordinates=country.grid.coordinates_km.copy(),
+        has_3g=country.coverage.has_3g.copy(),
+        has_4g=country.coverage.has_4g.copy(),
+        classified_fraction=classified_fraction,
+        meta={"total_weekly_bytes": model.total_weekly_bytes},
+    )
+
+
+__all__ = [
+    "VolumeModelConfig",
+    "synthesize_volume_tensor",
+    "synthesize_national_series",
+    "synthesize_volume_dataset",
+]

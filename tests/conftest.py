@@ -1,0 +1,67 @@
+"""Shared fixtures.
+
+Everything expensive is session-scoped and built at a reduced scale: a
+~300-commune country is statistically rich enough for every invariant
+the tests check while keeping the full suite fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro._time import TimeAxis
+from repro.dataset.builder import (
+    build_session_level_dataset,
+    build_volume_level_dataset,
+)
+from repro.geo.country import CountryConfig, build_country
+from repro.services.catalog import build_catalog
+from repro.services.profiles import build_profile_library
+from repro.traffic.intensity import build_intensity_model
+
+SEED = 1234
+
+
+@pytest.fixture(scope="session")
+def country():
+    return build_country(CountryConfig(n_communes=324), seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return build_catalog()
+
+
+@pytest.fixture(scope="session")
+def profiles():
+    return build_profile_library()
+
+
+@pytest.fixture(scope="session")
+def intensity_model(country, catalog, profiles):
+    return build_intensity_model(
+        country, catalog, profiles, axis=TimeAxis(1), seed=SEED + 1
+    )
+
+
+@pytest.fixture(scope="session")
+def volume_artifacts(country):
+    return build_volume_level_dataset(country=country, seed=SEED + 2)
+
+
+@pytest.fixture(scope="session")
+def volume_dataset(volume_artifacts):
+    return volume_artifacts.dataset
+
+
+@pytest.fixture(scope="session")
+def session_artifacts():
+    return build_session_level_dataset(
+        n_subscribers=400,
+        country_config=CountryConfig(n_communes=100),
+        seed=SEED + 3,
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(SEED)

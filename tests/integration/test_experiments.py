@@ -1,0 +1,90 @@
+"""Integration tests of the figure runners on a small shared context."""
+
+import pytest
+
+from repro.experiments import (
+    REGISTRY,
+    ExperimentContext,
+    build_default_context,
+    experiment_ids,
+    run_figure,
+)
+from repro.experiments.cli import main
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    # Small but statistically meaningful: the spatial checks need enough
+    # communes for stable correlations.
+    return build_default_context(seed=11, n_communes=900)
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        ids = experiment_ids()
+        for expected in (
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "text",
+        ):
+            assert expected in ids
+
+    def test_unknown_experiment(self, ctx):
+        with pytest.raises(KeyError):
+            run_figure("fig99", ctx)
+
+
+@pytest.mark.parametrize("experiment_id", ["fig2", "fig3", "fig8", "fig10", "fig11"])
+class TestStableFigures:
+    def test_runs_and_passes(self, ctx, experiment_id):
+        result = run_figure(experiment_id, ctx)
+        assert result.experiment_id == experiment_id
+        assert result.blocks, "report should not be empty"
+        failed = [c.name for c in result.checks if not c.passed]
+        assert not failed, f"failed checks: {failed}"
+
+    def test_render(self, ctx, experiment_id):
+        rendered = run_figure(experiment_id, ctx).render()
+        assert experiment_id in rendered
+        assert "Paper-expectation checks" in rendered
+
+
+class TestTemporalFigures:
+    """fig4/6/7 share the fine-axis series; run them once together."""
+
+    def test_fig4_passes(self, ctx):
+        result = run_figure("fig4", ctx)
+        assert result.all_passed, [c.name for c in result.checks if not c.passed]
+
+    def test_fig6_mostly_passes(self, ctx):
+        result = run_figure("fig6", ctx)
+        passed = sum(c.passed for c in result.checks)
+        assert passed >= len(result.checks) - 1
+
+    def test_fig7_passes(self, ctx):
+        result = run_figure("fig7", ctx)
+        passed = sum(c.passed for c in result.checks)
+        assert passed >= len(result.checks) - 1
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["fig99"]) == 2
+
+    def test_single_run(self, capsys):
+        assert main(["fig2", "--communes", "400", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Zipf" in out

@@ -1,0 +1,83 @@
+"""Cross-cutting integration: the extension modules compose.
+
+Filters feed apps, apps feed reports, and everything works on datasets
+from either workload resolution — the property a downstream user relies
+on when mixing the library's pieces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.anomaly import nationwide_events, scan_dataset_days
+from repro.apps.signatures import cluster_communes
+from repro.apps.slicing import dimension_slices
+from repro.core.predictability import score
+from repro.dataset.filters import (
+    select_region,
+    select_services,
+    weekend_only,
+    workdays_only,
+)
+from repro.geo.urbanization import UrbanizationClass
+
+
+class TestFiltersFeedApps:
+    def test_slicing_on_filtered_region(self, volume_dataset):
+        urban = select_region(volume_dataset, UrbanizationClass.URBAN)
+        study = dimension_slices(urban, "dl")
+        assert study.multiplexing_gain >= 1.0
+
+    def test_slicing_on_service_subset(self, volume_dataset):
+        subset = select_services(
+            volume_dataset, ["YouTube", "Netflix", "Facebook"]
+        )
+        study = dimension_slices(subset, "dl")
+        assert len(study.plans) == 3
+
+    def test_signatures_on_filtered_days(self, volume_dataset):
+        workdays = workdays_only(volume_dataset)
+        clustering = cluster_communes(workdays, k=3, seed=2)
+        assert clustering.k == 3
+
+    def test_predictability_on_weekend_view(self, volume_dataset):
+        weekend = weekend_only(volume_dataset)
+        series = weekend.national_series("Facebook", "dl")
+        # Only the weekend bins carry volume; the scorer must cope with
+        # zero-volume workday bins (they are excluded from MAPE).
+        report = score(series, "last_value", weekend.axis)
+        assert np.isfinite(report.mape)
+
+    def test_anomaly_scan_on_region(self, volume_dataset):
+        rural = select_region(volume_dataset, UrbanizationClass.RURAL)
+        by_day = scan_dataset_days(
+            rural.all_national_series("dl"), rural.head_names, rural.axis
+        )
+        assert nationwide_events(by_day, rural.n_head) == []
+
+
+class TestBothResolutions:
+    def test_apps_run_on_session_dataset(self, session_artifacts):
+        dataset = session_artifacts.dataset
+        study = dimension_slices(dataset, "dl")
+        assert study.multiplexing_gain >= 1.0
+        clustering = cluster_communes(dataset, k=2, min_users=2, seed=4)
+        assert clustering.sizes().sum() > 0
+
+    def test_filters_on_session_dataset(self, session_artifacts):
+        dataset = session_artifacts.dataset
+        weekend = weekend_only(dataset)
+        total = dataset.national_series("YouTube", "dl").sum()
+        weekend_total = weekend.national_series("YouTube", "dl").sum()
+        if total > 0:
+            assert 0 <= weekend_total <= total
+
+    def test_filtered_region_series_consistent(self, volume_dataset):
+        """Region filtering and the dataset's own region_series agree."""
+        urban_view = select_region(volume_dataset, UrbanizationClass.URBAN)
+        direct = volume_dataset.region_series(
+            "Facebook", "dl", UrbanizationClass.URBAN
+        )
+        via_filter = urban_view.region_series(
+            "Facebook", "dl", UrbanizationClass.URBAN
+        )
+        assert np.allclose(direct, via_filter, rtol=1e-6)

@@ -1,0 +1,77 @@
+"""Agreement between the two workload resolutions (DESIGN.md §5).
+
+The session-level pipeline and the closed-form volume model derive from
+the same intensity model; their normalized marginals must agree up to
+the sampling noise of the (deliberately small) simulated subscriber
+panel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import pearson_r
+from repro.traffic.volume_model import synthesize_volume_dataset
+
+
+@pytest.fixture(scope="module")
+def paired(session_artifacts):
+    """A volume-level dataset over the same country/model as the session run."""
+    volume_dataset = synthesize_volume_dataset(session_artifacts.model, seed=99)
+    return session_artifacts.dataset, volume_dataset
+
+
+class TestTemporalAgreement:
+    def test_aggregate_curve_correlates(self, paired):
+        session_ds, volume_ds = paired
+        a = session_ds.all_national_series("dl").sum(axis=0)
+        b = volume_ds.all_national_series("dl").sum(axis=0)
+        assert pearson_r(a / a.sum(), b / b.sum()) > 0.8
+
+    def test_per_service_curves_correlate(self, paired):
+        session_ds, volume_ds = paired
+        for name in ("YouTube", "Facebook", "SnapChat"):
+            a = session_ds.national_series(name, "dl")
+            b = volume_ds.national_series(name, "dl")
+            if a.sum() == 0:
+                pytest.skip(f"{name} unseen at this scale")
+            # Individual services carry heavy per-session sampling noise
+            # at panel scale; 4-hour bins average it down, and the shape
+            # must then clearly align.
+            a4 = a.reshape(-1, 4).sum(axis=1)
+            b4 = b.reshape(-1, 4).sum(axis=1)
+            assert pearson_r(a4 / a4.sum(), b4 / b4.sum()) > 0.55, name
+
+    def test_weekend_weekday_split_agrees(self, paired):
+        session_ds, volume_ds = paired
+        a = session_ds.all_national_series("dl").sum(axis=0)
+        b = volume_ds.all_national_series("dl").sum(axis=0)
+        a_weekend = a[:48].sum() / a.sum()
+        b_weekend = b[:48].sum() / b.sum()
+        assert a_weekend == pytest.approx(b_weekend, abs=0.06)
+
+
+class TestSpatialAgreement:
+    def test_commune_volumes_correlate_where_sampled(self, paired):
+        session_ds, volume_ds = paired
+        sampled = session_ds.users >= 3
+        assert sampled.sum() >= 10
+        a = session_ds.dl.sum(axis=(1, 2))[sampled]
+        b = volume_ds.dl.sum(axis=(1, 2))[sampled]
+        assert pearson_r(np.log1p(a), np.log1p(b)) > 0.4
+
+    def test_total_volume_matches_sampling_fraction(
+        self, paired, session_artifacts
+    ):
+        session_ds, volume_ds = paired
+        country = session_artifacts.country
+        panel = len(session_artifacts.extras["population"])
+        fraction = panel / country.subscribers_per_commune().sum()
+        ratio = session_ds.total_volume() / volume_ds.total_volume()
+        # The panel carries `fraction` of the base; DPI drops ~12 %.
+        assert ratio == pytest.approx(fraction, rel=0.6)
+
+    def test_service_mix_agrees(self, paired):
+        session_ds, volume_ds = paired
+        a = session_ds.dl.sum(axis=(0, 2))
+        b = volume_ds.dl.sum(axis=(0, 2))
+        assert pearson_r(a / a.sum(), b / b.sum()) > 0.9

@@ -1,0 +1,72 @@
+"""End-to-end tests of the session-level measurement chain.
+
+Subscribers → network attach/GTP → probe capture → DPI → commune
+aggregation: the full substrate the paper's dataset went through.
+"""
+
+import numpy as np
+import pytest
+
+
+class TestSessionPipeline:
+    def test_dataset_is_populated(self, session_artifacts):
+        dataset = session_artifacts.dataset
+        assert dataset.dl.sum() > 0
+        assert dataset.ul.sum() > 0
+        assert dataset.users.sum() > 0
+
+    def test_dpi_coverage_near_paper(self, session_artifacts):
+        report = session_artifacts.dpi_report
+        assert report.byte_coverage == pytest.approx(0.88, abs=0.05)
+
+    def test_every_head_service_observed(self, session_artifacts):
+        dataset = session_artifacts.dataset
+        per_service = dataset.dl.sum(axis=(0, 2)) + dataset.ul.sum(axis=(0, 2))
+        observed = np.count_nonzero(per_service)
+        # Netflix may vanish at tiny scale (3 % adoption); everything
+        # else must flow through.
+        assert observed >= 18
+
+    def test_uplink_minority(self, session_artifacts):
+        dataset = session_artifacts.dataset
+        ul = dataset.national_ul.sum()
+        total = dataset.total_volume()
+        assert ul / total < 0.1
+
+    def test_traffic_in_active_hours(self, session_artifacts):
+        dataset = session_artifacts.dataset
+        national = dataset.all_national_series("dl").sum(axis=0)
+        hours = np.arange(168) % 24
+        night = national[(hours >= 2) & (hours < 5)].mean()
+        day = national[(hours >= 10) & (hours < 20)].mean()
+        assert day > 2 * night
+
+    def test_probe_saw_both_planes(self, session_artifacts):
+        probe = session_artifacts.extras["probe"]
+        assert probe.stats.control_messages > 0
+        assert probe.stats.user_packets > 0
+        assert probe.stats.orphan_packets == 0
+
+    def test_generator_counters(self, session_artifacts):
+        generator = session_artifacts.extras["generator"]
+        assert generator.flows_generated >= generator.sessions_generated > 0
+
+    def test_users_bounded_by_population(self, session_artifacts):
+        dataset = session_artifacts.dataset
+        population = session_artifacts.extras["population"]
+        assert dataset.users.sum() <= len(population) * 10  # travellers visit
+        assert dataset.users.max() <= len(population)
+
+
+class TestAnonymization:
+    def test_no_identifiers_in_dataset(self, session_artifacts):
+        """The aggregation boundary drops all subscriber identifiers."""
+        dataset = session_artifacts.dataset
+        for attr in vars(dataset):
+            assert "imsi" not in attr.lower()
+
+    def test_users_are_counts_not_ids(self, session_artifacts):
+        users = session_artifacts.dataset.users
+        assert users.dtype == float
+        assert np.all(users >= 0)
+        assert users.max() < 1e6  # counts, not hashes

@@ -1,0 +1,68 @@
+"""Property-based tests for the correlation helpers."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.correlation import pairwise_r2, pearson_r, pearson_r2
+
+
+@st.composite
+def vector_pair(draw):
+    n = draw(st.integers(3, 60))
+    elements = st.floats(-1e4, 1e4, allow_nan=False)
+    x = draw(arrays(np.float64, n, elements=elements))
+    y = draw(arrays(np.float64, n, elements=elements))
+    return x, y
+
+
+class TestPearsonProperties:
+    @given(vector_pair())
+    @settings(max_examples=60)
+    def test_bounds(self, pair):
+        x, y = pair
+        r = pearson_r(x, y)
+        assert -1.0 <= r <= 1.0
+        assert 0.0 <= pearson_r2(x, y) <= 1.0
+
+    @given(vector_pair())
+    @settings(max_examples=60)
+    def test_symmetry(self, pair):
+        x, y = pair
+        assert pearson_r(x, y) == pearson_r(y, x)
+
+    @given(vector_pair(), st.floats(0.01, 100), st.floats(-1e3, 1e3))
+    @settings(max_examples=60)
+    def test_affine_invariance(self, pair, scale, offset):
+        x, y = pair
+        assume(np.std(x) > 1e-6 and np.std(y) > 1e-6)
+        r_original = pearson_r(x, y)
+        r_transformed = pearson_r(x, scale * y + offset)
+        assert np.isclose(r_original, r_transformed, atol=1e-6)
+
+    @given(vector_pair())
+    @settings(max_examples=40)
+    def test_self_correlation(self, pair):
+        x, _ = pair
+        assume(np.std(x) > 1e-6)
+        assert pearson_r2(x, x) > 1.0 - 1e-9
+
+
+class TestPairwiseProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(4, 30), st.integers(2, 6)),
+            elements=st.floats(-1e3, 1e3, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40)
+    def test_matrix_properties(self, data):
+        matrix = pairwise_r2(data)
+        k = data.shape[1]
+        assert matrix.shape == (k, k)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert np.all(matrix >= -1e-12)
+        assert np.all(matrix <= 1.0 + 1e-12)

@@ -1,0 +1,46 @@
+"""Property-based tests for geometric primitives."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.communes import build_tessellation
+from repro.geo.transport import _point_segment_distance
+
+coords = st.floats(-100.0, 100.0, allow_nan=False)
+
+
+class TestPointSegmentDistance:
+    @given(coords, coords, coords, coords, coords, coords)
+    @settings(max_examples=80)
+    def test_bounded_by_endpoint_distances(self, px, py, ax, ay, bx, by):
+        points = np.array([[px, py]])
+        a, b = np.array([ax, ay]), np.array([bx, by])
+        d = _point_segment_distance(points, a, b)[0]
+        to_a = np.linalg.norm(points[0] - a)
+        to_b = np.linalg.norm(points[0] - b)
+        assert d <= min(to_a, to_b) + 1e-9
+        assert d >= 0
+
+    @given(coords, coords, coords, coords)
+    @settings(max_examples=40)
+    def test_endpoints_have_zero_distance(self, ax, ay, bx, by):
+        a, b = np.array([ax, ay]), np.array([bx, by])
+        d = _point_segment_distance(np.array([a, b]), a, b)
+        assert np.allclose(d, 0.0, atol=1e-9)
+
+
+class TestGridLookup:
+    @given(st.floats(-1e4, 1e4), st.floats(-1e4, 1e4))
+    @settings(max_examples=60)
+    def test_lookup_always_valid(self, x, y):
+        grid = build_tessellation(n_communes=25, seed=0)
+        commune = grid.commune_at(x, y)
+        assert 0 <= commune < len(grid)
+
+    @given(st.integers(0, 24))
+    @settings(max_examples=25)
+    def test_seed_in_own_cell(self, commune_id):
+        grid = build_tessellation(n_communes=25, seed=0)
+        commune = grid[commune_id]
+        assert grid.commune_at(commune.x_km, commune.y_km) == commune_id

@@ -1,0 +1,86 @@
+"""Property-based tests for SBD and z-normalization."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.kshape import sbd, z_normalize
+
+finite_series = arrays(
+    dtype=np.float64,
+    shape=st.integers(8, 64),
+    elements=st.floats(-1e6, 1e6, allow_nan=False),
+)
+
+
+@st.composite
+def series_pair(draw):
+    n = draw(st.integers(8, 64))
+    elements = st.floats(-1e3, 1e3, allow_nan=False)
+    a = draw(arrays(np.float64, n, elements=elements))
+    b = draw(arrays(np.float64, n, elements=elements))
+    return a, b
+
+
+class TestZNormalize:
+    @given(finite_series)
+    @settings(max_examples=50)
+    def test_output_stats(self, series):
+        out = z_normalize(series)
+        assert np.isfinite(out).all()
+        scale = max(abs(series).max(), 1.0)
+        if series.std() > 1e-9 * scale:
+            assert abs(out.mean()) < 1e-6
+            assert abs(out.std() - 1.0) < 1e-6
+        elif series.std() == 0:
+            assert np.all(out == 0)
+
+    @given(finite_series, st.floats(0.1, 100), st.floats(-100, 100))
+    @settings(max_examples=50)
+    def test_affine_invariance(self, series, scale, offset):
+        assume(series.std() > 1e-6)
+        a = z_normalize(series)
+        b = z_normalize(scale * series + offset)
+        assert np.allclose(a, b, atol=1e-6)
+
+
+class TestSbdProperties:
+    @given(series_pair())
+    @settings(max_examples=50)
+    def test_bounds(self, pair):
+        a, b = pair
+        dist, aligned = sbd(z_normalize(a), z_normalize(b))
+        assert -1e-9 <= dist <= 2.0 + 1e-9
+        assert aligned.shape == b.shape
+
+    @given(series_pair())
+    @settings(max_examples=50)
+    def test_symmetry_of_distance(self, pair):
+        a, b = pair
+        za, zb = z_normalize(a), z_normalize(b)
+        assert sbd(za, zb)[0] == np.float64(sbd(zb, za)[0]).item() or np.isclose(
+            sbd(za, zb)[0], sbd(zb, za)[0], atol=1e-9
+        )
+
+    @given(finite_series)
+    @settings(max_examples=50)
+    def test_self_distance_zero(self, series):
+        assume(series.std() > 1e-6)
+        z = z_normalize(series)
+        dist, _ = sbd(z, z)
+        assert abs(dist) < 1e-6
+
+    @given(finite_series, st.integers(-10, 10))
+    @settings(max_examples=50)
+    def test_shift_invariance_with_margin(self, series, shift):
+        # Embed the signal with zero margins wider than the shift, so a
+        # circular roll equals a linear shift — which SBD must align
+        # away almost perfectly.
+        assume(series.std() > 1e-6)
+        margin = abs(shift) + 1
+        embedded = np.concatenate(
+            [np.zeros(margin), series - series.mean(), np.zeros(margin)]
+        )
+        dist, _ = sbd(embedded, np.roll(embedded, shift))
+        assert dist < 1e-6

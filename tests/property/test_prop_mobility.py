@@ -1,0 +1,63 @@
+"""Property-based tests for itineraries and subscriber synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._time import DAYS_PER_WEEK, HOURS_PER_DAY
+from repro.geo.country import CountryConfig, build_country
+from repro.services.catalog import build_catalog
+from repro.services.profiles import build_profile_library
+from repro.traffic.intensity import build_intensity_model
+from repro.traffic.mobility import MobilityModel
+from repro.traffic.subscribers import synthesize_population
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    country = build_country(CountryConfig(n_communes=64), seed=9)
+    catalog = build_catalog(n_services=30)
+    model = build_intensity_model(
+        country, catalog, build_profile_library(), seed=10
+    )
+    return country, model
+
+
+class TestItineraryProperties:
+    @given(st.integers(0, 2**31 - 1), st.floats(0.0, 167.99))
+    @settings(max_examples=25, deadline=None)
+    def test_location_always_valid(self, small_world, seed, hour):
+        country, model = small_world
+        population = synthesize_population(country, model, 20, seed=seed)
+        mobility = MobilityModel(country, seed=seed)
+        for subscriber in population:
+            commune = mobility.itinerary_for(subscriber).location_at(hour)
+            assert 0 <= commune < country.n_communes
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_everyone_home_at_night(self, small_world, seed):
+        country, model = small_world
+        population = synthesize_population(country, model, 20, seed=seed)
+        mobility = MobilityModel(country, seed=seed)
+        for subscriber in population:
+            itinerary = mobility.itinerary_for(subscriber)
+            # 3am Monday: commuters and students are home; only TGV
+            # travellers may be mid-itinerary.
+            if subscriber.subscriber_class.value != "tgv":
+                assert itinerary.location_at(51.0) == subscriber.home_commune
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_breakpoints_sorted_and_bounded(self, small_world, seed):
+        country, model = small_world
+        population = synthesize_population(country, model, 15, seed=seed)
+        mobility = MobilityModel(country, seed=seed)
+        horizon = DAYS_PER_WEEK * HOURS_PER_DAY
+        for subscriber in population:
+            itinerary = mobility.itinerary_for(subscriber)
+            breaks = np.array(itinerary.breakpoints)
+            assert breaks[0] == 0.0
+            assert np.all(np.diff(breaks) >= 0)
+            assert breaks[-1] < horizon

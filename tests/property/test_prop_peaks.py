@@ -1,0 +1,61 @@
+"""Property-based tests for the smoothed z-score detector."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.peaks import smoothed_zscore
+
+
+class TestDetectorProperties:
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.integers(5, 40),
+        st.floats(2.0, 6.0),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=40)
+    def test_signals_well_formed(self, seed, lag, threshold, influence):
+        rng = np.random.default_rng(seed)
+        signal = 10 + rng.normal(0, 1, 200)
+        result = smoothed_zscore(
+            signal, lag=lag, threshold=threshold, influence=influence
+        )
+        assert set(np.unique(result.signals)) <= {-1, 0, 1}
+        assert np.all(result.signals[:lag] == 0)
+        assert np.all(result.moving_std >= 0)
+
+    @given(st.integers(0, 2**31 - 1), st.floats(5.0, 20.0))
+    @settings(max_examples=40)
+    def test_large_spike_always_detected(self, seed, height):
+        rng = np.random.default_rng(seed)
+        signal = 10 + rng.normal(0, 0.3, 200)
+        signal[120:123] += height
+        result = smoothed_zscore(signal, lag=30, threshold=3.0, influence=0.4)
+        fronts = result.rising_fronts()
+        assert any(118 <= f <= 123 for f in fronts)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30)
+    def test_intervals_partition_positive_signals(self, seed):
+        rng = np.random.default_rng(seed)
+        signal = 10 + rng.normal(0, 1, 300)
+        signal[50:55] += 15
+        signal[200:204] += 12
+        result = smoothed_zscore(signal, lag=20, threshold=3.0, influence=0.4)
+        covered = np.zeros(len(signal), dtype=bool)
+        for start, end in result.peak_intervals():
+            assert np.all(result.signals[start:end] == 1)
+            covered[start:end] = True
+        assert np.array_equal(covered, result.signals == 1)
+
+    @given(st.integers(0, 2**31 - 1), st.floats(1.5, 8.0))
+    @settings(max_examples=30)
+    def test_higher_threshold_fewer_flags(self, seed, threshold):
+        rng = np.random.default_rng(seed)
+        signal = 10 + rng.normal(0, 1, 300)
+        low = smoothed_zscore(signal, lag=20, threshold=threshold, influence=0.4)
+        high = smoothed_zscore(
+            signal, lag=20, threshold=threshold + 2.0, influence=0.4
+        )
+        assert np.count_nonzero(high.signals) <= np.count_nonzero(low.signals)

@@ -1,0 +1,55 @@
+"""Property-based tests for the rendering helpers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro._units import format_bytes, parse_bytes
+from repro.report.series import sparkline
+from repro.report.tables import format_table
+
+cell_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    min_size=1,
+    max_size=40,
+).map(lambda t: t.strip() or "x")
+
+
+class TestTables:
+    @given(
+        st.lists(cell_text, min_size=1, max_size=5),
+        st.integers(0, 6),
+        st.integers(4, 60),
+    )
+    @settings(max_examples=40)
+    def test_never_crashes_and_aligns(self, headers, n_rows, width):
+        rows = [[f"r{i}c{j}" for j in range(len(headers))] for i in range(n_rows)]
+        out = format_table(headers, rows, max_col_width=width)
+        lines = out.split("\n")
+        assert len(lines) == 2 + n_rows
+
+
+class TestSparkline:
+    @given(
+        arrays(
+            np.float64,
+            st.integers(1, 300),
+            elements=st.floats(-1e9, 1e9, allow_nan=False),
+        ),
+        st.integers(1, 100),
+    )
+    @settings(max_examples=50)
+    def test_length_and_charset(self, values, width):
+        out = sparkline(values, width=width)
+        assert 1 <= len(out) <= max(width, len(values))
+        assert set(out) <= set(" ▁▂▃▄▅▆▇█")
+
+
+class TestUnits:
+    @given(st.floats(0.5, 1e14))
+    @settings(max_examples=60)
+    def test_format_parse_roundtrip(self, volume):
+        error = abs(parse_bytes(format_bytes(volume)) - volume)
+        # Sub-KB volumes round to whole bytes; larger ones keep 3 digits.
+        assert error <= max(0.5, 0.011 * volume)

@@ -1,0 +1,69 @@
+"""Property-based tests for the time axis."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro._time import TimeAxis
+
+resolutions = st.sampled_from([1, 2, 3, 4, 6, 12])
+
+
+@st.composite
+def series_on_axis(draw, bins_per_hour=None):
+    bph = bins_per_hour or draw(resolutions)
+    axis = TimeAxis(bph)
+    data = draw(
+        arrays(
+            dtype=np.float64,
+            shape=axis.n_bins,
+            elements=st.floats(0.0, 1e9, allow_nan=False),
+        )
+    )
+    return axis, data
+
+
+class TestResampleProperties:
+    @given(series_on_axis(bins_per_hour=4))
+    @settings(max_examples=30)
+    def test_downsample_conserves_volume(self, case):
+        axis, data = case
+        out = axis.resample_to(data, TimeAxis(1))
+        assert np.isclose(out.sum(), data.sum(), rtol=1e-9)
+
+    @given(series_on_axis(bins_per_hour=2))
+    @settings(max_examples=30)
+    def test_upsample_conserves_volume(self, case):
+        axis, data = case
+        out = axis.resample_to(data, TimeAxis(4))
+        assert np.isclose(out.sum(), data.sum(), rtol=1e-9)
+
+    @given(series_on_axis(bins_per_hour=2))
+    @settings(max_examples=30)
+    def test_up_down_roundtrip(self, case):
+        axis, data = case
+        fine = axis.resample_to(data, TimeAxis(4))
+        back = TimeAxis(4).resample_to(fine, axis)
+        assert np.allclose(back, data, rtol=1e-9, atol=1e-6)
+
+
+class TestBinProperties:
+    @given(
+        resolutions,
+        st.integers(0, 6),
+        st.floats(0.0, 23.999, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_bin_roundtrip_day(self, bph, day, hour):
+        axis = TimeAxis(bph)
+        b = axis.bin_of(day, hour)
+        assert 0 <= b < axis.n_bins
+        assert axis.day_of_bin(b) == day
+
+    @given(resolutions, st.integers(0, 6), st.floats(0.0, 23.999))
+    @settings(max_examples=60)
+    def test_hour_of_bin_within_resolution(self, bph, day, hour):
+        axis = TimeAxis(bph)
+        b = axis.bin_of(day, hour)
+        assert abs(axis.hour_of_bin(b) - hour) < 1.0 / bph + 1e-9

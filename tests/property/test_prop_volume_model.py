@@ -1,0 +1,62 @@
+"""Property-based tests of volume-model invariants.
+
+These run on a small shared country (module-scoped) and vary seeds and
+configuration through hypothesis.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._time import TimeAxis
+from repro.geo.country import CountryConfig, build_country
+from repro.services.catalog import build_catalog
+from repro.services.profiles import build_profile_library
+from repro.traffic.intensity import build_intensity_model
+from repro.traffic.volume_model import (
+    VolumeModelConfig,
+    synthesize_national_series,
+    synthesize_volume_tensor,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    country = build_country(CountryConfig(n_communes=64), seed=5)
+    catalog = build_catalog(n_services=40)
+    profiles = build_profile_library()
+    return build_intensity_model(
+        country, catalog, profiles, axis=TimeAxis(1), seed=6
+    )
+
+
+class TestTensorInvariants:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_non_negative_any_seed(self, model, seed):
+        tensor = synthesize_volume_tensor(model, "dl", seed=seed)
+        assert np.all(tensor >= 0)
+        assert np.isfinite(tensor).all()
+
+    @given(st.integers(0, 2**31 - 1), st.floats(0.0, 0.2))
+    @settings(max_examples=8, deadline=None)
+    def test_national_totals_stable_under_noise(self, model, seed, sigma):
+        config = VolumeModelConfig(
+            cell_noise_sigma=sigma, sample_adoption=False
+        )
+        tensor = synthesize_volume_tensor(model, "dl", config, seed=seed)
+        expected = model.expected_commune_volume("dl").sum(axis=0)
+        assert np.allclose(tensor.sum(axis=(0, 2)), expected, rtol=1e-3)
+
+
+class TestNationalSeriesInvariants:
+    @given(st.integers(0, 2**31 - 1), st.sampled_from(["dl", "ul"]))
+    @settings(max_examples=8, deadline=None)
+    def test_positive_and_diurnal(self, model, seed, direction):
+        series = synthesize_national_series(model, direction, seed=seed)
+        assert np.all(series > 0)
+        hours = np.arange(series.shape[1]) % 24
+        day = series[:, (hours >= 10) & (hours < 20)].mean()
+        night = series[:, (hours >= 2) & (hours < 5)].mean()
+        assert day > night

@@ -1,0 +1,45 @@
+"""Property-based tests for Zipf machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.zipf_fit import fit_zipf
+from repro.services.zipf import build_rank_volume_law
+
+
+class TestRankVolumeLaw:
+    @given(
+        st.integers(10, 600),
+        st.floats(0.5, 3.0),
+        st.floats(3.0, 12.0),
+        st.floats(0.2, 0.8),
+    )
+    @settings(max_examples=40)
+    def test_law_invariants(self, n, exponent, span, cutoff):
+        law = build_rank_volume_law(
+            n, exponent=exponent, orders_of_magnitude=span, cutoff_fraction=cutoff
+        )
+        assert law.volumes.shape == (n,)
+        assert np.all(law.volumes > 0)
+        assert np.all(np.diff(law.volumes) <= 1e-18)
+        assert np.isclose(law.volumes.sum(), 1.0)
+
+
+class TestFitRecovery:
+    @given(st.floats(0.8, 3.0), st.integers(30, 300))
+    @settings(max_examples=40)
+    def test_exact_zipf_recovered(self, exponent, n):
+        ranks = np.arange(1, n + 1, dtype=float)
+        fit = fit_zipf(ranks**-exponent)
+        assert abs(fit.exponent - exponent) < 1e-6
+        assert fit.r2 > 0.999
+
+    @given(st.floats(0.8, 2.5), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30)
+    def test_noisy_zipf_recovered_roughly(self, exponent, seed):
+        rng = np.random.default_rng(seed)
+        ranks = np.arange(1, 201, dtype=float)
+        volumes = ranks**-exponent * np.exp(rng.normal(0, 0.2, 200))
+        fit = fit_zipf(volumes)
+        assert abs(fit.exponent - exponent) < 0.35

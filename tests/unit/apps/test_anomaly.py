@@ -1,0 +1,106 @@
+"""Unit tests for demand anomaly detection."""
+
+import numpy as np
+import pytest
+
+from repro._time import TimeAxis
+from repro.apps.anomaly import (
+    day_residuals,
+    detect_anomalous_days,
+    nationwide_events,
+    scan_dataset_days,
+)
+from repro.services.catalog import ServiceCategory
+from repro.traffic.events import EventSpec, inject_event
+
+
+@pytest.fixture(scope="module")
+def axis():
+    return TimeAxis(1)
+
+
+def weekly(axis, seed=0):
+    rng = np.random.default_rng(seed)
+    hours = axis.hours() % 24
+    base = 10 + 8 * np.exp(-0.5 * ((hours - 14) / 4) ** 2)
+    return base * (1 + 0.01 * rng.normal(size=axis.n_bins))
+
+
+class TestResiduals:
+    def test_clean_week_small_residuals(self, axis):
+        residuals = day_residuals(weekly(axis), axis)
+        assert residuals.shape == (7,)
+        assert residuals.max() < 0.05
+
+    def test_validation(self, axis):
+        with pytest.raises(ValueError):
+            day_residuals(np.ones(100), axis)
+        with pytest.raises(ValueError):
+            day_residuals(np.zeros(axis.n_bins), axis)
+
+
+class TestDetection:
+    def test_clean_week_unflagged(self, axis):
+        assert detect_anomalous_days(weekly(axis), axis) == []
+
+    def test_strike_day_flagged(self, axis):
+        series = weekly(axis)[None, :]
+        eventful = inject_event(
+            series, (ServiceCategory.SOCIAL,), axis, EventSpec("strike", 3)
+        )
+        anomalies = detect_anomalous_days(eventful[0], axis, "svc")
+        assert [a.day for a in anomalies] == [3]
+        assert anomalies[0].day_name == "Tue"
+        assert anomalies[0].score > 3.5
+
+    def test_threshold_validation(self, axis):
+        with pytest.raises(ValueError):
+            detect_anomalous_days(weekly(axis), axis, threshold=0)
+
+
+class TestScan:
+    @pytest.fixture(scope="class")
+    def eventful_week(self, axis):
+        categories = (
+            ServiceCategory.SOCIAL,
+            ServiceCategory.MESSAGING,
+            ServiceCategory.STREAMING,
+            ServiceCategory.OTHER,
+        )
+        series = np.vstack([weekly(axis, seed=i) for i in range(4)])
+        eventful = inject_event(
+            series, categories, axis, EventSpec("broadcast", 5)
+        )
+        return eventful, categories
+
+    def test_broadcast_flags_affected_categories(self, eventful_week, axis):
+        eventful, _ = eventful_week
+        names = ["social", "messaging", "streaming", "other"]
+        by_day = scan_dataset_days(eventful, names, axis)
+        assert 5 in by_day
+        flagged = {a.service_name for a in by_day[5]}
+        assert {"social", "messaging"} <= flagged
+        assert "other" not in flagged
+
+    def test_nationwide_event_threshold(self, eventful_week, axis):
+        eventful, _ = eventful_week
+        names = ["social", "messaging", "streaming", "other"]
+        by_day = scan_dataset_days(eventful, names, axis)
+        assert nationwide_events(by_day, 4, min_share=0.5) == [5]
+        assert nationwide_events(by_day, 4, min_share=0.95) == []
+
+    def test_scan_validation(self, axis):
+        with pytest.raises(ValueError):
+            scan_dataset_days(weekly(axis)[None, :], ["a", "b"], axis)
+        with pytest.raises(ValueError):
+            nationwide_events({}, 4, min_share=0)
+
+
+class TestOnRealDataset:
+    def test_clean_synthetic_week_mostly_unflagged(self, volume_dataset):
+        """The default (clean) week should flag at most stray services."""
+        series = volume_dataset.all_national_series("dl")
+        by_day = scan_dataset_days(
+            series, volume_dataset.head_names, volume_dataset.axis
+        )
+        assert nationwide_events(by_day, volume_dataset.n_head) == []

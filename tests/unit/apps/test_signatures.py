@@ -1,0 +1,98 @@
+"""Unit tests for commune usage signatures."""
+
+import numpy as np
+import pytest
+
+from repro.apps.signatures import (
+    classify_by_centroids,
+    cluster_communes,
+    commune_signatures,
+)
+from repro.geo.urbanization import UrbanizationClass
+
+
+class TestSignatures:
+    def test_shape_and_normalization(self, volume_dataset):
+        features, ids = commune_signatures(volume_dataset)
+        assert features.shape == (len(ids), volume_dataset.n_head)
+        sums = features.sum(axis=1)
+        assert np.allclose(sums[sums > 0], 1.0)
+
+    def test_temporal_augmentation(self, volume_dataset):
+        base, _ = commune_signatures(volume_dataset)
+        augmented, _ = commune_signatures(
+            volume_dataset, include_temporal=True
+        )
+        assert augmented.shape[1] == base.shape[1] + 4
+
+    def test_min_users_filters(self, volume_dataset):
+        _, all_ids = commune_signatures(volume_dataset, min_users=0)
+        _, big_ids = commune_signatures(
+            volume_dataset, min_users=float(np.median(volume_dataset.users))
+        )
+        assert len(big_ids) < len(all_ids)
+
+    def test_min_users_validation(self, volume_dataset):
+        with pytest.raises(ValueError):
+            commune_signatures(volume_dataset, min_users=-1)
+        with pytest.raises(ValueError):
+            commune_signatures(volume_dataset, min_users=1e12)
+
+
+class TestClustering:
+    def test_basic_properties(self, volume_dataset):
+        clustering = cluster_communes(volume_dataset, k=4, seed=3)
+        assert clustering.k == 4
+        assert set(clustering.labels) == {0, 1, 2, 3}
+        assert clustering.sizes().sum() == len(clustering.commune_ids)
+        assert clustering.inertia >= 0
+
+    def test_more_clusters_less_inertia(self, volume_dataset):
+        small = cluster_communes(volume_dataset, k=2, seed=3)
+        large = cluster_communes(volume_dataset, k=8, seed=3)
+        assert large.inertia <= small.inertia
+
+    def test_cluster_of_commune(self, volume_dataset):
+        clustering = cluster_communes(volume_dataset, k=3, seed=3)
+        commune = int(clustering.commune_ids[0])
+        assert clustering.cluster_of_commune(commune) == clustering.labels[0]
+
+    def test_validation(self, volume_dataset):
+        with pytest.raises(ValueError):
+            cluster_communes(volume_dataset, k=0)
+        with pytest.raises(ValueError):
+            cluster_communes(volume_dataset, k=10**6)
+
+    def test_clusters_reflect_urbanization(self, volume_dataset):
+        """Usage-only clusters should align with urbanization far above
+        chance (the paper's land-use connection)."""
+        clustering = cluster_communes(volume_dataset, k=4, seed=5)
+        labels = volume_dataset.commune_classes[clustering.commune_ids]
+        # Majority-vote mapping cluster -> class, then accuracy.
+        correct = 0
+        for c in range(clustering.k):
+            members = labels[clustering.labels == c]
+            if members.size:
+                correct += int((members == np.bincount(members).argmax()).sum())
+        accuracy = correct / len(labels)
+        assert accuracy > 0.45  # chance is ~max class share
+
+
+class TestCentroidClassifier:
+    def test_recovers_separable_labels(self, rng):
+        features = np.vstack(
+            [rng.normal(0, 0.1, (30, 3)), rng.normal(3, 0.1, (30, 3))]
+        )
+        labels = np.array([0] * 30 + [1] * 30)
+        train = np.arange(0, 60, 2)
+        test = np.arange(1, 60, 2)
+        predicted = classify_by_centroids(features, labels, train, test)
+        assert (predicted == labels[test]).mean() == 1.0
+
+    def test_empty_training_rejected(self, rng):
+        features = rng.normal(size=(10, 2))
+        labels = np.zeros(10, dtype=int)
+        with pytest.raises(ValueError):
+            classify_by_centroids(
+                features, labels, np.array([], dtype=int), np.arange(10)
+            )

@@ -1,0 +1,96 @@
+"""Unit tests for slice dimensioning."""
+
+import numpy as np
+import pytest
+
+from repro.apps.slicing import (
+    SlicePlan,
+    dimension_slices,
+    gain_by_region,
+    multiplexing_gain,
+)
+from repro.geo.urbanization import UrbanizationClass
+
+
+@pytest.fixture(scope="module")
+def dimensioning(volume_dataset):
+    return dimension_slices(volume_dataset)
+
+
+class TestDimensioning:
+    def test_one_plan_per_service(self, dimensioning, volume_dataset):
+        assert len(dimensioning.plans) == volume_dataset.n_head
+
+    def test_peaks_at_least_means(self, dimensioning):
+        for plan in dimensioning.plans:
+            assert plan.peak_volume >= plan.mean_volume
+            assert plan.peak_to_mean >= 1.0
+
+    def test_joint_is_sum_of_series(self, dimensioning):
+        assert np.allclose(
+            dimensioning.joint, dimensioning.series.sum(axis=0)
+        )
+
+    def test_gain_at_least_one(self, dimensioning):
+        assert dimensioning.multiplexing_gain >= 1.0
+
+    def test_static_exceeds_joint_peak(self, dimensioning):
+        assert dimensioning.static_capacity >= dimensioning.joint_peak
+
+    def test_plan_lookup(self, dimensioning):
+        plan = dimensioning.plan_for("YouTube")
+        assert plan.service_name == "YouTube"
+        with pytest.raises(KeyError):
+            dimensioning.plan_for("MySpace")
+
+    def test_service_subset(self, volume_dataset):
+        subset = dimension_slices(
+            volume_dataset, services=("YouTube", "Netflix")
+        )
+        assert len(subset.plans) == 2
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            SlicePlan("x", peak_volume=1.0, mean_volume=2.0, peak_bin=0,
+                      peak_to_mean=0.5)
+
+
+class TestSchedules:
+    def test_schedule_tracks_joint(self, dimensioning):
+        schedule = dimensioning.schedule()
+        assert np.allclose(schedule, dimensioning.joint)
+
+    def test_margin_scales(self, dimensioning):
+        margin = dimensioning.schedule(isolation_margin=0.2)
+        assert np.allclose(margin, 1.2 * dimensioning.joint)
+        with pytest.raises(ValueError):
+            dimensioning.schedule(isolation_margin=-0.1)
+
+    def test_savings_positive_without_margin(self, dimensioning):
+        savings = dimensioning.savings_over_static()
+        assert 0.0 <= savings < 1.0
+
+    def test_savings_shrink_with_margin(self, dimensioning):
+        assert dimensioning.savings_over_static(0.3) < (
+            dimensioning.savings_over_static(0.0)
+        )
+
+
+class TestRegions:
+    def test_region_restriction(self, volume_dataset):
+        urban = dimension_slices(
+            volume_dataset, region=UrbanizationClass.URBAN
+        )
+        national = dimension_slices(volume_dataset)
+        assert urban.joint_peak < national.joint_peak
+
+    def test_gain_by_region_covers_present_classes(self, volume_dataset):
+        gains = gain_by_region(volume_dataset)
+        assert UrbanizationClass.URBAN in gains
+        for gain in gains.values():
+            assert gain >= 1.0
+
+    def test_multiplexing_gain_shortcut(self, volume_dataset, dimensioning):
+        assert multiplexing_gain(volume_dataset) == pytest.approx(
+            dimensioning.multiplexing_gain
+        )

@@ -1,0 +1,74 @@
+"""Unit tests for Pearson helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import (
+    pairwise_r2,
+    pearson_r,
+    pearson_r2,
+    upper_triangle,
+)
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        x = np.arange(10.0)
+        assert pearson_r(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson_r(x, -x) == pytest.approx(-1.0)
+
+    def test_r2(self):
+        x = np.arange(10.0)
+        assert pearson_r2(x, -3 * x) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self, rng):
+        x = rng.normal(size=5000)
+        y = rng.normal(size=5000)
+        assert abs(pearson_r(x, y)) < 0.1
+
+    def test_degenerate_vector(self):
+        assert pearson_r(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pearson_r(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            pearson_r(np.zeros((2, 2)), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            pearson_r(np.zeros(1), np.zeros(1))
+
+
+class TestPairwise:
+    def test_matches_scalar(self, rng):
+        data = rng.normal(size=(100, 4))
+        matrix = pairwise_r2(data)
+        for i in range(4):
+            for j in range(4):
+                assert matrix[i, j] == pytest.approx(
+                    pearson_r2(data[:, i], data[:, j]), abs=1e-9
+                )
+
+    def test_diagonal_ones(self, rng):
+        matrix = pairwise_r2(rng.normal(size=(30, 5)))
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_degenerate_column(self, rng):
+        data = rng.normal(size=(30, 3))
+        data[:, 1] = 4.2
+        matrix = pairwise_r2(data)
+        assert matrix[0, 1] == 0.0
+        assert matrix[1, 1] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pairwise_r2(np.zeros(5))
+
+
+class TestUpperTriangle:
+    def test_extracts_pairs(self):
+        matrix = np.arange(9).reshape(3, 3)
+        assert upper_triangle(matrix).tolist() == [1, 2, 5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            upper_triangle(np.zeros((2, 3)))

@@ -1,0 +1,85 @@
+"""Unit tests for clustering-quality indices."""
+
+import numpy as np
+import pytest
+
+from repro.core.indices import (
+    davies_bouldin,
+    davies_bouldin_star,
+    dunn,
+    evaluate_clustering,
+    silhouette,
+)
+
+
+@pytest.fixture()
+def separated():
+    """Distance matrix of two tight, well-separated groups of 3."""
+    points = np.array([0.0, 0.1, 0.2, 10.0, 10.1, 10.2])
+    distances = np.abs(points[:, None] - points[None, :])
+    good = np.array([0, 0, 0, 1, 1, 1])
+    bad = np.array([0, 1, 0, 1, 0, 1])
+    return distances, good, bad
+
+
+class TestGoodVsBad:
+    def test_davies_bouldin(self, separated):
+        distances, good, bad = separated
+        assert davies_bouldin(distances, good) < davies_bouldin(distances, bad)
+
+    def test_davies_bouldin_star(self, separated):
+        distances, good, bad = separated
+        assert davies_bouldin_star(distances, good) < davies_bouldin_star(
+            distances, bad
+        )
+
+    def test_dunn(self, separated):
+        distances, good, bad = separated
+        assert dunn(distances, good) > dunn(distances, bad)
+
+    def test_silhouette(self, separated):
+        distances, good, bad = separated
+        assert silhouette(distances, good) > silhouette(distances, bad)
+
+    def test_good_clustering_absolute_values(self, separated):
+        distances, good, _ = separated
+        assert silhouette(distances, good) > 0.9
+        assert davies_bouldin(distances, good) < 0.1
+        assert dunn(distances, good) > 10
+
+
+class TestEdgeCases:
+    def test_singletons_silhouette_zero(self):
+        distances = np.array([[0.0, 1.0], [1.0, 0.0]])
+        labels = np.array([0, 1])
+        assert silhouette(distances, labels) == 0.0
+
+    def test_db_star_at_least_db(self, separated):
+        # DB* uses the worst scatter over the smallest separation, so it
+        # can only exceed (or match) DB.
+        distances, good, bad = separated
+        for labels in (good, bad):
+            assert davies_bouldin_star(distances, labels) >= davies_bouldin(
+                distances, labels
+            ) - 1e-12
+
+    def test_single_cluster_rejected(self, separated):
+        distances, _, _ = separated
+        with pytest.raises(ValueError):
+            silhouette(distances, np.zeros(6, dtype=int))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            dunn(np.zeros((3, 4)), np.array([0, 1, 0]))
+        with pytest.raises(ValueError):
+            dunn(np.zeros((3, 3)), np.array([0, 1]))
+
+
+class TestReport:
+    def test_evaluate_clustering(self, separated):
+        distances, good, _ = separated
+        report = evaluate_clustering(distances, good)
+        assert report.k == 2
+        values = report.as_dict()
+        assert set(values) == {"DB", "DB*", "D", "Sil"}
+        assert values["Sil"] == silhouette(distances, good)

@@ -1,0 +1,160 @@
+"""Unit tests for the k-Shape implementation."""
+
+import numpy as np
+import pytest
+
+from repro.core.kshape import (
+    _batch_sbd_to,
+    kshape,
+    kshape_best,
+    sbd,
+    sbd_matrix,
+    z_normalize,
+)
+
+
+def two_families(n=120, per_family=5, seed=0):
+    """Sinusoids vs square waves: obviously clusterable shapes."""
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 4 * np.pi, n)
+    sines = [np.sin(t) + rng.normal(0, 0.05, n) for _ in range(per_family)]
+    squares = [np.sign(np.sin(2 * t)) + rng.normal(0, 0.05, n) for _ in range(per_family)]
+    return np.vstack(sines + squares)
+
+
+class TestZNormalize:
+    def test_zero_mean_unit_std(self):
+        out = z_normalize(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert out.mean() == pytest.approx(0.0, abs=1e-12)
+        assert out.std() == pytest.approx(1.0)
+
+    def test_constant_maps_to_zero(self):
+        assert np.all(z_normalize(np.full(10, 7.0)) == 0)
+
+    def test_batched(self):
+        out = z_normalize(np.arange(20.0).reshape(2, 10))
+        assert out.shape == (2, 10)
+        assert np.allclose(out.mean(axis=1), 0.0)
+
+
+class TestSbd:
+    def test_identical_series_zero_distance(self):
+        x = z_normalize(np.sin(np.linspace(0, 10, 64)))
+        dist, aligned = sbd(x, x)
+        assert dist == pytest.approx(0.0, abs=1e-9)
+        assert np.allclose(aligned, x)
+
+    def test_shift_invariance(self):
+        x = z_normalize(np.sin(np.linspace(0, 10, 128)))
+        shifted = np.roll(x, 9)
+        dist, _ = sbd(x, shifted)
+        assert dist < 0.05
+
+    def test_distance_bounds(self, rng):
+        for _ in range(10):
+            a = z_normalize(rng.normal(size=50))
+            b = z_normalize(rng.normal(size=50))
+            dist, _ = sbd(a, b)
+            assert 0.0 <= dist <= 2.0
+
+    def test_distance_symmetric(self, rng):
+        a = z_normalize(rng.normal(size=40))
+        b = z_normalize(rng.normal(size=40))
+        assert sbd(a, b)[0] == pytest.approx(sbd(b, a)[0], abs=1e-9)
+
+    def test_alignment_improves_match(self):
+        x = z_normalize(np.sin(np.linspace(0, 10, 128)))
+        shifted = np.roll(x, 15)
+        _, aligned = sbd(x, shifted)
+        # Alignment restores most of the correlation on the overlap.
+        assert np.corrcoef(x, aligned)[0, 1] > 0.8
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            sbd(np.zeros(5), np.zeros(6))
+
+    def test_batch_matches_pairwise(self, rng):
+        data = z_normalize(rng.normal(size=(6, 80)))
+        centroid = z_normalize(rng.normal(size=80))
+        batch = _batch_sbd_to(data, centroid)
+        for i in range(6):
+            single, _ = sbd(centroid, data[i])
+            assert batch[i] == pytest.approx(single, abs=1e-9)
+
+
+class TestSbdMatrix:
+    def test_properties(self):
+        data = two_families()
+        matrix = sbd_matrix(data)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+        assert np.all(matrix >= -1e-12)
+
+    def test_within_family_closer(self):
+        data = two_families()
+        matrix = sbd_matrix(data)
+        within = matrix[0, 1]
+        across = matrix[0, 5]
+        assert within < across
+
+
+class TestKShape:
+    def test_separates_two_families(self):
+        data = two_families()
+        result = kshape(data, 2, seed=3)
+        labels = result.labels
+        assert len(set(labels[:5])) == 1
+        assert len(set(labels[5:])) == 1
+        assert labels[0] != labels[5]
+
+    def test_k_one(self):
+        data = two_families()
+        result = kshape(data, 1, seed=0)
+        assert set(result.labels) == {0}
+
+    def test_no_empty_clusters(self):
+        data = two_families(per_family=4)
+        for seed in range(3):
+            result = kshape(data, 5, seed=seed)
+            assert set(result.labels) == set(range(5))
+
+    def test_inertia_decreases_with_k(self):
+        data = two_families()
+        inertia1 = kshape(data, 1, seed=0).inertia
+        inertia2 = kshape(data, 2, seed=0).inertia
+        assert inertia2 <= inertia1 + 1e-9
+
+    def test_centroids_z_normalized(self):
+        result = kshape(two_families(), 2, seed=1)
+        for centroid in result.centroids:
+            assert centroid.mean() == pytest.approx(0.0, abs=1e-8)
+
+    def test_cluster_sizes(self):
+        result = kshape(two_families(), 2, seed=1)
+        assert result.cluster_sizes().sum() == 10
+
+    def test_validation(self):
+        data = two_families()
+        with pytest.raises(ValueError):
+            kshape(data, 0)
+        with pytest.raises(ValueError):
+            kshape(data, 11)
+        with pytest.raises(ValueError):
+            kshape(np.zeros(10), 2)
+
+
+class TestKShapeBest:
+    def test_no_worse_than_single_run(self):
+        data = two_families()
+        single = kshape(data, 2, seed=3)
+        best = kshape_best(data, 2, n_restarts=4, seed=3)
+        assert best.inertia <= single.inertia + 1e-9
+
+    def test_still_separates(self):
+        data = two_families()
+        best = kshape_best(data, 2, n_restarts=3, seed=1)
+        assert best.labels[0] != best.labels[5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kshape_best(two_families(), 2, n_restarts=0)

@@ -1,0 +1,105 @@
+"""Unit tests for the smoothed z-score detector."""
+
+import numpy as np
+import pytest
+
+from repro._time import TimeAxis
+from repro.core.peaks import detect_peaks, smoothed_zscore
+
+
+def spiky_signal(n=300, spike_at=(100, 200), spike_height=8.0, seed=0):
+    rng = np.random.default_rng(seed)
+    signal = 10.0 + rng.normal(0, 0.5, n)
+    for pos in spike_at:
+        signal[pos : pos + 4] += spike_height
+    return signal
+
+
+class TestDetection:
+    def test_finds_injected_spikes(self):
+        signal = spiky_signal()
+        result = smoothed_zscore(signal, lag=20, threshold=3.0, influence=0.4)
+        fronts = result.rising_fronts()
+        assert len(fronts) >= 2
+        assert any(abs(f - 100) <= 2 for f in fronts)
+        assert any(abs(f - 200) <= 2 for f in fronts)
+
+    def test_no_peaks_in_pure_noise(self):
+        rng = np.random.default_rng(1)
+        signal = 10.0 + rng.normal(0, 0.5, 400)
+        result = smoothed_zscore(signal, lag=30, threshold=4.5, influence=0.4)
+        assert len(result.rising_fronts()) <= 1
+
+    def test_negative_peaks_flagged(self):
+        signal = spiky_signal()
+        signal[250:254] -= 8.0
+        result = smoothed_zscore(signal, lag=20, threshold=3.0, influence=0.4)
+        assert np.any(result.signals == -1)
+
+    def test_signals_in_range(self):
+        result = smoothed_zscore(spiky_signal(), lag=20)
+        assert set(np.unique(result.signals)) <= {-1, 0, 1}
+
+    def test_influence_zero_freezes_baseline(self):
+        # A step change: with influence 0 the filtered history never
+        # absorbs the new level, so the peak state persists.
+        signal = np.concatenate([np.full(50, 10.0), np.full(50, 20.0)])
+        signal += np.random.default_rng(2).normal(0, 0.2, 100)
+        frozen = smoothed_zscore(signal, lag=10, threshold=3.0, influence=0.0)
+        adaptive = smoothed_zscore(signal, lag=10, threshold=3.0, influence=1.0)
+        assert frozen.signals[60:].sum() > adaptive.signals[60:].sum()
+
+    def test_bands(self):
+        result = smoothed_zscore(spiky_signal(), lag=20, threshold=3.0)
+        assert np.all(result.upper_band >= result.moving_mean)
+        assert np.all(result.lower_band <= result.moving_mean)
+
+
+class TestIntervals:
+    def test_peak_intervals_cover_fronts(self):
+        result = smoothed_zscore(spiky_signal(), lag=20, threshold=3.0)
+        intervals = result.peak_intervals()
+        fronts = set(result.rising_fronts().tolist())
+        starts = {start for start, _ in intervals}
+        assert fronts == starts
+
+    def test_intervals_disjoint_and_ordered(self):
+        result = smoothed_zscore(spiky_signal(), lag=20, threshold=3.0)
+        intervals = result.peak_intervals()
+        for (s1, e1), (s2, _) in zip(intervals, intervals[1:]):
+            assert e1 <= s2
+            assert s1 < e1
+
+
+class TestValidation:
+    def test_lag_bounds(self):
+        with pytest.raises(ValueError):
+            smoothed_zscore(np.zeros(10), lag=0)
+        with pytest.raises(ValueError):
+            smoothed_zscore(np.zeros(10), lag=10)
+
+    def test_threshold_positive(self):
+        with pytest.raises(ValueError):
+            smoothed_zscore(np.zeros(10), lag=2, threshold=0)
+
+    def test_influence_bounds(self):
+        with pytest.raises(ValueError):
+            smoothed_zscore(np.zeros(10), lag=2, influence=1.5)
+
+    def test_one_dimensional_only(self):
+        with pytest.raises(ValueError):
+            smoothed_zscore(np.zeros((5, 5)), lag=2)
+
+
+class TestDetectPeaks:
+    def test_lag_derived_from_axis(self):
+        axis = TimeAxis(4)
+        signal = np.random.default_rng(0).normal(10, 0.1, axis.n_bins)
+        result = detect_peaks(signal, axis, lag_hours=2.0)
+        assert result.lag == 8
+
+    def test_minimum_lag(self):
+        axis = TimeAxis(1)
+        signal = np.random.default_rng(0).normal(10, 0.1, axis.n_bins)
+        result = detect_peaks(signal, axis, lag_hours=0.1)
+        assert result.lag == 2

@@ -1,0 +1,103 @@
+"""Unit tests for demand predictability baselines."""
+
+import numpy as np
+import pytest
+
+from repro._time import TimeAxis
+from repro.core.predictability import (
+    PREDICTORS,
+    predict,
+    rank_by_predictability,
+    score,
+    service_predictability,
+)
+
+
+@pytest.fixture(scope="module")
+def axis():
+    return TimeAxis(1)
+
+
+def periodic_series(axis, noise=0.0, seed=0):
+    """A perfectly daily-periodic series (+ optional noise)."""
+    rng = np.random.default_rng(seed)
+    hours = axis.hours() % 24
+    base = 10 + 5 * np.sin(2 * np.pi * hours / 24)
+    return base * (1 + rng.normal(0, noise, axis.n_bins))
+
+
+class TestPredict:
+    def test_last_value_shifts(self, axis):
+        series = np.arange(axis.n_bins, dtype=float)
+        out = predict(series, "last_value", axis)
+        assert np.isnan(out[0])
+        assert np.array_equal(out[1:], series[:-1])
+
+    def test_seasonal_naive_exact_on_periodic(self, axis):
+        series = periodic_series(axis)
+        out = predict(series, "seasonal_naive", axis)
+        valid = ~np.isnan(out)
+        assert np.allclose(out[valid], series[valid])
+
+    def test_seasonal_profile_exact_on_periodic(self, axis):
+        series = periodic_series(axis)
+        out = predict(series, "seasonal_profile", axis)
+        valid = ~np.isnan(out)
+        assert np.allclose(out[valid], series[valid])
+
+    def test_unknown_method(self, axis):
+        with pytest.raises(ValueError):
+            predict(np.ones(axis.n_bins), "oracle", axis)
+
+    def test_shape_validation(self, axis):
+        with pytest.raises(ValueError):
+            predict(np.ones((2, 10)), "last_value", axis)
+
+
+class TestScore:
+    def test_perfect_on_periodic(self, axis):
+        report = score(periodic_series(axis), "seasonal_naive", axis)
+        assert report.mae == pytest.approx(0.0, abs=1e-9)
+        assert report.mape == pytest.approx(0.0, abs=1e-12)
+
+    def test_noise_hurts(self, axis):
+        clean = score(periodic_series(axis), "seasonal_naive", axis)
+        noisy = score(periodic_series(axis, noise=0.1), "seasonal_naive", axis)
+        assert noisy.mape > clean.mape
+
+    def test_profile_beats_naive_under_noise(self, axis):
+        series = periodic_series(axis, noise=0.2, seed=4)
+        naive = score(series, "seasonal_naive", axis)
+        profile = score(series, "seasonal_profile", axis)
+        # Averaging several days beats copying one noisy day.
+        assert profile.mape < naive.mape
+
+    def test_empty_rejected(self, axis):
+        with pytest.raises(ValueError):
+            score(np.zeros(axis.n_bins), "last_value", axis)
+
+
+class TestServiceLevel:
+    def test_covers_all_services_and_methods(self, volume_dataset):
+        reports = service_predictability(volume_dataset)
+        assert set(reports) == set(volume_dataset.head_names)
+        for per_method in reports.values():
+            assert set(per_method) == set(PREDICTORS)
+
+    def test_seasonal_beats_last_value(self, volume_dataset):
+        """Strongly diurnal demand: daily seasonality is the signal."""
+        reports = service_predictability(volume_dataset)
+        wins = sum(
+            per["seasonal_profile"].mape < per["last_value"].mape
+            for per in reports.values()
+        )
+        assert wins >= 15  # of 20 services
+
+    def test_ranking(self, volume_dataset):
+        reports = service_predictability(volume_dataset)
+        ranked = rank_by_predictability(reports)
+        assert len(ranked) == 20
+        mapes = [reports[n]["seasonal_profile"].mape for n in ranked]
+        assert mapes == sorted(mapes)
+        with pytest.raises(ValueError):
+            rank_by_predictability(reports, method="oracle")

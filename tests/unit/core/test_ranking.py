@@ -1,0 +1,53 @@
+"""Unit tests for service ranking analysis."""
+
+import pytest
+
+from repro.core.ranking import (
+    category_shares,
+    rank_services,
+    uplink_fraction,
+    video_streaming_share,
+)
+from repro.services.catalog import ServiceCategory
+
+
+class TestRanking:
+    def test_head_only_default(self, volume_dataset, catalog):
+        ranking = rank_services(volume_dataset, catalog, "dl")
+        assert len(ranking) == 20
+        assert all(e.rank == i + 1 for i, e in enumerate(ranking))
+
+    def test_sorted_by_volume(self, volume_dataset, catalog):
+        ranking = rank_services(volume_dataset, catalog, "dl")
+        volumes = [e.volume_bytes for e in ranking]
+        assert volumes == sorted(volumes, reverse=True)
+
+    def test_full_catalog(self, volume_dataset, catalog):
+        ranking = rank_services(volume_dataset, catalog, "dl", head_only=False)
+        assert len(ranking) == len(catalog)
+
+    def test_shares_sum_to_one_full(self, volume_dataset, catalog):
+        ranking = rank_services(volume_dataset, catalog, "ul", head_only=False)
+        assert sum(e.share_of_direction for e in ranking) == pytest.approx(1.0)
+
+    def test_direction_validation(self, volume_dataset, catalog):
+        with pytest.raises(ValueError):
+            rank_services(volume_dataset, catalog, "sideways")
+
+
+class TestShares:
+    def test_category_shares_sum(self, volume_dataset, catalog):
+        shares = category_shares(volume_dataset, catalog, "dl")
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares[ServiceCategory.STREAMING] > 0.4
+
+    def test_video_share_excludes_audio(self, volume_dataset, catalog):
+        with_audio = video_streaming_share(
+            volume_dataset, catalog, "dl", exclude=()
+        )
+        without = video_streaming_share(volume_dataset, catalog, "dl")
+        assert with_audio > without
+
+    def test_uplink_fraction(self, volume_dataset):
+        frac = uplink_fraction(volume_dataset)
+        assert 0.0 < frac < 0.07

@@ -1,0 +1,96 @@
+"""Unit tests for spatial analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.spatial_analysis import (
+    activity_grid,
+    outlier_scores,
+    pairwise_r2_matrix,
+    per_subscriber_cdf,
+    ranked_commune_curve,
+    spatial_correlation_cdf,
+    technology_contrast,
+)
+
+
+class TestConcentration:
+    def test_uniform_volumes_linear(self):
+        curve = ranked_commune_curve(np.ones(100))
+        assert curve.share_at(0.10) == pytest.approx(0.10)
+        assert curve.share_at(1.0) == pytest.approx(1.0)
+
+    def test_concentrated_volumes(self):
+        volumes = np.zeros(100)
+        volumes[0] = 99.0
+        volumes[1:] = 1.0 / 99.0
+        curve = ranked_commune_curve(volumes)
+        assert curve.share_at(0.01) == pytest.approx(0.99)
+
+    def test_monotone(self, volume_dataset):
+        curve = ranked_commune_curve(
+            volume_dataset.commune_volumes("Twitter", "dl")
+        )
+        assert np.all(np.diff(curve.cumulative_share) >= -1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ranked_commune_curve(np.zeros(5))
+        with pytest.raises(ValueError):
+            ranked_commune_curve(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            ranked_commune_curve(np.ones(5)).share_at(0.0)
+
+
+class TestCdf:
+    def test_properties(self, rng):
+        values, prob = per_subscriber_cdf(rng.exponential(size=200))
+        assert np.all(np.diff(values) >= 0)
+        assert prob[0] == pytest.approx(1 / 200)
+        assert prob[-1] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            per_subscriber_cdf(np.array([]))
+
+
+class TestCorrelationViews:
+    def test_matrix_shape_and_symmetry(self, volume_dataset):
+        matrix, names = pairwise_r2_matrix(volume_dataset, "dl")
+        assert matrix.shape == (20, 20)
+        assert names == volume_dataset.head_names
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_cdf_bounded(self, volume_dataset):
+        values, prob = spatial_correlation_cdf(volume_dataset, "dl")
+        assert values.min() >= 0.0
+        assert values.max() <= 1.0
+        assert len(values) == 190  # 20 choose 2
+
+    def test_outlier_scores(self, volume_dataset):
+        scores = outlier_scores(volume_dataset, "dl")
+        assert set(scores) == set(volume_dataset.head_names)
+        assert scores["iCloud"] < np.median(list(scores.values()))
+
+
+class TestGrid:
+    def test_shape_and_nan_handling(self, volume_dataset):
+        grid = activity_grid(volume_dataset, "Twitter", "dl", grid_size=10)
+        assert grid.shape == (10, 10)
+        assert np.isfinite(grid).any()
+
+    def test_validation(self, volume_dataset):
+        with pytest.raises(ValueError):
+            activity_grid(volume_dataset, "Twitter", "dl", grid_size=1)
+
+
+class TestTechnologyContrast:
+    def test_netflix_contrast_exceeds_twitter(self, volume_dataset):
+        netflix = technology_contrast(volume_dataset, "Netflix", "dl")
+        twitter = technology_contrast(volume_dataset, "Twitter", "dl")
+        assert netflix["ratio_4g_over_3g"] > twitter["ratio_4g_over_3g"]
+
+    def test_keys(self, volume_dataset):
+        out = technology_contrast(volume_dataset, "YouTube", "dl")
+        assert set(out) == {"mean_4g", "mean_3g_only", "ratio_4g_over_3g"}

@@ -1,0 +1,72 @@
+"""Unit tests for the Fig. 11 analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.urbanization_analysis import (
+    COMPARED_CLASSES,
+    all_services_cross_r2,
+    all_services_slopes,
+    cross_region_r2,
+    regression_slope,
+    summarize_slopes,
+    volume_ratio_slopes,
+)
+from repro.geo.urbanization import UrbanizationClass
+
+
+class TestRegressionSlope:
+    def test_exact_ratio(self):
+        x = np.linspace(1, 10, 50)
+        assert regression_slope(2.5 * x, x) == pytest.approx(2.5)
+
+    def test_zero_x(self):
+        assert regression_slope(np.ones(5), np.zeros(5)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            regression_slope(np.zeros(4), np.zeros(5))
+
+
+class TestSlopes:
+    def test_expected_ordering(self, volume_dataset):
+        slopes = volume_ratio_slopes(volume_dataset, "YouTube", "dl")
+        assert set(slopes) == set(COMPARED_CLASSES)
+        assert slopes[UrbanizationClass.TGV] > slopes[UrbanizationClass.SEMI_URBAN]
+        assert slopes[UrbanizationClass.SEMI_URBAN] > slopes[UrbanizationClass.RURAL]
+
+    def test_rural_about_half(self, volume_dataset):
+        slopes = volume_ratio_slopes(volume_dataset, "Facebook", "dl")
+        assert slopes[UrbanizationClass.RURAL] == pytest.approx(0.5, abs=0.15)
+
+    def test_all_services(self, volume_dataset):
+        slopes = all_services_slopes(volume_dataset)
+        assert set(slopes) == set(volume_dataset.head_names)
+
+    def test_summary(self, volume_dataset):
+        summary = summarize_slopes(all_services_slopes(volume_dataset))
+        assert summary[UrbanizationClass.TGV] > 1.5
+
+
+class TestCrossRegion:
+    def test_high_for_non_tgv(self, volume_dataset):
+        r2 = cross_region_r2(volume_dataset, "Facebook", "dl")
+        assert r2[UrbanizationClass.SEMI_URBAN] > 0.7
+
+    def test_tgv_lower(self, volume_dataset):
+        r2 = cross_region_r2(volume_dataset, "Facebook", "dl")
+        non_tgv = np.mean(
+            [
+                r2[UrbanizationClass.URBAN],
+                r2[UrbanizationClass.SEMI_URBAN],
+                r2[UrbanizationClass.RURAL],
+            ]
+        )
+        assert r2[UrbanizationClass.TGV] < non_tgv
+
+    def test_all_services(self, volume_dataset):
+        out = all_services_cross_r2(volume_dataset)
+        assert len(out) == 20
+        for per_service in out.values():
+            for value in per_service.values():
+                assert 0.0 <= value <= 1.0

@@ -1,0 +1,56 @@
+"""Unit tests for Zipf fitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.zipf_fit import fit_zipf
+
+
+class TestFit:
+    def test_recovers_exact_exponent(self):
+        ranks = np.arange(1, 201, dtype=float)
+        volumes = ranks**-1.69
+        fit = fit_zipf(volumes)
+        assert fit.exponent == pytest.approx(1.69, abs=1e-6)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_handles_unsorted_input(self, rng):
+        volumes = np.arange(1, 101, dtype=float) ** -1.5
+        rng.shuffle(volumes)
+        fit = fit_zipf(volumes)
+        assert fit.exponent == pytest.approx(1.5, abs=1e-6)
+
+    def test_head_fraction_restricts_fit(self):
+        ranks = np.arange(1, 101, dtype=float)
+        volumes = ranks**-1.5
+        volumes[50:] *= np.exp(-(ranks[50:] - 50) / 5)  # sharp tail
+        full = fit_zipf(volumes, head_fraction=1.0)
+        head = fit_zipf(volumes, head_fraction=0.5)
+        assert head.exponent == pytest.approx(1.5, abs=0.01)
+        assert full.exponent > head.exponent  # the tail steepens the fit
+
+    def test_predicted_matches_at_rank_one(self):
+        volumes = np.arange(1, 51, dtype=float) ** -2.0
+        fit = fit_zipf(volumes)
+        normalized = volumes / volumes.sum()
+        assert fit.predicted(np.array([1.0]))[0] == pytest.approx(
+            normalized[0], rel=0.01
+        )
+
+    def test_span(self):
+        volumes = np.array([1e0, 1e-2, 1e-4, 1e-6, 1e-8])
+        fit = fit_zipf(volumes, head_fraction=1.0)
+        assert fit.span_orders_of_magnitude == pytest.approx(8.0)
+
+    def test_zero_volumes_ignored(self):
+        volumes = np.concatenate([np.arange(1, 51, dtype=float) ** -1.2, np.zeros(10)])
+        fit = fit_zipf(volumes)
+        assert np.isfinite(fit.exponent)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_zipf(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            fit_zipf(np.arange(1, 11, dtype=float), head_fraction=0.0)
+        with pytest.raises(ValueError):
+            fit_zipf(np.zeros(10))

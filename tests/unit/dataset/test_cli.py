@@ -1,0 +1,51 @@
+"""Unit tests for the repro-dataset CLI."""
+
+import pytest
+
+from repro.dataset.cli import main
+
+
+class TestBuildAndInfo:
+    def test_volume_build_then_info(self, tmp_path, capsys):
+        out = tmp_path / "small.npz"
+        assert main(["build", "--communes", "100", "--seed", "3",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+        capsys.readouterr()
+
+        assert main(["info", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "communes" in text
+        assert "top service" in text
+        assert "YouTube" in text
+
+    def test_session_build(self, tmp_path, capsys):
+        out = tmp_path / "panel.npz"
+        assert main([
+            "build", "--session", "--subscribers", "150",
+            "--communes", "64", "--seed", "3", "--out", str(out),
+        ]) == 0
+        assert out.exists()
+
+    def test_maps_export(self, tmp_path, capsys):
+        out = tmp_path / "small.npz"
+        assert main(["build", "--communes", "100", "--seed", "3",
+                     "--out", str(out)]) == 0
+        out_dir = tmp_path / "maps"
+        assert main([
+            "maps", str(out), "--services", "Twitter", "Facebook",
+            "--grid", "16", "--out-dir", str(out_dir),
+        ]) == 0
+        assert (out_dir / "twitter.pgm").exists()
+        assert (out_dir / "facebook.pgm").exists()
+        from repro.report.image import read_pgm
+
+        assert read_pgm(out_dir / "twitter.pgm").shape == (16, 16)
+
+    def test_missing_file_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["info", str(tmp_path / "nope.npz")])
+
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,97 @@
+"""Unit tests for dataset views."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.filters import (
+    select_communes,
+    select_days,
+    select_region,
+    select_services,
+    weekend_only,
+    workdays_only,
+)
+from repro.geo.urbanization import UrbanizationClass
+
+
+class TestSelectCommunes:
+    def test_subsets_rows(self, volume_dataset):
+        subset = select_communes(volume_dataset, [0, 5, 10])
+        assert subset.n_communes == 3
+        assert np.allclose(subset.dl[1], volume_dataset.dl[5])
+        assert subset.users[2] == volume_dataset.users[10]
+
+    def test_analyses_still_run(self, volume_dataset):
+        subset = select_communes(volume_dataset, list(range(50)))
+        series = subset.national_series("YouTube", "dl")
+        assert series.sum() < volume_dataset.national_series("YouTube", "dl").sum()
+
+    def test_validation(self, volume_dataset):
+        with pytest.raises(ValueError):
+            select_communes(volume_dataset, [])
+        with pytest.raises(ValueError):
+            select_communes(volume_dataset, [volume_dataset.n_communes])
+
+
+class TestSelectRegion:
+    def test_single_class(self, volume_dataset):
+        urban = select_region(volume_dataset, UrbanizationClass.URBAN)
+        assert np.all(urban.commune_classes == int(UrbanizationClass.URBAN))
+        assert urban.n_communes == int(
+            volume_dataset.class_mask(UrbanizationClass.URBAN).sum()
+        )
+
+
+class TestSelectServices:
+    def test_narrows_head(self, volume_dataset):
+        subset = select_services(volume_dataset, ["Twitter", "Netflix"])
+        assert subset.head_names == ["Twitter", "Netflix"]
+        assert subset.n_head == 2
+        assert np.allclose(
+            subset.national_series("Twitter", "dl"),
+            volume_dataset.national_series("Twitter", "dl"),
+        )
+
+    def test_rank_analysis_consistent(self, volume_dataset):
+        subset = select_services(volume_dataset, ["YouTube", "MMS"])
+        ranked = subset.service_rank_volumes("dl")
+        assert len(ranked) == 2
+        assert ranked[0] >= ranked[1]
+
+    def test_validation(self, volume_dataset):
+        with pytest.raises(ValueError):
+            select_services(volume_dataset, [])
+        with pytest.raises(KeyError):
+            select_services(volume_dataset, ["MySpace"])
+
+
+class TestSelectDays:
+    def test_weekend_only_zeroes_weekdays(self, volume_dataset):
+        weekend = weekend_only(volume_dataset)
+        series = weekend.national_series("Facebook", "dl")
+        assert series[:48].sum() > 0
+        assert series[48:].sum() == 0
+
+    def test_workdays_complement(self, volume_dataset):
+        workdays = workdays_only(volume_dataset)
+        weekend = weekend_only(volume_dataset)
+        total = volume_dataset.national_series("Facebook", "dl").sum()
+        split = (
+            workdays.national_series("Facebook", "dl").sum()
+            + weekend.national_series("Facebook", "dl").sum()
+        )
+        assert split == pytest.approx(total, rel=1e-6)
+
+    def test_head_national_totals_updated(self, volume_dataset):
+        weekend = weekend_only(volume_dataset)
+        j = weekend.all_service_names.index("Facebook")
+        assert weekend.national_dl[j] == pytest.approx(
+            float(weekend.dl[:, weekend.head_index("Facebook"), :].sum()),
+            rel=1e-6,
+        )
+
+    def test_validation(self, volume_dataset):
+        with pytest.raises(ValueError):
+            select_days(volume_dataset, [])
+        with pytest.raises(ValueError):
+            select_days(volume_dataset, [7])

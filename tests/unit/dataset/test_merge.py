@@ -1,0 +1,83 @@
+"""Unit tests for panel merging."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.dataset.builder import build_session_level_dataset
+from repro.dataset.merge import merge_panels
+from repro.geo.country import CountryConfig, build_country
+
+
+@pytest.fixture(scope="module")
+def shards():
+    country = build_country(CountryConfig(n_communes=64), seed=31)
+    return [
+        build_session_level_dataset(
+            n_subscribers=120, country=country, seed=100 + i
+        ).dataset
+        for i in range(3)
+    ]
+
+
+class TestMerge:
+    def test_volumes_add(self, shards):
+        merged = merge_panels(shards)
+        expected = sum(s.total_volume() for s in shards)
+        assert merged.total_volume() == pytest.approx(expected, rel=1e-6)
+
+    def test_tensors_add(self, shards):
+        merged = merge_panels(shards)
+        assert np.allclose(
+            merged.dl, np.sum([s.dl for s in shards], axis=0), rtol=1e-5
+        )
+
+    def test_users_add(self, shards):
+        merged = merge_panels(shards)
+        assert np.array_equal(
+            merged.users, np.sum([s.users for s in shards], axis=0)
+        )
+
+    def test_classified_fraction_weighted(self, shards):
+        merged = merge_panels(shards)
+        assert (
+            min(s.classified_fraction for s in shards)
+            <= merged.classified_fraction
+            <= max(s.classified_fraction for s in shards)
+        )
+
+    def test_meta_records_shards(self, shards):
+        merged = merge_panels(shards)
+        assert merged.meta["merged_panels"] == 3.0
+
+    def test_single_passthrough(self, shards):
+        assert merge_panels([shards[0]]) is shards[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_panels([])
+
+    def test_incompatible_rejected(self, shards):
+        other = dataclasses.replace(
+            shards[0],
+            head_names=list(reversed(shards[0].head_names)),
+            dl=shards[0].dl[:, ::-1, :],
+            ul=shards[0].ul[:, ::-1, :],
+        )
+        with pytest.raises(ValueError):
+            merge_panels([shards[0], other])
+
+    def test_different_country_rejected(self, shards):
+        flipped = shards[0].commune_classes.copy()
+        flipped[0] = (flipped[0] + 1) % 4
+        other = dataclasses.replace(shards[0], commune_classes=flipped)
+        with pytest.raises(ValueError):
+            merge_panels([shards[0], other])
+
+    def test_merged_analyses_run(self, shards):
+        merged = merge_panels(shards)
+        series = merged.national_series("YouTube", "dl")
+        assert series.sum() >= max(
+            s.national_series("YouTube", "dl").sum() for s in shards
+        )

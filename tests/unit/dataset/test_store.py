@@ -1,0 +1,97 @@
+"""Unit tests for the dataset container."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro._time import TimeAxis
+from repro.dataset.store import MobileTrafficDataset
+from repro.geo.urbanization import UrbanizationClass
+
+
+class TestAccessors:
+    def test_shapes(self, volume_dataset):
+        assert volume_dataset.n_head == 20
+        assert volume_dataset.n_bins == 168
+        assert volume_dataset.n_communes == 324
+
+    def test_head_index(self, volume_dataset):
+        assert volume_dataset.head_index("YouTube") == 0
+        with pytest.raises(KeyError):
+            volume_dataset.head_index("service-0300")
+
+    def test_tensor_direction(self, volume_dataset):
+        assert volume_dataset.tensor("dl") is volume_dataset.dl
+        with pytest.raises(ValueError):
+            volume_dataset.tensor("diagonal")
+
+    def test_national_series(self, volume_dataset):
+        series = volume_dataset.national_series("Facebook", "dl")
+        assert series.shape == (168,)
+        assert series.sum() > 0
+
+    def test_all_national_series(self, volume_dataset):
+        series = volume_dataset.all_national_series("dl")
+        assert series.shape == (20, 168)
+        single = volume_dataset.national_series("YouTube", "dl")
+        assert np.allclose(series[0], single)
+
+    def test_per_subscriber(self, volume_dataset):
+        per_sub = volume_dataset.per_subscriber_volumes("Twitter", "dl")
+        volumes = volume_dataset.commune_volumes("Twitter", "dl")
+        assert per_sub.shape == volumes.shape
+        assert np.all(per_sub <= volumes / 1.0 + 1e-9)
+
+    def test_per_subscriber_matrix(self, volume_dataset):
+        matrix = volume_dataset.per_subscriber_matrix("dl")
+        assert matrix.shape == (volume_dataset.n_communes, 20)
+        column = volume_dataset.per_subscriber_volumes("YouTube", "dl")
+        assert np.allclose(matrix[:, 0], column, rtol=1e-5)
+
+    def test_region_series(self, volume_dataset):
+        series = volume_dataset.region_series(
+            "Facebook", "dl", UrbanizationClass.URBAN
+        )
+        assert series.shape == (168,)
+        assert np.all(series >= 0)
+
+    def test_service_rank_volumes_sorted(self, volume_dataset):
+        ranked = volume_dataset.service_rank_volumes("dl")
+        assert np.all(np.diff(ranked) <= 0)
+        assert len(ranked) == len(volume_dataset.all_service_names)
+
+    def test_total_volume(self, volume_dataset):
+        total = volume_dataset.total_volume()
+        assert total == pytest.approx(
+            volume_dataset.national_dl.sum() + volume_dataset.national_ul.sum()
+        )
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self, volume_dataset):
+        with pytest.raises(ValueError):
+            dataclasses.replace(volume_dataset, ul=volume_dataset.ul[:, :5, :])
+
+    def test_axis_mismatch_rejected(self, volume_dataset):
+        with pytest.raises(ValueError):
+            dataclasses.replace(volume_dataset, axis=TimeAxis(4))
+
+    def test_names_mismatch_rejected(self, volume_dataset):
+        with pytest.raises(ValueError):
+            dataclasses.replace(volume_dataset, head_names=["just-one"])
+
+
+class TestPersistence:
+    def test_roundtrip(self, volume_dataset, tmp_path):
+        path = tmp_path / "dataset.npz"
+        volume_dataset.save(path)
+        loaded = MobileTrafficDataset.load(path)
+        assert loaded.head_names == volume_dataset.head_names
+        assert loaded.axis.bins_per_hour == volume_dataset.axis.bins_per_hour
+        assert np.allclose(loaded.dl, volume_dataset.dl)
+        assert np.allclose(loaded.users, volume_dataset.users)
+        assert loaded.classified_fraction == pytest.approx(
+            volume_dataset.classified_fraction
+        )
+        assert loaded.meta == pytest.approx(volume_dataset.meta)

@@ -1,0 +1,81 @@
+"""Unit tests for the DPI classification engine."""
+
+import pytest
+
+from repro.dpi.classifier import DpiEngine, Technique
+from repro.dpi.fingerprints import FingerprintDatabase
+from repro.network.gtp import FlowDescriptor
+from repro.services.catalog import HEAD_SERVICE_NAMES
+
+
+@pytest.fixture(scope="module")
+def db(catalog):
+    return FingerprintDatabase(catalog, seed=8)
+
+
+@pytest.fixture()
+def engine(db):
+    return DpiEngine(db)
+
+
+class TestClassification:
+    def test_emitted_flows_classified_back(self, engine, db):
+        for name in HEAD_SERVICE_NAMES:
+            for _ in range(10):
+                flow = db.emit_flow(name, obfuscated=False)
+                assert engine.classify(flow) == name, name
+
+    def test_obfuscated_unclassified(self, engine, db):
+        flow = db.emit_flow("Facebook", obfuscated=True)
+        assert engine.classify(flow) is None
+
+    def test_longest_suffix_wins(self, engine):
+        # video.xx.fbcdn.net must classify as Facebook Video, not Facebook.
+        flow = FlowDescriptor(1, "edge-001.video.xx.fbcdn.net", None, 443, "tcp")
+        assert engine.classify(flow) == "Facebook Video"
+        flow = FlowDescriptor(2, "scontent.fbcdn.net", None, 443, "tcp")
+        assert engine.classify(flow) == "Facebook"
+
+    def test_host_technique(self, engine):
+        flow = FlowDescriptor(1, None, "www.youtube.com", 80, "tcp")
+        assert engine.classify(flow) == "YouTube"
+
+    def test_payload_technique(self, engine):
+        flow = FlowDescriptor(1, None, None, 50000, "udp", payload_hint="wa-noise")
+        assert engine.classify(flow) == "WhatsApp"
+
+    def test_port_technique(self, engine):
+        flow = FlowDescriptor(1, None, None, 5222, "tcp")
+        assert engine.classify(flow) == "WhatsApp"
+
+    def test_prefix_style_host(self, engine):
+        flow = FlowDescriptor(1, None, "imap.provider07.example", 993, "tcp")
+        assert engine.classify(flow) == "Mail"
+
+    def test_unknown_flow(self, engine):
+        flow = FlowDescriptor(1, "unknown.example.org", None, 4444, "tcp")
+        assert engine.classify(flow) is None
+
+
+class TestReporting:
+    def test_byte_coverage(self, engine, db):
+        engine.classify(db.emit_flow("YouTube", obfuscated=False), 900.0)
+        engine.classify(db.emit_flow("YouTube", obfuscated=True), 100.0)
+        assert engine.report.byte_coverage == pytest.approx(0.9)
+        assert engine.report.flow_coverage == pytest.approx(0.5)
+
+    def test_technique_attribution(self, engine):
+        engine.classify(FlowDescriptor(1, "twitter.com", None, 443, "tcp"), 1.0)
+        engine.classify(FlowDescriptor(2, None, None, 5222, "tcp"), 1.0)
+        assert engine.report.by_technique[Technique.SNI] == 1
+        assert engine.report.by_technique[Technique.PORT] == 1
+
+    def test_reset_report(self, engine):
+        engine.classify(FlowDescriptor(1, "twitter.com", None, 443, "tcp"), 1.0)
+        old = engine.reset_report()
+        assert old.flows_total == 1
+        assert engine.report.flows_total == 0
+
+    def test_empty_report_coverage(self, engine):
+        assert engine.report.byte_coverage == 0.0
+        assert engine.report.flow_coverage == 0.0

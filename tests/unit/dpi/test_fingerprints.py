@@ -1,0 +1,82 @@
+"""Unit tests for the fingerprint database."""
+
+import pytest
+
+from repro.dpi.fingerprints import FingerprintDatabase, ServiceFingerprint
+from repro.services.catalog import HEAD_SERVICE_NAMES
+
+
+@pytest.fixture(scope="module")
+def db(catalog):
+    return FingerprintDatabase(catalog, seed=8)
+
+
+class TestDatabase:
+    def test_every_service_has_fingerprint(self, db, catalog):
+        for service in catalog:
+            fp = db.fingerprint_of(service.name)
+            assert fp.service_name == service.name
+
+    def test_unknown_service_rejected(self, db):
+        with pytest.raises(KeyError):
+            db.fingerprint_of("no-such-service")
+
+    def test_head_fingerprints_use_real_domains(self, db):
+        fp = db.fingerprint_of("YouTube")
+        assert any("googlevideo" in s for s in fp.sni_suffixes)
+
+    def test_tail_fingerprints_generated(self, db, catalog):
+        tail = catalog.tail_services[0]
+        fp = db.fingerprint_of(tail.name)
+        assert fp.sni_suffixes
+
+    def test_all_fingerprints_order(self, db, catalog):
+        fps = db.all_fingerprints()
+        assert [f.service_name for f in fps] == [s.name for s in catalog]
+
+    def test_featureless_fingerprint_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceFingerprint("empty")
+
+    def test_unclassifiable_rate_validation(self, catalog):
+        with pytest.raises(ValueError):
+            FingerprintDatabase(catalog, unclassifiable_rate=1.0)
+
+
+class TestEmission:
+    def test_clear_flow_carries_features(self, db):
+        flow = db.emit_flow("Facebook", obfuscated=False)
+        assert flow.sni or flow.host or flow.payload_hint
+
+    def test_obfuscated_flow_featureless(self, db):
+        flow = db.emit_flow("Facebook", obfuscated=True)
+        assert flow.sni is None
+        assert flow.host is None
+        assert flow.payload_hint is None
+
+    def test_flow_ids_unique(self, db):
+        ids = {db.emit_flow("YouTube", obfuscated=False).flow_id for _ in range(50)}
+        assert len(ids) == 50
+
+    def test_obfuscation_rate_approx(self, catalog):
+        db = FingerprintDatabase(catalog, unclassifiable_rate=0.12, seed=0)
+        flows = [db.emit_flow("Facebook") for _ in range(2000)]
+        rate = sum(f.sni is None and f.host is None for f in flows) / len(flows)
+        assert rate == pytest.approx(0.12, abs=0.03)
+
+    def test_sni_matches_service_suffixes(self, db):
+        fp = db.fingerprint_of("Twitter")
+        for _ in range(20):
+            flow = db.emit_flow("Twitter", obfuscated=False)
+            if flow.sni:
+                assert any(flow.sni.endswith(s) for s in fp.sni_suffixes)
+
+    def test_mms_never_tls(self, db):
+        for _ in range(20):
+            flow = db.emit_flow("MMS", obfuscated=False)
+            assert flow.sni is None  # tls_share = 0
+
+    def test_all_head_services_emittable(self, db):
+        for name in HEAD_SERVICE_NAMES:
+            flow = db.emit_flow(name, obfuscated=False)
+            assert flow.server_port > 0

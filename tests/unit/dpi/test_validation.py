@@ -1,0 +1,60 @@
+"""Unit tests for DPI self-validation."""
+
+import numpy as np
+import pytest
+
+from repro.dpi.fingerprints import FingerprintDatabase
+from repro.dpi.validation import ConfusionReport, confusion_matrix
+from repro.services.catalog import HEAD_SERVICE_NAMES
+
+
+@pytest.fixture(scope="module")
+def report(catalog):
+    db = FingerprintDatabase(catalog, seed=9)
+    return confusion_matrix(
+        db, flows_per_service=60, service_names=list(HEAD_SERVICE_NAMES)
+    )
+
+
+class TestConfusion:
+    def test_perfect_on_clear_flows(self, report):
+        """Every clear flow classifies back to its own service."""
+        assert report.accuracy == 1.0
+        assert report.coverage == 1.0
+        assert report.misclassified_pairs() == {}
+
+    def test_row_sums(self, report):
+        assert np.all(report.matrix.sum(axis=1) == 60)
+
+    def test_obfuscated_reduce_coverage(self, catalog):
+        db = FingerprintDatabase(catalog, unclassifiable_rate=0.3, seed=9)
+        report = confusion_matrix(
+            db,
+            flows_per_service=100,
+            service_names=["Facebook", "YouTube"],
+            include_obfuscated=True,
+        )
+        assert report.coverage == pytest.approx(0.7, abs=0.1)
+        assert report.accuracy == 1.0  # classified flows stay correct
+
+    def test_validation(self, catalog):
+        db = FingerprintDatabase(catalog, seed=9)
+        with pytest.raises(ValueError):
+            confusion_matrix(db, flows_per_service=0)
+        with pytest.raises(ValueError):
+            ConfusionReport(["a"], np.zeros((2, 2)))
+
+    def test_shared_infrastructure_disambiguated(self, catalog):
+        """The known hard pairs must not cross-classify."""
+        db = FingerprintDatabase(catalog, seed=11)
+        pairs = (
+            ("Facebook", "Facebook Video"),
+            ("Instagram", "Instagram video"),
+            ("Google Services", "Google Play"),
+            ("iTunes", "Apple store"),
+        )
+        for a, b in pairs:
+            report = confusion_matrix(
+                db, flows_per_service=80, service_names=[a, b]
+            )
+            assert report.misclassified_pairs() == {}, (a, b)

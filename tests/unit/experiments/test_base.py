@@ -1,0 +1,52 @@
+"""Unit tests for experiment scaffolding."""
+
+import pytest
+
+from repro.experiments.base import Check, ExperimentResult
+
+
+@pytest.fixture()
+def result():
+    return ExperimentResult("figX", "A test experiment")
+
+
+class TestChecks:
+    def test_add_check(self, result):
+        result.add_check("n", 1.0, "exp", True)
+        assert result.all_passed
+        result.add_check("m", 2.0, "exp", False)
+        assert not result.all_passed
+
+    def test_check_range_bounds(self, result):
+        result.check_range("in", 5.0, 1.0, 10.0, "1..10")
+        result.check_range("below", 0.5, 1.0, 10.0, "1..10")
+        result.check_range("above", 11.0, 1.0, 10.0, "1..10")
+        result.check_range("open-low", 11.0, 1.0, None, ">= 1")
+        result.check_range("open-high", -5.0, None, 10.0, "<= 10")
+        statuses = [c.passed for c in result.checks]
+        assert statuses == [True, False, False, True, True]
+
+    def test_check_render(self):
+        check = Check("name", 0.123456, "claim", True)
+        text = check.render()
+        assert "OK" in text and "0.1235" in text and "claim" in text
+        assert "FAIL" in Check("n", 0.0, "c", False).render()
+
+
+class TestRender:
+    def test_empty(self, result):
+        text = result.render()
+        assert "figX" in text and "A test experiment" in text
+
+    def test_with_blocks_and_checks(self, result):
+        result.blocks.append("some table")
+        result.add_check("a", 1.0, "paper says", True)
+        text = result.render()
+        assert "some table" in text
+        assert "Paper-expectation checks" in text
+        assert "PASS (1/1 checks)" in text
+
+    def test_partial_status(self, result):
+        result.add_check("a", 1.0, "x", True)
+        result.add_check("b", 2.0, "y", False)
+        assert "PARTIAL (1/2 checks)" in result.render()

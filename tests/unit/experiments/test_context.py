@@ -1,0 +1,49 @@
+"""Unit tests for the shared experiment context."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.context import (
+    build_default_context,
+    build_default_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return build_default_context(seed=3, n_communes=144)
+
+
+class TestContext:
+    def test_dataset_scale(self, ctx):
+        assert ctx.dataset.n_communes == 144
+        assert ctx.dataset.n_head == 20
+
+    def test_fine_series_shape(self, ctx):
+        series = ctx.national_series_fine("dl")
+        assert series.shape == (20, 672)
+        assert np.all(series > 0)
+
+    def test_fine_series_cached(self, ctx):
+        assert ctx.national_series_fine("dl") is ctx.national_series_fine("dl")
+
+    def test_directions_independent(self, ctx):
+        dl = ctx.national_series_fine("dl")
+        ul = ctx.national_series_fine("ul")
+        assert dl.shape == ul.shape
+        assert not np.allclose(dl, ul)
+
+    def test_head_names(self, ctx):
+        assert ctx.head_names[0] == "YouTube"
+
+    def test_default_dataset_convenience(self):
+        dataset = build_default_dataset(seed=3, n_communes=100)
+        assert dataset.n_communes == 100
+
+    def test_seed_determinism(self):
+        a = build_default_context(seed=5, n_communes=100)
+        b = build_default_context(seed=5, n_communes=100)
+        assert np.allclose(a.dataset.dl, b.dataset.dl)
+        assert np.allclose(
+            a.national_series_fine("dl"), b.national_series_fine("dl")
+        )

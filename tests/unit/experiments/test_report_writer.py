@@ -1,0 +1,50 @@
+"""Unit tests for the markdown report writer."""
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.report_writer import render_markdown, write_report
+
+
+@pytest.fixture()
+def results():
+    a = ExperimentResult("fig1", "First")
+    a.blocks.append("table A")
+    a.add_check("c1", 1.5, "about 1.5", True)
+    b = ExperimentResult("fig2", "Second")
+    b.add_check("c2", 0.0, "zero", False)
+    return {"fig1": a, "fig2": b}
+
+
+class TestRender:
+    def test_structure(self, results):
+        text = render_markdown(results)
+        assert text.startswith("# Reproduction report")
+        assert "## fig1 — First" in text
+        assert "table A" in text
+        assert "| c1 | about 1.5 | 1.5 | pass |" in text
+        assert "**FAIL**" in text
+        assert "1/2 paper-expectation checks passed" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_markdown({})
+
+
+class TestWrite:
+    def test_writes_file(self, results, tmp_path):
+        path = write_report(results, tmp_path / "report.md")
+        assert path.exists()
+        assert "fig2" in path.read_text()
+
+
+class TestCliOutput:
+    def test_output_flag(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        out_path = tmp_path / "run.md"
+        assert main(
+            ["fig2", "--communes", "400", "--seed", "3", "--output", str(out_path)]
+        ) == 0
+        assert out_path.exists()
+        assert "Zipf" in out_path.read_text()

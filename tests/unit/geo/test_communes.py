@@ -1,0 +1,95 @@
+"""Unit tests for the commune tessellation."""
+
+import numpy as np
+import pytest
+
+from repro.geo.communes import build_tessellation
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return build_tessellation(n_communes=100, seed=5)
+
+
+class TestBuild:
+    def test_count_rounds_up_to_square(self):
+        grid = build_tessellation(n_communes=10, seed=0)
+        assert len(grid) == 16  # next perfect square
+
+    def test_exact_square_kept(self, grid):
+        assert len(grid) == 100
+
+    def test_mean_area(self, grid):
+        assert grid.areas_km2.mean() == pytest.approx(16.0)
+
+    def test_areas_tile_territory(self, grid):
+        assert grid.areas_km2.sum() == pytest.approx(grid.territory_area_km2)
+
+    def test_areas_positive(self, grid):
+        assert np.all(grid.areas_km2 > 0)
+
+    def test_custom_area(self):
+        grid = build_tessellation(n_communes=25, mean_area_km2=4.0, seed=1)
+        assert grid.areas_km2.mean() == pytest.approx(4.0)
+
+    def test_seed_determinism(self):
+        a = build_tessellation(36, seed=9)
+        b = build_tessellation(36, seed=9)
+        assert np.array_equal(a.coordinates_km, b.coordinates_km)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_tessellation(0)
+        with pytest.raises(ValueError):
+            build_tessellation(10, mean_area_km2=-1)
+
+
+class TestLookup:
+    def test_seed_in_own_cell(self, grid):
+        for commune in list(grid)[::7]:
+            assert grid.commune_at(commune.x_km, commune.y_km) == commune.commune_id
+
+    def test_out_of_bounds_clamped(self, grid):
+        assert grid.commune_at(-5.0, -5.0) == 0
+        last = len(grid) - 1
+        assert grid.commune_at(grid.side_km + 5, grid.side_km + 5) == last
+
+    def test_vectorized_matches_scalar(self, grid, rng):
+        points = rng.uniform(0, grid.side_km, size=(50, 2))
+        vector = grid.communes_at(points)
+        scalar = [grid.commune_at(x, y) for x, y in points]
+        assert np.array_equal(vector, scalar)
+
+    def test_communes_at_shape_validation(self, grid):
+        with pytest.raises(ValueError):
+            grid.communes_at(np.zeros((3, 3)))
+
+
+class TestNeighbors:
+    def test_corner_has_three(self, grid):
+        assert len(grid.neighbors(0)) == 3
+
+    def test_interior_has_eight(self, grid):
+        interior = grid.cells_per_side + 1  # one in from the corner
+        assert len(grid.neighbors(interior)) == 8
+
+    def test_symmetric(self, grid):
+        for commune_id in (0, 37, 55):
+            for other in grid.neighbors(commune_id):
+                assert commune_id in grid.neighbors(other)
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            grid.neighbors(len(grid))
+
+
+class TestDistance:
+    def test_zero_to_self(self, grid):
+        assert grid.distance_km(3, 3) == 0.0
+
+    def test_symmetric(self, grid):
+        assert grid.distance_km(0, 99) == grid.distance_km(99, 0)
+
+    def test_triangle_inequality(self, grid):
+        d = grid.distance_km
+        assert d(0, 99) <= d(0, 50) + d(50, 99) + 1e-9

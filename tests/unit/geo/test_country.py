@@ -1,0 +1,63 @@
+"""Unit tests for the Country aggregate."""
+
+import pytest
+
+from repro.geo.country import CountryConfig, build_country
+from repro.geo.urbanization import UrbanizationClass
+
+
+class TestConfig:
+    def test_population_scales_with_communes(self):
+        config = CountryConfig(n_communes=3_600)
+        assert config.effective_population == pytest.approx(3_000_000)
+        assert config.population_scale == pytest.approx(0.1)
+
+    def test_explicit_population_wins(self):
+        config = CountryConfig(n_communes=100, total_population=5e6)
+        assert config.effective_population == 5e6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountryConfig(n_communes=2)
+        with pytest.raises(ValueError):
+            CountryConfig(n_cities=4, n_rail_hubs=8)
+
+
+class TestCountry:
+    def test_describe_keys(self, country):
+        info = country.describe()
+        for key in (
+            "n_communes",
+            "total_population",
+            "commune_counts",
+            "population_shares",
+            "coverage_3g",
+            "coverage_4g",
+            "rail_length_km",
+        ):
+            assert key in info
+
+    def test_subscribers_fraction_of_population(self, country):
+        subs = country.subscribers_per_commune()
+        assert subs.sum() == pytest.approx(
+            0.5 * country.population.total_population
+        )
+
+    def test_class_of_matches_mask(self, country):
+        for commune_id in (0, 17, country.n_communes - 1):
+            cls = country.class_of(commune_id)
+            assert country.urbanization.mask(cls)[commune_id]
+
+    def test_communes_in_class(self, country):
+        urban = country.communes_in_class(UrbanizationClass.URBAN)
+        assert urban.size > 0
+        assert all(
+            country.class_of(int(c)) is UrbanizationClass.URBAN for c in urban[:5]
+        )
+
+    def test_determinism(self):
+        config = CountryConfig(n_communes=64)
+        a = build_country(config, seed=3)
+        b = build_country(config, seed=3)
+        assert (a.population.residents == b.population.residents).all()
+        assert (a.urbanization.classes == b.urbanization.classes).all()

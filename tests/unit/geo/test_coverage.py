@@ -1,0 +1,75 @@
+"""Unit tests for the 3G/4G coverage model."""
+
+import numpy as np
+import pytest
+
+from repro.geo.coverage import CoverageMap, Technology, build_coverage
+
+
+class TestInvariants:
+    def test_4g_implies_3g(self, country):
+        coverage = country.coverage
+        assert not np.any(coverage.has_4g & ~coverage.has_3g)
+
+    def test_constructor_enforces_nesting(self):
+        with pytest.raises(ValueError):
+            CoverageMap(
+                has_3g=np.array([False]), has_4g=np.array([True])
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CoverageMap(has_3g=np.ones(3, bool), has_4g=np.ones(4, bool))
+
+    def test_3g_pervasive(self, country):
+        assert country.coverage.coverage_share(Technology.G3) > 0.97
+
+    def test_4g_partial(self, country):
+        share = country.coverage.coverage_share(Technology.G4)
+        assert 0.1 < share < 0.95
+
+    def test_4g_follows_density(self, country):
+        density = country.population.density_km2
+        has_4g = country.coverage.has_4g
+        assert density[has_4g].mean() > density[~has_4g].mean()
+
+    def test_tgv_corridor_covered(self, country):
+        corridor = country.rail.communes_within(6.0)
+        assert np.all(country.coverage.has_4g[corridor])
+
+
+class TestAccessors:
+    def test_best_technology(self, country):
+        coverage = country.coverage
+        idx_4g = int(np.nonzero(coverage.has_4g)[0][0])
+        assert coverage.best_technology(idx_4g) is Technology.G4
+        only_3g = np.nonzero(coverage.has_3g & ~coverage.has_4g)[0]
+        if only_3g.size:
+            assert coverage.best_technology(int(only_3g[0])) is Technology.G3
+
+    def test_supports(self, country):
+        coverage = country.coverage
+        idx = int(np.nonzero(coverage.has_4g)[0][0])
+        assert coverage.supports(idx, Technology.G4)
+        assert coverage.supports(idx, Technology.G3)
+
+    def test_labels(self):
+        assert Technology.G3.label == "3G"
+        assert Technology.G4.label == "4G"
+
+
+class TestBuild:
+    def test_validation(self, country):
+        with pytest.raises(ValueError):
+            build_coverage(country.population, pop_coverage_target_4g=0.0)
+        with pytest.raises(ValueError):
+            build_coverage(country.population, white_zone_probability=1.0)
+
+    def test_higher_target_more_coverage(self, country):
+        low = build_coverage(
+            country.population, pop_coverage_target_4g=0.3, seed=4
+        )
+        high = build_coverage(
+            country.population, pop_coverage_target_4g=0.9, seed=4
+        )
+        assert high.has_4g.sum() >= low.has_4g.sum()

@@ -1,0 +1,74 @@
+"""Unit tests for population synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.geo.communes import build_tessellation
+from repro.geo.population import build_population
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return build_tessellation(n_communes=400, seed=2)
+
+
+@pytest.fixture(scope="module")
+def population(grid):
+    return build_population(grid, total_population=1_000_000, seed=3)
+
+
+class TestBuild:
+    def test_total_conserved(self, population):
+        assert population.total_population == pytest.approx(1_000_000)
+
+    def test_all_positive(self, population):
+        assert np.all(population.residents > 0)
+
+    def test_density_consistent(self, population, grid):
+        assert np.allclose(
+            population.density_km2, population.residents / grid.areas_km2
+        )
+
+    def test_skewed_distribution(self, population):
+        # City cores dwarf the countryside: max commune far above median.
+        ratio = population.residents.max() / np.median(population.residents)
+        assert ratio > 20
+
+    def test_city_count(self, population):
+        assert len(population.city_model.cities) == 40
+
+    def test_city_rank_sizes_decreasing(self, population):
+        pops = [c.population for c in population.city_model.cities]
+        assert pops == sorted(pops, reverse=True)
+
+    def test_largest_helper(self, population):
+        top3 = population.city_model.largest(3)
+        assert len(top3) == 3
+        assert top3[0].population >= top3[1].population >= top3[2].population
+
+    def test_determinism(self, grid):
+        a = build_population(grid, total_population=1e6, seed=11)
+        b = build_population(grid, total_population=1e6, seed=11)
+        assert np.array_equal(a.residents, b.residents)
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            build_population(grid, total_population=0)
+        with pytest.raises(ValueError):
+            build_population(grid, n_cities=0)
+        with pytest.raises(ValueError):
+            build_population(grid, urban_fraction=1.5)
+
+
+class TestConcentration:
+    def test_top_share_monotone(self, population):
+        assert population.top_commune_share(0.01) < population.top_commune_share(0.1)
+        assert population.top_commune_share(1.0) == pytest.approx(1.0)
+
+    def test_top_one_percent_substantial(self, population):
+        # The core-kernel design concentrates a large share in city cores.
+        assert population.top_commune_share(0.01) > 0.10
+
+    def test_top_share_validation(self, population):
+        with pytest.raises(ValueError):
+            population.top_commune_share(0.0)

@@ -1,0 +1,104 @@
+"""Unit tests for the high-speed rail network."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.geo.transport import _point_segment_distance, build_rail_network
+
+
+@pytest.fixture(scope="module")
+def rail(country):
+    return country.rail
+
+
+class TestGraph:
+    def test_connected(self, rail):
+        assert nx.is_connected(rail.graph)
+
+    def test_star_centre_is_largest_city(self, rail):
+        centre = rail.hub_cities[0]
+        assert rail.graph.degree(centre.rank) >= len(rail.hub_cities) - 1
+
+    def test_edge_count(self, rail):
+        n = len(rail.hub_cities)
+        assert rail.graph.number_of_edges() >= n - 1
+
+    def test_total_length_positive(self, rail):
+        assert rail.total_length_km > 0
+
+    def test_hub_lookup(self, rail):
+        hub = rail.hub_cities[1]
+        assert rail.hub(hub.rank) is hub
+        with pytest.raises(KeyError):
+            rail.hub(-1)
+
+    def test_validation(self, country):
+        with pytest.raises(ValueError):
+            build_rail_network(
+                country.grid, country.population.city_model, n_hub_cities=1
+            )
+
+
+class TestItineraries:
+    def test_itinerary_endpoints(self, rail):
+        a = rail.hub_cities[1].rank
+        b = rail.hub_cities[2].rank
+        path = rail.itinerary(a, b)
+        assert path[0] == a and path[-1] == b
+
+    def test_segment_between_adjacent(self, rail):
+        u, v = next(iter(rail.graph.edges()))
+        segment = rail.segment_between(u, v)
+        assert segment.length_km > 0
+
+    def test_segment_between_missing(self, rail):
+        with pytest.raises(KeyError):
+            rail.segment_between(-1, -2)
+
+    def test_communes_along_nonempty(self, rail):
+        a = rail.hub_cities[0].rank
+        b = rail.hub_cities[1].rank
+        communes = rail.communes_along(a, b, corridor_km=4.0)
+        assert communes.size > 0
+        assert len(set(communes.tolist())) == communes.size  # de-duplicated
+
+
+class TestCorridor:
+    def test_corridor_grows_with_width(self, rail):
+        narrow = rail.communes_within(2.0)
+        wide = rail.communes_within(10.0)
+        assert set(narrow.tolist()) <= set(wide.tolist())
+        assert wide.size >= narrow.size
+
+    def test_corridor_validation(self, rail):
+        with pytest.raises(ValueError):
+            rail.communes_within(0)
+
+    def test_points_along_spacing(self, rail):
+        segment = rail.segments[0]
+        points = rail.points_along(segment, spacing_km=5.0)
+        assert points.shape[1] == 2
+        gaps = np.linalg.norm(np.diff(points, axis=0), axis=1)
+        assert np.all(gaps <= 5.0 + 1e-9)
+
+    def test_points_along_validation(self, rail):
+        with pytest.raises(ValueError):
+            rail.points_along(rail.segments[0], spacing_km=0)
+
+
+class TestPointSegmentDistance:
+    def test_on_segment_zero(self):
+        points = np.array([[0.5, 0.0]])
+        d = _point_segment_distance(points, np.array([0.0, 0.0]), np.array([1.0, 0.0]))
+        assert d[0] == pytest.approx(0.0)
+
+    def test_perpendicular(self):
+        points = np.array([[0.5, 2.0]])
+        d = _point_segment_distance(points, np.array([0.0, 0.0]), np.array([1.0, 0.0]))
+        assert d[0] == pytest.approx(2.0)
+
+    def test_beyond_endpoint_uses_endpoint(self):
+        points = np.array([[3.0, 4.0]])
+        d = _point_segment_distance(points, np.array([0.0, 0.0]), np.array([0.0, 0.0]))
+        assert d[0] == pytest.approx(5.0)

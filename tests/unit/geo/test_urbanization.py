@@ -1,0 +1,67 @@
+"""Unit tests for urbanization classification."""
+
+import numpy as np
+import pytest
+
+from repro.geo.urbanization import UrbanizationClass, classify_communes
+
+
+class TestClasses:
+    def test_all_classes_present(self, country):
+        present = set(country.urbanization.classes.tolist())
+        for cls in UrbanizationClass:
+            assert int(cls) in present, f"{cls.label} missing"
+
+    def test_labels(self):
+        assert UrbanizationClass.URBAN.label == "Urban"
+        assert UrbanizationClass.TGV.label == "TGV"
+
+    def test_population_shares_match_targets(self, country):
+        shares = country.urbanization.population_shares(country.population)
+        assert shares["Urban"] == pytest.approx(0.45, abs=0.05)
+        assert shares["Semi-Urban"] == pytest.approx(0.35, abs=0.05)
+
+    def test_counts_sum(self, country):
+        counts = country.urbanization.counts()
+        assert sum(counts.values()) == country.n_communes
+
+    def test_urban_denser_than_rural(self, country):
+        density = country.population.density_km2
+        urban = country.urbanization.mask(UrbanizationClass.URBAN)
+        rural = country.urbanization.mask(UrbanizationClass.RURAL)
+        assert density[urban].mean() > density[rural].mean()
+
+    def test_masks_partition(self, country):
+        total = np.zeros(country.n_communes, dtype=int)
+        for cls in UrbanizationClass:
+            total += country.urbanization.mask(cls).astype(int)
+        assert np.all(total == 1)
+
+
+class TestTgvClass:
+    def test_tgv_near_rail(self, country):
+        tgv = np.nonzero(country.urbanization.mask(UrbanizationClass.TGV))[0]
+        corridor = set(country.rail.communes_within(6.0).tolist())
+        assert set(tgv.tolist()) <= corridor
+
+    def test_without_rail_no_tgv(self, country):
+        result = classify_communes(country.population, rail=None)
+        assert not result.mask(UrbanizationClass.TGV).any()
+
+    def test_tgv_only_from_rural(self, country):
+        # Re-classifying without rail, every TGV commune must be rural.
+        no_rail = classify_communes(country.population, rail=None)
+        tgv = country.urbanization.mask(UrbanizationClass.TGV)
+        assert np.all(
+            no_rail.classes[tgv] == int(UrbanizationClass.RURAL)
+        )
+
+
+class TestValidation:
+    def test_share_sum_checked(self, country):
+        with pytest.raises(ValueError):
+            classify_communes(
+                country.population,
+                urban_population_share=0.6,
+                semi_urban_population_share=0.5,
+            )

@@ -1,0 +1,67 @@
+"""Unit tests for RA/TA handover behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.network.handover import HandoverManager
+from repro.network.session import SessionManager
+from repro.network.topology import build_topology
+
+
+@pytest.fixture()
+def setup(country):
+    topology = build_topology(country, seed=17)
+    manager = SessionManager(topology, np.random.default_rng(3))
+    handover = HandoverManager(topology, manager)
+    return topology, manager, handover
+
+
+def find_commune_pair(topology, same_area: bool):
+    """A pair of distinct communes in the same (or different) RA."""
+    areas = topology.routing_areas
+    for area in areas.values():
+        if same_area and len(area.commune_ids) >= 2:
+            return area.commune_ids[0], area.commune_ids[1]
+    if not same_area:
+        ids = sorted(areas)
+        return areas[ids[0]].commune_ids[0], areas[ids[-1]].commune_ids[0]
+    raise AssertionError("no suitable commune pair")
+
+
+class TestMoves:
+    def test_move_within_ra_keeps_stale_uli(self, setup):
+        topology, manager, handover = setup
+        a, b = find_commune_pair(topology, same_area=True)
+        session = manager.attach(1, a, False, 0.0)
+        moved = handover.move(session, b, False, 10.0)
+        assert moved.uli.cell_commune_id == a  # stale, as per §2
+        assert handover.stats.moves == 1
+        assert handover.stats.updates == 0
+        assert handover.stats.stale_moves == 1
+
+    def test_move_across_ra_updates(self, setup):
+        topology, manager, handover = setup
+        a, b = find_commune_pair(topology, same_area=False)
+        session = manager.attach(1, a, False, 0.0)
+        moved = handover.move(session, b, False, 10.0)
+        assert moved.uli.cell_commune_id == b
+        assert handover.stats.ra_updates == 1
+
+    def test_rat_change_updates(self, setup, country):
+        topology, manager, handover = setup
+        has_4g = country.coverage.has_4g
+        pairs = None
+        for area in topology.routing_areas.values():
+            ids = area.commune_ids
+            with_4g = [c for c in ids if has_4g[c]]
+            without = [c for c in ids if not has_4g[c]]
+            if with_4g and without:
+                pairs = (without[0], with_4g[0])
+                break
+        if pairs is None:
+            pytest.skip("no mixed-technology routing area in this country")
+        a, b = pairs
+        session = manager.attach(1, a, True, 0.0)  # camps on 3G
+        moved = handover.move(session, b, True, 5.0)
+        assert handover.stats.rat_updates == 1
+        assert moved.uli.cell_commune_id == b

@@ -1,0 +1,81 @@
+"""Unit tests for the passive core probe."""
+
+import numpy as np
+import pytest
+
+from repro.network.gtp import FlowDescriptor
+from repro.network.probes import CoreProbe
+from repro.network.session import SessionManager
+from repro.network.topology import build_topology
+
+
+@pytest.fixture()
+def setup(country):
+    topology = build_topology(country, seed=17)
+    manager = SessionManager(topology, np.random.default_rng(3))
+    probe = CoreProbe().attach_to(manager)
+    return manager, probe
+
+
+def make_flow(flow_id=1):
+    return FlowDescriptor(flow_id, "edge.youtube.com", None, 443, "tcp")
+
+
+class TestCorrelation:
+    def test_record_joins_planes(self, setup):
+        manager, probe = setup
+        session = manager.attach(42, commune_id=3, wants_4g=False, timestamp_s=1.0)
+        manager.report_flow(session, make_flow(), 500.0, 20.0, 2.0)
+        records = probe.drain()
+        assert len(records) == 1
+        record = records[0]
+        assert record.imsi_hash == 42
+        assert record.commune_id == 3
+        assert record.dl_bytes == 500.0
+        assert record.total_bytes == 520.0
+
+    def test_location_update_reflected(self, setup):
+        manager, probe = setup
+        session = manager.attach(42, 3, False, 1.0)
+        session = manager.update_location(session, 8, False, 2.0)
+        manager.report_flow(session, make_flow(), 1.0, 0.0, 3.0)
+        record = probe.drain()[-1]
+        assert record.commune_id == 8
+
+    def test_tunnel_removed_on_delete(self, setup):
+        manager, probe = setup
+        session = manager.attach(42, 3, False, 1.0)
+        assert probe.n_tracked_tunnels == 1
+        manager.detach(session, 2.0)
+        assert probe.n_tracked_tunnels == 0
+
+    def test_drain_clears(self, setup):
+        manager, probe = setup
+        session = manager.attach(1, 0, False, 0.0)
+        manager.report_flow(session, make_flow(), 1.0, 1.0, 1.0)
+        assert len(probe.drain()) == 1
+        assert probe.drain() == []
+
+
+class TestLoss:
+    def test_lost_control_orphans_traffic(self, country):
+        topology = build_topology(country, seed=17)
+        manager = SessionManager(topology, np.random.default_rng(3))
+        probe = CoreProbe(control_loss_rate=0.999999, seed=1).attach_to(manager)
+        session = manager.attach(1, 0, False, 0.0)
+        manager.report_flow(session, make_flow(), 1.0, 1.0, 1.0)
+        assert probe.stats.orphan_packets == 1
+        assert probe.drain() == []
+
+    def test_loss_rate_validation(self):
+        with pytest.raises(ValueError):
+            CoreProbe(control_loss_rate=1.0)
+
+    def test_stats_counters(self, setup):
+        manager, probe = setup
+        session = manager.attach(1, 0, False, 0.0)
+        manager.report_flow(session, make_flow(), 1.0, 1.0, 1.0)
+        manager.detach(session, 2.0)
+        assert probe.stats.control_messages == 3  # create req+resp, delete
+        assert probe.stats.user_packets == 1
+        assert probe.stats.records == 1

@@ -1,0 +1,93 @@
+"""Unit tests for session lifecycle and event publication."""
+
+import numpy as np
+import pytest
+
+from repro.network.gtp import FlowDescriptor, GtpcMessageType
+from repro.network.session import BearerState, SessionManager
+from repro.network.topology import build_topology
+
+
+@pytest.fixture()
+def manager(country):
+    topology = build_topology(country, seed=17)
+    return SessionManager(topology, np.random.default_rng(3))
+
+
+@pytest.fixture()
+def listeners(manager):
+    control, user = [], []
+    manager.add_control_listener(control.append)
+    manager.add_user_plane_listener(user.append)
+    return control, user
+
+
+def make_flow():
+    return FlowDescriptor(1, "edge.youtube.com", None, 443, "tcp")
+
+
+class TestAttach:
+    def test_emits_request_and_response(self, manager, listeners):
+        control, _ = listeners
+        session = manager.attach(111, commune_id=2, wants_4g=False, timestamp_s=5.0)
+        assert len(control) == 2
+        assert control[0].message_type is GtpcMessageType.CREATE_PDP_CONTEXT_REQUEST
+        assert control[1].message_type is GtpcMessageType.CREATE_PDP_CONTEXT_RESPONSE
+        assert control[0].uli.cell_commune_id == 2
+        assert session.state is BearerState.ACTIVE
+        assert session.teid in manager.active_sessions
+
+    def test_4g_attach_uses_gtpv2(self, manager, listeners, country):
+        control, _ = listeners
+        idx_4g = int(np.nonzero(country.coverage.has_4g)[0][0])
+        manager.attach(111, commune_id=idx_4g, wants_4g=True, timestamp_s=0.0)
+        assert control[0].message_type is GtpcMessageType.CREATE_SESSION_REQUEST
+
+    def test_unique_teids(self, manager):
+        s1 = manager.attach(1, 0, False, 0.0)
+        s2 = manager.attach(2, 0, False, 0.0)
+        assert s1.teid != s2.teid
+
+
+class TestFlows:
+    def test_report_flow_emits_gtpu(self, manager, listeners):
+        _, user = listeners
+        session = manager.attach(1, 0, False, 0.0)
+        pkt = manager.report_flow(session, make_flow(), 1000.0, 50.0, 10.0)
+        assert user == [pkt]
+        assert pkt.teid == session.teid
+        assert pkt.dl_bytes == 1000.0
+
+    def test_flow_on_released_session_rejected(self, manager):
+        session = manager.attach(1, 0, False, 0.0)
+        released = manager.detach(session, 1.0)
+        with pytest.raises(ValueError):
+            manager.report_flow(released, make_flow(), 1.0, 1.0, 2.0)
+
+
+class TestRelocation:
+    def test_update_location_changes_uli(self, manager, listeners):
+        control, _ = listeners
+        session = manager.attach(1, 0, False, 0.0)
+        updated = manager.update_location(session, 7, False, 3.0)
+        assert updated.uli.cell_commune_id == 7
+        assert control[-1].message_type in (
+            GtpcMessageType.UPDATE_PDP_CONTEXT_REQUEST,
+            GtpcMessageType.MODIFY_BEARER_REQUEST,
+        )
+
+    def test_update_on_released_rejected(self, manager):
+        session = manager.attach(1, 0, False, 0.0)
+        released = manager.detach(session, 1.0)
+        with pytest.raises(ValueError):
+            manager.update_location(released, 3, False, 2.0)
+
+
+class TestDetach:
+    def test_emits_delete_and_clears(self, manager, listeners):
+        control, _ = listeners
+        session = manager.attach(1, 0, False, 0.0)
+        released = manager.detach(session, 9.0)
+        assert released.state is BearerState.RELEASED
+        assert session.teid not in manager.active_sessions
+        assert control[-1].message_type is GtpcMessageType.DELETE_PDP_CONTEXT_REQUEST

@@ -1,0 +1,160 @@
+"""Unit tests for the GTP wire codec."""
+
+import pytest
+
+from repro.geo.coverage import Technology
+from repro.network.gtp import UserLocationInformation
+from repro.network.wire import (
+    GTPV1_MESSAGE_TYPES,
+    GTPV2_MESSAGE_TYPES,
+    Gtpv1Header,
+    Gtpv2Header,
+    WireFormatError,
+    decode_control_message,
+    decode_uli,
+    encode_control_message,
+    encode_uli,
+)
+
+
+def make_uli(tech=Technology.G4):
+    return UserLocationInformation(
+        technology=tech,
+        routing_area_id=42,
+        cell_id=12345,
+        cell_commune_id=678,
+    )
+
+
+class TestGtpv1Header:
+    def test_roundtrip_with_sequence(self):
+        header = Gtpv1Header(message_type=16, teid=0xDEADBEEF,
+                             payload_length=20, sequence=777)
+        decoded, size = Gtpv1Header.decode(header.encode() + b"\x00" * 20)
+        assert decoded == header
+        assert size == 12
+
+    def test_roundtrip_without_sequence(self):
+        header = Gtpv1Header(message_type=255, teid=1, payload_length=0)
+        decoded, size = Gtpv1Header.decode(header.encode())
+        assert decoded == header
+        assert size == 8
+
+    def test_wire_layout(self):
+        # First octet: version 1, PT 1, S flag -> 0b0011_0010.
+        data = Gtpv1Header(message_type=16, teid=2, payload_length=0,
+                           sequence=5).encode()
+        assert data[0] == 0b00110010
+        assert data[1] == 16
+
+    def test_truncated(self):
+        with pytest.raises(WireFormatError):
+            Gtpv1Header.decode(b"\x30\x10")
+
+    def test_wrong_version(self):
+        buffer = bytearray(Gtpv1Header(16, 1, 0).encode())
+        buffer[0] = 0b01010000  # version 2 pattern
+        with pytest.raises(WireFormatError):
+            Gtpv1Header.decode(bytes(buffer))
+
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            Gtpv1Header(message_type=300, teid=0, payload_length=0)
+        with pytest.raises(ValueError):
+            Gtpv1Header(message_type=1, teid=2**32, payload_length=0)
+        with pytest.raises(ValueError):
+            Gtpv1Header(message_type=1, teid=0, payload_length=0,
+                        sequence=2**16)
+
+
+class TestGtpv2Header:
+    def test_roundtrip(self):
+        header = Gtpv2Header(message_type=32, teid=0xCAFE, payload_length=13,
+                             sequence=0xABCDE)
+        decoded, size = Gtpv2Header.decode(header.encode() + b"\x00" * 13)
+        assert decoded == header
+        assert size == 12
+
+    def test_wire_layout(self):
+        data = Gtpv2Header(message_type=32, teid=1, payload_length=0).encode()
+        assert data[0] == 0b01001000  # version 2, T=1
+        assert len(data) == 12
+
+    def test_truncated(self):
+        with pytest.raises(WireFormatError):
+            Gtpv2Header.decode(b"\x48\x20\x00")
+
+    def test_wrong_version(self):
+        with pytest.raises(WireFormatError):
+            Gtpv2Header.decode(Gtpv1Header(16, 1, 0).encode() + b"\x00" * 8)
+
+
+class TestUli:
+    def test_roundtrip(self):
+        uli = make_uli()
+        decoded, consumed = decode_uli(encode_uli(uli))
+        assert decoded == uli
+        assert consumed == len(encode_uli(uli))
+
+    def test_3g_technology(self):
+        uli = make_uli(Technology.G3)
+        decoded, _ = decode_uli(encode_uli(uli))
+        assert decoded.technology is Technology.G3
+
+    def test_wrong_ie_type(self):
+        buffer = bytearray(encode_uli(make_uli()))
+        buffer[0] = 99
+        with pytest.raises(WireFormatError):
+            decode_uli(bytes(buffer))
+
+    def test_truncated(self):
+        with pytest.raises(WireFormatError):
+            decode_uli(encode_uli(make_uli())[:6])
+
+    def test_bad_technology_code(self):
+        buffer = bytearray(encode_uli(make_uli()))
+        buffer[3] = 9  # not a Technology value
+        with pytest.raises(WireFormatError):
+            decode_uli(bytes(buffer))
+
+
+class TestControlMessages:
+    @pytest.mark.parametrize("name", sorted(GTPV1_MESSAGE_TYPES))
+    def test_v1_messages_roundtrip(self, name):
+        uli = None if name in ("EchoRequest", "GPDU") else make_uli()
+        data = encode_control_message(name, teid=7, uli=uli, sequence=3,
+                                      version=1)
+        version, teid, decoded_uli = decode_control_message(data)
+        assert version == 1
+        assert teid == 7
+        assert decoded_uli == uli
+
+    @pytest.mark.parametrize("name", sorted(GTPV2_MESSAGE_TYPES))
+    def test_v2_messages_roundtrip(self, name):
+        uli = None if name == "EchoRequest" else make_uli()
+        data = encode_control_message(name, teid=9, uli=uli, version=2)
+        version, teid, decoded_uli = decode_control_message(data)
+        assert version == 2
+        assert teid == 9
+        assert decoded_uli == uli
+
+    def test_unknown_message(self):
+        with pytest.raises(ValueError):
+            encode_control_message("TeleportRequest", teid=1)
+
+    def test_ambiguous_name_needs_version(self):
+        with pytest.raises(ValueError):
+            encode_control_message("EchoRequest", teid=1)
+        assert encode_control_message("EchoRequest", teid=1, version=2)[0] >> 5 == 2
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            encode_control_message("CreateSessionRequest", teid=1, version=1)
+
+    def test_empty_buffer(self):
+        with pytest.raises(WireFormatError):
+            decode_control_message(b"")
+
+    def test_garbage_version(self):
+        with pytest.raises(WireFormatError):
+            decode_control_message(b"\xff" * 16)

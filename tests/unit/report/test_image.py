@@ -1,0 +1,91 @@
+"""Unit tests for PGM image export."""
+
+import numpy as np
+import pytest
+
+from repro.report.image import grid_to_gray, read_pgm, upscale, write_pgm
+
+
+class TestGrayMapping:
+    def test_range_and_empty_cells(self):
+        grid = np.array([[1.0, 1e3], [1e6, np.nan]])
+        gray = grid_to_gray(grid)
+        assert gray.dtype == np.uint8
+        assert gray[1, 1] == 0  # NaN reserved level
+        assert gray[0, 0] == 1  # minimum data level
+        assert gray[1, 0] == 255  # maximum
+
+    def test_log_scale_spacing(self):
+        grid = np.array([[1.0, 10.0, 100.0]])
+        gray = grid_to_gray(grid, log_scale=True)
+        # Equal decades -> equal gray steps.
+        assert gray[0, 1] - gray[0, 0] == gray[0, 2] - gray[0, 1]
+
+    def test_invert(self):
+        grid = np.array([[1.0, 100.0]])
+        normal = grid_to_gray(grid)
+        inverted = grid_to_gray(grid, invert=True)
+        assert normal[0, 1] > normal[0, 0]
+        assert inverted[0, 1] < inverted[0, 0]
+
+    def test_all_empty(self):
+        assert not grid_to_gray(np.full((3, 3), np.nan)).any()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            grid_to_gray(np.zeros(5))
+
+
+class TestPgmIO:
+    def test_roundtrip(self, tmp_path):
+        grid = np.array([[1.0, 50.0, 2500.0], [np.nan, 10.0, 1.0]])
+        path = write_pgm(grid, tmp_path / "map.pgm", flip_north_up=False)
+        pixels = read_pgm(path)
+        assert np.array_equal(pixels, grid_to_gray(grid))
+
+    def test_north_up_flip(self, tmp_path):
+        grid = np.array([[1.0, 1.0], [100.0, 100.0]])  # north row = index 1
+        path = write_pgm(grid, tmp_path / "map.pgm")
+        pixels = read_pgm(path)
+        # The bright (high) row must end up at the TOP of the image.
+        assert pixels[0].min() > pixels[1].max()
+
+    def test_header(self, tmp_path):
+        path = write_pgm(np.ones((4, 7)), tmp_path / "map.pgm")
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n7 4\n255\n")
+
+    def test_read_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.pgm"
+        path.write_bytes(b"not an image")
+        with pytest.raises(ValueError):
+            read_pgm(path)
+
+    def test_read_rejects_truncated(self, tmp_path):
+        path = write_pgm(np.ones((8, 8)), tmp_path / "map.pgm")
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(ValueError):
+            read_pgm(path)
+
+
+class TestUpscale:
+    def test_factor(self):
+        gray = np.array([[1, 2]], dtype=np.uint8)
+        big = upscale(gray, 3)
+        assert big.shape == (3, 6)
+        assert np.all(big[:, :3] == 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            upscale(np.zeros((2, 2), dtype=np.uint8), 0)
+
+
+class TestDatasetExport:
+    def test_fig9_map_exports(self, volume_dataset, tmp_path):
+        from repro.core.spatial_analysis import activity_grid
+
+        grid = activity_grid(volume_dataset, "Twitter", "dl", grid_size=12)
+        path = write_pgm(grid, tmp_path / "twitter.pgm")
+        pixels = read_pgm(path)
+        assert pixels.shape == (12, 12)
+        assert pixels.max() == 255

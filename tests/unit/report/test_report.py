@@ -1,0 +1,83 @@
+"""Unit tests for the text-rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.report.maps import render_grid
+from repro.report.series import render_series, sparkline
+from repro.report.tables import format_table
+
+
+class TestTables:
+    def test_alignment(self):
+        out = format_table(("name", "value"), [("a", 1), ("long-name", 22)])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_title(self):
+        out = format_table(("x",), [("1",)], title="My table")
+        assert out.splitlines()[0] == "My table"
+
+    def test_truncation(self):
+        out = format_table(("x",), [("y" * 100,)], max_col_width=10)
+        assert "…" in out
+        assert max(len(line) for line in out.splitlines()) <= 10
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_max_width_validation(self):
+        with pytest.raises(ValueError):
+            format_table(("a",), [], max_col_width=2)
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_resampled_width(self):
+        assert len(sparkline(np.arange(100), width=20)) == 20
+
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] < line[-1]
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+    def test_render_with_markers(self):
+        out = render_series("svc", np.arange(50), width=25, markers=[0, 49])
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].strip().startswith("^")
+        assert lines[1].rstrip().endswith("^")
+
+
+class TestGrid:
+    def test_renders_with_legend(self):
+        grid = np.array([[1.0, 10.0], [100.0, np.nan]])
+        out = render_grid(grid, title="map")
+        lines = out.splitlines()
+        assert lines[0] == "map"
+        assert "scale:" in lines[-1]
+
+    def test_nan_cells_blank(self):
+        grid = np.full((2, 2), np.nan)
+        out = render_grid(grid)
+        assert "(empty grid)" in out
+
+    def test_highest_darkest(self):
+        grid = np.array([[1.0, 1e6]])
+        out = render_grid(grid, log_scale=True)
+        row = out.splitlines()[0]
+        assert row[1] == "@"
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            render_grid(np.zeros(5))

@@ -1,0 +1,91 @@
+"""Unit tests for the service catalog."""
+
+import numpy as np
+import pytest
+
+from repro.services.catalog import (
+    HEAD_SERVICE_NAMES,
+    Service,
+    ServiceCatalog,
+    ServiceCategory,
+    build_catalog,
+)
+
+
+class TestBuild:
+    def test_default_size(self, catalog):
+        assert len(catalog) == 520
+        assert len(catalog.head_services) == 20
+        assert len(catalog.tail_services) == 500
+
+    def test_head_names_match(self, catalog):
+        assert tuple(s.name for s in catalog.head_services) == HEAD_SERVICE_NAMES
+
+    def test_shares_sum_to_one(self, catalog):
+        assert sum(s.dl_share for s in catalog) == pytest.approx(1.0)
+        assert sum(s.ul_share for s in catalog) == pytest.approx(1.0)
+
+    def test_video_share_near_paper(self, catalog):
+        video = sum(
+            s.dl_share
+            for s in catalog.head_services
+            if s.category is ServiceCategory.STREAMING and s.name != "Audio"
+        )
+        assert video == pytest.approx(0.46, abs=0.02)
+
+    def test_head_covers_over_60_percent(self, catalog):
+        assert catalog.head_share("dl") > 0.60
+
+    def test_tail_volumes_decreasing(self, catalog):
+        tail_dl = [s.dl_share for s in catalog.tail_services]
+        assert all(a >= b for a, b in zip(tail_dl, tail_dl[1:]))
+
+    def test_too_few_services_rejected(self):
+        with pytest.raises(ValueError):
+            build_catalog(n_services=20)
+
+
+class TestAccessors:
+    def test_by_name(self, catalog):
+        assert catalog.by_name("YouTube").category is ServiceCategory.STREAMING
+        with pytest.raises(KeyError):
+            catalog.by_name("MySpace")
+
+    def test_head_ids(self, catalog):
+        ids = catalog.head_ids()
+        assert np.array_equal(ids, np.arange(20))
+
+    def test_in_category(self, catalog):
+        social = catalog.in_category(ServiceCategory.SOCIAL)
+        assert {s.name for s in social} >= {"Facebook", "Twitter", "SnapChat"}
+
+    def test_volume_vector_directions(self, catalog):
+        dl = catalog.volume_vector("dl")
+        ul = catalog.volume_vector("ul")
+        assert dl.sum() == pytest.approx(1.0 - catalog.uplink_fraction)
+        assert ul.sum() == pytest.approx(catalog.uplink_fraction)
+        with pytest.raises(ValueError):
+            catalog.volume_vector("sideways")
+
+    def test_category_share(self, catalog):
+        streaming = catalog.category_share(ServiceCategory.STREAMING, "dl")
+        assert streaming > 0.4
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self):
+        services = [
+            Service(0, "A", ServiceCategory.OTHER, 0.5, 0.5, False),
+            Service(1, "A", ServiceCategory.OTHER, 0.5, 0.5, False),
+        ]
+        with pytest.raises(ValueError):
+            ServiceCatalog(services, uplink_fraction=0.05)
+
+    def test_negative_share_rejected(self):
+        with pytest.raises(ValueError):
+            Service(0, "A", ServiceCategory.OTHER, -0.1, 0.0, False)
+
+    def test_uplink_fraction_bounds(self):
+        services = [Service(0, "A", ServiceCategory.OTHER, 1.0, 1.0, False)]
+        with pytest.raises(ValueError):
+            ServiceCatalog(services, uplink_fraction=0.6)

@@ -1,0 +1,149 @@
+"""Unit tests for temporal and spatial service profiles."""
+
+import numpy as np
+import pytest
+
+from repro._time import TimeAxis
+from repro.geo.coverage import Technology
+from repro.geo.urbanization import UrbanizationClass
+from repro.services.catalog import HEAD_SERVICE_NAMES
+from repro.services.profiles import (
+    SpatialProfile,
+    TemporalProfile,
+    TopicalTime,
+    build_profile_library,
+)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_profile_library()
+
+
+class TestLibrary:
+    def test_all_head_services_covered(self, library):
+        for name in HEAD_SERVICE_NAMES:
+            assert library.temporal_for(name).name == name
+            assert library.spatial_for(name).name == name
+
+    def test_unknown_service_gets_tail_profile(self, library):
+        assert library.temporal_for("service-0042").name == "tail"
+        assert library.spatial_for("service-0042").name == "tail"
+
+    def test_signature_matrix(self, library):
+        matrix, names, topicals = library.peak_signature_matrix()
+        assert matrix.shape == (20, 7)
+        assert matrix.any(axis=1).all()  # every service peaks somewhere
+
+    def test_patterns_are_diverse(self, library):
+        matrix, _, _ = library.peak_signature_matrix()
+        patterns = {tuple(row) for row in matrix}
+        assert len(patterns) >= 10
+
+    def test_overrides(self):
+        lib = build_profile_library(
+            spatial_overrides={"Netflix": {"fallback_share": 0.5}},
+            temporal_overrides={"Facebook": {"night_floor": 0.25}},
+        )
+        assert lib.spatial_for("Netflix").fallback_share == 0.5
+        assert lib.temporal_for("Facebook").night_floor == 0.25
+
+
+class TestTemporalProfile:
+    def test_curve_normalized(self, library):
+        axis = TimeAxis(2)
+        for name in HEAD_SERVICE_NAMES:
+            curve = library.temporal_for(name).weekly_curve(axis)
+            assert curve.shape == (axis.n_bins,)
+            assert curve.sum() == pytest.approx(1.0)
+            assert np.all(curve > 0)
+
+    def test_continuous_at_midnight(self, library):
+        # The periodic construction must not jump between days — a
+        # discontinuity would read as a spurious peak to the detector.
+        axis = TimeAxis(4)
+        for name in HEAD_SERVICE_NAMES:
+            curve = library.temporal_for(name).weekly_curve(axis)
+            steps = np.abs(np.diff(curve)) / curve[:-1]
+            boundaries = steps[np.arange(1, 7) * 24 * axis.bins_per_hour - 1]
+            assert np.all(boundaries < 0.30), name
+
+    def test_day_higher_than_night(self, library):
+        axis = TimeAxis(1)
+        curve = library.temporal_for("Facebook").weekly_curve(axis)
+        monday = curve[48:72]
+        assert monday[14] > 2 * monday[4]
+
+    def test_peak_scale_amplifies(self, library):
+        axis = TimeAxis(4)
+        profile = library.temporal_for("SnapChat")
+        base = profile.weekly_curve(axis, peak_scale=0.0)
+        peaked = profile.weekly_curve(axis, peak_scale=2.0)
+        # Around Monday 13:00 the scaled curve rises more sharply.
+        b = axis.bin_of(2, 13)
+        assert peaked[b] / peaked[b - 8] > base[b] / base[b - 8]
+
+    def test_peak_set(self, library):
+        peaks = library.temporal_for("Netflix").peak_set()
+        assert TopicalTime.EVENING in peaks
+        assert TopicalTime.MORNING_COMMUTE not in peaks
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TemporalProfile(name="x", peaks={TopicalTime.MIDDAY: -1.0})
+        with pytest.raises(ValueError):
+            TemporalProfile(name="x", peaks={}, night_floor=1.5)
+        with pytest.raises(ValueError):
+            TemporalProfile(name="x", peaks={}, day_kappa=0)
+        with pytest.raises(ValueError):
+            TemporalProfile(name="x", peaks={}).weekly_curve(
+                TimeAxis(1), peak_scale=-1
+            )
+
+
+class TestSpatialProfile:
+    def test_default_pattern(self, library):
+        profile = library.spatial_for("YouTube")
+        assert profile.multiplier(UrbanizationClass.URBAN) == 1.0
+        assert profile.multiplier(UrbanizationClass.RURAL) == pytest.approx(0.5)
+        assert profile.multiplier(UrbanizationClass.TGV) > 2.0
+
+    def test_netflix_outlier(self, library):
+        profile = library.spatial_for("Netflix")
+        assert profile.required_technology is Technology.G4
+        assert profile.multiplier(UrbanizationClass.RURAL) < 0.1
+        assert profile.adoption_rate < 0.1
+
+    def test_icloud_uniform(self, library):
+        profile = library.spatial_for("iCloud")
+        assert profile.shared_field_weight < 0.3
+        assert profile.density_exponent == 0.0
+        assert profile.multiplier(UrbanizationClass.RURAL) > 0.85
+
+    def test_missing_class_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialProfile(
+                name="x",
+                class_multipliers={UrbanizationClass.URBAN: 1.0},
+            )
+
+    def test_adoption_validation(self, library):
+        with pytest.raises(ValueError):
+            SpatialProfile(
+                name="x",
+                class_multipliers=library.spatial_for("YouTube").class_multipliers,
+                adoption_rate=0.0,
+            )
+
+
+class TestTopicalTime:
+    def test_seven_moments(self):
+        assert len(list(TopicalTime)) == 7
+
+    def test_hours(self):
+        assert TopicalTime.MORNING_COMMUTE.hour == 8.0
+        assert TopicalTime.EVENING.hour == 21.0
+
+    def test_days(self):
+        assert TopicalTime.WEEKEND_MIDDAY.days == (0, 1)
+        assert TopicalTime.MIDDAY.days == (2, 3, 4, 5, 6)

@@ -1,0 +1,51 @@
+"""Unit tests for the rank-volume law."""
+
+import numpy as np
+import pytest
+
+from repro.services.zipf import build_rank_volume_law
+
+
+class TestLaw:
+    def test_normalized(self):
+        law = build_rank_volume_law(500)
+        assert law.volumes.sum() == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        law = build_rank_volume_law(500)
+        assert np.all(np.diff(law.volumes) <= 0)
+
+    def test_span_target(self):
+        law = build_rank_volume_law(500, orders_of_magnitude=10.0)
+        assert law.span_orders_of_magnitude() == pytest.approx(10.0, abs=0.8)
+
+    def test_head_is_pure_zipf(self):
+        law = build_rank_volume_law(500, exponent=1.69)
+        head = law.head_half()
+        ranks = np.arange(1, len(head) + 1)
+        # log-log slope of the head equals the exponent.
+        slope = np.polyfit(np.log10(ranks), np.log10(head), 1)[0]
+        assert -slope == pytest.approx(1.69, abs=0.01)
+
+    def test_tail_decays_faster(self):
+        law = build_rank_volume_law(500, exponent=1.69)
+        r = law.cutoff_rank
+        ratio_at_cut = law.volumes[r + 9] / law.volumes[r - 1]
+        zipf_ratio = ((r + 10) / r) ** -1.69
+        assert ratio_at_cut < zipf_ratio
+
+    def test_cutoff_fraction(self):
+        law = build_rank_volume_law(100, cutoff_fraction=0.3)
+        assert law.cutoff_rank == 30
+
+    def test_no_extra_decades_infinite_tail_scale(self):
+        law = build_rank_volume_law(100, orders_of_magnitude=1.0)
+        assert law.tail_scale == np.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_rank_volume_law(2)
+        with pytest.raises(ValueError):
+            build_rank_volume_law(100, exponent=0)
+        with pytest.raises(ValueError):
+            build_rank_volume_law(100, cutoff_fraction=1.0)

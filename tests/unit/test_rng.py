@@ -1,0 +1,77 @@
+"""Unit tests for deterministic RNG handling."""
+
+import numpy as np
+import pytest
+
+from repro._rng import (
+    as_generator,
+    optional_choice,
+    spawn,
+    spawn_many,
+    zipf_weights,
+)
+
+
+class TestAsGenerator:
+    def test_int_seed_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_differ_by_label(self):
+        parent_a = as_generator(7)
+        parent_b = as_generator(7)
+        child_x = spawn(parent_a, "x")
+        child_y = spawn(parent_b, "y")
+        assert not np.array_equal(child_x.random(8), child_y.random(8))
+
+    def test_same_label_same_order_matches(self):
+        a = spawn(as_generator(7), "geo")
+        b = spawn(as_generator(7), "geo")
+        assert np.array_equal(a.random(8), b.random(8))
+
+    def test_spawn_many(self):
+        children = spawn_many(3, ("a", "b", "c"))
+        assert set(children) == {"a", "b", "c"}
+        streams = {k: v.random(4).tobytes() for k, v in children.items()}
+        assert len(set(streams.values())) == 3
+
+
+class TestOptionalChoice:
+    def test_extremes(self, rng):
+        assert not optional_choice(rng, 0.0)
+        assert optional_choice(rng, 1.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            optional_choice(rng, 1.5)
+
+
+class TestZipfWeights:
+    def test_normalized_and_decreasing(self):
+        w = zipf_weights(10, 1.5)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(w) < 0)
+
+    def test_ratio_follows_law(self):
+        w = zipf_weights(4, 2.0)
+        assert w[0] / w[1] == pytest.approx(4.0)
+
+    def test_zero_exponent_uniform(self):
+        w = zipf_weights(5, 0.0)
+        assert np.allclose(w, 0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -1.0)

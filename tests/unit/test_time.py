@@ -1,0 +1,138 @@
+"""Unit tests for the shared time model."""
+
+import numpy as np
+import pytest
+
+from repro._time import (
+    DAY_NAMES,
+    DAYS_PER_WEEK,
+    HOURS_PER_DAY,
+    TimeAxis,
+    WEEK_HOURS,
+    WEEKEND_DAYS,
+    WORKING_DAYS,
+    hour_of_week,
+)
+
+
+class TestConstants:
+    def test_week_structure(self):
+        assert WEEK_HOURS == 168
+        assert len(DAY_NAMES) == DAYS_PER_WEEK
+        assert DAY_NAMES[0] == "Sat"  # the measurement week starts Saturday
+        assert set(WEEKEND_DAYS) | set(WORKING_DAYS) == set(range(7))
+        assert not set(WEEKEND_DAYS) & set(WORKING_DAYS)
+
+
+class TestTimeAxis:
+    def test_default_hourly(self):
+        axis = TimeAxis()
+        assert axis.n_bins == 168
+        assert axis.bin_hours == 1.0
+
+    def test_subhourly(self):
+        axis = TimeAxis(4)
+        assert axis.n_bins == 672
+        assert axis.bin_hours == 0.25
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            TimeAxis(0)
+
+    def test_bin_of_start_of_week(self):
+        assert TimeAxis(1).bin_of(0, 0) == 0
+
+    def test_bin_of_monday_noon(self):
+        # Monday is day 2 (Sat, Sun, Mon).
+        axis = TimeAxis(1)
+        assert axis.bin_of(2, 12) == 2 * 24 + 12
+
+    def test_bin_of_fractional_hour(self):
+        axis = TimeAxis(4)
+        assert axis.bin_of(0, 0.25) == 1
+
+    def test_bin_of_validation(self):
+        axis = TimeAxis(1)
+        with pytest.raises(ValueError):
+            axis.bin_of(7, 0)
+        with pytest.raises(ValueError):
+            axis.bin_of(0, 24)
+
+    def test_day_and_hour_roundtrip(self):
+        axis = TimeAxis(2)
+        for day in range(7):
+            for hour in (0.0, 7.5, 23.5):
+                b = axis.bin_of(day, hour)
+                assert axis.day_of_bin(b) == day
+                assert axis.hour_of_bin(b) == pytest.approx(hour)
+
+    def test_day_of_bin_validation(self):
+        with pytest.raises(ValueError):
+            TimeAxis(1).day_of_bin(168)
+
+    def test_weekend_bins(self):
+        axis = TimeAxis(1)
+        assert axis.is_weekend_bin(0)  # Saturday 00:00
+        assert axis.is_weekend_bin(47)  # Sunday 23:00
+        assert not axis.is_weekend_bin(48)  # Monday 00:00
+
+    def test_hours_array(self):
+        hours = TimeAxis(2).hours()
+        assert hours[0] == 0.0
+        assert hours[1] == 0.5
+        assert hours[-1] == 167.5
+
+
+class TestResample:
+    def test_downsample_sums(self):
+        fine = TimeAxis(4)
+        coarse = TimeAxis(1)
+        series = np.arange(fine.n_bins, dtype=float)
+        out = fine.resample_to(series, coarse)
+        assert out.shape == (168,)
+        assert out.sum() == pytest.approx(series.sum())
+        assert out[0] == pytest.approx(series[:4].sum())
+
+    def test_upsample_splits(self):
+        coarse = TimeAxis(1)
+        fine = TimeAxis(4)
+        series = np.ones(coarse.n_bins)
+        out = coarse.resample_to(series, fine)
+        assert out.shape == (672,)
+        assert np.allclose(out, 0.25)
+        assert out.sum() == pytest.approx(series.sum())
+
+    def test_identity(self):
+        axis = TimeAxis(2)
+        series = np.random.default_rng(0).random(axis.n_bins)
+        out = axis.resample_to(series, TimeAxis(2))
+        assert np.array_equal(out, series)
+        assert out is not series  # a copy, not a view
+
+    def test_non_integer_factor_rejected(self):
+        with pytest.raises(ValueError):
+            TimeAxis(3).resample_to(np.zeros(TimeAxis(3).n_bins), TimeAxis(2))
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            TimeAxis(1).resample_to(np.zeros(100), TimeAxis(2))
+
+    def test_multidimensional(self):
+        fine = TimeAxis(2)
+        series = np.random.default_rng(1).random((3, fine.n_bins))
+        out = fine.resample_to(series, TimeAxis(1))
+        assert out.shape == (3, 168)
+        assert np.allclose(out.sum(axis=1), series.sum(axis=1))
+
+
+class TestHourOfWeek:
+    def test_values(self):
+        assert hour_of_week(0, 0) == 0
+        assert hour_of_week(2, 13) == 61
+        assert hour_of_week(6, 23.5) == 167.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hour_of_week(-1, 0)
+        with pytest.raises(ValueError):
+            hour_of_week(0, 25)

@@ -1,0 +1,47 @@
+"""Unit tests for byte-volume formatting."""
+
+import pytest
+
+from repro._units import GB, KB, MB, TB, format_bytes, parse_bytes
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "volume,expected",
+        [
+            (0, "0B"),
+            (10, "10B"),
+            (999, "999B"),
+            (1_500, "1.50KB"),
+            (110 * MB, "110MB"),
+            (2.5 * GB, "2.50GB"),
+            (3 * TB, "3.00TB"),
+        ],
+    )
+    def test_values(self, volume, expected):
+        assert format_bytes(volume) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("10B", 10.0),
+            ("1.5KB", 1_500.0),
+            ("110MB", 110 * MB),
+            ("2GB", 2 * GB),
+            ("7", 7.0),
+        ],
+    )
+    def test_values(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    def test_roundtrip(self):
+        for volume in (1.0, 123.0, 5_000.0, 2.2e9):
+            assert parse_bytes(format_bytes(volume)) == pytest.approx(
+                volume, rel=0.01
+            )

@@ -1,0 +1,99 @@
+"""Unit tests for nationwide event injection."""
+
+import numpy as np
+import pytest
+
+from repro._time import TimeAxis
+from repro.services.catalog import ServiceCategory
+from repro.traffic.events import (
+    EventSpec,
+    event_week_distortion,
+    inject_event,
+    inject_events,
+)
+
+
+@pytest.fixture(scope="module")
+def axis():
+    return TimeAxis(1)
+
+
+@pytest.fixture(scope="module")
+def week(axis):
+    rng = np.random.default_rng(0)
+    hours = axis.hours() % 24
+    base = 10 + 6 * np.exp(-0.5 * ((hours - 14) / 4) ** 2)
+    return np.vstack([base * (1 + 0.01 * rng.normal(size=axis.n_bins))
+                      for _ in range(3)])
+
+
+CATEGORIES = (
+    ServiceCategory.SOCIAL,
+    ServiceCategory.STREAMING,
+    ServiceCategory.OTHER,
+)
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventSpec("festival", 2)
+        with pytest.raises(ValueError):
+            EventSpec("strike", 7)
+
+
+class TestStrike:
+    def test_dampens_commute_hours(self, week, axis):
+        out = inject_event(week, CATEGORIES, axis, EventSpec("strike", 3))
+        commute = axis.bin_of(3, 8)
+        assert out[0, commute] < week[0, commute]
+        # Other days are untouched.
+        assert np.allclose(out[:, :72], week[:, :72])
+
+    def test_night_untouched(self, week, axis):
+        out = inject_event(week, CATEGORIES, axis, EventSpec("strike", 3))
+        night = axis.bin_of(3, 3)
+        assert out[0, night] == pytest.approx(week[0, night], rel=0.02)
+
+
+class TestBroadcast:
+    def test_social_surges_streaming_dips(self, week, axis):
+        out = inject_event(week, CATEGORIES, axis, EventSpec("broadcast", 4))
+        evening = axis.bin_of(4, 21)
+        assert out[0, evening] > 1.5 * week[0, evening]  # social
+        assert out[1, evening] < week[1, evening]  # streaming
+        assert out[2, evening] == pytest.approx(week[2, evening])  # other
+
+
+class TestHoliday:
+    def test_streaming_up_all_day(self, week, axis):
+        out = inject_event(week, CATEGORIES, axis, EventSpec("holiday", 5))
+        day = slice(5 * 24, 6 * 24)
+        assert np.all(out[1, day] > week[1, day])
+        assert np.allclose(out[2, day], week[2, day])
+
+
+class TestComposition:
+    def test_multiple_events(self, week, axis):
+        out = inject_events(
+            week,
+            CATEGORIES,
+            axis,
+            [EventSpec("strike", 2), EventSpec("broadcast", 4)],
+        )
+        assert out[0, axis.bin_of(2, 8)] < week[0, axis.bin_of(2, 8)]
+        assert out[0, axis.bin_of(4, 21)] > week[0, axis.bin_of(4, 21)]
+
+    def test_distortion_metric(self, week, axis):
+        same = event_week_distortion(week, week)
+        assert same == pytest.approx(0.0)
+        eventful = inject_event(week, CATEGORIES, axis, EventSpec("strike", 3))
+        assert event_week_distortion(week, eventful) > 0.005
+        with pytest.raises(ValueError):
+            event_week_distortion(week, week[:, :10])
+
+    def test_shape_validation(self, week, axis):
+        with pytest.raises(ValueError):
+            inject_event(week[0], CATEGORIES, axis, EventSpec("strike", 1))
+        with pytest.raises(ValueError):
+            inject_event(week, CATEGORIES[:2], axis, EventSpec("strike", 1))

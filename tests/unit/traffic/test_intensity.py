@@ -1,0 +1,122 @@
+"""Unit tests for the shared intensity model."""
+
+import numpy as np
+import pytest
+
+from repro.geo.urbanization import UrbanizationClass
+from repro.traffic.intensity import (
+    CLASS_TEMPORAL_EPSILON,
+    build_intensity_model,
+    train_schedule_gate,
+)
+from repro._time import TimeAxis
+
+
+class TestCalibration:
+    def test_national_totals_match_catalog(self, intensity_model, catalog):
+        for direction in ("dl", "ul"):
+            expected = intensity_model.expected_commune_volume(direction)
+            shares = catalog.volume_vector(direction)
+            head_ids = catalog.head_ids()
+            targets = shares[head_ids] * intensity_model.total_weekly_bytes
+            assert np.allclose(expected.sum(axis=0), targets, rtol=1e-9)
+
+    def test_class_aggregates_match_multipliers(
+        self, intensity_model, country, profiles
+    ):
+        per_sub = intensity_model.per_subscriber_dl
+        subs = country.subscribers_per_commune()
+        classes = country.urbanization.classes
+        j = intensity_model.head_names.index("YouTube")
+        spatial = profiles.spatial_for("YouTube")
+
+        def class_mean(cls):
+            mask = classes == int(cls)
+            return (per_sub[mask, j] * subs[mask]).sum() / subs[mask].sum()
+
+        urban = class_mean(UrbanizationClass.URBAN)
+        for cls in (UrbanizationClass.RURAL, UrbanizationClass.TGV):
+            measured = class_mean(cls) / urban
+            designed = spatial.multiplier(cls) / spatial.multiplier(
+                UrbanizationClass.URBAN
+            )
+            assert measured == pytest.approx(designed, rel=0.05), cls
+
+    def test_netflix_gated_by_4g(self, intensity_model, country):
+        j = intensity_model.head_names.index("Netflix")
+        per_sub = intensity_model.per_subscriber_dl[:, j]
+        has_4g = country.coverage.has_4g
+        if (~has_4g).sum() < 5:
+            pytest.skip("country almost fully covered")
+        assert per_sub[has_4g].mean() > 5 * per_sub[~has_4g].mean()
+
+    def test_adoption_bounds(self, intensity_model):
+        assert np.all(intensity_model.adoption >= 0)
+        assert np.all(intensity_model.adoption <= 1)
+
+    def test_total_scales_with_population(self, country, catalog, profiles):
+        model = build_intensity_model(country, catalog, profiles, seed=0)
+        expected = 8.0e15 * country.config.population_scale
+        assert model.total_weekly_bytes == pytest.approx(expected)
+
+
+class TestTemporal:
+    def test_weights_normalized(self, intensity_model):
+        weights = intensity_model.temporal_weights
+        assert np.allclose(weights.sum(axis=1), 1.0)
+        for cls_weights in intensity_model.class_temporal_weights.values():
+            assert np.allclose(cls_weights.sum(axis=1), 1.0)
+
+    def test_ul_weights_distinct(self, intensity_model):
+        j = intensity_model.head_names.index("SnapChat")
+        dl = intensity_model.temporal_weights[j]
+        ul = intensity_model.temporal_weights_ul[j]
+        assert not np.allclose(dl, ul)
+
+    def test_class_weights_for_direction(self, intensity_model):
+        dl = intensity_model.class_weights_for("dl")
+        ul = intensity_model.class_weights_for("ul")
+        assert dl is intensity_model.class_temporal_weights
+        assert ul is intensity_model.class_temporal_weights_ul
+        with pytest.raises(ValueError):
+            intensity_model.class_weights_for("both")
+
+    def test_tgv_curve_gated_overnight(self, intensity_model):
+        axis = intensity_model.axis
+        tgv = intensity_model.class_temporal_weights[UrbanizationClass.TGV]
+        urban = intensity_model.class_temporal_weights[UrbanizationClass.URBAN]
+        night = [axis.bin_of(2, h) for h in (1, 2, 3)]
+        j = 0
+        assert tgv[j, night].sum() < 0.3 * urban[j, night].sum()
+
+    def test_urban_rural_curves_close(self, intensity_model):
+        urban = intensity_model.class_temporal_weights[UrbanizationClass.URBAN]
+        rural = intensity_model.class_temporal_weights[UrbanizationClass.RURAL]
+        j = 0
+        r = np.corrcoef(urban[j], rural[j])[0, 1]
+        assert r > 0.98
+
+
+class TestTrainGate:
+    def test_no_service_overnight(self):
+        axis = TimeAxis(1)
+        gate = train_schedule_gate(axis)
+        hours = axis.hours() % 24
+        overnight = gate[(hours >= 1) & (hours < 5)]
+        daytime = gate[(hours >= 7) & (hours < 19)]
+        assert overnight.mean() < 0.1 * daytime.mean()
+
+    def test_departure_waves(self):
+        axis = TimeAxis(4)
+        gate = train_schedule_gate(axis)
+        hours = axis.hours() % 24
+        morning = gate[np.abs(hours - 7.5) < 0.5].mean()
+        midafternoon = gate[np.abs(hours - 15.0) < 0.5].mean()
+        assert morning > midafternoon
+
+    def test_epsilon_ordering(self):
+        assert (
+            CLASS_TEMPORAL_EPSILON[UrbanizationClass.URBAN]
+            <= CLASS_TEMPORAL_EPSILON[UrbanizationClass.SEMI_URBAN]
+            <= CLASS_TEMPORAL_EPSILON[UrbanizationClass.RURAL]
+        )

@@ -1,0 +1,74 @@
+"""Unit tests for subscriber synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.subscribers import (
+    SubscriberClass,
+    synthesize_population,
+)
+
+
+@pytest.fixture(scope="module")
+def population(country, intensity_model):
+    return synthesize_population(country, intensity_model, 800, seed=21)
+
+
+class TestSynthesis:
+    def test_size(self, population):
+        assert len(population) == 800
+
+    def test_homes_follow_residents(self, population, country):
+        counts = population.home_counts()
+        assert counts.sum() == 800
+        # The biggest commune should host more subscribers than the median.
+        residents = country.population.residents
+        biggest = int(np.argmax(residents))
+        assert counts[biggest] >= np.median(counts[counts > 0])
+
+    def test_all_classes_present(self, population):
+        counts = population.counts_by_class()
+        assert counts[SubscriberClass.RESIDENT] > 0
+        assert counts[SubscriberClass.COMMUTER] > 0
+        assert counts[SubscriberClass.STUDENT] > 0
+
+    def test_residents_majority(self, population):
+        counts = population.counts_by_class()
+        assert counts[SubscriberClass.RESIDENT] > 0.4 * len(population)
+
+    def test_commuters_have_work_communes(self, population):
+        for sub in population:
+            if sub.subscriber_class in (
+                SubscriberClass.COMMUTER,
+                SubscriberClass.STUDENT,
+            ):
+                assert sub.work_commune is not None
+            if sub.subscriber_class is SubscriberClass.RESIDENT:
+                assert sub.work_commune is None
+
+    def test_adoption_consistent_with_model(self, population, intensity_model):
+        # Popular services (Google Services, adoption 0.8) should be
+        # adopted far more often than Netflix (0.03).
+        gs = intensity_model.head_names.index("Google Services")
+        nf = intensity_model.head_names.index("Netflix")
+        gs_count = sum(gs in s.adopted_services for s in population)
+        nf_count = sum(nf in s.adopted_services for s in population)
+        assert gs_count > 5 * max(nf_count, 1)
+
+    def test_activity_scales_positive(self, population):
+        scales = [s.activity_scale for s in population]
+        assert min(scales) > 0
+        assert np.median(scales) == pytest.approx(1.0, abs=0.35)
+
+    def test_imsi_hashes_unique(self, population):
+        hashes = {s.imsi_hash for s in population}
+        assert len(hashes) == len(population)
+
+    def test_determinism(self, country, intensity_model):
+        a = synthesize_population(country, intensity_model, 50, seed=5)
+        b = synthesize_population(country, intensity_model, 50, seed=5)
+        assert [s.home_commune for s in a] == [s.home_commune for s in b]
+
+    def test_validation(self, country, intensity_model):
+        with pytest.raises(ValueError):
+            synthesize_population(country, intensity_model, 0)

@@ -1,0 +1,88 @@
+"""Unit tests for the closed-form volume model."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.volume_model import (
+    VolumeModelConfig,
+    synthesize_national_series,
+    synthesize_volume_tensor,
+)
+
+
+class TestTensor:
+    def test_shape_and_dtype(self, intensity_model, country):
+        tensor = synthesize_volume_tensor(intensity_model, "dl", seed=1)
+        assert tensor.shape == (
+            country.n_communes,
+            20,
+            intensity_model.axis.n_bins,
+        )
+        assert tensor.dtype == np.float32
+
+    def test_non_negative(self, intensity_model):
+        tensor = synthesize_volume_tensor(intensity_model, "dl", seed=1)
+        assert np.all(tensor >= 0)
+
+    def test_deterministic(self, intensity_model):
+        a = synthesize_volume_tensor(intensity_model, "dl", seed=4)
+        b = synthesize_volume_tensor(intensity_model, "dl", seed=4)
+        assert np.array_equal(a, b)
+
+    def test_adoption_creates_zero_communes(self, intensity_model):
+        tensor = synthesize_volume_tensor(intensity_model, "dl", seed=1)
+        j = intensity_model.head_names.index("Netflix")
+        commune_volumes = tensor[:, j, :].sum(axis=1)
+        assert np.any(commune_volumes == 0)
+
+    def test_no_sampling_matches_expectation(self, intensity_model):
+        config = VolumeModelConfig(
+            sample_adoption=False, cell_noise_sigma=0.0, national_noise_sigma=0.0
+        )
+        tensor = synthesize_volume_tensor(intensity_model, "dl", config, seed=1)
+        expected = intensity_model.expected_commune_volume("dl")
+        assert np.allclose(tensor.sum(axis=2), expected, rtol=1e-4)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            VolumeModelConfig(cell_noise_sigma=-1)
+        with pytest.raises(ValueError):
+            VolumeModelConfig(usage_shape=0)
+
+
+class TestNationalSeries:
+    def test_shape(self, intensity_model):
+        series = synthesize_national_series(intensity_model, "dl", seed=2)
+        assert series.shape == (20, intensity_model.axis.n_bins)
+
+    def test_positive(self, intensity_model):
+        series = synthesize_national_series(intensity_model, "dl", seed=2)
+        assert np.all(series > 0)
+
+    def test_totals_match_model(self, intensity_model):
+        series = synthesize_national_series(
+            intensity_model, "dl", noise_sigma=0.0, day_jitter_sigma=0.0, seed=2
+        )
+        expected = intensity_model.expected_commune_volume("dl").sum(axis=0)
+        assert np.allclose(series.sum(axis=1), expected, rtol=1e-9)
+
+    def test_noise_perturbs(self, intensity_model):
+        quiet = synthesize_national_series(
+            intensity_model, "dl", noise_sigma=0.0, day_jitter_sigma=0.0, seed=2
+        )
+        noisy = synthesize_national_series(intensity_model, "dl", seed=2)
+        assert not np.allclose(quiet, noisy)
+
+    def test_directions_differ(self, intensity_model):
+        dl = synthesize_national_series(intensity_model, "dl", seed=2)
+        ul = synthesize_national_series(intensity_model, "ul", seed=2)
+        j = intensity_model.head_names.index("SnapChat")
+        dl_shape = dl[j] / dl[j].sum()
+        ul_shape = ul[j] / ul[j].sum()
+        assert not np.allclose(dl_shape, ul_shape, rtol=0.01)
+
+    def test_validation(self, intensity_model):
+        with pytest.raises(ValueError):
+            synthesize_national_series(intensity_model, "dl", noise_sigma=-1)
+        with pytest.raises(ValueError):
+            synthesize_national_series(intensity_model, "dl", noise_rho=1.0)
