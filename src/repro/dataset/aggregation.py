@@ -13,7 +13,8 @@ per commune over the week.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -21,7 +22,7 @@ from repro._time import TimeAxis, WEEK_HOURS
 from repro.dataset.store import MobileTrafficDataset
 from repro.dpi.classifier import DpiEngine
 from repro.geo.country import Country
-from repro.network.probes import ProbeRecord
+from repro.network.probes import ProbeRecord, ProbeRecordBatch
 from repro.services.catalog import ServiceCatalog
 
 
@@ -80,13 +81,122 @@ class CommuneAggregator:
                 self.ul[record.commune_id, head_idx, t] += record.ul_bytes
         return service_name
 
-    def ingest_all(self, records: Iterable[ProbeRecord]) -> int:
-        """Ingest a record stream; returns the number processed."""
+    def ingest_all(
+        self, records: Iterable[ProbeRecord], chunk_size: int = 8192
+    ) -> int:
+        """Ingest a record stream in vectorized chunks.
+
+        Delegates to :meth:`ingest_batch` ``chunk_size`` records at a
+        time, so arbitrarily long streams aggregate at batch speed with
+        bounded working memory.  Returns the number processed.
+        """
         count = 0
-        for record in records:
-            self.ingest(record)
-            count += 1
+        iterator = iter(records)
+        while True:
+            chunk = list(itertools.islice(iterator, chunk_size))
+            if not chunk:
+                break
+            count += self.ingest_batch(chunk)
         return count
+
+    def ingest_batch(self, records: Sequence[ProbeRecord]) -> int:
+        """Vectorized ingest of a batch of scalar records.
+
+        Classifies once per distinct flow key through the engine's memo
+        and scatters the byte counters with array arithmetic; the
+        resulting tensors and accounting match per-record
+        :meth:`ingest` calls up to float summation order.
+        """
+        if not records:
+            return 0
+        return self.ingest_columnar(ProbeRecordBatch.from_records(list(records)))
+
+    def ingest_columnar(self, batch: ProbeRecordBatch) -> int:
+        """Ingest one columnar probe batch (the fast path)."""
+        n = len(batch)
+        if n == 0:
+            return 0
+        self.records_ingested += n
+        dl, ul = batch.dl_bytes, batch.ul_bytes
+        volumes = dl + ul
+        self.total_bytes += float(volumes.sum())
+        commune_ids = batch.commune_ids
+
+        # Distinct-user accounting: group subscriber hashes by commune
+        # (stable argsort + segment boundaries) and bulk-update each
+        # commune's set once.
+        order = np.argsort(commune_ids, kind="stable")
+        sorted_communes = commune_ids[order]
+        sorted_imsi = batch.imsi_hashes[order]
+        boundaries = np.flatnonzero(np.diff(sorted_communes)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [n]))
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            self._users_seen[int(sorted_communes[s])].update(
+                sorted_imsi[s:e].tolist()
+            )
+
+        keys = list(
+            zip(
+                batch.snis,
+                batch.hosts,
+                batch.payload_hints,
+                batch.server_ports,
+                batch.protocols,
+            )
+        )
+        names = self._engine.classify_batch(keys, volumes)
+
+        service_index = self._service_index
+        service_ids = np.fromiter(
+            (service_index[nm] if nm is not None else -1 for nm in names),
+            dtype=np.int64,
+            count=n,
+        )
+        classified = service_ids >= 0
+        self.unclassified_bytes += float(volumes[~classified].sum())
+        np.add.at(self.national_dl, service_ids[classified], dl[classified])
+        np.add.at(self.national_ul, service_ids[classified], ul[classified])
+
+        head_index = self._head_index
+        head_ids = np.fromiter(
+            (head_index.get(nm, -1) if nm is not None else -1 for nm in names),
+            dtype=np.int64,
+            count=n,
+        )
+        hours = batch.timestamps_s / 3600.0
+        mask = (head_ids >= 0) & (hours >= 0) & (hours < WEEK_HOURS)
+        if mask.any():
+            t = (hours[mask] * self._axis.bins_per_hour).astype(np.int64)
+            np.add.at(self.dl, (commune_ids[mask], head_ids[mask], t), dl[mask])
+            np.add.at(self.ul, (commune_ids[mask], head_ids[mask], t), ul[mask])
+        return n
+
+    @property
+    def users_seen(self) -> List[Set[int]]:
+        """Per-commune sets of distinct subscriber hashes observed."""
+        return self._users_seen
+
+    def merge(self, other) -> "CommuneAggregator":
+        """Fold another aggregator's (or shard partial's) state into this one.
+
+        ``other`` needs the aggregation tensors (``dl``, ``ul``,
+        ``national_dl``, ``national_ul``), the byte/record counters and
+        ``users_seen`` — either a full :class:`CommuneAggregator` or a
+        plain shard-result carrier.  Merging is order-sensitive in
+        floating point, so callers reduce shards in a fixed order.
+        """
+        self.dl += other.dl
+        self.ul += other.ul
+        self.national_dl += other.national_dl
+        self.national_ul += other.national_ul
+        self.unclassified_bytes += other.unclassified_bytes
+        self.total_bytes += other.total_bytes
+        self.records_ingested += other.records_ingested
+        for commune_id, users in enumerate(other.users_seen):
+            if users:
+                self._users_seen[commune_id].update(users)
+        return self
 
     @property
     def classified_fraction(self) -> float:

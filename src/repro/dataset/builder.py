@@ -14,11 +14,19 @@ from typing import Optional, Tuple
 from repro._rng import SeedLike, as_generator, spawn
 from repro._time import TimeAxis
 from repro.dataset.aggregation import CommuneAggregator
+from repro.dataset.parallel import (
+    MergedGeneratorStats,
+    MergedProbeStats,
+    ShardPlan,
+    execute_shards,
+    partition_subscribers,
+)
 from repro.dataset.store import MobileTrafficDataset
 from repro.dpi.classifier import ClassificationReport, DpiEngine
 from repro.dpi.fingerprints import FingerprintDatabase
 from repro.geo.country import Country, CountryConfig, build_country
-from repro.network.probes import CoreProbe
+from repro.network.handover import HandoverStats
+from repro.network.probes import CoreProbe, ProbeStats
 from repro.network.topology import build_topology
 from repro.services.catalog import ServiceCatalog, build_catalog
 from repro.services.profiles import ProfileLibrary, build_profile_library
@@ -43,14 +51,18 @@ class PipelineArtifacts:
 
 def build_volume_level_dataset(
     country: Optional[Country] = None,
-    country_config: CountryConfig = CountryConfig(),
+    country_config: Optional[CountryConfig] = None,
     axis: TimeAxis = TimeAxis(1),
     total_weekly_bytes: Optional[float] = None,
-    volume_config: VolumeModelConfig = VolumeModelConfig(),
+    volume_config: Optional[VolumeModelConfig] = None,
     n_services: int = 520,
     seed: SeedLike = None,
 ) -> PipelineArtifacts:
     """Build a nationwide-scale dataset with the closed-form volume model."""
+    if country_config is None:
+        country_config = CountryConfig()
+    if volume_config is None:
+        volume_config = VolumeModelConfig()
     rng = as_generator(seed)
     if country is None:
         country = build_country(country_config, seed=spawn(rng, "builder.country"))
@@ -79,14 +91,16 @@ def build_volume_level_dataset(
 def build_session_level_dataset(
     n_subscribers: int = 2_000,
     country: Optional[Country] = None,
-    country_config: CountryConfig = CountryConfig(n_communes=400),
+    country_config: Optional[CountryConfig] = None,
     axis: TimeAxis = TimeAxis(1),
     total_weekly_bytes: Optional[float] = None,
-    workload_config: WorkloadConfig = WorkloadConfig(),
+    workload_config: Optional[WorkloadConfig] = None,
     n_services: int = 60,
     unclassifiable_rate: float = 0.12,
     control_loss_rate: float = 0.0,
     audit_localization: bool = False,
+    n_workers: int = 1,
+    n_shards: Optional[int] = None,
     seed: SeedLike = None,
 ) -> PipelineArtifacts:
     """Run the full measurement chain at session resolution.
@@ -96,7 +110,30 @@ def build_session_level_dataset(
     with ``audit_localization=True`` a
     :class:`~repro.network.localization.LocalizationAuditor` measures
     the ULI error of every flow (``extras["auditor"]``).
+
+    ``n_shards`` partitions the subscriber population into independent
+    shards, each run through its own generator/probe/DPI chain and
+    merged; ``n_workers`` controls how many processes execute them.
+    Results depend on ``(seed, n_shards)`` only — for a fixed shard
+    count, any worker count produces bit-identical datasets.
+    ``n_shards=None`` derives the shard count from ``n_workers``.  With
+    more than one shard the ``extras`` carry merged read-only stats
+    facades for ``"generator"``/``"probe"`` (plus the per-shard partials
+    under ``"shards"``) instead of live objects.
     """
+    if country_config is None:
+        country_config = CountryConfig(n_communes=400)
+    if workload_config is None:
+        workload_config = WorkloadConfig()
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if n_shards is None:
+        n_shards = n_workers if n_workers > 1 else 1
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if audit_localization and n_shards > 1:
+        raise ValueError("audit_localization requires n_shards=1")
+
     rng = as_generator(seed)
     if country is None:
         country = build_country(country_config, seed=spawn(rng, "builder.country"))
@@ -114,6 +151,58 @@ def build_session_level_dataset(
     population = synthesize_population(
         country, model, n_subscribers, seed=spawn(rng, "builder.population")
     )
+
+    if n_shards > 1:
+        plan = ShardPlan(
+            country=country,
+            catalog=catalog,
+            model=model,
+            topology=topology,
+            axis=axis,
+            workload_config=workload_config,
+            unclassifiable_rate=unclassifiable_rate,
+            control_loss_rate=control_loss_rate,
+            shard_subscribers=partition_subscribers(population, n_shards),
+            shard_rngs=[
+                spawn(rng, "builder.shard", index=i) for i in range(n_shards)
+            ],
+        )
+        results = execute_shards(plan, n_workers)
+
+        engine = DpiEngine(FingerprintDatabase(catalog, seed=0))
+        aggregator = CommuneAggregator(country, catalog, engine, axis=axis)
+        probe_stats = ProbeStats()
+        handover_stats = HandoverStats()
+        sessions_generated = 0
+        flows_generated = 0
+        for result in results:  # fixed shard order: float-determinism
+            aggregator.merge(result)
+            engine.report.merge(result.report)
+            probe_stats.merge(result.probe_stats)
+            handover_stats.merge(result.handover_stats)
+            sessions_generated += result.sessions_generated
+            flows_generated += result.flows_generated
+        dataset = aggregator.finalize()
+        return PipelineArtifacts(
+            country=country,
+            catalog=catalog,
+            profiles=profiles,
+            model=model,
+            dataset=dataset,
+            dpi_report=engine.report,
+            extras={
+                "generator": MergedGeneratorStats(
+                    sessions_generated, flows_generated, handover_stats
+                ),
+                "probe": MergedProbeStats(probe_stats),
+                "population": population,
+                "topology": topology,
+                "aggregator": aggregator,
+                "auditor": None,
+                "shards": results,
+            },
+        )
+
     fingerprints = FingerprintDatabase(
         catalog,
         unclassifiable_rate=unclassifiable_rate,
@@ -127,9 +216,10 @@ def build_session_level_dataset(
         config=workload_config,
         seed=spawn(rng, "builder.generator"),
     )
-    probe = CoreProbe(control_loss_rate=control_loss_rate, seed=7).attach_to(
-        generator.session_manager
-    )
+    probe = CoreProbe(
+        control_loss_rate=control_loss_rate, seed=spawn(rng, "builder.probe")
+    ).attach_to(generator.session_manager)
+    probe.attach_to_bulk(generator.session_manager)
     auditor = None
     if audit_localization:
         from repro.network.localization import LocalizationAuditor
@@ -143,7 +233,8 @@ def build_session_level_dataset(
 
     engine = DpiEngine(FingerprintDatabase(catalog, seed=0))
     aggregator = CommuneAggregator(country, catalog, engine, axis=axis)
-    aggregator.ingest_all(probe.drain())
+    for batch in probe.drain_batches():
+        aggregator.ingest_columnar(batch)
     dataset = aggregator.finalize()
 
     return PipelineArtifacts(

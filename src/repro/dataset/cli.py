@@ -43,6 +43,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=2_000,
         help="panel size for --session runs",
     )
+    build.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for --session runs",
+    )
+    build.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="subscriber shards for --session runs (defaults to --workers); "
+        "results depend on (seed, shards) only, never on --workers",
+    )
 
     info = sub.add_parser("info", help="summarize a saved dataset")
     info.add_argument("path", metavar="PATH")
@@ -74,6 +87,8 @@ def _build(args: argparse.Namespace) -> int:
         artifacts = build_session_level_dataset(
             n_subscribers=args.subscribers,
             country_config=config,
+            n_workers=args.workers,
+            n_shards=args.shards,
             seed=args.seed,
         )
     else:

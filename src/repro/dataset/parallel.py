@@ -1,0 +1,255 @@
+"""Sharded execution of the session-level measurement chain.
+
+The session-level pipeline is embarrassingly parallel across
+subscribers: each subscriber's week touches only their own sessions, and
+every downstream structure (aggregation tensors, national counters,
+per-commune user sets, DPI/probe accounting) is a sum over subscribers.
+This module partitions the population into shards, runs one full
+generator → probe → DPI → aggregation chain per shard, and reduces the
+plain partial states back into one aggregator on the parent.
+
+Determinism contract: shard RNG streams are spawned by the *parent* from
+the builder seed (``spawn(rng, "builder.shard", index=i)``), one per
+shard in index order, and shard partials are merged in index order.
+Results are therefore a function of ``(seed, n_shards)`` only —
+``n_workers`` changes wall-clock, never a single bit of the dataset.
+
+Workers are forked (copy-on-write) so the shared read-only artifacts
+(country, intensity model, topology, population) are not pickled;
+only the compact :class:`ShardResult` partials travel back.  Platforms
+without ``fork`` fall back to in-process execution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+import numpy as np
+
+from repro._rng import spawn
+from repro._time import TimeAxis
+from repro.dataset.aggregation import CommuneAggregator
+from repro.dpi.classifier import ClassificationReport, DpiEngine
+from repro.dpi.fingerprints import FingerprintDatabase
+from repro.geo.country import Country
+from repro.network.handover import HandoverStats
+from repro.network.probes import CoreProbe, ProbeStats
+from repro.network.topology import NetworkTopology
+from repro.services.catalog import ServiceCatalog
+from repro.traffic.generator import SessionLevelGenerator, WorkloadConfig
+from repro.traffic.intensity import IntensityModel
+from repro.traffic.subscribers import SubscriberPopulation
+
+
+@dataclass
+class ShardPlan:
+    """Everything a shard worker needs, prepared on the parent."""
+
+    country: Country
+    catalog: ServiceCatalog
+    model: IntensityModel
+    topology: NetworkTopology
+    axis: TimeAxis
+    workload_config: WorkloadConfig
+    unclassifiable_rate: float
+    control_loss_rate: float
+    shard_subscribers: List[list]
+    shard_rngs: List[np.random.Generator]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_subscribers)
+
+
+@dataclass
+class ShardResult:
+    """One shard's partial state — plain arrays/sets, picklable.
+
+    Carries exactly the attributes
+    :meth:`~repro.dataset.aggregation.CommuneAggregator.merge` consumes,
+    plus the generator/probe/DPI accounting the builder folds into its
+    merged facades.  Worker processes return these instead of live
+    aggregator or engine objects (whose memoization caches are not
+    picklable, and whose state the parent does not need).
+    """
+
+    shard_index: int
+    dl: np.ndarray
+    ul: np.ndarray
+    national_dl: np.ndarray
+    national_ul: np.ndarray
+    unclassified_bytes: float
+    total_bytes: float
+    records_ingested: int
+    users_seen: List[Set[int]]
+    report: ClassificationReport
+    probe_stats: ProbeStats
+    handover_stats: HandoverStats
+    sessions_generated: int
+    flows_generated: int
+
+
+class MergedHandover:
+    """Stand-in for a generator's ``_handover`` in sharded runs."""
+
+    def __init__(self, stats: HandoverStats):
+        self.stats = stats
+
+
+class MergedGeneratorStats:
+    """Read-only stand-in for the generator object in sharded extras.
+
+    Exposes the counters downstream consumers read
+    (``sessions_generated``, ``flows_generated``, ``_handover.stats``);
+    the live per-shard generators never leave their workers.
+    """
+
+    def __init__(
+        self,
+        sessions_generated: int,
+        flows_generated: int,
+        handover_stats: HandoverStats,
+    ):
+        self.sessions_generated = sessions_generated
+        self.flows_generated = flows_generated
+        self._handover = MergedHandover(handover_stats)
+
+
+class MergedProbeStats:
+    """Read-only stand-in for the probe object in sharded extras."""
+
+    def __init__(self, stats: ProbeStats):
+        self.stats = stats
+
+
+def partition_subscribers(
+    population: SubscriberPopulation, n_shards: int
+) -> List[list]:
+    """Split a population into ``n_shards`` contiguous subscriber blocks."""
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    slices = np.array_split(np.arange(len(population.subscribers)), n_shards)
+    return [
+        [population.subscribers[int(j)] for j in idx] for idx in slices
+    ]
+
+
+def run_shard(plan: ShardPlan, shard_index: int) -> ShardResult:
+    """Run the full measurement chain for one shard of subscribers."""
+    srng = plan.shard_rngs[shard_index]
+    engine = DpiEngine(FingerprintDatabase(plan.catalog, seed=0))
+    aggregator = CommuneAggregator(
+        plan.country, plan.catalog, engine, axis=plan.axis
+    )
+    subscribers = plan.shard_subscribers[shard_index]
+    if not subscribers:
+        return _shard_result(
+            shard_index, aggregator, engine, ProbeStats(), HandoverStats(), 0, 0
+        )
+    population = SubscriberPopulation(subscribers, plan.country)
+    fingerprints = FingerprintDatabase(
+        plan.catalog,
+        unclassifiable_rate=plan.unclassifiable_rate,
+        seed=spawn(srng, "shard.fingerprints"),
+    )
+    generator = SessionLevelGenerator(
+        plan.model,
+        population,
+        plan.topology,
+        fingerprints,
+        config=plan.workload_config,
+        seed=spawn(srng, "shard.generator"),
+    )
+    probe = CoreProbe(
+        control_loss_rate=plan.control_loss_rate,
+        seed=spawn(srng, "shard.probe"),
+    )
+    probe.attach_to(generator.session_manager)
+    probe.attach_to_bulk(generator.session_manager)
+    generator.run_week()
+    for batch in probe.drain_batches():
+        aggregator.ingest_columnar(batch)
+    return _shard_result(
+        shard_index,
+        aggregator,
+        engine,
+        probe.stats,
+        generator._handover.stats,
+        generator.sessions_generated,
+        generator.flows_generated,
+    )
+
+
+def _shard_result(
+    shard_index: int,
+    aggregator: CommuneAggregator,
+    engine: DpiEngine,
+    probe_stats: ProbeStats,
+    handover_stats: HandoverStats,
+    sessions_generated: int,
+    flows_generated: int,
+) -> ShardResult:
+    return ShardResult(
+        shard_index=shard_index,
+        dl=aggregator.dl,
+        ul=aggregator.ul,
+        national_dl=aggregator.national_dl,
+        national_ul=aggregator.national_ul,
+        unclassified_bytes=aggregator.unclassified_bytes,
+        total_bytes=aggregator.total_bytes,
+        records_ingested=aggregator.records_ingested,
+        users_seen=aggregator.users_seen,
+        report=engine.report,
+        probe_stats=probe_stats,
+        handover_stats=handover_stats,
+        sessions_generated=sessions_generated,
+        flows_generated=flows_generated,
+    )
+
+
+# Fork-inherited worker state: set on the parent immediately before the
+# pool is created, read by the forked children, cleared afterwards.
+_WORKER_PLAN: Optional[ShardPlan] = None
+
+
+def _run_shard_by_index(shard_index: int) -> ShardResult:
+    assert _WORKER_PLAN is not None, "worker invoked without a shard plan"
+    return run_shard(_WORKER_PLAN, shard_index)
+
+
+def execute_shards(plan: ShardPlan, n_workers: int) -> List[ShardResult]:
+    """Run every shard, across ``n_workers`` processes when possible.
+
+    Shard results are identical whether shards run in-process or in
+    worker processes (each shard consumes only its own parent-spawned
+    RNG stream), so the in-process path doubles as the fallback on
+    platforms without ``fork``.
+    """
+    n_shards = plan.n_shards
+    if n_workers <= 1 or n_shards == 1:
+        return [run_shard(plan, i) for i in range(n_shards)]
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        return [run_shard(plan, i) for i in range(n_shards)]
+    global _WORKER_PLAN
+    _WORKER_PLAN = plan
+    try:
+        with context.Pool(processes=min(n_workers, n_shards)) as pool:
+            results = pool.map(_run_shard_by_index, range(n_shards))
+    finally:
+        _WORKER_PLAN = None
+    return sorted(results, key=lambda result: result.shard_index)
+
+
+__all__ = [
+    "ShardPlan",
+    "ShardResult",
+    "MergedGeneratorStats",
+    "MergedProbeStats",
+    "partition_subscribers",
+    "run_shard",
+    "execute_shards",
+]

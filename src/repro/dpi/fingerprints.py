@@ -204,6 +204,7 @@ class FingerprintDatabase:
         self.unclassifiable_rate = float(unclassifiable_rate)
         self._rng = as_generator(seed)
         self._flow_counter = 0
+        self._feature_buffers: Dict[str, list] = {}
         self._fingerprints: Dict[str, ServiceFingerprint] = {}
         for service in catalog:
             if service.name in _HEAD_FINGERPRINTS:
@@ -276,6 +277,138 @@ class FingerprintDatabase:
             protocol=protocol,
             payload_hint=hint,
         )
+
+
+    #: Minimum batch drawn into a service's feature buffer; requests are
+    #: served from the buffer so many small emits amortize to one big draw.
+    FEATURE_CHUNK = 512
+
+    def emit_flow_features(
+        self, service_name: str, n: int
+    ) -> Tuple[List[int], List[Optional[str]], List[Optional[str]],
+               List[Optional[str]], List[int], List[str]]:
+        """Columnar :meth:`emit_flow`: features for ``n`` flows at once.
+
+        Returns ``(flow_ids, snis, hosts, payload_hints, server_ports,
+        protocols)`` drawn from the same per-feature distributions as the
+        scalar emitter (obfuscation rate, TLS share, signature ports,
+        payload-hint probability), using batched RNG draws.  Draws are
+        buffered per service in chunks of at least ``FEATURE_CHUNK``, so
+        typical small per-subscriber requests cost a slice, not an RNG
+        round-trip.  The draw *order* differs from ``n`` scalar calls,
+        so the two emitters produce statistically equivalent but not
+        bit-identical corpora.
+        """
+        buffers = self._feature_buffers.get(service_name)
+        if buffers is None:
+            buffers = self._feature_buffers[service_name] = [
+                [], [], [], [], [], []
+            ]
+        if len(buffers[0]) < n:
+            fresh = self._draw_flow_features(
+                service_name, max(n - len(buffers[0]), self.FEATURE_CHUNK)
+            )
+            for column, extra in zip(buffers, fresh):
+                column.extend(extra)
+        out = tuple(column[:n] for column in buffers)
+        self._feature_buffers[service_name] = [
+            column[n:] for column in buffers
+        ]
+        return out
+
+    def _draw_flow_features(
+        self, service_name: str, n: int
+    ) -> Tuple[List[int], List[Optional[str]], List[Optional[str]],
+               List[Optional[str]], List[int], List[str]]:
+        rng = self._rng
+        fp = self.fingerprint_of(service_name)
+        start = self._flow_counter + 1
+        self._flow_counter += n
+        flow_ids = list(range(start, start + n))
+        snis: List[Optional[str]] = [None] * n
+        hosts: List[Optional[str]] = [None] * n
+        hints: List[Optional[str]] = [None] * n
+        ports = np.zeros(n, dtype=np.int64)
+        protocols: List[str] = ["tcp"] * n
+
+        obfuscated = rng.random(n) < self.unclassifiable_rate
+        obf_rows = np.flatnonzero(obfuscated)
+        if len(obf_rows):
+            ports[obf_rows] = rng.integers(40000, 60000, size=len(obf_rows))
+            udp = rng.random(len(obf_rows)) < 0.5
+            for r, is_udp in zip(obf_rows.tolist(), udp.tolist()):
+                if is_udp:
+                    protocols[r] = "udp"
+        clear_rows = np.flatnonzero(~obfuscated)
+        m = len(clear_rows)
+        if fp.sni_suffixes and m:
+            use_tls = rng.random(m) < fp.tls_share
+        else:
+            use_tls = np.zeros(m, dtype=bool)
+        tls_rows = clear_rows[use_tls]
+        if len(tls_rows):
+            ports[tls_rows] = 443
+            for r, name in zip(
+                tls_rows.tolist(),
+                _endpoints_batch(rng, fp.sni_suffixes, len(tls_rows)),
+            ):
+                snis[r] = name
+        plain_rows = clear_rows[~use_tls]
+        if len(plain_rows):
+            if fp.host_suffixes:
+                ports[plain_rows] = 80
+                for r, name in zip(
+                    plain_rows.tolist(),
+                    _endpoints_batch(rng, fp.host_suffixes, len(plain_rows)),
+                ):
+                    hosts[r] = name
+            # Signature ports apply exactly where the scalar emitter
+            # applies them: clear-text flows (and, for SNI-less
+            # services, every non-obfuscated flow).
+            if fp.port_signatures:
+                sig_idx = rng.integers(
+                    len(fp.port_signatures), size=len(plain_rows)
+                )
+                for r, si in zip(plain_rows.tolist(), sig_idx.tolist()):
+                    port, protocol = fp.port_signatures[si]
+                    ports[r] = port
+                    protocols[r] = protocol
+        generic_rows = clear_rows[ports[clear_rows] == 0]
+        if len(generic_rows):
+            gen_idx = rng.integers(len(_GENERIC_PORTS), size=len(generic_rows))
+            for r, gi in zip(generic_rows.tolist(), gen_idx.tolist()):
+                port, protocol = _GENERIC_PORTS[gi]
+                ports[r] = port
+                protocols[r] = protocol
+        if fp.payload_hints and m:
+            hinted = clear_rows[rng.random(m) < 0.7]
+            if len(hinted):
+                hint_idx = rng.integers(len(fp.payload_hints), size=len(hinted))
+                for r, hi in zip(hinted.tolist(), hint_idx.tolist()):
+                    hints[r] = fp.payload_hints[hi]
+        return flow_ids, snis, hosts, hints, ports.tolist(), protocols
+
+
+#: Pre-rendered edge-node labels / provider domains for the batch emitter.
+_EDGE_LABELS = tuple(f"edge-{i:03d}" for i in range(1000))
+_PROVIDERS = tuple(f"provider{i:02d}.example" for i in range(100))
+
+
+def _endpoints_batch(
+    rng: np.random.Generator, suffixes: Sequence[str], n: int
+) -> List[str]:
+    """Batched :func:`_endpoint`: ``n`` endpoint names at once."""
+    suffix_idx = rng.integers(len(suffixes), size=n)
+    labels = rng.integers(1000, size=n)
+    providers = rng.integers(100, size=n)
+    out: List[str] = []
+    for i in range(n):
+        suffix = suffixes[suffix_idx[i]]
+        if suffix.endswith("."):
+            out.append(suffix + _PROVIDERS[providers[i]])
+        else:
+            out.append(_EDGE_LABELS[labels[i]] + "." + suffix)
+    return out
 
 
 def _endpoint(rng: np.random.Generator, suffixes: Sequence[str]) -> str:

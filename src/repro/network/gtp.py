@@ -19,9 +19,17 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
+
+import numpy as np
 
 from repro.geo.coverage import Technology
+
+#: Compact integer codes for :class:`~repro.geo.coverage.Technology`,
+#: used by the columnar (bulk) message structures below.
+TECH_3G, TECH_4G = 0, 1
+TECH_BY_CODE = (Technology.G3, Technology.G4)
+TECH_CODES = {Technology.G3: TECH_3G, Technology.G4: TECH_4G}
 
 
 class GtpcMessageType(enum.Enum):
@@ -161,6 +169,70 @@ class GtpuPacket:
         return self.dl_bytes + self.ul_bytes
 
 
+@dataclass
+class GtpcCreateBulk:
+    """A columnar batch of session-establishment signalling.
+
+    One entry per session; each entry stands for the request/response
+    *pair* the scalar :class:`GtpcMessage` path emits, so a probe
+    observing a batch of ``n`` sessions accounts ``2 n`` control
+    messages.  Carrying the ULI fields as parallel arrays lets the
+    probes maintain their tunnel tables without materializing one
+    message object per session — the bulk fast path of the measurement
+    chain.
+    """
+
+    timestamps_s: np.ndarray
+    imsi_hashes: np.ndarray
+    teids: np.ndarray
+    tech_codes: np.ndarray  # TECH_3G / TECH_4G per session
+    routing_area_ids: np.ndarray
+    cell_ids: np.ndarray
+    cell_commune_ids: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.teids)
+
+
+@dataclass
+class GtpcDeleteBulk:
+    """A columnar batch of session-teardown signalling (one per session)."""
+
+    timestamps_s: np.ndarray
+    imsi_hashes: np.ndarray
+    teids: np.ndarray
+    tech_codes: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.teids)
+
+
+@dataclass
+class GtpuBulk:
+    """A columnar batch of user-plane flow accounting records.
+
+    Flows are grouped by session: ``session_teids[i]`` carried
+    ``flows_per_session[i]`` consecutive flows of the flat per-flow
+    arrays.  DPI features ride as plain Python lists (they are strings
+    and Nones), numeric columns as numpy arrays.
+    """
+
+    session_teids: np.ndarray
+    flows_per_session: np.ndarray
+    timestamps_s: np.ndarray
+    dl_bytes: np.ndarray
+    ul_bytes: np.ndarray
+    flow_ids: List[int]
+    snis: List[Optional[str]]
+    hosts: List[Optional[str]]
+    payload_hints: List[Optional[str]]
+    server_ports: List[int]
+    protocols: List[str]
+
+    def __len__(self) -> int:
+        return len(self.timestamps_s)
+
+
 class TeidAllocator:
     """Allocates unique Tunnel Endpoint IDs.
 
@@ -183,6 +255,19 @@ class TeidAllocator:
             teid = next(self._counter) % self._MAX
         return teid
 
+    def allocate_many(self, n: int) -> np.ndarray:
+        """Return the next ``n`` TEIDs as an array."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        teids = np.fromiter(
+            itertools.islice(self._counter, n), dtype=np.int64, count=n
+        )
+        teids %= self._MAX
+        reserved = teids == 0
+        if reserved.any():  # once per 2^32 sessions
+            teids[reserved] = [self.allocate() for _ in range(int(reserved.sum()))]
+        return teids
+
 
 __all__ = [
     "GtpcMessageType",
@@ -190,5 +275,12 @@ __all__ = [
     "GtpcMessage",
     "FlowDescriptor",
     "GtpuPacket",
+    "GtpcCreateBulk",
+    "GtpcDeleteBulk",
+    "GtpuBulk",
     "TeidAllocator",
+    "TECH_3G",
+    "TECH_4G",
+    "TECH_BY_CODE",
+    "TECH_CODES",
 ]

@@ -34,6 +34,13 @@ class HandoverStats:
         """Moves that left the ULI pointing at the previous location."""
         return self.moves - self.updates
 
+    def merge(self, other: "HandoverStats") -> "HandoverStats":
+        """Fold another manager's counters (e.g. a worker shard's) in."""
+        self.moves += other.moves
+        self.ra_updates += other.ra_updates
+        self.rat_updates += other.rat_updates
+        return self
+
 
 class HandoverManager:
     """Decides whether a commune change refreshes the session's ULI."""

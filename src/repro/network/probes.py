@@ -18,15 +18,21 @@ convenience the paper mentions.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.geo.coverage import Technology
 from repro.network.gtp import (
+    TECH_BY_CODE,
+    TECH_CODES,
     FlowDescriptor,
+    GtpcCreateBulk,
+    GtpcDeleteBulk,
     GtpcMessage,
+    GtpuBulk,
     GtpuPacket,
     UserLocationInformation,
 )
@@ -51,6 +57,99 @@ class ProbeRecord:
 
 
 @dataclass
+class ProbeRecordBatch:
+    """A columnar batch of geo-referenced flow accounting records.
+
+    The bulk probe path emits these instead of one :class:`ProbeRecord`
+    per flow; numeric columns are numpy arrays, DPI feature columns
+    plain lists.  :meth:`to_records` expands back to scalar records for
+    consumers of the legacy API.
+    """
+
+    timestamps_s: np.ndarray
+    imsi_hashes: np.ndarray
+    commune_ids: np.ndarray
+    tech_codes: np.ndarray
+    dl_bytes: np.ndarray
+    ul_bytes: np.ndarray
+    flow_ids: List[int]
+    snis: List[Optional[str]]
+    hosts: List[Optional[str]]
+    payload_hints: List[Optional[str]]
+    server_ports: List[int]
+    protocols: List[str]
+
+    def __len__(self) -> int:
+        return len(self.timestamps_s)
+
+    def to_records(self) -> List[ProbeRecord]:
+        """Materialize the batch as scalar :class:`ProbeRecord` objects."""
+        out: List[ProbeRecord] = []
+        for i in range(len(self)):
+            out.append(
+                ProbeRecord(
+                    timestamp_s=float(self.timestamps_s[i]),
+                    imsi_hash=int(self.imsi_hashes[i]),
+                    commune_id=int(self.commune_ids[i]),
+                    technology=TECH_BY_CODE[int(self.tech_codes[i])],
+                    flow=FlowDescriptor(
+                        flow_id=self.flow_ids[i],
+                        sni=self.snis[i],
+                        host=self.hosts[i],
+                        server_port=self.server_ports[i],
+                        protocol=self.protocols[i],
+                        payload_hint=self.payload_hints[i],
+                    ),
+                    dl_bytes=float(self.dl_bytes[i]),
+                    ul_bytes=float(self.ul_bytes[i]),
+                )
+            )
+        return out
+
+    @classmethod
+    def concat(cls, batches: List["ProbeRecordBatch"]) -> "ProbeRecordBatch":
+        """Concatenate batches (order preserved) into one."""
+        if not batches:
+            raise ValueError("cannot concatenate zero batches")
+        if len(batches) == 1:
+            return batches[0]
+        return cls(
+            timestamps_s=np.concatenate([b.timestamps_s for b in batches]),
+            imsi_hashes=np.concatenate([b.imsi_hashes for b in batches]),
+            commune_ids=np.concatenate([b.commune_ids for b in batches]),
+            tech_codes=np.concatenate([b.tech_codes for b in batches]),
+            dl_bytes=np.concatenate([b.dl_bytes for b in batches]),
+            ul_bytes=np.concatenate([b.ul_bytes for b in batches]),
+            flow_ids=[x for b in batches for x in b.flow_ids],
+            snis=[x for b in batches for x in b.snis],
+            hosts=[x for b in batches for x in b.hosts],
+            payload_hints=[x for b in batches for x in b.payload_hints],
+            server_ports=[x for b in batches for x in b.server_ports],
+            protocols=[x for b in batches for x in b.protocols],
+        )
+
+    @classmethod
+    def from_records(cls, records: List[ProbeRecord]) -> "ProbeRecordBatch":
+        """Pack scalar records into one columnar batch."""
+        return cls(
+            timestamps_s=np.asarray([r.timestamp_s for r in records]),
+            imsi_hashes=np.asarray([r.imsi_hash for r in records], dtype=np.int64),
+            commune_ids=np.asarray([r.commune_id for r in records], dtype=np.int64),
+            tech_codes=np.asarray(
+                [TECH_CODES[r.technology] for r in records], dtype=np.uint8
+            ),
+            dl_bytes=np.asarray([r.dl_bytes for r in records]),
+            ul_bytes=np.asarray([r.ul_bytes for r in records]),
+            flow_ids=[r.flow.flow_id for r in records],
+            snis=[r.flow.sni for r in records],
+            hosts=[r.flow.host for r in records],
+            payload_hints=[r.flow.payload_hint for r in records],
+            server_ports=[r.flow.server_port for r in records],
+            protocols=[r.flow.protocol for r in records],
+        )
+
+
+@dataclass
 class _TunnelState:
     """Probe-side state for one observed tunnel."""
 
@@ -67,21 +166,34 @@ class ProbeStats:
     orphan_packets: int = 0  # GTP-U with no known tunnel (lost GTP-C)
     records: int = 0
 
+    def merge(self, other: "ProbeStats") -> "ProbeStats":
+        """Fold another probe's counters (e.g. a worker shard's) in."""
+        self.control_messages += other.control_messages
+        self.user_packets += other.user_packets
+        self.orphan_packets += other.orphan_packets
+        self.records += other.records
+        return self
+
 
 class CoreProbe:
     """The passive probe: correlates GTP-C and GTP-U into probe records."""
 
-    def __init__(self, control_loss_rate: float = 0.0, seed: Optional[int] = None):
+    def __init__(self, control_loss_rate: float = 0.0, seed=None):
         """``control_loss_rate`` drops a fraction of GTP-C messages, to
         model imperfect capture; orphaned user-plane traffic is counted
         but produces no record (as in the real pipeline, where it simply
-        cannot be geo-referenced)."""
+        cannot be geo-referenced).  ``seed`` is anything
+        :func:`numpy.random.default_rng` accepts, including an existing
+        generator (how the builder hands the probe a spawned stream)."""
         if not 0 <= control_loss_rate < 1:
             raise ValueError(
                 f"control_loss_rate must be in [0, 1), got {control_loss_rate}"
             )
         self._tunnels: Dict[int, _TunnelState] = {}
-        self._records: List[ProbeRecord] = []
+        # Bulk-path tunnel table: teid -> (imsi_hash, commune_id, tech_code).
+        self._bulk_tunnels: Dict[int, Tuple[int, int, int]] = {}
+        # Arrival-ordered store of ProbeRecord and ProbeRecordBatch items.
+        self._records: List[Union[ProbeRecord, ProbeRecordBatch]] = []
         self._loss_rate = control_loss_rate
         self._rng = np.random.default_rng(seed)
         self.stats = ProbeStats()
@@ -90,6 +202,17 @@ class CoreProbe:
         """Tap both planes of a session manager; returns self for chaining."""
         sessions.add_control_listener(self.on_control)
         sessions.add_user_plane_listener(self.on_user_plane)
+        return self
+
+    def attach_to_bulk(self, sessions: SessionManager) -> "CoreProbe":
+        """Tap the columnar planes of a session manager (the fast path).
+
+        A probe attached this way observes bulk batches only; use
+        :meth:`attach_to` as well if the manager also drives scalar
+        sessions.
+        """
+        sessions.add_bulk_control_listener(self.on_control_bulk)
+        sessions.add_bulk_user_plane_listener(self.on_user_plane_bulk)
         return self
 
     def on_control(self, message: GtpcMessage) -> None:
@@ -130,14 +253,153 @@ class CoreProbe:
         )
         self.stats.records += 1
 
+    def on_control_bulk(
+        self, bulk: Union[GtpcCreateBulk, GtpcDeleteBulk]
+    ) -> None:
+        """Columnar GTP-C inspection: batch-maintain the tunnel table.
+
+        A :class:`GtpcCreateBulk` entry stands for the request/response
+        pair, so it accounts two control messages; the tunnel becomes
+        known unless *both* messages of the pair are lost.
+        """
+        n = len(bulk)
+        if isinstance(bulk, GtpcCreateBulk):
+            self.stats.control_messages += 2 * n
+            if self._loss_rate:
+                lost_request = self._rng.random(n) < self._loss_rate
+                lost_response = self._rng.random(n) < self._loss_rate
+                kept = ~(lost_request & lost_response)
+            else:
+                kept = None
+            tunnels = self._bulk_tunnels
+            rows = zip(
+                bulk.teids.tolist(),
+                bulk.imsi_hashes.tolist(),
+                bulk.cell_commune_ids.tolist(),
+                bulk.tech_codes.tolist(),
+            )
+            if kept is None:
+                for teid, imsi, commune, tech in rows:
+                    tunnels[teid] = (imsi, commune, tech)
+            else:
+                for keep, (teid, imsi, commune, tech) in zip(
+                    kept.tolist(), rows
+                ):
+                    if keep:
+                        tunnels[teid] = (imsi, commune, tech)
+        else:
+            self.stats.control_messages += n
+            teids = bulk.teids
+            if self._loss_rate:
+                teids = teids[self._rng.random(n) >= self._loss_rate]
+            for teid in teids.tolist():
+                if self._bulk_tunnels.pop(teid, None) is None:
+                    self._tunnels.pop(teid, None)
+
+    def on_user_plane_bulk(self, bulk: GtpuBulk) -> None:
+        """Columnar GTP-U inspection: join a batch with the tunnel table."""
+        n_flows = len(bulk)
+        self.stats.user_packets += n_flows
+        n_sessions = len(bulk.session_teids)
+        imsi = np.empty(n_sessions, dtype=np.int64)
+        commune = np.empty(n_sessions, dtype=np.int64)
+        tech = np.empty(n_sessions, dtype=np.uint8)
+        known = np.ones(n_sessions, dtype=bool)
+        tunnels = self._bulk_tunnels
+        for j, teid in enumerate(bulk.session_teids.tolist()):
+            state = tunnels.get(teid)
+            if state is None:
+                known[j] = False
+            else:
+                imsi[j], commune[j], tech[j] = state
+        flows_per_session = bulk.flows_per_session
+        if known.all():
+            batch = ProbeRecordBatch(
+                timestamps_s=bulk.timestamps_s,
+                imsi_hashes=np.repeat(imsi, flows_per_session),
+                commune_ids=np.repeat(commune, flows_per_session),
+                tech_codes=np.repeat(tech, flows_per_session),
+                dl_bytes=bulk.dl_bytes,
+                ul_bytes=bulk.ul_bytes,
+                flow_ids=bulk.flow_ids,
+                snis=bulk.snis,
+                hosts=bulk.hosts,
+                payload_hints=bulk.payload_hints,
+                server_ports=bulk.server_ports,
+                protocols=bulk.protocols,
+            )
+        else:
+            mask = np.repeat(known, flows_per_session)
+            self.stats.orphan_packets += int(n_flows - mask.sum())
+            keep = mask.tolist()
+            batch = ProbeRecordBatch(
+                timestamps_s=bulk.timestamps_s[mask],
+                imsi_hashes=np.repeat(imsi[known], flows_per_session[known]),
+                commune_ids=np.repeat(commune[known], flows_per_session[known]),
+                tech_codes=np.repeat(tech[known], flows_per_session[known]),
+                dl_bytes=bulk.dl_bytes[mask],
+                ul_bytes=bulk.ul_bytes[mask],
+                flow_ids=list(itertools.compress(bulk.flow_ids, keep)),
+                snis=list(itertools.compress(bulk.snis, keep)),
+                hosts=list(itertools.compress(bulk.hosts, keep)),
+                payload_hints=list(itertools.compress(bulk.payload_hints, keep)),
+                server_ports=list(itertools.compress(bulk.server_ports, keep)),
+                protocols=list(itertools.compress(bulk.protocols, keep)),
+            )
+        if len(batch):
+            self.stats.records += len(batch)
+            self._records.append(batch)
+
     def drain(self) -> List[ProbeRecord]:
-        """Return and clear the accumulated records."""
-        records, self._records = self._records, []
-        return records
+        """Return and clear the accumulated records (scalar view)."""
+        store, self._records = self._records, []
+        out: List[ProbeRecord] = []
+        for item in store:
+            if isinstance(item, ProbeRecordBatch):
+                out.extend(item.to_records())
+            else:
+                out.append(item)
+        return out
+
+    def drain_batches(self, chunk_rows: int = 8192) -> List[ProbeRecordBatch]:
+        """Return and clear the accumulated records as columnar batches.
+
+        Scalar records interleaved with batches (mixed scalar/bulk taps)
+        are packed into batches in arrival order, and consecutive small
+        batches are coalesced to at least ``chunk_rows`` records so
+        downstream vectorized aggregation works on few large batches
+        instead of one per subscriber.
+        """
+        store, self._records = self._records, []
+        raw: List[ProbeRecordBatch] = []
+        scalars: List[ProbeRecord] = []
+        for item in store:
+            if isinstance(item, ProbeRecordBatch):
+                if scalars:
+                    raw.append(ProbeRecordBatch.from_records(scalars))
+                    scalars = []
+                raw.append(item)
+            else:
+                scalars.append(item)
+        if scalars:
+            raw.append(ProbeRecordBatch.from_records(scalars))
+
+        batches: List[ProbeRecordBatch] = []
+        pending: List[ProbeRecordBatch] = []
+        pending_rows = 0
+        for batch in raw:
+            pending.append(batch)
+            pending_rows += len(batch)
+            if pending_rows >= chunk_rows:
+                batches.append(ProbeRecordBatch.concat(pending))
+                pending, pending_rows = [], 0
+        if pending:
+            batches.append(ProbeRecordBatch.concat(pending))
+        return batches
 
     @property
     def n_tracked_tunnels(self) -> int:
-        return len(self._tunnels)
+        return len(self._tunnels) + len(self._bulk_tunnels)
 
 
-__all__ = ["ProbeRecord", "ProbeStats", "CoreProbe"]
+__all__ = ["ProbeRecord", "ProbeRecordBatch", "ProbeStats", "CoreProbe"]

@@ -12,15 +12,20 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from repro.geo.coverage import Technology
 from repro.network.gtp import (
+    TECH_3G,
+    TECH_BY_CODE,
     FlowDescriptor,
+    GtpcCreateBulk,
+    GtpcDeleteBulk,
     GtpcMessage,
     GtpcMessageType,
+    GtpuBulk,
     GtpuPacket,
     TeidAllocator,
     UserLocationInformation,
@@ -72,6 +77,8 @@ class SessionManager:
         self._teids = TeidAllocator()
         self._control_listeners: List[ControlListener] = []
         self._user_listeners: List[UserPlaneListener] = []
+        self._bulk_control_listeners: List[Callable] = []
+        self._bulk_user_listeners: List[Callable] = []
         self.active_sessions: dict = {}
 
     def add_control_listener(self, listener: ControlListener) -> None:
@@ -81,6 +88,20 @@ class SessionManager:
     def add_user_plane_listener(self, listener: UserPlaneListener) -> None:
         """Subscribe to GTP-U accounting records."""
         self._user_listeners.append(listener)
+
+    def add_bulk_control_listener(self, listener: Callable) -> None:
+        """Subscribe to columnar GTP-C batches (the probe fast path).
+
+        Bulk-aware listeners receive :class:`GtpcCreateBulk` /
+        :class:`GtpcDeleteBulk` objects; per-message listeners still get
+        the equivalent scalar messages, so the two listener styles can
+        coexist on one manager.
+        """
+        self._bulk_control_listeners.append(listener)
+
+    def add_bulk_user_plane_listener(self, listener: Callable) -> None:
+        """Subscribe to columnar GTP-U batches (the probe fast path)."""
+        self._bulk_user_listeners.append(listener)
 
     def _emit_control(self, message: GtpcMessage) -> None:
         for listener in self._control_listeners:
@@ -222,6 +243,176 @@ class SessionManager:
         released = replace(session, state=BearerState.RELEASED)
         self.active_sessions.pop(session.teid, None)
         return released
+
+    # ------------------------------------------------------------------
+    # columnar fast path
+    # ------------------------------------------------------------------
+    #
+    # The bulk methods drive whole batches of one subscriber's sessions
+    # through the same lifecycle as attach/report_flow/detach, emitting
+    # columnar Gtp*Bulk events instead of per-message objects.  Bulk
+    # sessions are not entered into ``active_sessions`` — their lifetime
+    # is confined to the caller's batch, and the per-session bookkeeping
+    # is exactly the overhead this path removes.  When only legacy
+    # scalar listeners are registered the equivalent GtpcMessage /
+    # GtpuPacket objects are materialized for them, so taps written
+    # against the scalar API keep seeing every event; once any
+    # bulk-aware listener is present, scalar listeners are assumed to
+    # be bulk-aware companions (e.g. a probe tapping both planes) and
+    # bulk events are not duplicated to them.
+
+    def attach_bulk(
+        self,
+        imsi_hash: int,
+        commune_ids: np.ndarray,
+        wants_4g: bool,
+        timestamps_s: np.ndarray,
+    ) -> tuple:
+        """Establish a batch of sessions; returns ``(teids, tech_codes)``."""
+        n = len(commune_ids)
+        tech_codes = self._topology.available_technology_codes(
+            commune_ids, wants_4g
+        )
+        bs_ids, tech_codes, ra_ids, cell_communes = (
+            self._topology.serving_station_codes(commune_ids, tech_codes, self._rng)
+        )
+        teids = self._teids.allocate_many(n)
+        bulk = GtpcCreateBulk(
+            timestamps_s=np.asarray(timestamps_s, dtype=np.float64),
+            imsi_hashes=np.full(n, imsi_hash, dtype=np.int64),
+            teids=teids,
+            tech_codes=tech_codes,
+            routing_area_ids=ra_ids,
+            cell_ids=bs_ids,
+            cell_commune_ids=cell_communes,
+        )
+        for listener in self._bulk_control_listeners:
+            listener(bulk)
+        if self._control_listeners and not self._bulk_control_listeners:
+            self._materialize_creates(bulk)
+        return teids, tech_codes
+
+    def report_flows_bulk(
+        self,
+        session_teids: np.ndarray,
+        flows_per_session: np.ndarray,
+        timestamps_s: np.ndarray,
+        dl_bytes: np.ndarray,
+        ul_bytes: np.ndarray,
+        flow_ids: List[int],
+        snis: List[Optional[str]],
+        hosts: List[Optional[str]],
+        payload_hints: List[Optional[str]],
+        server_ports: List[int],
+        protocols: List[str],
+    ) -> GtpuBulk:
+        """Account a session-grouped batch of user-plane flow records."""
+        bulk = GtpuBulk(
+            session_teids=session_teids,
+            flows_per_session=flows_per_session,
+            timestamps_s=timestamps_s,
+            dl_bytes=dl_bytes,
+            ul_bytes=ul_bytes,
+            flow_ids=flow_ids,
+            snis=snis,
+            hosts=hosts,
+            payload_hints=payload_hints,
+            server_ports=server_ports,
+            protocols=protocols,
+        )
+        for listener in self._bulk_user_listeners:
+            listener(bulk)
+        if self._user_listeners and not self._bulk_user_listeners:
+            self._materialize_flows(bulk)
+        return bulk
+
+    def detach_bulk(
+        self,
+        imsi_hash: int,
+        teids: np.ndarray,
+        tech_codes: np.ndarray,
+        timestamps_s: np.ndarray,
+    ) -> None:
+        """Tear down a batch of sessions."""
+        bulk = GtpcDeleteBulk(
+            timestamps_s=np.asarray(timestamps_s, dtype=np.float64),
+            imsi_hashes=np.full(len(teids), imsi_hash, dtype=np.int64),
+            teids=teids,
+            tech_codes=tech_codes,
+        )
+        for listener in self._bulk_control_listeners:
+            listener(bulk)
+        if self._control_listeners and not self._bulk_control_listeners:
+            self._materialize_deletes(bulk)
+
+    def _materialize_creates(self, bulk: GtpcCreateBulk) -> None:
+        for i in range(len(bulk)):
+            technology = TECH_BY_CODE[int(bulk.tech_codes[i])]
+            uli = UserLocationInformation(
+                technology=technology,
+                routing_area_id=int(bulk.routing_area_ids[i]),
+                cell_id=int(bulk.cell_ids[i]),
+                cell_commune_id=int(bulk.cell_commune_ids[i]),
+            )
+            is_3g = int(bulk.tech_codes[i]) == TECH_3G
+            for message_type in (
+                (
+                    GtpcMessageType.CREATE_PDP_CONTEXT_REQUEST
+                    if is_3g
+                    else GtpcMessageType.CREATE_SESSION_REQUEST
+                ),
+                (
+                    GtpcMessageType.CREATE_PDP_CONTEXT_RESPONSE
+                    if is_3g
+                    else GtpcMessageType.CREATE_SESSION_RESPONSE
+                ),
+            ):
+                self._emit_control(
+                    GtpcMessage(
+                        message_type=message_type,
+                        timestamp_s=float(bulk.timestamps_s[i]),
+                        imsi_hash=int(bulk.imsi_hashes[i]),
+                        teid=int(bulk.teids[i]),
+                        uli=uli,
+                    )
+                )
+
+    def _materialize_flows(self, bulk: GtpuBulk) -> None:
+        teids = np.repeat(bulk.session_teids, bulk.flows_per_session)
+        for i in range(len(bulk)):
+            flow = FlowDescriptor(
+                flow_id=bulk.flow_ids[i],
+                sni=bulk.snis[i],
+                host=bulk.hosts[i],
+                server_port=bulk.server_ports[i],
+                protocol=bulk.protocols[i],
+                payload_hint=bulk.payload_hints[i],
+            )
+            self._emit_user(
+                GtpuPacket(
+                    timestamp_s=float(bulk.timestamps_s[i]),
+                    teid=int(teids[i]),
+                    flow=flow,
+                    dl_bytes=float(bulk.dl_bytes[i]),
+                    ul_bytes=float(bulk.ul_bytes[i]),
+                )
+            )
+
+    def _materialize_deletes(self, bulk: GtpcDeleteBulk) -> None:
+        for i in range(len(bulk)):
+            is_3g = int(bulk.tech_codes[i]) == TECH_3G
+            self._emit_control(
+                GtpcMessage(
+                    message_type=(
+                        GtpcMessageType.DELETE_PDP_CONTEXT_REQUEST
+                        if is_3g
+                        else GtpcMessageType.DELETE_SESSION_REQUEST
+                    ),
+                    timestamp_s=float(bulk.timestamps_s[i]),
+                    imsi_hash=int(bulk.imsi_hashes[i]),
+                    teid=int(bulk.teids[i]),
+                )
+            )
 
 
 __all__ = [

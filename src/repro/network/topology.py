@@ -79,6 +79,94 @@ class NetworkTopology:
             return Technology.G4
         return Technology.G3
 
+    # ------------------------------------------------------------------
+    # vectorized lookups (the bulk session fast path)
+    # ------------------------------------------------------------------
+    @property
+    def _vector_tables(self) -> dict:
+        """CSR-style per-(technology, commune) station tables.
+
+        Built lazily once; ``serving_station_codes`` then picks serving
+        cells for whole batches of sessions with array arithmetic
+        instead of per-session dict probes.
+        """
+        tables = getattr(self, "_vt_cache", None)
+        if tables is None:
+            from repro.network.gtp import TECH_CODES
+
+            n_communes = self.country.n_communes
+            counts = np.zeros((2, n_communes), dtype=np.int64)
+            starts = np.zeros((2, n_communes), dtype=np.int64)
+            flat: list = []
+            for tech, code in TECH_CODES.items():
+                for commune_id in range(n_communes):
+                    ids = self._bs_by_commune_tech.get((commune_id, tech))
+                    starts[code, commune_id] = len(flat)
+                    if ids:
+                        counts[code, commune_id] = len(ids)
+                        flat.extend(ids)
+            tables = {
+                "counts": counts,
+                "starts": starts,
+                "flat": np.asarray(flat, dtype=np.int64),
+                "bs_ra": np.asarray(
+                    [bs.routing_area_id for bs in self.base_stations],
+                    dtype=np.int64,
+                ),
+                "bs_commune": np.asarray(
+                    [bs.commune_id for bs in self.base_stations], dtype=np.int64
+                ),
+            }
+            self._vt_cache = tables
+        return tables
+
+    def available_technology_codes(
+        self, commune_ids: np.ndarray, wants_4g: bool
+    ) -> np.ndarray:
+        """Vectorized :meth:`available_technology` (TECH_3G/TECH_4G codes)."""
+        from repro.network.gtp import TECH_3G, TECH_4G
+
+        if not wants_4g:
+            return np.full(len(commune_ids), TECH_3G, dtype=np.uint8)
+        has_4g = self._vector_tables["counts"][TECH_4G, commune_ids] > 0
+        return np.where(has_4g, TECH_4G, TECH_3G).astype(np.uint8)
+
+    def serving_station_codes(
+        self,
+        commune_ids: np.ndarray,
+        tech_codes: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple:
+        """Pick serving cells for a batch of sessions.
+
+        Returns ``(bs_ids, tech_codes, routing_area_ids, cell_communes)``
+        with the same 3G fallback and white-zone behaviour as
+        :meth:`serving_station`.
+        """
+        from repro.network.gtp import TECH_3G
+
+        tables = self._vector_tables
+        counts = tables["counts"][tech_codes, commune_ids]
+        missing = counts == 0
+        if missing.any():
+            tech_codes = np.where(missing, TECH_3G, tech_codes).astype(np.uint8)
+            counts = tables["counts"][tech_codes, commune_ids]
+            if (counts == 0).any():
+                bad = int(commune_ids[counts == 0][0])
+                raise LookupError(
+                    f"commune {bad} is a white zone (no coverage)"
+                )
+        offsets = (rng.random(len(commune_ids)) * counts).astype(np.int64)
+        bs_ids = tables["flat"][
+            tables["starts"][tech_codes, commune_ids] + offsets
+        ]
+        return (
+            bs_ids,
+            tech_codes,
+            tables["bs_ra"][bs_ids],
+            tables["bs_commune"][bs_ids],
+        )
+
     def routing_area_of(self, commune_id: int) -> int:
         """Routing/tracking area id of a commune."""
         return self._ra_of_commune[commune_id]

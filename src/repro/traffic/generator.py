@@ -14,14 +14,16 @@ marginals.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro._rng import SeedLike, as_generator, spawn
 from repro._time import WEEK_HOURS
 from repro.dpi.fingerprints import FingerprintDatabase
+from repro.network.gtp import FlowDescriptor
 from repro.network.handover import HandoverManager
 from repro.network.session import SessionManager
 from repro.network.topology import NetworkTopology
@@ -74,6 +76,8 @@ class SessionLevelGenerator:
             population.country, seed=spawn(rng, "generator.mobility")
         )
         self._handover = HandoverManager(topology, self._session_manager)
+        self._cdf_cache: Dict[object, np.ndarray] = {}
+        self._head_names = list(model.head_names)
         self.sessions_generated = 0
         self.flows_generated = 0
         #: Optional localization auditor (see
@@ -90,15 +94,237 @@ class SessionLevelGenerator:
     def mobility(self) -> MobilityModel:
         return self._mobility
 
-    def run_week(self, time_limit_hours: Optional[float] = None) -> None:
+    def run_week(
+        self,
+        time_limit_hours: Optional[float] = None,
+        batched: bool = True,
+    ) -> None:
         """Generate the whole week of traffic for every subscriber.
 
         ``time_limit_hours`` truncates the generated week (useful in
         tests); sessions starting past the limit are skipped.
+
+        ``batched=True`` (the default) drives each subscriber's week
+        through the columnar session fast path — one bulk
+        attach/report/detach round-trip per subscriber — with batched
+        RNG draws from the same distributions as the per-session path.
+        Handover-spanning long sessions and auditor-instrumented runs
+        (``auditor`` set) always use the per-session path, which is also
+        selectable with ``batched=False`` for baselines and debugging.
+        The two modes draw from the shared stream in different orders,
+        so they are statistically equivalent, not bit-identical.
         """
         horizon = time_limit_hours if time_limit_hours is not None else WEEK_HOURS
-        for subscriber in self._population:
-            self._run_subscriber(subscriber, horizon)
+        if batched and self.auditor is None:
+            for subscriber in self._population:
+                self._run_subscriber_batched(subscriber, horizon)
+        else:
+            for subscriber in self._population:
+                self._run_subscriber(subscriber, horizon)
+
+    def _temporal_cdfs(self, urbanization_class) -> np.ndarray:
+        """Per-service temporal CDFs for one urbanization class.
+
+        Cached inverse-transform tables: sampling a session's time bin
+        becomes a ``searchsorted`` instead of a ``rng.choice(p=...)``.
+        """
+        cdfs = self._cdf_cache.get(urbanization_class)
+        if cdfs is None:
+            curves = self._model.class_temporal_weights[urbanization_class]
+            cdfs = np.cumsum(curves, axis=1)
+            cdfs /= cdfs[:, -1:]
+            self._cdf_cache[urbanization_class] = cdfs
+        return cdfs
+
+    def _run_subscriber_batched(self, subscriber, horizon: float) -> None:
+        rng = self._rng
+        model = self._model
+        config = self._config
+        itinerary = self._mobility.itinerary_for(subscriber)
+        home = subscriber.home_commune
+        home_cls = self._population.country.class_of(home)
+        cdfs = self._temporal_cdfs(home_cls)
+        bins_per_hour = model.axis.bins_per_hour
+        adoption = model.adoption[home]
+
+        services = list(subscriber.adopted_services)
+        if not services:
+            return
+        session_counts = rng.poisson(config.sessions_per_service, size=len(services))
+
+        # Per-service session draws, concatenated into subscriber-level
+        # flat arrays (sessions stay grouped by service).
+        seg_services: List[int] = []
+        seg_counts: List[int] = []
+        seg_hours: List[np.ndarray] = []
+        seg_dl: List[np.ndarray] = []
+        seg_ul: List[np.ndarray] = []
+        for j, service_index in enumerate(services):
+            n_s = int(session_counts[j])
+            p_adopt = max(float(adoption[service_index]), 1e-6)
+            weekly_dl = (
+                float(model.per_subscriber_dl[home, service_index])
+                / p_adopt
+                * subscriber.activity_scale
+            )
+            weekly_ul = (
+                float(model.per_subscriber_ul[home, service_index])
+                / p_adopt
+                * subscriber.activity_scale
+            )
+            if n_s == 0 or weekly_dl + weekly_ul <= 0:
+                continue
+            bins = np.searchsorted(cdfs[service_index], rng.random(n_s), side="right")
+            jitter = np.exp(rng.normal(0.0, config.session_volume_sigma, n_s))
+            jitter /= jitter.sum()
+            hours = (bins + rng.random(n_s)) / bins_per_hour
+            keep = hours < horizon
+            if not keep.any():
+                continue
+            seg_services.append(service_index)
+            seg_counts.append(int(keep.sum()))
+            seg_hours.append(hours[keep])
+            seg_dl.append(weekly_dl * jitter[keep])
+            seg_ul.append(weekly_ul * jitter[keep])
+        if not seg_hours:
+            return
+
+        hours = np.concatenate(seg_hours)
+        dl_sessions = np.concatenate(seg_dl)
+        ul_sessions = np.concatenate(seg_ul)
+        n_sessions = len(hours)
+        timestamps = hours * 3600.0
+        communes = itinerary.locations_at(hours)
+
+        durations = rng.exponential(15.0, n_sessions) + 1.0
+        n_flows = rng.geometric(1.0 / config.flows_per_session, size=n_sessions)
+        total_flows = int(n_flows.sum())
+        flow_starts = np.concatenate(([0], np.cumsum(n_flows)))[:-1]
+
+        # Per-flow volume splits: dirichlet(ones(k)) per session ==
+        # segment-normalized standard exponentials.
+        raw = rng.standard_exponential(total_flows)
+        session_sums = np.add.reduceat(raw, flow_starts)
+        splits = raw / np.repeat(session_sums, n_flows)
+        flow_dl = np.repeat(dl_sessions, n_flows) * splits
+        flow_ul = np.repeat(ul_sessions, n_flows) * splits
+        within = np.arange(total_flows) - np.repeat(flow_starts, n_flows)
+        flow_times = np.repeat(timestamps, n_flows) + 30.0 * within
+
+        flow_ids: List[int] = []
+        snis: List[Optional[str]] = []
+        hosts: List[Optional[str]] = []
+        hints: List[Optional[str]] = []
+        ports: List[int] = []
+        protocols: List[str] = []
+        svc_seg_starts = np.concatenate(([0], np.cumsum(seg_counts)))[:-1]
+        flows_per_service = np.add.reduceat(n_flows, svc_seg_starts)
+        for service_index, count in zip(seg_services, flows_per_service.tolist()):
+            ids_s, sni_s, host_s, hint_s, port_s, proto_s = (
+                self._fingerprints.emit_flow_features(
+                    self._head_names[service_index], int(count)
+                )
+            )
+            flow_ids += ids_s
+            snis += sni_s
+            hosts += host_s
+            hints += hint_s
+            ports += port_s
+            protocols += proto_s
+
+        self.sessions_generated += n_sessions
+        self.flows_generated += total_flows
+
+        # Long sessions whose subscriber moves mid-session exercise the
+        # scalar handover path; everything else rides the bulk path.
+        spanning = durations > config.long_session_minutes
+        if spanning.any():
+            mid_hours = np.minimum(hours + durations / 120.0, WEEK_HOURS - 1e-6)
+            mid_communes = itinerary.locations_at(mid_hours)
+            spanning &= mid_communes != communes
+        manager = self._session_manager
+        wants_4g = subscriber.has_4g_device
+        imsi = subscriber.imsi_hash
+
+        bulk = ~spanning
+        if bulk.all():
+            teids, tech_codes = manager.attach_bulk(
+                imsi, communes, wants_4g, timestamps
+            )
+            manager.report_flows_bulk(
+                session_teids=teids,
+                flows_per_session=n_flows,
+                timestamps_s=flow_times,
+                dl_bytes=flow_dl,
+                ul_bytes=flow_ul,
+                flow_ids=flow_ids,
+                snis=snis,
+                hosts=hosts,
+                payload_hints=hints,
+                server_ports=ports,
+                protocols=protocols,
+            )
+            manager.detach_bulk(
+                imsi, teids, tech_codes, timestamps + durations * 60.0
+            )
+            return
+        if bulk.any():
+            keep_flows = np.repeat(bulk, n_flows)
+            mask_list = keep_flows.tolist()
+            teids, tech_codes = manager.attach_bulk(
+                imsi, communes[bulk], wants_4g, timestamps[bulk]
+            )
+            manager.report_flows_bulk(
+                session_teids=teids,
+                flows_per_session=n_flows[bulk],
+                timestamps_s=flow_times[keep_flows],
+                dl_bytes=flow_dl[keep_flows],
+                ul_bytes=flow_ul[keep_flows],
+                flow_ids=list(itertools.compress(flow_ids, mask_list)),
+                snis=list(itertools.compress(snis, mask_list)),
+                hosts=list(itertools.compress(hosts, mask_list)),
+                payload_hints=list(itertools.compress(hints, mask_list)),
+                server_ports=list(itertools.compress(ports, mask_list)),
+                protocols=list(itertools.compress(protocols, mask_list)),
+            )
+            manager.detach_bulk(
+                imsi, teids, tech_codes, timestamps[bulk] + durations[bulk] * 60.0
+            )
+        for i in np.flatnonzero(spanning).tolist():
+            session = manager.attach(
+                imsi_hash=imsi,
+                commune_id=int(communes[i]),
+                wants_4g=wants_4g,
+                timestamp_s=float(timestamps[i]),
+            )
+            base = int(flow_starts[i])
+            k = int(n_flows[i])
+            mid_s = float(mid_hours[i]) * 3600.0
+            for f in range(k):
+                idx = base + f
+                flow_time = float(flow_times[idx])
+                if f == k - 1:
+                    session = self._handover.move(
+                        session, int(mid_communes[i]), wants_4g, mid_s
+                    )
+                    flow_time = mid_s
+                manager.report_flow(
+                    session,
+                    FlowDescriptor(
+                        flow_id=flow_ids[idx],
+                        sni=snis[idx],
+                        host=hosts[idx],
+                        server_port=ports[idx],
+                        protocol=protocols[idx],
+                        payload_hint=hints[idx],
+                    ),
+                    dl_bytes=float(flow_dl[idx]),
+                    ul_bytes=float(flow_ul[idx]),
+                    timestamp_s=flow_time,
+                )
+            manager.detach(
+                session, timestamp_s=float(timestamps[i]) + float(durations[i]) * 60.0
+            )
 
     def _run_subscriber(self, subscriber, horizon: float) -> None:
         rng = self._rng

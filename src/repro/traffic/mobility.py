@@ -56,6 +56,16 @@ class Itinerary:
         idx = bisect.bisect_right(self.breakpoints, hour) - 1
         return self.communes[idx]
 
+    def locations_at(self, hours: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`location_at` over an array of hours."""
+        hours = np.asarray(hours)
+        if len(hours) and not (
+            (hours >= 0).all() and (hours < DAYS_PER_WEEK * HOURS_PER_DAY).all()
+        ):
+            raise ValueError("hours must be in [0, 168)")
+        idx = np.searchsorted(np.asarray(self.breakpoints), hours, side="right") - 1
+        return np.asarray(self.communes, dtype=np.int64)[idx]
+
     def visited_communes(self) -> Tuple[int, ...]:
         """Distinct communes, in first-visit order."""
         seen: Dict[int, None] = {}

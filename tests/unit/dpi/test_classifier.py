@@ -79,3 +79,83 @@ class TestReporting:
     def test_empty_report_coverage(self, engine):
         assert engine.report.byte_coverage == 0.0
         assert engine.report.flow_coverage == 0.0
+
+
+class TestIndexedEquivalence:
+    """The dict-index fast path must agree flow-for-flow with the
+    retained linear scan, and the batched entry point must keep the
+    same per-flow accounting."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self, db):
+        flows = []
+        for name in HEAD_SERVICE_NAMES:
+            for i in range(25):
+                flows.append(db.emit_flow(name, obfuscated=(i % 5 == 0)))
+        # Hand-picked edges: longest-match, prefix convention, unknowns.
+        flows += [
+            FlowDescriptor(1, "edge-001.video.xx.fbcdn.net", None, 443, "tcp"),
+            FlowDescriptor(2, "scontent.fbcdn.net", None, 443, "tcp"),
+            FlowDescriptor(3, None, "imap.provider07.example", 993, "tcp"),
+            FlowDescriptor(4, None, "mail.provider07.example", 80, "tcp"),
+            FlowDescriptor(5, "unknown.example.org", None, 4444, "tcp"),
+            FlowDescriptor(6, None, None, 5222, "tcp"),
+            FlowDescriptor(7, None, None, 50000, "udp", payload_hint="wa-noise"),
+        ]
+        return flows
+
+    def test_index_matches_linear_scan(self, db, corpus):
+        fast = DpiEngine(db, indexed=True)
+        slow = DpiEngine(db, indexed=False)
+        for flow in corpus:
+            volume = 100.0 + flow.flow_id
+            assert fast.classify(flow, volume) == slow.classify(flow, volume)
+        assert fast.report.flows_total == slow.report.flows_total
+        assert fast.report.flows_classified == slow.report.flows_classified
+        assert fast.report.bytes_classified == slow.report.bytes_classified
+        assert fast.report.by_technique == slow.report.by_technique
+
+    def test_batch_matches_per_flow(self, db, corpus):
+        import numpy as np
+
+        keys = [
+            (f.sni, f.host, f.payload_hint, f.server_port, f.protocol)
+            for f in corpus
+        ]
+        volumes = np.arange(1.0, len(corpus) + 1)
+
+        batched = DpiEngine(db, indexed=True)
+        names = batched.classify_batch(keys, volumes)
+
+        scalar = DpiEngine(db, indexed=True)
+        expected = [
+            scalar.classify(flow, vol)
+            for flow, vol in zip(corpus, volumes.tolist())
+        ]
+
+        assert names == expected
+        assert batched.report.flows_total == scalar.report.flows_total
+        assert batched.report.flows_classified == scalar.report.flows_classified
+        assert batched.report.bytes_total == pytest.approx(
+            scalar.report.bytes_total
+        )
+        assert batched.report.bytes_classified == pytest.approx(
+            scalar.report.bytes_classified
+        )
+        assert batched.report.by_technique == scalar.report.by_technique
+
+    def test_report_merge_adds_counts(self, db, corpus):
+        a = DpiEngine(db)
+        b = DpiEngine(db)
+        half = len(corpus) // 2
+        for flow in corpus[:half]:
+            a.classify(flow, 10.0)
+        for flow in corpus[half:]:
+            b.classify(flow, 10.0)
+        whole = DpiEngine(db)
+        for flow in corpus:
+            whole.classify(flow, 10.0)
+        a.report.merge(b.report)
+        assert a.report.flows_total == whole.report.flows_total
+        assert a.report.flows_classified == whole.report.flows_classified
+        assert a.report.by_technique == whole.report.by_technique

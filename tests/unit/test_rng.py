@@ -75,3 +75,26 @@ class TestZipfWeights:
             zipf_weights(0, 1.0)
         with pytest.raises(ValueError):
             zipf_weights(5, -1.0)
+
+
+class TestSpawnIndex:
+    def test_indexed_streams_deterministic(self):
+        a = spawn(as_generator(7), "shard", index=3).random(4)
+        b = spawn(as_generator(7), "shard", index=3).random(4)
+        assert np.array_equal(a, b)
+
+    def test_indexed_streams_decorrelated(self):
+        parent = as_generator(7)
+        streams = [spawn(parent, "shard", index=i).random(8) for i in range(4)]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.array_equal(streams[i], streams[j])
+
+    def test_index_differs_from_unindexed(self):
+        a = spawn(as_generator(7), "shard").random(4)
+        b = spawn(as_generator(7), "shard", index=0).random(4)
+        assert not np.array_equal(a, b)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(as_generator(7), "shard", index=-1)
