@@ -9,7 +9,7 @@ when built from a single top-level seed.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
@@ -55,7 +55,9 @@ def spawn(
     return np.random.default_rng(seed_seq)
 
 
-def spawn_many(seed: SeedLike, labels: tuple) -> dict:
+def spawn_many(
+    seed: SeedLike, labels: Sequence[str]
+) -> Dict[str, np.random.Generator]:
     """Spawn one child generator per label, in the given fixed order."""
     parent = as_generator(seed)
     return {label: spawn(parent, label) for label in labels}

@@ -12,6 +12,10 @@ MB = 1_000_000
 GB = 1_000_000_000
 TB = 1_000_000_000_000
 
+#: Sub-second timestamp scale of the pcap on-wire format (and of GTP
+#: event timestamps generally): classic pcap stores microseconds.
+MICROS_PER_SECOND = 1_000_000
+
 _SCALE = (
     (TB, "TB"),
     (GB, "GB"),
@@ -46,4 +50,12 @@ def parse_bytes(text: str) -> float:
     return float(text)
 
 
-__all__ = ["KB", "MB", "GB", "TB", "format_bytes", "parse_bytes"]
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "MICROS_PER_SECOND",
+    "format_bytes",
+    "parse_bytes",
+]

@@ -40,7 +40,7 @@ from repro.network.topology import NetworkTopology
 from repro.services.catalog import ServiceCatalog
 from repro.traffic.generator import SessionLevelGenerator, WorkloadConfig
 from repro.traffic.intensity import IntensityModel
-from repro.traffic.subscribers import SubscriberPopulation
+from repro.traffic.subscribers import Subscriber, SubscriberPopulation
 
 
 @dataclass
@@ -55,7 +55,7 @@ class ShardPlan:
     workload_config: WorkloadConfig
     unclassifiable_rate: float
     control_loss_rate: float
-    shard_subscribers: List[list]
+    shard_subscribers: List[List[Subscriber]]
     shard_rngs: List[np.random.Generator]
 
     @property
@@ -126,7 +126,7 @@ class MergedProbeStats:
 
 def partition_subscribers(
     population: SubscriberPopulation, n_shards: int
-) -> List[list]:
+) -> List[List[Subscriber]]:
     """Split a population into ``n_shards`` contiguous subscriber blocks."""
     if n_shards < 1:
         raise ValueError(f"n_shards must be >= 1, got {n_shards}")

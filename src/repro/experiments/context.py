@@ -9,11 +9,11 @@ hourly nationwide dataset for the spatial figures, plus (lazily) a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro._rng import SeedLike, as_generator, spawn
+from repro._rng import as_generator, spawn
 from repro._time import TimeAxis
 from repro.dataset.builder import PipelineArtifacts, build_volume_level_dataset
 from repro.dataset.store import MobileTrafficDataset
@@ -44,23 +44,31 @@ class ExperimentContext:
         return self._fine_axis
 
     def national_series_fine(self, direction: str) -> np.ndarray:
-        """(n_head, fine bins) national series at 15-minute resolution."""
+        """(n_head, fine bins) national series at 15-minute resolution.
+
+        The fine-axis streams are spawned from the context seed with
+        stable labels (never ad-hoc ``seed + N`` generators), so they are
+        decorrelated from the builder's streams by construction; the
+        resulting series are pinned by
+        ``tests/unit/experiments/test_context.py``.
+        """
         if direction not in self._fine_series:
+            parent = as_generator(self.seed)
             model = build_intensity_model(
                 self.artifacts.country,
                 self.artifacts.catalog,
                 self.artifacts.profiles,
                 axis=self._fine_axis,
-                seed=np.random.default_rng(self.seed + 101),
+                seed=spawn(parent, "context.fine-intensity"),
             )
-            for offset, d in enumerate(("dl", "ul")):
+            for d in ("dl", "ul"):
                 self._fine_series[d] = synthesize_national_series(
-                    model, d, seed=np.random.default_rng(self.seed + 211 + offset)
+                    model, d, seed=spawn(parent, f"context.fine-series.{d}")
                 )
         return self._fine_series[direction]
 
     @property
-    def head_names(self) -> list:
+    def head_names(self) -> List[str]:
         return list(self.dataset.head_names)
 
 

@@ -1,0 +1,21 @@
+"""Static invariant checker for the repro package (``repro-lint``).
+
+A custom :mod:`ast`-based pass enforcing the determinism, RNG, and unit
+contracts that the dataset pipeline's bit-identical reproducibility
+rests on.  See ``docs/determinism.md`` for the contract, the rule table,
+suppressions, and baseline handling.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.cli import main
+from repro.lint.engine import Finding, LintEngine
+from repro.lint.rules import Rule, default_rules
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintEngine",
+    "Rule",
+    "default_rules",
+    "main",
+]

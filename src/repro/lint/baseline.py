@@ -1,0 +1,83 @@
+"""Grandfathered-finding baseline.
+
+The baseline records, per ``(file, rule code)``, how many findings are
+accepted debt.  A run is clean when no group exceeds its baselined
+count; shrinking a group below its baseline is always allowed (the next
+``--write-baseline`` tightens the file).  Counts — not line numbers —
+are stored so unrelated edits do not invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.engine import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Accepted findings: ``(relpath, code) -> count``."""
+
+    counts: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        raw = json.loads(path.read_text(encoding="utf-8"))
+        counts: Dict[Tuple[str, str], int] = {}
+        for relpath, by_code in raw.get("findings", {}).items():
+            for code, count in by_code.items():
+                counts[(relpath, code)] = int(count)
+        return cls(counts=counts)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        counts: Dict[Tuple[str, str], int] = {}
+        for finding in findings:
+            key = (finding.path, finding.code)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts=counts)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as stable, diff-friendly JSON."""
+        by_path: Dict[str, Dict[str, int]] = {}
+        for (relpath, code), count in sorted(self.counts.items()):
+            by_path.setdefault(relpath, {})[code] = count
+        payload = {"version": BASELINE_VERSION, "findings": by_path}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], int]:
+        """Split findings into (new, n_baselined).
+
+        A ``(file, code)`` group within its baselined count is absorbed
+        entirely; a group that exceeds it is reported entirely (line
+        numbers shift too easily to say *which* finding is the new one).
+        """
+        groups: Dict[Tuple[str, str], List[Finding]] = {}
+        for finding in findings:
+            groups.setdefault((finding.path, finding.code), []).append(finding)
+        new: List[Finding] = []
+        baselined = 0
+        for key, group in groups.items():
+            allowed = self.counts.get(key, 0)
+            if len(group) <= allowed:
+                baselined += len(group)
+            else:
+                new.extend(group)
+        return sorted(new), baselined
+
+
+__all__ = ["Baseline", "BASELINE_VERSION"]

@@ -1,0 +1,111 @@
+"""``repro-lint`` command-line interface.
+
+Exit codes: 0 — clean (modulo baseline), 1 — new findings, 2 — usage
+error.  Run from the repository root so rule scoping (``src/repro`` vs
+``tests``) sees the canonical relative paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import LintEngine
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import default_rules
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant checker for the repro package: RNG "
+            "discipline, wall-clock ban, mutable defaults, nondeterministic "
+            "iteration, unit discipline, float equality in tests."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="project root paths are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file and report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.code}  {rule.name:<18} {rule.summary}")
+        return 0
+
+    root = Path(args.root)
+    targets = [Path(p) for p in args.paths]
+    missing = [str(p) for p in targets if not p.exists()]
+    if missing:
+        print(f"repro-lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    engine = LintEngine()
+    findings = engine.lint_paths(targets, root=root)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    )
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(
+            f"wrote {len(findings)} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baselined = 0
+    if not args.no_baseline:
+        findings, baselined = Baseline.load(baseline_path).apply(findings)
+
+    render = render_json if args.format == "json" else render_text
+    print(render(findings, baselined))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,196 @@
+"""Single-walk AST lint engine.
+
+The engine parses each file once, attaches parent links, and dispatches
+every node to the rules that registered a ``visit_<NodeType>`` handler —
+all rules therefore share one AST walk per file.  Findings carry a
+stable rule code and ``file:line:col`` coordinates; per-line
+``# repro-lint: disable=CODE`` comments suppress them at the source.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+#: Comment marker that introduces an inline suppression, e.g.
+#: ``# repro-lint: disable=RPL001`` or ``# repro-lint: disable=RPL001,RPL003``
+#: or ``# repro-lint: disable=all``.
+DISABLE_MARKER = "repro-lint:"
+
+#: Attribute used to link each AST node to its parent (set once per tree).
+_PARENT_ATTR = "_repro_lint_parent"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class FileContext:
+    """Per-file state shared by all rules during one walk."""
+
+    def __init__(self, relpath: str, tree: ast.AST):
+        self.relpath = relpath.replace("\\", "/")
+        self.tree = tree
+        self.findings: List[Finding] = []
+        parts = self.relpath.split("/")
+        #: True for package code under ``src/repro`` (or ``repro/``).
+        self.in_src = self.relpath.startswith(("src/repro/", "repro/"))
+        #: True for test code.
+        self.in_tests = "tests" in parts
+        self.filename = parts[-1]
+
+    def report(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.relpath,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=code,
+                message=message,
+            )
+        )
+
+
+def parent_of(node: ast.AST) -> Optional[ast.AST]:
+    """Return the parent of ``node`` (engine-attached; None at the root)."""
+    return getattr(node, _PARENT_ATTR, None)
+
+
+def _attach_parents(tree: ast.AST) -> None:
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            setattr(child, _PARENT_ATTR, node)
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of suppressed codes (``{"all"}`` for all).
+
+    Comments are located with :mod:`tokenize`, so markers inside string
+    literals are never misread as suppressions.
+    """
+    out: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT or DISABLE_MARKER not in tok.string:
+                continue
+            _, _, directive = tok.string.partition(DISABLE_MARKER)
+            directive = directive.strip()
+            if not directive.startswith("disable="):
+                continue
+            codes = {
+                c.strip()
+                for c in directive[len("disable=") :].split(",")
+                if c.strip()
+            }
+            if codes:
+                out.setdefault(tok.start[0], set()).update(codes)
+    except (tokenize.TokenError, IndentationError):
+        pass
+    return out
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` in sorted, deterministic order."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        else:
+            yield path
+
+
+@dataclass
+class LintEngine:
+    """Runs a rule set over files, one AST walk per file."""
+
+    rules: Sequence = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.rules:
+            from repro.lint.rules import default_rules
+
+            self.rules = default_rules()
+
+    def lint_source(self, source: str, relpath: str) -> List[Finding]:
+        """Lint one module given as text; ``relpath`` scopes the rules."""
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=relpath.replace("\\", "/"),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    code="RPL000",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ]
+        _attach_parents(tree)
+        ctx = FileContext(relpath, tree)
+        handlers: Dict[str, List] = {}
+        for rule in self.rules:
+            if not rule.applies_to(ctx):
+                continue
+            for name in dir(rule):
+                if name.startswith("visit_"):
+                    handlers.setdefault(name[len("visit_") :], []).append(
+                        getattr(rule, name)
+                    )
+        if handlers:
+            for node in ast.walk(tree):
+                for handler in handlers.get(type(node).__name__, ()):
+                    handler(node, ctx)
+        suppressions = parse_suppressions(source)
+        findings = [
+            f
+            for f in ctx.findings
+            if not (
+                (codes := suppressions.get(f.line))
+                and ("all" in codes or f.code in codes)
+            )
+        ]
+        return sorted(findings)
+
+    def lint_file(self, path: Path, root: Optional[Path] = None) -> List[Finding]:
+        """Lint one file; paths in findings are relative to ``root``."""
+        path = Path(path)
+        root = Path(root) if root is not None else Path.cwd()
+        try:
+            relpath = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        return self.lint_source(path.read_text(encoding="utf-8"), relpath)
+
+    def lint_paths(
+        self, paths: Sequence[Path], root: Optional[Path] = None
+    ) -> List[Finding]:
+        """Lint every ``.py`` file under ``paths`` (files or directories)."""
+        findings: List[Finding] = []
+        for file in iter_python_files([Path(p) for p in paths]):
+            findings.extend(self.lint_file(file, root=root))
+        return sorted(findings)
+
+
+__all__ = [
+    "DISABLE_MARKER",
+    "Finding",
+    "FileContext",
+    "LintEngine",
+    "iter_python_files",
+    "parent_of",
+    "parse_suppressions",
+]

@@ -1,0 +1,40 @@
+"""Finding reporters: text for humans, JSON for tooling."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.lint.engine import Finding
+
+
+def render_text(findings: Sequence[Finding], baselined: int = 0) -> str:
+    """``file:line:col: CODE message`` lines plus a summary line."""
+    lines: List[str] = [f.format() for f in findings]
+    summary = f"{len(findings)} finding{'s' if len(findings) != 1 else ''}"
+    if baselined:
+        summary += f" ({baselined} baselined)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], baselined: int = 0) -> str:
+    """Machine-readable report with the same content as the text form."""
+    payload = {
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "code": f.code,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+        "count": len(findings),
+        "baselined": baselined,
+    }
+    return json.dumps(payload, indent=2)
+
+
+__all__ = ["render_text", "render_json"]

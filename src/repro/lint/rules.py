@@ -1,0 +1,465 @@
+"""The repo-specific lint rules.
+
+Each rule carries a stable code (``RPLxxx``), registers
+``visit_<NodeType>`` handlers with the single-walk engine, and scopes
+itself via :meth:`Rule.applies_to`.  The contracts the rules enforce are
+documented in ``docs/determinism.md``; the short version:
+
+- all randomness flows through :mod:`repro._rng` spawned streams,
+- simulation time comes from :mod:`repro._time`, never the wall clock,
+- byte/bit quantities use :mod:`repro._units` constants,
+- nothing in the pipeline may depend on unordered iteration.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from repro.lint.engine import FileContext, parent_of
+
+
+class Rule:
+    """Base class: a code, a name, and node-visitor handlers."""
+
+    code: str = "RPL999"
+    name: str = "abstract"
+    summary: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+
+def _attr_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` -> ("a", "b", "c"); None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+class RngDisciplineRule(Rule):
+    """RPL101 — randomness must flow through ``repro._rng``.
+
+    Flags ``np.random.*`` calls (``default_rng``, ``seed``, and
+    module-level draws like ``np.random.normal``) and any use of the
+    stdlib :mod:`random` module, everywhere except ``repro/_rng.py``
+    itself and its contract test.  Generators are obtained with
+    :func:`repro._rng.as_generator` and derived with
+    :func:`repro._rng.spawn`, which is what keeps sharded builds
+    bit-identical.
+    """
+
+    code = "RPL101"
+    name = "rng-discipline"
+    summary = "np.random.* call or stdlib random outside repro._rng"
+
+    _EXEMPT_SUFFIXES = ("repro/_rng.py", "tests/unit/test_rng.py")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.relpath.endswith(self._EXEMPT_SUFFIXES)
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        chain = _attr_chain(node.func)
+        if (
+            chain
+            and len(chain) >= 3
+            and chain[0] in ("np", "numpy")
+            and chain[1] == "random"
+        ):
+            ctx.report(
+                node,
+                self.code,
+                f"call to {'.'.join(chain)} outside repro._rng — use "
+                "repro._rng.as_generator / spawn for seeded streams",
+            )
+
+    def visit_Import(self, node: ast.Import, ctx: FileContext) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                ctx.report(
+                    node,
+                    self.code,
+                    "stdlib random is banned — use repro._rng generators",
+                )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx: FileContext) -> None:
+        if node.level == 0 and node.module in ("random", "numpy.random"):
+            ctx.report(
+                node,
+                self.code,
+                f"import from {node.module} outside repro._rng — use "
+                "repro._rng generators",
+            )
+
+
+class RngAnnotationRule(Rule):
+    """RPL102 — RNG-taking package functions must annotate their streams.
+
+    A parameter named ``rng`` must be annotated ``np.random.Generator``;
+    a parameter named ``seed`` must be annotated ``SeedLike`` (or a plain
+    ``int`` for top-level conveniences).  Uniform annotations are what
+    make ``SeedLike`` handling greppable and keep ad-hoc reseeding out.
+    """
+
+    code = "RPL102"
+    name = "rng-annotation"
+    summary = "rng/seed parameter missing its Generator/SeedLike annotation"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_src
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: FileContext) -> None:
+        self._check(node, ctx)
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, ctx: FileContext
+    ) -> None:
+        self._check(node, ctx)
+
+    def _check(self, node: ast.AST, ctx: FileContext) -> None:
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            annotation = (
+                ast.unparse(arg.annotation) if arg.annotation is not None else None
+            )
+            if arg.arg == "rng":
+                if annotation is None:
+                    ctx.report(
+                        arg,
+                        self.code,
+                        "parameter 'rng' must be annotated np.random.Generator",
+                    )
+                elif "Generator" not in annotation:
+                    ctx.report(
+                        arg,
+                        self.code,
+                        f"parameter 'rng: {annotation}' should be "
+                        "np.random.Generator",
+                    )
+            elif arg.arg == "seed":
+                if annotation is None:
+                    ctx.report(
+                        arg,
+                        self.code,
+                        "parameter 'seed' must be annotated SeedLike",
+                    )
+                elif "SeedLike" not in annotation and "int" not in annotation:
+                    ctx.report(
+                        arg,
+                        self.code,
+                        f"parameter 'seed: {annotation}' should be SeedLike",
+                    )
+
+
+class WallClockRule(Rule):
+    """RPL103 — simulation code never reads the wall clock.
+
+    ``datetime.now``/``utcnow``/``today`` and ``time.time``/
+    ``monotonic``/``perf_counter`` make reruns irreproducible; simulation
+    time is the :class:`repro._time.TimeAxis` hour-of-week model.
+    """
+
+    code = "RPL103"
+    name = "wall-clock"
+    summary = "wall-clock read in simulation code (use repro._time)"
+
+    _TIME_FUNCS = frozenset(
+        {
+            "time",
+            "monotonic",
+            "perf_counter",
+            "time_ns",
+            "monotonic_ns",
+            "perf_counter_ns",
+        }
+    )
+    _DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_src
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        chain = _attr_chain(node.func)
+        if not chain or len(chain) < 2:
+            return
+        if chain[0] == "time" and chain[-1] in self._TIME_FUNCS:
+            ctx.report(
+                node,
+                self.code,
+                f"wall-clock call {'.'.join(chain)} — simulation time "
+                "comes from repro._time",
+            )
+        elif chain[-1] in self._DATETIME_FUNCS and any(
+            part in ("datetime", "date") for part in chain[:-1]
+        ):
+            ctx.report(
+                node,
+                self.code,
+                f"wall-clock call {'.'.join(chain)} — simulation time "
+                "comes from repro._time",
+            )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx: FileContext) -> None:
+        if node.level == 0 and node.module == "time":
+            banned = [a.name for a in node.names if a.name in self._TIME_FUNCS]
+            if banned:
+                ctx.report(
+                    node,
+                    self.code,
+                    f"import of wall-clock function(s) {', '.join(banned)} "
+                    "from time — simulation time comes from repro._time",
+                )
+
+
+class MutableDefaultRule(Rule):
+    """RPL104 — no mutable default arguments.
+
+    The default is evaluated once at ``def`` time and shared across
+    calls — the exact bug class that made the pre-PR-1 builders leak
+    state between runs.  Use ``None`` and materialize inside the body.
+    """
+
+    code = "RPL104"
+    name = "mutable-default"
+    summary = "mutable default argument (shared across calls)"
+
+    _MUTABLE_CALLS = frozenset(
+        {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque"}
+    )
+    _MUTABLE_NP_ATTRS = frozenset(
+        {"zeros", "ones", "empty", "full", "array", "arange"}
+    )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: FileContext) -> None:
+        self._check(node, ctx)
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, ctx: FileContext
+    ) -> None:
+        self._check(node, ctx)
+
+    def _check(self, node: ast.AST, ctx: FileContext) -> None:
+        defaults = [
+            *node.args.defaults,
+            *(d for d in node.args.kw_defaults if d is not None),
+        ]
+        for default in defaults:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                ctx.report(
+                    default,
+                    self.code,
+                    "mutable default argument — use None and build inside",
+                )
+            elif isinstance(default, ast.Call):
+                func = default.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in self._MUTABLE_CALLS
+                ) or (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in self._MUTABLE_NP_ATTRS
+                ):
+                    ctx.report(
+                        default,
+                        self.code,
+                        "mutable default argument (constructor call evaluated "
+                        "once at def time) — use None and build inside",
+                    )
+
+
+class NondetIterationRule(Rule):
+    """RPL105 — no order-dependent iteration over unordered collections.
+
+    Iterating a ``set``/``frozenset`` (or an ``os.listdir`` result) lets
+    hash-order reach output; wrap in ``sorted(...)`` to fix the order.
+    Membership tests and set-to-set operations are fine.
+    """
+
+    code = "RPL105"
+    name = "nondet-iteration"
+    summary = "iteration over a set/os.listdir without sorted(...)"
+
+    _MATERIALIZERS = frozenset({"list", "tuple", "enumerate"})
+
+    @staticmethod
+    def _is_unordered(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            chain = _attr_chain(func)
+            if chain and chain[-1] == "listdir":
+                return True
+        return False
+
+    def visit_For(self, node: ast.For, ctx: FileContext) -> None:
+        if self._is_unordered(node.iter):
+            ctx.report(
+                node.iter,
+                self.code,
+                "iterating an unordered collection — wrap in sorted(...)",
+            )
+
+    def visit_comprehension(
+        self, node: ast.comprehension, ctx: FileContext
+    ) -> None:
+        # Set-to-set comprehensions are order-free; anything that builds
+        # an ordered result (list/dict/generator) from a set is not.
+        if isinstance(parent_of(node), ast.SetComp):
+            return
+        if self._is_unordered(node.iter):
+            ctx.report(
+                node.iter,
+                self.code,
+                "comprehension over an unordered collection — wrap in "
+                "sorted(...)",
+            )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in self._MATERIALIZERS
+            and node.args
+            and self._is_unordered(node.args[0])
+        ):
+            ctx.report(
+                node,
+                self.code,
+                f"{node.func.id}() over an unordered collection — use "
+                "sorted(...) to pin the order",
+            )
+
+
+class MagicUnitRule(Rule):
+    """RPL106 — byte/bit scale factors come from ``repro._units``.
+
+    Multiplying or dividing by a bare ``1024``/``1e6``/``1e9`` hides the
+    unit system (decimal vs binary) the quantity lives in; the named
+    constants (``KB``/``MB``/``GB``/``MICROS_PER_SECOND``) make it
+    explicit.  Module-level ALL_CAPS constant definitions are exempt —
+    that is exactly how a new named unit is introduced.
+    """
+
+    code = "RPL106"
+    name = "magic-unit"
+    summary = "multiply/divide by a magic unit constant (use repro._units)"
+
+    _MAGIC = (
+        1000,
+        1024,
+        1_000_000,
+        1_048_576,
+        1_000_000_000,
+        1_073_741_824,
+        1_000_000_000_000,
+        1_099_511_627_776,
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_src and ctx.filename != "_units.py"
+
+    @classmethod
+    def _in_module_constant(cls, node: ast.AST) -> bool:
+        current: Optional[ast.AST] = node
+        while current is not None:
+            parent = parent_of(current)
+            if isinstance(current, (ast.Assign, ast.AnnAssign)) and isinstance(
+                parent, ast.Module
+            ):
+                targets = (
+                    current.targets
+                    if isinstance(current, ast.Assign)
+                    else [current.target]
+                )
+                return all(
+                    isinstance(t, ast.Name) and t.id.isupper() for t in targets
+                )
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return False
+            current = parent
+        return False
+
+    def visit_BinOp(self, node: ast.BinOp, ctx: FileContext) -> None:
+        if not isinstance(node.op, (ast.Mult, ast.Div)):
+            return
+        for operand in (node.left, node.right):
+            if (
+                isinstance(operand, ast.Constant)
+                and isinstance(operand.value, (int, float))
+                and not isinstance(operand.value, bool)
+                and any(operand.value == magic for magic in self._MAGIC)
+                and not self._in_module_constant(node)
+            ):
+                ctx.report(
+                    operand,
+                    self.code,
+                    f"magic unit constant {operand.value!r} — use a named "
+                    "constant from repro._units",
+                )
+
+
+class FloatEqualityRule(Rule):
+    """RPL107 — no bare float-literal equality in tests.
+
+    ``assert x == 0.1`` silently depends on binary representation and on
+    every upstream operation being exact; use ``pytest.approx``,
+    ``math.isclose`` or ``np.testing.assert_allclose``.  Integral float
+    literals (``== 3.0``) are allowed: they assert exact constructions.
+    """
+
+    code = "RPL107"
+    name = "float-equality"
+    summary = "equality against a non-integral float literal in a test"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_tests
+
+    def visit_Compare(self, node: ast.Compare, ctx: FileContext) -> None:
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        for operand in [node.left, *node.comparators]:
+            if (
+                isinstance(operand, ast.Constant)
+                and isinstance(operand.value, float)
+                and not operand.value.is_integer()
+            ):
+                ctx.report(
+                    node,
+                    self.code,
+                    f"bare float equality against {operand.value!r} — use "
+                    "pytest.approx / math.isclose",
+                )
+                return
+
+
+def default_rules() -> List[Rule]:
+    """The full rule set, in code order."""
+    return [
+        RngDisciplineRule(),
+        RngAnnotationRule(),
+        WallClockRule(),
+        MutableDefaultRule(),
+        NondetIterationRule(),
+        MagicUnitRule(),
+        FloatEqualityRule(),
+    ]
+
+
+__all__ = [
+    "Rule",
+    "RngDisciplineRule",
+    "RngAnnotationRule",
+    "WallClockRule",
+    "MutableDefaultRule",
+    "NondetIterationRule",
+    "MagicUnitRule",
+    "FloatEqualityRule",
+    "default_rules",
+]

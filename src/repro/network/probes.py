@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro._rng import SeedLike, as_generator
 from repro.geo.coverage import Technology
 from repro.network.gtp import (
     TECH_BY_CODE,
@@ -178,13 +179,13 @@ class ProbeStats:
 class CoreProbe:
     """The passive probe: correlates GTP-C and GTP-U into probe records."""
 
-    def __init__(self, control_loss_rate: float = 0.0, seed=None):
+    def __init__(self, control_loss_rate: float = 0.0, seed: SeedLike = None):
         """``control_loss_rate`` drops a fraction of GTP-C messages, to
         model imperfect capture; orphaned user-plane traffic is counted
         but produces no record (as in the real pipeline, where it simply
-        cannot be geo-referenced).  ``seed`` is anything
-        :func:`numpy.random.default_rng` accepts, including an existing
-        generator (how the builder hands the probe a spawned stream)."""
+        cannot be geo-referenced).  ``seed`` is any
+        :data:`~repro._rng.SeedLike`, including an existing generator
+        (how the builder hands the probe a spawned stream)."""
         if not 0 <= control_loss_rate < 1:
             raise ValueError(
                 f"control_loss_rate must be in [0, 1), got {control_loss_rate}"
@@ -195,7 +196,7 @@ class CoreProbe:
         # Arrival-ordered store of ProbeRecord and ProbeRecordBatch items.
         self._records: List[Union[ProbeRecord, ProbeRecordBatch]] = []
         self._loss_rate = control_loss_rate
-        self._rng = np.random.default_rng(seed)
+        self._rng = as_generator(seed)
         self.stats = ProbeStats()
 
     def attach_to(self, sessions: SessionManager) -> "CoreProbe":

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, List, Optional, Tuple, Union
 
+from repro._units import MICROS_PER_SECOND
 from repro.network.gtp import FlowDescriptor, GtpcMessage, UserLocationInformation
 from repro.network.probes import ProbeRecord
 from repro.network.wire import (
@@ -168,7 +169,7 @@ class PcapWriter:
 
     def _write_frame(self, timestamp_s: float, frame: bytes) -> None:
         seconds = int(timestamp_s)
-        micros = int(round((timestamp_s - seconds) * 1e6))
+        micros = int(round((timestamp_s - seconds) * MICROS_PER_SECOND))
         self._fh.write(
             _PCAP_RECORD.pack(seconds, micros, len(frame), len(frame))
         )
@@ -248,7 +249,7 @@ def read_pcap(path: Union[str, Path]) -> List[PcapPacket]:
         if len(frame) < caplen:
             raise WireFormatError("truncated pcap frame")
         offset += caplen
-        timestamp = seconds + micros / 1e6
+        timestamp = seconds + micros / MICROS_PER_SECOND
         dport, payload = _strip_ethernet_ipv4_udp(frame)
         if dport == GTPC_PORT:
             _, teid, uli = decode_control_message(payload)

@@ -8,6 +8,7 @@ the tests check while keeping the full suite fast.
 import numpy as np
 import pytest
 
+from repro._rng import as_generator
 from repro._time import TimeAxis
 from repro.dataset.builder import (
     build_session_level_dataset,
@@ -64,4 +65,4 @@ def session_artifacts():
 
 @pytest.fixture()
 def rng():
-    return np.random.default_rng(SEED)
+    return as_generator(SEED)

@@ -1,9 +1,11 @@
 """Property-based tests for the smoothed z-score detector."""
 
 import numpy as np
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro._rng import as_generator
 from repro.core.peaks import smoothed_zscore
 
 
@@ -16,7 +18,7 @@ class TestDetectorProperties:
     )
     @settings(max_examples=40)
     def test_signals_well_formed(self, seed, lag, threshold, influence):
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         signal = 10 + rng.normal(0, 1, 200)
         result = smoothed_zscore(
             signal, lag=lag, threshold=threshold, influence=influence
@@ -28,7 +30,7 @@ class TestDetectorProperties:
     @given(st.integers(0, 2**31 - 1), st.floats(5.0, 20.0))
     @settings(max_examples=40)
     def test_large_spike_always_detected(self, seed, height):
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         signal = 10 + rng.normal(0, 0.3, 200)
         signal[120:123] += height
         result = smoothed_zscore(signal, lag=30, threshold=3.0, influence=0.4)
@@ -38,7 +40,7 @@ class TestDetectorProperties:
     @given(st.integers(0, 2**31 - 1))
     @settings(max_examples=30)
     def test_intervals_partition_positive_signals(self, seed):
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         signal = 10 + rng.normal(0, 1, 300)
         signal[50:55] += 15
         signal[200:204] += 12
@@ -52,7 +54,7 @@ class TestDetectorProperties:
     @given(st.integers(0, 2**31 - 1), st.floats(1.5, 8.0))
     @settings(max_examples=30)
     def test_higher_threshold_fewer_flags(self, seed, threshold):
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         signal = 10 + rng.normal(0, 1, 300)
         low = smoothed_zscore(signal, lag=20, threshold=threshold, influence=0.4)
         high = smoothed_zscore(

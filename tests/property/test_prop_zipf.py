@@ -1,9 +1,11 @@
 """Property-based tests for Zipf machinery."""
 
 import numpy as np
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro._rng import as_generator
 from repro.core.zipf_fit import fit_zipf
 from repro.services.zipf import build_rank_volume_law
 
@@ -38,7 +40,7 @@ class TestFitRecovery:
     @given(st.floats(0.8, 2.5), st.integers(0, 2**31 - 1))
     @settings(max_examples=30)
     def test_noisy_zipf_recovered_roughly(self, exponent, seed):
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         ranks = np.arange(1, 201, dtype=float)
         volumes = ranks**-exponent * np.exp(rng.normal(0, 0.2, 200))
         fit = fit_zipf(volumes)

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro._rng import as_generator
 from repro._time import TimeAxis
 from repro.apps.anomaly import (
     day_residuals,
@@ -20,7 +21,7 @@ def axis():
 
 
 def weekly(axis, seed=0):
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     hours = axis.hours() % 24
     base = 10 + 8 * np.exp(-0.5 * ((hours - 14) / 4) ** 2)
     return base * (1 + 0.01 * rng.normal(size=axis.n_bins))

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro._rng import as_generator
 from repro.core.kshape import (
     _batch_sbd_to,
     kshape,
@@ -15,7 +16,7 @@ from repro.core.kshape import (
 
 def two_families(n=120, per_family=5, seed=0):
     """Sinusoids vs square waves: obviously clusterable shapes."""
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     t = np.linspace(0, 4 * np.pi, n)
     sines = [np.sin(t) + rng.normal(0, 0.05, n) for _ in range(per_family)]
     squares = [np.sign(np.sin(2 * t)) + rng.normal(0, 0.05, n) for _ in range(per_family)]

@@ -3,12 +3,13 @@
 import numpy as np
 import pytest
 
+from repro._rng import as_generator
 from repro._time import TimeAxis
 from repro.core.peaks import detect_peaks, smoothed_zscore
 
 
 def spiky_signal(n=300, spike_at=(100, 200), spike_height=8.0, seed=0):
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     signal = 10.0 + rng.normal(0, 0.5, n)
     for pos in spike_at:
         signal[pos : pos + 4] += spike_height
@@ -25,7 +26,7 @@ class TestDetection:
         assert any(abs(f - 200) <= 2 for f in fronts)
 
     def test_no_peaks_in_pure_noise(self):
-        rng = np.random.default_rng(1)
+        rng = as_generator(1)
         signal = 10.0 + rng.normal(0, 0.5, 400)
         result = smoothed_zscore(signal, lag=30, threshold=4.5, influence=0.4)
         assert len(result.rising_fronts()) <= 1
@@ -44,7 +45,7 @@ class TestDetection:
         # A step change: with influence 0 the filtered history never
         # absorbs the new level, so the peak state persists.
         signal = np.concatenate([np.full(50, 10.0), np.full(50, 20.0)])
-        signal += np.random.default_rng(2).normal(0, 0.2, 100)
+        signal += as_generator(2).normal(0, 0.2, 100)
         frozen = smoothed_zscore(signal, lag=10, threshold=3.0, influence=0.0)
         adaptive = smoothed_zscore(signal, lag=10, threshold=3.0, influence=1.0)
         assert frozen.signals[60:].sum() > adaptive.signals[60:].sum()
@@ -94,12 +95,12 @@ class TestValidation:
 class TestDetectPeaks:
     def test_lag_derived_from_axis(self):
         axis = TimeAxis(4)
-        signal = np.random.default_rng(0).normal(10, 0.1, axis.n_bins)
+        signal = as_generator(0).normal(10, 0.1, axis.n_bins)
         result = detect_peaks(signal, axis, lag_hours=2.0)
         assert result.lag == 8
 
     def test_minimum_lag(self):
         axis = TimeAxis(1)
-        signal = np.random.default_rng(0).normal(10, 0.1, axis.n_bins)
+        signal = as_generator(0).normal(10, 0.1, axis.n_bins)
         result = detect_peaks(signal, axis, lag_hours=0.1)
         assert result.lag == 2

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro._rng import as_generator
 from repro._time import TimeAxis
 from repro.core.predictability import (
     PREDICTORS,
@@ -20,7 +21,7 @@ def axis():
 
 def periodic_series(axis, noise=0.0, seed=0):
     """A perfectly daily-periodic series (+ optional noise)."""
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     hours = axis.hours() % 24
     base = 10 + 5 * np.sin(2 * np.pi * hours / 24)
     return base * (1 + rng.normal(0, noise, axis.n_bins))

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro._rng import as_generator
 from repro._time import TimeAxis
 from repro.core.topical import (
     classify_front,
@@ -22,7 +23,7 @@ def axis():
 
 def curve_with_peaks(axis, peak_specs, seed=0, base=100.0):
     """Flat noisy curve with Gaussian bumps at (day, hour, height)."""
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     hours = axis.hours()
     signal = base * (1.0 + rng.normal(0, 0.01, axis.n_bins))
     for day, hour, height in peak_specs:

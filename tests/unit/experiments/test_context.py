@@ -47,3 +47,20 @@ class TestContext:
         assert np.allclose(
             a.national_series_fine("dl"), b.national_series_fine("dl")
         )
+
+    def test_fine_series_pinned(self, ctx):
+        """Regression pin for the spawn-labelled fine-axis streams.
+
+        The fine series used to be seeded with ad-hoc
+        ``default_rng(seed + N)`` generators; they now come from
+        ``spawn(as_generator(seed), "context.fine-*")`` labels.  These
+        values document that reseed — if they move, the RNG contract of
+        the experiment context changed and the change must be deliberate.
+        """
+        dl = ctx.national_series_fine("dl")
+        ul = ctx.national_series_fine("ul")
+        assert float(dl.sum()) == pytest.approx(24108480130338.06, rel=1e-12)
+        assert float(ul.sum()) == pytest.approx(1296241029283.3188, rel=1e-12)
+        assert float(dl[0, 0]) == pytest.approx(5283248456.322766, rel=1e-12)
+        assert float(dl[7, 100]) == pytest.approx(412319696.57903486, rel=1e-12)
+        assert float(ul[3, 500]) == pytest.approx(33876408.424645826, rel=1e-12)

@@ -1,0 +1,184 @@
+"""Engine mechanics: suppressions, baseline, reporters, CLI."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint.baseline import Baseline
+from repro.lint.cli import main
+from repro.lint.engine import Finding, LintEngine, parse_suppressions
+from repro.lint.reporters import render_json, render_text
+
+SRC = "src/repro/traffic/example.py"
+
+BAD_RNG = "import numpy as np\nr = np.random.default_rng(3)\n"
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return LintEngine()
+
+
+class TestSuppressions:
+    def test_inline_disable(self, engine):
+        source = (
+            "import numpy as np\n"
+            "r = np.random.default_rng(3)  # repro-lint: disable=RPL101\n"
+        )
+        assert engine.lint_source(source, SRC) == []
+
+    def test_disable_all(self, engine):
+        source = (
+            "import numpy as np\n"
+            "r = np.random.default_rng(3)  # repro-lint: disable=all\n"
+        )
+        assert engine.lint_source(source, SRC) == []
+
+    def test_disable_code_list(self, engine):
+        source = (
+            "import time\n"
+            "t = time.time() * 1e6  # repro-lint: disable=RPL103,RPL106\n"
+        )
+        assert engine.lint_source(source, SRC) == []
+
+    def test_wrong_code_does_not_suppress(self, engine):
+        source = (
+            "import numpy as np\n"
+            "r = np.random.default_rng(3)  # repro-lint: disable=RPL103\n"
+        )
+        assert [f.code for f in engine.lint_source(source, SRC)] == ["RPL101"]
+
+    def test_marker_inside_string_is_ignored(self, engine):
+        assert parse_suppressions(
+            's = "# repro-lint: disable=RPL101"\n'
+        ) == {}
+
+    def test_parse_line_mapping(self):
+        out = parse_suppressions(
+            "x = 1\ny = 2  # repro-lint: disable=RPL101, RPL104\n"
+        )
+        assert out == {2: {"RPL101", "RPL104"}}
+
+
+class TestEngineBasics:
+    def test_syntax_error_reported_not_raised(self, engine):
+        findings = engine.lint_source("def broken(:\n", SRC)
+        assert [f.code for f in findings] == ["RPL000"]
+
+    def test_findings_sorted_and_formatted(self, engine):
+        source = "import time\nimport numpy as np\nr = np.random.default_rng(1)\nt = time.time()\n"
+        findings = engine.lint_source(source, SRC)
+        assert findings == sorted(findings)
+        line = findings[0].format()
+        assert line.startswith(f"{SRC}:")
+        assert findings[0].code in line
+
+    def test_lint_paths_walks_directories(self, engine, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "sub"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(BAD_RNG)
+        (pkg / "good.py").write_text("x = 1\n")
+        findings = engine.lint_paths([tmp_path / "src"], root=tmp_path)
+        assert [f.code for f in findings] == ["RPL101"]
+        assert findings[0].path == "src/repro/sub/bad.py"
+
+
+class TestBaseline:
+    def _finding(self, path="src/repro/a.py", code="RPL101", line=1):
+        return Finding(path=path, line=line, col=1, code=code, message="m")
+
+    def test_round_trip(self, tmp_path):
+        findings = [self._finding(), self._finding(line=9)]
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(path)
+        loaded = Baseline.load(path)
+        assert loaded.counts == {("src/repro/a.py", "RPL101"): 2}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").counts == {}
+
+    def test_within_budget_absorbed(self):
+        baseline = Baseline(counts={("src/repro/a.py", "RPL101"): 2})
+        new, baselined = baseline.apply([self._finding()])
+        assert new == [] and baselined == 1
+
+    def test_over_budget_reports_group(self):
+        baseline = Baseline(counts={("src/repro/a.py", "RPL101"): 1})
+        findings = [self._finding(), self._finding(line=9)]
+        new, baselined = baseline.apply(findings)
+        assert len(new) == 2 and baselined == 0
+
+    def test_unknown_group_reported(self):
+        new, baselined = Baseline().apply([self._finding()])
+        assert len(new) == 1 and baselined == 0
+
+
+class TestReporters:
+    def test_text(self):
+        f = Finding(path="a.py", line=3, col=7, code="RPL106", message="boom")
+        out = render_text([f], baselined=2)
+        assert "a.py:3:7: RPL106 boom" in out
+        assert "1 finding (2 baselined)" in out
+
+    def test_json(self):
+        f = Finding(path="a.py", line=3, col=7, code="RPL106", message="boom")
+        payload = json.loads(render_json([f], baselined=1))
+        assert payload["count"] == 1
+        assert payload["baselined"] == 1
+        assert payload["findings"][0]["code"] == "RPL106"
+
+
+class TestCli:
+    def _repo(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(BAD_RNG)
+        (tmp_path / "tests").mkdir()
+        (tmp_path / "tests" / "test_ok.py").write_text("assert 1 == 1\n")
+        return tmp_path
+
+    def test_findings_exit_1(self, tmp_path, capsys, monkeypatch):
+        root = self._repo(tmp_path)
+        monkeypatch.chdir(root)
+        assert main(["src", "tests"]) == 1
+        assert "RPL101" in capsys.readouterr().out
+
+    def test_write_then_check_baseline_exit_0(self, tmp_path, capsys, monkeypatch):
+        root = self._repo(tmp_path)
+        monkeypatch.chdir(root)
+        assert main(["src", "tests", "--write-baseline"]) == 0
+        assert (root / "lint-baseline.json").exists()
+        assert main(["src", "tests"]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+    def test_no_baseline_flag_ignores_file(self, tmp_path, capsys, monkeypatch):
+        root = self._repo(tmp_path)
+        monkeypatch.chdir(root)
+        assert main(["src", "--write-baseline"]) == 0
+        assert main(["src", "--no-baseline"]) == 1
+
+    def test_json_format(self, tmp_path, capsys, monkeypatch):
+        root = self._repo(tmp_path)
+        monkeypatch.chdir(root)
+        assert main(["src", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+
+    def test_missing_path_exit_2(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["no-such-dir"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RPL101", "RPL102", "RPL103", "RPL104", "RPL105", "RPL106", "RPL107"):
+            assert code in out
+
+    def test_clean_tree_exit_0(self, tmp_path, capsys, monkeypatch):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "good.py").write_text("x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["src"]) == 0

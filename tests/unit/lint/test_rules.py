@@ -1,0 +1,314 @@
+"""Each lint rule fires on planted violations and stays silent on
+conforming code.
+
+Snippets are linted via :meth:`LintEngine.lint_source` with explicit
+relative paths, because several rules scope themselves by location
+(``src/repro`` vs ``tests``).
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint.engine import LintEngine
+
+SRC = "src/repro/traffic/example.py"
+TEST = "tests/unit/test_example.py"
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return LintEngine()
+
+
+def codes(engine, source, relpath=SRC):
+    return [f.code for f in engine.lint_source(textwrap.dedent(source), relpath)]
+
+
+class TestRngDiscipline:
+    def test_default_rng_fires(self, engine):
+        assert codes(engine, "import numpy as np\nr = np.random.default_rng(3)\n") == [
+            "RPL101"
+        ]
+
+    def test_module_level_draw_fires(self, engine):
+        assert "RPL101" in codes(engine, "import numpy as np\nx = np.random.normal()\n")
+
+    def test_np_random_seed_fires(self, engine):
+        assert "RPL101" in codes(engine, "import numpy as np\nnp.random.seed(0)\n")
+
+    def test_stdlib_random_import_fires(self, engine):
+        assert "RPL101" in codes(engine, "import random\n")
+        assert "RPL101" in codes(engine, "from random import choice\n")
+
+    def test_from_numpy_random_import_fires(self, engine):
+        assert "RPL101" in codes(engine, "from numpy.random import default_rng\n")
+
+    def test_fires_in_tests_too(self, engine):
+        assert "RPL101" in codes(
+            engine, "import numpy as np\nr = np.random.default_rng(3)\n", TEST
+        )
+
+    def test_rng_module_is_exempt(self, engine):
+        source = "import numpy as np\nr = np.random.default_rng(3)\n"
+        assert codes(engine, source, "src/repro/_rng.py") == []
+        assert codes(engine, source, "tests/unit/test_rng.py") == []
+
+    def test_as_generator_is_clean(self, engine):
+        assert (
+            codes(
+                engine,
+                "from repro._rng import as_generator\nr = as_generator(3)\n",
+            )
+            == []
+        )
+
+    def test_generator_annotation_not_flagged(self, engine):
+        assert (
+            codes(
+                engine,
+                """\
+                import numpy as np
+
+                def draw(rng: np.random.Generator) -> float:
+                    return rng.random()
+                """,
+            )
+            == []
+        )
+
+
+class TestRngAnnotation:
+    def test_unannotated_rng_param_fires(self, engine):
+        assert "RPL102" in codes(engine, "def f(rng):\n    return rng\n")
+
+    def test_wrong_rng_annotation_fires(self, engine):
+        assert "RPL102" in codes(engine, "def f(rng: int):\n    return rng\n")
+
+    def test_unannotated_seed_param_fires(self, engine):
+        assert "RPL102" in codes(engine, "def f(seed=None):\n    return seed\n")
+
+    def test_seedlike_and_int_are_clean(self, engine):
+        assert (
+            codes(
+                engine,
+                """\
+                from repro._rng import SeedLike
+
+                def f(seed: SeedLike = None):
+                    return seed
+
+                def g(seed: int = 7):
+                    return seed
+                """,
+            )
+            == []
+        )
+
+    def test_only_applies_in_src(self, engine):
+        # pytest fixtures are injected by parameter name, unannotated.
+        assert codes(engine, "def test_draw(rng):\n    assert rng\n", TEST) == []
+
+
+class TestWallClock:
+    def test_time_time_fires(self, engine):
+        assert "RPL103" in codes(engine, "import time\nt = time.time()\n")
+
+    def test_monotonic_fires(self, engine):
+        assert "RPL103" in codes(engine, "import time\nt = time.monotonic()\n")
+
+    def test_datetime_now_fires(self, engine):
+        assert "RPL103" in codes(
+            engine, "import datetime\nt = datetime.datetime.now()\n"
+        )
+
+    def test_from_time_import_fires(self, engine):
+        assert "RPL103" in codes(engine, "from time import perf_counter\n")
+
+    def test_sim_time_is_clean(self, engine):
+        assert (
+            codes(
+                engine,
+                """\
+                from repro._time import TimeAxis
+
+                def bins() -> int:
+                    return TimeAxis(4).n_bins
+                """,
+            )
+            == []
+        )
+
+    def test_not_applied_outside_src(self, engine):
+        # Benchmarks/tests may time themselves.
+        assert codes(engine, "import time\nt = time.time()\n", TEST) == []
+
+
+class TestMutableDefault:
+    def test_list_literal_fires(self, engine):
+        assert "RPL104" in codes(engine, "def f(x=[]):\n    return x\n")
+
+    def test_dict_literal_fires(self, engine):
+        assert "RPL104" in codes(engine, "def f(x={}):\n    return x\n")
+
+    def test_constructor_call_fires(self, engine):
+        assert "RPL104" in codes(engine, "def f(x=set()):\n    return x\n")
+
+    def test_np_zeros_fires(self, engine):
+        assert "RPL104" in codes(
+            engine, "import numpy as np\ndef f(x=np.zeros(3)):\n    return x\n"
+        )
+
+    def test_kwonly_default_fires(self, engine):
+        assert "RPL104" in codes(engine, "def f(*, x=[]):\n    return x\n")
+
+    def test_none_default_is_clean(self, engine):
+        assert (
+            codes(
+                engine,
+                """\
+                def f(x=None):
+                    if x is None:
+                        x = []
+                    return x
+                """,
+            )
+            == []
+        )
+
+    def test_frozen_config_default_is_clean(self, engine):
+        # Frozen dataclass instances are immutable; the builders use them.
+        assert (
+            codes(
+                engine,
+                """\
+                from repro._time import TimeAxis
+
+                def f(axis: TimeAxis = TimeAxis(1)):
+                    return axis
+                """,
+            )
+            == []
+        )
+
+
+class TestNondetIteration:
+    def test_for_over_set_fires(self, engine):
+        assert "RPL105" in codes(
+            engine, "for x in {1, 2, 3}:\n    print(x)\n"
+        )
+
+    def test_for_over_set_call_fires(self, engine):
+        assert "RPL105" in codes(
+            engine, "for x in set([3, 1]):\n    print(x)\n"
+        )
+
+    def test_listcomp_over_set_fires(self, engine):
+        assert "RPL105" in codes(engine, "out = [x for x in {1, 2}]\n")
+
+    def test_list_of_set_fires(self, engine):
+        assert "RPL105" in codes(engine, "out = list({1, 2})\n")
+
+    def test_os_listdir_fires(self, engine):
+        assert "RPL105" in codes(
+            engine, "import os\nfor name in os.listdir('.'):\n    print(name)\n"
+        )
+
+    def test_sorted_wrapper_is_clean(self, engine):
+        assert (
+            codes(
+                engine,
+                """\
+                import os
+
+                for x in sorted({1, 2}):
+                    print(x)
+                out = sorted(set([3, 1]))
+                for name in sorted(os.listdir(".")):
+                    print(name)
+                """,
+            )
+            == []
+        )
+
+    def test_membership_and_set_ops_are_clean(self, engine):
+        assert (
+            codes(
+                engine,
+                """\
+                seen = set()
+                if 3 in seen:
+                    pass
+                union = seen | {4}
+                sub = {x for x in {1, 2}}
+                """,
+            )
+            == []
+        )
+
+
+class TestMagicUnit:
+    def test_multiply_by_1e6_fires(self, engine):
+        assert "RPL106" in codes(engine, "micros = t * 1e6\n")
+
+    def test_divide_by_1024_fires(self, engine):
+        assert "RPL106" in codes(engine, "kib = volume / 1024\n")
+
+    def test_named_constant_is_clean(self, engine):
+        assert (
+            codes(
+                engine,
+                """\
+                from repro._units import MB
+
+                volume = 3 * MB
+                """,
+            )
+            == []
+        )
+
+    def test_module_constant_definition_is_exempt(self, engine):
+        assert codes(engine, "MICROS_PER_WEEK = 604800 * 1_000_000\n") == []
+
+    def test_units_module_is_exempt(self, engine):
+        assert codes(engine, "MB = x * 1_000_000\n", "src/repro/_units.py") == []
+
+    def test_not_applied_in_tests(self, engine):
+        assert codes(engine, "micros = t * 1e6\n", TEST) == []
+
+    def test_unrelated_constants_are_clean(self, engine):
+        assert (
+            codes(engine, "h = 1_000_000_007 * (i + 1)\nseed = 1000 + k\n") == []
+        )
+
+
+class TestFloatEquality:
+    def test_nonintegral_literal_fires(self, engine):
+        assert "RPL107" in codes(engine, "assert x == 0.1\n", TEST)
+
+    def test_noteq_fires(self, engine):
+        assert "RPL107" in codes(engine, "assert x != 2.5\n", TEST)
+
+    def test_integral_float_is_clean(self, engine):
+        assert codes(engine, "assert x == 3.0\nassert y == 0.0\n", TEST) == []
+
+    def test_approx_is_clean(self, engine):
+        assert (
+            codes(
+                engine,
+                "import pytest\nassert x == pytest.approx(0.1)\n",
+                TEST,
+            )
+            == []
+        )
+
+    def test_not_applied_in_src(self, engine):
+        assert codes(engine, "flag = x == 0.1\n", SRC) == []
+
+
+class TestDefaultRules:
+    def test_codes_are_unique_and_stable(self, engine):
+        rule_codes = [rule.code for rule in engine.rules]
+        assert len(rule_codes) == len(set(rule_codes))
+        assert rule_codes == sorted(rule_codes)
+        assert len(rule_codes) >= 6

@@ -1,0 +1,32 @@
+"""The repository's own tree is clean under its checked-in baseline.
+
+This is the CI gate run as a test: ``repro-lint src/ tests/`` must exit
+0 against ``lint-baseline.json``, and the baseline itself must carry no
+RNG-discipline debt (RPL101/RPL102 findings are fixed, never
+grandfathered).
+"""
+
+from pathlib import Path
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import LintEngine
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def test_repo_tree_is_clean_modulo_baseline():
+    engine = LintEngine()
+    findings = engine.lint_paths(
+        [REPO_ROOT / "src", REPO_ROOT / "tests"], root=REPO_ROOT
+    )
+    baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+    new, _ = baseline.apply(findings)
+    assert not new, "new lint findings:\n" + "\n".join(f.format() for f in new)
+
+
+def test_baseline_has_no_rng_discipline_debt():
+    baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+    rng_debt = [
+        key for key in baseline.counts if key[1] in ("RPL101", "RPL102")
+    ]
+    assert not rng_debt, f"RNG findings must be fixed, not baselined: {rng_debt}"

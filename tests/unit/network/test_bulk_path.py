@@ -8,6 +8,7 @@ listens on both the scalar and bulk planes.
 import numpy as np
 import pytest
 
+from repro._rng import as_generator
 from repro.network.gtp import GtpcMessage, GtpuPacket
 from repro.network.probes import CoreProbe, ProbeRecordBatch, ProbeStats
 from repro.network.session import SessionManager
@@ -17,7 +18,7 @@ from repro.network.topology import build_topology
 @pytest.fixture()
 def manager(country):
     topology = build_topology(country, seed=17)
-    return SessionManager(topology, np.random.default_rng(3))
+    return SessionManager(topology, as_generator(3))
 
 
 def _bulk_session_batch(manager, probe, imsi=42, n_sessions=3, flows_per=2):
@@ -130,7 +131,7 @@ class TestMaterialization:
         """The same workload produces identical records on both paths."""
         topology = build_topology(country, seed=17)
 
-        scalar_mgr = SessionManager(topology, np.random.default_rng(3))
+        scalar_mgr = SessionManager(topology, as_generator(3))
         scalar_probe = CoreProbe().attach_to(scalar_mgr)
         from repro.network.gtp import FlowDescriptor
 
@@ -146,7 +147,7 @@ class TestMaterialization:
                 )
             scalar_mgr.detach(session, 100.0)
 
-        bulk_mgr = SessionManager(topology, np.random.default_rng(3))
+        bulk_mgr = SessionManager(topology, as_generator(3))
         bulk_probe = CoreProbe().attach_to(bulk_mgr)
         bulk_probe.attach_to_bulk(bulk_mgr)
         _bulk_session_batch(bulk_mgr, bulk_probe, imsi=42, n_sessions=3, flows_per=2)

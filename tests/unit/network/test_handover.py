@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro._rng import as_generator
 from repro.network.handover import HandoverManager
 from repro.network.session import SessionManager
 from repro.network.topology import build_topology
@@ -11,7 +12,7 @@ from repro.network.topology import build_topology
 @pytest.fixture()
 def setup(country):
     topology = build_topology(country, seed=17)
-    manager = SessionManager(topology, np.random.default_rng(3))
+    manager = SessionManager(topology, as_generator(3))
     handover = HandoverManager(topology, manager)
     return topology, manager, handover
 

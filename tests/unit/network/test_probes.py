@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro._rng import as_generator
 from repro.network.gtp import FlowDescriptor
 from repro.network.probes import CoreProbe
 from repro.network.session import SessionManager
@@ -12,7 +13,7 @@ from repro.network.topology import build_topology
 @pytest.fixture()
 def setup(country):
     topology = build_topology(country, seed=17)
-    manager = SessionManager(topology, np.random.default_rng(3))
+    manager = SessionManager(topology, as_generator(3))
     probe = CoreProbe().attach_to(manager)
     return manager, probe
 
@@ -60,7 +61,7 @@ class TestCorrelation:
 class TestLoss:
     def test_lost_control_orphans_traffic(self, country):
         topology = build_topology(country, seed=17)
-        manager = SessionManager(topology, np.random.default_rng(3))
+        manager = SessionManager(topology, as_generator(3))
         probe = CoreProbe(control_loss_rate=0.999999, seed=1).attach_to(manager)
         session = manager.attach(1, 0, False, 0.0)
         manager.report_flow(session, make_flow(), 1.0, 1.0, 1.0)

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro._rng import as_generator
 from repro.network.gtp import FlowDescriptor, GtpcMessageType
 from repro.network.session import BearerState, SessionManager
 from repro.network.topology import build_topology
@@ -11,7 +12,7 @@ from repro.network.topology import build_topology
 @pytest.fixture()
 def manager(country):
     topology = build_topology(country, seed=17)
-    return SessionManager(topology, np.random.default_rng(3))
+    return SessionManager(topology, as_generator(3))
 
 
 @pytest.fixture()

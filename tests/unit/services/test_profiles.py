@@ -45,8 +45,8 @@ class TestLibrary:
             spatial_overrides={"Netflix": {"fallback_share": 0.5}},
             temporal_overrides={"Facebook": {"night_floor": 0.25}},
         )
-        assert lib.spatial_for("Netflix").fallback_share == 0.5
-        assert lib.temporal_for("Facebook").night_floor == 0.25
+        assert lib.spatial_for("Netflix").fallback_share == pytest.approx(0.5)
+        assert lib.temporal_for("Facebook").night_floor == pytest.approx(0.25)
 
 
 class TestTemporalProfile:

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro._rng import as_generator
 from repro._time import (
     DAY_NAMES,
     DAYS_PER_WEEK,
@@ -33,7 +34,7 @@ class TestTimeAxis:
     def test_subhourly(self):
         axis = TimeAxis(4)
         assert axis.n_bins == 672
-        assert axis.bin_hours == 0.25
+        assert axis.bin_hours == pytest.approx(0.25)
 
     def test_invalid_resolution(self):
         with pytest.raises(ValueError):
@@ -79,8 +80,8 @@ class TestTimeAxis:
     def test_hours_array(self):
         hours = TimeAxis(2).hours()
         assert hours[0] == 0.0
-        assert hours[1] == 0.5
-        assert hours[-1] == 167.5
+        assert hours[1] == pytest.approx(0.5)
+        assert hours[-1] == pytest.approx(167.5)
 
 
 class TestResample:
@@ -104,7 +105,7 @@ class TestResample:
 
     def test_identity(self):
         axis = TimeAxis(2)
-        series = np.random.default_rng(0).random(axis.n_bins)
+        series = as_generator(0).random(axis.n_bins)
         out = axis.resample_to(series, TimeAxis(2))
         assert np.array_equal(out, series)
         assert out is not series  # a copy, not a view
@@ -119,7 +120,7 @@ class TestResample:
 
     def test_multidimensional(self):
         fine = TimeAxis(2)
-        series = np.random.default_rng(1).random((3, fine.n_bins))
+        series = as_generator(1).random((3, fine.n_bins))
         out = fine.resample_to(series, TimeAxis(1))
         assert out.shape == (3, 168)
         assert np.allclose(out.sum(axis=1), series.sum(axis=1))
@@ -129,7 +130,7 @@ class TestHourOfWeek:
     def test_values(self):
         assert hour_of_week(0, 0) == 0
         assert hour_of_week(2, 13) == 61
-        assert hour_of_week(6, 23.5) == 167.5
+        assert hour_of_week(6, 23.5) == pytest.approx(167.5)
 
     def test_validation(self):
         with pytest.raises(ValueError):

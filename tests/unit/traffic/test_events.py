@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro._rng import as_generator
 from repro._time import TimeAxis
 from repro.services.catalog import ServiceCategory
 from repro.traffic.events import (
@@ -20,7 +21,7 @@ def axis():
 
 @pytest.fixture(scope="module")
 def week(axis):
-    rng = np.random.default_rng(0)
+    rng = as_generator(0)
     hours = axis.hours() % 24
     base = 10 + 6 * np.exp(-0.5 * ((hours - 14) / 4) ** 2)
     return np.vstack([base * (1 + 0.01 * rng.normal(size=axis.n_bins))
