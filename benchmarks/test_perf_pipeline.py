@@ -18,6 +18,12 @@ same process:
 
 The measured speedup (optimized vs baseline, same run, same machine) is
 asserted and all throughputs land in ``BENCH_perf_pipeline.json``.
+
+A fourth leg runs the same workload through the end-to-end builder
+twice — observed and dark — to emit the per-stage span breakdown and to
+bound the cost of the *disabled* observability path (a global load plus
+a ``None`` check per call site); the bound is asserted below
+``MAX_DISABLED_OVERHEAD``.
 """
 
 import json
@@ -26,9 +32,11 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro._rng import spawn
 from repro._time import TimeAxis
 from repro.dataset.aggregation import CommuneAggregator
+from repro.dataset.builder import build_session_level_dataset
 from repro.dataset.parallel import (
     ShardPlan,
     execute_shards,
@@ -49,6 +57,7 @@ N_SUBSCRIBERS = 1_000
 N_COMMUNES = 144
 N_WORKERS = 2
 MIN_SPEEDUP = 5.0
+MAX_DISABLED_OVERHEAD = 0.02
 BENCH_JSON = Path(__file__).parent / "BENCH_perf_pipeline.json"
 
 
@@ -145,6 +154,49 @@ def _run_sharded(shared: dict, n_workers: int) -> dict:
     )
 
 
+def _run_observability(shared: dict) -> dict:
+    """Observed vs dark builder run, plus the disabled-path cost bound.
+
+    The overhead of running *without* observation cannot be timed
+    directly (it is lost in run-to-run noise), so it is bounded
+    arithmetically: (instrumentation call sites hit during the observed
+    run) × (measured cost of one disabled call) ÷ (dark elapsed).
+    """
+    kwargs = dict(
+        n_subscribers=N_SUBSCRIBERS,
+        country=shared["country"],
+        seed=5,
+        n_shards=N_WORKERS,
+    )
+
+    start = time.perf_counter()
+    build_session_level_dataset(**kwargs)
+    disabled_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with obs.observed() as session:
+        build_session_level_dataset(**kwargs)
+    enabled_elapsed = time.perf_counter() - start
+
+    reps = 200_000
+    start = time.perf_counter()
+    for _ in range(reps):
+        obs.add("generator.flows")  # disabled: global load + None check
+    noop_call_cost_s = (time.perf_counter() - start) / reps
+
+    overhead = session.api_events * noop_call_cost_s / disabled_elapsed
+    return {
+        "disabled_elapsed_s": disabled_elapsed,
+        "enabled_elapsed_s": enabled_elapsed,
+        "api_events": session.api_events,
+        "noop_call_cost_ns": noop_call_cost_s * 1e9,
+        "disabled_overhead_fraction": overhead,
+        "counters": session.registry.export_counters(),
+        "gauges": session.registry.export_gauges(),
+        "stages": obs.flatten(session.root),
+    }
+
+
 def _leg_stats(
     elapsed: float, sessions: int, flows: int, records: int, n_workers: int
 ) -> dict:
@@ -172,6 +224,7 @@ def test_perf_session_pipeline(benchmark):
     benchmark.pedantic(run_optimized, rounds=1, iterations=1)
     optimized = optimized_holder["leg"]
     sharded = _run_sharded(shared, n_workers=N_WORKERS)
+    observability = _run_observability(shared)
 
     speedup = optimized["sessions_per_s"] / baseline["sessions_per_s"]
     print()
@@ -187,6 +240,12 @@ def test_perf_session_pipeline(benchmark):
             f"({leg['elapsed_s']:.2f} s, {leg['n_workers']} worker(s))"
         )
     print(f"speedup  : {speedup:.1f}x (optimized vs baseline, same run)")
+    print(
+        f"obs      : {observability['api_events']} instrumentation events, "
+        f"disabled overhead ≤ "
+        f"{100 * observability['disabled_overhead_fraction']:.4f}% of a "
+        f"{observability['disabled_elapsed_s']:.2f} s dark build"
+    )
 
     BENCH_JSON.write_text(
         json.dumps(
@@ -197,6 +256,7 @@ def test_perf_session_pipeline(benchmark):
                 "optimized": optimized,
                 "sharded": sharded,
                 "speedup": speedup,
+                "observability": observability,
             },
             indent=2,
         )
@@ -208,3 +268,7 @@ def test_perf_session_pipeline(benchmark):
     assert optimized["sessions_per_s"] > 1_000
     # ...and the columnar fast path must actually pay for itself.
     assert speedup >= MIN_SPEEDUP
+    # Observation you did not ask for must be free (docs/observability.md).
+    assert (
+        observability["disabled_overhead_fraction"] < MAX_DISABLED_OVERHEAD
+    )

@@ -12,6 +12,11 @@ MB = 1_000_000
 GB = 1_000_000_000
 TB = 1_000_000_000_000
 
+#: Binary kilobyte (kibibyte): the unit :func:`resource.getrusage`
+#: reports ``ru_maxrss`` in on Linux.  Dataset volumes stay decimal
+#: (the paper's colour scales); KIB exists for OS-interface readings.
+KIB = 1_024
+
 #: Sub-second timestamp scale of the pcap on-wire format (and of GTP
 #: event timestamps generally): classic pcap stores microseconds.
 MICROS_PER_SECOND = 1_000_000
@@ -52,6 +57,7 @@ def parse_bytes(text: str) -> float:
 
 __all__ = [
     "KB",
+    "KIB",
     "MB",
     "GB",
     "TB",

@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 
+from repro import obs
 from repro._time import TimeAxis, WEEK_HOURS
 from repro.dataset.store import MobileTrafficDataset
 from repro.dpi.classifier import DpiEngine
@@ -59,6 +60,7 @@ class CommuneAggregator:
     def ingest(self, record: ProbeRecord) -> Optional[str]:
         """Classify and accumulate one record; returns the service name."""
         self.records_ingested += 1
+        obs.add("aggregation.rows")
         volume = record.total_bytes
         self.total_bytes += volume
         self._users_seen[record.commune_id].add(record.imsi_hash)
@@ -116,7 +118,14 @@ class CommuneAggregator:
         n = len(batch)
         if n == 0:
             return 0
+        with obs.span("aggregate"):
+            return self._ingest_columnar(batch)
+
+    def _ingest_columnar(self, batch: ProbeRecordBatch) -> int:
+        n = len(batch)
         self.records_ingested += n
+        obs.add("aggregation.rows", n)
+        obs.add("aggregation.batches")
         dl, ul = batch.dl_bytes, batch.ul_bytes
         volumes = dl + ul
         self.total_bytes += float(volumes.sum())
@@ -145,7 +154,8 @@ class CommuneAggregator:
                 batch.protocols,
             )
         )
-        names = self._engine.classify_batch(keys, volumes)
+        with obs.span("dpi.classify"):
+            names = self._engine.classify_batch(keys, volumes)
 
         service_index = self._service_index
         service_ids = np.fromiter(
@@ -207,6 +217,8 @@ class CommuneAggregator:
 
     def finalize(self) -> MobileTrafficDataset:
         """Drop subscriber identifiers and emit the anonymized dataset."""
+        obs.set_gauge("aggregation.total_bytes", self.total_bytes)
+        obs.set_gauge("aggregation.unclassified_bytes", self.unclassified_bytes)
         country = self._country
         users = np.array([len(seen) for seen in self._users_seen], dtype=float)
         return MobileTrafficDataset(

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro import obs
 from repro._rng import SeedLike, as_generator, spawn
 from repro._time import TimeAxis
 from repro.dataset.aggregation import CommuneAggregator
@@ -65,20 +66,26 @@ def build_volume_level_dataset(
         volume_config = VolumeModelConfig()
     rng = as_generator(seed)
     if country is None:
-        country = build_country(country_config, seed=spawn(rng, "builder.country"))
+        with obs.span("country"):
+            country = build_country(
+                country_config, seed=spawn(rng, "builder.country")
+            )
     catalog = build_catalog(n_services=n_services)
     profiles = build_profile_library()
-    model = build_intensity_model(
-        country,
-        catalog,
-        profiles,
-        axis=axis,
-        total_weekly_bytes=total_weekly_bytes,
-        seed=spawn(rng, "builder.intensity"),
-    )
-    dataset = synthesize_volume_dataset(
-        model, config=volume_config, seed=spawn(rng, "builder.volume")
-    )
+    with obs.span("intensity"):
+        model = build_intensity_model(
+            country,
+            catalog,
+            profiles,
+            axis=axis,
+            total_weekly_bytes=total_weekly_bytes,
+            seed=spawn(rng, "builder.intensity"),
+        )
+    with obs.span("volume_model"):
+        dataset = synthesize_volume_dataset(
+            model, config=volume_config, seed=spawn(rng, "builder.volume")
+        )
+    obs.add("builder.volume_datasets")
     return PipelineArtifacts(
         country=country,
         catalog=catalog,
@@ -136,21 +143,27 @@ def build_session_level_dataset(
 
     rng = as_generator(seed)
     if country is None:
-        country = build_country(country_config, seed=spawn(rng, "builder.country"))
+        with obs.span("country"):
+            country = build_country(
+                country_config, seed=spawn(rng, "builder.country")
+            )
     catalog = build_catalog(n_services=n_services)
     profiles = build_profile_library()
-    model = build_intensity_model(
-        country,
-        catalog,
-        profiles,
-        axis=axis,
-        total_weekly_bytes=total_weekly_bytes,
-        seed=spawn(rng, "builder.intensity"),
-    )
-    topology = build_topology(country, seed=spawn(rng, "builder.topology"))
-    population = synthesize_population(
-        country, model, n_subscribers, seed=spawn(rng, "builder.population")
-    )
+    with obs.span("intensity"):
+        model = build_intensity_model(
+            country,
+            catalog,
+            profiles,
+            axis=axis,
+            total_weekly_bytes=total_weekly_bytes,
+            seed=spawn(rng, "builder.intensity"),
+        )
+    with obs.span("topology"):
+        topology = build_topology(country, seed=spawn(rng, "builder.topology"))
+    with obs.span("population"):
+        population = synthesize_population(
+            country, model, n_subscribers, seed=spawn(rng, "builder.population")
+        )
 
     if n_shards > 1:
         plan = ShardPlan(
@@ -167,7 +180,13 @@ def build_session_level_dataset(
                 spawn(rng, "builder.shard", index=i) for i in range(n_shards)
             ],
         )
-        results = execute_shards(plan, n_workers)
+        with obs.span("shards"):
+            results = execute_shards(plan, n_workers)
+            for result in results:  # index order: counters merge exactly
+                if result.obs_export is not None:
+                    obs.absorb_shard(result.obs_export)
+                    obs.add("shard.results_merged")
+        obs.add("shard.fan_out", n_shards)
 
         engine = DpiEngine(FingerprintDatabase(catalog, seed=0))
         aggregator = CommuneAggregator(country, catalog, engine, axis=axis)
@@ -175,14 +194,17 @@ def build_session_level_dataset(
         handover_stats = HandoverStats()
         sessions_generated = 0
         flows_generated = 0
-        for result in results:  # fixed shard order: float-determinism
-            aggregator.merge(result)
-            engine.report.merge(result.report)
-            probe_stats.merge(result.probe_stats)
-            handover_stats.merge(result.handover_stats)
-            sessions_generated += result.sessions_generated
-            flows_generated += result.flows_generated
-        dataset = aggregator.finalize()
+        with obs.span("merge"):
+            for result in results:  # fixed shard order: float-determinism
+                aggregator.merge(result)
+                engine.report.merge(result.report)
+                probe_stats.merge(result.probe_stats)
+                handover_stats.merge(result.handover_stats)
+                sessions_generated += result.sessions_generated
+                flows_generated += result.flows_generated
+        with obs.span("finalize"):
+            dataset = aggregator.finalize()
+        obs.add("builder.session_datasets")
         return PipelineArtifacts(
             country=country,
             catalog=catalog,
@@ -235,7 +257,9 @@ def build_session_level_dataset(
     aggregator = CommuneAggregator(country, catalog, engine, axis=axis)
     for batch in probe.drain_batches():
         aggregator.ingest_columnar(batch)
-    dataset = aggregator.finalize()
+    with obs.span("finalize"):
+        dataset = aggregator.finalize()
+    obs.add("builder.session_datasets")
 
     return PipelineArtifacts(
         country=country,

@@ -28,6 +28,7 @@ from typing import List, Optional, Set
 
 import numpy as np
 
+from repro import obs
 from repro._rng import spawn
 from repro._time import TimeAxis
 from repro.dataset.aggregation import CommuneAggregator
@@ -89,6 +90,9 @@ class ShardResult:
     handover_stats: HandoverStats
     sessions_generated: int
     flows_generated: int
+    #: Observability snapshot (counters + span tree) captured inside the
+    #: shard, or None when the parent ran without observation enabled.
+    obs_export: Optional[dict] = None
 
 
 class MergedHandover:
@@ -137,7 +141,20 @@ def partition_subscribers(
 
 
 def run_shard(plan: ShardPlan, shard_index: int) -> ShardResult:
-    """Run the full measurement chain for one shard of subscribers."""
+    """Run the full measurement chain for one shard of subscribers.
+
+    When the parent runs under :func:`repro.obs.observed`, the shard's
+    metrics and spans are captured into a private session (fork-safe)
+    and travel back on :attr:`ShardResult.obs_export` for the parent to
+    absorb in shard-index order.
+    """
+    with obs.shard_capture(f"shard[{shard_index}]") as capture:
+        result = _run_shard(plan, shard_index)
+    result.obs_export = capture.export
+    return result
+
+
+def _run_shard(plan: ShardPlan, shard_index: int) -> ShardResult:
     srng = plan.shard_rngs[shard_index]
     engine = DpiEngine(FingerprintDatabase(plan.catalog, seed=0))
     aggregator = CommuneAggregator(

@@ -33,6 +33,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.dpi.fingerprints import FingerprintDatabase
 from repro.network.gtp import FlowDescriptor
 
@@ -189,6 +190,7 @@ class DpiEngine:
         :attr:`report`.
         """
         if self.indexed:
+            before = self._match_cached.cache_info() if obs.is_enabled() else None
             outcome = self._match_cached(
                 flow.sni,
                 flow.host,
@@ -196,10 +198,18 @@ class DpiEngine:
                 flow.server_port,
                 flow.protocol,
             )
+            if before is not None:
+                after = self._match_cached.cache_info()
+                obs.add("dpi.cache_hits", after.hits - before.hits)
+                obs.add("dpi.cache_misses", after.misses - before.misses)
         else:
             outcome = self._match(flow)
         technique = outcome[1] if outcome else None
         self.report.record(technique, volume_bytes)
+        if outcome is None:
+            obs.add("dpi.flows_unclassified")
+        else:
+            obs.add("dpi.flows_classified")
         return outcome[0] if outcome else None
 
     def classify_batch(
@@ -218,6 +228,11 @@ class DpiEngine:
         """
         match = (
             self._match_cached if self.indexed else self._match_features_linear
+        )
+        before = (
+            self._match_cached.cache_info()
+            if self.indexed and obs.is_enabled()
+            else None
         )
         names: List[Optional[str]] = []
         append = names.append
@@ -241,6 +256,12 @@ class DpiEngine:
         report.bytes_classified += bytes_classified
         for technique, count in by_technique.items():
             report.by_technique[technique] += count
+        if before is not None:
+            after = self._match_cached.cache_info()
+            obs.add("dpi.cache_hits", after.hits - before.hits)
+            obs.add("dpi.cache_misses", after.misses - before.misses)
+        obs.add("dpi.flows_classified", flows_classified)
+        obs.add("dpi.flows_unclassified", len(names) - flows_classified)
         return names
 
     def _match_features(

@@ -11,6 +11,7 @@ Usage::
 
 from typing import Callable, Dict, List
 
+from repro import obs
 from repro.experiments import (
     fig2_service_ranking,
     fig3_top_services,
@@ -50,6 +51,13 @@ REGISTRY: Dict[str, tuple] = {
     m.EXPERIMENT_ID: (m.TITLE, m.run) for m in _MODULES
 }
 
+#: experiment id -> (paper section, one-line reproduced finding), from
+#: the ``PAPER_SECTION``/``FINDING`` constants each module declares next
+#: to its docstring.
+PAPER_NOTES: Dict[str, tuple] = {
+    m.EXPERIMENT_ID: (m.PAPER_SECTION, m.FINDING) for m in _MODULES
+}
+
 
 def experiment_ids() -> List[str]:
     """All experiment ids, in paper order."""
@@ -65,7 +73,10 @@ def run_figure(experiment_id: str, ctx: ExperimentContext) -> ExperimentResult:
             f"unknown experiment {experiment_id!r}; "
             f"known: {', '.join(REGISTRY)}"
         ) from None
-    return runner(ctx)
+    with obs.span(f"experiment.{experiment_id}"):
+        result = runner(ctx)
+    obs.add("experiments.runs")
+    return result
 
 
 def run_all(ctx: ExperimentContext) -> Dict[str, ExperimentResult]:
@@ -83,4 +94,5 @@ __all__ = [
     "run_figure",
     "run_all",
     "REGISTRY",
+    "PAPER_NOTES",
 ]

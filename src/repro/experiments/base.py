@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro import obs
+
 
 @dataclass
 class Check:
@@ -45,12 +47,16 @@ class ExperimentResult:
         self, name: str, measured: float, expectation: str, passed: bool
     ) -> None:
         """Record one expectation check."""
+        passed = bool(passed)
+        obs.add("experiments.checks_total")
+        if not passed:
+            obs.add("experiments.checks_failed")
         self.checks.append(
             Check(
                 name=name,
                 measured=float(measured),
                 expectation=expectation,
-                passed=bool(passed),
+                passed=passed,
             )
         )
 

@@ -14,6 +14,7 @@ import sys
 from typing import List, Optional
 
 from repro.experiments import (
+    PAPER_NOTES,
     REGISTRY,
     build_default_context,
     experiment_ids,
@@ -56,7 +57,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list:
         for eid in experiment_ids():
+            section, finding = PAPER_NOTES[eid]
             print(f"{eid:8s} {REGISTRY[eid][0]}")
+            print(f"{'':8s} {section}: {finding}")
         return 0
 
     targets = args.experiments or []

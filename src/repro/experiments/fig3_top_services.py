@@ -5,6 +5,10 @@ Paper claims: video streaming dominates downlink at ≈46 % of traffic
 uplink, social/messaging services take the top three spots (SnapChat
 and Facebook named) due to content sharing with small audiences; the
 head services cover over 60 % of the overall network traffic.
+
+Paper §3 (service usage overview).  Reproduced finding: video streaming
+takes ≈46 % of downlink, social/messaging lead uplink, and the 20 head
+services cover most of the traffic.
 """
 
 from __future__ import annotations
@@ -21,6 +25,8 @@ from repro.services.catalog import ServiceCategory
 
 EXPERIMENT_ID = "fig3"
 TITLE = "Head services ranked on downlink / uplink traffic volume"
+PAPER_SECTION = "§3"
+FINDING = "video ≈46 % of downlink; social/messaging lead uplink"
 
 _SOCIAL_LIKE = (ServiceCategory.SOCIAL, ServiceCategory.MESSAGING)
 

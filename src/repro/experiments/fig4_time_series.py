@@ -4,6 +4,9 @@ Paper claims: classic diurnal patterns (higher daytime activity, reduced
 overnight traffic) and a weekend/working-day dichotomy, with
 service-specific fluctuation patterns; the smoothed z-score algorithm
 (threshold 3, lag 2 h, influence 0.4) marks the activity peaks.
+
+Paper §4 (temporal analysis).  Reproduced finding: classic diurnal and
+weekly rhythms, but with service-specific peak arrangements.
 """
 
 from __future__ import annotations
@@ -18,6 +21,8 @@ from repro.report.series import render_series
 
 EXPERIMENT_ID = "fig4"
 TITLE = "Sample service time series and smoothed z-score peak detection"
+PAPER_SECTION = "§4"
+FINDING = "diurnal weekly rhythms with service-specific peak arrangements"
 
 #: The four sample services the paper plots.
 SAMPLE_SERVICES = ("Facebook", "SnapChat", "Netflix", "Apple store")

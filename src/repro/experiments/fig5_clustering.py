@@ -4,6 +4,9 @@ Paper claims: running k-shape over all k with the Davies-Bouldin,
 modified Davies-Bouldin, Dunn and Silhouette indices is *inconclusive* —
 no index pinpoints a winning k; quality steadily degrades as k grows;
 no consistent grouping of services exists.
+
+Paper §4 (temporal analysis).  Reproduced finding: no clustering index
+pinpoints a winning k — the head services resist temporal grouping.
 """
 
 from __future__ import annotations
@@ -18,6 +21,8 @@ from repro.report.tables import format_table
 
 EXPERIMENT_ID = "fig5"
 TITLE = "k-shape clustering quality indices vs k (inconclusive grouping)"
+PAPER_SECTION = "§4"
+FINDING = "k-shape finds no stable service grouping at any k"
 
 
 def run(ctx: ExperimentContext, k_values=None, n_restarts: int = 3) -> ExperimentResult:

@@ -7,6 +7,9 @@ heterogeneity separates services of a same category; almost all
 services peak at workday midday; large sets peak at the afternoon
 commute and weekend evenings; the morning-break peak singles out
 student-heavy services (SnapChat, Instagram, Facebook, Twitter).
+
+Paper §4 (temporal analysis).  Reproduced finding: peaks land only on
+the seven topical times, in service-specific combinations.
 """
 
 from __future__ import annotations
@@ -23,6 +26,8 @@ from repro.services.profiles import TopicalTime
 
 EXPERIMENT_ID = "fig6"
 TITLE = "Activity peak times of mobile services (topical-time signatures)"
+PAPER_SECTION = "§4"
+FINDING = "peaks land only on seven topical times, in service-specific sets"
 
 _STUDENT_SERVICES = ("SnapChat", "Instagram", "Facebook", "Twitter")
 

@@ -4,6 +4,9 @@ Paper claims: the top 1 % / 10 % of communes generate over 50 % / 90 %
 of the Twitter traffic; the per-subscriber weekly usage CDF over
 communes is highly skewed — half of the communes consume a negligible
 load while other areas reach tens of MB per subscriber and week.
+
+Paper §5 (spatial analysis).  Reproduced finding: the top 1 % of
+communes carry over half of the Twitter traffic.
 """
 
 from __future__ import annotations
@@ -18,6 +21,8 @@ from repro.report.tables import format_table
 
 EXPERIMENT_ID = "fig8"
 TITLE = "Twitter geography: commune concentration and per-subscriber CDF"
+PAPER_SECTION = "§5"
+FINDING = "the top 1 % of communes carry >50 % of Twitter traffic"
 
 SERVICE = "Twitter"
 

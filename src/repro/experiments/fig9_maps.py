@@ -5,6 +5,9 @@ and the high-speed rail arteries; the Netflix map shows an even starker
 urban/transport duality, with usage dramatically low or absent in rural
 France; the 3G/4G coverage maps explain it — Netflix usage follows the
 4G footprint while (pervasive) 3G suffices for Twitter.
+
+Paper §5 (spatial analysis).  Reproduced finding: per-subscriber demand
+follows cities, rail arteries and — for Netflix — the 4G footprint.
 """
 
 from __future__ import annotations
@@ -20,6 +23,8 @@ from repro.report.tables import format_table
 
 EXPERIMENT_ID = "fig9"
 TITLE = "Per-subscriber activity maps (Twitter, Netflix) and 3G/4G coverage"
+PAPER_SECTION = "§5"
+FINDING = "demand follows cities, rail arteries and the 4G footprint"
 
 
 def run(ctx: ExperimentContext, grid_size: int = 28) -> ExperimentResult:

@@ -7,6 +7,9 @@ aggregation anonymizes the data.
 
 This experiment exercises the *session-level* measurement chain — the
 full substrate — at reduced scale, and verifies its statistics.
+
+Paper §2-§3 (dataset).  Reproduced finding: the DPI engine classifies
+≈88 % of the traffic volume and aggregation anonymizes the records.
 """
 
 from __future__ import annotations
@@ -19,6 +22,8 @@ from repro.report.tables import format_table
 
 EXPERIMENT_ID = "text"
 TITLE = "In-text statistics: DPI coverage, probe pipeline, anonymization"
+PAPER_SECTION = "§2-§3"
+FINDING = "the DPI classifies ≈88 % of volume; aggregation anonymizes"
 
 
 def run(

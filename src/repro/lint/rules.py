@@ -161,12 +161,19 @@ class WallClockRule(Rule):
 
     ``datetime.now``/``utcnow``/``today`` and ``time.time``/
     ``monotonic``/``perf_counter`` make reruns irreproducible; simulation
-    time is the :class:`repro._time.TimeAxis` hour-of-week model.
+    time is the :class:`repro._time.TimeAxis` hour-of-week model.  The
+    one sanctioned exception is ``repro/obs/clock.py``: observability
+    span timings *measure* the pipeline without feeding it, and every
+    wall-clock read of the package is funnelled through that shim (its
+    outputs are tagged ``timing`` and excluded from determinism
+    comparisons — see ``docs/observability.md``).
     """
 
     code = "RPL103"
     name = "wall-clock"
     summary = "wall-clock read in simulation code (use repro._time)"
+
+    _EXEMPT_SUFFIXES = ("repro/obs/clock.py",)
 
     _TIME_FUNCS = frozenset(
         {
@@ -181,7 +188,7 @@ class WallClockRule(Rule):
     _DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
 
     def applies_to(self, ctx: FileContext) -> bool:
-        return ctx.in_src
+        return ctx.in_src and not ctx.relpath.endswith(self._EXEMPT_SUFFIXES)
 
     def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
         chain = _attr_chain(node.func)

@@ -23,6 +23,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.geo.coverage import Technology
 
 #: Compact integer codes for :class:`~repro.geo.coverage.Technology`,
@@ -253,6 +254,7 @@ class TeidAllocator:
         teid = next(self._counter) % self._MAX
         if teid == 0:  # TEID 0 is reserved for signalling
             teid = next(self._counter) % self._MAX
+        obs.add("gtp.teids_allocated")
         return teid
 
     def allocate_many(self, n: int) -> np.ndarray:
@@ -266,6 +268,7 @@ class TeidAllocator:
         reserved = teids == 0
         if reserved.any():  # once per 2^32 sessions
             teids[reserved] = [self.allocate() for _ in range(int(reserved.sum()))]
+        obs.add("gtp.teids_allocated", n)
         return teids
 
 

@@ -16,6 +16,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.geo.coverage import Technology
 from repro.network.gtp import (
     TECH_3G,
@@ -166,6 +167,7 @@ class SessionManager:
                 uli=uli,
             )
         )
+        obs.add("gtp.control_messages", 2)
         self.active_sessions[teid] = session
         return session
 
@@ -201,6 +203,7 @@ class SessionManager:
                 uli=uli,
             )
         )
+        obs.add("gtp.control_messages")
         self.active_sessions[session.teid] = updated
         return updated
 
@@ -223,6 +226,7 @@ class SessionManager:
             ul_bytes=ul_bytes,
         )
         self._emit_user(packet)
+        obs.add("gtp.user_flow_records")
         return packet
 
     def detach(self, session: UserSession, timestamp_s: float) -> UserSession:
@@ -240,6 +244,7 @@ class SessionManager:
                 teid=session.teid,
             )
         )
+        obs.add("gtp.control_messages")
         released = replace(session, state=BearerState.RELEASED)
         self.active_sessions.pop(session.teid, None)
         return released
@@ -269,27 +274,32 @@ class SessionManager:
         timestamps_s: np.ndarray,
     ) -> tuple:
         """Establish a batch of sessions; returns ``(teids, tech_codes)``."""
-        n = len(commune_ids)
-        tech_codes = self._topology.available_technology_codes(
-            commune_ids, wants_4g
-        )
-        bs_ids, tech_codes, ra_ids, cell_communes = (
-            self._topology.serving_station_codes(commune_ids, tech_codes, self._rng)
-        )
-        teids = self._teids.allocate_many(n)
-        bulk = GtpcCreateBulk(
-            timestamps_s=np.asarray(timestamps_s, dtype=np.float64),
-            imsi_hashes=np.full(n, imsi_hash, dtype=np.int64),
-            teids=teids,
-            tech_codes=tech_codes,
-            routing_area_ids=ra_ids,
-            cell_ids=bs_ids,
-            cell_commune_ids=cell_communes,
-        )
-        for listener in self._bulk_control_listeners:
-            listener(bulk)
-        if self._control_listeners and not self._bulk_control_listeners:
-            self._materialize_creates(bulk)
+        with obs.span("gtp.signalling"):
+            n = len(commune_ids)
+            tech_codes = self._topology.available_technology_codes(
+                commune_ids, wants_4g
+            )
+            bs_ids, tech_codes, ra_ids, cell_communes = (
+                self._topology.serving_station_codes(
+                    commune_ids, tech_codes, self._rng
+                )
+            )
+            teids = self._teids.allocate_many(n)
+            bulk = GtpcCreateBulk(
+                timestamps_s=np.asarray(timestamps_s, dtype=np.float64),
+                imsi_hashes=np.full(n, imsi_hash, dtype=np.int64),
+                teids=teids,
+                tech_codes=tech_codes,
+                routing_area_ids=ra_ids,
+                cell_ids=bs_ids,
+                cell_commune_ids=cell_communes,
+            )
+            for listener in self._bulk_control_listeners:
+                listener(bulk)
+            if self._control_listeners and not self._bulk_control_listeners:
+                self._materialize_creates(bulk)
+            # One bulk entry stands for the request/response pair.
+            obs.add("gtp.control_messages", 2 * n)
         return teids, tech_codes
 
     def report_flows_bulk(
@@ -307,23 +317,25 @@ class SessionManager:
         protocols: List[str],
     ) -> GtpuBulk:
         """Account a session-grouped batch of user-plane flow records."""
-        bulk = GtpuBulk(
-            session_teids=session_teids,
-            flows_per_session=flows_per_session,
-            timestamps_s=timestamps_s,
-            dl_bytes=dl_bytes,
-            ul_bytes=ul_bytes,
-            flow_ids=flow_ids,
-            snis=snis,
-            hosts=hosts,
-            payload_hints=payload_hints,
-            server_ports=server_ports,
-            protocols=protocols,
-        )
-        for listener in self._bulk_user_listeners:
-            listener(bulk)
-        if self._user_listeners and not self._bulk_user_listeners:
-            self._materialize_flows(bulk)
+        with obs.span("gtp.user_plane"):
+            bulk = GtpuBulk(
+                session_teids=session_teids,
+                flows_per_session=flows_per_session,
+                timestamps_s=timestamps_s,
+                dl_bytes=dl_bytes,
+                ul_bytes=ul_bytes,
+                flow_ids=flow_ids,
+                snis=snis,
+                hosts=hosts,
+                payload_hints=payload_hints,
+                server_ports=server_ports,
+                protocols=protocols,
+            )
+            for listener in self._bulk_user_listeners:
+                listener(bulk)
+            if self._user_listeners and not self._bulk_user_listeners:
+                self._materialize_flows(bulk)
+            obs.add("gtp.user_flow_records", len(bulk))
         return bulk
 
     def detach_bulk(
@@ -334,16 +346,18 @@ class SessionManager:
         timestamps_s: np.ndarray,
     ) -> None:
         """Tear down a batch of sessions."""
-        bulk = GtpcDeleteBulk(
-            timestamps_s=np.asarray(timestamps_s, dtype=np.float64),
-            imsi_hashes=np.full(len(teids), imsi_hash, dtype=np.int64),
-            teids=teids,
-            tech_codes=tech_codes,
-        )
-        for listener in self._bulk_control_listeners:
-            listener(bulk)
-        if self._control_listeners and not self._bulk_control_listeners:
-            self._materialize_deletes(bulk)
+        with obs.span("gtp.signalling"):
+            bulk = GtpcDeleteBulk(
+                timestamps_s=np.asarray(timestamps_s, dtype=np.float64),
+                imsi_hashes=np.full(len(teids), imsi_hash, dtype=np.int64),
+                teids=teids,
+                tech_codes=tech_codes,
+            )
+            for listener in self._bulk_control_listeners:
+                listener(bulk)
+            if self._control_listeners and not self._bulk_control_listeners:
+                self._materialize_deletes(bulk)
+            obs.add("gtp.control_messages", len(bulk))
 
     def _materialize_creates(self, bulk: GtpcCreateBulk) -> None:
         for i in range(len(bulk)):

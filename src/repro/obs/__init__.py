@@ -1,0 +1,83 @@
+"""Pipeline observability: spans, typed metrics, exporters (zero-dep).
+
+The measurement chain (generation → GTP → probe → DPI → aggregation) is
+instrumented with two primitives:
+
+- ``with obs.span("stage"):`` — nested wall-clock / peak-RSS timing,
+  accumulated into a trace tree (:mod:`repro.obs.spans`);
+- ``obs.add("metric", n)`` / ``obs.set_gauge("metric", v)`` — typed
+  counters and gauges from the declared contract
+  (:data:`repro.obs.metrics.SPECS`, documented name-by-name in
+  ``docs/observability.md``).
+
+Disabled by default: every call is a global load plus a ``None`` check.
+Enable around a block with :func:`observed`, export with
+:meth:`ObsSession.export`, render/diff with :mod:`repro.obs.export` or
+the ``repro-obs`` CLI.  Event counters are deterministic for a fixed
+``(seed, n_shards)`` regardless of worker count; timings are
+explicitly non-deterministic and never compared.
+
+This package is stdlib-only (no numpy) so tooling — the docs
+cross-checker, the CLI's ``diff``/``show``/``list-metrics`` — can load
+the contract without the simulation stack.
+"""
+
+from repro.obs.export import (
+    DiffResult,
+    diff_dumps,
+    load_dump,
+    render_json,
+    render_text,
+)
+from repro.obs.metrics import (
+    SPECS,
+    Determinism,
+    MetricKind,
+    MetricSpec,
+    MetricsRegistry,
+    spec_names,
+)
+from repro.obs.runtime import (
+    ObsSession,
+    SCHEMA,
+    absorb_shard,
+    add,
+    current,
+    disable,
+    enable,
+    is_enabled,
+    observed,
+    set_gauge,
+    shard_capture,
+    span,
+)
+from repro.obs.spans import SpanNode, find, flatten
+
+__all__ = [
+    "DiffResult",
+    "Determinism",
+    "MetricKind",
+    "MetricSpec",
+    "MetricsRegistry",
+    "ObsSession",
+    "SCHEMA",
+    "SPECS",
+    "SpanNode",
+    "absorb_shard",
+    "add",
+    "current",
+    "diff_dumps",
+    "disable",
+    "enable",
+    "find",
+    "flatten",
+    "is_enabled",
+    "load_dump",
+    "observed",
+    "render_json",
+    "render_text",
+    "set_gauge",
+    "shard_capture",
+    "span",
+    "spec_names",
+]

@@ -1,0 +1,157 @@
+"""``repro-obs`` command-line interface.
+
+Examples::
+
+    repro-obs build --subscribers 2000 --communes 400 --seed 7 \\
+        --out run_a.json
+    repro-obs build --seed 7 --workers 4 --shards 4 --out run_b.json
+    repro-obs show run_a.json --top 5
+    repro-obs diff run_a.json run_b.json
+    repro-obs list-metrics
+
+Exit codes: ``0`` success (for ``diff``: deterministic content
+identical), ``1`` dumps differ, ``2`` usage error.  Everything except
+``build`` is stdlib-only; ``build`` imports the numpy pipeline lazily.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs import export as obs_export
+from repro.obs import runtime
+from repro.obs.metrics import SPECS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description=(
+            "Profile the measurement pipeline and diff metric dumps: "
+            "per-stage span trees plus the typed counters documented in "
+            "docs/observability.md."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser(
+        "build",
+        help="run build_session_level_dataset with observability enabled",
+    )
+    build.add_argument("--subscribers", type=int, default=2_000)
+    build.add_argument("--communes", type=int, default=400)
+    build.add_argument("--seed", type=int, default=7)
+    build.add_argument("--workers", type=int, default=1)
+    build.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count (default: derived from --workers)",
+    )
+    build.add_argument(
+        "--out", metavar="PATH", default=None, help="write the JSON dump here"
+    )
+    build.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the text report on stdout",
+    )
+
+    show = sub.add_parser("show", help="render a JSON dump as text")
+    show.add_argument("dump", metavar="PATH")
+    show.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        help="show only the N largest counters (0 = all)",
+    )
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two dumps (exact on counters, never on timings)",
+    )
+    diff.add_argument("dump_a", metavar="A")
+    diff.add_argument("dump_b", metavar="B")
+
+    sub.add_parser("list-metrics", help="print the metrics contract table")
+    return parser
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.dataset.builder import build_session_level_dataset
+    from repro.geo.country import CountryConfig
+
+    with runtime.observed() as session:
+        build_session_level_dataset(
+            n_subscribers=args.subscribers,
+            country_config=CountryConfig(n_communes=args.communes),
+            n_workers=args.workers,
+            n_shards=args.shards,
+            seed=args.seed,
+        )
+        dump = session.export(
+            meta={
+                "command": "build",
+                "subscribers": args.subscribers,
+                "communes": args.communes,
+                "seed": args.seed,
+                "workers": args.workers,
+                "shards": args.shards,
+            }
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(obs_export.render_json(dump))
+        print(f"dump written to {args.out}", file=sys.stderr)
+    if not args.quiet:
+        print(obs_export.render_text(dump))
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    dump = obs_export.load_dump(args.dump)
+    print(obs_export.render_text(dump, top=args.top))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    result = obs_export.diff_dumps(
+        obs_export.load_dump(args.dump_a), obs_export.load_dump(args.dump_b)
+    )
+    print(result.render())
+    return 0 if result.identical else 1
+
+
+def _cmd_list_metrics(args: argparse.Namespace) -> int:
+    for name in sorted(SPECS):
+        spec = SPECS[name]
+        print(
+            f"{spec.name:<30s} {spec.kind.value:<8s} {spec.unit:<12s} "
+            f"{spec.stage:<12s} {spec.determinism.value:<8s} "
+            f"{spec.description}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "build":
+            return _cmd_build(args)
+        if args.command == "show":
+            return _cmd_show(args)
+        if args.command == "diff":
+            return _cmd_diff(args)
+        if args.command == "list-metrics":
+            return _cmd_list_metrics(args)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"repro-obs: {exc}", file=sys.stderr)
+        return 2
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""The sanctioned wall-clock shim of the observability layer.
+
+Simulation code never reads the wall clock — that is the ``RPL103``
+contract (``docs/determinism.md``).  Observability is the one sanctioned
+exception: span timings *measure* the pipeline, they never feed it, so
+this module is the single place in ``src/repro`` allowed to call
+:func:`time.perf_counter`.  ``repro-lint`` exempts exactly this file
+(and its contract test); everything else keeps importing simulation
+time from :mod:`repro._time`.
+
+Everything exported here is explicitly **non-deterministic**: exporters
+tag the derived quantities with the ``timing`` determinism class and
+``repro-obs diff`` never compares them (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro._units import KIB
+
+
+def now_s() -> float:
+    """Monotonic wall-clock reading in seconds (span timing only)."""
+    return time.perf_counter()
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident-set size of this process, in bytes (0 if unknown).
+
+    Read from :func:`resource.getrusage`; ``ru_maxrss`` is kibibytes on
+    Linux and bytes on macOS.  The value is monotone over the process
+    lifetime, so a span records the high-water mark reached *by* its
+    end, not the memory attributable to the span alone.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * KIB
+
+
+__all__ = ["now_s", "peak_rss_bytes"]

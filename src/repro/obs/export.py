@@ -1,0 +1,220 @@
+"""Dump rendering and diffing for the observability layer.
+
+A *dump* is the JSON-ready dict produced by
+:meth:`repro.obs.runtime.ObsSession.export`::
+
+    {
+      "schema": "repro-obs/1",
+      "counters": {name: value, ...},   # sorted, events-class
+      "gauges":   {name: value, ...},   # sorted, derived-class
+      "spans":    {span tree},          # timing-class
+      "meta":     {...}
+    }
+
+:func:`render_json` / :func:`render_text` serialize it; :func:`diff_dumps`
+compares two dumps under the determinism contract: **counters must match
+exactly, gauges approximately, timings are never compared** (they are
+shown side by side for information only).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.metrics import SPECS, Number, validate_export
+from repro.obs.runtime import SCHEMA
+from repro.obs.spans import SpanNode, flatten
+
+#: Relative tolerance for derived-class (gauge) comparisons: shard
+#: merge order is fixed, so same-shape runs agree far tighter than this.
+GAUGE_REL_TOL = 1e-9
+
+
+def render_json(dump: Dict[str, Any]) -> str:
+    """Canonical JSON form (stable key order — dumps diff bytewise)."""
+    return json.dumps(dump, indent=2, sort_keys=True) + "\n"
+
+
+def _format_rss(n_bytes: int) -> str:
+    from repro._units import format_bytes
+
+    return format_bytes(float(n_bytes)) if n_bytes else "-"
+
+
+def render_text(dump: Dict[str, Any], top: int = 0) -> str:
+    """Human-readable report: span tree, then counters, then gauges.
+
+    ``top`` truncates the counter table to the N largest values
+    (0 = all), for quick profiling summaries.
+    """
+    lines: List[str] = []
+    spans = dump.get("spans")
+    if spans:
+        root = SpanNode.from_dict(spans)
+        lines.append("span tree (wall-clock, peak RSS — non-deterministic):")
+        for row in flatten(root):
+            indent = "  " * row["depth"]
+            count = f"x{row['count']}" if row["count"] > 1 else ""
+            lines.append(
+                f"  {indent}{row['name']:<{max(4, 34 - 2 * row['depth'])}s}"
+                f" {row['elapsed_s']:>9.3f}s"
+                f" (self {row['self_s']:>8.3f}s)"
+                f" {_format_rss(row['peak_rss_bytes']):>9s}"
+                f" {count}"
+            )
+    counters = dump.get("counters", {})
+    if counters:
+        lines.append("counters (events — deterministic):")
+        items = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))
+        if top:
+            items = items[:top]
+        for name, value in items:
+            unit = SPECS[name].unit if name in SPECS else "?"
+            lines.append(f"  {name:<32s} {value:>14,} {unit}")
+    gauges = dump.get("gauges", {})
+    if gauges:
+        lines.append("gauges (derived — deterministic, float):")
+        for name in sorted(gauges):
+            unit = SPECS[name].unit if name in SPECS else "?"
+            lines.append(f"  {name:<32s} {gauges[name]:>14,.1f} {unit}")
+    if not lines:
+        lines.append("(empty dump — nothing was recorded)")
+    return "\n".join(lines)
+
+
+@dataclass
+class DiffResult:
+    """Outcome of comparing two dumps under the determinism contract."""
+
+    #: (name, value_a, value_b) for counters with unequal values.
+    counter_diffs: List[Tuple[str, Number, Number]] = field(
+        default_factory=list
+    )
+    #: (name, value_a, value_b) for gauges outside GAUGE_REL_TOL.
+    gauge_diffs: List[Tuple[str, Number, Number]] = field(default_factory=list)
+    #: Metric names present in exactly one dump.
+    only_in_a: List[str] = field(default_factory=list)
+    only_in_b: List[str] = field(default_factory=list)
+    #: Contract violations (undeclared names) found in either dump.
+    contract_problems: List[str] = field(default_factory=list)
+    #: (name, elapsed_a, elapsed_b) per span — informational only.
+    timing_rows: List[Tuple[str, float, float]] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        """True when the deterministic content of both dumps matches."""
+        return not (
+            self.counter_diffs
+            or self.gauge_diffs
+            or self.only_in_a
+            or self.only_in_b
+            or self.contract_problems
+        )
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for name in self.contract_problems:
+            lines.append(f"CONTRACT {name}")
+        for name in self.only_in_a:
+            lines.append(f"ONLY-IN-A {name}")
+        for name in self.only_in_b:
+            lines.append(f"ONLY-IN-B {name}")
+        for name, a, b in self.counter_diffs:
+            lines.append(f"COUNTER {name}: {a!r} != {b!r} (delta {b - a:+})")
+        for name, a, b in self.gauge_diffs:
+            lines.append(f"GAUGE {name}: {a!r} != {b!r}")
+        if self.timing_rows:
+            lines.append("timings (informational, never compared):")
+            for name, a, b in self.timing_rows:
+                ratio = b / a if a else math.inf
+                lines.append(f"  {name:<34s} {a:>9.3f}s -> {b:>9.3f}s ({ratio:.2f}x)")
+        status = (
+            "deterministic content identical"
+            if self.identical
+            else "deterministic content DIFFERS"
+        )
+        lines.append(status)
+        return "\n".join(lines)
+
+
+def _check_schema(dump: Dict[str, Any], label: str) -> List[str]:
+    schema = dump.get("schema")
+    if schema != SCHEMA:
+        return [f"dump {label} has schema {schema!r}, expected {SCHEMA!r}"]
+    return []
+
+
+def diff_dumps(a: Dict[str, Any], b: Dict[str, Any]) -> DiffResult:
+    """Compare two dumps: exact on counters, approximate on gauges.
+
+    Span trees contribute informational timing rows only — wall-clock
+    is timing-class and never part of the verdict.
+    """
+    result = DiffResult()
+    result.contract_problems.extend(_check_schema(a, "A"))
+    result.contract_problems.extend(_check_schema(b, "B"))
+    for label, dump in (("A", a), ("B", b)):
+        ok, problems = validate_export(
+            dump.get("counters", {}), dump.get("gauges", {})
+        )
+        if not ok:
+            result.contract_problems.extend(
+                f"dump {label}: {p}" for p in problems
+            )
+
+    counters_a = a.get("counters", {})
+    counters_b = b.get("counters", {})
+    gauges_a, gauges_b = a.get("gauges", {}), b.get("gauges", {})
+    names_a = set(counters_a) | set(gauges_a)
+    names_b = set(counters_b) | set(gauges_b)
+    result.only_in_a = sorted(names_a - names_b)
+    result.only_in_b = sorted(names_b - names_a)
+
+    for name in sorted(set(counters_a) & set(counters_b)):
+        if counters_a[name] != counters_b[name]:
+            result.counter_diffs.append(
+                (name, counters_a[name], counters_b[name])
+            )
+    for name in sorted(set(gauges_a) & set(gauges_b)):
+        va, vb = gauges_a[name], gauges_b[name]
+        if not math.isclose(va, vb, rel_tol=GAUGE_REL_TOL, abs_tol=0.0):
+            result.gauge_diffs.append((name, va, vb))
+
+    spans_a, spans_b = a.get("spans"), b.get("spans")
+    if spans_a and spans_b:
+        # Same-named spans can recur at several tree positions (one per
+        # shard); sum them so each stage gets one side-by-side row.
+        totals_a = _elapsed_by_name(spans_a)
+        totals_b = _elapsed_by_name(spans_b)
+        for name in sorted(set(totals_a) & set(totals_b)):
+            result.timing_rows.append((name, totals_a[name], totals_b[name]))
+    return result
+
+
+def _elapsed_by_name(spans: Dict[str, Any]) -> Dict[str, float]:
+    totals: Dict[str, float] = {}
+    for row in flatten(SpanNode.from_dict(spans)):
+        totals[row["name"]] = totals.get(row["name"], 0.0) + row["elapsed_s"]
+    return totals
+
+
+def load_dump(path: str) -> Dict[str, Any]:
+    """Read one dump file (the ``repro-obs`` JSON format)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: not a repro-obs dump (expected an object)")
+    return payload
+
+
+__all__ = [
+    "DiffResult",
+    "GAUGE_REL_TOL",
+    "diff_dumps",
+    "load_dump",
+    "render_json",
+    "render_text",
+]

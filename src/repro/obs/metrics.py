@@ -1,0 +1,274 @@
+"""Typed metrics and the process-local registry.
+
+Every metric the pipeline can emit is declared up front in
+:data:`SPECS` — name, kind, unit, pipeline stage, determinism class,
+and a one-line description.  The table *is* the metrics contract:
+``docs/observability.md`` documents exactly these names, the CI docs
+job cross-checks the two, and :meth:`MetricsRegistry.add` rejects
+names that were never declared, so an undocumented metric cannot ship.
+
+Determinism classes
+-------------------
+
+``events``
+    Counts of simulation events (sessions, flows, GTP messages, DPI
+    lookups, aggregated rows).  For a fixed ``(seed, n_shards)`` these
+    are byte-identical across runs, worker counts and platforms; the
+    determinism tests and ``repro-obs diff`` compare them exactly.
+``derived``
+    Deterministic floats derived from event data (byte totals,
+    coverage fractions).  Reproducible for a fixed ``(seed,
+    n_shards)`` — shard partials merge in index order — but compared
+    approximately where float summation order may differ.
+``timing``
+    Wall-clock and memory readings from :mod:`repro.obs.clock`.
+    Never compared; excluded from snapshots and diffs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+
+class MetricKind(enum.Enum):
+    """What kind of instrument a metric is."""
+
+    COUNTER = "counter"  # monotone, merged by summation
+    GAUGE = "gauge"  # point-in-time value, merged by last-write
+
+
+class Determinism(enum.Enum):
+    """How reproducible a metric's value is (see module docstring)."""
+
+    EVENTS = "events"
+    DERIVED = "derived"
+    TIMING = "timing"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """The declared contract of one metric."""
+
+    name: str
+    kind: MetricKind
+    unit: str
+    stage: str
+    determinism: Determinism
+    description: str
+
+
+def _spec_table(specs: Iterable[MetricSpec]) -> Dict[str, MetricSpec]:
+    table: Dict[str, MetricSpec] = {}
+    for spec in specs:
+        if spec.name in table:
+            raise ValueError(f"duplicate metric spec {spec.name!r}")
+        table[spec.name] = spec
+    return table
+
+
+_C, _G = MetricKind.COUNTER, MetricKind.GAUGE
+_EV, _DE, _TI = Determinism.EVENTS, Determinism.DERIVED, Determinism.TIMING
+
+#: The full metrics contract: every name the pipeline may emit.
+SPECS: Dict[str, MetricSpec] = _spec_table(
+    [
+        # --- traffic generation -------------------------------------
+        MetricSpec(
+            "generator.sessions", _C, "sessions", "generation", _EV,
+            "data sessions generated (PDP contexts / EPS bearers)",
+        ),
+        MetricSpec(
+            "generator.flows", _C, "flows", "generation", _EV,
+            "IP flows generated inside sessions",
+        ),
+        MetricSpec(
+            "generator.subscribers", _C, "subscribers", "generation", _EV,
+            "subscriber weeks driven through the generator",
+        ),
+        # --- GTP signalling / user plane ----------------------------
+        MetricSpec(
+            "gtp.control_messages", _C, "messages", "gtp", _EV,
+            "GTP-C messages emitted (bulk creates count the "
+            "request/response pair)",
+        ),
+        MetricSpec(
+            "gtp.user_flow_records", _C, "records", "gtp", _EV,
+            "GTP-U flow accounting records emitted",
+        ),
+        MetricSpec(
+            "gtp.teids_allocated", _C, "teids", "gtp", _EV,
+            "tunnel endpoint identifiers allocated",
+        ),
+        # --- DPI classification -------------------------------------
+        MetricSpec(
+            "dpi.cache_hits", _C, "lookups", "dpi", _EV,
+            "flow-feature lookups answered by the classification memo",
+        ),
+        MetricSpec(
+            "dpi.cache_misses", _C, "lookups", "dpi", _EV,
+            "flow-feature lookups that ran the full match cascade",
+        ),
+        MetricSpec(
+            "dpi.flows_classified", _C, "flows", "dpi", _EV,
+            "flows attributed to a catalog service",
+        ),
+        MetricSpec(
+            "dpi.flows_unclassified", _C, "flows", "dpi", _EV,
+            "flows no fingerprinting technique matched",
+        ),
+        # --- aggregation --------------------------------------------
+        MetricSpec(
+            "aggregation.rows", _C, "rows", "aggregation", _EV,
+            "probe records folded into the commune-level tensors",
+        ),
+        MetricSpec(
+            "aggregation.batches", _C, "batches", "aggregation", _EV,
+            "columnar probe batches ingested",
+        ),
+        MetricSpec(
+            "aggregation.total_bytes", _G, "bytes", "aggregation", _DE,
+            "total traffic volume ingested by the aggregator",
+        ),
+        MetricSpec(
+            "aggregation.unclassified_bytes", _G, "bytes", "aggregation", _DE,
+            "ingested volume left unattributed by DPI",
+        ),
+        # --- sharded execution --------------------------------------
+        MetricSpec(
+            "shard.fan_out", _C, "shards", "parallel", _EV,
+            "shards executed by sharded builds",
+        ),
+        MetricSpec(
+            "shard.results_merged", _C, "shards", "parallel", _EV,
+            "shard partials folded back into the parent aggregator",
+        ),
+        # --- dataset builds -----------------------------------------
+        MetricSpec(
+            "builder.session_datasets", _C, "datasets", "builder", _EV,
+            "session-level dataset builds completed",
+        ),
+        MetricSpec(
+            "builder.volume_datasets", _C, "datasets", "builder", _EV,
+            "volume-level dataset builds completed",
+        ),
+        # --- experiments --------------------------------------------
+        MetricSpec(
+            "experiments.runs", _C, "experiments", "experiments", _EV,
+            "figure experiments executed",
+        ),
+        MetricSpec(
+            "experiments.checks_total", _C, "checks", "experiments", _EV,
+            "paper-expectation checks evaluated",
+        ),
+        MetricSpec(
+            "experiments.checks_failed", _C, "checks", "experiments", _EV,
+            "paper-expectation checks that did not hold",
+        ),
+    ]
+)
+
+
+def spec_names() -> List[str]:
+    """All declared metric names, sorted."""
+    return sorted(SPECS)
+
+
+class MetricsRegistry:
+    """Process-local store of counter/gauge values.
+
+    Only *declared* metrics (present in :data:`SPECS`) may be written;
+    undeclared names raise ``KeyError`` so the metrics contract in
+    ``docs/observability.md`` can never silently drift.  Values start
+    absent — a metric appears in exports only once touched — which is
+    what makes the no-op/"never enabled" path exactly empty.
+    """
+
+    __slots__ = ("counters", "gauges")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Number] = {}
+        self.gauges: Dict[str, Number] = {}
+
+    def add(self, name: str, value: Number = 1) -> None:
+        """Increment counter ``name`` by ``value``."""
+        spec = SPECS.get(name)
+        if spec is None or spec.kind is not MetricKind.COUNTER:
+            raise KeyError(
+                f"{name!r} is not a declared counter — add a MetricSpec "
+                "to repro.obs.metrics.SPECS and document it in "
+                "docs/observability.md"
+            )
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        spec = SPECS.get(name)
+        if spec is None or spec.kind is not MetricKind.GAUGE:
+            raise KeyError(
+                f"{name!r} is not a declared gauge — add a MetricSpec "
+                "to repro.obs.metrics.SPECS and document it in "
+                "docs/observability.md"
+            )
+        self.gauges[name] = value
+
+    def get(self, name: str) -> Optional[Number]:
+        """Current value of a metric, or None if never touched."""
+        if name in self.counters:
+            return self.counters[name]
+        return self.gauges.get(name)
+
+    def merge_counters(self, counters: Dict[str, Number]) -> None:
+        """Fold another registry's counter map in (summation)."""
+        for name in sorted(counters):
+            self.add(name, counters[name])
+
+    def export_counters(self) -> Dict[str, Number]:
+        """Counter name -> value, sorted by name (byte-stable)."""
+        return {name: self.counters[name] for name in sorted(self.counters)}
+
+    def export_gauges(self) -> Dict[str, Number]:
+        """Gauge name -> value, sorted by name."""
+        return {name: self.gauges[name] for name in sorted(self.gauges)}
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges)
+
+
+def validate_export(
+    counters: Dict[str, Number], gauges: Dict[str, Number]
+) -> Tuple[bool, List[str]]:
+    """Check an exported metric map against the contract.
+
+    Returns ``(ok, problems)``; used by ``repro-obs diff`` to refuse
+    dumps that carry names outside the declared contract.
+    """
+    problems: List[str] = []
+    for name in sorted(counters):
+        spec = SPECS.get(name)
+        if spec is None:
+            problems.append(f"undeclared counter {name!r}")
+        elif spec.kind is not MetricKind.COUNTER:
+            problems.append(f"{name!r} exported as counter but declared gauge")
+    for name in sorted(gauges):
+        spec = SPECS.get(name)
+        if spec is None:
+            problems.append(f"undeclared gauge {name!r}")
+        elif spec.kind is not MetricKind.GAUGE:
+            problems.append(f"{name!r} exported as gauge but declared counter")
+    return not problems, problems
+
+
+__all__ = [
+    "Determinism",
+    "MetricKind",
+    "MetricSpec",
+    "MetricsRegistry",
+    "Number",
+    "SPECS",
+    "spec_names",
+    "validate_export",
+]

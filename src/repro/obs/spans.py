@@ -1,0 +1,125 @@
+"""Span trees: nested wall-clock / peak-RSS accounting per stage.
+
+A :class:`SpanNode` is one named stage in the trace tree.  Re-entering
+the same name under the same parent *accumulates* into the existing
+node (``count`` increments, ``elapsed_s`` adds up) instead of growing a
+new child, so per-subscriber or per-batch stages stay one line in the
+tree no matter how often they run — the tree describes the pipeline's
+shape, not its event log.
+
+All quantities here are ``timing``-class (non-deterministic): they are
+excluded from determinism tests and from ``repro-obs diff``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class SpanNode:
+    """One named stage of the trace tree."""
+
+    __slots__ = ("name", "count", "elapsed_s", "peak_rss_bytes", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        #: Times this stage ran under its parent.
+        self.count = 0
+        #: Total wall-clock across all runs, seconds.
+        self.elapsed_s = 0.0
+        #: Process peak RSS observed at the last exit of this span.
+        self.peak_rss_bytes = 0
+        self.children: Dict[str, "SpanNode"] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        """The child span called ``name``, created on first use."""
+        node = self.children.get(name)
+        if node is None:
+            node = SpanNode(name)
+            self.children[name] = node
+        return node
+
+    def record(self, elapsed_s: float, peak_rss: int) -> None:
+        """Account one completed run of this stage."""
+        self.count += 1
+        self.elapsed_s += elapsed_s
+        if peak_rss > self.peak_rss_bytes:
+            self.peak_rss_bytes = peak_rss
+
+    def self_s(self) -> float:
+        """Wall-clock not attributed to any child span."""
+        return self.elapsed_s - sum(
+            child.elapsed_s for child in self.children.values()
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-ready); children sorted by name."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "elapsed_s": self.elapsed_s,
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "children": [
+                self.children[name].to_dict()
+                for name in sorted(self.children)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SpanNode":
+        """Rebuild a tree from :meth:`to_dict` output."""
+        node = cls(str(payload["name"]))
+        node.count = int(payload.get("count", 0))
+        node.elapsed_s = float(payload.get("elapsed_s", 0.0))
+        node.peak_rss_bytes = int(payload.get("peak_rss_bytes", 0))
+        for child in payload.get("children", []):
+            rebuilt = cls.from_dict(child)
+            node.children[rebuilt.name] = rebuilt
+        return node
+
+    def graft(self, subtree: "SpanNode") -> None:
+        """Attach ``subtree`` under this node, merging on name collision."""
+        existing = self.children.get(subtree.name)
+        if existing is None:
+            self.children[subtree.name] = subtree
+            return
+        existing.count += subtree.count
+        existing.elapsed_s += subtree.elapsed_s
+        if subtree.peak_rss_bytes > existing.peak_rss_bytes:
+            existing.peak_rss_bytes = subtree.peak_rss_bytes
+        for child in subtree.children.values():
+            existing.graft(child)
+
+    def walk(self, depth: int = 0):
+        """Yield ``(depth, node)`` pairs, children in name order."""
+        yield depth, self
+        for name in sorted(self.children):
+            yield from self.children[name].walk(depth + 1)
+
+
+def flatten(root: SpanNode) -> List[Dict[str, Any]]:
+    """Depth-annotated row list of a tree (for tabular rendering)."""
+    rows: List[Dict[str, Any]] = []
+    for depth, node in root.walk():
+        rows.append(
+            {
+                "depth": depth,
+                "name": node.name,
+                "count": node.count,
+                "elapsed_s": node.elapsed_s,
+                "self_s": node.self_s(),
+                "peak_rss_bytes": node.peak_rss_bytes,
+            }
+        )
+    return rows
+
+
+def find(root: SpanNode, name: str) -> Optional[SpanNode]:
+    """First node called ``name`` in depth-first name order, or None."""
+    for _, node in root.walk():
+        if node.name == name:
+            return node
+    return None
+
+
+__all__ = ["SpanNode", "find", "flatten"]

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro._rng import SeedLike, as_generator, spawn
 from repro._time import WEEK_HOURS
 from repro.dpi.fingerprints import FingerprintDatabase
@@ -115,12 +116,15 @@ class SessionLevelGenerator:
         so they are statistically equivalent, not bit-identical.
         """
         horizon = time_limit_hours if time_limit_hours is not None else WEEK_HOURS
-        if batched and self.auditor is None:
-            for subscriber in self._population:
-                self._run_subscriber_batched(subscriber, horizon)
-        else:
-            for subscriber in self._population:
-                self._run_subscriber(subscriber, horizon)
+        with obs.span("generate"):
+            if batched and self.auditor is None:
+                for subscriber in self._population:
+                    obs.add("generator.subscribers")
+                    self._run_subscriber_batched(subscriber, horizon)
+            else:
+                for subscriber in self._population:
+                    obs.add("generator.subscribers")
+                    self._run_subscriber(subscriber, horizon)
 
     def _temporal_cdfs(self, urbanization_class) -> np.ndarray:
         """Per-service temporal CDFs for one urbanization class.
@@ -234,6 +238,8 @@ class SessionLevelGenerator:
 
         self.sessions_generated += n_sessions
         self.flows_generated += total_flows
+        obs.add("generator.sessions", n_sessions)
+        obs.add("generator.flows", total_flows)
 
         # Long sessions whose subscriber moves mid-session exercise the
         # scalar handover path; everything else rides the bulk path.
@@ -397,6 +403,7 @@ class SessionLevelGenerator:
             timestamp_s=timestamp,
         )
         self.sessions_generated += 1
+        obs.add("generator.sessions")
 
         duration_minutes = float(rng.exponential(15.0)) + 1.0
         n_flows = 1 + int(rng.geometric(1.0 / config.flows_per_session) - 1)
@@ -429,6 +436,7 @@ class SessionLevelGenerator:
                 timestamp_s=flow_time,
             )
             self.flows_generated += 1
+            obs.add("generator.flows")
             if self.auditor is not None:
                 self.auditor.record(true_commune, session.uli)
 

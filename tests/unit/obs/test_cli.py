@@ -1,0 +1,75 @@
+"""Unit tests of the ``repro-obs`` CLI."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import main
+from repro.obs.metrics import SPECS
+from repro.obs.runtime import SCHEMA
+
+
+class TestListMetrics:
+    def test_lists_every_declared_metric(self, capsys):
+        assert main(["list-metrics"]) == 0
+        out = capsys.readouterr().out
+        for name in SPECS:
+            assert name in out
+
+
+class TestBuildShowDiff:
+    @pytest.fixture(scope="class")
+    def dumps(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("obs_cli")
+        paths = {}
+        for label, seed in (("a", 7), ("b", 7), ("c", 9)):
+            paths[label] = str(root / f"{label}.json")
+            code = main(
+                [
+                    "build",
+                    "--subscribers", "40",
+                    "--communes", "36",
+                    "--seed", str(seed),
+                    "--out", paths[label],
+                    "--quiet",
+                ]
+            )
+            assert code == 0
+        return paths
+
+    def test_build_writes_schema_and_meta(self, dumps):
+        with open(dumps["a"], encoding="utf-8") as handle:
+            dump = json.load(handle)
+        assert dump["schema"] == SCHEMA
+        assert dump["meta"]["seed"] == 7
+        assert dump["counters"]["generator.subscribers"] == 40
+
+    def test_same_seed_dumps_have_identical_counters(self, dumps):
+        with open(dumps["a"], encoding="utf-8") as fa:
+            a = json.load(fa)
+        with open(dumps["b"], encoding="utf-8") as fb:
+            b = json.load(fb)
+        assert a["counters"] == b["counters"]
+
+    def test_show(self, dumps, capsys):
+        assert main(["show", dumps["a"], "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "counters" in out
+
+    def test_diff_identical_exit_zero(self, dumps, capsys):
+        assert main(["diff", dumps["a"], dumps["b"]]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_different_seed_exit_one(self, dumps, capsys):
+        assert main(["diff", dumps["a"], dumps["c"]]) == 1
+        assert "DIFFERS" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_missing_dump_is_usage_error(self, capsys):
+        assert main(["show", "/nonexistent/dump.json"]) == 2
+
+    def test_corrupt_dump_is_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["show", str(bad)]) == 2

@@ -1,0 +1,26 @@
+"""Unit tests of the sanctioned wall-clock shim."""
+
+import sys
+
+from repro.obs import clock
+
+
+class TestNowS:
+    def test_monotone_non_decreasing(self):
+        readings = [clock.now_s() for _ in range(5)]
+        assert all(b >= a for a, b in zip(readings, readings[1:]))
+
+    def test_returns_float(self):
+        assert isinstance(clock.now_s(), float)
+
+
+class TestPeakRss:
+    def test_integer_and_non_negative(self):
+        peak = clock.peak_rss_bytes()
+        assert isinstance(peak, int)
+        assert peak >= 0
+
+    def test_positive_on_posix(self):
+        if sys.platform.startswith(("linux", "darwin")):
+            # A running interpreter occupies megabytes, not zero.
+            assert clock.peak_rss_bytes() > 1_000_000

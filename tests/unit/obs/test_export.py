@@ -1,0 +1,187 @@
+"""Unit tests of dump rendering and diffing."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    GAUGE_REL_TOL,
+    diff_dumps,
+    load_dump,
+    render_json,
+    render_text,
+)
+from repro.obs.runtime import SCHEMA
+
+
+def _dump(counters=None, gauges=None, spans=None):
+    return {
+        "schema": SCHEMA,
+        "counters": dict(counters or {}),
+        "gauges": dict(gauges or {}),
+        "spans": spans
+        or {
+            "name": "total",
+            "count": 1,
+            "elapsed_s": 1.0,
+            "peak_rss_bytes": 100,
+            "children": [],
+        },
+        "meta": {},
+    }
+
+
+class TestRenderJson:
+    def test_sorted_and_stable(self):
+        a = _dump(counters={"generator.sessions": 1, "aggregation.rows": 2})
+        b = _dump(counters={"aggregation.rows": 2, "generator.sessions": 1})
+        assert render_json(a) == render_json(b)
+        assert render_json(a).endswith("\n")
+
+    def test_roundtrips_through_json(self):
+        dump = _dump(counters={"generator.sessions": 3})
+        assert json.loads(render_json(dump)) == dump
+
+
+class TestRenderText:
+    def test_sections_present(self):
+        text = render_text(
+            _dump(
+                counters={"generator.sessions": 12},
+                gauges={"aggregation.total_bytes": 1.5},
+            )
+        )
+        assert "non-deterministic" in text
+        assert "generator.sessions" in text
+        assert "sessions" in text  # the declared unit
+        assert "aggregation.total_bytes" in text
+
+    def test_top_truncates_counters(self):
+        text = render_text(
+            _dump(
+                counters={
+                    "generator.sessions": 5,
+                    "generator.flows": 10,
+                    "aggregation.rows": 1,
+                }
+            ),
+            top=1,
+        )
+        assert "generator.flows" in text  # largest value survives
+        assert "aggregation.rows" not in text
+
+    def test_empty_dump(self):
+        assert "empty" in render_text({"schema": SCHEMA})
+
+
+class TestDiff:
+    def test_identical(self):
+        a = _dump(counters={"generator.sessions": 5})
+        result = diff_dumps(a, _dump(counters={"generator.sessions": 5}))
+        assert result.identical
+        assert "identical" in result.render()
+
+    def test_counter_mismatch(self):
+        result = diff_dumps(
+            _dump(counters={"generator.sessions": 5}),
+            _dump(counters={"generator.sessions": 6}),
+        )
+        assert not result.identical
+        assert result.counter_diffs == [("generator.sessions", 5, 6)]
+        assert "DIFFERS" in result.render()
+
+    def test_counters_compare_exactly(self):
+        result = diff_dumps(
+            _dump(counters={"generator.sessions": 10**12}),
+            _dump(counters={"generator.sessions": 10**12 + 1}),
+        )
+        assert not result.identical
+
+    def test_gauges_compare_approximately(self):
+        base = 1e9
+        result = diff_dumps(
+            _dump(gauges={"aggregation.total_bytes": base}),
+            _dump(
+                gauges={
+                    "aggregation.total_bytes": base * (1 + GAUGE_REL_TOL / 10)
+                }
+            ),
+        )
+        assert result.identical
+
+    def test_gauges_outside_tolerance_differ(self):
+        result = diff_dumps(
+            _dump(gauges={"aggregation.total_bytes": 1e9}),
+            _dump(gauges={"aggregation.total_bytes": 2e9}),
+        )
+        assert result.gauge_diffs
+
+    def test_one_sided_metrics(self):
+        result = diff_dumps(
+            _dump(counters={"generator.sessions": 1}),
+            _dump(counters={"generator.flows": 1}),
+        )
+        assert result.only_in_a == ["generator.sessions"]
+        assert result.only_in_b == ["generator.flows"]
+        assert not result.identical
+
+    def test_schema_mismatch_is_contract_problem(self):
+        bad = _dump()
+        bad["schema"] = "repro-obs/0"
+        result = diff_dumps(bad, _dump())
+        assert result.contract_problems
+        assert not result.identical
+
+    def test_undeclared_metric_is_contract_problem(self):
+        result = diff_dumps(_dump(counters={"bogus.metric": 1}), _dump())
+        assert any("undeclared" in p for p in result.contract_problems)
+
+    def test_timings_never_affect_verdict(self):
+        slow = _dump()
+        slow["spans"]["elapsed_s"] = 100.0
+        result = diff_dumps(_dump(), slow)
+        assert result.identical
+        assert result.timing_rows == [("total", 1.0, 100.0)]
+
+    def test_repeated_span_names_aggregate(self):
+        spans = {
+            "name": "total",
+            "count": 1,
+            "elapsed_s": 10.0,
+            "peak_rss_bytes": 0,
+            "children": [
+                {
+                    "name": f"shard[{i}]",
+                    "count": 1,
+                    "elapsed_s": 4.0,
+                    "peak_rss_bytes": 0,
+                    "children": [
+                        {
+                            "name": "generate",
+                            "count": 1,
+                            "elapsed_s": 3.0,
+                            "peak_rss_bytes": 0,
+                            "children": [],
+                        }
+                    ],
+                }
+                for i in range(2)
+            ],
+        }
+        result = diff_dumps(_dump(spans=spans), _dump(spans=spans))
+        rows = {name: (a, b) for name, a, b in result.timing_rows}
+        assert rows["generate"] == (pytest.approx(6.0), pytest.approx(6.0))
+
+
+class TestLoadDump:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "dump.json"
+        dump = _dump(counters={"generator.sessions": 2})
+        path.write_text(render_json(dump), encoding="utf-8")
+        assert load_dump(str(path)) == dump
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(ValueError, match="not a repro-obs dump"):
+            load_dump(str(path))

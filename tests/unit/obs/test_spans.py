@@ -1,0 +1,87 @@
+"""Unit tests of the span-tree structure."""
+
+import pytest
+
+from repro.obs.spans import SpanNode, find, flatten
+
+
+def _sample_tree() -> SpanNode:
+    root = SpanNode("total")
+    root.record(10.0, 300)
+    generate = root.child("generate")
+    generate.record(6.0, 200)
+    gtp = generate.child("gtp.signalling")
+    gtp.record(1.0, 150)
+    gtp.record(0.5, 180)
+    aggregate = root.child("aggregate")
+    aggregate.record(3.0, 250)
+    return root
+
+
+class TestSpanNode:
+    def test_child_created_once(self):
+        root = SpanNode("total")
+        assert root.child("x") is root.child("x")
+
+    def test_record_accumulates(self):
+        node = SpanNode("stage")
+        node.record(1.5, 100)
+        node.record(2.5, 50)
+        assert node.count == 2
+        assert node.elapsed_s == pytest.approx(4.0)
+        assert node.peak_rss_bytes == 100  # max, not last
+
+    def test_self_time_excludes_children(self):
+        root = _sample_tree()
+        assert root.self_s() == pytest.approx(10.0 - 6.0 - 3.0)
+
+    def test_roundtrip_through_dict(self):
+        root = _sample_tree()
+        rebuilt = SpanNode.from_dict(root.to_dict())
+        assert rebuilt.to_dict() == root.to_dict()
+
+    def test_to_dict_children_name_sorted(self):
+        payload = _sample_tree().to_dict()
+        names = [child["name"] for child in payload["children"]]
+        assert names == sorted(names)
+
+    def test_walk_yields_depths(self):
+        rows = list(_sample_tree().walk())
+        assert rows[0] == (0, rows[0][1])
+        depths = [depth for depth, _ in rows]
+        assert max(depths) == 2
+
+
+class TestGraft:
+    def test_graft_new_subtree(self):
+        root = SpanNode("total")
+        shard = SpanNode("shard[0]")
+        shard.record(1.0, 10)
+        root.graft(shard)
+        assert root.children["shard[0]"] is shard
+
+    def test_graft_merges_on_name_collision(self):
+        root = SpanNode("total")
+        for elapsed in (1.0, 2.0):
+            sub = SpanNode("generate")
+            sub.record(elapsed, 10)
+            sub.child("gtp.signalling").record(elapsed / 2, 5)
+            root.graft(sub)
+        merged = root.children["generate"]
+        assert merged.count == 2
+        assert merged.elapsed_s == pytest.approx(3.0)
+        assert merged.children["gtp.signalling"].elapsed_s == pytest.approx(1.5)
+
+
+class TestHelpers:
+    def test_flatten_rows(self):
+        rows = flatten(_sample_tree())
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["total"]["depth"] == 0
+        assert by_name["gtp.signalling"]["depth"] == 2
+        assert by_name["gtp.signalling"]["count"] == 2
+
+    def test_find(self):
+        root = _sample_tree()
+        assert find(root, "aggregate") is root.children["aggregate"]
+        assert find(root, "missing") is None

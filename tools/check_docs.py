@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Documentation checks: markdown links and the metrics contract.
+
+Two stdlib-only checks, run by the ``docs`` CI job (no installs):
+
+1. **Links** — every intra-repo markdown link (``[text](relative/path)``)
+   in every tracked ``*.md`` file must resolve to an existing file or
+   directory.  External (``http``/``https``/``mailto``) and
+   pure-anchor (``#...``) targets are skipped; fenced code blocks are
+   stripped first so example snippets cannot trip the check.
+2. **Metrics contract** — the tables in ``docs/observability.md`` and
+   the declared specs in :data:`repro.obs.metrics.SPECS` must agree in
+   *both* directions: every declared metric is documented, every
+   documented metric is declared, and the documented unit and stage
+   columns match the spec.
+
+Exit status 0 when clean, 1 with one problem per line otherwise.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Directories never scanned for markdown.
+SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", ".claude"}
+
+_FENCE = re.compile(r"^(```|~~~)")
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+#: First-column backticked dotted name in a markdown table row — the
+#: shape of the contract tables in docs/observability.md.
+_METRIC_ROW = re.compile(
+    r"^\|\s*`([a-z_]+(?:\.[a-z_]+)+)`\s*\|"
+    r"\s*([^|]+?)\s*\|"  # unit column
+    r"\s*([^|]+?)\s*\|"  # stage column
+)
+
+
+def _markdown_files(root: Path) -> List[Path]:
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if not SKIP_DIRS.intersection(part for part in path.parts):
+            files.append(path)
+    return files
+
+
+def _strip_fences(text: str) -> str:
+    """Blank out fenced code blocks, keeping line numbers stable."""
+    lines, fenced = [], False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            fenced = not fenced
+            lines.append("")
+            continue
+        lines.append("" if fenced else line)
+    return "\n".join(lines)
+
+
+def check_links(root: Path) -> List[str]:
+    problems = []
+    for path in _markdown_files(root):
+        text = _strip_fences(path.read_text(encoding="utf-8"))
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL) or target.startswith("#"):
+                    continue
+                target = target.split("#", 1)[0]
+                if not target:
+                    continue
+                resolved = (path.parent / target).resolve()
+                if not resolved.exists():
+                    rel = path.relative_to(root)
+                    problems.append(
+                        f"{rel}:{lineno}: broken link -> {match.group(1)}"
+                    )
+    return problems
+
+
+def _documented_metrics(doc: Path) -> Dict[str, Tuple[str, str]]:
+    """Metric name -> (unit, stage) as documented in the contract tables."""
+    documented: Dict[str, Tuple[str, str]] = {}
+    for line in doc.read_text(encoding="utf-8").splitlines():
+        match = _METRIC_ROW.match(line)
+        if match:
+            documented[match.group(1)] = (match.group(2), match.group(3))
+    return documented
+
+
+def check_metrics_contract(root: Path) -> List[str]:
+    doc = root / "docs" / "observability.md"
+    if not doc.exists():
+        return [f"{doc.relative_to(root)}: missing"]
+    try:
+        from repro.obs.metrics import SPECS
+    except ImportError as exc:
+        return [f"cannot import repro.obs.metrics (set PYTHONPATH=src): {exc}"]
+
+    documented = _documented_metrics(doc)
+    problems = []
+    rel = doc.relative_to(root)
+    for name in sorted(set(SPECS) - set(documented)):
+        problems.append(f"{rel}: declared metric {name!r} is undocumented")
+    for name in sorted(set(documented) - set(SPECS)):
+        problems.append(
+            f"{rel}: documented metric {name!r} is not declared in "
+            "repro.obs.metrics.SPECS"
+        )
+    for name in sorted(set(SPECS) & set(documented)):
+        unit, stage = documented[name]
+        spec = SPECS[name]
+        if unit != spec.unit:
+            problems.append(
+                f"{rel}: {name} documented unit {unit!r} != "
+                f"declared {spec.unit!r}"
+            )
+        if stage != spec.stage:
+            problems.append(
+                f"{rel}: {name} documented stage {stage!r} != "
+                f"declared {spec.stage!r}"
+            )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else REPO_ROOT
+    problems = check_links(root) + check_metrics_contract(root)
+    for problem in problems:
+        print(problem)
+    n_files = len(_markdown_files(root))
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s) in {n_files} files")
+        return 1
+    print(f"check_docs: OK ({n_files} markdown files, links + contract)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
