@@ -20,10 +20,16 @@ The measured speedup (optimized vs baseline, same run, same machine) is
 asserted and all throughputs land in ``BENCH_perf_pipeline.json``.
 
 A fourth leg runs the same workload through the end-to-end builder
-twice — observed and dark — to emit the per-stage span breakdown and to
-bound the cost of the *disabled* observability path (a global load plus
-a ``None`` check per call site); the bound is asserted below
-``MAX_DISABLED_OVERHEAD``.
+three times — dark, observed, and observed with the structured event
+log — to emit the per-stage span breakdown, to bound the cost of the
+*disabled* observability path (a global load plus a ``None`` check per
+call site; asserted below ``MAX_DISABLED_OVERHEAD``), and to bound the
+cost of event logging relative to plain observation (asserted below
+``MAX_EVENT_LOG_OVERHEAD``).
+
+A fifth leg runs the fidelity scorecard over a pre-computed experiment
+sweep to record what the scoring engine itself costs on top of the
+experiments it grades (``fidelity`` section of the JSON artifact).
 """
 
 import json
@@ -58,6 +64,7 @@ N_COMMUNES = 144
 N_WORKERS = 2
 MIN_SPEEDUP = 5.0
 MAX_DISABLED_OVERHEAD = 0.02
+MAX_EVENT_LOG_OVERHEAD = 0.03
 BENCH_JSON = Path(__file__).parent / "BENCH_perf_pipeline.json"
 
 
@@ -178,6 +185,34 @@ def _run_observability(shared: dict) -> dict:
         build_session_level_dataset(**kwargs)
     enabled_elapsed = time.perf_counter() - start
 
+    start = time.perf_counter()
+    with obs.observed(log_events=True) as logged_session:
+        build_session_level_dataset(**kwargs)
+    logged_elapsed = time.perf_counter() - start
+    n_logged_events = len(logged_session.export_events())
+
+    # The event-log surcharge is far below run-to-run wall-clock noise
+    # (~13k list appends in a ~1 s build), so — like the disabled-path
+    # bound below — it is bounded arithmetically: the measured extra
+    # cost of one *logged* instrumentation call times the events the
+    # logged run recorded, relative to the plain observed elapsed.
+    reps = 50_000
+    with obs.observed():
+        start = time.perf_counter()
+        for _ in range(reps):
+            obs.add("generator.flows")
+        plain_call_cost_s = (time.perf_counter() - start) / reps
+    with obs.observed(log_events=True):
+        start = time.perf_counter()
+        for _ in range(reps):
+            obs.add("generator.flows")
+        logged_call_cost_s = (time.perf_counter() - start) / reps
+    event_log_overhead = (
+        n_logged_events
+        * max(0.0, logged_call_cost_s - plain_call_cost_s)
+        / enabled_elapsed
+    )
+
     reps = 200_000
     start = time.perf_counter()
     for _ in range(reps):
@@ -188,12 +223,49 @@ def _run_observability(shared: dict) -> dict:
     return {
         "disabled_elapsed_s": disabled_elapsed,
         "enabled_elapsed_s": enabled_elapsed,
+        "event_log_elapsed_s": logged_elapsed,
+        "event_log_events": n_logged_events,
+        "event_log_call_cost_ns": logged_call_cost_s * 1e9,
+        "event_log_overhead_fraction": event_log_overhead,
         "api_events": session.api_events,
         "noop_call_cost_ns": noop_call_cost_s * 1e9,
         "disabled_overhead_fraction": overhead,
         "counters": session.registry.export_counters(),
         "gauges": session.registry.export_gauges(),
         "stages": obs.flatten(session.root),
+    }
+
+
+def _run_fidelity() -> dict:
+    """Experiment sweep once, then the scorecard engine over it, timed.
+
+    Scoring reuses the sweep through ``results=`` injection, so the
+    second timing is the pure cost of the fidelity layer — extraction,
+    band evaluation, verdict bookkeeping — on top of the experiments it
+    grades.
+    """
+    from repro.experiments import build_default_context, run_figure
+    from repro.fidelity import FINDINGS, run_scorecard
+
+    experiment_ids = []
+    for spec in FINDINGS.values():
+        if spec.experiment_id not in experiment_ids:
+            experiment_ids.append(spec.experiment_id)
+
+    start = time.perf_counter()
+    ctx = build_default_context(seed=7, n_communes=N_COMMUNES)
+    results = {eid: run_figure(eid, ctx) for eid in experiment_ids}
+    experiments_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    card = run_scorecard(seed=7, n_communes=N_COMMUNES, results=results)
+    scoring_elapsed = time.perf_counter() - start
+    return {
+        "n_communes": N_COMMUNES,
+        "n_findings": card["summary"]["total"],
+        "experiments_elapsed_s": experiments_elapsed,
+        "scoring_elapsed_s": scoring_elapsed,
+        "scoring_overhead_fraction": scoring_elapsed / experiments_elapsed,
     }
 
 
@@ -225,6 +297,7 @@ def test_perf_session_pipeline(benchmark):
     optimized = optimized_holder["leg"]
     sharded = _run_sharded(shared, n_workers=N_WORKERS)
     observability = _run_observability(shared)
+    fidelity = _run_fidelity()
 
     speedup = optimized["sessions_per_s"] / baseline["sessions_per_s"]
     print()
@@ -246,6 +319,17 @@ def test_perf_session_pipeline(benchmark):
         f"{100 * observability['disabled_overhead_fraction']:.4f}% of a "
         f"{observability['disabled_elapsed_s']:.2f} s dark build"
     )
+    print(
+        f"event log: {observability['event_log_events']} events, "
+        f"{100 * observability['event_log_overhead_fraction']:.2f}% over "
+        f"plain observation"
+    )
+    print(
+        f"fidelity : scoring {fidelity['n_findings']} findings took "
+        f"{fidelity['scoring_elapsed_s'] * 1e3:.1f} ms "
+        f"({100 * fidelity['scoring_overhead_fraction']:.2f}% of the "
+        f"{fidelity['experiments_elapsed_s']:.2f} s experiment sweep)"
+    )
 
     BENCH_JSON.write_text(
         json.dumps(
@@ -257,6 +341,7 @@ def test_perf_session_pipeline(benchmark):
                 "sharded": sharded,
                 "speedup": speedup,
                 "observability": observability,
+                "fidelity": fidelity,
             },
             indent=2,
         )
@@ -271,4 +356,8 @@ def test_perf_session_pipeline(benchmark):
     # Observation you did not ask for must be free (docs/observability.md).
     assert (
         observability["disabled_overhead_fraction"] < MAX_DISABLED_OVERHEAD
+    )
+    # The structured event log must stay cheap next to plain observation.
+    assert (
+        observability["event_log_overhead_fraction"] < MAX_EVENT_LOG_OVERHEAD
     )

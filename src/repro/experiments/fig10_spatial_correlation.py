@@ -18,6 +18,7 @@ from repro.core.correlation import upper_triangle
 from repro.core.spatial_analysis import outlier_scores, pairwise_r2_matrix
 from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext
+from repro.fidelity.extract import register_check_extractor
 from repro.report.tables import format_table
 
 EXPERIMENT_ID = "fig10"
@@ -84,5 +85,16 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
         )
     return result
 
+
+
+# The headline quantities the fidelity scorecard reads off this
+# figure's checks (repro.fidelity.contract declares the bands).
+register_check_extractor(
+    EXPERIMENT_ID,
+    {
+        "fig10.dl_mean_r2": "dl mean pairwise r2",
+        "fig10.ul_mean_r2": "ul mean pairwise r2",
+    },
+)
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "OUTLIERS", "run"]

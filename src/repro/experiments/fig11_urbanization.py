@@ -24,6 +24,7 @@ from repro.core.urbanization_analysis import (
 )
 from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext
+from repro.fidelity.extract import register_check_extractor
 from repro.geo.urbanization import UrbanizationClass
 from repro.report.tables import format_table
 
@@ -135,5 +136,18 @@ def run(ctx: ExperimentContext, direction: str = "dl") -> ExperimentResult:
     )
     return result
 
+
+
+# The headline quantities the fidelity scorecard reads off this
+# figure's checks (repro.fidelity.contract declares the bands).
+register_check_extractor(
+    EXPERIMENT_ID,
+    {
+        "fig11.semi_urban_volume_ratio": "mean semi-urban/urban ratio",
+        "fig11.rural_volume_ratio": "mean rural/urban ratio",
+        "fig11.tgv_volume_ratio": "mean TGV/urban ratio",
+        "fig11.non_tgv_temporal_r2": "mean temporal r2 among urban/semi/rural",
+    },
+)
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "run"]

@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.zipf_fit import fit_zipf
 from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext
+from repro.fidelity.extract import register_check_extractor
 from repro.report.tables import format_table
 
 EXPERIMENT_ID = "fig2"
@@ -83,5 +84,16 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
         }
     return result
 
+
+
+# The headline quantities the fidelity scorecard reads off this
+# figure's checks (repro.fidelity.contract declares the bands).
+register_check_extractor(
+    EXPERIMENT_ID,
+    {
+        "fig2.dl_zipf_exponent": "dl Zipf exponent",
+        "fig2.dl_volume_span_decades": "dl volume span (decades)",
+    },
+)
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "run"]

@@ -20,6 +20,7 @@ from repro.core.ranking import (
 )
 from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext
+from repro.fidelity.extract import register_check_extractor
 from repro.report.tables import format_table
 from repro.services.catalog import ServiceCategory
 
@@ -110,5 +111,16 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
     )
     return result
 
+
+
+# The headline quantities the fidelity scorecard reads off this
+# figure's checks (repro.fidelity.contract declares the bands).
+register_check_extractor(
+    EXPERIMENT_ID,
+    {
+        "fig3.video_dl_share": "video streaming share of DL",
+        "fig3.uplink_fraction": "uplink fraction of total load",
+    },
+)
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "run"]

@@ -17,6 +17,7 @@ from repro._time import DAY_NAMES
 from repro.core.topical import peak_signature
 from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext
+from repro.fidelity.extract import register_check_extractor
 from repro.report.series import render_series
 
 EXPERIMENT_ID = "fig4"
@@ -91,5 +92,16 @@ def _daily_peak_ratio(series: np.ndarray, axis) -> float:
     mins = np.maximum(per_day.min(axis=1), 1e-12)
     return float(np.median(per_day.max(axis=1) / mins))
 
+
+
+# The headline quantities the fidelity scorecard reads off this
+# figure's checks (repro.fidelity.contract declares the bands).
+register_check_extractor(
+    EXPERIMENT_ID,
+    {
+        "fig4.facebook_day_night_ratio": "Facebook day/night ratio",
+        "fig4.distinct_peak_arrangements": "sample services show different peak arrangements",
+    },
+)
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "SAMPLE_SERVICES", "run"]

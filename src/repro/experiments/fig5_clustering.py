@@ -17,6 +17,7 @@ from repro.core.indices import evaluate_clustering
 from repro.core.kshape import kshape, kshape_best, sbd_matrix, z_normalize
 from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext
+from repro.fidelity.extract import register_check_extractor
 from repro.report.tables import format_table
 
 EXPERIMENT_ID = "fig5"
@@ -105,5 +106,16 @@ def run(ctx: ExperimentContext, k_values=None, n_restarts: int = 3) -> Experimen
         )
     return result
 
+
+
+# The headline quantities the fidelity scorecard reads off this
+# figure's checks (repro.fidelity.contract declares the bands).
+register_check_extractor(
+    EXPERIMENT_ID,
+    {
+        "fig5.dl_best_silhouette": "dl best silhouette",
+        "fig5.dl_largest_cluster_share": "dl largest cluster share at k=2",
+    },
+)
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "run"]

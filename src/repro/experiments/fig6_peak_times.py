@@ -21,6 +21,7 @@ from repro.core.topical import (
 )
 from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext
+from repro.fidelity.extract import register_check_extractor
 from repro.report.tables import format_table
 from repro.services.profiles import TopicalTime
 
@@ -154,5 +155,16 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
     )
     return result
 
+
+
+# The headline quantities the fidelity scorecard reads off this
+# figure's checks (repro.fidelity.contract declares the bands).
+register_check_extractor(
+    EXPERIMENT_ID,
+    {
+        "fig6.strong_recurring_moments": "number of strong recurring moments",
+        "fig6.midday_service_share": "share of services peaking at workday midday",
+    },
+)
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "run"]

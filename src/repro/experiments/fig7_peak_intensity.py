@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.topical import peak_intensities, peak_signature
 from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext
+from repro.fidelity.extract import register_check_extractor
 from repro.report.tables import format_table
 from repro.services.profiles import TopicalTime
 
@@ -88,5 +89,16 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
         )
     return result
 
+
+
+# The headline quantities the fidelity scorecard reads off this
+# figure's checks (repro.fidelity.contract declares the bands).
+register_check_extractor(
+    EXPERIMENT_ID,
+    {
+        "fig7.strongest_midday_peak": "strongest midday peak",
+        "fig7.median_weekend_midday_peak": "median weekend-midday peak",
+    },
+)
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "run"]

@@ -17,6 +17,7 @@ from repro._units import format_bytes
 from repro.core.spatial_analysis import per_subscriber_cdf, ranked_commune_curve
 from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext
+from repro.fidelity.extract import register_check_extractor
 from repro.report.tables import format_table
 
 EXPERIMENT_ID = "fig8"
@@ -119,5 +120,16 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
     )
     return result
 
+
+
+# The headline quantities the fidelity scorecard reads off this
+# figure's checks (repro.fidelity.contract declares the bands).
+register_check_extractor(
+    EXPERIMENT_ID,
+    {
+        "fig8.top1pct_commune_share": "top 1% commune share (DL)",
+        "fig8.top10pct_commune_share": "top 10% commune share (DL)",
+    },
+)
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "SERVICE", "run"]

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.spatial_analysis import activity_grid, technology_contrast
 from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext
+from repro.fidelity.extract import register_check_extractor
 from repro.geo.urbanization import UrbanizationClass
 from repro.report.maps import render_grid
 from repro.report.tables import format_table
@@ -122,5 +123,16 @@ def run(ctx: ExperimentContext, grid_size: int = 28) -> ExperimentResult:
     )
     return result
 
+
+
+# The headline quantities the fidelity scorecard reads off this
+# figure's checks (repro.fidelity.contract declares the bands).
+register_check_extractor(
+    EXPERIMENT_ID,
+    {
+        "fig9.commune_coverage_4g": "4G commune coverage",
+        "fig9.netflix_urban_rural_contrast": "Netflix urban/rural contrast",
+    },
+)
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "run"]

@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro.dataset.builder import build_session_level_dataset
 from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext
+from repro.fidelity.extract import register_check_extractor
 from repro.geo.country import CountryConfig
 from repro.report.tables import format_table
 
@@ -114,5 +115,16 @@ def run(
     )
     return result
 
+
+
+# The headline quantities the fidelity scorecard reads off this
+# figure's checks (repro.fidelity.contract declares the bands).
+register_check_extractor(
+    EXPERIMENT_ID,
+    {
+        "text.dpi_byte_coverage": "DPI byte coverage",
+        "text.median_uli_error_km": "median ULI localization error (km)",
+    },
+)
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "run"]

@@ -1,0 +1,6 @@
+"""``python -m repro.fidelity`` — alias for the repro-scorecard CLI."""
+
+from repro.fidelity.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,212 @@
+"""``repro-scorecard`` command-line interface.
+
+Examples::
+
+    repro-scorecard run --seed 7 --communes 900 --out scorecard.json
+    repro-scorecard run --seed 7 --events-out run.events.jsonl \\
+        --trace-out run.trace.json
+    repro-scorecard show scorecard.json
+    repro-scorecard diff fidelity-baseline.json scorecard.json
+    repro-scorecard gate scorecard.json --baseline fidelity-baseline.json
+    repro-scorecard list-findings
+
+Exit codes: ``0`` success (for ``diff``/``gate``: no fidelity
+regression), ``1`` a finding's verdict worsened vs the baseline, ``2``
+usage error.  Everything except ``run`` is stdlib-only; ``run`` imports
+the numpy experiment layer lazily.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.fidelity import scorecard as fid
+from repro.fidelity.contract import FINDINGS
+from repro.obs import clock
+from repro.obs import events as obs_events
+from repro.obs import export as obs_export
+from repro.obs import runtime
+from repro.obs import trace as obs_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-scorecard",
+        description=(
+            "Run, inspect and gate the fidelity scorecard: every headline "
+            "paper finding scored against its declared tolerance bands "
+            "(docs/observability.md)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run",
+        help="run the experiment layer and score every declared finding",
+    )
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument(
+        "--communes",
+        type=int,
+        default=fid.DEFAULT_N_COMMUNES,
+        help="tessellation size of the shared experiment context",
+    )
+    run.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the JSON scorecard here",
+    )
+    run.add_argument(
+        "--obs-out",
+        metavar="PATH",
+        default=None,
+        help="also write the repro-obs metrics dump of the run",
+    )
+    run.add_argument(
+        "--events-out",
+        metavar="PATH",
+        default=None,
+        help="also record and write the structured JSONL event log",
+    )
+    run.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="also write a Chrome-trace JSON of the run (Perfetto)",
+    )
+    run.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the text report on stdout",
+    )
+
+    show = sub.add_parser("show", help="render a scorecard file as text")
+    show.add_argument("scorecard", metavar="PATH")
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two scorecards (baseline first, current second)",
+    )
+    diff.add_argument("baseline", metavar="BASELINE")
+    diff.add_argument("current", metavar="CURRENT")
+
+    gate = sub.add_parser(
+        "gate",
+        help=(
+            "CI gate: exit nonzero when any finding's verdict worsened "
+            "vs the committed baseline"
+        ),
+    )
+    gate.add_argument("scorecard", metavar="PATH")
+    gate.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default="fidelity-baseline.json",
+        help="baseline scorecard (default: fidelity-baseline.json)",
+    )
+
+    sub.add_parser(
+        "list-findings", help="print the declared findings contract"
+    )
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    # Wall-clock stays out of the scorecard (it is byte-deterministic);
+    # the elapsed time is reported on stderr and in the obs dump spans.
+    started = clock.now_s()
+    with runtime.observed(log_events=args.events_out is not None) as session:
+        card = fid.run_scorecard(seed=args.seed, n_communes=args.communes)
+        dump = session.export(
+            meta={
+                "command": "scorecard-run",
+                "seed": args.seed,
+                "communes": args.communes,
+            }
+        )
+        events = session.export_events()
+    elapsed = clock.now_s() - started
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(fid.render_scorecard_json(card))
+        print(
+            f"scorecard written to {args.out} ({elapsed:.1f}s)",
+            file=sys.stderr,
+        )
+    if args.obs_out:
+        with open(args.obs_out, "w", encoding="utf-8") as handle:
+            handle.write(obs_export.render_json(dump))
+        print(f"obs dump written to {args.obs_out}", file=sys.stderr)
+    if args.events_out:
+        obs_events.write_jsonl(args.events_out, events)
+        print(f"event log written to {args.events_out}", file=sys.stderr)
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(
+                obs_trace.render_trace_json(obs_trace.to_chrome_trace(dump))
+            )
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+    if not args.quiet:
+        print(fid.render_scorecard_text(card))
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    card = fid.load_scorecard(args.scorecard)
+    print(fid.render_scorecard_text(card))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    result = fid.diff_scorecards(
+        fid.load_scorecard(args.baseline), fid.load_scorecard(args.current)
+    )
+    print(result.render())
+    return 0 if result.gate_ok else 1
+
+
+def _cmd_gate(args: argparse.Namespace) -> int:
+    result = fid.gate_scorecard(
+        fid.load_scorecard(args.scorecard),
+        fid.load_scorecard(args.baseline),
+    )
+    print(result.render())
+    return 0 if result.gate_ok else 1
+
+
+def _cmd_list_findings(args: argparse.Namespace) -> int:
+    for spec in FINDINGS.values():
+        accept = fid._format_band(spec.accept.to_list())
+        warn = fid._format_band(spec.warn.to_list())
+        print(
+            f"{spec.name:<36s} {spec.unit:<12s} target {spec.target:<8g} "
+            f"accept {accept:<16s} warn {warn:<16s} {spec.source}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "show":
+            return _cmd_show(args)
+        if args.command == "diff":
+            return _cmd_diff(args)
+        if args.command == "gate":
+            return _cmd_gate(args)
+        if args.command == "list-findings":
+            return _cmd_list_findings(args)
+    except (OSError, KeyError, ValueError, json.JSONDecodeError) as exc:
+        print(f"repro-scorecard: {exc}", file=sys.stderr)
+        return 2
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,103 @@
+"""Per-figure finding extractors and their registry.
+
+Each experiment module registers one extractor: a callable that takes
+the module's :class:`~repro.experiments.base.ExperimentResult` and
+returns ``{finding name: measured value}`` for exactly the findings the
+contract declares for that experiment.  Most experiments already
+compute every headline quantity inside a paper-expectation check, so
+the common registration is a one-liner mapping finding names to check
+names (:func:`register_check_extractor`)::
+
+    from repro.fidelity.extract import register_check_extractor
+
+    register_check_extractor(EXPERIMENT_ID, {
+        "fig10.dl_mean_r2": "dl mean pairwise r2",
+        "fig10.ul_mean_r2": "ul mean pairwise r2",
+    })
+
+This module is stdlib-only and imports nothing from the experiment
+layer — the experiment modules import *it*, so registration happens as
+a side effect of ``import repro.experiments`` and the scorecard engine
+finds the registry fully populated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping
+
+#: Extractor signature: ExperimentResult -> {finding name: value}.  The
+#: argument is typed ``Any`` to keep this module import-light.
+Extractor = Callable[[Any], Dict[str, float]]
+
+#: experiment id -> registered extractor.
+EXTRACTORS: Dict[str, Extractor] = {}
+
+
+def register_extractor(
+    experiment_id: str,
+) -> Callable[[Extractor], Extractor]:
+    """Decorator registering an extractor for one experiment id."""
+
+    def decorate(func: Extractor) -> Extractor:
+        if experiment_id in EXTRACTORS:
+            raise ValueError(
+                f"extractor for experiment {experiment_id!r} already "
+                "registered"
+            )
+        EXTRACTORS[experiment_id] = func
+        return func
+
+    return decorate
+
+
+def check_value(result: Any, check_name: str) -> float:
+    """The measured value of one named paper-expectation check."""
+    for check in result.checks:
+        if check.name == check_name:
+            return float(check.measured)
+    raise KeyError(
+        f"experiment {result.experiment_id!r} produced no check named "
+        f"{check_name!r} — known: {[c.name for c in result.checks]}"
+    )
+
+
+def register_check_extractor(
+    experiment_id: str, mapping: Mapping[str, str]
+) -> None:
+    """Register an extractor that reads findings off named checks.
+
+    ``mapping`` is ``{finding name: check name}``; the extractor pulls
+    each check's measured value.  A missing check raises ``KeyError`` at
+    extraction time — the scorecard fails loudly, never silently drops a
+    finding.
+    """
+    items = tuple(mapping.items())
+
+    @register_extractor(experiment_id)
+    def _extract(result: Any) -> Dict[str, float]:
+        return {
+            finding: check_value(result, check) for finding, check in items
+        }
+
+
+def extract(experiment_id: str, result: Any) -> Dict[str, float]:
+    """Run the registered extractor for one experiment."""
+    try:
+        extractor = EXTRACTORS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"no finding extractor registered for experiment "
+            f"{experiment_id!r} — register one in its module "
+            "(repro.fidelity.extract)"
+        ) from None
+    return {name: float(value) for name, value in extractor(result).items()}
+
+
+__all__ = [
+    "EXTRACTORS",
+    "Extractor",
+    "check_value",
+    "extract",
+    "register_check_extractor",
+    "register_extractor",
+]

@@ -1,0 +1,304 @@
+"""Scorecard engine: run, render, diff, and gate fidelity scorecards.
+
+A *scorecard* is the JSON-ready dict :func:`run_scorecard` produces::
+
+    {
+      "schema": "repro-fidelity/1",
+      "meta":     {"seed", "n_communes", "tool"},
+      "findings": {name: {"experiment", "unit", "value", "target",
+                          "accept", "warn", "verdict", "source",
+                          "description", "determinism"}},
+      "summary":  {"pass", "warn", "fail", "total", "score"}
+    }
+
+Every finding value is a pure function of ``(seed, n_communes)``
+(``determinism: seeded``) and the scorecard carries no timings, so
+:func:`render_scorecard_json` output is byte-identical across runs.
+Wall-clock lives where it belongs: the ``fidelity.experiments`` and
+``fidelity.score`` spans of the surrounding obs session.
+
+:func:`diff_scorecards` compares two scorecards finding by finding;
+:func:`gate_scorecard` is the CI gate — it fails when any finding's
+verdict *worsens* relative to the committed baseline
+(``fidelity-baseline.json``), which includes every finding that leaves
+its accept band, or disappears outright.
+
+Only :func:`run_scorecard` imports the experiment layer (lazily);
+everything else is stdlib-only so ``show``/``diff``/``gate`` work
+without numpy.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.fidelity.contract import (
+    FINDINGS,
+    FindingSpec,
+    VERDICT_ORDER,
+    evaluate,
+)
+from repro.fidelity.extract import extract
+
+#: Schema tag written into every scorecard, bumped on layout change.
+SCHEMA = "repro-fidelity/1"
+
+#: Default tessellation size of a scorecard run: every figure's checks
+#: are statistically stable here while a full run stays under a minute.
+DEFAULT_N_COMMUNES = 900
+
+_VERDICT_RANK = {verdict: rank for rank, verdict in enumerate(VERDICT_ORDER)}
+
+_VERDICT_MARK = {"pass": "ok  ", "warn": "WARN", "fail": "FAIL"}
+
+
+def _experiment_order() -> List[str]:
+    """Experiment ids in contract (= paper) declaration order."""
+    order: List[str] = []
+    for spec in FINDINGS.values():
+        if spec.experiment_id not in order:
+            order.append(spec.experiment_id)
+    return order
+
+
+def _finding_entry(spec: FindingSpec, value: float, verdict: str) -> Dict[str, Any]:
+    return {
+        "experiment": spec.experiment_id,
+        "unit": spec.unit,
+        "value": value,
+        "target": spec.target,
+        "accept": spec.accept.to_list(),
+        "warn": spec.warn.to_list(),
+        "verdict": verdict,
+        "source": spec.source,
+        "description": spec.description,
+        "determinism": spec.determinism,
+    }
+
+
+def run_scorecard(
+    seed: int = 7,
+    n_communes: int = DEFAULT_N_COMMUNES,
+    results: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Run the experiment layer and score every declared finding.
+
+    ``results`` injects pre-computed experiment results (tests, or a
+    caller who already ran the figures); by default the full layer runs:
+    one shared context, every experiment the contract draws from.
+
+    Raises ``KeyError``/``ValueError`` when an experiment or extractor
+    does not cover its declared findings — a contract violation is a
+    programming error, never a silent gap in the scorecard.
+    """
+    experiment_ids = _experiment_order()
+    if results is None:
+        from repro.experiments import build_default_context, run_figure
+
+        with obs.span("fidelity.experiments"):
+            ctx = build_default_context(seed=seed, n_communes=n_communes)
+            results = {
+                eid: run_figure(eid, ctx) for eid in experiment_ids
+            }
+
+    findings: Dict[str, Any] = {}
+    counts = {"pass": 0, "warn": 0, "fail": 0}
+    with obs.span("fidelity.score"):
+        for eid in experiment_ids:
+            if eid not in results:
+                raise KeyError(
+                    f"scorecard needs experiment {eid!r} but the run "
+                    f"produced only {sorted(results)}"
+                )
+            values = extract(eid, results[eid])
+            declared = [s for s in FINDINGS.values() if s.experiment_id == eid]
+            declared_names = {s.name for s in declared}
+            if set(values) != declared_names:
+                raise ValueError(
+                    f"extractor for {eid!r} returned {sorted(values)}, "
+                    f"contract declares {sorted(declared_names)}"
+                )
+            for spec in declared:
+                value = float(values[spec.name])
+                verdict = evaluate(spec, value)
+                counts[verdict] += 1
+                obs.add(f"fidelity.findings_{verdict}")
+                obs.log_event(
+                    "verdict", spec.name, {"verdict": verdict, "value": value}
+                )
+                findings[spec.name] = _finding_entry(spec, value, verdict)
+
+    total = sum(counts.values())
+    score = counts["pass"] / total if total else 0.0
+    obs.set_gauge("fidelity.score", score)
+    return {
+        "schema": SCHEMA,
+        "meta": {
+            "seed": seed,
+            "n_communes": n_communes,
+            "tool": "repro-scorecard",
+        },
+        "findings": findings,
+        "summary": {**counts, "total": total, "score": score},
+    }
+
+
+def render_scorecard_json(scorecard: Dict[str, Any]) -> str:
+    """Canonical JSON form (stable key order — scorecards diff bytewise)."""
+    return json.dumps(scorecard, indent=2, sort_keys=True) + "\n"
+
+
+def _format_band(band: List[Optional[float]]) -> str:
+    lo = "-inf" if band[0] is None else f"{band[0]:g}"
+    hi = "+inf" if band[1] is None else f"{band[1]:g}"
+    return f"[{lo}, {hi}]"
+
+
+def render_scorecard_text(scorecard: Dict[str, Any]) -> str:
+    """Human-readable report, findings in contract order."""
+    lines: List[str] = []
+    meta = scorecard.get("meta", {})
+    lines.append(
+        f"fidelity scorecard — seed {meta.get('seed')}, "
+        f"{meta.get('n_communes')} communes"
+    )
+    findings = scorecard.get("findings", {})
+    ordered = [name for name in FINDINGS if name in findings]
+    ordered += [name for name in sorted(findings) if name not in FINDINGS]
+    for name in ordered:
+        entry = findings[name]
+        lines.append(
+            f"  [{_VERDICT_MARK.get(entry['verdict'], entry['verdict'])}] "
+            f"{name:<34s} {entry['value']:>10.4g} {entry['unit']:<10s} "
+            f"target {entry['target']:g} "
+            f"accept {_format_band(entry['accept'])} "
+            f"({entry['source']})"
+        )
+    summary = scorecard.get("summary", {})
+    if summary:
+        lines.append(
+            f"score: {summary.get('score', 0.0):.3f} "
+            f"({summary.get('pass', 0)} pass, {summary.get('warn', 0)} warn, "
+            f"{summary.get('fail', 0)} fail of {summary.get('total', 0)})"
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class ScorecardDiff:
+    """Outcome of comparing a scorecard against a baseline."""
+
+    #: (name, baseline verdict, current verdict, baseline value,
+    #: current value) for findings whose verdict changed.
+    transitions: List[Tuple[str, str, str, float, float]] = field(
+        default_factory=list
+    )
+    #: Findings present only in the baseline (coverage regressed).
+    only_in_baseline: List[str] = field(default_factory=list)
+    #: Findings present only in the current scorecard (new coverage).
+    only_in_current: List[str] = field(default_factory=list)
+    #: Schema or structural problems.
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[Tuple[str, str, str, float, float]]:
+        """Transitions whose verdict worsened (pass→warn, warn→fail, …)."""
+        return [
+            row
+            for row in self.transitions
+            if _VERDICT_RANK.get(row[2], 2) > _VERDICT_RANK.get(row[1], 2)
+        ]
+
+    @property
+    def gate_ok(self) -> bool:
+        """True when the current scorecard may land on the baseline."""
+        return not (
+            self.regressions or self.only_in_baseline or self.problems
+        )
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for problem in self.problems:
+            lines.append(f"PROBLEM {problem}")
+        for name in self.only_in_baseline:
+            lines.append(f"MISSING {name} (in baseline, not in current run)")
+        for name in self.only_in_current:
+            lines.append(f"NEW     {name} (not yet in the baseline)")
+        regressed = {row[0] for row in self.regressions}
+        for name, was, now, value_was, value_now in self.transitions:
+            tag = "REGRESS" if name in regressed else "IMPROVE"
+            lines.append(
+                f"{tag} {name}: {was} -> {now} "
+                f"(value {value_was:g} -> {value_now:g})"
+            )
+        lines.append(
+            "gate OK — no finding left its verdict band"
+            if self.gate_ok
+            else "gate FAILED — fidelity regressed vs baseline"
+        )
+        return "\n".join(lines)
+
+
+def diff_scorecards(
+    baseline: Dict[str, Any], current: Dict[str, Any]
+) -> ScorecardDiff:
+    """Compare two scorecards finding by finding (baseline first)."""
+    result = ScorecardDiff()
+    for label, card in (("baseline", baseline), ("current", current)):
+        schema = card.get("schema")
+        if schema != SCHEMA:
+            result.problems.append(
+                f"{label} scorecard has schema {schema!r}, "
+                f"expected {SCHEMA!r}"
+            )
+    findings_a = baseline.get("findings", {})
+    findings_b = current.get("findings", {})
+    result.only_in_baseline = sorted(set(findings_a) - set(findings_b))
+    result.only_in_current = sorted(set(findings_b) - set(findings_a))
+    for name in sorted(set(findings_a) & set(findings_b)):
+        entry_a, entry_b = findings_a[name], findings_b[name]
+        if entry_a["verdict"] != entry_b["verdict"]:
+            result.transitions.append(
+                (
+                    name,
+                    str(entry_a["verdict"]),
+                    str(entry_b["verdict"]),
+                    float(entry_a["value"]),
+                    float(entry_b["value"]),
+                )
+            )
+    return result
+
+
+def gate_scorecard(
+    current: Dict[str, Any], baseline: Dict[str, Any]
+) -> ScorecardDiff:
+    """The CI gate: current run vs the committed baseline scorecard."""
+    return diff_scorecards(baseline, current)
+
+
+def load_scorecard(path: str) -> Dict[str, Any]:
+    """Read one scorecard file (the ``repro-fidelity`` JSON format)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"{path}: not a fidelity scorecard (expected an object)"
+        )
+    return payload
+
+
+__all__ = [
+    "DEFAULT_N_COMMUNES",
+    "SCHEMA",
+    "ScorecardDiff",
+    "diff_scorecards",
+    "gate_scorecard",
+    "load_scorecard",
+    "render_scorecard_json",
+    "render_scorecard_text",
+    "run_scorecard",
+]

@@ -22,6 +22,12 @@ cross-checker, the CLI's ``diff``/``show``/``list-metrics`` — can load
 the contract without the simulation stack.
 """
 
+from repro.obs.events import (
+    load_jsonl,
+    parse_jsonl,
+    render_jsonl,
+    write_jsonl,
+)
 from repro.obs.export import (
     DiffResult,
     diff_dumps,
@@ -46,12 +52,14 @@ from repro.obs.runtime import (
     disable,
     enable,
     is_enabled,
+    log_event,
     observed,
     set_gauge,
     shard_capture,
     span,
 )
 from repro.obs.spans import SpanNode, find, flatten
+from repro.obs.trace import render_trace_json, to_chrome_trace
 
 __all__ = [
     "DiffResult",
@@ -73,11 +81,18 @@ __all__ = [
     "flatten",
     "is_enabled",
     "load_dump",
+    "load_jsonl",
+    "log_event",
     "observed",
+    "parse_jsonl",
     "render_json",
+    "render_jsonl",
     "render_text",
+    "render_trace_json",
     "set_gauge",
     "shard_capture",
     "span",
     "spec_names",
+    "to_chrome_trace",
+    "write_jsonl",
 ]

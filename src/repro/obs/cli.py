@@ -5,8 +5,10 @@ Examples::
     repro-obs build --subscribers 2000 --communes 400 --seed 7 \\
         --out run_a.json
     repro-obs build --seed 7 --workers 4 --shards 4 --out run_b.json
+    repro-obs build --seed 7 --events-out run_a.events.jsonl
     repro-obs show run_a.json --top 5
     repro-obs diff run_a.json run_b.json
+    repro-obs trace run_a.json --out run_a.trace.json
     repro-obs list-metrics
 
 Exit codes: ``0`` success (for ``diff``: deterministic content
@@ -21,8 +23,10 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.obs import events as obs_events
 from repro.obs import export as obs_export
 from repro.obs import runtime
+from repro.obs import trace as obs_trace
 from repro.obs.metrics import SPECS
 
 
@@ -55,6 +59,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="PATH", default=None, help="write the JSON dump here"
     )
     build.add_argument(
+        "--events-out",
+        metavar="PATH",
+        default=None,
+        help="also record and write the structured JSONL event log",
+    )
+    build.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="also write a Chrome-trace JSON of the span tree (Perfetto)",
+    )
+    build.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the text report on stdout",
@@ -71,10 +87,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     diff = sub.add_parser(
         "diff",
-        help="compare two dumps (exact on counters, never on timings)",
+        help=(
+            "compare two dumps (exact on counters, per-metric relative "
+            "tolerance on gauges, never on timings)"
+        ),
     )
     diff.add_argument("dump_a", metavar="A")
     diff.add_argument("dump_b", metavar="B")
+
+    trace = sub.add_parser(
+        "trace",
+        help="export a dump's span tree as Chrome-trace JSON (Perfetto)",
+    )
+    trace.add_argument("dump", metavar="PATH")
+    trace.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the trace here (default: stdout)",
+    )
 
     sub.add_parser("list-metrics", help="print the metrics contract table")
     return parser
@@ -84,7 +115,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
     from repro.dataset.builder import build_session_level_dataset
     from repro.geo.country import CountryConfig
 
-    with runtime.observed() as session:
+    with runtime.observed(log_events=args.events_out is not None) as session:
         build_session_level_dataset(
             n_subscribers=args.subscribers,
             country_config=CountryConfig(n_communes=args.communes),
@@ -102,10 +133,20 @@ def _cmd_build(args: argparse.Namespace) -> int:
                 "shards": args.shards,
             }
         )
+        events = session.export_events()
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(obs_export.render_json(dump))
         print(f"dump written to {args.out}", file=sys.stderr)
+    if args.events_out:
+        obs_events.write_jsonl(args.events_out, events)
+        print(f"event log written to {args.events_out}", file=sys.stderr)
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(
+                obs_trace.render_trace_json(obs_trace.to_chrome_trace(dump))
+            )
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
     if not args.quiet:
         print(obs_export.render_text(dump))
     return 0
@@ -123,6 +164,18 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     )
     print(result.render())
     return 0 if result.identical else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    dump = obs_export.load_dump(args.dump)
+    rendered = obs_trace.render_trace_json(obs_trace.to_chrome_trace(dump))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"trace written to {args.out}", file=sys.stderr)
+    else:
+        print(rendered, end="")
+    return 0
 
 
 def _cmd_list_metrics(args: argparse.Namespace) -> int:
@@ -145,6 +198,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_show(args)
         if args.command == "diff":
             return _cmd_diff(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "list-metrics":
             return _cmd_list_metrics(args)
     except (OSError, ValueError, json.JSONDecodeError) as exc:

@@ -24,13 +24,19 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple
 
-from repro.obs.metrics import SPECS, Number, validate_export
+from repro.obs.metrics import (
+    DEFAULT_GAUGE_REL_TOL,
+    SPECS,
+    Number,
+    validate_export,
+)
 from repro.obs.runtime import SCHEMA
 from repro.obs.spans import SpanNode, flatten
 
-#: Relative tolerance for derived-class (gauge) comparisons: shard
-#: merge order is fixed, so same-shape runs agree far tighter than this.
-GAUGE_REL_TOL = 1e-9
+#: Fallback relative tolerance for gauge comparisons; each gauge's
+#: :class:`~repro.obs.metrics.MetricSpec` may declare a tighter or
+#: looser ``rel_tol`` that takes precedence in :func:`diff_dumps`.
+GAUGE_REL_TOL = DEFAULT_GAUGE_REL_TOL
 
 
 def render_json(dump: Dict[str, Any]) -> str:
@@ -93,7 +99,9 @@ class DiffResult:
     counter_diffs: List[Tuple[str, Number, Number]] = field(
         default_factory=list
     )
-    #: (name, value_a, value_b) for gauges outside GAUGE_REL_TOL.
+    #: (name, value_a, value_b) for gauges outside the per-metric
+    #: relative tolerance (``MetricSpec.rel_tol``, default
+    #: ``GAUGE_REL_TOL``).
     gauge_diffs: List[Tuple[str, Number, Number]] = field(default_factory=list)
     #: Metric names present in exactly one dump.
     only_in_a: List[str] = field(default_factory=list)
@@ -180,7 +188,9 @@ def diff_dumps(a: Dict[str, Any], b: Dict[str, Any]) -> DiffResult:
             )
     for name in sorted(set(gauges_a) & set(gauges_b)):
         va, vb = gauges_a[name], gauges_b[name]
-        if not math.isclose(va, vb, rel_tol=GAUGE_REL_TOL, abs_tol=0.0):
+        spec = SPECS.get(name)
+        rel_tol = spec.effective_rel_tol if spec else GAUGE_REL_TOL
+        if not math.isclose(va, vb, rel_tol=rel_tol, abs_tol=0.0):
             result.gauge_diffs.append((name, va, vb))
 
     spans_a, spans_b = a.get("spans"), b.get("spans")

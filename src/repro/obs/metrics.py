@@ -49,6 +49,12 @@ class Determinism(enum.Enum):
     TIMING = "timing"
 
 
+#: Comparison tolerance applied to a derived-class gauge whose spec
+#: does not override it: shard merge order is fixed, so same-shape runs
+#: agree far tighter than this.
+DEFAULT_GAUGE_REL_TOL = 1e-9
+
+
 @dataclass(frozen=True)
 class MetricSpec:
     """The declared contract of one metric."""
@@ -59,6 +65,17 @@ class MetricSpec:
     stage: str
     determinism: Determinism
     description: str
+    #: Relative tolerance ``repro-obs diff`` compares this metric under.
+    #: Only meaningful for gauges (counters compare exactly); ``None``
+    #: falls back to :data:`DEFAULT_GAUGE_REL_TOL`.
+    rel_tol: Optional[float] = None
+
+    @property
+    def effective_rel_tol(self) -> float:
+        """The tolerance ``diff`` actually applies to this gauge."""
+        return (
+            DEFAULT_GAUGE_REL_TOL if self.rel_tol is None else self.rel_tol
+        )
 
 
 def _spec_table(specs: Iterable[MetricSpec]) -> Dict[str, MetricSpec]:
@@ -132,10 +149,12 @@ SPECS: Dict[str, MetricSpec] = _spec_table(
         MetricSpec(
             "aggregation.total_bytes", _G, "bytes", "aggregation", _DE,
             "total traffic volume ingested by the aggregator",
+            rel_tol=1e-9,
         ),
         MetricSpec(
             "aggregation.unclassified_bytes", _G, "bytes", "aggregation", _DE,
             "ingested volume left unattributed by DPI",
+            rel_tol=1e-9,
         ),
         # --- sharded execution --------------------------------------
         MetricSpec(
@@ -167,6 +186,24 @@ SPECS: Dict[str, MetricSpec] = _spec_table(
         MetricSpec(
             "experiments.checks_failed", _C, "checks", "experiments", _EV,
             "paper-expectation checks that did not hold",
+        ),
+        # --- fidelity scorecard -------------------------------------
+        MetricSpec(
+            "fidelity.findings_pass", _C, "findings", "fidelity", _EV,
+            "scorecard findings inside their accept band",
+        ),
+        MetricSpec(
+            "fidelity.findings_warn", _C, "findings", "fidelity", _EV,
+            "scorecard findings in the warn band (outside accept)",
+        ),
+        MetricSpec(
+            "fidelity.findings_fail", _C, "findings", "fidelity", _EV,
+            "scorecard findings outside both bands",
+        ),
+        MetricSpec(
+            "fidelity.score", _G, "fraction", "fidelity", _DE,
+            "fraction of scorecard findings inside their accept band",
+            rel_tol=1e-12,
         ),
     ]
 )
@@ -263,6 +300,7 @@ def validate_export(
 
 
 __all__ = [
+    "DEFAULT_GAUGE_REL_TOL",
     "Determinism",
     "MetricKind",
     "MetricSpec",

@@ -26,9 +26,10 @@ fork and report back through their ``ShardResult``.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.obs import clock
+from repro.obs.events import Event
 from repro.obs.metrics import MetricsRegistry, Number
 from repro.obs.spans import SpanNode
 
@@ -41,9 +42,17 @@ ROOT_SPAN = "total"
 class ObsSession:
     """One enabled observation window: a registry plus a span tree."""
 
-    __slots__ = ("registry", "root", "stack", "api_events", "_t0")
+    __slots__ = (
+        "registry",
+        "root",
+        "stack",
+        "api_events",
+        "events",
+        "log_events",
+        "_t0",
+    )
 
-    def __init__(self, root_name: str = ROOT_SPAN):
+    def __init__(self, root_name: str = ROOT_SPAN, log_events: bool = False):
         self.registry = MetricsRegistry()
         self.root = SpanNode(root_name)
         #: Innermost-active-last stack of open spans; the root is always
@@ -53,6 +62,10 @@ class ObsSession:
         #: completions) — the call-site count the disabled-overhead
         #: estimate in ``benchmarks/test_perf_pipeline.py`` scales by.
         self.api_events = 0
+        #: Structured event log (``repro.obs.events``); only populated
+        #: when ``log_events`` is True.
+        self.events: List[Event] = []
+        self.log_events = log_events
         self._t0 = clock.now_s()
 
     def export(self, meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
@@ -68,6 +81,19 @@ class ObsSession:
             "meta": dict(meta or {}),
         }
 
+    def export_events(self) -> List[Event]:
+        """The event log plus a final counter snapshot (non-mutating).
+
+        Empty unless the session was enabled with ``log_events=True``;
+        the trailing ``snapshot`` event makes every exported log end on
+        the session's merged counter totals.
+        """
+        if not self.log_events:
+            return []
+        return list(self.events) + [
+            ("snapshot", "final", self.registry.export_counters())
+        ]
+
 
 _ACTIVE: Optional[ObsSession] = None
 
@@ -82,7 +108,7 @@ def current() -> Optional[ObsSession]:
     return _ACTIVE
 
 
-def enable() -> ObsSession:
+def enable(log_events: bool = False) -> ObsSession:
     """Activate a fresh session; error if one is already active."""
     global _ACTIVE
     if _ACTIVE is not None:
@@ -90,7 +116,7 @@ def enable() -> ObsSession:
             "observability already enabled — disable() the active "
             "session first (the runtime is process-local, not reentrant)"
         )
-    _ACTIVE = ObsSession()
+    _ACTIVE = ObsSession(log_events=log_events)
     return _ACTIVE
 
 
@@ -104,19 +130,22 @@ def disable() -> Optional[ObsSession]:
 class _Observed:
     """Context manager produced by :func:`observed`."""
 
-    __slots__ = ("session",)
+    __slots__ = ("session", "_log_events")
+
+    def __init__(self, log_events: bool = False):
+        self._log_events = log_events
 
     def __enter__(self) -> ObsSession:
-        self.session = enable()
+        self.session = enable(log_events=self._log_events)
         return self.session
 
     def __exit__(self, *exc_info) -> None:
         disable()
 
 
-def observed() -> _Observed:
+def observed(log_events: bool = False) -> _Observed:
     """Scope an observation session around a ``with`` block."""
-    return _Observed()
+    return _Observed(log_events=log_events)
 
 
 def add(name: str, value: Number = 1) -> None:
@@ -126,6 +155,8 @@ def add(name: str, value: Number = 1) -> None:
         return
     session.api_events += 1
     session.registry.add(name, value)
+    if session.log_events:
+        session.events.append(("counter", name, value))
 
 
 def set_gauge(name: str, value: Number) -> None:
@@ -135,6 +166,22 @@ def set_gauge(name: str, value: Number) -> None:
         return
     session.api_events += 1
     session.registry.set_gauge(name, value)
+    if session.log_events:
+        session.events.append(("gauge", name, value))
+
+
+def log_event(kind: str, name: str, value: Any = None) -> None:
+    """Append one structured event; no-op unless event logging is on.
+
+    Used by layers above the metric contract — the fidelity scorecard
+    records its ``verdict`` events here — so anything that matters to
+    "what happened" lands in the same deterministic log as the pipeline
+    stages (``repro.obs.events``).
+    """
+    session = _ACTIVE
+    if session is None or not session.log_events:
+        return
+    session.events.append((kind, name, value))
 
 
 class _NoopSpan:
@@ -165,6 +212,8 @@ class _SpanTimer:
         session = self._session
         self._node = session.stack[-1].child(self._name)
         session.stack.append(self._node)
+        if session.log_events:
+            session.events.append(("span_begin", self._name, None))
         self._t0 = clock.now_s()
         return self
 
@@ -174,6 +223,8 @@ class _SpanTimer:
         self._node.record(elapsed, clock.peak_rss_bytes())
         session.api_events += 1
         session.stack.pop()
+        if session.log_events:
+            session.events.append(("span_end", self._name, None))
 
 
 def span(name: str):
@@ -208,17 +259,23 @@ class _ShardCapture:
         global _ACTIVE
         self._outer = _ACTIVE
         if self._outer is not None:
-            _ACTIVE = ObsSession(root_name=self.label)
+            _ACTIVE = ObsSession(
+                root_name=self.label, log_events=self._outer.log_events
+            )
         return self
 
     def __exit__(self, *exc_info) -> None:
         global _ACTIVE
         if self._outer is not None and _ACTIVE is not None:
             session = _ACTIVE
+            counters = session.registry.export_counters()
+            if session.log_events:
+                session.events.append(("snapshot", self.label, counters))
             self.export = {
-                "counters": session.registry.export_counters(),
+                "counters": counters,
                 "spans": session.export()["spans"],
                 "api_events": session.api_events,
+                "events": session.events,
             }
         _ACTIVE = self._outer
 
@@ -243,6 +300,11 @@ def absorb_shard(export: Optional[Dict[str, Any]]) -> None:
     session.registry.merge_counters(export["counters"])
     session.stack[-1].graft(SpanNode.from_dict(export["spans"]))
     session.api_events += int(export.get("api_events", 0))
+    if session.log_events:
+        session.events.extend(
+            (str(kind), str(name), value)
+            for kind, name, value in export.get("events", ())
+        )
 
 
 __all__ = [
@@ -255,6 +317,7 @@ __all__ = [
     "disable",
     "enable",
     "is_enabled",
+    "log_event",
     "observed",
     "set_gauge",
     "shard_capture",

@@ -15,6 +15,7 @@ from repro import obs
 from repro.dataset.builder import build_session_level_dataset
 from repro.experiments.base import ExperimentResult
 from repro.geo.country import CountryConfig
+from repro.obs import events as obs_events
 
 SEED = 7
 N_SHARDS = 2
@@ -28,8 +29,8 @@ def _clean_runtime():
     obs.disable()
 
 
-def _observed_build(n_workers: int, seed: int = SEED):
-    with obs.observed() as session:
+def _observed_build(n_workers: int, seed: int = SEED, log_events: bool = False):
+    with obs.observed(log_events=log_events) as session:
         artifacts = build_session_level_dataset(
             n_subscribers=60,
             country_config=_COUNTRY,
@@ -111,6 +112,22 @@ class TestWorkerIndependence:
             dump["spans"] = {}
             dump["meta"] = {}
         assert obs.render_json(dump_serial) == obs.render_json(dump_parallel)
+
+    def test_event_log_byte_identical_across_worker_counts(self):
+        # The structured event log carries no timestamps and splices
+        # shard streams in index order, so at fixed (seed, n_shards)
+        # the rendered JSONL is the same bytes regardless of how many
+        # workers produced it.
+        serial, _ = _observed_build(n_workers=1, log_events=True)
+        parallel, _ = _observed_build(n_workers=2, log_events=True)
+        serial_jsonl = obs_events.render_jsonl(serial.export_events())
+        parallel_jsonl = obs_events.render_jsonl(parallel.export_events())
+        assert serial_jsonl == parallel_jsonl
+        # The log is substantive, well-formed, and closes with the
+        # final counter snapshot.
+        events = obs_events.parse_jsonl(serial_jsonl)
+        assert len(events) > 100
+        assert events[-1][:2] == ("snapshot", "final")
 
     def test_counters_identical_across_repeated_runs(self):
         first, _ = _observed_build(n_workers=1)

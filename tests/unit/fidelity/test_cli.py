@@ -1,0 +1,105 @@
+"""Unit tests of the ``repro-scorecard`` CLI (exit-code matrix).
+
+``run`` is exercised end-to-end by the integration suite; here the
+stdlib-only subcommands are driven against synthetic scorecard files.
+"""
+
+import copy
+
+import pytest
+
+from repro.fidelity.extract import EXTRACTORS
+from repro.fidelity.cli import main
+from repro.fidelity.contract import covered_experiments, findings_for
+from repro.fidelity.scorecard import render_scorecard_json, run_scorecard
+
+
+@pytest.fixture
+def card(monkeypatch):
+    results = {}
+    for eid in covered_experiments():
+        specs = findings_for(eid)
+        monkeypatch.setitem(
+            EXTRACTORS,
+            eid,
+            lambda result, specs=specs: {s.name: s.target for s in specs},
+        )
+        results[eid] = object()
+    return run_scorecard(seed=7, results=results)
+
+
+def _write(path, card):
+    path.write_text(render_scorecard_json(card), encoding="utf-8")
+    return str(path)
+
+
+class TestShow:
+    def test_renders_scorecard(self, card, tmp_path, capsys):
+        path = _write(tmp_path / "card.json", card)
+        assert main(["show", path]) == 0
+        out = capsys.readouterr().out
+        assert "fig10.dl_mean_r2" in out
+        assert "score: 1.000" in out
+
+    def test_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["show", str(tmp_path / "nope.json")]) == 2
+        assert "repro-scorecard:" in capsys.readouterr().err
+
+
+class TestDiff:
+    def test_identical_exits_zero(self, card, tmp_path, capsys):
+        a = _write(tmp_path / "a.json", card)
+        b = _write(tmp_path / "b.json", card)
+        assert main(["diff", a, b]) == 0
+        assert "gate OK" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, card, tmp_path, capsys):
+        a = _write(tmp_path / "a.json", card)
+        worse = copy.deepcopy(card)
+        worse["findings"]["fig10.dl_mean_r2"]["verdict"] = "fail"
+        b = _write(tmp_path / "b.json", worse)
+        assert main(["diff", a, b]) == 1
+        assert "REGRESS" in capsys.readouterr().out
+
+
+class TestGate:
+    def test_clean_gate_exits_zero(self, card, tmp_path):
+        current = _write(tmp_path / "card.json", card)
+        baseline = _write(tmp_path / "baseline.json", card)
+        assert main(["gate", current, "--baseline", baseline]) == 0
+
+    def test_regression_exits_one(self, card, tmp_path):
+        worse = copy.deepcopy(card)
+        worse["findings"]["text.median_uli_error_km"]["verdict"] = "warn"
+        current = _write(tmp_path / "card.json", worse)
+        baseline = _write(tmp_path / "baseline.json", card)
+        assert main(["gate", current, "--baseline", baseline]) == 1
+
+    def test_missing_finding_exits_one(self, card, tmp_path):
+        partial = copy.deepcopy(card)
+        del partial["findings"]["fig2.dl_zipf_exponent"]
+        current = _write(tmp_path / "card.json", partial)
+        baseline = _write(tmp_path / "baseline.json", card)
+        assert main(["gate", current, "--baseline", baseline]) == 1
+
+    def test_schema_mismatch_exits_one(self, card, tmp_path):
+        odd = copy.deepcopy(card)
+        odd["schema"] = "repro-fidelity/999"
+        current = _write(tmp_path / "card.json", odd)
+        baseline = _write(tmp_path / "baseline.json", card)
+        assert main(["gate", current, "--baseline", baseline]) == 1
+
+    def test_missing_baseline_is_usage_error(self, card, tmp_path, capsys):
+        current = _write(tmp_path / "card.json", card)
+        missing = str(tmp_path / "nope.json")
+        assert main(["gate", current, "--baseline", missing]) == 2
+        assert "repro-scorecard:" in capsys.readouterr().err
+
+
+class TestListFindings:
+    def test_prints_the_contract(self, capsys):
+        assert main(["list-findings"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2.dl_zipf_exponent" in out
+        assert "text.median_uli_error_km" in out
+        assert "accept" in out and "warn" in out

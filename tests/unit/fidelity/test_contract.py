@@ -1,0 +1,145 @@
+"""Unit tests of the findings contract: bands, verdicts, validation."""
+
+import math
+
+import pytest
+
+from repro.fidelity.contract import (
+    Band,
+    DETERMINISM_SEEDED,
+    FINDINGS,
+    FindingSpec,
+    VERDICT_FAIL,
+    VERDICT_PASS,
+    VERDICT_WARN,
+    _finding_table,
+    covered_experiments,
+    evaluate,
+    finding_names,
+    findings_for,
+)
+
+
+def _spec(accept, warn, target=1.0):
+    return FindingSpec(
+        name="x.y",
+        experiment_id="x",
+        unit="ratio",
+        target=target,
+        accept=accept,
+        warn=warn,
+        source="test",
+        description="test",
+    )
+
+
+class TestBand:
+    def test_closed_interval_edges_are_inside(self):
+        band = Band(0.4, 0.6)
+        assert band.contains(0.4)
+        assert band.contains(0.6)
+        assert band.contains(0.5)
+
+    def test_outside_on_either_side(self):
+        band = Band(0.4, 0.6)
+        assert not band.contains(0.4 - 1e-12)
+        assert not band.contains(0.6 + 1e-12)
+
+    def test_none_bounds_are_unbounded(self):
+        assert Band(None, 0.5).contains(-1e300)
+        assert Band(0.5, None).contains(1e300)
+        assert Band(None, None).contains(0.0)
+
+    def test_non_finite_never_inside(self):
+        for band in (Band(None, None), Band(0.0, 1.0)):
+            assert not band.contains(math.nan)
+            assert not band.contains(math.inf)
+            assert not band.contains(-math.inf)
+
+    def test_encloses(self):
+        assert Band(0.0, 1.0).encloses(Band(0.2, 0.8))
+        assert Band(None, 1.0).encloses(Band(None, 0.8))
+        assert Band(None, None).encloses(Band(0.2, 0.8))
+        assert not Band(0.2, 0.8).encloses(Band(0.0, 1.0))
+        assert not Band(0.0, 1.0).encloses(Band(None, 0.8))
+
+    def test_to_list(self):
+        assert Band(0.5, None).to_list() == [0.5, None]
+
+
+class TestEvaluate:
+    def test_exactly_on_accept_edge_passes(self):
+        spec = _spec(Band(0.4, 0.6), Band(0.2, 0.8), target=0.5)
+        assert evaluate(spec, 0.4) == VERDICT_PASS
+        assert evaluate(spec, 0.6) == VERDICT_PASS
+
+    def test_exactly_on_warn_edge_warns(self):
+        spec = _spec(Band(0.4, 0.6), Band(0.2, 0.8), target=0.5)
+        assert evaluate(spec, 0.2) == VERDICT_WARN
+        assert evaluate(spec, 0.8) == VERDICT_WARN
+
+    def test_between_accept_and_warn_warns(self):
+        spec = _spec(Band(0.4, 0.6), Band(0.2, 0.8), target=0.5)
+        assert evaluate(spec, 0.3) == VERDICT_WARN
+        assert evaluate(spec, 0.7) == VERDICT_WARN
+
+    def test_outside_warn_fails(self):
+        spec = _spec(Band(0.4, 0.6), Band(0.2, 0.8), target=0.5)
+        assert evaluate(spec, 0.2 - 1e-12) == VERDICT_FAIL
+        assert evaluate(spec, 0.8 + 1e-12) == VERDICT_FAIL
+
+    def test_non_finite_fails(self):
+        spec = _spec(Band(None, None), Band(None, None))
+        assert evaluate(spec, math.nan) == VERDICT_FAIL
+        assert evaluate(spec, math.inf) == VERDICT_FAIL
+
+
+class TestTableValidation:
+    def test_duplicate_names_rejected(self):
+        spec = _spec(Band(0.0, 2.0), Band(0.0, 2.0))
+        with pytest.raises(ValueError, match="duplicate"):
+            _finding_table([spec, spec])
+
+    def test_warn_must_enclose_accept(self):
+        spec = _spec(Band(0.0, 2.0), Band(0.5, 1.5))
+        with pytest.raises(ValueError, match="enclose"):
+            _finding_table([spec])
+
+    def test_target_must_be_in_accept(self):
+        spec = _spec(Band(2.0, 3.0), Band(1.0, 4.0), target=1.5)
+        with pytest.raises(ValueError, match="outside"):
+            _finding_table([spec])
+
+
+class TestDeclaredFindings:
+    def test_covers_every_experiment(self):
+        assert covered_experiments() == sorted(
+            ["fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+             "fig9", "fig10", "fig11", "text"]
+        )
+
+    def test_names_are_namespaced_by_experiment(self):
+        for name, spec in FINDINGS.items():
+            assert name == spec.name
+            assert name.startswith(spec.experiment_id + ".")
+
+    def test_every_finding_is_seeded(self):
+        assert all(
+            spec.determinism == DETERMINISM_SEEDED
+            for spec in FINDINGS.values()
+        )
+
+    def test_paper_targets_pass_their_own_bands(self):
+        for spec in FINDINGS.values():
+            assert evaluate(spec, spec.target) == VERDICT_PASS
+
+    def test_finding_names_sorted(self):
+        names = finding_names()
+        assert names == sorted(names)
+        assert set(names) == set(FINDINGS)
+
+    def test_findings_for_partitions_the_table(self):
+        total = sum(
+            len(findings_for(eid)) for eid in covered_experiments()
+        )
+        assert total == len(FINDINGS)

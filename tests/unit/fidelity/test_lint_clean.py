@@ -1,0 +1,28 @@
+"""The fidelity package honours the repro-lint invariants with no
+exemptions: wall-clock only through ``repro.obs.clock`` (RPL103), and
+no new entries on any rule's exemption list.
+"""
+
+from pathlib import Path
+
+from repro.lint.engine import LintEngine
+from repro.lint.rules import WallClockRule
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+FIDELITY_DIR = REPO_ROOT / "src" / "repro" / "fidelity"
+
+
+class TestFidelityStaysLintClean:
+    def test_package_exists_where_the_lint_scope_expects(self):
+        assert (FIDELITY_DIR / "scorecard.py").is_file()
+
+    def test_no_findings_in_the_fidelity_package(self):
+        findings = LintEngine().lint_paths([FIDELITY_DIR], root=REPO_ROOT)
+        assert findings == [], [
+            f"{f.path}:{f.line}: {f.code} {f.message}" for f in findings
+        ]
+
+    def test_rpl103_exemption_list_unchanged(self):
+        # The scorecard routes wall-clock through repro.obs.clock rather
+        # than widening the ban's exemption list.
+        assert WallClockRule._EXEMPT_SUFFIXES == ("repro/obs/clock.py",)

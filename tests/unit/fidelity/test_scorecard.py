@@ -1,0 +1,210 @@
+"""Unit tests of the scorecard engine: run, schema, diff, gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro import obs
+from repro.fidelity.extract import EXTRACTORS
+from repro.fidelity.contract import FINDINGS, covered_experiments, findings_for
+from repro.fidelity.scorecard import (
+    SCHEMA,
+    diff_scorecards,
+    gate_scorecard,
+    load_scorecard,
+    render_scorecard_json,
+    render_scorecard_text,
+    run_scorecard,
+)
+
+
+@pytest.fixture
+def fake_results(monkeypatch):
+    """Stub extractors returning each finding's paper target exactly.
+
+    ``run_scorecard(results=...)`` then scores without touching the
+    experiment layer: every verdict is ``pass`` by construction.
+    """
+    results = {}
+    for eid in covered_experiments():
+        specs = findings_for(eid)
+        monkeypatch.setitem(
+            EXTRACTORS,
+            eid,
+            lambda result, specs=specs: {s.name: s.target for s in specs},
+        )
+        results[eid] = object()
+    return results
+
+
+class TestRunScorecard:
+    def test_covers_every_declared_finding(self, fake_results):
+        card = run_scorecard(seed=7, results=fake_results)
+        assert card["schema"] == SCHEMA
+        assert set(card["findings"]) == set(FINDINGS)
+        assert card["summary"]["total"] == len(FINDINGS)
+        assert card["summary"]["pass"] == len(FINDINGS)
+        assert card["summary"]["score"] == 1.0
+
+    def test_finding_entries_carry_the_contract(self, fake_results):
+        card = run_scorecard(seed=7, results=fake_results)
+        entry = card["findings"]["fig10.dl_mean_r2"]
+        spec = FINDINGS["fig10.dl_mean_r2"]
+        assert entry["experiment"] == "fig10"
+        assert entry["unit"] == spec.unit
+        assert entry["target"] == spec.target
+        assert entry["accept"] == spec.accept.to_list()
+        assert entry["warn"] == spec.warn.to_list()
+        assert entry["verdict"] == "pass"
+        assert entry["determinism"] == "seeded"
+
+    def test_meta_records_the_run_parameters(self, fake_results):
+        card = run_scorecard(seed=13, n_communes=77, results=fake_results)
+        assert card["meta"]["seed"] == 13
+        assert card["meta"]["n_communes"] == 77
+
+    def test_same_inputs_render_byte_identically(self, fake_results):
+        # No timings in the artifact: two runs at the same (seed,
+        # n_communes) are the same bytes, not merely the same verdicts.
+        first = run_scorecard(seed=7, results=fake_results)
+        second = run_scorecard(seed=7, results=fake_results)
+        assert render_scorecard_json(first) == render_scorecard_json(second)
+
+    def test_warn_and_fail_verdicts_are_counted(
+        self, fake_results, monkeypatch
+    ):
+        specs = findings_for("fig10")
+        values = {s.name: s.target for s in specs}
+        values["fig10.dl_mean_r2"] = 0.8  # warn band only
+        values["fig10.ul_mean_r2"] = 0.1  # outside both bands
+        monkeypatch.setitem(
+            EXTRACTORS, "fig10", lambda result: values
+        )
+        card = run_scorecard(seed=7, results=fake_results)
+        assert card["findings"]["fig10.dl_mean_r2"]["verdict"] == "warn"
+        assert card["findings"]["fig10.ul_mean_r2"]["verdict"] == "fail"
+        assert card["summary"]["warn"] == 1
+        assert card["summary"]["fail"] == 1
+        assert card["summary"]["score"] == pytest.approx(
+            (len(FINDINGS) - 2) / len(FINDINGS)
+        )
+
+    def test_missing_experiment_raises(self, fake_results):
+        del fake_results["fig10"]
+        with pytest.raises(KeyError, match="fig10"):
+            run_scorecard(seed=7, results=fake_results)
+
+    def test_extractor_contract_mismatch_raises(
+        self, fake_results, monkeypatch
+    ):
+        monkeypatch.setitem(
+            EXTRACTORS,
+            "fig10",
+            lambda result: {"fig10.dl_mean_r2": 0.5},
+        )
+        with pytest.raises(ValueError, match="contract declares"):
+            run_scorecard(seed=7, results=fake_results)
+
+    def test_emits_fidelity_metrics_and_verdict_events(self, fake_results):
+        with obs.observed(log_events=True) as session:
+            run_scorecard(seed=7, results=fake_results)
+            counters = session.registry.export_counters()
+            gauges = session.registry.export_gauges()
+            verdicts = [e for e in session.events if e[0] == "verdict"]
+        assert counters["fidelity.findings_pass"] == len(FINDINGS)
+        assert gauges["fidelity.score"] == 1.0
+        assert {name for _, name, _ in verdicts} == set(FINDINGS)
+
+
+class TestSchemaRoundTrip:
+    def test_json_round_trip_is_lossless(self, fake_results, tmp_path):
+        card = run_scorecard(seed=7, results=fake_results)
+        path = tmp_path / "card.json"
+        path.write_text(render_scorecard_json(card), encoding="utf-8")
+        assert load_scorecard(str(path)) == card
+
+    def test_render_is_canonical(self, fake_results):
+        card = run_scorecard(seed=7, results=fake_results)
+        shuffled = json.loads(
+            json.dumps(card, sort_keys=False), object_pairs_hook=dict
+        )
+        assert render_scorecard_json(card) == render_scorecard_json(shuffled)
+        assert render_scorecard_json(card).endswith("\n")
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(ValueError, match="scorecard"):
+            load_scorecard(str(path))
+
+
+class TestRenderText:
+    def test_lists_every_finding_and_the_score(self, fake_results):
+        card = run_scorecard(seed=7, results=fake_results)
+        text = render_scorecard_text(card)
+        for name in FINDINGS:
+            assert name in text
+        assert "score: 1.000" in text
+
+
+class TestDiffAndGate:
+    def _card(self, fake_results):
+        return run_scorecard(seed=7, results=fake_results)
+
+    def test_identical_cards_gate_ok(self, fake_results):
+        card = self._card(fake_results)
+        result = gate_scorecard(card, copy.deepcopy(card))
+        assert result.gate_ok
+        assert result.transitions == []
+        assert "gate OK" in result.render()
+
+    def test_verdict_regression_fails_the_gate(self, fake_results):
+        baseline = self._card(fake_results)
+        current = copy.deepcopy(baseline)
+        current["findings"]["fig10.dl_mean_r2"]["verdict"] = "warn"
+        result = gate_scorecard(current, baseline)
+        assert not result.gate_ok
+        assert [row[0] for row in result.regressions] == ["fig10.dl_mean_r2"]
+        assert "REGRESS" in result.render()
+
+    def test_verdict_improvement_passes_the_gate(self, fake_results):
+        baseline = self._card(fake_results)
+        baseline["findings"]["fig10.dl_mean_r2"]["verdict"] = "warn"
+        current = self._card(fake_results)
+        result = gate_scorecard(current, baseline)
+        assert result.gate_ok
+        assert len(result.transitions) == 1
+        assert "IMPROVE" in result.render()
+
+    def test_missing_finding_fails_the_gate(self, fake_results):
+        baseline = self._card(fake_results)
+        current = copy.deepcopy(baseline)
+        del current["findings"]["text.dpi_byte_coverage"]
+        result = gate_scorecard(current, baseline)
+        assert not result.gate_ok
+        assert result.only_in_baseline == ["text.dpi_byte_coverage"]
+
+    def test_new_finding_is_reported_but_passes(self, fake_results):
+        baseline = self._card(fake_results)
+        current = copy.deepcopy(baseline)
+        del baseline["findings"]["text.dpi_byte_coverage"]
+        result = gate_scorecard(current, baseline)
+        assert result.gate_ok
+        assert result.only_in_current == ["text.dpi_byte_coverage"]
+
+    def test_schema_mismatch_fails_the_gate(self, fake_results):
+        baseline = self._card(fake_results)
+        current = copy.deepcopy(baseline)
+        current["schema"] = "repro-fidelity/999"
+        result = gate_scorecard(current, baseline)
+        assert not result.gate_ok
+        assert any("schema" in p for p in result.problems)
+
+    def test_diff_order_is_baseline_then_current(self, fake_results):
+        baseline = self._card(fake_results)
+        current = copy.deepcopy(baseline)
+        current["findings"]["fig2.dl_zipf_exponent"]["verdict"] = "fail"
+        result = diff_scorecards(baseline, current)
+        name, was, now, _, _ = result.transitions[0]
+        assert (name, was, now) == ("fig2.dl_zipf_exponent", "pass", "fail")

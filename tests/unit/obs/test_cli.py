@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.obs import events as obs_events
 from repro.obs.cli import main
 from repro.obs.metrics import SPECS
 from repro.obs.runtime import SCHEMA
@@ -65,9 +66,64 @@ class TestBuildShowDiff:
         assert "DIFFERS" in capsys.readouterr().out
 
 
+class TestEventsAndTrace:
+    def test_build_writes_event_log_and_trace(self, tmp_path):
+        events_path = tmp_path / "run.events.jsonl"
+        trace_path = tmp_path / "run.trace.json"
+        code = main(
+            [
+                "build",
+                "--subscribers", "40",
+                "--communes", "36",
+                "--seed", "7",
+                "--events-out", str(events_path),
+                "--trace-out", str(trace_path),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        events = obs_events.load_jsonl(str(events_path))
+        kinds = {kind for kind, _, _ in events}
+        assert "span_begin" in kinds and "counter" in kinds
+        assert events[-1][:2] == ("snapshot", "final")
+        trace = json.loads(trace_path.read_text(encoding="utf-8"))
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "total" in names and "generate" in names
+
+    def test_trace_subcommand_from_dump(self, dumps, tmp_path, capsys):
+        out = tmp_path / "a.trace.json"
+        assert main(["trace", dumps["a"], "--out", str(out)]) == 0
+        trace = json.loads(out.read_text(encoding="utf-8"))
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+        assert main(["trace", dumps["a"]]) == 0  # stdout path
+        assert '"traceEvents"' in capsys.readouterr().out
+
+    @pytest.fixture
+    def dumps(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("obs_cli_trace")
+        path = str(root / "a.json")
+        assert (
+            main(
+                [
+                    "build",
+                    "--subscribers", "40",
+                    "--communes", "36",
+                    "--seed", "7",
+                    "--out", path,
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        return {"a": path}
+
+
 class TestErrors:
     def test_missing_dump_is_usage_error(self, capsys):
         assert main(["show", "/nonexistent/dump.json"]) == 2
+
+    def test_trace_on_missing_dump_is_usage_error(self, capsys):
+        assert main(["trace", "/nonexistent/dump.json"]) == 2
 
     def test_corrupt_dump_is_usage_error(self, tmp_path):
         bad = tmp_path / "bad.json"

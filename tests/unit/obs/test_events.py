@@ -1,0 +1,103 @@
+"""Unit tests of the structured JSONL event log."""
+
+import pytest
+
+from repro import obs
+from repro.obs.events import (
+    KINDS,
+    load_jsonl,
+    parse_jsonl,
+    render_jsonl,
+    write_jsonl,
+)
+
+EVENTS = [
+    ("span_begin", "generate", None),
+    ("counter", "generator.flows", 5),
+    ("gauge", "aggregation.total_bytes", 12.5),
+    ("span_end", "generate", None),
+    ("snapshot", "final", {"generator.flows": 5}),
+]
+
+
+class TestRenderJsonl:
+    def test_one_object_per_line_with_sequence_numbers(self):
+        lines = render_jsonl(EVENTS).splitlines()
+        assert len(lines) == len(EVENTS)
+        assert '"i":0' in lines[0]
+        assert '"i":4' in lines[-1]
+
+    def test_none_values_are_omitted(self):
+        line = render_jsonl([("span_begin", "generate", None)]).strip()
+        assert '"v"' not in line
+
+    def test_empty_renders_empty(self):
+        assert render_jsonl([]) == ""
+
+    def test_equal_sequences_render_byte_identical(self):
+        assert render_jsonl(list(EVENTS)) == render_jsonl(tuple(EVENTS))
+
+    def test_ends_with_newline(self):
+        assert render_jsonl(EVENTS).endswith("\n")
+
+
+class TestParseJsonl:
+    def test_round_trip(self):
+        assert parse_jsonl(render_jsonl(EVENTS)) == EVENTS
+
+    def test_blank_lines_are_skipped(self):
+        text = render_jsonl(EVENTS).replace("\n", "\n\n")
+        assert parse_jsonl(text) == EVENTS
+
+    def test_reordered_log_fails_loudly(self):
+        lines = render_jsonl(EVENTS).splitlines()
+        swapped = "\n".join([lines[1], lines[0]] + lines[2:])
+        with pytest.raises(ValueError, match="sequence number"):
+            parse_jsonl(swapped)
+
+    def test_truncated_head_fails_loudly(self):
+        text = "\n".join(render_jsonl(EVENTS).splitlines()[1:])
+        with pytest.raises(ValueError, match="sequence number"):
+            parse_jsonl(text)
+
+
+class TestFileRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = str(tmp_path / "run.events.jsonl")
+        write_jsonl(path, EVENTS)
+        assert load_jsonl(path) == EVENTS
+
+
+class TestRuntimeIntegration:
+    def teardown_method(self):
+        obs.disable()
+
+    def test_session_records_spans_counters_and_gauges(self):
+        with obs.observed(log_events=True) as session:
+            with obs.span("generate"):
+                obs.add("generator.flows", 3)
+            obs.set_gauge("aggregation.total_bytes", 9.0)
+            events = session.export_events()
+        assert events[0] == ("span_begin", "generate", None)
+        assert ("counter", "generator.flows", 3) in events
+        assert ("gauge", "aggregation.total_bytes", 9.0) in events
+        assert events[-1][0] == "snapshot" and events[-1][1] == "final"
+
+    def test_every_emitted_kind_is_declared(self):
+        with obs.observed(log_events=True) as session:
+            with obs.span("generate"):
+                obs.add("generator.flows")
+            obs.log_event("verdict", "fig2.dl_zipf_exponent", {"v": 1.0})
+            events = session.export_events()
+        assert {kind for kind, _, _ in events} <= set(KINDS)
+
+    def test_disabled_by_default(self):
+        with obs.observed() as session:
+            with obs.span("generate"):
+                obs.add("generator.flows")
+            obs.log_event("verdict", "x", 1)
+            assert session.events == []
+            assert session.export_events() == []
+
+    def test_log_event_noop_without_session(self):
+        obs.log_event("verdict", "x", 1)  # must not raise

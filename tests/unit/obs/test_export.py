@@ -11,6 +11,7 @@ from repro.obs.export import (
     render_json,
     render_text,
 )
+from repro.obs.metrics import SPECS
 from repro.obs.runtime import SCHEMA
 
 
@@ -115,6 +116,40 @@ class TestDiff:
             _dump(gauges={"aggregation.total_bytes": 2e9}),
         )
         assert result.gauge_diffs
+
+    def test_gauges_use_their_per_metric_tolerance(self):
+        # fidelity.score declares rel_tol=1e-12; the same relative
+        # drift that the default 1e-9 tolerance absorbs must fail it.
+        drift = 1 + 1e-10
+        tight = diff_dumps(
+            _dump(gauges={"fidelity.score": 0.5}),
+            _dump(gauges={"fidelity.score": 0.5 * drift}),
+        )
+        assert [name for name, _, _ in tight.gauge_diffs] == [
+            "fidelity.score"
+        ]
+        loose = diff_dumps(
+            _dump(gauges={"aggregation.total_bytes": 1e9}),
+            _dump(gauges={"aggregation.total_bytes": 1e9 * drift}),
+        )
+        assert loose.identical
+
+    def test_per_metric_tolerance_edge(self):
+        # Drift comfortably inside the declared tolerance is absorbed;
+        # drift past it is reported.  (Exactly-at-the-edge is undefined
+        # at 1e-12 because the sum itself rounds.)
+        spec_tol = SPECS["fidelity.score"].effective_rel_tol
+        assert spec_tol == pytest.approx(1e-12)
+        inside = diff_dumps(
+            _dump(gauges={"fidelity.score": 1.0}),
+            _dump(gauges={"fidelity.score": 1.0 + spec_tol / 4}),
+        )
+        assert inside.identical
+        outside = diff_dumps(
+            _dump(gauges={"fidelity.score": 1.0}),
+            _dump(gauges={"fidelity.score": 1.0 + spec_tol * 10}),
+        )
+        assert not outside.identical
 
     def test_one_sided_metrics(self):
         result = diff_dumps(

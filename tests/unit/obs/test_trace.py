@@ -1,0 +1,90 @@
+"""Unit tests of the Chrome-trace (Perfetto) exporter."""
+
+import json
+
+import pytest
+
+from repro._units import MICROS_PER_SECOND
+from repro.obs.runtime import SCHEMA
+from repro.obs.trace import PID, TID, render_trace_json, to_chrome_trace
+
+
+def _node(name, elapsed_s, children=(), count=1, rss=100):
+    return {
+        "name": name,
+        "count": count,
+        "elapsed_s": elapsed_s,
+        "peak_rss_bytes": rss,
+        "children": list(children),
+    }
+
+
+def _dump(spans):
+    return {
+        "schema": SCHEMA,
+        "counters": {},
+        "gauges": {},
+        "spans": spans,
+        "meta": {"seed": 7},
+    }
+
+
+class TestToChromeTrace:
+    def test_rejects_dump_without_spans(self):
+        with pytest.raises(ValueError, match="spans"):
+            to_chrome_trace({"schema": SCHEMA, "counters": {}})
+
+    def test_metadata_event_then_one_slice_per_span(self):
+        dump = _dump(
+            _node("total", 3.0, [_node("generate", 1.0), _node("merge", 0.5)])
+        )
+        trace = to_chrome_trace(dump)
+        events = trace["traceEvents"]
+        assert events[0]["ph"] == "M"
+        slices = [e for e in events if e["ph"] == "X"]
+        assert [s["name"] for s in slices] == ["total", "generate", "merge"]
+        assert all(s["pid"] == PID and s["tid"] == TID for s in slices)
+
+    def test_children_laid_out_sequentially_in_name_order(self):
+        dump = _dump(
+            _node("total", 3.0, [_node("merge", 0.5), _node("generate", 1.0)])
+        )
+        slices = {
+            e["name"]: e
+            for e in to_chrome_trace(dump)["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert slices["total"]["ts"] == 0.0
+        assert slices["generate"]["ts"] == 0.0  # first in name order
+        assert slices["merge"]["ts"] == 1.0 * MICROS_PER_SECOND
+        assert slices["generate"]["dur"] == 1.0 * MICROS_PER_SECOND
+
+    def test_slices_carry_count_self_time_and_rss(self):
+        dump = _dump(_node("total", 2.0, [_node("generate", 1.5)], count=1))
+        total = next(
+            e
+            for e in to_chrome_trace(dump)["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "total"
+        )
+        assert total["args"]["count"] == 1
+        assert total["args"]["self_s"] == pytest.approx(0.5)
+        assert total["args"]["peak_rss_bytes"] == 100
+
+    def test_other_data_carries_schema_and_meta(self):
+        trace = to_chrome_trace(_dump(_node("total", 1.0)))
+        assert trace["otherData"]["schema"] == SCHEMA
+        assert trace["otherData"]["meta"] == {"seed": 7}
+        assert trace["displayTimeUnit"] == "ms"
+
+
+class TestRenderTraceJson:
+    def test_valid_json_with_stable_key_order(self):
+        dump = _dump(_node("total", 1.0, [_node("generate", 0.25)]))
+        rendered = render_trace_json(to_chrome_trace(dump))
+        assert rendered == render_trace_json(to_chrome_trace(dump))
+        assert rendered.endswith("\n")
+        parsed = json.loads(rendered)
+        assert {e["name"] for e in parsed["traceEvents"]} >= {
+            "total",
+            "generate",
+        }

@@ -8,11 +8,16 @@ Two stdlib-only checks, run by the ``docs`` CI job (no installs):
    directory.  External (``http``/``https``/``mailto``) and
    pure-anchor (``#...``) targets are skipped; fenced code blocks are
    stripped first so example snippets cannot trip the check.
-2. **Metrics contract** — the tables in ``docs/observability.md`` and
-   the declared specs in :data:`repro.obs.metrics.SPECS` must agree in
-   *both* directions: every declared metric is documented, every
-   documented metric is declared, and the documented unit and stage
-   columns match the spec.
+2. **Metrics contract** — the tables under the "The metrics contract"
+   section of ``docs/observability.md`` and the declared specs in
+   :data:`repro.obs.metrics.SPECS` must agree in *both* directions:
+   every declared metric is documented, every documented metric is
+   declared, and the documented unit and stage columns match the spec.
+3. **Findings contract** — the table under the "Fidelity scorecard"
+   section of ``docs/observability.md`` and the declared specs in
+   :data:`repro.fidelity.contract.FINDINGS` must agree in *both*
+   directions, including each finding's documented unit and paper
+   target.
 
 Exit status 0 when clean, 1 with one problem per line otherwise.
 
@@ -40,10 +45,32 @@ _EXTERNAL = ("http://", "https://", "mailto:")
 #: First-column backticked dotted name in a markdown table row — the
 #: shape of the contract tables in docs/observability.md.
 _METRIC_ROW = re.compile(
-    r"^\|\s*`([a-z_]+(?:\.[a-z_]+)+)`\s*\|"
+    r"^\|\s*`([a-z0-9_]+(?:\.[a-z0-9_]+)+)`\s*\|"
     r"\s*([^|]+?)\s*\|"  # unit column
     r"\s*([^|]+?)\s*\|"  # stage column
 )
+
+#: Finding row in the fidelity scorecard table: name, unit, target.
+_FINDING_ROW = re.compile(
+    r"^\|\s*`([a-z0-9_]+(?:\.[a-z0-9_]+)+)`\s*\|"
+    r"\s*([^|]+?)\s*\|"  # unit column
+    r"\s*([^|]+?)\s*\|"  # paper-target column
+)
+
+_HEADING = re.compile(r"^##\s+(.*)$")
+
+
+def _section(text: str, title: str) -> str:
+    """The body of one ``## title`` section (up to the next ``## ``)."""
+    lines, keep = [], False
+    for line in text.splitlines():
+        match = _HEADING.match(line)
+        if match:
+            keep = match.group(1).strip() == title
+            continue
+        if keep:
+            lines.append(line)
+    return "\n".join(lines)
 
 
 def _markdown_files(root: Path) -> List[Path]:
@@ -87,11 +114,28 @@ def check_links(root: Path) -> List[str]:
     return problems
 
 
+#: Section headings the two contract checks parse their tables from.
+METRICS_SECTION = "The metrics contract"
+FINDINGS_SECTION = "Fidelity scorecard"
+
+
 def _documented_metrics(doc: Path) -> Dict[str, Tuple[str, str]]:
     """Metric name -> (unit, stage) as documented in the contract tables."""
     documented: Dict[str, Tuple[str, str]] = {}
-    for line in doc.read_text(encoding="utf-8").splitlines():
+    text = _section(doc.read_text(encoding="utf-8"), METRICS_SECTION)
+    for line in text.splitlines():
         match = _METRIC_ROW.match(line)
+        if match:
+            documented[match.group(1)] = (match.group(2), match.group(3))
+    return documented
+
+
+def _documented_findings(doc: Path) -> Dict[str, Tuple[str, str]]:
+    """Finding name -> (unit, target) documented in the scorecard table."""
+    documented: Dict[str, Tuple[str, str]] = {}
+    text = _section(doc.read_text(encoding="utf-8"), FINDINGS_SECTION)
+    for line in text.splitlines():
+        match = _FINDING_ROW.match(line)
         if match:
             documented[match.group(1)] = (match.group(2), match.group(3))
     return documented
@@ -132,9 +176,51 @@ def check_metrics_contract(root: Path) -> List[str]:
     return problems
 
 
+def check_findings_contract(root: Path) -> List[str]:
+    doc = root / "docs" / "observability.md"
+    if not doc.exists():
+        return [f"{doc.relative_to(root)}: missing"]
+    try:
+        from repro.fidelity.contract import FINDINGS
+    except ImportError as exc:
+        return [
+            f"cannot import repro.fidelity.contract (set PYTHONPATH=src): "
+            f"{exc}"
+        ]
+
+    documented = _documented_findings(doc)
+    problems = []
+    rel = doc.relative_to(root)
+    for name in sorted(set(FINDINGS) - set(documented)):
+        problems.append(f"{rel}: declared finding {name!r} is undocumented")
+    for name in sorted(set(documented) - set(FINDINGS)):
+        problems.append(
+            f"{rel}: documented finding {name!r} is not declared in "
+            "repro.fidelity.contract.FINDINGS"
+        )
+    for name in sorted(set(FINDINGS) & set(documented)):
+        unit, target = documented[name]
+        spec = FINDINGS[name]
+        if unit != spec.unit:
+            problems.append(
+                f"{rel}: {name} documented unit {unit!r} != "
+                f"declared {spec.unit!r}"
+            )
+        if target != f"{spec.target:g}":
+            problems.append(
+                f"{rel}: {name} documented target {target!r} != "
+                f"declared {spec.target:g}"
+            )
+    return problems
+
+
 def main(argv: List[str]) -> int:
     root = Path(argv[1]).resolve() if len(argv) > 1 else REPO_ROOT
-    problems = check_links(root) + check_metrics_contract(root)
+    problems = (
+        check_links(root)
+        + check_metrics_contract(root)
+        + check_findings_contract(root)
+    )
     for problem in problems:
         print(problem)
     n_files = len(_markdown_files(root))
