@@ -30,6 +30,13 @@ cost of event logging relative to plain observation (asserted below
 A fifth leg runs the fidelity scorecard over a pre-computed experiment
 sweep to record what the scoring engine itself costs on top of the
 experiments it grades (``fidelity`` section of the JSON artifact).
+
+A sixth leg reruns the sharded workload under the supervised executor
+(``repro.resilience``) with no faults injected, and bounds the
+supervision surcharge — attempt bookkeeping, result validation, the
+watchdog poll loop — below ``MAX_SUPERVISED_OVERHEAD`` of the bare
+``execute_shards`` pool (min-of-two runs each, to damp wall-clock
+noise).
 """
 
 import json
@@ -65,6 +72,7 @@ N_WORKERS = 2
 MIN_SPEEDUP = 5.0
 MAX_DISABLED_OVERHEAD = 0.02
 MAX_EVENT_LOG_OVERHEAD = 0.03
+MAX_SUPERVISED_OVERHEAD = 0.03
 BENCH_JSON = Path(__file__).parent / "BENCH_perf_pipeline.json"
 
 
@@ -128,7 +136,7 @@ def _run_chain(shared: dict, *, batched: bool, indexed: bool) -> dict:
     )
 
 
-def _run_sharded(shared: dict, n_workers: int) -> dict:
+def _run_sharded(shared: dict, n_workers: int, supervised: bool = False) -> dict:
     rng = np.random.default_rng(9)
     plan = ShardPlan(
         country=shared["country"],
@@ -149,7 +157,12 @@ def _run_sharded(shared: dict, n_workers: int) -> dict:
         shared["country"], shared["catalog"], engine, axis=TimeAxis(1)
     )
     start = time.perf_counter()
-    results = execute_shards(plan, n_workers)
+    if supervised:
+        from repro.resilience import execute_shards_supervised
+
+        results = execute_shards_supervised(plan, n_workers, seed=9).results
+    else:
+        results = execute_shards(plan, n_workers)
     sessions = flows = 0
     for result in results:
         aggregator.merge(result)
@@ -269,6 +282,29 @@ def _run_fidelity() -> dict:
     }
 
 
+def _run_resilience(shared: dict) -> dict:
+    """Supervised vs bare shard executor on the identical fault-free plan.
+
+    Two interleaved runs per executor; the minimum elapsed of each damps
+    scheduler noise, so the reported overhead is the supervision
+    machinery itself (attempt bookkeeping, partial validation, the
+    ``POLL_S`` result poll), not run-to-run variance.
+    """
+    bare_s = min(
+        _run_sharded(shared, n_workers=N_WORKERS)["elapsed_s"]
+        for _ in range(2)
+    )
+    supervised_s = min(
+        _run_sharded(shared, n_workers=N_WORKERS, supervised=True)["elapsed_s"]
+        for _ in range(2)
+    )
+    return {
+        "bare_elapsed_s": bare_s,
+        "supervised_elapsed_s": supervised_s,
+        "overhead_fraction": supervised_s / bare_s - 1.0,
+    }
+
+
 def _leg_stats(
     elapsed: float, sessions: int, flows: int, records: int, n_workers: int
 ) -> dict:
@@ -298,6 +334,7 @@ def test_perf_session_pipeline(benchmark):
     sharded = _run_sharded(shared, n_workers=N_WORKERS)
     observability = _run_observability(shared)
     fidelity = _run_fidelity()
+    resilience = _run_resilience(shared)
 
     speedup = optimized["sessions_per_s"] / baseline["sessions_per_s"]
     print()
@@ -330,6 +367,12 @@ def test_perf_session_pipeline(benchmark):
         f"({100 * fidelity['scoring_overhead_fraction']:.2f}% of the "
         f"{fidelity['experiments_elapsed_s']:.2f} s experiment sweep)"
     )
+    print(
+        f"resilience: supervised executor "
+        f"{resilience['supervised_elapsed_s']:.2f} s vs bare "
+        f"{resilience['bare_elapsed_s']:.2f} s "
+        f"({100 * resilience['overhead_fraction']:+.2f}% overhead)"
+    )
 
     BENCH_JSON.write_text(
         json.dumps(
@@ -342,6 +385,7 @@ def test_perf_session_pipeline(benchmark):
                 "speedup": speedup,
                 "observability": observability,
                 "fidelity": fidelity,
+                "resilience": resilience,
             },
             indent=2,
         )
@@ -361,3 +405,6 @@ def test_perf_session_pipeline(benchmark):
     assert (
         observability["event_log_overhead_fraction"] < MAX_EVENT_LOG_OVERHEAD
     )
+    # Supervision on a fault-free build must cost next to nothing
+    # (docs/robustness.md): production builds can always run supervised.
+    assert resilience["overhead_fraction"] < MAX_SUPERVISED_OVERHEAD

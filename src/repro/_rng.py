@@ -63,6 +63,17 @@ def spawn_many(
     return {label: spawn(parent, label) for label in labels}
 
 
+def seed_material_word(material: Sequence[int]) -> int:
+    """First 32-bit word of ``SeedSequence(material)`` — a stable hash.
+
+    Used where a pure deterministic function of integer inputs is
+    needed without any generator state (e.g. the resilience layer's
+    backoff jitter): same material, same word, on every platform.
+    """
+    seq = np.random.SeedSequence([int(m) for m in material])
+    return int(seq.generate_state(1)[0])
+
+
 def optional_choice(
     rng: np.random.Generator, probability: float
 ) -> bool:
@@ -89,5 +100,6 @@ __all__ = [
     "spawn",
     "spawn_many",
     "optional_choice",
+    "seed_material_word",
     "zipf_weights",
 ]

@@ -9,7 +9,8 @@ configurable scale and is what validates the fast path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from pathlib import Path
+from typing import Optional, Tuple, Union
 
 from repro import obs
 from repro._rng import SeedLike, as_generator, spawn
@@ -19,7 +20,6 @@ from repro.dataset.parallel import (
     MergedGeneratorStats,
     MergedProbeStats,
     ShardPlan,
-    execute_shards,
     partition_subscribers,
 )
 from repro.dataset.store import MobileTrafficDataset
@@ -29,6 +29,9 @@ from repro.geo.country import Country, CountryConfig, build_country
 from repro.network.handover import HandoverStats
 from repro.network.probes import CoreProbe, ProbeStats
 from repro.network.topology import build_topology
+from repro.resilience.coverage import CoverageReport
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import RetryPolicy
 from repro.services.catalog import ServiceCatalog, build_catalog
 from repro.services.profiles import ProfileLibrary, build_profile_library
 from repro.traffic.generator import SessionLevelGenerator, WorkloadConfig
@@ -109,6 +112,10 @@ def build_session_level_dataset(
     n_workers: int = 1,
     n_shards: Optional[int] = None,
     seed: SeedLike = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> PipelineArtifacts:
     """Run the full measurement chain at session resolution.
 
@@ -127,6 +134,22 @@ def build_session_level_dataset(
     more than one shard the ``extras`` carry merged read-only stats
     facades for ``"generator"``/``"probe"`` (plus the per-shard partials
     under ``"shards"``) instead of live objects.
+
+    Sharded builds run under the supervised executor
+    (:func:`repro.resilience.supervisor.execute_shards_supervised`):
+
+    - ``retry_policy`` bounds attempts, the per-shard watchdog, and the
+      post-exhaustion behavior (default: 3 attempts, fail);
+    - ``fault_plan`` injects deterministic faults (tests/CI only);
+    - ``checkpoint_dir`` spills completed shard partials to atomic
+      checkpoints; ``resume=True`` loads them instead of re-running
+      (requires an **integer** ``seed`` so the checkpoint key can bind
+      the run configuration).
+
+    Every sharded build stamps ``coverage.*`` keys into
+    ``dataset.meta`` and exposes ``extras["coverage"]`` /
+    ``extras["execution"]``; a quarantine-degraded build reports
+    ``coverage.fraction < 1``.
     """
     if country_config is None:
         country_config = CountryConfig(n_communes=400)
@@ -140,6 +163,18 @@ def build_session_level_dataset(
         raise ValueError(f"n_shards must be >= 1, got {n_shards}")
     if audit_localization and n_shards > 1:
         raise ValueError("audit_localization requires n_shards=1")
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires checkpoint_dir")
+    if checkpoint_dir is not None and not isinstance(seed, int):
+        raise ValueError(
+            "checkpointing requires an integer seed — the checkpoint "
+            "run key must bind the exact build configuration"
+        )
+    resilient = (
+        retry_policy is not None
+        or fault_plan is not None
+        or checkpoint_dir is not None
+    )
 
     rng = as_generator(seed)
     if country is None:
@@ -165,7 +200,10 @@ def build_session_level_dataset(
             country, model, n_subscribers, seed=spawn(rng, "builder.population")
         )
 
-    if n_shards > 1:
+    if n_shards > 1 or resilient:
+        from repro.resilience.checkpoint import ShardCheckpoint, run_key_for
+        from repro.resilience.supervisor import execute_shards_supervised
+
         plan = ShardPlan(
             country=country,
             catalog=catalog,
@@ -180,13 +218,40 @@ def build_session_level_dataset(
                 spawn(rng, "builder.shard", index=i) for i in range(n_shards)
             ],
         )
+        checkpoint = None
+        if checkpoint_dir is not None:
+            checkpoint = ShardCheckpoint(
+                checkpoint_dir,
+                run_key_for(seed, n_shards, n_subscribers, n_services),
+            )
         with obs.span("shards"):
-            results = execute_shards(plan, n_workers)
+            execution = execute_shards_supervised(
+                plan,
+                n_workers,
+                policy=retry_policy,
+                fault_plan=fault_plan,
+                checkpoint=checkpoint,
+                seed=seed if isinstance(seed, int) else 0,
+                resume=resume,
+            )
+            results = execution.results
             for result in results:  # index order: counters merge exactly
                 if result.obs_export is not None:
                     obs.absorb_shard(result.obs_export)
                     obs.add("shard.results_merged")
         obs.add("shard.fan_out", n_shards)
+
+        quarantined = execution.quarantined_indices
+        coverage = CoverageReport(
+            n_shards=n_shards,
+            quarantined=quarantined,
+            subscribers_total=len(population.subscribers),
+            subscribers_lost=sum(
+                len(plan.shard_subscribers[i]) for i in quarantined
+            ),
+            records_dropped=execution.records_dropped,
+        )
+        obs.set_gauge("resilience.coverage_fraction", coverage.fraction)
 
         engine = DpiEngine(FingerprintDatabase(catalog, seed=0))
         aggregator = CommuneAggregator(country, catalog, engine, axis=axis)
@@ -204,6 +269,7 @@ def build_session_level_dataset(
                 flows_generated += result.flows_generated
         with obs.span("finalize"):
             dataset = aggregator.finalize()
+        dataset.meta.update(coverage.meta())
         obs.add("builder.session_datasets")
         return PipelineArtifacts(
             country=country,
@@ -222,6 +288,8 @@ def build_session_level_dataset(
                 "aggregator": aggregator,
                 "auditor": None,
                 "shards": results,
+                "coverage": coverage,
+                "execution": execution,
             },
         )
 

@@ -4,7 +4,15 @@ Examples::
 
     repro-dataset build --communes 1600 --seed 7 --out week.npz
     repro-dataset build --session --subscribers 2000 --out panel.npz
+    repro-dataset build --session --shards 8 --retries 3 \\
+        --on-exhausted quarantine --checkpoint-dir ckpt --out panel.npz
     repro-dataset info week.npz
+
+Exit codes (``build``): ``0`` success with full coverage, ``1``
+success but degraded (quarantined shards or dropped records — the
+dataset was written and its ``coverage.*`` meta says what is missing),
+``2`` usage/validation error, ``3`` build failure after retry
+exhaustion under the ``fail`` policy.
 """
 
 from __future__ import annotations
@@ -56,6 +64,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="subscriber shards for --session runs (defaults to --workers); "
         "results depend on (seed, shards) only, never on --workers",
     )
+    build.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max attempts per shard for --session runs (default 3)",
+    )
+    build.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard watchdog for pooled --session runs "
+        "(default 120; 0 disables)",
+    )
+    build.add_argument(
+        "--on-exhausted",
+        choices=("fail", "quarantine"),
+        default=None,
+        help="after retry exhaustion: fail the build (default) or "
+        "quarantine the shard and degrade coverage",
+    )
+    build.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="spill completed shard partials to atomic checkpoints here",
+    )
+    build.add_argument(
+        "--resume",
+        action="store_true",
+        help="load finished shards from --checkpoint-dir instead of "
+        "re-running them",
+    )
+    build.add_argument(
+        "--fault",
+        action="append",
+        default=None,
+        metavar="KIND:SHARD[:ATTEMPT[:STAGE]]",
+        help="inject a deterministic fault (testing/CI only); repeatable",
+    )
 
     info = sub.add_parser("info", help="summarize a saved dataset")
     info.add_argument("path", metavar="PATH")
@@ -75,28 +124,95 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resilience_options(args: argparse.Namespace):
+    """Translate build flags into (retry_policy, fault_plan); raises
+    ``ValueError`` on anything inconsistent so ``_build`` can turn it
+    into a usage exit (2)."""
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.retry import RetryPolicy
+
+    session_only = {
+        "--retries": args.retries,
+        "--shard-timeout": args.shard_timeout,
+        "--on-exhausted": args.on_exhausted,
+        "--checkpoint-dir": args.checkpoint_dir,
+        "--fault": args.fault,
+    }
+    if not args.session:
+        used = sorted(k for k, v in session_only.items() if v is not None)
+        if args.resume:
+            used.append("--resume")
+        if used:
+            raise ValueError(
+                f"{', '.join(used)} require(s) --session builds"
+            )
+        return None, None
+    policy = None
+    if (
+        args.retries is not None
+        or args.shard_timeout is not None
+        or args.on_exhausted is not None
+    ):
+        defaults = RetryPolicy()
+        timeout_s: Optional[float] = defaults.timeout_s
+        if args.shard_timeout is not None:
+            timeout_s = None if args.shard_timeout == 0 else args.shard_timeout
+        policy = RetryPolicy(
+            max_attempts=(
+                defaults.max_attempts if args.retries is None else args.retries
+            ),
+            timeout_s=timeout_s,
+            on_exhausted=args.on_exhausted or defaults.on_exhausted,
+        )
+    fault_plan = FaultPlan.parse(args.fault) if args.fault else None
+    return policy, fault_plan
+
+
 def _build(args: argparse.Namespace) -> int:
     from repro.dataset.builder import (
         build_session_level_dataset,
         build_volume_level_dataset,
     )
     from repro.geo.country import CountryConfig
+    from repro.resilience.supervisor import ShardExecutionError
 
-    config = CountryConfig(n_communes=args.communes)
-    if args.session:
-        artifacts = build_session_level_dataset(
-            n_subscribers=args.subscribers,
-            country_config=config,
-            n_workers=args.workers,
-            n_shards=args.shards,
-            seed=args.seed,
-        )
-    else:
-        artifacts = build_volume_level_dataset(
-            country_config=config, seed=args.seed
-        )
+    try:
+        retry_policy, fault_plan = _resilience_options(args)
+        config = CountryConfig(n_communes=args.communes)
+        if args.session:
+            artifacts = build_session_level_dataset(
+                n_subscribers=args.subscribers,
+                country_config=config,
+                n_workers=args.workers,
+                n_shards=args.shards,
+                seed=args.seed,
+                retry_policy=retry_policy,
+                fault_plan=fault_plan,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+            )
+        else:
+            artifacts = build_volume_level_dataset(
+                country_config=config, seed=args.seed
+            )
+    except ValueError as exc:
+        print(f"repro-dataset build: {exc}", file=sys.stderr)
+        return 2
+    except ShardExecutionError as exc:
+        print(f"repro-dataset build: {exc}", file=sys.stderr)
+        return 3
     path = artifacts.dataset.save(args.out)
     print(f"dataset written to {path}")
+    coverage = artifacts.extras.get("coverage")
+    if coverage is not None and coverage.degraded:
+        quarantined = ",".join(str(i) for i in coverage.quarantined) or "none"
+        print(
+            f"coverage degraded: fraction={coverage.fraction:.4f} "
+            f"quarantined_shards={quarantined} "
+            f"records_dropped={coverage.records_dropped}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

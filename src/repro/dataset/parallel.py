@@ -23,13 +23,18 @@ without ``fork`` fall back to in-process execution.
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass
-from typing import List, Optional, Set
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
 from repro import obs
 from repro._rng import spawn
+from repro.resilience.faults import (
+    drop_fraction_for,
+    fire_stage_faults,
+    wants_corrupt_result,
+)
 from repro._time import TimeAxis
 from repro.dataset.aggregation import CommuneAggregator
 from repro.dpi.classifier import ClassificationReport, DpiEngine
@@ -93,6 +98,9 @@ class ShardResult:
     #: Observability snapshot (counters + span tree) captured inside the
     #: shard, or None when the parent ran without observation enabled.
     obs_export: Optional[dict] = None
+    #: Probe records lost inside the shard (injected or real outage
+    #: windows); surfaced so degraded coverage is accounted, not silent.
+    records_dropped: int = 0
 
 
 class MergedHandover:
@@ -140,21 +148,74 @@ def partition_subscribers(
     ]
 
 
-def run_shard(plan: ShardPlan, shard_index: int) -> ShardResult:
+def run_shard(
+    plan: ShardPlan,
+    shard_index: int,
+    faults: Sequence[Any] = (),
+    in_worker: bool = False,
+) -> ShardResult:
     """Run the full measurement chain for one shard of subscribers.
 
     When the parent runs under :func:`repro.obs.observed`, the shard's
     metrics and spans are captured into a private session (fork-safe)
     and travel back on :attr:`ShardResult.obs_export` for the parent to
     absorb in shard-index order.
+
+    ``faults`` is the (normally empty) tuple of
+    :class:`repro.resilience.faults.FaultSpec` addressed to this
+    attempt; ``in_worker`` tells hang-class faults whether they can
+    really block (worker process) or must surface synchronously
+    (in-process execution).
     """
     with obs.shard_capture(f"shard[{shard_index}]") as capture:
-        result = _run_shard(plan, shard_index)
+        result = _run_shard(plan, shard_index, faults, in_worker)
     result.obs_export = capture.export
     return result
 
 
-def _run_shard(plan: ShardPlan, shard_index: int) -> ShardResult:
+def _drop_batch_tail(batch, fraction: float):
+    """Drop the trailing ``fraction`` of one probe batch (outage model).
+
+    Deterministic by construction — the kept prefix depends only on the
+    batch and the fraction — so an injected-drop scenario reproduces
+    exactly.  Returns ``(kept_batch, n_dropped)``.
+    """
+    n = len(batch)
+    keep = n - int(round(n * fraction))
+    if keep >= n:
+        return batch, 0
+    kept = type(batch)(
+        timestamps_s=batch.timestamps_s[:keep],
+        imsi_hashes=batch.imsi_hashes[:keep],
+        commune_ids=batch.commune_ids[:keep],
+        tech_codes=batch.tech_codes[:keep],
+        dl_bytes=batch.dl_bytes[:keep],
+        ul_bytes=batch.ul_bytes[:keep],
+        flow_ids=batch.flow_ids[:keep],
+        snis=batch.snis[:keep],
+        hosts=batch.hosts[:keep],
+        payload_hints=batch.payload_hints[:keep],
+        server_ports=batch.server_ports[:keep],
+        protocols=batch.protocols[:keep],
+    )
+    return kept, n - keep
+
+
+def _corrupt_result(result: ShardResult) -> ShardResult:
+    """Damage a shard partial the way a torn capture file would."""
+    if result.dl.size:
+        result.dl.flat[0] = np.nan
+    result.total_bytes = -abs(result.total_bytes) - 1.0
+    return result
+
+
+def _run_shard(
+    plan: ShardPlan,
+    shard_index: int,
+    faults: Sequence[Any] = (),
+    in_worker: bool = False,
+) -> ShardResult:
+    fire_stage_faults(faults, "generate", in_worker)
     srng = plan.shard_rngs[shard_index]
     engine = DpiEngine(FingerprintDatabase(plan.catalog, seed=0))
     aggregator = CommuneAggregator(
@@ -162,9 +223,10 @@ def _run_shard(plan: ShardPlan, shard_index: int) -> ShardResult:
     )
     subscribers = plan.shard_subscribers[shard_index]
     if not subscribers:
-        return _shard_result(
+        result = _shard_result(
             shard_index, aggregator, engine, ProbeStats(), HandoverStats(), 0, 0
         )
+        return _corrupt_result(result) if wants_corrupt_result(faults) else result
     population = SubscriberPopulation(subscribers, plan.country)
     fingerprints = FingerprintDatabase(
         plan.catalog,
@@ -186,9 +248,15 @@ def _run_shard(plan: ShardPlan, shard_index: int) -> ShardResult:
     probe.attach_to(generator.session_manager)
     probe.attach_to_bulk(generator.session_manager)
     generator.run_week()
+    fire_stage_faults(faults, "aggregate", in_worker)
+    drop_fraction = drop_fraction_for(faults)
+    records_dropped = 0
     for batch in probe.drain_batches():
+        if drop_fraction > 0.0:
+            batch, dropped = _drop_batch_tail(batch, drop_fraction)
+            records_dropped += dropped
         aggregator.ingest_columnar(batch)
-    return _shard_result(
+    result = _shard_result(
         shard_index,
         aggregator,
         engine,
@@ -197,6 +265,9 @@ def _run_shard(plan: ShardPlan, shard_index: int) -> ShardResult:
         generator.sessions_generated,
         generator.flows_generated,
     )
+    result.records_dropped = records_dropped
+    fire_stage_faults(faults, "result", in_worker)
+    return _corrupt_result(result) if wants_corrupt_result(faults) else result
 
 
 def _shard_result(
@@ -226,18 +297,88 @@ def _shard_result(
     )
 
 
-# Fork-inherited worker state: set on the parent immediately before the
-# pool is created, read by the forked children, cleared afterwards.
-_WORKER_PLAN: Optional[ShardPlan] = None
+@dataclass
+class WorkerContext:
+    """Everything a pool worker needs, delivered via the initializer.
+
+    Under the ``fork`` start method, initializer arguments are
+    inherited copy-on-write — the heavy shared artifacts inside the
+    plan are never pickled.  ``rng_states`` snapshots every shard
+    stream *before* execution so any attempt of shard ``i`` — first
+    try, retry, or a re-dispatch on a rebuilt pool — restores the
+    identical generator state and reproduces the shard bit-for-bit.
+    """
+
+    plan: ShardPlan
+    fault_plan: Optional[Any] = None
+    rng_states: List[dict] = field(default_factory=list)
+
+    @classmethod
+    def for_plan(
+        cls, plan: ShardPlan, fault_plan: Optional[Any] = None
+    ) -> "WorkerContext":
+        return cls(
+            plan=plan,
+            fault_plan=fault_plan,
+            rng_states=[g.bit_generator.state for g in plan.shard_rngs],
+        )
+
+    def faults_for(self, shard_index: int, attempt: int) -> Sequence[Any]:
+        if self.fault_plan is None:
+            return ()
+        return self.fault_plan.faults_for(shard_index, attempt)
 
 
-def _run_shard_by_index(shard_index: int) -> ShardResult:
-    assert _WORKER_PLAN is not None, "worker invoked without a shard plan"
-    return run_shard(_WORKER_PLAN, shard_index)
+# Worker-process-only context, installed by the pool initializer inside
+# each forked child.  The parent process never assigns it, so plan state
+# cannot leak between successive builds or into re-entrant use — the
+# public executors assert it stays None on the parent.
+_WORKER_CONTEXT: Optional[WorkerContext] = None
+
+
+def _init_worker(context: WorkerContext) -> None:
+    """Pool initializer: install the shard context in this worker."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def run_shard_attempt(
+    context: WorkerContext,
+    shard_index: int,
+    attempt: int,
+    in_worker: bool = False,
+) -> ShardResult:
+    """One supervised attempt: restore the shard RNG stream, then run.
+
+    Restoring from the pre-execution snapshot makes attempts
+    independent: a retry consumes exactly the stream the first try did,
+    so a recovered build is bit-identical to an undisturbed one.
+    """
+    generator = context.plan.shard_rngs[shard_index]
+    generator.bit_generator.state = context.rng_states[shard_index]
+    return run_shard(
+        context.plan,
+        shard_index,
+        faults=context.faults_for(shard_index, attempt),
+        in_worker=in_worker,
+    )
+
+
+def _worker_run_shard(task: tuple) -> ShardResult:
+    shard_index, attempt = task
+    context = _WORKER_CONTEXT
+    assert context is not None, "worker invoked without a shard context"
+    return run_shard_attempt(context, shard_index, attempt, in_worker=True)
 
 
 def execute_shards(plan: ShardPlan, n_workers: int) -> List[ShardResult]:
     """Run every shard, across ``n_workers`` processes when possible.
+
+    The *bare* executor: no supervision, no retries — one worker
+    failure fails the whole build.  It remains the minimal-overhead
+    reference path (benchmarks measure the supervised executor against
+    it); production builds go through
+    :func:`repro.resilience.supervisor.execute_shards_supervised`.
 
     Shard results are identical whether shards run in-process or in
     worker processes (each shard consumes only its own parent-spawned
@@ -251,13 +392,18 @@ def execute_shards(plan: ShardPlan, n_workers: int) -> List[ShardResult]:
         context = multiprocessing.get_context("fork")
     except ValueError:
         return [run_shard(plan, i) for i in range(n_shards)]
-    global _WORKER_PLAN
-    _WORKER_PLAN = plan
-    try:
-        with context.Pool(processes=min(n_workers, n_shards)) as pool:
-            results = pool.map(_run_shard_by_index, range(n_shards))
-    finally:
-        _WORKER_PLAN = None
+    worker_context = WorkerContext.for_plan(plan)
+    with context.Pool(
+        processes=min(n_workers, n_shards),
+        initializer=_init_worker,
+        initargs=(worker_context,),
+    ) as pool:
+        results = pool.map(
+            _worker_run_shard, [(i, 0) for i in range(n_shards)]
+        )
+    assert _WORKER_CONTEXT is None, (
+        "worker context leaked into the parent process"
+    )
     return sorted(results, key=lambda result: result.shard_index)
 
 
@@ -266,7 +412,9 @@ __all__ = [
     "ShardResult",
     "MergedGeneratorStats",
     "MergedProbeStats",
+    "WorkerContext",
     "partition_subscribers",
     "run_shard",
+    "run_shard_attempt",
     "execute_shards",
 ]

@@ -13,6 +13,8 @@ pipeline or from the closed-form volume model.
 
 from __future__ import annotations
 
+import os
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Union
@@ -21,6 +23,17 @@ import numpy as np
 
 from repro._time import TimeAxis
 from repro.geo.urbanization import UrbanizationClass
+
+
+class CorruptDatasetError(RuntimeError):
+    """A dataset archive exists but cannot be trusted.
+
+    Raised by :meth:`MobileTrafficDataset.load` when the file is torn,
+    truncated, missing arrays, or carries non-finite/negative tensors —
+    anything short of the archive :meth:`~MobileTrafficDataset.save`
+    wrote.  A *missing* file still raises ``FileNotFoundError``: absence
+    and damage are different failures with different recoveries (build
+    vs. restore/rebuild)."""
 
 
 @dataclass
@@ -170,52 +183,126 @@ class MobileTrafficDataset:
     # persistence
     # ------------------------------------------------------------------
     def save(self, path: Union[str, Path]) -> Path:
-        """Save to an ``.npz`` archive; returns the written path."""
+        """Save to an ``.npz`` archive; returns the written path.
+
+        Crash-safe: the archive is serialized to a temp file in the
+        target directory, flushed and ``fsync``\\ ed, then moved into
+        place with ``os.replace`` — a build killed mid-save leaves
+        either the previous archive or none, never a torn one.
+        """
         path = Path(path)
-        np.savez_compressed(
-            path,
-            bins_per_hour=np.array([self.axis.bins_per_hour]),
-            head_names=np.array(self.head_names),
-            all_service_names=np.array(self.all_service_names),
-            dl=self.dl,
-            ul=self.ul,
-            national_dl=self.national_dl,
-            national_ul=self.national_ul,
-            users=self.users,
-            commune_classes=self.commune_classes,
-            density=self.density,
-            coordinates=self.coordinates,
-            has_3g=self.has_3g,
-            has_4g=self.has_4g,
-            classified_fraction=np.array([self.classified_fraction]),
-            meta_keys=np.array(sorted(self.meta.keys())),
-            meta_values=np.array([self.meta[k] for k in sorted(self.meta.keys())]),
+        final = (
+            path if path.suffix == ".npz"
+            else path.with_name(path.name + ".npz")
         )
-        return path if path.suffix == ".npz" else path.with_suffix(".npz")
+        tmp = final.with_name(final.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                bins_per_hour=np.array([self.axis.bins_per_hour]),
+                head_names=np.array(self.head_names),
+                all_service_names=np.array(self.all_service_names),
+                dl=self.dl,
+                ul=self.ul,
+                national_dl=self.national_dl,
+                national_ul=self.national_ul,
+                users=self.users,
+                commune_classes=self.commune_classes,
+                density=self.density,
+                coordinates=self.coordinates,
+                has_3g=self.has_3g,
+                has_4g=self.has_4g,
+                classified_fraction=np.array([self.classified_fraction]),
+                meta_keys=np.array(sorted(self.meta.keys())),
+                meta_values=np.array(
+                    [self.meta[k] for k in sorted(self.meta.keys())]
+                ),
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, final)
+        return final
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "MobileTrafficDataset":
-        """Load a dataset previously written by :meth:`save`."""
-        with np.load(Path(path), allow_pickle=False) as data:
-            meta_keys = [str(k) for k in data["meta_keys"]]
-            meta_values = data["meta_values"]
-            return cls(
-                axis=TimeAxis(int(data["bins_per_hour"][0])),
-                head_names=[str(n) for n in data["head_names"]],
-                all_service_names=[str(n) for n in data["all_service_names"]],
-                dl=data["dl"],
-                ul=data["ul"],
-                national_dl=data["national_dl"],
-                national_ul=data["national_ul"],
-                users=data["users"],
-                commune_classes=data["commune_classes"],
-                density=data["density"],
-                coordinates=data["coordinates"],
-                has_3g=data["has_3g"],
-                has_4g=data["has_4g"],
-                classified_fraction=float(data["classified_fraction"][0]),
-                meta=dict(zip(meta_keys, (float(v) for v in meta_values))),
+        """Load a dataset previously written by :meth:`save`.
+
+        Integrity-checked: a torn, truncated, or garbled archive — and
+        one whose tensors fail the same finiteness/sign checks the
+        supervisor applies to shard partials — raises
+        :class:`CorruptDatasetError` instead of surfacing as a random
+        ``KeyError``/``BadZipFile`` deep inside numpy.  A missing file
+        raises ``FileNotFoundError`` as before.
+        """
+        path = Path(path)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                meta_keys = [str(k) for k in data["meta_keys"]]
+                meta_values = data["meta_values"]
+                dataset = cls(
+                    axis=TimeAxis(int(data["bins_per_hour"][0])),
+                    head_names=[str(n) for n in data["head_names"]],
+                    all_service_names=[
+                        str(n) for n in data["all_service_names"]
+                    ],
+                    dl=data["dl"],
+                    ul=data["ul"],
+                    national_dl=data["national_dl"],
+                    national_ul=data["national_ul"],
+                    users=data["users"],
+                    commune_classes=data["commune_classes"],
+                    density=data["density"],
+                    coordinates=data["coordinates"],
+                    has_3g=data["has_3g"],
+                    has_4g=data["has_4g"],
+                    classified_fraction=float(data["classified_fraction"][0]),
+                    meta=dict(zip(meta_keys, (float(v) for v in meta_values))),
+                )
+        except FileNotFoundError:
+            raise
+        except (
+            zipfile.BadZipFile,
+            KeyError,
+            ValueError,
+            EOFError,
+            OSError,
+        ) as exc:
+            raise CorruptDatasetError(
+                f"{path} is not a readable dataset archive: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        problems = dataset.integrity_problems()
+        if problems:
+            raise CorruptDatasetError(
+                f"{path} failed integrity checks: " + "; ".join(problems)
             )
+        return dataset
+
+    def integrity_problems(self) -> List[str]:
+        """Value-level integrity defects (empty list = sound).
+
+        Shape consistency is already enforced by ``__post_init__``;
+        this checks what shapes cannot: non-finite cells, negative
+        volumes, negative subscriber counts.
+        """
+        problems: List[str] = []
+        for name, arr in (
+            ("dl", self.dl),
+            ("ul", self.ul),
+            ("national_dl", self.national_dl),
+            ("national_ul", self.national_ul),
+        ):
+            arr = np.asarray(arr)
+            if not np.isfinite(arr).all():
+                problems.append(f"{name} contains non-finite cells")
+            elif arr.size and float(arr.min()) < 0.0:
+                problems.append(f"{name} contains negative volumes")
+        users = np.asarray(self.users)
+        if not np.isfinite(users).all():
+            problems.append("users contains non-finite cells")
+        elif users.size and float(users.min()) < 0.0:
+            problems.append("users contains negative counts")
+        return problems
 
 
-__all__ = ["MobileTrafficDataset"]
+__all__ = ["CorruptDatasetError", "MobileTrafficDataset"]

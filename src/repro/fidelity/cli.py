@@ -79,6 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a Chrome-trace JSON of the run (Perfetto)",
     )
     run.add_argument(
+        "--coverage-from",
+        metavar="DATASET.npz",
+        default=None,
+        help="stamp the card's coverage block from a saved dataset's "
+        "coverage.* meta (degraded builds report their loss here)",
+    )
+    run.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the text report on stdout",
@@ -119,8 +126,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # Wall-clock stays out of the scorecard (it is byte-deterministic);
     # the elapsed time is reported on stderr and in the obs dump spans.
     started = clock.now_s()
+    coverage = None
+    if args.coverage_from:
+        from repro.dataset.store import (
+            CorruptDatasetError,
+            MobileTrafficDataset,
+        )
+        from repro.resilience.coverage import coverage_block_from_meta
+
+        try:
+            coverage = coverage_block_from_meta(
+                MobileTrafficDataset.load(args.coverage_from).meta
+            )
+        except CorruptDatasetError as exc:
+            print(f"repro-scorecard: {exc}", file=sys.stderr)
+            return 2
     with runtime.observed(log_events=args.events_out is not None) as session:
-        card = fid.run_scorecard(seed=args.seed, n_communes=args.communes)
+        card = fid.run_scorecard(
+            seed=args.seed, n_communes=args.communes, coverage=coverage
+        )
         dump = session.export(
             meta={
                 "command": "scorecard-run",

@@ -79,16 +79,36 @@ def _finding_entry(spec: FindingSpec, value: float, verdict: str) -> Dict[str, A
     }
 
 
+#: The ``coverage`` block of a scorecard built from a full-coverage run.
+#: Every card carries the block (default: this one) so a clean build
+#: and a recovered-then-clean build render byte-identically.
+FULL_COVERAGE: Dict[str, Any] = {
+    "fraction": 1.0,
+    "n_shards": 1,
+    "quarantined_shards": [],
+    "subscribers_total": 0,
+    "subscribers_lost": 0,
+    "records_dropped": 0,
+    "degraded": False,
+}
+
+
 def run_scorecard(
     seed: int = 7,
     n_communes: int = DEFAULT_N_COMMUNES,
     results: Optional[Dict[str, Any]] = None,
+    coverage: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Run the experiment layer and score every declared finding.
 
     ``results`` injects pre-computed experiment results (tests, or a
     caller who already ran the figures); by default the full layer runs:
     one shared context, every experiment the contract draws from.
+
+    ``coverage`` stamps the dataset-coverage block of a degraded build
+    (see :meth:`repro.resilience.coverage.CoverageReport.block` and the
+    CLI's ``--coverage-from``); omitted, the card carries the
+    :data:`FULL_COVERAGE` block, so the key set never varies.
 
     Raises ``KeyError``/``ValueError`` when an experiment or extractor
     does not cover its declared findings — a contract violation is a
@@ -141,6 +161,7 @@ def run_scorecard(
             "n_communes": n_communes,
             "tool": "repro-scorecard",
         },
+        "coverage": dict(FULL_COVERAGE) if coverage is None else coverage,
         "findings": findings,
         "summary": {**counts, "total": total, "score": score},
     }
@@ -183,6 +204,13 @@ def render_scorecard_text(scorecard: Dict[str, Any]) -> str:
             f"score: {summary.get('score', 0.0):.3f} "
             f"({summary.get('pass', 0)} pass, {summary.get('warn', 0)} warn, "
             f"{summary.get('fail', 0)} fail of {summary.get('total', 0)})"
+        )
+    coverage = scorecard.get("coverage")
+    if coverage and coverage.get("degraded"):
+        lines.append(
+            f"coverage: DEGRADED — fraction {coverage.get('fraction', 1.0):.4f}, "
+            f"quarantined shards {coverage.get('quarantined_shards')}, "
+            f"{coverage.get('records_dropped', 0)} records dropped"
         )
     return "\n".join(lines)
 
@@ -293,6 +321,7 @@ def load_scorecard(path: str) -> Dict[str, Any]:
 
 __all__ = [
     "DEFAULT_N_COMMUNES",
+    "FULL_COVERAGE",
     "SCHEMA",
     "ScorecardDiff",
     "diff_scorecards",

@@ -20,6 +20,13 @@ and is built so the answer is reproducible.  An event is a plain
 ``verdict``
     A fidelity-scorecard verdict (``repro.fidelity``): finding name plus
     ``{"verdict", "value"}``.
+``retry`` / ``quarantine`` / ``checkpoint``
+    Supervised-execution history (``repro.resilience``): one ``retry``
+    per charged shard failure (``{"attempt", "kind"}``), one
+    ``quarantine`` per shard dropped after exhaustion, one
+    ``checkpoint`` per shard restored on resume.  Emitted on the parent
+    in shard-index order after execution settles, so they inherit the
+    worker-count-independence of the rest of the log.
 
 Determinism contract: events carry **no timestamps**, shard events are
 captured inside the shard's private session and spliced into the parent
@@ -46,6 +53,9 @@ KINDS = (
     "gauge",
     "snapshot",
     "verdict",
+    "retry",
+    "quarantine",
+    "checkpoint",
 )
 
 

@@ -165,6 +165,48 @@ SPECS: Dict[str, MetricSpec] = _spec_table(
             "shard.results_merged", _C, "shards", "parallel", _EV,
             "shard partials folded back into the parent aggregator",
         ),
+        # --- resilient execution ------------------------------------
+        MetricSpec(
+            "resilience.attempts", _C, "attempts", "resilience", _EV,
+            "shard attempts executed by the supervised executor",
+        ),
+        MetricSpec(
+            "resilience.retries", _C, "attempts", "resilience", _EV,
+            "shard attempts beyond each shard's first try",
+        ),
+        MetricSpec(
+            "resilience.failures", _C, "failures", "resilience", _EV,
+            "typed shard-attempt failures recorded by the supervisor",
+        ),
+        MetricSpec(
+            "resilience.quarantined_shards", _C, "shards", "resilience", _EV,
+            "shards quarantined after retry exhaustion",
+        ),
+        MetricSpec(
+            "resilience.checkpoint_hits", _C, "shards", "resilience", _EV,
+            "shards restored from on-disk checkpoints on resume",
+        ),
+        MetricSpec(
+            "resilience.checkpoint_writes", _C, "shards", "resilience", _EV,
+            "shard partials persisted to the checkpoint directory",
+        ),
+        MetricSpec(
+            "resilience.checkpoint_discards", _C, "shards", "resilience", _EV,
+            "checkpoint files rejected as damaged or mismatched",
+        ),
+        MetricSpec(
+            "resilience.faults_injected", _C, "faults", "resilience", _EV,
+            "fault-plan faults addressed to executed shard attempts",
+        ),
+        MetricSpec(
+            "resilience.records_dropped", _C, "records", "resilience", _EV,
+            "probe records lost inside accepted shards (outage model)",
+        ),
+        MetricSpec(
+            "resilience.coverage_fraction", _G, "fraction", "resilience", _DE,
+            "surviving fraction of the subscriber panel after degradation",
+            rel_tol=1e-12,
+        ),
         # --- dataset builds -----------------------------------------
         MetricSpec(
             "builder.session_datasets", _C, "datasets", "builder", _EV,

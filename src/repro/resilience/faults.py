@@ -1,0 +1,281 @@
+"""Deterministic fault injection for the sharded measurement chain.
+
+Nationwide capture pipelines treat partial failure as a normal
+operating condition: the paper excludes a maintenance window from its
+week (§2), and probe outages, crashed collectors, and dropped GTP/DPI
+records are everyday events at an operator.  This module makes every
+such failure a *reproducible test fixture*: a :class:`FaultPlan` maps
+``(shard_index, attempt)`` to the faults that fire there, so a failure
+scenario is replayed bit-identically on every run.
+
+Fault classes (:data:`FAULT_KINDS`):
+
+``worker_exception``
+    The shard worker raises :class:`InjectedWorkerError` at the
+    addressed stage — the "collector process crashed with a traceback"
+    case.
+``worker_hang``
+    In a worker process the shard blocks forever (a stuck capture); the
+    supervisor's watchdog must time it out and reclaim the worker.  In
+    in-process execution a hang cannot be preempted, so the injector
+    raises :class:`InjectedHangError`, which the supervisor accounts as
+    the same timeout-class failure.
+``corrupt_partial``
+    The shard's :class:`~repro.dataset.parallel.ShardResult` comes back
+    damaged (NaN cells, negative byte totals) — the "truncated/garbled
+    capture file" case.  Parent-side validation must catch it.
+``drop_records``
+    A deterministic fraction of the shard's probe records never reaches
+    aggregation — the "probe outage window" case.  The shard stays
+    usable but under-covered, and reports the loss.
+
+Plans are either written explicitly (a list of :class:`FaultSpec`) or
+sampled from a seed with :meth:`FaultPlan.sample`, which draws one
+spawned RNG stream per fault kind so scenarios are decorrelated and
+stable under changes to the other kinds' rates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._rng import SeedLike, as_generator, spawn
+
+#: The closed set of injectable fault kinds.
+FAULT_KINDS = (
+    "worker_exception",
+    "worker_hang",
+    "corrupt_partial",
+    "drop_records",
+)
+
+#: Pipeline stages a fault can address inside one shard run.
+FAULT_STAGES = ("generate", "aggregate", "result")
+
+
+class InjectedWorkerError(RuntimeError):
+    """Raised inside a shard worker by a ``worker_exception`` fault."""
+
+
+class InjectedHangError(RuntimeError):
+    """In-process stand-in for a ``worker_hang`` fault.
+
+    A real hang only exists in a worker process (the supervisor's
+    watchdog kills it); in-process execution surfaces the same scenario
+    synchronously so both paths exercise the identical recovery logic.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injectable fault, addressed by ``(shard_index, attempt)``."""
+
+    kind: str
+    shard_index: int
+    attempt: int = 0
+    stage: str = "generate"
+    #: Fraction of probe records dropped (``drop_records`` only).
+    drop_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if self.stage not in FAULT_STAGES:
+            raise ValueError(
+                f"unknown fault stage {self.stage!r}; expected one of "
+                f"{FAULT_STAGES}"
+            )
+        if self.shard_index < 0:
+            raise ValueError(
+                f"shard_index must be >= 0, got {self.shard_index}"
+            )
+        if self.attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {self.attempt}")
+        if not 0.0 < self.drop_fraction <= 1.0:
+            raise ValueError(
+                f"drop_fraction must be in (0, 1], got {self.drop_fraction}"
+            )
+
+
+class FaultPlan:
+    """A reproducible failure scenario for one sharded build.
+
+    Immutable after construction; lookup is by ``(shard_index,
+    attempt)`` so a fault injected at attempt 0 does not re-fire on the
+    retry — the canonical retry-success fixture.
+    """
+
+    def __init__(self, faults: Sequence[FaultSpec] = ()):
+        self._faults: Tuple[FaultSpec, ...] = tuple(faults)
+        self._by_address: Dict[Tuple[int, int], List[FaultSpec]] = {}
+        for fault in self._faults:
+            key = (fault.shard_index, fault.attempt)
+            self._by_address.setdefault(key, []).append(fault)
+
+    @property
+    def faults(self) -> Tuple[FaultSpec, ...]:
+        return self._faults
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def faults_for(
+        self, shard_index: int, attempt: int
+    ) -> Tuple[FaultSpec, ...]:
+        """Every fault addressed to one ``(shard_index, attempt)``."""
+        return tuple(self._by_address.get((shard_index, attempt), ()))
+
+    def describe(self) -> List[str]:
+        """One human-readable line per fault, in declaration order."""
+        return [
+            f"{f.kind} @ shard {f.shard_index} attempt {f.attempt} "
+            f"stage {f.stage}"
+            for f in self._faults
+        ]
+
+    @classmethod
+    def parse(cls, specs: Sequence[str]) -> "FaultPlan":
+        """Build a plan from ``kind:shard[:attempt[:stage]]`` strings.
+
+        The CLI's ``--fault`` flag format; e.g.
+        ``worker_exception:2``, ``drop_records:0:1:aggregate``.
+        """
+        faults = []
+        for text in specs:
+            parts = text.split(":")
+            if not 2 <= len(parts) <= 4:
+                raise ValueError(
+                    f"fault spec {text!r} is not kind:shard[:attempt[:stage]]"
+                )
+            kind = parts[0]
+            shard_index = int(parts[1])
+            attempt = int(parts[2]) if len(parts) > 2 else 0
+            if len(parts) > 3:
+                stage = parts[3]
+            else:
+                stage = "aggregate" if kind == "drop_records" else "generate"
+            faults.append(
+                FaultSpec(
+                    kind=kind,
+                    shard_index=shard_index,
+                    attempt=attempt,
+                    stage=stage,
+                )
+            )
+        return cls(faults)
+
+    @classmethod
+    def sample(
+        cls,
+        seed: SeedLike,
+        n_shards: int,
+        rates: Optional[Dict[str, float]] = None,
+        max_attempts: int = 1,
+        drop_fraction: float = 0.25,
+    ) -> "FaultPlan":
+        """Sample a random-but-reproducible scenario from ``seed``.
+
+        ``rates`` maps fault kind to the per-``(shard, attempt)``
+        injection probability; kinds not listed are never injected.
+        Each kind draws from its own spawned stream, so adding or
+        re-rating one kind never perturbs the scenarios of the others.
+        """
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        rates = dict(rates or {})
+        for kind in sorted(rates):
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r} in rates")
+            if not 0.0 <= rates[kind] <= 1.0:
+                raise ValueError(
+                    f"rate for {kind!r} must be in [0, 1], got {rates[kind]}"
+                )
+        parent = as_generator(seed)
+        faults = []
+        # Spawn in the fixed FAULT_KINDS order so each kind's stream is
+        # stable regardless of which kinds carry a nonzero rate.
+        streams = {
+            kind: spawn(parent, f"faults.{kind}") for kind in FAULT_KINDS
+        }
+        for kind in FAULT_KINDS:
+            rate = rates.get(kind, 0.0)
+            stream = streams[kind]
+            for shard_index in range(n_shards):
+                for attempt in range(max_attempts):
+                    if stream.random() < rate:
+                        faults.append(
+                            FaultSpec(
+                                kind=kind,
+                                shard_index=shard_index,
+                                attempt=attempt,
+                                stage=(
+                                    "aggregate"
+                                    if kind == "drop_records"
+                                    else "generate"
+                                ),
+                                drop_fraction=drop_fraction,
+                            )
+                        )
+        return cls(faults)
+
+
+def fire_stage_faults(
+    faults: Sequence[FaultSpec], stage: str, in_worker_process: bool
+) -> None:
+    """Raise/hang for exception- and hang-class faults at ``stage``.
+
+    Called by the shard runner at each injection point.  A hang only
+    really blocks inside a worker process (where the supervisor's
+    watchdog and pool teardown can reclaim it); in-process it raises
+    :class:`InjectedHangError` instead, which the supervisor maps to the
+    same timeout failure kind.
+    """
+    for fault in faults:
+        if fault.stage != stage:
+            continue
+        if fault.kind == "worker_exception":
+            raise InjectedWorkerError(
+                f"injected worker exception at stage {stage!r} "
+                f"(shard {fault.shard_index}, attempt {fault.attempt})"
+            )
+        if fault.kind == "worker_hang":
+            if in_worker_process:
+                while True:  # reclaimed by the supervisor's pool teardown
+                    time.sleep(0.25)
+            raise InjectedHangError(
+                f"injected hang at stage {stage!r} "
+                f"(shard {fault.shard_index}, attempt {fault.attempt})"
+            )
+
+
+def drop_fraction_for(faults: Sequence[FaultSpec]) -> float:
+    """The record-drop fraction addressed to this run (0.0 when none)."""
+    for fault in faults:
+        if fault.kind == "drop_records":
+            return fault.drop_fraction
+    return 0.0
+
+
+def wants_corrupt_result(faults: Sequence[FaultSpec]) -> bool:
+    """Whether a ``corrupt_partial`` fault addresses this run."""
+    return any(fault.kind == "corrupt_partial" for fault in faults)
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_STAGES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedHangError",
+    "InjectedWorkerError",
+    "drop_fraction_for",
+    "fire_stage_faults",
+    "wants_corrupt_result",
+]

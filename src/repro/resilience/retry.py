@@ -1,0 +1,79 @@
+"""Supervised-retry policy with a deterministic backoff schedule.
+
+The retry *decision path* never reads the wall clock: whether a shard
+is retried depends only on attempt counts, and the backoff schedule is
+a pure function of ``(seed, shard_index, attempt)``, so a rerun of the
+same failure scenario makes bit-identical decisions.  Wall-clock enters
+exactly twice, both outside the decision path: the per-shard watchdog
+*measures* elapsed time against :attr:`RetryPolicy.timeout_s` (via the
+sanctioned :mod:`repro.obs.clock` shim), and the executor may *sleep*
+the scheduled backoff before re-dispatching (disabled by default —
+in-process reruns of a deterministic simulation gain nothing from
+waiting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro._rng import seed_material_word
+
+#: Degradation policies applied after retry exhaustion.
+ON_EXHAUSTED = ("fail", "quarantine")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervisor retries, times out, and degrades."""
+
+    #: Total attempts per shard (first run + retries), >= 1.
+    max_attempts: int = 3
+    #: Per-attempt watchdog for worker-pool execution, seconds; ``None``
+    #: disables the watchdog.  In-process execution cannot preempt a
+    #: shard, so there the watchdog only classifies injected hangs.
+    timeout_s: Optional[float] = 120.0
+    #: Base of the exponential backoff schedule, seconds.  0 disables
+    #: sleeping entirely (the schedule is still computed and recorded).
+    backoff_base_s: float = 0.0
+    #: ``"fail"`` raises a structured error after exhaustion;
+    #: ``"quarantine"`` drops the shard and degrades coverage.
+    on_exhausted: str = "fail"
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(
+                f"timeout_s must be > 0 or None, got {self.timeout_s}"
+            )
+        if self.backoff_base_s < 0:
+            raise ValueError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.on_exhausted not in ON_EXHAUSTED:
+            raise ValueError(
+                f"on_exhausted must be one of {ON_EXHAUSTED}, "
+                f"got {self.on_exhausted!r}"
+            )
+
+    def backoff_s(self, seed: int, shard_index: int, attempt: int) -> float:
+        """The scheduled pre-retry pause, a pure function of its inputs.
+
+        Exponential in the attempt number with +/-25 % deterministic
+        jitter derived from ``(seed, shard_index, attempt)`` through a
+        :class:`numpy.random.SeedSequence` — no wall-clock, no shared
+        RNG state, bit-identical across reruns and platforms.
+        """
+        if attempt < 1:
+            return 0.0
+        if self.backoff_base_s == 0.0:
+            return 0.0
+        word = seed_material_word([seed, shard_index, attempt])
+        jitter = 0.75 + 0.5 * (float(word) / float(2**32))
+        return self.backoff_base_s * (2.0 ** (attempt - 1)) * jitter
+
+
+__all__ = ["ON_EXHAUSTED", "RetryPolicy"]

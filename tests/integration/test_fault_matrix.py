@@ -1,0 +1,228 @@
+"""The fault matrix: every injected failure class must be recovered.
+
+For each fault kind the supervised executor retries the shard from its
+restored RNG state, so the recovered build is byte-identical to an
+undisturbed one at the same ``(seed, n_shards)`` — faults change the
+execution history (failures, counters, events), never the data.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.dataset.builder import build_session_level_dataset
+from repro.geo.country import CountryConfig
+from repro.obs import events as obs_events
+from repro.resilience import FaultPlan, RetryPolicy, ShardExecutionError
+
+SEED = 7
+N_SHARDS = 2
+_COUNTRY = CountryConfig(n_communes=36)
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _build(
+    n_workers=1,
+    fault_plan=None,
+    retry_policy=None,
+    log_events=False,
+):
+    with obs.observed(log_events=log_events) as session:
+        artifacts = build_session_level_dataset(
+            n_subscribers=60,
+            country_config=_COUNTRY,
+            n_services=40,
+            seed=SEED,
+            n_workers=n_workers,
+            n_shards=N_SHARDS,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+        )
+    return session, artifacts
+
+
+@pytest.fixture(scope="module")
+def clean():
+    obs.disable()
+    return build_session_level_dataset(
+        n_subscribers=60,
+        country_config=_COUNTRY,
+        n_services=40,
+        seed=SEED,
+        n_workers=1,
+        n_shards=N_SHARDS,
+    )
+
+
+def _assert_same_dataset(a, b):
+    assert np.array_equal(a.dataset.dl, b.dataset.dl)
+    assert np.array_equal(a.dataset.ul, b.dataset.ul)
+    assert np.array_equal(a.dataset.users, b.dataset.users)
+
+
+class TestSingleFaultRecovery:
+    """One fault on shard 1's first attempt; the retry must erase it."""
+
+    @pytest.mark.parametrize(
+        "fault, expected_kind",
+        [
+            ("worker_exception:1:0", "exception"),
+            ("worker_hang:1:0", "timeout"),
+            ("corrupt_partial:1:0:result", "corrupt"),
+            ("drop_records:1:0", "dropped_records"),
+        ],
+    )
+    def test_recovered_build_is_byte_identical(
+        self, clean, fault, expected_kind
+    ):
+        session, faulty = _build(fault_plan=FaultPlan.parse([fault]))
+        _assert_same_dataset(clean, faulty)
+
+        execution = faulty.extras["execution"]
+        (failure,) = execution.failures
+        assert (failure.shard_index, failure.attempt) == (1, 0)
+        assert failure.kind == expected_kind
+        assert execution.retries == 1
+        assert execution.records_dropped == 0
+        assert not execution.degraded
+
+        counters = session.registry.export_counters()
+        assert counters["resilience.attempts"] == N_SHARDS + 1
+        assert counters["resilience.retries"] == 1
+        assert counters["resilience.failures"] == 1
+        assert counters["resilience.faults_injected"] == 1
+        assert session.registry.get("resilience.coverage_fraction") == 1.0
+
+    def test_full_coverage_stamped_on_dataset(self, clean):
+        _, faulty = _build(
+            fault_plan=FaultPlan.parse(["worker_exception:1:0"])
+        )
+        meta = faulty.dataset.meta
+        assert meta["coverage.fraction"] == 1.0
+        assert meta["coverage.quarantined_shards"] == 0.0
+        assert meta["coverage.records_dropped"] == 0.0
+        assert clean.dataset.meta["coverage.fraction"] == 1.0
+
+
+class TestPooledRecovery:
+    """The same contract holds when shards run in worker processes."""
+
+    def test_exception_fault(self, clean):
+        _, faulty = _build(
+            n_workers=2, fault_plan=FaultPlan.parse(["worker_exception:0:0"])
+        )
+        _assert_same_dataset(clean, faulty)
+        (failure,) = faulty.extras["execution"].failures
+        assert failure.kind == "exception"
+
+    def test_hang_times_out_and_retries(self, clean):
+        _, faulty = _build(
+            n_workers=2,
+            fault_plan=FaultPlan.parse(["worker_hang:1:0"]),
+            retry_policy=RetryPolicy(timeout_s=2.0),
+        )
+        _assert_same_dataset(clean, faulty)
+        (failure,) = faulty.extras["execution"].failures
+        assert failure.kind == "timeout"
+
+    def test_event_log_identical_across_worker_counts(self):
+        plan = ["worker_exception:1:0"]
+        serial, _ = _build(
+            n_workers=1, fault_plan=FaultPlan.parse(plan), log_events=True
+        )
+        pooled, _ = _build(
+            n_workers=2, fault_plan=FaultPlan.parse(plan), log_events=True
+        )
+        serial_jsonl = obs_events.render_jsonl(serial.export_events())
+        pooled_jsonl = obs_events.render_jsonl(pooled.export_events())
+        assert serial_jsonl == pooled_jsonl
+        retries = [
+            e for e in serial.export_events() if e[0] == "retry"
+        ]
+        assert len(retries) == 1
+        assert retries[0][1] == "shard[1]"
+
+
+class TestExhaustion:
+    _EVERY_ATTEMPT = [
+        "worker_exception:1:0",
+        "worker_exception:1:1",
+        "worker_exception:1:2",
+    ]
+
+    def test_fail_policy_raises_structured_error(self):
+        with pytest.raises(ShardExecutionError) as excinfo:
+            _build(fault_plan=FaultPlan.parse(self._EVERY_ATTEMPT))
+        assert excinfo.value.shard_indices == [1]
+        assert len(excinfo.value.failures) == 3
+        assert all(f.kind == "exception" for f in excinfo.value.failures)
+
+    def test_quarantine_policy_completes_degraded(self):
+        session, degraded = _build(
+            fault_plan=FaultPlan.parse(self._EVERY_ATTEMPT),
+            retry_policy=RetryPolicy(on_exhausted="quarantine"),
+            log_events=True,
+        )
+        coverage = degraded.extras["coverage"]
+        assert coverage.degraded
+        assert coverage.quarantined == [1]
+        assert 0.0 < coverage.fraction < 1.0
+        meta = degraded.dataset.meta
+        assert meta["coverage.quarantined_shards"] == 1.0
+        assert meta["coverage.fraction"] == pytest.approx(coverage.fraction)
+
+        counters = session.registry.export_counters()
+        assert counters["resilience.quarantined_shards"] == 1
+        assert (
+            session.registry.get("resilience.coverage_fraction")
+            == coverage.fraction
+        )
+        quarantines = [
+            e for e in session.export_events() if e[0] == "quarantine"
+        ]
+        assert len(quarantines) == 1
+        assert quarantines[0][1] == "shard[1]"
+
+    def test_quarantined_builds_deterministic(self):
+        _, first = _build(
+            fault_plan=FaultPlan.parse(self._EVERY_ATTEMPT),
+            retry_policy=RetryPolicy(on_exhausted="quarantine"),
+        )
+        _, second = _build(
+            n_workers=2,
+            fault_plan=FaultPlan.parse(self._EVERY_ATTEMPT),
+            retry_policy=RetryPolicy(on_exhausted="quarantine"),
+        )
+        _assert_same_dataset(first, second)
+        assert first.dataset.meta == second.dataset.meta
+
+    def test_persistent_drops_kept_and_accounted(self, clean):
+        """A shard that drops records on every attempt is not discarded:
+        its last result is accepted and the loss lands in coverage."""
+        plan = FaultPlan.parse(
+            ["drop_records:1:0", "drop_records:1:1", "drop_records:1:2"]
+        )
+        session, lossy = _build(
+            fault_plan=plan,
+            retry_policy=RetryPolicy(on_exhausted="quarantine"),
+        )
+        execution = lossy.extras["execution"]
+        coverage = lossy.extras["coverage"]
+        assert execution.quarantined_indices == []
+        assert execution.records_dropped > 0
+        assert coverage.fraction == 1.0
+        assert coverage.degraded
+        counters = session.registry.export_counters()
+        assert (
+            counters["resilience.records_dropped"]
+            == execution.records_dropped
+        )
+        assert (
+            lossy.dataset.total_volume() < clean.dataset.total_volume()
+        )

@@ -10,6 +10,7 @@ a statistical one.
 import numpy as np
 import pytest
 
+from repro._rng import as_generator
 from repro.dataset.builder import build_session_level_dataset
 from repro.geo.country import CountryConfig
 
@@ -90,6 +91,25 @@ class TestShardedVsMonolithic:
         )
 
 
+class TestNoForkFallback:
+    """Platforms without the fork start method fall back to in-process
+    supervision — and produce the exact bytes the pooled path does."""
+
+    def test_fallback_is_bit_identical(self, parallel_shards, monkeypatch):
+        import multiprocessing
+
+        def _no_fork(method=None):
+            raise ValueError("cannot find context for 'fork'")
+
+        monkeypatch.setattr(multiprocessing, "get_context", _no_fork)
+        fallback = _build(n_workers=2, n_shards=2)
+        a, b = fallback.dataset, parallel_shards.dataset
+        assert np.array_equal(a.dl, b.dl)
+        assert np.array_equal(a.ul, b.ul)
+        assert np.array_equal(a.users, b.users)
+        assert a.meta == b.meta
+
+
 class TestBuilderValidation:
     def test_rejects_bad_worker_count(self):
         with pytest.raises(ValueError):
@@ -98,6 +118,16 @@ class TestBuilderValidation:
     def test_rejects_bad_shard_count(self):
         with pytest.raises(ValueError):
             _build(n_workers=1, n_shards=0)
+
+    def test_checkpoint_requires_integer_seed(self, tmp_path):
+        with pytest.raises(ValueError):
+            build_session_level_dataset(
+                n_subscribers=10,
+                country_config=CountryConfig(n_communes=16),
+                n_shards=2,
+                seed=as_generator(1),
+                checkpoint_dir=tmp_path / "ckpt",
+            )
 
     def test_audit_requires_single_shard(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,143 @@
+"""Checkpoint/resume: an interrupted build finishes where it left off.
+
+The resumed dataset must be byte-identical to an uninterrupted run at
+the same ``(seed, n_shards)``; a damaged checkpoint degrades to a
+re-run, never to an error or a different dataset.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.dataset.builder import build_session_level_dataset
+from repro.geo.country import CountryConfig
+from repro.resilience import (
+    FaultPlan,
+    RetryPolicy,
+    ShardExecutionError,
+)
+
+SEED = 7
+N_SHARDS = 3
+_COUNTRY = CountryConfig(n_communes=36)
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _build(checkpoint_dir=None, resume=False, fault_plan=None,
+           retry_policy=None):
+    return build_session_level_dataset(
+        n_subscribers=60,
+        country_config=_COUNTRY,
+        n_services=40,
+        seed=SEED,
+        n_workers=1,
+        n_shards=N_SHARDS,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
+    )
+
+
+@pytest.fixture(scope="module")
+def uninterrupted():
+    obs.disable()
+    return _build()
+
+
+def _assert_same_dataset(a, b):
+    assert np.array_equal(a.dataset.dl, b.dataset.dl)
+    assert np.array_equal(a.dataset.ul, b.dataset.ul)
+    assert np.array_equal(a.dataset.users, b.dataset.users)
+    assert a.dataset.meta == b.dataset.meta
+
+
+class TestInterruptedBuild:
+    def test_resume_completes_byte_identical(self, tmp_path, uninterrupted):
+        ckpt = tmp_path / "ckpt"
+        # First run dies on shard 1 under the fail policy — but the
+        # shards that did succeed were checkpointed before the raise.
+        with pytest.raises(ShardExecutionError):
+            _build(
+                checkpoint_dir=ckpt,
+                fault_plan=FaultPlan.parse(["worker_exception:1:0"]),
+                retry_policy=RetryPolicy(max_attempts=1),
+            )
+        assert len(list(ckpt.glob("shard-*.ckpt"))) == N_SHARDS - 1
+
+        resumed = _build(checkpoint_dir=ckpt, resume=True)
+        execution = resumed.extras["execution"]
+        assert execution.checkpoint_hits == N_SHARDS - 1
+        assert execution.attempts_executed == 1
+        _assert_same_dataset(uninterrupted, resumed)
+
+    def test_full_resume_runs_no_attempts(self, tmp_path, uninterrupted):
+        ckpt = tmp_path / "ckpt"
+        _build(checkpoint_dir=ckpt)
+        with obs.observed() as session:
+            resumed = _build(checkpoint_dir=ckpt, resume=True)
+        execution = resumed.extras["execution"]
+        assert execution.attempts_executed == 0
+        assert execution.checkpoint_hits == N_SHARDS
+        _assert_same_dataset(uninterrupted, resumed)
+        counters = session.registry.export_counters()
+        assert counters["resilience.checkpoint_hits"] == N_SHARDS
+        assert counters["resilience.attempts"] == 0
+
+
+class TestDamagedCheckpoint:
+    def test_garbled_file_rerun_not_error(self, tmp_path, uninterrupted):
+        ckpt = tmp_path / "ckpt"
+        _build(checkpoint_dir=ckpt)
+        (ckpt / "shard-00001.ckpt").write_bytes(b"torn write")
+
+        with obs.observed() as session:
+            resumed = _build(checkpoint_dir=ckpt, resume=True)
+        execution = resumed.extras["execution"]
+        assert execution.checkpoint_discards == 1
+        assert execution.checkpoint_hits == N_SHARDS - 1
+        assert execution.attempts_executed == 1
+        _assert_same_dataset(uninterrupted, resumed)
+        counters = session.registry.export_counters()
+        assert counters["resilience.checkpoint_discards"] == 1
+
+
+class TestResumeSemantics:
+    def test_resume_false_reruns_everything(self, tmp_path, uninterrupted):
+        ckpt = tmp_path / "ckpt"
+        _build(checkpoint_dir=ckpt)
+        fresh = _build(checkpoint_dir=ckpt, resume=False)
+        execution = fresh.extras["execution"]
+        assert execution.checkpoint_hits == 0
+        assert execution.attempts_executed == N_SHARDS
+        _assert_same_dataset(uninterrupted, fresh)
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(ValueError):
+            _build(resume=True)
+
+    def test_checkpoints_keyed_to_configuration(self, tmp_path):
+        """A checkpoint from another seed never leaks into this build."""
+        ckpt = tmp_path / "ckpt"
+        _build(checkpoint_dir=ckpt)
+        other = build_session_level_dataset(
+            n_subscribers=60,
+            country_config=_COUNTRY,
+            n_services=40,
+            seed=SEED + 1,
+            n_workers=1,
+            n_shards=N_SHARDS,
+            checkpoint_dir=ckpt,
+            resume=True,
+        )
+        execution = other.extras["execution"]
+        assert execution.checkpoint_hits == 0
+        # Mismatched run keys are rejected as discards, not silently
+        # merged into a differently-seeded build.
+        assert execution.checkpoint_discards == N_SHARDS

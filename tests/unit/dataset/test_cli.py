@@ -49,3 +49,86 @@ class TestBuildAndInfo:
     def test_requires_command(self, capsys):
         with pytest.raises(SystemExit):
             main([])
+
+
+def _session_args(tmp_path, *extra):
+    return [
+        "build", "--session", "--subscribers", "60", "--communes", "36",
+        "--shards", "2", "--seed", "7",
+        "--out", str(tmp_path / "panel.npz"), *extra,
+    ]
+
+
+class TestExitCodeMatrix:
+    """build's exit codes: 0 ok, 1 degraded, 2 usage, 3 build failure."""
+
+    def test_0_recovered_fault_is_full_coverage(self, tmp_path, capsys):
+        rc = main(_session_args(tmp_path, "--fault", "worker_exception:1:0"))
+        assert rc == 0
+        assert (tmp_path / "panel.npz").exists()
+        assert "degraded" not in capsys.readouterr().err
+
+    def test_1_quarantine_writes_degraded_dataset(self, tmp_path, capsys):
+        rc = main(_session_args(
+            tmp_path,
+            "--on-exhausted", "quarantine",
+            "--fault", "worker_exception:1:0",
+            "--fault", "worker_exception:1:1",
+            "--fault", "worker_exception:1:2",
+        ))
+        assert rc == 1
+        assert (tmp_path / "panel.npz").exists()
+        err = capsys.readouterr().err
+        assert "coverage degraded" in err
+        assert "quarantined_shards=1" in err
+        from repro.dataset.store import MobileTrafficDataset
+
+        meta = MobileTrafficDataset.load(tmp_path / "panel.npz").meta
+        assert meta["coverage.fraction"] < 1.0
+
+    def test_2_resilience_flags_require_session(self, tmp_path, capsys):
+        rc = main([
+            "build", "--communes", "36", "--retries", "2",
+            "--out", str(tmp_path / "week.npz"),
+        ])
+        assert rc == 2
+        assert "--session" in capsys.readouterr().err
+        assert not (tmp_path / "week.npz").exists()
+
+    def test_2_resume_requires_checkpoint_dir(self, tmp_path, capsys):
+        rc = main(_session_args(tmp_path, "--resume"))
+        assert rc == 2
+        assert "checkpoint" in capsys.readouterr().err.lower()
+
+    def test_2_malformed_fault_spec(self, tmp_path, capsys):
+        rc = main(_session_args(tmp_path, "--fault", "worker_exception"))
+        assert rc == 2
+        capsys.readouterr()
+
+    def test_3_retry_exhaustion_under_fail_policy(self, tmp_path, capsys):
+        rc = main(_session_args(
+            tmp_path, "--retries", "1", "--fault", "worker_exception:1:0",
+        ))
+        assert rc == 3
+        assert not (tmp_path / "panel.npz").exists()
+        assert "shard 1" in capsys.readouterr().err
+
+
+class TestCheckpointResume:
+    def test_resumed_build_matches_uninterrupted(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.dataset.store import MobileTrafficDataset
+
+        ckpt = str(tmp_path / "ckpt")
+        assert main(_session_args(tmp_path, "--checkpoint-dir", ckpt)) == 0
+        first = MobileTrafficDataset.load(tmp_path / "panel.npz")
+
+        assert main(_session_args(
+            tmp_path, "--checkpoint-dir", ckpt, "--resume",
+        )) == 0
+        resumed = MobileTrafficDataset.load(tmp_path / "panel.npz")
+        assert np.array_equal(first.dl, resumed.dl)
+        assert np.array_equal(first.ul, resumed.ul)
+        assert first.meta == resumed.meta
+        capsys.readouterr()

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro._time import TimeAxis
-from repro.dataset.store import MobileTrafficDataset
+from repro.dataset.store import CorruptDatasetError, MobileTrafficDataset
 from repro.geo.urbanization import UrbanizationClass
 
 
@@ -95,3 +95,76 @@ class TestPersistence:
             volume_dataset.classified_fraction
         )
         assert loaded.meta == pytest.approx(volume_dataset.meta)
+
+    def test_save_appends_npz_suffix(self, volume_dataset, tmp_path):
+        written = volume_dataset.save(tmp_path / "week.dat")
+        assert written.name == "week.dat.npz"
+        assert written.exists()
+        MobileTrafficDataset.load(written)
+
+    def test_save_leaves_no_temp_file(self, volume_dataset, tmp_path):
+        volume_dataset.save(tmp_path / "dataset.npz")
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_save_replaces_existing_archive(self, volume_dataset, tmp_path):
+        path = tmp_path / "dataset.npz"
+        volume_dataset.save(path)
+        volume_dataset.save(path)
+        MobileTrafficDataset.load(path)
+
+
+def _tamper(path, **replacements):
+    """Rewrite one archive with some arrays swapped out."""
+    with np.load(path, allow_pickle=False) as data:
+        arrays = {name: data[name] for name in data.files}
+    arrays.update(replacements)
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+
+
+class TestLoadIntegrity:
+    """Damage surfaces as CorruptDatasetError, absence as FileNotFound."""
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            MobileTrafficDataset.load(tmp_path / "nope.npz")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(CorruptDatasetError):
+            MobileTrafficDataset.load(path)
+
+    def test_truncated_archive(self, volume_dataset, tmp_path):
+        path = volume_dataset.save(tmp_path / "dataset.npz")
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(CorruptDatasetError):
+            MobileTrafficDataset.load(path)
+
+    def test_missing_array(self, volume_dataset, tmp_path):
+        path = volume_dataset.save(tmp_path / "dataset.npz")
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {n: data[n] for n in data.files if n != "dl"}
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        with pytest.raises(CorruptDatasetError):
+            MobileTrafficDataset.load(path)
+
+    def test_non_finite_tensor(self, volume_dataset, tmp_path):
+        path = volume_dataset.save(tmp_path / "dataset.npz")
+        dl = volume_dataset.dl.copy()
+        dl[0, 0, 0] = np.nan
+        _tamper(path, dl=dl)
+        with pytest.raises(CorruptDatasetError, match="non-finite"):
+            MobileTrafficDataset.load(path)
+
+    def test_negative_volume(self, volume_dataset, tmp_path):
+        path = volume_dataset.save(tmp_path / "dataset.npz")
+        ul = volume_dataset.ul.copy()
+        ul[0, 0, 0] = -1.0
+        _tamper(path, ul=ul)
+        with pytest.raises(CorruptDatasetError, match="negative"):
+            MobileTrafficDataset.load(path)
+
+    def test_integrity_problems_on_sound_dataset(self, volume_dataset):
+        assert volume_dataset.integrity_problems() == []

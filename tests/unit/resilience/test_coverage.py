@@ -1,0 +1,87 @@
+"""Unit tests for degraded-build coverage accounting."""
+
+import pytest
+
+from repro.resilience.coverage import CoverageReport, coverage_block_from_meta
+
+
+class TestCoverageReport:
+    def test_full_coverage(self):
+        report = CoverageReport(n_shards=4, subscribers_total=100)
+        assert report.fraction == 1.0
+        assert report.scale == 1.0
+        assert not report.degraded
+
+    def test_quarantine_degrades(self):
+        report = CoverageReport(
+            n_shards=4,
+            quarantined=[2],
+            subscribers_total=100,
+            subscribers_lost=25,
+        )
+        assert report.fraction == pytest.approx(0.75)
+        assert report.scale == pytest.approx(1.0 / 0.75)
+        assert report.degraded
+
+    def test_dropped_records_degrade_without_quarantine(self):
+        report = CoverageReport(
+            n_shards=2, subscribers_total=50, records_dropped=10
+        )
+        assert report.fraction == 1.0
+        assert report.degraded
+
+    def test_zero_coverage_cannot_rescale(self):
+        report = CoverageReport(
+            n_shards=1,
+            quarantined=[0],
+            subscribers_total=10,
+            subscribers_lost=10,
+        )
+        assert report.fraction == 0.0
+        with pytest.raises(ValueError):
+            report.scale
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoverageReport(n_shards=0)
+        with pytest.raises(ValueError):
+            CoverageReport(
+                n_shards=1, subscribers_total=5, subscribers_lost=6
+            )
+
+
+class TestMetaRoundTrip:
+    def test_meta_is_all_float(self):
+        report = CoverageReport(
+            n_shards=4,
+            quarantined=[1, 3],
+            subscribers_total=100,
+            subscribers_lost=50,
+            records_dropped=7,
+        )
+        meta = report.meta()
+        assert all(isinstance(v, float) for v in meta.values())
+        assert meta["coverage.fraction"] == pytest.approx(0.5)
+        assert meta["coverage.quarantined_shards"] == 2.0
+
+    def test_block_matches_meta_reconstruction(self):
+        report = CoverageReport(
+            n_shards=4,
+            quarantined=[1],
+            subscribers_total=100,
+            subscribers_lost=25,
+            records_dropped=3,
+        )
+        rebuilt = coverage_block_from_meta(report.meta())
+        block = report.block()
+        assert rebuilt["fraction"] == block["fraction"]
+        assert rebuilt["subscribers_lost"] == block["subscribers_lost"]
+        assert rebuilt["records_dropped"] == block["records_dropped"]
+        assert rebuilt["degraded"] == block["degraded"]
+        # meta flattens the quarantined list to its count
+        assert rebuilt["quarantined_shards"] == len(block["quarantined_shards"])
+
+    def test_pre_resilience_meta_reads_as_full_coverage(self):
+        block = coverage_block_from_meta({"records_ingested": 100.0})
+        assert block["fraction"] == 1.0
+        assert not block["degraded"]

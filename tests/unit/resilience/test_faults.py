@@ -1,0 +1,136 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedHangError,
+    InjectedWorkerError,
+    drop_fraction_for,
+    fire_stage_faults,
+    wants_corrupt_result,
+)
+
+
+class TestFaultSpec:
+    def test_defaults(self):
+        spec = FaultSpec("worker_exception", 2)
+        assert spec.attempt == 0
+        assert spec.stage == "generate"
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultSpec("cosmic_ray", 0)
+
+    def test_rejects_unknown_stage(self):
+        with pytest.raises(ValueError):
+            FaultSpec("worker_exception", 0, stage="teardown")
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            FaultSpec("worker_exception", -1)
+        with pytest.raises(ValueError):
+            FaultSpec("worker_exception", 0, attempt=-1)
+
+    def test_rejects_bad_drop_fraction(self):
+        with pytest.raises(ValueError):
+            FaultSpec("drop_records", 0, drop_fraction=1.5)
+
+
+class TestFaultPlan:
+    def test_addressing(self):
+        plan = FaultPlan(
+            [
+                FaultSpec("worker_exception", 1, 0),
+                FaultSpec("corrupt_partial", 1, 0, stage="result"),
+                FaultSpec("worker_hang", 2, 1),
+            ]
+        )
+        assert len(plan.faults_for(1, 0)) == 2
+        assert len(plan.faults_for(2, 1)) == 1
+        assert plan.faults_for(0, 0) == ()
+        assert plan.faults_for(1, 1) == ()
+
+    def test_parse_round_trip(self):
+        plan = FaultPlan.parse(
+            ["worker_exception:2", "drop_records:0:1:aggregate"]
+        )
+        (exc,) = plan.faults_for(2, 0)
+        assert exc.kind == "worker_exception"
+        (drop,) = plan.faults_for(0, 1)
+        assert drop.stage == "aggregate"
+
+    def test_parse_defaults_drop_stage_to_aggregate(self):
+        (spec,) = FaultPlan.parse(["drop_records:3"]).faults
+        assert spec.stage == "aggregate"
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(["worker_exception"])
+        with pytest.raises(ValueError):
+            FaultPlan.parse(["worker_exception:1:0:generate:extra"])
+
+    def test_sample_is_deterministic(self):
+        rates = {"worker_exception": 0.5, "drop_records": 0.3}
+        a = FaultPlan.sample(11, n_shards=6, rates=rates, max_attempts=2)
+        b = FaultPlan.sample(11, n_shards=6, rates=rates, max_attempts=2)
+        assert a.faults == b.faults
+        assert len(a) > 0
+
+    def test_sample_streams_independent_per_kind(self):
+        """Re-rating one kind never perturbs another kind's scenario."""
+        base = FaultPlan.sample(
+            11, n_shards=8, rates={"worker_exception": 0.4}, max_attempts=2
+        )
+        mixed = FaultPlan.sample(
+            11,
+            n_shards=8,
+            rates={"worker_exception": 0.4, "worker_hang": 0.4},
+            max_attempts=2,
+        )
+        exc = [f for f in base.faults if f.kind == "worker_exception"]
+        exc_mixed = [
+            f for f in mixed.faults if f.kind == "worker_exception"
+        ]
+        assert exc == exc_mixed
+
+    def test_sample_validates_rates(self):
+        with pytest.raises(ValueError):
+            FaultPlan.sample(1, 2, rates={"cosmic_ray": 0.5})
+        with pytest.raises(ValueError):
+            FaultPlan.sample(1, 2, rates={"worker_hang": 1.5})
+
+    def test_describe_covers_every_fault(self):
+        plan = FaultPlan([FaultSpec(k, 0) for k in FAULT_KINDS])
+        lines = plan.describe()
+        assert len(lines) == len(FAULT_KINDS)
+        for kind, line in zip(FAULT_KINDS, lines):
+            assert kind in line
+
+
+class TestFiring:
+    def test_exception_fault_raises(self):
+        faults = (FaultSpec("worker_exception", 0, stage="generate"),)
+        with pytest.raises(InjectedWorkerError):
+            fire_stage_faults(faults, "generate", False)
+
+    def test_wrong_stage_does_not_fire(self):
+        faults = (FaultSpec("worker_exception", 0, stage="aggregate"),)
+        fire_stage_faults(faults, "generate", False)  # no raise
+
+    def test_hang_is_synchronous_in_process(self):
+        faults = (FaultSpec("worker_hang", 0, stage="generate"),)
+        with pytest.raises(InjectedHangError):
+            fire_stage_faults(faults, "generate", False)
+
+    def test_helpers(self):
+        faults = (
+            FaultSpec("drop_records", 0, stage="aggregate", drop_fraction=0.4),
+            FaultSpec("corrupt_partial", 0, stage="result"),
+        )
+        assert drop_fraction_for(faults) == pytest.approx(0.4)
+        assert wants_corrupt_result(faults)
+        assert drop_fraction_for(()) == 0.0
+        assert not wants_corrupt_result(())

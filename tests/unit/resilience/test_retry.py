@@ -1,0 +1,63 @@
+"""Unit tests for the retry policy and its deterministic backoff."""
+
+import pytest
+
+from repro.resilience.retry import ON_EXHAUSTED, RetryPolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.on_exhausted == "fail"
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0.0)
+        RetryPolicy(timeout_s=None)  # disabled watchdog is fine
+
+    def test_rejects_negative_backoff(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base_s=-1.0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(on_exhausted="shrug")
+        for name in ON_EXHAUSTED:
+            RetryPolicy(on_exhausted=name)
+
+
+class TestBackoff:
+    def test_first_attempt_never_waits(self):
+        policy = RetryPolicy(backoff_base_s=1.0)
+        assert policy.backoff_s(7, 3, 0) == 0.0
+
+    def test_disabled_base_never_waits(self):
+        policy = RetryPolicy(backoff_base_s=0.0)
+        assert policy.backoff_s(7, 3, 2) == 0.0
+
+    def test_pure_function_of_inputs(self):
+        policy = RetryPolicy(backoff_base_s=0.5)
+        values = [policy.backoff_s(7, 3, 2) for _ in range(5)]
+        assert len(set(values)) == 1
+        assert values[0] == RetryPolicy(backoff_base_s=0.5).backoff_s(7, 3, 2)
+
+    def test_exponential_envelope_with_bounded_jitter(self):
+        policy = RetryPolicy(backoff_base_s=1.0)
+        for attempt in (1, 2, 3):
+            pause = policy.backoff_s(7, 0, attempt)
+            nominal = 2.0 ** (attempt - 1)
+            assert 0.75 * nominal <= pause <= 1.25 * nominal
+
+    def test_jitter_varies_with_address(self):
+        policy = RetryPolicy(backoff_base_s=1.0)
+        values = {
+            policy.backoff_s(seed, shard, 1)
+            for seed in (1, 2)
+            for shard in (0, 1, 2)
+        }
+        assert len(values) > 1

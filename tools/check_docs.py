@@ -18,6 +18,11 @@ Two stdlib-only checks, run by the ``docs`` CI job (no installs):
    :data:`repro.fidelity.contract.FINDINGS` must agree in *both*
    directions, including each finding's documented unit and paper
    target.
+4. **Resilience metrics** — the table under the "Resilience metrics"
+   section of ``docs/robustness.md`` and the ``resilience.*`` subset of
+   :data:`repro.obs.metrics.SPECS` must agree in both directions (name,
+   unit, stage), so the robustness doc can never drift from the
+   supervisor's actual instrumentation.
 
 Exit status 0 when clean, 1 with one problem per line otherwise.
 
@@ -114,9 +119,10 @@ def check_links(root: Path) -> List[str]:
     return problems
 
 
-#: Section headings the two contract checks parse their tables from.
+#: Section headings the contract checks parse their tables from.
 METRICS_SECTION = "The metrics contract"
 FINDINGS_SECTION = "Fidelity scorecard"
+RESILIENCE_SECTION = "Resilience metrics"
 
 
 def _documented_metrics(doc: Path) -> Dict[str, Tuple[str, str]]:
@@ -214,12 +220,55 @@ def check_findings_contract(root: Path) -> List[str]:
     return problems
 
 
+def check_resilience_metrics(root: Path) -> List[str]:
+    """``docs/robustness.md`` vs the ``resilience.*`` slice of SPECS."""
+    doc = root / "docs" / "robustness.md"
+    if not doc.exists():
+        return [f"{doc.relative_to(root)}: missing"]
+    try:
+        from repro.obs.metrics import SPECS
+    except ImportError as exc:
+        return [f"cannot import repro.obs.metrics (set PYTHONPATH=src): {exc}"]
+
+    declared = {
+        name: (spec.unit, spec.stage)
+        for name, spec in SPECS.items()
+        if name.startswith("resilience.")
+    }
+    documented: Dict[str, Tuple[str, str]] = {}
+    text = _section(doc.read_text(encoding="utf-8"), RESILIENCE_SECTION)
+    for line in text.splitlines():
+        match = _METRIC_ROW.match(line)
+        if match:
+            documented[match.group(1)] = (match.group(2), match.group(3))
+
+    problems = []
+    rel = doc.relative_to(root)
+    for name in sorted(set(declared) - set(documented)):
+        problems.append(
+            f"{rel}: declared resilience metric {name!r} is undocumented"
+        )
+    for name in sorted(set(documented) - set(declared)):
+        problems.append(
+            f"{rel}: documented metric {name!r} is not a declared "
+            "resilience.* metric in repro.obs.metrics.SPECS"
+        )
+    for name in sorted(set(declared) & set(documented)):
+        if documented[name] != declared[name]:
+            problems.append(
+                f"{rel}: {name} documented as {documented[name]} != "
+                f"declared {declared[name]}"
+            )
+    return problems
+
+
 def main(argv: List[str]) -> int:
     root = Path(argv[1]).resolve() if len(argv) > 1 else REPO_ROOT
     problems = (
         check_links(root)
         + check_metrics_contract(root)
         + check_findings_contract(root)
+        + check_resilience_metrics(root)
     )
     for problem in problems:
         print(problem)
