@@ -37,9 +37,20 @@ supervision surcharge — attempt bookkeeping, result validation, the
 watchdog poll loop — below ``MAX_SUPERVISED_OVERHEAD`` of the bare
 ``execute_shards`` pool (min-of-two runs each, to damp wall-clock
 noise).
+
+A seventh leg climbs the scale ladder (10³, 10⁴, 10⁵, 10⁶ subscribers)
+through the streamed builder — fixed chunk size, every shard partial
+spilled to disk — recording records/s and peak RSS per rung
+(``scale_ladder`` section of the JSON artifact).  Two bounds are
+asserted: the 10⁶ rung's peak RSS stays below ``MAX_RSS_AT_1M`` (the
+out-of-core contract: memory is a function of chunk/spill sizing, not
+of subscriber count), and at the 10³ rung the streamed path costs at
+most ``MAX_STREAMING_REGRESSION``x the in-memory path it replaced.
 """
 
+import gc
 import json
+import tempfile
 import time
 from pathlib import Path
 
@@ -47,6 +58,7 @@ import numpy as np
 
 from repro import obs
 from repro._rng import spawn
+from repro.obs import clock
 from repro._time import TimeAxis
 from repro.dataset.aggregation import CommuneAggregator
 from repro.dataset.builder import build_session_level_dataset
@@ -73,6 +85,11 @@ MIN_SPEEDUP = 5.0
 MAX_DISABLED_OVERHEAD = 0.02
 MAX_EVENT_LOG_OVERHEAD = 0.03
 MAX_SUPERVISED_OVERHEAD = 0.03
+LADDER_RUNGS = [1_000, 10_000, 100_000, 1_000_000]
+LADDER_SHARDS = 8
+LADDER_CHUNK = 8192
+MAX_RSS_AT_1M = 2 * 1024**3  # the out-of-core headline: 10^6 under 2 GiB
+MAX_STREAMING_REGRESSION = 1.25  # streamed vs in-memory at the 10^3 rung
 BENCH_JSON = Path(__file__).parent / "BENCH_perf_pipeline.json"
 
 
@@ -305,6 +322,89 @@ def _run_resilience(shared: dict) -> dict:
     }
 
 
+def _ladder_build(n_subscribers: int, chunk_size, spill_dir=None) -> dict:
+    """One end-to-end builder run at ladder settings, timed."""
+    kwargs = {}
+    if spill_dir is not None:
+        # Budget 0 spills every shard partial: the rung exercises the
+        # full out-of-core surface, not just chunked ingest.
+        kwargs.update(spill_dir=spill_dir, spill_budget_bytes=0)
+    start = time.perf_counter()
+    artifacts = build_session_level_dataset(
+        n_subscribers=n_subscribers,
+        seed=7,
+        n_shards=LADDER_SHARDS,
+        chunk_size=chunk_size,
+        **kwargs,
+    )
+    elapsed = time.perf_counter() - start
+    stats = artifacts.extras["generator"]
+    # Every generated flow lands in the aggregator exactly once
+    # (asserted by tests/integration/test_obs_pipeline.py), so flows
+    # *are* the records-ingested count without an observed session.
+    return _leg_stats(
+        elapsed,
+        stats.sessions_generated,
+        stats.flows_generated,
+        stats.flows_generated,
+        n_workers=1,
+    )
+
+
+def _run_scale_ladder() -> dict:
+    """Streamed builds up the subscriber ladder, RSS-accounted per rung.
+
+    ``ru_maxrss`` is a monotone process-lifetime high-water mark, so
+    each rung's reading is the max over every build so far — running
+    the rungs in ascending order makes the top rung's reading its own
+    true peak, and every assertion below only ever uses readings as an
+    *upper* bound on the rung that produced them.
+    """
+    # One throwaway build absorbs first-call costs (imports, cached
+    # artifact construction) so the smallest rung is not billed for them.
+    _ladder_build(100, LADDER_CHUNK)
+    rungs = []
+    with tempfile.TemporaryDirectory(prefix="bench-ladder-") as spill_root:
+        for n_subscribers in LADDER_RUNGS:
+            gc.collect()
+            leg = _ladder_build(
+                n_subscribers,
+                LADDER_CHUNK,
+                spill_dir=Path(spill_root) / str(n_subscribers),
+            )
+            leg["n_subscribers"] = n_subscribers
+            leg["chunk_size"] = LADDER_CHUNK
+            leg["peak_rss_bytes"] = clock.peak_rss_bytes()
+            rungs.append(leg)
+            print(
+                f"ladder   : {n_subscribers:>9,} subscribers  "
+                f"{leg['records_per_s']:>10,.0f} records/s  "
+                f"({leg['elapsed_s']:.1f} s, peak RSS "
+                f"{leg['peak_rss_bytes'] / 2**20:,.0f} MiB)"
+            )
+    # The streaming surcharge where it is most visible: at the smallest
+    # rung fixed costs dominate, so chunked emission + spill have the
+    # least work to amortize over.  Min-of-two damps wall-clock noise.
+    small = LADDER_RUNGS[0]
+    streamed_s = min(
+        rungs[0]["elapsed_s"], _ladder_build(small, LADDER_CHUNK)["elapsed_s"]
+    )
+    in_memory_s = min(
+        _ladder_build(small, None)["elapsed_s"] for _ in range(2)
+    )
+    return {
+        "chunk_size": LADDER_CHUNK,
+        "n_shards": LADDER_SHARDS,
+        "rungs": rungs,
+        "streaming_regression": {
+            "n_subscribers": small,
+            "streamed_elapsed_s": streamed_s,
+            "in_memory_elapsed_s": in_memory_s,
+            "ratio": streamed_s / in_memory_s,
+        },
+    }
+
+
 def _leg_stats(
     elapsed: float, sessions: int, flows: int, records: int, n_workers: int
 ) -> dict:
@@ -374,6 +474,17 @@ def test_perf_session_pipeline(benchmark):
         f"({100 * resilience['overhead_fraction']:+.2f}% overhead)"
     )
 
+    # The ladder runs last: its 10^6 rung dominates the process RSS
+    # high-water mark, so every earlier leg reads uncontaminated values.
+    scale_ladder = _run_scale_ladder()
+    regression = scale_ladder["streaming_regression"]
+    print(
+        f"streaming: {regression['streamed_elapsed_s']:.2f} s streamed vs "
+        f"{regression['in_memory_elapsed_s']:.2f} s in-memory at "
+        f"{regression['n_subscribers']:,} subscribers "
+        f"({regression['ratio']:.2f}x)"
+    )
+
     BENCH_JSON.write_text(
         json.dumps(
             {
@@ -386,6 +497,7 @@ def test_perf_session_pipeline(benchmark):
                 "observability": observability,
                 "fidelity": fidelity,
                 "resilience": resilience,
+                "scale_ladder": scale_ladder,
             },
             indent=2,
         )
@@ -408,3 +520,9 @@ def test_perf_session_pipeline(benchmark):
     # Supervision on a fault-free build must cost next to nothing
     # (docs/robustness.md): production builds can always run supervised.
     assert resilience["overhead_fraction"] < MAX_SUPERVISED_OVERHEAD
+    # The out-of-core contract: a nationwide-scale build stays inside a
+    # laptop's memory...
+    assert scale_ladder["rungs"][-1]["n_subscribers"] == 1_000_000
+    assert scale_ladder["rungs"][-1]["peak_rss_bytes"] < MAX_RSS_AT_1M
+    # ...and streaming never priced itself out of small builds.
+    assert regression["ratio"] <= MAX_STREAMING_REGRESSION

@@ -1,0 +1,87 @@
+"""Chunk-invariant streaming accumulation of float totals.
+
+The streaming build (``--chunk-size``) feeds the aggregator the same
+global record stream as the in-memory build, just partitioned into
+different columnar chunks.  Tensor accumulation via ``np.add.at`` is
+already partition-invariant — it applies unbuffered, element-by-element
+in-order adds — but a naive per-chunk ``total += chunk.sum()`` is not:
+NumPy's pairwise summation associates differently for different chunk
+lengths, so the same stream summed under two chunk sizes can differ in
+the last bits.
+
+:class:`BlockSumAccumulator` restores partition invariance by
+re-buffering the incoming values into fixed-size blocks aligned to the
+*global* stream index.  Each full block is reduced with one
+``np.sum`` (pairwise over a constant length) and the block sums are
+folded left-to-right; the tail shorter than a block is reduced the same
+way at read time.  Block boundaries depend only on how many values have
+been seen — never on how the stream was chunked for delivery — so the
+result is bit-identical for every chunking of the same stream,
+including one-value-at-a-time scalar feeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Values per summation block.  Must stay fixed across the paths being
+#: compared — it is part of the byte-identity contract, not a tuning
+#: knob.
+BLOCK_VALUES = 4096
+
+
+class BlockSumAccumulator:
+    """Streaming float64 sum whose bits don't depend on chunking."""
+
+    __slots__ = ("_block", "_buffer", "_filled", "_total")
+
+    def __init__(self, block: int = BLOCK_VALUES):
+        if block < 1:
+            raise ValueError(f"block must be >= 1, got {block}")
+        self._block = int(block)
+        self._buffer = np.empty(self._block, dtype=np.float64)
+        self._filled = 0
+        self._total = 0.0
+
+    def add(self, value: float) -> None:
+        """Feed one value (the scalar-ingest path)."""
+        self._buffer[self._filled] = value
+        self._filled += 1
+        if self._filled == self._block:
+            self._total += float(np.sum(self._buffer))
+            self._filled = 0
+
+    def update(self, values: np.ndarray) -> None:
+        """Feed a chunk of values in stream order."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        n = values.size
+        start = 0
+        while start < n:
+            take = min(self._block - self._filled, n - start)
+            self._buffer[self._filled:self._filled + take] = (
+                values[start:start + take]
+            )
+            self._filled += take
+            start += take
+            if self._filled == self._block:
+                self._total += float(np.sum(self._buffer))
+                self._filled = 0
+
+    @property
+    def count_mod_block(self) -> int:
+        """Values currently buffered (stream length modulo the block)."""
+        return self._filled
+
+    @property
+    def value(self) -> float:
+        """Sum of everything fed so far.
+
+        A pure function of the value stream's content: folded block sums
+        plus one pairwise reduction of the partial tail block.
+        """
+        if self._filled:
+            return self._total + float(np.sum(self._buffer[: self._filled]))
+        return self._total
+
+
+__all__ = ["BLOCK_VALUES", "BlockSumAccumulator"]

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro import obs
 from repro._time import TimeAxis, WEEK_HOURS
+from repro.dataset.accumulate import BlockSumAccumulator
 from repro.dataset.store import MobileTrafficDataset
 from repro.dpi.classifier import DpiEngine
 from repro.geo.country import Country
@@ -52,8 +53,14 @@ class CommuneAggregator:
         self.ul = np.zeros_like(self.dl)
         self.national_dl = np.zeros(len(catalog))
         self.national_ul = np.zeros(len(catalog))
-        self.unclassified_bytes = 0.0
-        self.total_bytes = 0.0
+        # Byte totals accumulate through fixed-block summers so the
+        # result is bit-identical however the record stream is chunked
+        # (streaming vs in-memory builds); merged-in shard totals fold
+        # sequentially into the offsets.
+        self._total_acc = BlockSumAccumulator()
+        self._unclassified_acc = BlockSumAccumulator()
+        self._merged_total_bytes = 0.0
+        self._merged_unclassified_bytes = 0.0
         self._users_seen: List[Set[int]] = [set() for _ in range(n_communes)]
         self.records_ingested = 0
 
@@ -62,12 +69,12 @@ class CommuneAggregator:
         self.records_ingested += 1
         obs.add("aggregation.rows")
         volume = record.total_bytes
-        self.total_bytes += volume
+        self._total_acc.add(volume)
         self._users_seen[record.commune_id].add(record.imsi_hash)
 
         service_name = self._engine.classify(record.flow, volume_bytes=volume)
         if service_name is None:
-            self.unclassified_bytes += volume
+            self._unclassified_acc.add(volume)
             return None
 
         service_id = self._service_index[service_name]
@@ -128,7 +135,7 @@ class CommuneAggregator:
         obs.add("aggregation.batches")
         dl, ul = batch.dl_bytes, batch.ul_bytes
         volumes = dl + ul
-        self.total_bytes += float(volumes.sum())
+        self._total_acc.update(volumes)
         commune_ids = batch.commune_ids
 
         # Distinct-user accounting: group subscriber hashes by commune
@@ -164,7 +171,7 @@ class CommuneAggregator:
             count=n,
         )
         classified = service_ids >= 0
-        self.unclassified_bytes += float(volumes[~classified].sum())
+        self._unclassified_acc.update(volumes[~classified])
         np.add.at(self.national_dl, service_ids[classified], dl[classified])
         np.add.at(self.national_ul, service_ids[classified], ul[classified])
 
@@ -181,6 +188,16 @@ class CommuneAggregator:
             np.add.at(self.dl, (commune_ids[mask], head_ids[mask], t), dl[mask])
             np.add.at(self.ul, (commune_ids[mask], head_ids[mask], t), ul[mask])
         return n
+
+    @property
+    def total_bytes(self) -> float:
+        """Bytes ingested: merged shard totals plus locally streamed sum."""
+        return self._merged_total_bytes + self._total_acc.value
+
+    @property
+    def unclassified_bytes(self) -> float:
+        """Unattributed bytes, accumulated the same chunk-invariant way."""
+        return self._merged_unclassified_bytes + self._unclassified_acc.value
 
     @property
     def users_seen(self) -> List[Set[int]]:
@@ -200,8 +217,8 @@ class CommuneAggregator:
         self.ul += other.ul
         self.national_dl += other.national_dl
         self.national_ul += other.national_ul
-        self.unclassified_bytes += other.unclassified_bytes
-        self.total_bytes += other.total_bytes
+        self._merged_unclassified_bytes += other.unclassified_bytes
+        self._merged_total_bytes += other.total_bytes
         self.records_ingested += other.records_ingested
         for commune_id, users in enumerate(other.users_seen):
             if users:

@@ -16,12 +16,14 @@ from repro import obs
 from repro._rng import SeedLike, as_generator, spawn
 from repro._time import TimeAxis
 from repro.dataset.aggregation import CommuneAggregator
+from repro.dataset.merge import SpillStore
 from repro.dataset.parallel import (
     MergedGeneratorStats,
     MergedProbeStats,
     ShardPlan,
     partition_subscribers,
 )
+from repro.obs import clock
 from repro.dataset.store import MobileTrafficDataset
 from repro.dpi.classifier import ClassificationReport, DpiEngine
 from repro.dpi.fingerprints import FingerprintDatabase
@@ -116,6 +118,9 @@ def build_session_level_dataset(
     fault_plan: Optional[FaultPlan] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    chunk_size: Optional[int] = 8192,
+    spill_dir: Optional[Union[str, Path]] = None,
+    spill_budget_bytes: Optional[int] = None,
 ) -> PipelineArtifacts:
     """Run the full measurement chain at session resolution.
 
@@ -150,6 +155,22 @@ def build_session_level_dataset(
     ``dataset.meta`` and exposes ``extras["coverage"]`` /
     ``extras["execution"]``; a quarantine-degraded build reports
     ``coverage.fraction < 1``.
+
+    **Memory model.** ``chunk_size`` streams the probe's records into
+    the aggregator ``chunk_size`` records at a time instead of
+    materializing a whole week per pipeline (``None`` restores the
+    materializing path).  ``spill_dir`` bounds the *merge* side: shard
+    partials beyond ``spill_budget_bytes`` resident bytes (default 0 —
+    spill everything) go to disk through a
+    :class:`~repro.dataset.merge.SpillStore` and are loaded back one at
+    a time during the merge.  Spilling requires an integer ``seed``
+    (the store is keyed like a checkpoint).  For a fixed
+    ``(seed, n_shards)``, the dataset is bit-identical for **any**
+    combination of ``chunk_size``, ``n_workers``, and spill settings —
+    these knobs trade memory for time, never content — except under a
+    nonzero ``control_loss_rate``, whose probe-side loss draws consume
+    the probe RNG in arrival-batch order and therefore depend on how
+    emission is chunked.
     """
     if country_config is None:
         country_config = CountryConfig(n_communes=400)
@@ -170,10 +191,24 @@ def build_session_level_dataset(
             "checkpointing requires an integer seed — the checkpoint "
             "run key must bind the exact build configuration"
         )
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1 or None, got {chunk_size}")
+    if spill_budget_bytes is not None and spill_dir is None:
+        raise ValueError("spill_budget_bytes requires spill_dir")
+    if spill_budget_bytes is not None and spill_budget_bytes < 0:
+        raise ValueError(
+            f"spill_budget_bytes must be >= 0, got {spill_budget_bytes}"
+        )
+    if spill_dir is not None and not isinstance(seed, int):
+        raise ValueError(
+            "spilling requires an integer seed — the spill store is "
+            "keyed to the exact build configuration"
+        )
     resilient = (
         retry_policy is not None
         or fault_plan is not None
         or checkpoint_dir is not None
+        or spill_dir is not None
     )
 
     rng = as_generator(seed)
@@ -217,12 +252,20 @@ def build_session_level_dataset(
             shard_rngs=[
                 spawn(rng, "builder.shard", index=i) for i in range(n_shards)
             ],
+            chunk_size=chunk_size,
         )
         checkpoint = None
         if checkpoint_dir is not None:
             checkpoint = ShardCheckpoint(
                 checkpoint_dir,
                 run_key_for(seed, n_shards, n_subscribers, n_services),
+            )
+        spill = None
+        if spill_dir is not None:
+            spill = SpillStore(
+                spill_dir,
+                run_key_for(seed, n_shards, n_subscribers, n_services),
+                budget_bytes=spill_budget_bytes or 0,
             )
         with obs.span("shards"):
             execution = execute_shards_supervised(
@@ -233,11 +276,14 @@ def build_session_level_dataset(
                 checkpoint=checkpoint,
                 seed=seed if isinstance(seed, int) else 0,
                 resume=resume,
+                spill=spill,
             )
-            results = execution.results
-            for result in results:  # index order: counters merge exactly
-                if result.obs_export is not None:
-                    obs.absorb_shard(result.obs_export)
+            # Handles keep their obs export resident, so absorbing the
+            # shard observability never pages a spilled partial back in.
+            partials = execution.partials
+            for partial in partials:  # index order: counters merge exactly
+                if partial.obs_export is not None:
+                    obs.absorb_shard(partial.obs_export)
                     obs.add("shard.results_merged")
         obs.add("shard.fan_out", n_shards)
 
@@ -260,17 +306,22 @@ def build_session_level_dataset(
         sessions_generated = 0
         flows_generated = 0
         with obs.span("merge"):
-            for result in results:  # fixed shard order: float-determinism
+            # Fixed shard order keeps float accumulation deterministic;
+            # iter_results pages spilled partials back one at a time, so
+            # merge-side RSS is one partial regardless of shard count.
+            for result in execution.iter_results():
                 aggregator.merge(result)
                 engine.report.merge(result.report)
                 probe_stats.merge(result.probe_stats)
                 handover_stats.merge(result.handover_stats)
                 sessions_generated += result.sessions_generated
                 flows_generated += result.flows_generated
+                obs.add("stream.merge_passes")
         with obs.span("finalize"):
             dataset = aggregator.finalize()
         dataset.meta.update(coverage.meta())
         obs.add("builder.session_datasets")
+        obs.set_gauge("build.peak_rss_bytes", float(clock.peak_rss_bytes()))
         return PipelineArtifacts(
             country=country,
             catalog=catalog,
@@ -287,7 +338,7 @@ def build_session_level_dataset(
                 "topology": topology,
                 "aggregator": aggregator,
                 "auditor": None,
-                "shards": results,
+                "shards": partials,
                 "coverage": coverage,
                 "execution": execution,
             },
@@ -319,15 +370,22 @@ def build_session_level_dataset(
         )
         generator.auditor = auditor
 
-    generator.run_week()
-
     engine = DpiEngine(FingerprintDatabase(catalog, seed=0))
     aggregator = CommuneAggregator(country, catalog, engine, axis=axis)
-    for batch in probe.drain_batches():
-        aggregator.ingest_columnar(batch)
+    if chunk_size is not None:
+        # Streamed: probe chunks fold into the aggregator as the week
+        # is generated, so the build never holds the full record store.
+        probe.stream_to(aggregator.ingest_columnar, chunk_rows=chunk_size)
+        generator.run_week(chunk_size=chunk_size)
+        probe.flush_stream()
+    else:
+        generator.run_week()
+        for batch in probe.drain_batches():
+            aggregator.ingest_columnar(batch)
     with obs.span("finalize"):
         dataset = aggregator.finalize()
     obs.add("builder.session_datasets")
+    obs.set_gauge("build.peak_rss_bytes", float(clock.peak_rss_bytes()))
 
     return PipelineArtifacts(
         country=country,

@@ -23,7 +23,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro._units import format_bytes
+from repro._units import KIB, format_bytes
 from repro.dataset.store import MobileTrafficDataset
 from repro.geo.urbanization import UrbanizationClass
 from repro.report.tables import format_table
@@ -105,6 +105,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KIND:SHARD[:ATTEMPT[:STAGE]]",
         help="inject a deterministic fault (testing/CI only); repeatable",
     )
+    build.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="RECORDS",
+        help="records per streamed probe chunk for --session runs "
+        "(default 8192; 0 disables streaming and materializes the "
+        "whole week); never changes dataset content",
+    )
+    build.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="spill accepted shard partials beyond --spill-budget-mb "
+        "here and merge them from disk (bounds --session merge memory)",
+    )
+    build.add_argument(
+        "--spill-budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="resident shard-partial budget before spilling "
+        "(default 0: spill every partial); requires --spill-dir",
+    )
 
     info = sub.add_parser("info", help="summarize a saved dataset")
     info.add_argument("path", metavar="PATH")
@@ -137,6 +161,9 @@ def _resilience_options(args: argparse.Namespace):
         "--on-exhausted": args.on_exhausted,
         "--checkpoint-dir": args.checkpoint_dir,
         "--fault": args.fault,
+        "--chunk-size": args.chunk_size,
+        "--spill-dir": args.spill_dir,
+        "--spill-budget-mb": args.spill_budget_mb,
     }
     if not args.session:
         used = sorted(k for k, v in session_only.items() if v is not None)
@@ -180,6 +207,15 @@ def _build(args: argparse.Namespace) -> int:
         retry_policy, fault_plan = _resilience_options(args)
         config = CountryConfig(n_communes=args.communes)
         if args.session:
+            kwargs = {}
+            if args.chunk_size is not None:
+                kwargs["chunk_size"] = (
+                    None if args.chunk_size == 0 else args.chunk_size
+                )
+            if args.spill_budget_mb is not None:
+                kwargs["spill_budget_bytes"] = int(
+                    args.spill_budget_mb * KIB * KIB
+                )
             artifacts = build_session_level_dataset(
                 n_subscribers=args.subscribers,
                 country_config=config,
@@ -190,6 +226,8 @@ def _build(args: argparse.Namespace) -> int:
                 fault_plan=fault_plan,
                 checkpoint_dir=args.checkpoint_dir,
                 resume=args.resume,
+                spill_dir=args.spill_dir,
+                **kwargs,
             )
         else:
             artifacts = build_volume_level_dataset(

@@ -63,6 +63,10 @@ class ShardPlan:
     control_loss_rate: float
     shard_subscribers: List[List[Subscriber]]
     shard_rngs: List[np.random.Generator]
+    #: Records per streamed probe chunk inside each shard; ``None``
+    #: materializes the whole shard before aggregating (legacy path).
+    #: Bit-identical either way — see ``builder.build_session_level_dataset``.
+    chunk_size: Optional[int] = 8192
 
     @property
     def n_shards(self) -> int:
@@ -247,15 +251,32 @@ def _run_shard(
     )
     probe.attach_to(generator.session_manager)
     probe.attach_to_bulk(generator.session_manager)
-    generator.run_week()
-    fire_stage_faults(faults, "aggregate", in_worker)
     drop_fraction = drop_fraction_for(faults)
-    records_dropped = 0
-    for batch in probe.drain_batches():
-        if drop_fraction > 0.0:
-            batch, dropped = _drop_batch_tail(batch, drop_fraction)
-            records_dropped += dropped
-        aggregator.ingest_columnar(batch)
+    dropped_total = [0]
+    if plan.chunk_size is not None:
+        # Streamed: each probe chunk folds into the aggregator as soon
+        # as it fills, so the shard never materializes its whole week.
+        # The outage-drop fault clips each chunk's tail — deterministic
+        # for a fixed chunk size, like the legacy per-batch clipping.
+        def _ingest(batch) -> None:
+            if drop_fraction > 0.0:
+                batch, dropped = _drop_batch_tail(batch, drop_fraction)
+                dropped_total[0] += dropped
+            aggregator.ingest_columnar(batch)
+
+        probe.stream_to(_ingest, chunk_rows=plan.chunk_size)
+        generator.run_week(chunk_size=plan.chunk_size)
+        fire_stage_faults(faults, "aggregate", in_worker)
+        probe.flush_stream()
+    else:
+        generator.run_week()
+        fire_stage_faults(faults, "aggregate", in_worker)
+        for batch in probe.drain_batches():
+            if drop_fraction > 0.0:
+                batch, dropped = _drop_batch_tail(batch, drop_fraction)
+                dropped_total[0] += dropped
+            aggregator.ingest_columnar(batch)
+    records_dropped = dropped_total[0]
     result = _shard_result(
         shard_index,
         aggregator,

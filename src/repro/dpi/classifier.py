@@ -236,11 +236,18 @@ class DpiEngine:
         )
         names: List[Optional[str]] = []
         append = names.append
+        report = self.report
         flows_classified = 0
-        bytes_classified = 0.0
+        # Byte totals continue from the report's running values with one
+        # scalar add per flow — the same op sequence per-flow
+        # :meth:`classify` performs — so the accounting is bit-identical
+        # however the flow stream is chunked into batches.
+        bytes_total = report.bytes_total
+        bytes_classified = report.bytes_classified
         by_technique: Dict[Technique, int] = {}
         for key, volume in zip(keys, volumes.tolist()):
             outcome = match(*key)
+            bytes_total += volume
             if outcome is None:
                 append(None)
                 continue
@@ -249,11 +256,10 @@ class DpiEngine:
             flows_classified += 1
             bytes_classified += volume
             by_technique[technique] = by_technique.get(technique, 0) + 1
-        report = self.report
         report.flows_total += len(names)
-        report.bytes_total += float(volumes.sum())
+        report.bytes_total = bytes_total
         report.flows_classified += flows_classified
-        report.bytes_classified += bytes_classified
+        report.bytes_classified = bytes_classified
         for technique, count in by_technique.items():
             report.by_technique[technique] += count
         if before is not None:

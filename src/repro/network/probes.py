@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro._rng import SeedLike, as_generator
 from repro.geo.coverage import Technology
 from repro.network.gtp import (
@@ -198,6 +199,11 @@ class CoreProbe:
         self._loss_rate = control_loss_rate
         self._rng = as_generator(seed)
         self.stats = ProbeStats()
+        # Streaming mode (see stream_to): records flow to a sink in
+        # bounded chunks instead of accumulating until drained.
+        self._sink = None
+        self._sink_chunk_rows = 0
+        self._pending_rows = 0
 
     def attach_to(self, sessions: SessionManager) -> "CoreProbe":
         """Tap both planes of a session manager; returns self for chaining."""
@@ -215,6 +221,40 @@ class CoreProbe:
         sessions.add_bulk_control_listener(self.on_control_bulk)
         sessions.add_bulk_user_plane_listener(self.on_user_plane_bulk)
         return self
+
+    def stream_to(self, sink, chunk_rows: int = 8192) -> "CoreProbe":
+        """Stream records to ``sink`` in ~``chunk_rows``-record chunks.
+
+        This is the bounded-memory path: instead of accumulating every
+        record until :meth:`drain_batches`, the probe coalesces arrivals
+        exactly as the drain would and hands each full chunk to
+        ``sink(batch)`` immediately, so the working set never exceeds
+        one chunk.  Call :meth:`flush_stream` after the generator run to
+        push the partial tail chunk.  Returns self for chaining.
+        """
+        if chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        self._sink = sink
+        self._sink_chunk_rows = chunk_rows
+        return self
+
+    def flush_stream(self) -> None:
+        """Emit whatever is buffered to the sink (streaming mode only)."""
+        if self._sink is None or not self._records:
+            return
+        store, self._records = self._records, []
+        self._pending_rows = 0
+        batch = ProbeRecordBatch.concat(_pack_runs(store))
+        obs.add("stream.chunks")
+        self._sink(batch)
+
+    def _store(self, item, rows: int) -> None:
+        """Buffer one record/batch; flush a chunk in streaming mode."""
+        self._records.append(item)
+        if self._sink is not None:
+            self._pending_rows += rows
+            if self._pending_rows >= self._sink_chunk_rows:
+                self.flush_stream()
 
     def on_control(self, message: GtpcMessage) -> None:
         """GTP-C inspection: maintain the TEID -> (user, ULI) table."""
@@ -241,7 +281,7 @@ class CoreProbe:
         if state is None:
             self.stats.orphan_packets += 1
             return
-        self._records.append(
+        self._store(
             ProbeRecord(
                 timestamp_s=packet.timestamp_s,
                 imsi_hash=state.imsi_hash,
@@ -250,7 +290,8 @@ class CoreProbe:
                 flow=packet.flow,
                 dl_bytes=packet.dl_bytes,
                 ul_bytes=packet.ul_bytes,
-            )
+            ),
+            rows=1,
         )
         self.stats.records += 1
 
@@ -349,7 +390,7 @@ class CoreProbe:
             )
         if len(batch):
             self.stats.records += len(batch)
-            self._records.append(batch)
+            self._store(batch, rows=len(batch))
 
     def drain(self) -> List[ProbeRecord]:
         """Return and clear the accumulated records (scalar view)."""
@@ -372,18 +413,7 @@ class CoreProbe:
         instead of one per subscriber.
         """
         store, self._records = self._records, []
-        raw: List[ProbeRecordBatch] = []
-        scalars: List[ProbeRecord] = []
-        for item in store:
-            if isinstance(item, ProbeRecordBatch):
-                if scalars:
-                    raw.append(ProbeRecordBatch.from_records(scalars))
-                    scalars = []
-                raw.append(item)
-            else:
-                scalars.append(item)
-        if scalars:
-            raw.append(ProbeRecordBatch.from_records(scalars))
+        raw = _pack_runs(store)
 
         batches: List[ProbeRecordBatch] = []
         pending: List[ProbeRecordBatch] = []
@@ -401,6 +431,25 @@ class CoreProbe:
     @property
     def n_tracked_tunnels(self) -> int:
         return len(self._tunnels) + len(self._bulk_tunnels)
+
+
+def _pack_runs(
+    store: List[Union[ProbeRecord, ProbeRecordBatch]]
+) -> List[ProbeRecordBatch]:
+    """Pack consecutive scalar records into batches, order preserved."""
+    raw: List[ProbeRecordBatch] = []
+    scalars: List[ProbeRecord] = []
+    for item in store:
+        if isinstance(item, ProbeRecordBatch):
+            if scalars:
+                raw.append(ProbeRecordBatch.from_records(scalars))
+                scalars = []
+            raw.append(item)
+        else:
+            scalars.append(item)
+    if scalars:
+        raw.append(ProbeRecordBatch.from_records(scalars))
+    return raw
 
 
 __all__ = ["ProbeRecord", "ProbeRecordBatch", "ProbeStats", "CoreProbe"]

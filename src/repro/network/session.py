@@ -268,13 +268,22 @@ class SessionManager:
 
     def attach_bulk(
         self,
-        imsi_hash: int,
+        imsi_hash,
         commune_ids: np.ndarray,
-        wants_4g: bool,
+        wants_4g,
         timestamps_s: np.ndarray,
+        subscribers: int = 1,
     ) -> tuple:
-        """Establish a batch of sessions; returns ``(teids, tech_codes)``."""
-        with obs.span("gtp.signalling"):
+        """Establish a batch of sessions; returns ``(teids, tech_codes)``.
+
+        ``imsi_hash`` and ``wants_4g`` are scalars for a one-subscriber
+        batch (the legacy shape) or per-session arrays when the chunked
+        emission path packs many subscribers into one batch;
+        ``subscribers`` then says how many, and lands as a summed
+        attribute on the per-chunk ``gtp.signalling`` span (one span per
+        chunk, not one per subscriber).
+        """
+        with obs.span("gtp.signalling", attrs={"subscribers": subscribers}):
             n = len(commune_ids)
             tech_codes = self._topology.available_technology_codes(
                 commune_ids, wants_4g
@@ -285,9 +294,14 @@ class SessionManager:
                 )
             )
             teids = self._teids.allocate_many(n)
+            imsi_hashes = (
+                np.full(n, imsi_hash, dtype=np.int64)
+                if np.ndim(imsi_hash) == 0
+                else np.asarray(imsi_hash, dtype=np.int64)
+            )
             bulk = GtpcCreateBulk(
                 timestamps_s=np.asarray(timestamps_s, dtype=np.float64),
-                imsi_hashes=np.full(n, imsi_hash, dtype=np.int64),
+                imsi_hashes=imsi_hashes,
                 teids=teids,
                 tech_codes=tech_codes,
                 routing_area_ids=ra_ids,
@@ -340,16 +354,21 @@ class SessionManager:
 
     def detach_bulk(
         self,
-        imsi_hash: int,
+        imsi_hash,
         teids: np.ndarray,
         tech_codes: np.ndarray,
         timestamps_s: np.ndarray,
     ) -> None:
-        """Tear down a batch of sessions."""
+        """Tear down a batch of sessions (scalar or per-session imsi)."""
         with obs.span("gtp.signalling"):
+            imsi_hashes = (
+                np.full(len(teids), imsi_hash, dtype=np.int64)
+                if np.ndim(imsi_hash) == 0
+                else np.asarray(imsi_hash, dtype=np.int64)
+            )
             bulk = GtpcDeleteBulk(
                 timestamps_s=np.asarray(timestamps_s, dtype=np.float64),
-                imsi_hashes=np.full(len(teids), imsi_hash, dtype=np.int64),
+                imsi_hashes=imsi_hashes,
                 teids=teids,
                 tech_codes=tech_codes,
             )

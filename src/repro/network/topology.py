@@ -121,15 +121,21 @@ class NetworkTopology:
         return tables
 
     def available_technology_codes(
-        self, commune_ids: np.ndarray, wants_4g: bool
+        self, commune_ids: np.ndarray, wants_4g
     ) -> np.ndarray:
-        """Vectorized :meth:`available_technology` (TECH_3G/TECH_4G codes)."""
+        """Vectorized :meth:`available_technology` (TECH_3G/TECH_4G codes).
+
+        ``wants_4g`` is a scalar bool or a per-session bool array (how
+        the chunked emission path mixes subscribers with different
+        handsets in one batch).
+        """
         from repro.network.gtp import TECH_3G, TECH_4G
 
-        if not wants_4g:
+        if not np.any(wants_4g):
             return np.full(len(commune_ids), TECH_3G, dtype=np.uint8)
         has_4g = self._vector_tables["counts"][TECH_4G, commune_ids] > 0
-        return np.where(has_4g, TECH_4G, TECH_3G).astype(np.uint8)
+        eligible = np.logical_and(wants_4g, has_4g)
+        return np.where(eligible, TECH_4G, TECH_3G).astype(np.uint8)
 
     def serving_station_codes(
         self,

@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Tuple
 from repro.obs.metrics import (
     DEFAULT_GAUGE_REL_TOL,
     SPECS,
+    Determinism,
     Number,
     validate_export,
 )
@@ -148,6 +149,12 @@ class DiffResult:
         return "\n".join(lines)
 
 
+def _timing(name: str) -> bool:
+    """True for timing-class metrics — never part of a diff verdict."""
+    spec = SPECS.get(name)
+    return spec is not None and spec.determinism is Determinism.TIMING
+
+
 def _check_schema(dump: Dict[str, Any], label: str) -> List[str]:
     schema = dump.get("schema")
     if schema != SCHEMA:
@@ -178,8 +185,8 @@ def diff_dumps(a: Dict[str, Any], b: Dict[str, Any]) -> DiffResult:
     gauges_a, gauges_b = a.get("gauges", {}), b.get("gauges", {})
     names_a = set(counters_a) | set(gauges_a)
     names_b = set(counters_b) | set(gauges_b)
-    result.only_in_a = sorted(names_a - names_b)
-    result.only_in_b = sorted(names_b - names_a)
+    result.only_in_a = sorted(n for n in names_a - names_b if not _timing(n))
+    result.only_in_b = sorted(n for n in names_b - names_a if not _timing(n))
 
     for name in sorted(set(counters_a) & set(counters_b)):
         if counters_a[name] != counters_b[name]:
@@ -187,6 +194,8 @@ def diff_dumps(a: Dict[str, Any], b: Dict[str, Any]) -> DiffResult:
                 (name, counters_a[name], counters_b[name])
             )
     for name in sorted(set(gauges_a) & set(gauges_b)):
+        if _timing(name):
+            continue
         va, vb = gauges_a[name], gauges_b[name]
         spec = SPECS.get(name)
         rel_tol = spec.effective_rel_tol if spec else GAUGE_REL_TOL

@@ -207,6 +207,19 @@ SPECS: Dict[str, MetricSpec] = _spec_table(
             "surviving fraction of the subscriber panel after degradation",
             rel_tol=1e-12,
         ),
+        # --- streaming / out-of-core builds -------------------------
+        MetricSpec(
+            "stream.chunks", _C, "chunks", "streaming", _EV,
+            "columnar probe chunks flushed to a streaming sink",
+        ),
+        MetricSpec(
+            "stream.spills", _C, "spills", "streaming", _EV,
+            "shard partials spilled to disk under the resident budget",
+        ),
+        MetricSpec(
+            "stream.merge_passes", _C, "passes", "streaming", _EV,
+            "merge passes folding shard partials into the aggregator",
+        ),
         # --- dataset builds -----------------------------------------
         MetricSpec(
             "builder.session_datasets", _C, "datasets", "builder", _EV,
@@ -215,6 +228,10 @@ SPECS: Dict[str, MetricSpec] = _spec_table(
         MetricSpec(
             "builder.volume_datasets", _C, "datasets", "builder", _EV,
             "volume-level dataset builds completed",
+        ),
+        MetricSpec(
+            "build.peak_rss_bytes", _G, "bytes", "builder", _TI,
+            "peak resident set size observed at the end of a build",
         ),
         # --- experiments --------------------------------------------
         MetricSpec(

@@ -30,7 +30,7 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from repro.obs import clock
 from repro.obs.events import Event
-from repro.obs.metrics import MetricsRegistry, Number
+from repro.obs.metrics import SPECS, Determinism, MetricsRegistry, Number
 from repro.obs.spans import SpanNode
 
 #: Schema tag written into every dump, bumped on breaking layout change.
@@ -166,7 +166,9 @@ def set_gauge(name: str, value: Number) -> None:
         return
     session.api_events += 1
     session.registry.set_gauge(name, value)
-    if session.log_events:
+    if session.log_events and SPECS[name].determinism is not Determinism.TIMING:
+        # Timing-class gauges (RSS, wall-clock) would make the event
+        # log run-dependent; the log stays a deterministic trace.
         session.events.append(("gauge", name, value))
 
 
@@ -202,11 +204,17 @@ _NOOP_SPAN = _NoopSpan()
 class _SpanTimer:
     """Times one stage run and accounts it into the session tree."""
 
-    __slots__ = ("_session", "_name", "_node", "_t0")
+    __slots__ = ("_session", "_name", "_attrs", "_node", "_t0")
 
-    def __init__(self, session: ObsSession, name: str):
+    def __init__(
+        self,
+        session: ObsSession,
+        name: str,
+        attrs: Optional[Dict[str, Number]] = None,
+    ):
         self._session = session
         self._name = name
+        self._attrs = attrs
 
     def __enter__(self) -> "_SpanTimer":
         session = self._session
@@ -220,23 +228,26 @@ class _SpanTimer:
     def __exit__(self, *exc_info) -> None:
         elapsed = clock.now_s() - self._t0
         session = self._session
-        self._node.record(elapsed, clock.peak_rss_bytes())
+        self._node.record(elapsed, clock.peak_rss_bytes(), self._attrs)
         session.api_events += 1
         session.stack.pop()
         if session.log_events:
             session.events.append(("span_end", self._name, None))
 
 
-def span(name: str):
+def span(name: str, attrs: Optional[Dict[str, Number]] = None):
     """Context manager timing one pipeline stage; no-op unless enabled.
 
     Nested ``with obs.span(...)`` blocks build the trace tree; repeated
     same-name spans under one parent accumulate into a single node.
+    Numeric ``attrs`` sum into the node across runs — a chunked stage
+    passes e.g. ``{"subscribers": k}`` so one span line still accounts
+    for how much work its runs covered.
     """
     session = _ACTIVE
     if session is None:
         return _NOOP_SPAN
-    return _SpanTimer(session, name)
+    return _SpanTimer(session, name, attrs)
 
 
 class _ShardCapture:

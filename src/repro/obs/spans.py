@@ -19,7 +19,9 @@ from typing import Any, Dict, List, Optional
 class SpanNode:
     """One named stage of the trace tree."""
 
-    __slots__ = ("name", "count", "elapsed_s", "peak_rss_bytes", "children")
+    __slots__ = (
+        "name", "count", "elapsed_s", "peak_rss_bytes", "attrs", "children"
+    )
 
     def __init__(self, name: str):
         self.name = name
@@ -29,6 +31,10 @@ class SpanNode:
         self.elapsed_s = 0.0
         #: Process peak RSS observed at the last exit of this span.
         self.peak_rss_bytes = 0
+        #: Numeric attributes summed across runs — e.g. a chunked span
+        #: records how many ``subscribers`` each chunk covered, so the
+        #: one-line node still accounts for the population it served.
+        self.attrs: Dict[str, float] = {}
         self.children: Dict[str, "SpanNode"] = {}
 
     def child(self, name: str) -> "SpanNode":
@@ -39,12 +45,21 @@ class SpanNode:
             self.children[name] = node
         return node
 
-    def record(self, elapsed_s: float, peak_rss: int) -> None:
+    def record(
+        self,
+        elapsed_s: float,
+        peak_rss: int,
+        attrs: Optional[Dict[str, float]] = None,
+    ) -> None:
         """Account one completed run of this stage."""
         self.count += 1
         self.elapsed_s += elapsed_s
         if peak_rss > self.peak_rss_bytes:
             self.peak_rss_bytes = peak_rss
+        if attrs:
+            mine = self.attrs
+            for key, value in attrs.items():
+                mine[key] = mine.get(key, 0) + value
 
     def self_s(self) -> float:
         """Wall-clock not attributed to any child span."""
@@ -54,7 +69,7 @@ class SpanNode:
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form (JSON-ready); children sorted by name."""
-        return {
+        payload = {
             "name": self.name,
             "count": self.count,
             "elapsed_s": self.elapsed_s,
@@ -64,6 +79,11 @@ class SpanNode:
                 for name in sorted(self.children)
             ],
         }
+        if self.attrs:
+            payload["attrs"] = {
+                key: self.attrs[key] for key in sorted(self.attrs)
+            }
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "SpanNode":
@@ -72,6 +92,7 @@ class SpanNode:
         node.count = int(payload.get("count", 0))
         node.elapsed_s = float(payload.get("elapsed_s", 0.0))
         node.peak_rss_bytes = int(payload.get("peak_rss_bytes", 0))
+        node.attrs = dict(payload.get("attrs", ()))
         for child in payload.get("children", []):
             rebuilt = cls.from_dict(child)
             node.children[rebuilt.name] = rebuilt
@@ -87,6 +108,8 @@ class SpanNode:
         existing.elapsed_s += subtree.elapsed_s
         if subtree.peak_rss_bytes > existing.peak_rss_bytes:
             existing.peak_rss_bytes = subtree.peak_rss_bytes
+        for key, value in subtree.attrs.items():
+            existing.attrs[key] = existing.attrs.get(key, 0) + value
         for child in subtree.children.values():
             existing.graft(child)
 

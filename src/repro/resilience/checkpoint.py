@@ -29,11 +29,10 @@ and the shard simply runs again (the supervisor counts the discard).
 
 from __future__ import annotations
 
-import hashlib
-import os
-import pickle
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import List, Union
+
+from repro.dataset.merge import read_envelope, write_envelope
 
 #: Schema tag of the checkpoint envelope, bumped on layout change.
 SCHEMA = "repro-ckpt/1"
@@ -60,22 +59,9 @@ class ShardCheckpoint:
 
     def store(self, shard_index: int, result) -> Path:
         """Atomically persist one shard partial; returns the final path."""
-        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-        envelope = {
-            "schema": SCHEMA,
-            "run_key": self.run_key,
-            "shard_index": int(shard_index),
-            "sha256": hashlib.sha256(payload).hexdigest(),
-            "payload": payload,
-        }
-        final = self.path_for(shard_index)
-        tmp = final.with_name(final.name + ".tmp")
-        with open(tmp, "wb") as handle:
-            pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, final)
-        return final
+        return write_envelope(
+            self.path_for(shard_index), result, SCHEMA, self.run_key, shard_index
+        )
 
     def load(self, shard_index: int):
         """The checkpointed partial, or ``None`` if absent or unusable.
@@ -84,28 +70,9 @@ class ShardCheckpoint:
         to no checkpoint (the shard re-runs), which is the graceful
         path; the supervisor counts discards so they stay visible.
         """
-        path = self.path_for(shard_index)
-        if not path.exists():
-            return None
-        try:
-            with open(path, "rb") as handle:
-                envelope = pickle.load(handle)
-            if not isinstance(envelope, dict):
-                return None
-            if envelope.get("schema") != SCHEMA:
-                return None
-            if envelope.get("run_key") != self.run_key:
-                return None
-            if envelope.get("shard_index") != int(shard_index):
-                return None
-            payload = envelope.get("payload")
-            if not isinstance(payload, bytes):
-                return None
-            if hashlib.sha256(payload).hexdigest() != envelope.get("sha256"):
-                return None
-            return pickle.loads(payload)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            return None
+        return read_envelope(
+            self.path_for(shard_index), SCHEMA, self.run_key, shard_index
+        )
 
     def present_indices(self) -> List[int]:
         """Shard indices with a checkpoint file on disk, sorted."""

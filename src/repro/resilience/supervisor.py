@@ -42,6 +42,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
+from repro.dataset.merge import SpilledShardResult, SpillStore, partial_nbytes
 from repro.dataset.parallel import (
     ShardPlan,
     ShardResult,
@@ -129,15 +130,46 @@ class ExecutionReport:
     checkpoint_writes: int = 0
     checkpoint_discards: int = 0
     faults_injected: int = 0
+    spills: int = 0
+    resident_partial_bytes: int = 0
 
     @property
-    def results(self) -> List[ShardResult]:
-        """Accepted shard partials, in shard-index order."""
+    def partials(self) -> List[Any]:
+        """Accepted partials in shard-index order, *without* loading.
+
+        Entries are either resident :class:`ShardResult` objects or
+        compact :class:`SpilledShardResult` handles; both expose the
+        accounting scalars (``sessions_generated``,
+        ``records_dropped``, …) and ``obs_export``, so callers that only
+        need bookkeeping never touch the disk.
+        """
         return [
             o.result
             for o in self.outcomes
             if o.result is not None and not o.quarantined
         ]
+
+    @property
+    def results(self) -> List[ShardResult]:
+        """Accepted shard partials, materialized, in shard-index order.
+
+        Loads every spilled partial back into memory at once — fine for
+        tests and small builds; bounded-memory callers should iterate
+        :meth:`iter_results` instead.
+        """
+        return list(self.iter_results())
+
+    def iter_results(self):
+        """Accepted partials one at a time, loading spills lazily.
+
+        The bounded-memory merge path: only one spilled partial is
+        resident beyond the caller's own references at any moment.
+        """
+        for partial in self.partials:
+            if isinstance(partial, SpilledShardResult):
+                yield partial.load()
+            else:
+                yield partial
 
     @property
     def quarantined_indices(self) -> List[int]:
@@ -238,6 +270,29 @@ def _charge(
     return failure
 
 
+def _retire(
+    outcome: ShardOutcome,
+    report: ExecutionReport,
+    spill: Optional[SpillStore],
+) -> None:
+    """Settle an accepted partial's residency under the spill budget.
+
+    Every accepted partial is charged against the resident budget; once
+    the budget would be exceeded the partial goes to disk and only its
+    compact handle stays (``budget_bytes=0`` spills everything).  The
+    spilled bytes round-trip bit-identically, so residency is purely a
+    memory decision — it can never change the merged dataset.
+    """
+    if spill is None:
+        return
+    nbytes = partial_nbytes(outcome.result)
+    if report.resident_partial_bytes + nbytes > spill.budget_bytes:
+        outcome.result = spill.spill(outcome.result)
+        report.spills += 1
+    else:
+        report.resident_partial_bytes += nbytes
+
+
 def _accept(
     outcome: ShardOutcome,
     result: ShardResult,
@@ -246,6 +301,7 @@ def _accept(
     checkpoint: Optional[ShardCheckpoint],
     report: ExecutionReport,
     attempts_left: bool,
+    spill: Optional[SpillStore] = None,
 ) -> bool:
     """Validate one attempt's result; True when the shard is settled.
 
@@ -270,6 +326,7 @@ def _accept(
     if checkpoint is not None:
         checkpoint.store(outcome.shard_index, result)
         report.checkpoint_writes += 1
+    _retire(outcome, report, spill)
     return True
 
 
@@ -278,6 +335,7 @@ def _prefill_from_checkpoint(
     plan: ShardPlan,
     checkpoint: Optional[ShardCheckpoint],
     report: ExecutionReport,
+    spill: Optional[SpillStore] = None,
 ) -> None:
     if checkpoint is None:
         return
@@ -294,6 +352,7 @@ def _prefill_from_checkpoint(
             continue
         outcome.result = loaded
         outcome.from_checkpoint = True
+        _retire(outcome, report, spill)
 
 
 class _SupervisedPool:
@@ -407,6 +466,7 @@ def execute_shards_supervised(
     checkpoint: Optional[ShardCheckpoint] = None,
     seed: int = 0,
     resume: bool = True,
+    spill: Optional[SpillStore] = None,
 ) -> ExecutionReport:
     """Run every shard under supervision; see the module docstring.
 
@@ -414,7 +474,9 @@ def execute_shards_supervised(
     content comes from the plan's pre-spawned RNG streams, exactly as
     in the bare executor.  With ``resume=False`` an existing checkpoint
     directory is written to but never read, so a build can refresh its
-    checkpoints from scratch.
+    checkpoints from scratch.  With ``spill`` set, accepted partials
+    beyond the store's resident budget go to disk and the report holds
+    compact handles (see :meth:`ExecutionReport.iter_results`).
     """
     if policy is None:
         policy = RetryPolicy()
@@ -426,7 +488,7 @@ def execute_shards_supervised(
         n_shards=n_shards, policy=policy, outcomes=outcomes
     )
     if resume:
-        _prefill_from_checkpoint(outcomes, plan, checkpoint, report)
+        _prefill_from_checkpoint(outcomes, plan, checkpoint, report, spill)
     pending = [o.shard_index for o in outcomes if o.result is None]
 
     context = WorkerContext.for_plan(plan, fault_plan=fault_plan)
@@ -440,12 +502,12 @@ def execute_shards_supervised(
         if mp_context is None:
             _run_in_process(
                 context, pending, outcomes, plan, policy, checkpoint,
-                report, seed,
+                report, seed, spill,
             )
         else:
             _run_pooled(
                 context, mp_context, min(n_workers, len(pending)), pending,
-                outcomes, plan, policy, checkpoint, report, seed,
+                outcomes, plan, policy, checkpoint, report, seed, spill,
             )
     assert _parent_context_clean(), (
         "worker context leaked into the parent process"
@@ -477,6 +539,7 @@ def _run_in_process(
     checkpoint: Optional[ShardCheckpoint],
     report: ExecutionReport,
     seed: int,
+    spill: Optional[SpillStore] = None,
 ) -> None:
     """Serial supervision: the fallback and the ``n_workers=1`` path.
 
@@ -506,7 +569,7 @@ def _run_in_process(
                 continue
             if _accept(
                 outcome, result, attempt, plan, checkpoint, report,
-                attempts_left,
+                attempts_left, spill,
             ):
                 break
 
@@ -522,6 +585,7 @@ def _run_pooled(
     checkpoint: Optional[ShardCheckpoint],
     report: ExecutionReport,
     seed: int,
+    spill: Optional[SpillStore] = None,
 ) -> None:
     """Round-based pooled supervision with watchdog and pool rebuild."""
     supervised = _SupervisedPool(mp_context, processes, context)
@@ -551,7 +615,7 @@ def _run_pooled(
                 attempts_left = attempt + 1 < policy.max_attempts
                 settled = shard_index in gathered and _accept(
                     outcome, gathered[shard_index], attempt, plan,
-                    checkpoint, report, attempts_left,
+                    checkpoint, report, attempts_left, spill,
                 )
                 if not settled and attempts_left:
                     attempts[shard_index] = attempt + 1
@@ -615,6 +679,8 @@ def _emit_observability(report: ExecutionReport) -> None:
         obs.add("resilience.faults_injected", report.faults_injected)
     if report.records_dropped:
         obs.add("resilience.records_dropped", report.records_dropped)
+    if report.spills:
+        obs.add("stream.spills", report.spills)
     for outcome in report.outcomes:
         for failure in outcome.failures:
             obs.log_event(

@@ -53,6 +53,23 @@ class WorkloadConfig:
             raise ValueError("flows_per_session must be >= 1")
 
 
+class _SubscriberDraws:
+    """One subscriber's drawn week, ready for emission.
+
+    The draw phase (RNG consumption) and the emission phase (session
+    manager calls) are split so the chunked path can buffer several
+    subscribers' draws and emit them as one bulk batch without touching
+    any RNG stream out of order.
+    """
+
+    __slots__ = (
+        "imsi", "wants_4g", "communes", "timestamps", "durations",
+        "n_flows", "flow_starts", "total_flows", "flow_times", "flow_dl",
+        "flow_ul", "flow_ids", "snis", "hosts", "hints", "ports",
+        "protocols", "spanning", "mid_hours", "mid_communes",
+    )
+
+
 class SessionLevelGenerator:
     """Generates one measurement week of session-level traffic."""
 
@@ -99,6 +116,7 @@ class SessionLevelGenerator:
         self,
         time_limit_hours: Optional[float] = None,
         batched: bool = True,
+        chunk_size: Optional[int] = None,
     ) -> None:
         """Generate the whole week of traffic for every subscriber.
 
@@ -114,17 +132,94 @@ class SessionLevelGenerator:
         selectable with ``batched=False`` for baselines and debugging.
         The two modes draw from the shared stream in different orders,
         so they are statistically equivalent, not bit-identical.
+
+        ``chunk_size`` (batched mode only) buffers subscribers' draws
+        and emits one bulk attach/report/detach round-trip per
+        ~``chunk_size`` flows instead of per subscriber.  Every RNG
+        stream is consumed in exactly the per-subscriber order —
+        vectorized draws concatenate across calls and the buffer is
+        flushed before any handover-spanning subscriber takes the
+        scalar path — so the emitted event stream is identical to the
+        unchunked one for every chunk size.
         """
         horizon = time_limit_hours if time_limit_hours is not None else WEEK_HOURS
         with obs.span("generate"):
             if batched and self.auditor is None:
-                for subscriber in self._population:
-                    obs.add("generator.subscribers")
-                    self._run_subscriber_batched(subscriber, horizon)
+                if chunk_size is not None:
+                    self._run_week_chunked(horizon, chunk_size)
+                else:
+                    for subscriber in self._population:
+                        obs.add("generator.subscribers")
+                        draws = self._draw_subscriber_batched(
+                            subscriber, horizon
+                        )
+                        if draws is not None:
+                            self._emit_subscriber(draws)
             else:
                 for subscriber in self._population:
                     obs.add("generator.subscribers")
                     self._run_subscriber(subscriber, horizon)
+
+    def _run_week_chunked(self, horizon: float, chunk_size: int) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        buffer: List[_SubscriberDraws] = []
+        pending_flows = 0
+        for subscriber in self._population:
+            obs.add("generator.subscribers")
+            draws = self._draw_subscriber_batched(subscriber, horizon)
+            if draws is None:
+                continue
+            if draws.spanning is not None:
+                # Handover-spanning sessions go through the scalar path;
+                # flush the buffer first so the network RNG stream and
+                # the probe's record order stay in subscriber order.
+                pending_flows = self._flush_chunk(buffer)
+                self._emit_subscriber(draws)
+                continue
+            buffer.append(draws)
+            pending_flows += draws.total_flows
+            if pending_flows >= chunk_size:
+                pending_flows = self._flush_chunk(buffer)
+        self._flush_chunk(buffer)
+
+    def _flush_chunk(self, buffer: List[_SubscriberDraws]) -> int:
+        """Emit buffered subscribers as one bulk batch; returns 0."""
+        if not buffer:
+            return 0
+        sessions_per = np.asarray(
+            [len(d.communes) for d in buffer], dtype=np.int64
+        )
+        imsi = np.repeat(
+            np.asarray([d.imsi for d in buffer], dtype=np.int64), sessions_per
+        )
+        wants_4g = np.repeat(
+            np.asarray([d.wants_4g for d in buffer], dtype=bool), sessions_per
+        )
+        communes = np.concatenate([d.communes for d in buffer])
+        timestamps = np.concatenate([d.timestamps for d in buffer])
+        durations = np.concatenate([d.durations for d in buffer])
+        n_flows = np.concatenate([d.n_flows for d in buffer])
+        manager = self._session_manager
+        teids, tech_codes = manager.attach_bulk(
+            imsi, communes, wants_4g, timestamps, subscribers=len(buffer)
+        )
+        manager.report_flows_bulk(
+            session_teids=teids,
+            flows_per_session=n_flows,
+            timestamps_s=np.concatenate([d.flow_times for d in buffer]),
+            dl_bytes=np.concatenate([d.flow_dl for d in buffer]),
+            ul_bytes=np.concatenate([d.flow_ul for d in buffer]),
+            flow_ids=[x for d in buffer for x in d.flow_ids],
+            snis=[x for d in buffer for x in d.snis],
+            hosts=[x for d in buffer for x in d.hosts],
+            payload_hints=[x for d in buffer for x in d.hints],
+            server_ports=[x for d in buffer for x in d.ports],
+            protocols=[x for d in buffer for x in d.protocols],
+        )
+        manager.detach_bulk(imsi, teids, tech_codes, timestamps + durations * 60.0)
+        buffer.clear()
+        return 0
 
     def _temporal_cdfs(self, urbanization_class) -> np.ndarray:
         """Per-service temporal CDFs for one urbanization class.
@@ -140,7 +235,10 @@ class SessionLevelGenerator:
             self._cdf_cache[urbanization_class] = cdfs
         return cdfs
 
-    def _run_subscriber_batched(self, subscriber, horizon: float) -> None:
+    def _draw_subscriber_batched(
+        self, subscriber, horizon: float
+    ) -> Optional[_SubscriberDraws]:
+        """Draw one subscriber's week (all RNG consumption, no emission)."""
         rng = self._rng
         model = self._model
         config = self._config
@@ -153,7 +251,7 @@ class SessionLevelGenerator:
 
         services = list(subscriber.adopted_services)
         if not services:
-            return
+            return None
         session_counts = rng.poisson(config.sessions_per_service, size=len(services))
 
         # Per-service session draws, concatenated into subscriber-level
@@ -191,7 +289,7 @@ class SessionLevelGenerator:
             seg_dl.append(weekly_dl * jitter[keep])
             seg_ul.append(weekly_ul * jitter[keep])
         if not seg_hours:
-            return
+            return None
 
         hours = np.concatenate(seg_hours)
         dl_sessions = np.concatenate(seg_dl)
@@ -244,16 +342,50 @@ class SessionLevelGenerator:
         # Long sessions whose subscriber moves mid-session exercise the
         # scalar handover path; everything else rides the bulk path.
         spanning = durations > config.long_session_minutes
+        mid_hours = mid_communes = None
         if spanning.any():
             mid_hours = np.minimum(hours + durations / 120.0, WEEK_HOURS - 1e-6)
             mid_communes = itinerary.locations_at(mid_hours)
             spanning &= mid_communes != communes
-        manager = self._session_manager
-        wants_4g = subscriber.has_4g_device
-        imsi = subscriber.imsi_hash
 
-        bulk = ~spanning
-        if bulk.all():
+        draws = _SubscriberDraws()
+        draws.imsi = subscriber.imsi_hash
+        draws.wants_4g = subscriber.has_4g_device
+        draws.communes = communes
+        draws.timestamps = timestamps
+        draws.durations = durations
+        draws.n_flows = n_flows
+        draws.flow_starts = flow_starts
+        draws.total_flows = total_flows
+        draws.flow_times = flow_times
+        draws.flow_dl = flow_dl
+        draws.flow_ul = flow_ul
+        draws.flow_ids = flow_ids
+        draws.snis = snis
+        draws.hosts = hosts
+        draws.hints = hints
+        draws.ports = ports
+        draws.protocols = protocols
+        draws.spanning = spanning if spanning.any() else None
+        draws.mid_hours = mid_hours
+        draws.mid_communes = mid_communes
+        return draws
+
+    def _emit_subscriber(self, draws: _SubscriberDraws) -> None:
+        """Emit one subscriber's drawn week through the session manager."""
+        manager = self._session_manager
+        imsi = draws.imsi
+        wants_4g = draws.wants_4g
+        communes = draws.communes
+        timestamps = draws.timestamps
+        durations = draws.durations
+        n_flows = draws.n_flows
+        flow_times = draws.flow_times
+        flow_dl, flow_ul = draws.flow_dl, draws.flow_ul
+        flow_ids, snis, hosts = draws.flow_ids, draws.snis, draws.hosts
+        hints, ports, protocols = draws.hints, draws.ports, draws.protocols
+
+        if draws.spanning is None:
             teids, tech_codes = manager.attach_bulk(
                 imsi, communes, wants_4g, timestamps
             )
@@ -274,6 +406,10 @@ class SessionLevelGenerator:
                 imsi, teids, tech_codes, timestamps + durations * 60.0
             )
             return
+        spanning = draws.spanning
+        mid_hours, mid_communes = draws.mid_hours, draws.mid_communes
+        flow_starts = draws.flow_starts
+        bulk = ~spanning
         if bulk.any():
             keep_flows = np.repeat(bulk, n_flows)
             mask_list = keep_flows.tolist()

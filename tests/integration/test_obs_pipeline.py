@@ -16,6 +16,7 @@ from repro.dataset.builder import build_session_level_dataset
 from repro.experiments.base import ExperimentResult
 from repro.geo.country import CountryConfig
 from repro.obs import events as obs_events
+from repro.obs.metrics import SPECS, Determinism
 
 SEED = 7
 N_SHARDS = 2
@@ -64,6 +65,20 @@ class TestSpansCoverThePipeline:
         for index in range(N_SHARDS):
             assert f"shard[{index}]" in shards.children
 
+    def test_signalling_span_accounts_for_every_subscriber(self):
+        # Chunked generation batches attach signalling into one span per
+        # chunk; the span's summed ``subscribers`` attribute must still
+        # cover the whole shard population.
+        session, _ = _observed_build(n_workers=1)
+        shards = obs.find(session.root, "shards")
+        total = 0
+        for index in range(N_SHARDS):
+            node = obs.find(shards.children[f"shard[{index}]"], "gtp.signalling")
+            assert node is not None
+            assert node.attrs["subscribers"] > 0
+            total += node.attrs["subscribers"]
+        assert total == 60
+
 
 class TestCounterInvariants:
     def test_cross_stage_identities(self):
@@ -88,6 +103,11 @@ class TestCounterInvariants:
         assert counters["shard.fan_out"] == N_SHARDS
         assert counters["shard.results_merged"] == N_SHARDS
         assert counters["builder.session_datasets"] == 1
+        # The default build streams: chunks were flushed, one merge pass
+        # folded each shard partial, and nothing spilled to disk.
+        assert counters["stream.chunks"] >= N_SHARDS
+        assert counters["stream.merge_passes"] == N_SHARDS
+        assert "stream.spills" not in counters
         # Counters agree with the build that was requested, and the
         # derived gauges are coherent with each other.
         assert counters["generator.subscribers"] == 60
@@ -98,19 +118,32 @@ class TestCounterInvariants:
         assert 0.0 <= unclassified <= total
 
 
+def _strip_timing_gauges(dump):
+    """Drop timing-class gauges (RSS readings) — never compared."""
+    dump["gauges"] = {
+        name: value
+        for name, value in dump["gauges"].items()
+        if SPECS[name].determinism is not Determinism.TIMING
+    }
+
+
 class TestWorkerIndependence:
     def test_counters_byte_identical_across_worker_counts(self):
         session_serial, _ = _observed_build(n_workers=1)
         session_parallel, _ = _observed_build(n_workers=2)
         dump_serial = session_serial.export(meta={})
         dump_parallel = session_parallel.export(meta={})
-        assert dump_serial["counters"] == dump_parallel["counters"]
-        assert dump_serial["gauges"] == dump_parallel["gauges"]
         # Byte-identical once the non-deterministic sections are held
-        # fixed — the render is sorted and stable.
+        # fixed — spans and timing-class gauges carry clock readings;
+        # everything else must match exactly, and the render is sorted
+        # and stable.
         for dump in (dump_serial, dump_parallel):
+            assert "build.peak_rss_bytes" in dump["gauges"]
+            _strip_timing_gauges(dump)
             dump["spans"] = {}
             dump["meta"] = {}
+        assert dump_serial["counters"] == dump_parallel["counters"]
+        assert dump_serial["gauges"] == dump_parallel["gauges"]
         assert obs.render_json(dump_serial) == obs.render_json(dump_parallel)
 
     def test_event_log_byte_identical_across_worker_counts(self):

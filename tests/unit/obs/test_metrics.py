@@ -28,10 +28,23 @@ class TestSpecs:
             if spec.kind is MetricKind.COUNTER:
                 assert spec.determinism is Determinism.EVENTS, spec.name
 
-    def test_gauges_are_derived_class(self):
+    def test_gauges_are_derived_or_timing_class(self):
+        # Gauges carry either deterministic derived floats or sanctioned
+        # clock readings (never events, which are counter territory).
         for spec in SPECS.values():
             if spec.kind is MetricKind.GAUGE:
-                assert spec.determinism is Determinism.DERIVED, spec.name
+                assert spec.determinism in (
+                    Determinism.DERIVED,
+                    Determinism.TIMING,
+                ), spec.name
+
+    def test_timing_gauges_are_memory_or_clock_readings(self):
+        timing = [
+            spec.name
+            for spec in SPECS.values()
+            if spec.determinism is Determinism.TIMING
+        ]
+        assert timing == ["build.peak_rss_bytes"]
 
     def test_names_are_stage_dotted(self):
         for name in SPECS:

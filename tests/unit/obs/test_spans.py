@@ -52,6 +52,46 @@ class TestSpanNode:
         assert max(depths) == 2
 
 
+class TestAttrs:
+    def test_record_sums_attrs_across_runs(self):
+        node = SpanNode("gtp.signalling")
+        node.record(1.0, 10, attrs={"subscribers": 40})
+        node.record(0.5, 20, attrs={"subscribers": 20})
+        node.record(0.1, 5)  # attr-less runs leave the totals alone
+        assert node.attrs == {"subscribers": 60}
+        assert node.count == 3
+
+    def test_to_dict_omits_empty_attrs(self):
+        node = SpanNode("stage")
+        node.record(1.0, 10)
+        assert "attrs" not in node.to_dict()
+
+    def test_to_dict_attrs_name_sorted(self):
+        node = SpanNode("stage")
+        node.record(1.0, 10, attrs={"zeta": 1, "alpha": 2})
+        payload = node.to_dict()
+        assert list(payload["attrs"]) == ["alpha", "zeta"]
+
+    def test_attrs_roundtrip_through_dict(self):
+        node = SpanNode("stage")
+        node.record(1.0, 10, attrs={"subscribers": 60})
+        rebuilt = SpanNode.from_dict(node.to_dict())
+        assert rebuilt.attrs == {"subscribers": 60}
+        assert rebuilt.to_dict() == node.to_dict()
+
+    def test_graft_sums_attrs(self):
+        root = SpanNode("total")
+        for subscribers in (30, 30):
+            sub = SpanNode("generate")
+            sub.record(1.0, 10)
+            sub.child("gtp.signalling").record(
+                0.5, 5, attrs={"subscribers": subscribers}
+            )
+            root.graft(sub)
+        merged = root.children["generate"].children["gtp.signalling"]
+        assert merged.attrs == {"subscribers": 60}
+
+
 class TestGraft:
     def test_graft_new_subtree(self):
         root = SpanNode("total")

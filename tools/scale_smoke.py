@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Bounded-memory smoke: a streamed 10⁴-subscriber build under a hard cap.
+
+Run by the ``scale-smoke`` CI job on every PR (see
+``.github/workflows/ci.yml`` and docs/architecture.md, "Memory model
+and streaming").  Three things are enforced in one process:
+
+1. **Hard backstop** — ``resource.setrlimit(RLIMIT_AS, ...)`` is set
+   before the pipeline imports run.  Modern Linux kernels ignore
+   ``RLIMIT_RSS``, so the address-space limit is the enforceable cap: a
+   build whose allocations run away dies with ``MemoryError`` instead
+   of silently eating the runner.
+2. **Explicit RSS assertion** — after the build (and the scorecard),
+   :func:`repro.obs.clock.peak_rss_bytes` must be at or below
+   ``--rss-cap-mib``.  This is the real "bounded RSS" check; the
+   address-space backstop is deliberately looser (virtual size exceeds
+   resident size) and only catches catastrophic regressions.
+3. **Fidelity gate** — the fidelity scorecard runs in the same capped
+   process and is gated against the committed
+   ``fidelity-baseline.json``: bounded-memory operation that degrades
+   reproduction fidelity fails the job.
+
+The defaults (10⁴ subscribers, ``--chunk-size 1024``, 512 MiB RSS cap)
+leave ~2.4x headroom over the measured peak (~210 MiB) so the job
+fails on regressions, not on runner noise.
+
+Exit status 0 when every check passes, 1 otherwise.
+
+Usage::
+
+    PYTHONPATH=src python tools/scale_smoke.py [--subscribers N]
+        [--chunk-size N] [--rss-cap-mib M] [--skip-scorecard]
+"""
+
+from __future__ import annotations
+
+import argparse
+import resource
+import sys
+import tempfile
+
+MIB = 1 << 20
+GIB = 1 << 30
+
+
+def apply_address_space_backstop(rss_cap_bytes: int) -> int:
+    """Cap virtual address space; returns the limit that was set.
+
+    The limit is 4x the RSS cap with a 2 GiB floor: the interpreter
+    plus numpy map far more address space than they keep resident, so a
+    tight AS cap would fail healthy builds while a loose one still
+    kills a runaway allocation long before the runner is in trouble.
+    """
+    limit = max(4 * rss_cap_bytes, 2 * GIB)
+    soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+    if hard != resource.RLIM_INFINITY and hard < limit:
+        limit = hard
+    resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
+    return limit
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="scale-smoke", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--subscribers", type=int, default=10_000)
+    parser.add_argument("--chunk-size", type=int, default=1024)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--rss-cap-mib", type=int, default=512)
+    parser.add_argument(
+        "--baseline",
+        default="fidelity-baseline.json",
+        help="committed scorecard baseline to gate against",
+    )
+    parser.add_argument(
+        "--skip-scorecard",
+        action="store_true",
+        help="run only the bounded build (local iteration)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    rss_cap = args.rss_cap_mib * MIB
+    as_limit = apply_address_space_backstop(rss_cap)
+    print(
+        f"scale-smoke: RLIMIT_AS backstop {as_limit / GIB:.1f} GiB, "
+        f"RSS cap {args.rss_cap_mib} MiB"
+    )
+
+    # Pipeline imports happen *after* the rlimit so the cap covers them.
+    from repro.dataset.builder import build_session_level_dataset
+    from repro.obs import clock
+
+    with tempfile.TemporaryDirectory(prefix="scale-smoke-") as spill_dir:
+        # Budget 0 spills every shard partial: the smoke exercises the
+        # whole streaming surface (chunked ingest + spill + k-way merge),
+        # not just the chunked fast path.
+        artifacts = build_session_level_dataset(
+            n_subscribers=args.subscribers,
+            seed=args.seed,
+            n_shards=args.shards,
+            chunk_size=args.chunk_size,
+            spill_dir=spill_dir,
+            spill_budget_bytes=0,
+        )
+    build_rss = clock.peak_rss_bytes()
+    print(
+        f"scale-smoke: built {args.subscribers} subscribers "
+        f"(chunk {args.chunk_size}, {args.shards} shards, spill-all), "
+        f"peak RSS {build_rss / MIB:.0f} MiB"
+    )
+    if artifacts.dataset is None:
+        print("scale-smoke: FAIL — build produced no dataset")
+        return 1
+
+    failures = []
+    if build_rss > rss_cap:
+        failures.append(
+            f"build peak RSS {build_rss / MIB:.0f} MiB exceeds the "
+            f"{args.rss_cap_mib} MiB cap"
+        )
+
+    if not args.skip_scorecard:
+        from repro.fidelity.scorecard import (
+            gate_scorecard,
+            load_scorecard,
+            run_scorecard,
+        )
+
+        card = run_scorecard()
+        diff = gate_scorecard(card, load_scorecard(args.baseline))
+        score = card["summary"]["score"]
+        print(f"scale-smoke: fidelity score {score:.3f}, gate vs {args.baseline}")
+        if not diff.gate_ok:
+            print(diff.render())
+            failures.append("fidelity scorecard regressed against the baseline")
+        total_rss = clock.peak_rss_bytes()
+        if total_rss > rss_cap:
+            failures.append(
+                f"peak RSS {total_rss / MIB:.0f} MiB after the scorecard "
+                f"exceeds the {args.rss_cap_mib} MiB cap"
+            )
+
+    for failure in failures:
+        print(f"scale-smoke: FAIL — {failure}")
+    if failures:
+        return 1
+    print("scale-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
