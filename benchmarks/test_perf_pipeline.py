@@ -38,6 +38,12 @@ watchdog poll loop — below ``MAX_SUPERVISED_OVERHEAD`` of the bare
 ``execute_shards`` pool (min-of-two runs each, to damp wall-clock
 noise).
 
+An eighth leg times the repository's own static analyzer over the
+full tree — the per-file rules plus the whole-program pass
+(``repro.lint.program``), single-threaded — and asserts it stays
+below ``MAX_LINT_ELAPSED`` so the lint CI gate never becomes the slow
+step (``lint`` section of the JSON artifact).
+
 A seventh leg climbs the scale ladder (10³, 10⁴, 10⁵, 10⁶ subscribers)
 through the streamed builder — fixed chunk size, every shard partial
 spilled to disk — recording records/s and peak RSS per rung
@@ -90,7 +96,9 @@ LADDER_SHARDS = 8
 LADDER_CHUNK = 8192
 MAX_RSS_AT_1M = 2 * 1024**3  # the out-of-core headline: 10^6 under 2 GiB
 MAX_STREAMING_REGRESSION = 1.25  # streamed vs in-memory at the 10^3 rung
+MAX_LINT_ELAPSED = 10.0  # full-tree static analysis, single-threaded
 BENCH_JSON = Path(__file__).parent / "BENCH_perf_pipeline.json"
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def _shared_artifacts(seed: int = 77) -> dict:
@@ -405,6 +413,36 @@ def _run_scale_ladder() -> dict:
     }
 
 
+def _run_lint() -> dict:
+    """Full-tree static analysis, single-threaded, timed.
+
+    Both passes over the real repository: the per-file rules on
+    ``src/`` + ``tests/`` and the whole-program pass (import graph,
+    taint, contract cross-checks) on ``src/repro``
+    (docs/static-analysis.md).
+    """
+    from repro.lint.engine import LintEngine
+    from repro.lint.program import ProgramAnalyzer, ProgramIndex
+
+    start = time.perf_counter()
+    findings = LintEngine().lint_paths(
+        [REPO_ROOT / "src", REPO_ROOT / "tests"], root=REPO_ROOT
+    )
+    per_file_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    index = ProgramIndex.from_root(REPO_ROOT)
+    program_findings = ProgramAnalyzer(index).run()
+    program_elapsed = time.perf_counter() - start
+    return {
+        "n_modules": len(index.modules),
+        "per_file_elapsed_s": per_file_elapsed,
+        "program_elapsed_s": program_elapsed,
+        "elapsed_s": per_file_elapsed + program_elapsed,
+        "findings": len(findings) + len(program_findings),
+    }
+
+
 def _leg_stats(
     elapsed: float, sessions: int, flows: int, records: int, n_workers: int
 ) -> dict:
@@ -435,6 +473,7 @@ def test_perf_session_pipeline(benchmark):
     observability = _run_observability(shared)
     fidelity = _run_fidelity()
     resilience = _run_resilience(shared)
+    lint = _run_lint()
 
     speedup = optimized["sessions_per_s"] / baseline["sessions_per_s"]
     print()
@@ -473,6 +512,12 @@ def test_perf_session_pipeline(benchmark):
         f"{resilience['bare_elapsed_s']:.2f} s "
         f"({100 * resilience['overhead_fraction']:+.2f}% overhead)"
     )
+    print(
+        f"lint     : {lint['n_modules']} modules, "
+        f"{lint['per_file_elapsed_s']:.2f} s per-file + "
+        f"{lint['program_elapsed_s']:.2f} s whole-program "
+        f"({lint['findings']} findings)"
+    )
 
     # The ladder runs last: its 10^6 rung dominates the process RSS
     # high-water mark, so every earlier leg reads uncontaminated values.
@@ -497,6 +542,7 @@ def test_perf_session_pipeline(benchmark):
                 "observability": observability,
                 "fidelity": fidelity,
                 "resilience": resilience,
+                "lint": lint,
                 "scale_ladder": scale_ladder,
             },
             indent=2,
@@ -520,6 +566,8 @@ def test_perf_session_pipeline(benchmark):
     # Supervision on a fault-free build must cost next to nothing
     # (docs/robustness.md): production builds can always run supervised.
     assert resilience["overhead_fraction"] < MAX_SUPERVISED_OVERHEAD
+    # The lint CI gate must never become the slow step of a PR.
+    assert lint["elapsed_s"] < MAX_LINT_ELAPSED
     # The out-of-core contract: a nationwide-scale build stays inside a
     # laptop's memory...
     assert scale_ladder["rungs"][-1]["n_subscribers"] == 1_000_000

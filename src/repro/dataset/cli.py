@@ -8,11 +8,12 @@ Examples::
         --on-exhausted quarantine --checkpoint-dir ckpt --out panel.npz
     repro-dataset info week.npz
 
-Exit codes (``build``): ``0`` success with full coverage, ``1``
-success but degraded (quarantined shards or dropped records — the
-dataset was written and its ``coverage.*`` meta says what is missing),
-``2`` usage/validation error, ``3`` build failure after retry
-exhaustion under the ``fail`` policy.
+Exit codes follow the shared contract in :mod:`repro._exit`: ``0``
+success with full coverage, ``1`` success but degraded (quarantined
+shards or dropped records — the dataset was written and its
+``coverage.*`` meta says what is missing), ``2`` usage/validation
+error or unreadable input, ``3`` internal failure (for ``build``:
+retry exhaustion under the ``fail`` policy).
 """
 
 from __future__ import annotations
@@ -23,6 +24,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro._exit import EXIT_INTERNAL, EXIT_USAGE
 from repro._units import KIB, format_bytes
 from repro.dataset.store import MobileTrafficDataset
 from repro.geo.urbanization import UrbanizationClass
@@ -302,14 +304,21 @@ def _maps(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "build":
-        return _build(args)
-    if args.command == "info":
-        return _info(args)
-    if args.command == "maps":
-        return _maps(args)
+    try:
+        if args.command == "build":
+            return _build(args)
+        if args.command == "info":
+            return _info(args)
+        if args.command == "maps":
+            return _maps(args)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"repro-dataset: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except Exception as exc:  # unexpected: the tool itself broke
+        print(f"repro-dataset: internal error: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
     print(f"unknown command {args.command!r}", file=sys.stderr)
-    return 2
+    return EXIT_USAGE
 
 
 if __name__ == "__main__":

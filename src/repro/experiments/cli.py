@@ -5,6 +5,10 @@ Examples::
     repro-experiments --list
     repro-experiments fig10
     repro-experiments --all --seed 13 --communes 2500
+
+Exit codes follow the shared contract in :mod:`repro._exit`: ``0`` all
+requested experiments passed their checks, ``1`` at least one check
+failed, ``2`` unknown experiment ids, ``3`` internal failure.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro._exit import EXIT_INTERNAL
 from repro.experiments import (
     PAPER_NOTES,
     REGISTRY,
@@ -54,6 +59,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except Exception as exc:  # unexpected: the tool itself broke
+        print(f"repro-experiments: internal error: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
+
+
+def _main(argv: Optional[List[str]]) -> int:
     args = build_parser().parse_args(argv)
     if args.list:
         for eid in experiment_ids():

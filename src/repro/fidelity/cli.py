@@ -10,10 +10,11 @@ Examples::
     repro-scorecard gate scorecard.json --baseline fidelity-baseline.json
     repro-scorecard list-findings
 
-Exit codes: ``0`` success (for ``diff``/``gate``: no fidelity
-regression), ``1`` a finding's verdict worsened vs the baseline, ``2``
-usage error.  Everything except ``run`` is stdlib-only; ``run`` imports
-the numpy experiment layer lazily.
+Exit codes follow the shared contract in :mod:`repro._exit`: ``0``
+success (for ``diff``/``gate``: no fidelity regression), ``1`` a
+finding's verdict worsened vs the baseline, ``2`` usage error or
+unreadable input, ``3`` internal failure.  Everything except ``run``
+is stdlib-only; ``run`` imports the numpy experiment layer lazily.
 """
 
 from __future__ import annotations
@@ -23,6 +24,7 @@ import json
 import sys
 from typing import List, Optional
 
+from repro._exit import EXIT_INTERNAL, EXIT_USAGE
 from repro.fidelity import scorecard as fid
 from repro.fidelity.contract import FINDINGS
 from repro.obs import clock
@@ -228,8 +230,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_list_findings(args)
     except (OSError, KeyError, ValueError, json.JSONDecodeError) as exc:
         print(f"repro-scorecard: {exc}", file=sys.stderr)
-        return 2
-    return 2
+        return EXIT_USAGE
+    except Exception as exc:  # unexpected: the tool itself broke
+        print(f"repro-scorecard: internal error: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
+    return EXIT_USAGE
 
 
 if __name__ == "__main__":

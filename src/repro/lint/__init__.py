@@ -9,12 +9,16 @@ suppressions, and baseline handling.
 from repro.lint.baseline import Baseline
 from repro.lint.cli import main
 from repro.lint.engine import Finding, LintEngine
+from repro.lint.program import PROGRAM_RULES, ProgramAnalyzer, ProgramIndex
 from repro.lint.rules import Rule, default_rules
 
 __all__ = [
     "Baseline",
     "Finding",
     "LintEngine",
+    "PROGRAM_RULES",
+    "ProgramAnalyzer",
+    "ProgramIndex",
     "Rule",
     "default_rules",
     "main",

@@ -1,29 +1,45 @@
-"""Grandfathered-finding baseline.
+"""Grandfathered-finding baseline (fingerprint-based, version 2).
 
-The baseline records, per ``(file, rule code)``, how many findings are
-accepted debt.  A run is clean when no group exceeds its baselined
-count; shrinking a group below its baseline is always allowed (the next
-``--write-baseline`` tightens the file).  Counts — not line numbers —
-are stored so unrelated edits do not invalidate the baseline.
+The baseline records the **fingerprint** of every accepted finding —
+a stable hash of ``(relpath, code, normalized source line)`` computed
+by :func:`repro.lint.engine.finding_fingerprint`.  A run is clean when
+every finding's fingerprint is covered; two different findings in one
+file can never mask each other (the failure mode of the old
+count-based format), and unrelated edits — moved lines, reformatting —
+do not invalidate entries because neither line numbers nor exact
+whitespace participate in the hash.
+
+Version-1 files (per-``(file, code)`` counts) still load: they apply
+with the legacy count semantics so an old baseline keeps working, and
+the next ``--write-baseline`` migrates the file to version 2.
+``--write-baseline`` keeps its tightening role either way: it records
+exactly the current findings, so a shrinking tree shrinks the file.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Sequence, Tuple
 
 from repro.lint.engine import Finding
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
 
 
 @dataclass
 class Baseline:
-    """Accepted findings: ``(relpath, code) -> count``."""
+    """Accepted findings, as fingerprint multisets per ``(relpath, code)``.
 
-    counts: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    ``legacy_counts`` is only populated when a version-1 file was
+    loaded; it grants the old count-based allowance for exactly those
+    entries until the baseline is rewritten.
+    """
+
+    fingerprints: Dict[Tuple[str, str], List[str]] = field(default_factory=dict)
+    legacy_counts: Dict[Tuple[str, str], int] = field(default_factory=dict)
 
     @classmethod
     def load(cls, path: Path) -> "Baseline":
@@ -32,25 +48,39 @@ class Baseline:
         if not path.exists():
             return cls()
         raw = json.loads(path.read_text(encoding="utf-8"))
-        counts: Dict[Tuple[str, str], int] = {}
+        version = int(raw.get("version", 1))
+        if version < 2:
+            counts: Dict[Tuple[str, str], int] = {}
+            for relpath, by_code in raw.get("findings", {}).items():
+                for code, count in by_code.items():
+                    counts[(relpath, code)] = int(count)
+            if counts:
+                print(
+                    f"repro-lint: {path} is a version-1 (count-based) "
+                    "baseline — rerun with --write-baseline to migrate "
+                    "it to fingerprints",
+                    file=sys.stderr,
+                )
+            return cls(legacy_counts=counts)
+        fingerprints: Dict[Tuple[str, str], List[str]] = {}
         for relpath, by_code in raw.get("findings", {}).items():
-            for code, count in by_code.items():
-                counts[(relpath, code)] = int(count)
-        return cls(counts=counts)
+            for code, fps in by_code.items():
+                fingerprints[(relpath, code)] = [str(fp) for fp in fps]
+        return cls(fingerprints=fingerprints)
 
     @classmethod
     def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
-        counts: Dict[Tuple[str, str], int] = {}
+        fingerprints: Dict[Tuple[str, str], List[str]] = {}
         for finding in findings:
             key = (finding.path, finding.code)
-            counts[key] = counts.get(key, 0) + 1
-        return cls(counts=counts)
+            fingerprints.setdefault(key, []).append(finding.fingerprint)
+        return cls(fingerprints=fingerprints)
 
     def save(self, path: Path) -> None:
-        """Write the baseline as stable, diff-friendly JSON."""
-        by_path: Dict[str, Dict[str, int]] = {}
-        for (relpath, code), count in sorted(self.counts.items()):
-            by_path.setdefault(relpath, {})[code] = count
+        """Write the baseline as stable, diff-friendly version-2 JSON."""
+        by_path: Dict[str, Dict[str, List[str]]] = {}
+        for (relpath, code), fps in sorted(self.fingerprints.items()):
+            by_path.setdefault(relpath, {})[code] = sorted(fps)
         payload = {"version": BASELINE_VERSION, "findings": by_path}
         Path(path).write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n",
@@ -62,18 +92,29 @@ class Baseline:
     ) -> Tuple[List[Finding], int]:
         """Split findings into (new, n_baselined).
 
-        A ``(file, code)`` group within its baselined count is absorbed
-        entirely; a group that exceeds it is reported entirely (line
-        numbers shift too easily to say *which* finding is the new one).
+        A finding is absorbed when its fingerprint is still available
+        in its ``(file, code)`` multiset — each entry absorbs at most
+        one occurrence, so a *duplicated* violation on a new line still
+        reports.  Legacy (version-1) entries fall back to the old
+        count semantics for their group.
         """
-        groups: Dict[Tuple[str, str], List[Finding]] = {}
-        for finding in findings:
-            groups.setdefault((finding.path, finding.code), []).append(finding)
+        budget = {key: list(fps) for key, fps in self.fingerprints.items()}
         new: List[Finding] = []
         baselined = 0
-        for key, group in groups.items():
-            allowed = self.counts.get(key, 0)
-            if len(group) <= allowed:
+        legacy_groups: Dict[Tuple[str, str], List[Finding]] = {}
+        for finding in findings:
+            key = (finding.path, finding.code)
+            if key in self.legacy_counts:
+                legacy_groups.setdefault(key, []).append(finding)
+                continue
+            fps = budget.get(key)
+            if fps and finding.fingerprint in fps:
+                fps.remove(finding.fingerprint)
+                baselined += 1
+            else:
+                new.append(finding)
+        for key, group in legacy_groups.items():
+            if len(group) <= self.legacy_counts[key]:
                 baselined += len(group)
             else:
                 new.extend(group)

@@ -1,32 +1,59 @@
 """``repro-lint`` command-line interface.
 
-Exit codes: 0 — clean (modulo baseline), 1 — new findings, 2 — usage
-error.  Run from the repository root so rule scoping (``src/repro`` vs
-``tests``) sees the canonical relative paths.
+Two forms::
+
+    repro-lint [paths...] [options]     # lint (per-file + whole-program)
+    repro-lint graph [options]          # export the layer/import graph
+
+Exit codes follow the shared contract in :mod:`repro._exit`:
+0 — clean (modulo baseline), 1 — findings, 2 — usage error, 3 —
+internal failure.  Run from the repository root so rule scoping
+(``src/repro`` vs ``tests``) sees the canonical relative paths.
+
+``--jobs N`` parses files in parallel worker processes; output is
+byte-identical to the serial path (findings are merged and re-sorted).
+``--changed-only`` restricts per-file rules to files git reports as
+modified or untracked — the whole-program pass always sees the full
+tree, so cross-module contracts cannot be dodged by a partial run.
 """
 
 from __future__ import annotations
 
 import argparse
+import multiprocessing
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
+from repro._exit import EXIT_FINDINGS, EXIT_INTERNAL, EXIT_OK, EXIT_USAGE
 from repro.lint.baseline import Baseline
-from repro.lint.engine import LintEngine
-from repro.lint.reporters import render_json, render_text
+from repro.lint.engine import Finding, LintEngine, iter_python_files
+from repro.lint.program import (
+    PROGRAM_RULES,
+    ProgramAnalyzer,
+    ProgramIndex,
+    render_graph_dot,
+    render_graph_json,
+)
+from repro.lint.reporters import render_json, render_sarif, render_text
 from repro.lint.rules import default_rules
 
 DEFAULT_BASELINE = "lint-baseline.json"
+
+#: Per-process engine for ``--jobs`` workers (built once per fork).
+_WORKER_ENGINE: Optional[LintEngine] = None
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
-            "AST-based invariant checker for the repro package: RNG "
-            "discipline, wall-clock ban, mutable defaults, nondeterministic "
-            "iteration, unit discipline, float equality in tests."
+            "Static invariant checker for the repro package: per-file "
+            "rules (RNG discipline, wall-clock ban, mutable defaults, "
+            "nondeterministic iteration, unit discipline, float equality) "
+            "plus whole-program rules (import layering, determinism "
+            "dataflow, metric/event/exit-code contract cross-checks)."
         ),
     )
     parser.add_argument(
@@ -57,9 +84,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--sarif-out",
+        default=None,
+        metavar="PATH",
+        help="additionally write a SARIF 2.1.0 report here",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parse files in N worker processes (default 1; results are "
+        "byte-identical to the serial path)",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="per-file rules only check files git reports changed or "
+        "untracked (the whole-program pass still sees the full tree)",
+    )
+    parser.add_argument(
+        "--no-program",
+        action="store_true",
+        help="skip the whole-program pass (RPL2xx rules)",
     )
     parser.add_argument(
         "--list-rules",
@@ -69,23 +121,145 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def build_graph_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint graph",
+        description=(
+            "Export the project-wide layer/import graph and symbol table "
+            "built by the whole-program analyzer."
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="project root containing src/repro (default: cwd)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("json", "dot"),
+        default="json",
+        help="export format (default: json)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the export here instead of stdout",
+    )
+    return parser
+
+
+def _worker_lint(task: Tuple[str, str]) -> List[Finding]:
+    """Lint one file inside a ``--jobs`` worker process."""
+    global _WORKER_ENGINE
+    if _WORKER_ENGINE is None:
+        _WORKER_ENGINE = LintEngine()
+    path, root = task
+    return _WORKER_ENGINE.lint_file(Path(path), root=Path(root))
+
+
+def _lint_files(
+    files: Sequence[Path], root: Path, jobs: int
+) -> List[Finding]:
+    """Per-file findings for ``files``, serial or forked, same bytes."""
+    if jobs > 1 and "fork" in multiprocessing.get_all_start_methods():
+        ctx = multiprocessing.get_context("fork")
+        tasks = [(str(p), str(root)) for p in files]
+        with ctx.Pool(processes=jobs) as pool:
+            per_file = pool.map(_worker_lint, tasks)
+        findings = [f for batch in per_file for f in batch]
+    else:
+        engine = LintEngine()
+        findings = []
+        for file in files:
+            findings.extend(engine.lint_file(file, root=root))
+    return sorted(findings)
+
+
+def _changed_files(root: Path) -> "set[str]":
+    """Repo-relative paths git reports as modified or untracked."""
+    out: "set[str]" = set()
+    for args in (
+        ("diff", "--name-only", "HEAD", "--"),
+        ("ls-files", "--others", "--exclude-standard"),
+    ):
+        proc = subprocess.run(
+            ("git", "-C", str(root)) + args,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        out.update(line.strip() for line in proc.stdout.splitlines() if line.strip())
+    return out
+
+
+def _graph_main(argv: Sequence[str]) -> int:
+    args = build_graph_parser().parse_args(list(argv))
+    root = Path(args.root)
+    package = root / "src" / "repro"
+    if not package.is_dir() and not (root / "repro").is_dir():
+        print(
+            f"repro-lint graph: no src/repro package under {root}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    analyzer = ProgramAnalyzer(ProgramIndex.from_root(root))
+    graph = analyzer.graph()
+    render = render_graph_dot if args.format == "dot" else render_graph_json
+    text = render(graph)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return EXIT_OK
+
+
+def _lint_main(argv: Optional[Sequence[str]]) -> int:
+    args = build_parser().parse_args(argv if argv is None else list(argv))
 
     if args.list_rules:
         for rule in default_rules():
-            print(f"{rule.code}  {rule.name:<18} {rule.summary}")
-        return 0
+            print(f"{rule.code}  {rule.name:<22} {rule.summary}")
+        for rule in PROGRAM_RULES:
+            print(f"{rule.code}  {rule.name:<22} {rule.summary}")
+        return EXIT_OK
+
+    if args.jobs < 1:
+        print("repro-lint: --jobs must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
 
     root = Path(args.root)
     targets = [Path(p) for p in args.paths]
     missing = [str(p) for p in targets if not p.exists()]
     if missing:
         print(f"repro-lint: no such path: {', '.join(missing)}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
-    engine = LintEngine()
-    findings = engine.lint_paths(targets, root=root)
+    files = list(iter_python_files(targets))
+    if args.changed_only:
+        try:
+            changed = _changed_files(root)
+        except (OSError, subprocess.CalledProcessError) as exc:
+            print(f"repro-lint: --changed-only needs git: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        kept = []
+        for file in files:
+            try:
+                rel = file.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                rel = file.as_posix()
+            if rel in changed:
+                kept.append(file)
+        files = kept
+
+    findings = _lint_files(files, root, args.jobs)
+
+    if not args.no_program:
+        package = root / "src" / "repro"
+        if package.is_dir() or (root / "repro").is_dir():
+            findings.extend(ProgramAnalyzer(ProgramIndex.from_root(root)).run())
+            findings.sort()
 
     baseline_path = (
         Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
@@ -96,15 +270,34 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"wrote {len(findings)} finding(s) to {baseline_path}",
             file=sys.stderr,
         )
-        return 0
+        return EXIT_OK
 
     baselined = 0
     if not args.no_baseline:
         findings, baselined = Baseline.load(baseline_path).apply(findings)
 
-    render = render_json if args.format == "json" else render_text
+    render = {
+        "json": render_json,
+        "sarif": render_sarif,
+        "text": render_text,
+    }[args.format]
     print(render(findings, baselined))
-    return 1 if findings else 0
+    if args.sarif_out:
+        Path(args.sarif_out).write_text(
+            render_sarif(findings, baselined) + "\n", encoding="utf-8"
+        )
+    return EXIT_FINDINGS if findings else EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = sys.argv[1:] if argv is None else list(argv)
+    try:
+        if args and args[0] == "graph":
+            return _graph_main(args[1:])
+        return _lint_main(args)
+    except Exception as exc:  # pragma: no cover - defensive
+        print(f"repro-lint: internal error: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
 
 
 if __name__ == "__main__":

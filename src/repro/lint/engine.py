@@ -10,6 +10,7 @@ stable rule code and ``file:line:col`` coordinates; per-line
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import tokenize
 from dataclasses import dataclass, field
@@ -24,19 +25,65 @@ DISABLE_MARKER = "repro-lint:"
 #: Attribute used to link each AST node to its parent (set once per tree).
 _PARENT_ATTR = "_repro_lint_parent"
 
+#: Hex digits kept from the fingerprint hash — plenty against collision
+#: within one repository while keeping baselines diff-friendly.
+FINGERPRINT_LEN = 16
+
+
+def finding_fingerprint(relpath: str, code: str, source_line: str) -> str:
+    """Stable identity of one finding: ``(relpath, code, normalized line)``.
+
+    The source line is whitespace-normalized so reformatting does not
+    invalidate a baseline entry; the line *number* is deliberately left
+    out so unrelated edits above a finding do not either.
+    """
+    normalized = " ".join(source_line.split())
+    digest = hashlib.sha256(
+        f"{relpath}\x00{code}\x00{normalized}".encode("utf-8")
+    ).hexdigest()
+    return digest[:FINGERPRINT_LEN]
+
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    ``fingerprint`` is the stable baseline identity (see
+    :func:`finding_fingerprint`); it is derived, so equality and
+    ordering on the location fields stay meaningful.
+    """
 
     path: str
     line: int
     col: int
     code: str
     message: str
+    fingerprint: str = ""
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def fingerprint_findings(
+    findings: Sequence["Finding"], source_lines: Sequence[str]
+) -> List["Finding"]:
+    """Attach fingerprints computed from each finding's source line."""
+    out: List[Finding] = []
+    for f in findings:
+        line_text = (
+            source_lines[f.line - 1] if 0 < f.line <= len(source_lines) else ""
+        )
+        out.append(
+            Finding(
+                path=f.path,
+                line=f.line,
+                col=f.col,
+                code=f.code,
+                message=f.message,
+                fingerprint=finding_fingerprint(f.path, f.code, line_text),
+            )
+        )
+    return out
 
 
 class FileContext:
@@ -130,15 +177,18 @@ class LintEngine:
         try:
             tree = ast.parse(source)
         except SyntaxError as exc:
-            return [
-                Finding(
-                    path=relpath.replace("\\", "/"),
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 0) + 1,
-                    code="RPL000",
-                    message=f"file does not parse: {exc.msg}",
-                )
-            ]
+            return fingerprint_findings(
+                [
+                    Finding(
+                        path=relpath.replace("\\", "/"),
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 0) + 1,
+                        code="RPL000",
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                ],
+                source.splitlines(),
+            )
         _attach_parents(tree)
         ctx = FileContext(relpath, tree)
         handlers: Dict[str, List] = {}
@@ -163,7 +213,7 @@ class LintEngine:
                 and ("all" in codes or f.code in codes)
             )
         ]
-        return sorted(findings)
+        return sorted(fingerprint_findings(findings, source.splitlines()))
 
     def lint_file(self, path: Path, root: Optional[Path] = None) -> List[Finding]:
         """Lint one file; paths in findings are relative to ``root``."""
@@ -187,9 +237,12 @@ class LintEngine:
 
 __all__ = [
     "DISABLE_MARKER",
+    "FINGERPRINT_LEN",
     "Finding",
     "FileContext",
     "LintEngine",
+    "finding_fingerprint",
+    "fingerprint_findings",
     "iter_python_files",
     "parent_of",
     "parse_suppressions",

@@ -1,0 +1,1182 @@
+"""Whole-program static analysis: the RPL2xx rule family.
+
+Where :mod:`repro.lint.engine` checks one file at a time, this module
+parses the **entire package once**, builds a project-wide import graph
+plus a symbol table of string-literal metric names, event kinds, span
+names and exit codes, and cross-checks them against the contracts the
+repository declares in code:
+
+========  ==========================================================
+RPL201    import-layering conformance against the layer DAG declared
+          in :mod:`repro.lint.layers` (CLI modules are top-only)
+RPL202    determinism dataflow — wall-clock values
+          (:mod:`repro.obs.clock`) and unseeded RNG must not reach
+          dataset/event-log/metric writes (interprocedural taint)
+RPL203    every emitted metric name / event kind must exist in the
+          declared contract (``repro.obs.metrics.SPECS`` /
+          ``repro.obs.events.KINDS``), with matching kind
+RPL204    every declared metric / event kind must have at least one
+          emission site — dead contract entries fail
+RPL205    CLI exit-code conformance against
+          ``repro._exit.CLI_EXIT_MATRIX``
+========  ==========================================================
+
+The pass is deterministic: modules, edges and findings are processed
+in sorted order, so output (text/JSON/SARIF, and the ``repro-lint
+graph`` export) is byte-identical across runs and ``--jobs`` values.
+Like the rest of ``repro.lint`` it is stdlib-only.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.lint.engine import (
+    Finding,
+    fingerprint_findings,
+    iter_python_files,
+    parse_suppressions,
+)
+from repro.lint.layers import (
+    CLI_LAYER,
+    LAYERS,
+    is_cli_module,
+    layer_deps,
+    layer_of,
+    validate_layers,
+)
+
+#: Modules the contract extractors read.
+METRICS_MODULE = "repro.obs.metrics"
+EVENTS_MODULE = "repro.obs.events"
+EXIT_MODULE = "repro._exit"
+
+#: Functions whose call result is wall-clock/RNG *taint* (RPL202).
+_CLOCK_PREFIX = "repro.obs.clock."
+_UNSEEDED_RNG = "repro._rng.as_generator"
+
+#: Fully-qualified emission entry points (after alias resolution).
+_COUNTER_FQNS = ("repro.obs.add", "repro.obs.runtime.add")
+_GAUGE_FQNS = ("repro.obs.set_gauge", "repro.obs.runtime.set_gauge")
+_SPAN_FQNS = ("repro.obs.span", "repro.obs.runtime.span")
+_EVENT_FQNS = ("repro.obs.log_event", "repro.obs.runtime.log_event")
+_JSONL_SINKS = (
+    EVENTS_MODULE + ".write_jsonl",
+    EVENTS_MODULE + ".render_jsonl",
+)
+_NUMPY_SINKS = ("numpy.save", "numpy.savez", "numpy.savez_compressed")
+
+
+@dataclass(frozen=True)
+class ProgramRule:
+    """Descriptor of one whole-program rule (for docs/SARIF/--list-rules)."""
+
+    code: str
+    name: str
+    summary: str
+
+
+PROGRAM_RULES: Tuple[ProgramRule, ...] = (
+    ProgramRule(
+        "RPL201",
+        "import-layering",
+        "modules may only import their layer's declared dependencies; "
+        "CLI modules are top-only",
+    ),
+    ProgramRule(
+        "RPL202",
+        "determinism-dataflow",
+        "wall-clock or unseeded-RNG values must not flow into dataset, "
+        "metric, or event-log writes",
+    ),
+    ProgramRule(
+        "RPL203",
+        "undeclared-emission",
+        "emitted metric names and event kinds must exist in the "
+        "declared contract, with matching kind",
+    ),
+    ProgramRule(
+        "RPL204",
+        "dead-contract-entry",
+        "every declared metric and event kind needs at least one "
+        "emission site",
+    ),
+    ProgramRule(
+        "RPL205",
+        "cli-exit-codes",
+        "CLI return/sys.exit literals must match repro._exit."
+        "CLI_EXIT_MATRIX, both directions",
+    ),
+)
+
+
+def module_name(relpath: str) -> Optional[str]:
+    """Dotted module name for a repo-relative path (None if outside).
+
+    Accepts both ``src/repro/...`` and ``repro/...`` prefixes;
+    ``__init__.py`` maps to its package.
+    """
+    parts = relpath.replace("\\", "/").split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if not parts or parts[0] != "repro" or not parts[-1].endswith(".py"):
+        return None
+    parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One resolved repro-internal import site."""
+
+    target: str
+    line: int
+    col: int
+
+
+class ModuleInfo:
+    """One parsed module plus its per-module symbol information."""
+
+    __slots__ = (
+        "name",
+        "relpath",
+        "source",
+        "lines",
+        "tree",
+        "is_package",
+        "imports",
+        "aliases",
+    )
+
+    def __init__(self, name: str, relpath: str, source: str, tree: ast.AST):
+        self.name = name
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.is_package = relpath.endswith("__init__.py")
+        self.imports: List[ImportEdge] = []
+        #: Local name -> fully-qualified dotted target (modules *and*
+        #: imported attributes, e.g. ``now_s -> repro.obs.clock.now_s``).
+        self.aliases: Dict[str, str] = {}
+
+
+def _attr_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` -> ``("a", "b", "c")``; None for non-Name bases."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+class ProgramIndex:
+    """Every module of the package, parsed once, imports resolved."""
+
+    def __init__(self, modules: Dict[str, ModuleInfo]):
+        self.modules = modules
+        self._resolve_imports()
+
+    @classmethod
+    def from_sources(cls, sources: Mapping[str, str]) -> "ProgramIndex":
+        """Build an index from ``{relpath: source}`` (fixture-friendly).
+
+        Unparseable files are skipped — the per-file engine already
+        reports them as RPL000.
+        """
+        modules: Dict[str, ModuleInfo] = {}
+        for relpath in sorted(sources):
+            name = module_name(relpath)
+            if name is None:
+                continue
+            try:
+                tree = ast.parse(sources[relpath])
+            except SyntaxError:
+                continue
+            modules[name] = ModuleInfo(name, relpath, sources[relpath], tree)
+        return cls(modules)
+
+    @classmethod
+    def from_root(cls, root: Path) -> "ProgramIndex":
+        """Index every module under ``<root>/src/repro`` (or ``repro``)."""
+        root = Path(root)
+        package = root / "src" / "repro"
+        if not package.is_dir():
+            package = root / "repro"
+        sources: Dict[str, str] = {}
+        for path in iter_python_files([package]):
+            relpath = path.resolve().relative_to(root.resolve()).as_posix()
+            sources[relpath] = path.read_text(encoding="utf-8")
+        return cls.from_sources(sources)
+
+    def _resolve_imports(self) -> None:
+        for name in sorted(self.modules):
+            info = self.modules[name]
+            for node in ast.walk(info.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        self._record(info, node, alias.name)
+                        local = alias.asname or alias.name.split(".")[0]
+                        info.aliases[local] = (
+                            alias.name if alias.asname else alias.name.split(".")[0]
+                        )
+                elif isinstance(node, ast.ImportFrom):
+                    base = self._from_base(info, node)
+                    if base is None:
+                        continue
+                    for alias in node.names:
+                        candidate = f"{base}.{alias.name}"
+                        target = candidate if candidate in self.modules else base
+                        self._record(info, node, target)
+                        info.aliases[alias.asname or alias.name] = candidate
+
+    def _from_base(self, info: ModuleInfo, node: ast.ImportFrom) -> Optional[str]:
+        """The absolute module a ``from X import ...`` reads from."""
+        if not node.level:
+            return node.module
+        anchor = info.name.split(".")
+        if not info.is_package:
+            anchor = anchor[:-1]
+        anchor = anchor[: len(anchor) - (node.level - 1)]
+        if not anchor:
+            return None
+        if node.module:
+            anchor = anchor + node.module.split(".")
+        return ".".join(anchor)
+
+    def _record(self, info: ModuleInfo, node: ast.AST, target: str) -> None:
+        if target != "repro" and not target.startswith("repro."):
+            return
+        info.imports.append(
+            ImportEdge(
+                target=target,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+            )
+        )
+
+    def containing_module(self, target: str) -> Optional[str]:
+        """Longest indexed module that is ``target`` or a prefix of it."""
+        while target:
+            if target in self.modules:
+                return target
+            target, _, _ = target.rpartition(".")
+        return None
+
+    def resolve_call(self, info: ModuleInfo, func: ast.AST) -> Optional[str]:
+        """Fully-qualified dotted name of a call target, or None."""
+        chain = _attr_chain(func)
+        if chain is None:
+            return None
+        head = info.aliases.get(chain[0], chain[0])
+        return ".".join((head,) + chain[1:])
+
+
+# ---------------------------------------------------------------------------
+# Contract extraction (static mirrors of the runtime contracts)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricContract:
+    """Statically-extracted mirror of one ``MetricSpec``."""
+
+    name: str
+    kind: str  # "COUNTER" | "GAUGE"
+    determinism: str  # "EVENTS" | "DERIVED" | "TIMING"
+    line: int
+
+
+def _enum_member(node: ast.AST, aliases: Mapping[str, str]) -> Optional[str]:
+    """``MetricKind.COUNTER`` or an alias name (``_C``) -> member name."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return aliases.get(node.id)
+    return None
+
+
+def extract_metric_contract(
+    index: ProgramIndex,
+) -> Optional[Dict[str, MetricContract]]:
+    """Parse ``MetricSpec(...)`` calls out of the metrics module's AST."""
+    info = index.modules.get(METRICS_MODULE)
+    if info is None:
+        return None
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(info.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Tuple)
+                and isinstance(node.value, ast.Tuple)
+                and len(target.elts) == len(node.value.elts)
+            ):
+                for t, v in zip(target.elts, node.value.elts):
+                    if isinstance(t, ast.Name) and isinstance(v, ast.Attribute):
+                        aliases[t.id] = v.attr
+    contract: Dict[str, MetricContract] = {}
+    for node in ast.walk(info.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        if not chain or chain[-1] != "MetricSpec" or len(node.args) < 5:
+            continue
+        name_node = node.args[0]
+        if not (isinstance(name_node, ast.Constant) and isinstance(name_node.value, str)):
+            continue
+        kind = _enum_member(node.args[1], aliases)
+        determinism = _enum_member(node.args[4], aliases)
+        if kind is None or determinism is None:
+            continue
+        contract[name_node.value] = MetricContract(
+            name=name_node.value,
+            kind=kind,
+            determinism=determinism,
+            line=node.lineno,
+        )
+    return contract or None
+
+
+def extract_event_kinds(index: ProgramIndex) -> Optional[Tuple[Dict[str, int], str]]:
+    """``(kind -> declaration line, relpath)`` from ``events.KINDS``."""
+    info = index.modules.get(EVENTS_MODULE)
+    if info is None:
+        return None
+    for node in ast.walk(info.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if "KINDS" not in targets:
+            continue
+        if isinstance(node.value, (ast.Tuple, ast.List)):
+            kinds: Dict[str, int] = {}
+            for elt in node.value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    kinds[elt.value] = elt.lineno
+            if kinds:
+                return kinds, info.relpath
+    return None
+
+
+def extract_exit_matrix(
+    index: ProgramIndex,
+) -> Optional[Tuple[Dict[str, Tuple[Set[int], int]], str]]:
+    """``(cli module -> (codes, line), relpath)`` from ``CLI_EXIT_MATRIX``."""
+    info = index.modules.get(EXIT_MODULE)
+    if info is None:
+        return None
+    for node in ast.walk(info.tree):
+        if not isinstance(node, ast.AnnAssign) and not isinstance(node, ast.Assign):
+            continue
+        targets = (
+            [node.target] if isinstance(node, ast.AnnAssign) else node.targets
+        )
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if "CLI_EXIT_MATRIX" not in names or not isinstance(node.value, ast.Dict):
+            continue
+        matrix: Dict[str, Tuple[Set[int], int]] = {}
+        for key, value in zip(node.value.keys, node.value.values):
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                continue
+            codes: Set[int] = set()
+            if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                for elt in value.elts:
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, int):
+                        codes.add(elt.value)
+            matrix[key.value] = (codes, key.lineno)
+        if matrix:
+            return matrix, info.relpath
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Symbol table: emissions, exit codes, taint scopes
+# ---------------------------------------------------------------------------
+
+#: How a metric/event name literal was written at the call site.
+#: ``("lit", name)`` | ``("fstr", prefix, suffix)`` | ``("dyn",)``
+NameForm = Tuple[str, ...]
+
+
+def _name_form(node: Optional[ast.AST]) -> NameForm:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return ("lit", node.value)
+    if isinstance(node, ast.JoinedStr):
+        values = node.values
+        prefix = ""
+        suffix = ""
+        if values and isinstance(values[0], ast.Constant):
+            prefix = str(values[0].value)
+        if len(values) > 1 and isinstance(values[-1], ast.Constant):
+            suffix = str(values[-1].value)
+        return ("fstr", prefix, suffix)
+    return ("dyn",)
+
+
+def _matches(form: NameForm, name: str) -> bool:
+    """Whether a declared ``name`` could be produced by ``form``."""
+    if form[0] == "lit":
+        return form[1] == name
+    if form[0] == "fstr":
+        prefix, suffix = form[1], form[2]
+        return (
+            name.startswith(prefix)
+            and name.endswith(suffix)
+            and len(name) >= len(prefix) + len(suffix)
+        )
+    return False
+
+
+@dataclass(frozen=True)
+class Emission:
+    """One metric/span/event emission site."""
+
+    channel: str  # "counter" | "gauge" | "span" | "event"
+    form: NameForm
+    module: str
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class ExitSite:
+    """One literal exit code in a CLI module."""
+
+    code: int
+    line: int
+    col: int
+
+
+def extract_exit_constants(index: ProgramIndex) -> Dict[str, int]:
+    """``repro._exit``'s integer constants (``EXIT_OK`` -> 0, ...)."""
+    info = index.modules.get(EXIT_MODULE)
+    constants: Dict[str, int] = {}
+    if info is None:
+        return constants
+    for node in info.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if (
+            isinstance(node.value, ast.Constant)
+            and type(node.value.value) is int
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    constants[target.id] = node.value.value
+    return constants
+
+
+def _exit_code_literals(
+    node: ast.AST,
+    info: ModuleInfo,
+    constants: Mapping[str, int],
+) -> Iterator[Tuple[int, int, int]]:
+    """Yield ``(code, line, col)`` for the exit codes an expression names.
+
+    Covers plain int literals, conditional expressions, and names that
+    resolve (via the module's imports) to ``repro._exit`` constants.
+    """
+    if isinstance(node, ast.Constant) and type(node.value) is int:
+        yield node.value, node.lineno, node.col_offset + 1
+    elif isinstance(node, ast.IfExp):
+        yield from _exit_code_literals(node.body, info, constants)
+        yield from _exit_code_literals(node.orelse, info, constants)
+    elif isinstance(node, ast.BoolOp):
+        for value in node.values:
+            yield from _exit_code_literals(value, info, constants)
+    elif isinstance(node, ast.Name):
+        fqn = info.aliases.get(node.id, "")
+        if fqn.startswith(EXIT_MODULE + "."):
+            tail = fqn[len(EXIT_MODULE) + 1 :]
+            if tail in constants:
+                yield constants[tail], node.lineno, node.col_offset + 1
+
+
+class SymbolTable:
+    """Project-wide emission/exit-code symbol table."""
+
+    def __init__(self) -> None:
+        self.emissions: List[Emission] = []
+        self.exit_sites: Dict[str, List[ExitSite]] = {}
+
+    @classmethod
+    def build(cls, index: ProgramIndex) -> "SymbolTable":
+        table = cls()
+        constants = extract_exit_constants(index)
+        for name in sorted(index.modules):
+            info = index.modules[name]
+            table._scan_module(index, info, constants)
+        return table
+
+    def _scan_module(
+        self,
+        index: ProgramIndex,
+        info: ModuleInfo,
+        constants: Mapping[str, int],
+    ) -> None:
+        collect_exits = is_cli_module(info.name) and info.name.endswith(".cli")
+        sites: List[ExitSite] = []
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Call):
+                self._scan_call(index, info, node)
+                if collect_exits:
+                    fqn = index.resolve_call(info, node.func)
+                    if fqn in ("sys.exit", "SystemExit") and node.args:
+                        for code, line, col in _exit_code_literals(
+                            node.args[0], info, constants
+                        ):
+                            sites.append(ExitSite(code, line, col))
+            elif collect_exits and isinstance(node, ast.Return) and node.value:
+                for code, line, col in _exit_code_literals(
+                    node.value, info, constants
+                ):
+                    sites.append(ExitSite(code, line, col))
+        if collect_exits:
+            self.exit_sites[info.name] = sites
+
+    def _scan_call(
+        self, index: ProgramIndex, info: ModuleInfo, node: ast.Call
+    ) -> None:
+        fqn = index.resolve_call(info, node.func)
+        if fqn is None:
+            return
+        channel = None
+        if fqn in _COUNTER_FQNS:
+            channel = "counter"
+        elif fqn in _GAUGE_FQNS:
+            channel = "gauge"
+        elif fqn in _SPAN_FQNS:
+            channel = "span"
+        elif fqn in _EVENT_FQNS:
+            channel = "event"
+        elif (
+            fqn.endswith(".events.append")
+            and info.name.startswith("repro.obs")
+            and node.args
+            and isinstance(node.args[0], ast.Tuple)
+            and node.args[0].elts
+        ):
+            # The runtime appends raw ("kind", name, value) tuples.
+            form = _name_form(node.args[0].elts[0])
+            self.emissions.append(
+                Emission("event", form, info.name, node.lineno, node.col_offset + 1)
+            )
+            return
+        if channel is None:
+            return
+        form = _name_form(node.args[0] if node.args else None)
+        self.emissions.append(
+            Emission(channel, form, info.name, node.lineno, node.col_offset + 1)
+        )
+
+
+# ---------------------------------------------------------------------------
+# RPL202 — interprocedural determinism-taint pass
+# ---------------------------------------------------------------------------
+
+
+def _scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope without descending into nested function/class defs."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _Scope:
+    """Taint state of one function (or module) body."""
+
+    __slots__ = ("info", "node", "fqn", "tainted", "returns_tainted")
+
+    def __init__(self, info: ModuleInfo, node: ast.AST, fqn: Optional[str]):
+        self.info = info
+        self.node = node
+        self.fqn = fqn  # resolvable name for cross-module summaries
+        self.tainted: Set[str] = set()
+        self.returns_tainted = False
+
+
+class TaintPass:
+    """Tracks wall-clock / unseeded-RNG values to write sinks (RPL202).
+
+    Sources taint the expression they appear in; assignments propagate
+    taint to names; calls propagate taint through arguments and — via a
+    fixpoint over per-function summaries — through the return values of
+    module-level functions across the whole program.  ``repro.obs`` and
+    ``repro._rng`` themselves are exempt (they *implement* the clock
+    and the seed policy).
+    """
+
+    def __init__(self, index: ProgramIndex, contract: Optional[Dict[str, MetricContract]]):
+        self.index = index
+        self.contract = contract
+        self.scopes: List[_Scope] = []
+        self.summaries: Dict[str, bool] = {}
+        for name in sorted(index.modules):
+            if name.startswith("repro.obs") or name == "repro._rng":
+                continue
+            info = index.modules[name]
+            self.scopes.append(_Scope(info, info.tree, None))
+            for node in ast.walk(info.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    fqn = None
+                    if node in info.tree.body:  # module-level: resolvable
+                        fqn = f"{name}.{node.name}"
+                        self.summaries[fqn] = False
+                    self.scopes.append(_Scope(info, node, fqn))
+
+    # -- expression-level taint ------------------------------------------
+
+    def _call_is_source(self, scope: _Scope, node: ast.Call) -> bool:
+        fqn = self.index.resolve_call(scope.info, node.func)
+        if fqn is None:
+            return False
+        if fqn.startswith(_CLOCK_PREFIX):
+            return True
+        if fqn == _UNSEEDED_RNG:
+            if not node.args and not node.keywords:
+                return True
+            if node.args and (
+                isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None
+            ):
+                return True
+        return False
+
+    def _expr_tainted(self, scope: _Scope, expr: Optional[ast.AST]) -> bool:
+        if expr is None:
+            return False
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and node.id in scope.tainted:
+                return True
+            if isinstance(node, ast.Call):
+                if self._call_is_source(scope, node):
+                    return True
+                fqn = self.index.resolve_call(scope.info, node.func)
+                if fqn is not None and self.summaries.get(fqn):
+                    return True
+        return False
+
+    # -- fixpoint over assignments and summaries -------------------------
+
+    def _propagate_scope(self, scope: _Scope) -> bool:
+        changed = False
+        for node in _scope_nodes(scope.node):
+            targets: List[ast.AST] = []
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            elif isinstance(node, ast.AugAssign):
+                targets, value = [node.target], node.value
+            elif isinstance(node, ast.NamedExpr):
+                targets, value = [node.target], node.value
+            elif isinstance(node, ast.Return):
+                if not scope.returns_tainted and self._expr_tainted(
+                    scope, node.value
+                ):
+                    scope.returns_tainted = True
+                    changed = True
+                continue
+            else:
+                continue
+            if not self._expr_tainted(scope, value):
+                continue
+            for target in targets:
+                for leaf in ast.walk(target):
+                    if (
+                        isinstance(leaf, ast.Name)
+                        and leaf.id not in scope.tainted
+                    ):
+                        scope.tainted.add(leaf.id)
+                        changed = True
+        return changed
+
+    def _fixpoint(self) -> None:
+        for _ in range(32):  # depth bound; real chains are short
+            changed = False
+            for scope in self.scopes:
+                if self._propagate_scope(scope):
+                    changed = True
+                if scope.fqn is not None and scope.returns_tainted:
+                    if not self.summaries.get(scope.fqn):
+                        self.summaries[scope.fqn] = True
+                        changed = True
+            if not changed:
+                return
+
+    # -- sink detection ---------------------------------------------------
+
+    def _metric_exempt(self, form: NameForm) -> bool:
+        """TIMING-class metrics may legitimately carry clock values."""
+        if self.contract is None:
+            return False
+        matches = [c for n, c in self.contract.items() if _matches(form, n)]
+        return bool(matches) and all(c.determinism == "TIMING" for c in matches)
+
+    def _check_sink(
+        self, scope: _Scope, node: ast.Call, report
+    ) -> None:
+        fqn = self.index.resolve_call(scope.info, node.func)
+        chain = _attr_chain(node.func)
+        args = list(node.args) + [kw.value for kw in node.keywords]
+        sink: Optional[str] = None
+        if fqn in _NUMPY_SINKS or (fqn or "").startswith("numpy.savez"):
+            sink = "a dataset write (numpy save)"
+        elif fqn in _JSONL_SINKS:
+            sink = "the structured event log"
+        elif fqn in _EVENT_FQNS:
+            sink = "the structured event log (obs.log_event)"
+        elif fqn in _COUNTER_FQNS or fqn in _GAUGE_FQNS:
+            if self._metric_exempt(_name_form(node.args[0] if node.args else None)):
+                return
+            sink = "a contract metric"
+            args = args[1:]  # the name itself is checked by RPL203
+        elif (
+            chain is not None
+            and len(chain) >= 2
+            and chain[-1] == "save"
+            and fqn not in _NUMPY_SINKS
+        ):
+            sink = "a dataset write (.save)"
+        if sink is None:
+            return
+        for arg in args:
+            if self._expr_tainted(scope, arg):
+                report(
+                    scope.info,
+                    node,
+                    "RPL202",
+                    "wall-clock or unseeded-RNG value flows into "
+                    f"{sink} — derive it from seed material or declare "
+                    "the metric timing-class",
+                )
+                return
+
+    def run(self, report) -> None:
+        self._fixpoint()
+        for scope in self.scopes:
+            for node in _scope_nodes(scope.node):
+                if isinstance(node, ast.Call):
+                    self._check_sink(scope, node, report)
+
+
+# ---------------------------------------------------------------------------
+# The analyzer
+# ---------------------------------------------------------------------------
+
+
+class ProgramAnalyzer:
+    """Runs RPL201–205 over a :class:`ProgramIndex`."""
+
+    def __init__(self, index: ProgramIndex):
+        validate_layers()
+        self.index = index
+        self.symbols = SymbolTable.build(index)
+        self.metric_contract = extract_metric_contract(index)
+        self.event_kinds = extract_event_kinds(index)
+        self.exit_matrix = extract_exit_matrix(index)
+        self._findings: List[Finding] = []
+
+    # -- reporting --------------------------------------------------------
+
+    def _report(
+        self, info: ModuleInfo, node_or_line, code: str, message: str
+    ) -> None:
+        if isinstance(node_or_line, ast.AST):
+            line = getattr(node_or_line, "lineno", 1)
+            col = getattr(node_or_line, "col_offset", 0) + 1
+        elif isinstance(node_or_line, tuple):
+            line, col = node_or_line
+        else:
+            line, col = node_or_line, 1
+        self._findings.append(
+            Finding(path=info.relpath, line=line, col=col, code=code, message=message)
+        )
+
+    def run(self) -> List[Finding]:
+        """All program findings, suppression-filtered and fingerprinted."""
+        self._findings = []
+        self._check_layers()
+        TaintPass(self.index, self.metric_contract).run(self._report)
+        self._check_emissions()
+        self._check_dead_contract()
+        self._check_exit_codes()
+        by_path: Dict[str, List[Finding]] = {}
+        for f in self._findings:
+            by_path.setdefault(f.path, []).append(f)
+        out: List[Finding] = []
+        modules_by_path = {
+            info.relpath: info for info in self.index.modules.values()
+        }
+        for path in sorted(by_path):
+            info = modules_by_path.get(path)
+            suppressions = (
+                parse_suppressions(info.source) if info is not None else {}
+            )
+            kept = [
+                f
+                for f in by_path[path]
+                if not (
+                    (codes := suppressions.get(f.line))
+                    and ("all" in codes or f.code in codes)
+                )
+            ]
+            out.extend(
+                fingerprint_findings(
+                    kept, info.lines if info is not None else []
+                )
+            )
+        return sorted(out)
+
+    # -- RPL201 -----------------------------------------------------------
+
+    def _check_layers(self) -> None:
+        deps = layer_deps()
+        for name in sorted(self.index.modules):
+            info = self.index.modules[name]
+            src_layer = layer_of(name)
+            if src_layer is None:
+                self._report(
+                    info,
+                    1,
+                    "RPL201",
+                    f"module {name} is not assigned to any declared layer "
+                    "(repro.lint.layers.LAYERS)",
+                )
+                continue
+            for edge in info.imports:
+                target = self.index.containing_module(edge.target)
+                if target is None or target == name:
+                    continue
+                if is_cli_module(target):
+                    parent = target.rsplit(".", 1)[0]
+                    if name != parent and src_layer != CLI_LAYER:
+                        self._report(
+                            info,
+                            (edge.line, edge.col),
+                            "RPL201",
+                            f"{name} imports CLI module {target} — only "
+                            "a package's own __init__/__main__ may",
+                        )
+                    continue
+                if src_layer == CLI_LAYER:
+                    continue  # CLIs may import anything non-CLI
+                dst_layer = layer_of(target)
+                if dst_layer is None or dst_layer == src_layer:
+                    continue
+                if dst_layer not in deps[src_layer]:
+                    self._report(
+                        info,
+                        (edge.line, edge.col),
+                        "RPL201",
+                        f"layer '{src_layer}' may not import layer "
+                        f"'{dst_layer}' ({name} -> {target})",
+                    )
+
+    # -- RPL203 -----------------------------------------------------------
+
+    def _check_emissions(self) -> None:
+        contract = self.metric_contract
+        kinds = self.event_kinds[0] if self.event_kinds else None
+        modules_by_name = self.index.modules
+        for em in self.symbols.emissions:
+            info = modules_by_name[em.module]
+            where = (em.line, em.col)
+            if em.channel in ("counter", "gauge"):
+                if contract is None:
+                    continue
+                if em.form[0] == "dyn":
+                    self._report(
+                        info,
+                        where,
+                        "RPL203",
+                        "metric name is not a string literal — the static "
+                        "contract check cannot see it",
+                    )
+                    continue
+                matches = [
+                    c for n, c in contract.items() if _matches(em.form, n)
+                ]
+                label = (
+                    repr(em.form[1])
+                    if em.form[0] == "lit"
+                    else f"f-string {em.form[1]!r}…{em.form[2]!r}"
+                )
+                if not matches:
+                    self._report(
+                        info,
+                        where,
+                        "RPL203",
+                        f"metric {label} is not declared in "
+                        "repro.obs.metrics.SPECS",
+                    )
+                    continue
+                want = "COUNTER" if em.channel == "counter" else "GAUGE"
+                bad = [c for c in matches if c.kind != want]
+                if bad:
+                    self._report(
+                        info,
+                        where,
+                        "RPL203",
+                        f"metric {label} is declared {bad[0].kind} but "
+                        f"emitted as a {want.lower()}",
+                    )
+            elif em.channel == "event":
+                if kinds is None:
+                    continue
+                if em.form[0] == "lit" and em.form[1] not in kinds:
+                    self._report(
+                        info,
+                        where,
+                        "RPL203",
+                        f"event kind {em.form[1]!r} is not declared in "
+                        "repro.obs.events.KINDS",
+                    )
+                elif em.form[0] == "dyn" and em.module != "repro.obs.runtime":
+                    # runtime.log_event forwards its caller's kind; the
+                    # call sites themselves are what the rule checks.
+                    self._report(
+                        info,
+                        where,
+                        "RPL203",
+                        "event kind is not a string literal — the static "
+                        "contract check cannot see it",
+                    )
+
+    # -- RPL204 -----------------------------------------------------------
+
+    def _check_dead_contract(self) -> None:
+        if self.metric_contract is not None:
+            metrics_info = self.index.modules[METRICS_MODULE]
+            for name in sorted(self.metric_contract):
+                spec = self.metric_contract[name]
+                channel = "counter" if spec.kind == "COUNTER" else "gauge"
+                emitted = any(
+                    em.channel == channel and _matches(em.form, name)
+                    for em in self.symbols.emissions
+                )
+                if not emitted:
+                    self._report(
+                        metrics_info,
+                        spec.line,
+                        "RPL204",
+                        f"metric {name!r} is declared but has no emission "
+                        "site anywhere in the tree (dead contract entry)",
+                    )
+        if self.event_kinds is not None:
+            kinds, relpath = self.event_kinds
+            events_info = self.index.modules[EVENTS_MODULE]
+            for kind in sorted(kinds):
+                emitted = any(
+                    em.channel == "event" and _matches(em.form, kind)
+                    for em in self.symbols.emissions
+                )
+                if not emitted:
+                    self._report(
+                        events_info,
+                        kinds[kind],
+                        "RPL204",
+                        f"event kind {kind!r} is declared in KINDS but "
+                        "never emitted",
+                    )
+
+    # -- RPL205 -----------------------------------------------------------
+
+    def _check_exit_codes(self) -> None:
+        if self.exit_matrix is None:
+            return
+        matrix, matrix_relpath = self.exit_matrix
+        exit_info = self.index.modules[EXIT_MODULE]
+        for cli_name in sorted(self.symbols.exit_sites):
+            info = self.index.modules[cli_name]
+            sites = self.symbols.exit_sites[cli_name]
+            declared = matrix.get(cli_name)
+            if declared is None:
+                self._report(
+                    info,
+                    1,
+                    "RPL205",
+                    f"CLI module {cli_name} is not covered by "
+                    "repro._exit.CLI_EXIT_MATRIX",
+                )
+                continue
+            codes, _ = declared
+            seen: Set[int] = set()
+            for site in sites:
+                seen.add(site.code)
+                if site.code not in codes:
+                    self._report(
+                        info,
+                        (site.line, site.col),
+                        "RPL205",
+                        f"exit code {site.code} is not declared for "
+                        f"{cli_name} in repro._exit.CLI_EXIT_MATRIX",
+                    )
+            for code in sorted(codes - seen):
+                self._report(
+                    info,
+                    1,
+                    "RPL205",
+                    f"{cli_name} declares exit code {code} but no "
+                    "return/sys.exit literal produces it",
+                )
+        for cli_name in sorted(matrix):
+            if cli_name not in self.index.modules:
+                self._report(
+                    exit_info,
+                    matrix[cli_name][1],
+                    "RPL205",
+                    f"CLI_EXIT_MATRIX entry {cli_name!r} does not match "
+                    "any module in the tree",
+                )
+
+    # -- graph export -----------------------------------------------------
+
+    def graph(self) -> Dict[str, Any]:
+        """The layer/import graph plus the symbol table, JSON-ready."""
+        modules = []
+        edges = []
+        for name in sorted(self.index.modules):
+            info = self.index.modules[name]
+            modules.append(
+                {
+                    "name": name,
+                    "relpath": info.relpath,
+                    "layer": layer_of(name),
+                }
+            )
+            seen: Set[str] = set()
+            for edge in info.imports:
+                target = self.index.containing_module(edge.target)
+                if target is None or target == name or target in seen:
+                    continue
+                seen.add(target)
+                edges.append({"src": name, "dst": target, "line": edge.line})
+        edges.sort(key=lambda e: (e["src"], e["dst"]))
+        layers = [
+            {
+                "name": spec.name,
+                "prefixes": list(spec.prefixes),
+                "deps": list(spec.deps),
+            }
+            for spec in LAYERS
+        ]
+        symbols = {
+            "metrics": sorted(
+                {
+                    em.form[1]
+                    for em in self.symbols.emissions
+                    if em.channel in ("counter", "gauge") and em.form[0] == "lit"
+                }
+            ),
+            "events": sorted(
+                {
+                    em.form[1]
+                    for em in self.symbols.emissions
+                    if em.channel == "event" and em.form[0] == "lit"
+                }
+            ),
+            "spans": sorted(
+                {
+                    em.form[1]
+                    for em in self.symbols.emissions
+                    if em.channel == "span" and em.form[0] == "lit"
+                }
+            ),
+            "exit_codes": {
+                name: sorted({s.code for s in sites})
+                for name, sites in sorted(self.symbols.exit_sites.items())
+            },
+        }
+        return {
+            "layers": layers,
+            "modules": modules,
+            "edges": edges,
+            "symbols": symbols,
+        }
+
+
+def render_graph_json(graph: Dict[str, Any]) -> str:
+    """Deterministic JSON form of :meth:`ProgramAnalyzer.graph`."""
+    return json.dumps(graph, indent=2, sort_keys=True)
+
+
+def render_graph_dot(graph: Dict[str, Any]) -> str:
+    """Layer-level Graphviz digraph (edges weighted by import count)."""
+    module_layer = {m["name"]: m["layer"] for m in graph["modules"]}
+    counts: Dict[Tuple[str, str], int] = {}
+    for edge in graph["edges"]:
+        src = module_layer.get(edge["src"])
+        dst = module_layer.get(edge["dst"])
+        if src is None or dst is None or src == dst:
+            continue
+        counts[(src, dst)] = counts.get((src, dst), 0) + 1
+    sizes: Dict[str, int] = {}
+    for layer in module_layer.values():
+        if layer is not None:
+            sizes[layer] = sizes.get(layer, 0) + 1
+    lines = ["digraph repro_layers {", "  rankdir=BT;", "  node [shape=box];"]
+    for name in sorted(sizes):
+        label = f"{name}\\n({sizes[name]} modules)"
+        lines.append(f'  "{name}" [label="{label}"];')
+    for (src, dst) in sorted(counts):
+        lines.append(f'  "{src}" -> "{dst}" [label="{counts[(src, dst)]}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def analyze_tree(root: Path) -> List[Finding]:
+    """Convenience: index ``root`` and run the whole-program pass."""
+    return ProgramAnalyzer(ProgramIndex.from_root(root)).run()
+
+
+__all__ = [
+    "EVENTS_MODULE",
+    "EXIT_MODULE",
+    "METRICS_MODULE",
+    "Emission",
+    "ImportEdge",
+    "MetricContract",
+    "ModuleInfo",
+    "PROGRAM_RULES",
+    "ProgramAnalyzer",
+    "ProgramIndex",
+    "ProgramRule",
+    "SymbolTable",
+    "analyze_tree",
+    "extract_event_kinds",
+    "extract_exit_constants",
+    "extract_exit_matrix",
+    "extract_metric_contract",
+    "module_name",
+    "render_graph_dot",
+    "render_graph_json",
+]

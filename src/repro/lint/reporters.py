@@ -1,11 +1,23 @@
-"""Finding reporters: text for humans, JSON for tooling."""
+"""Finding reporters: text for humans, JSON for tooling, SARIF for CI.
+
+All three are deterministic — sorted content, no timestamps — so
+repeated runs over an unchanged tree are byte-identical (the property
+``tests/unit/lint/test_program.py`` pins and the CI lint job relies
+on when uploading SARIF).
+"""
 
 from __future__ import annotations
 
 import json
-from typing import List, Sequence
+from typing import Any, Dict, List, Sequence
 
 from repro.lint.engine import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(findings: Sequence[Finding], baselined: int = 0) -> str:
@@ -28,6 +40,7 @@ def render_json(findings: Sequence[Finding], baselined: int = 0) -> str:
                 "col": f.col,
                 "code": f.code,
                 "message": f.message,
+                "fingerprint": f.fingerprint,
             }
             for f in findings
         ],
@@ -37,4 +50,84 @@ def render_json(findings: Sequence[Finding], baselined: int = 0) -> str:
     return json.dumps(payload, indent=2)
 
 
-__all__ = ["render_text", "render_json"]
+def _rule_catalog() -> List[Dict[str, Any]]:
+    """SARIF rule metadata for every known code, sorted by code."""
+    from repro.lint.program import PROGRAM_RULES
+    from repro.lint.rules import default_rules
+
+    rules = [
+        {
+            "id": "RPL000",
+            "name": "parse-failure",
+            "shortDescription": {"text": "file does not parse"},
+        }
+    ]
+    for rule in default_rules():
+        rules.append(
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary},
+            }
+        )
+    for rule in PROGRAM_RULES:
+        rules.append(
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary},
+            }
+        )
+    return sorted(rules, key=lambda r: r["id"])
+
+
+def render_sarif(findings: Sequence[Finding], baselined: int = 0) -> str:
+    """SARIF 2.1.0 log of the findings (one run, one result each).
+
+    ``partialFingerprints`` carries the baseline fingerprint, so SARIF
+    consumers deduplicate results across commits exactly the way the
+    baseline does.
+    """
+    results: List[Dict[str, Any]] = []
+    for f in findings:
+        result: Dict[str, Any] = {
+            "ruleId": f.code,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if f.fingerprint:
+            result["partialFingerprints"] = {
+                "reproLint/v2": f.fingerprint
+            }
+        results.append(result)
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": _rule_catalog(),
+                    }
+                },
+                "properties": {"baselined": baselined},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "render_json", "render_sarif", "render_text"]

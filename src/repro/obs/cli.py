@@ -11,9 +11,11 @@ Examples::
     repro-obs trace run_a.json --out run_a.trace.json
     repro-obs list-metrics
 
-Exit codes: ``0`` success (for ``diff``: deterministic content
-identical), ``1`` dumps differ, ``2`` usage error.  Everything except
-``build`` is stdlib-only; ``build`` imports the numpy pipeline lazily.
+Exit codes follow the shared contract in :mod:`repro._exit`: ``0``
+success (for ``diff``: deterministic content identical), ``1`` dumps
+differ, ``2`` usage error or unreadable input, ``3`` internal failure.
+Everything except ``build`` is stdlib-only; ``build`` imports the
+numpy pipeline lazily.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ import json
 import sys
 from typing import List, Optional
 
+from repro._exit import EXIT_INTERNAL, EXIT_USAGE
 from repro.obs import events as obs_events
 from repro.obs import export as obs_export
 from repro.obs import runtime
@@ -204,8 +207,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_list_metrics(args)
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"repro-obs: {exc}", file=sys.stderr)
-        return 2
-    return 2
+        return EXIT_USAGE
+    except Exception as exc:  # unexpected: the tool itself broke
+        print(f"repro-obs: internal error: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
+    return EXIT_USAGE
 
 
 if __name__ == "__main__":

@@ -42,9 +42,9 @@ class TestBuildAndInfo:
 
         assert read_pgm(out_dir / "twitter.pgm").shape == (16, 16)
 
-    def test_missing_file_errors(self, tmp_path):
-        with pytest.raises(FileNotFoundError):
-            main(["info", str(tmp_path / "nope.npz")])
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "nope.npz")]) == 2
+        assert "repro-dataset" in capsys.readouterr().err
 
     def test_requires_command(self, capsys):
         with pytest.raises(SystemExit):

@@ -54,6 +54,27 @@ class TestSuppressions:
             's = "# repro-lint: disable=RPL101"\n'
         ) == {}
 
+    def test_finding_inside_decorated_def(self, engine):
+        source = (
+            "import functools\n"
+            "import numpy as np\n"
+            "@functools.lru_cache\n"
+            "def f():\n"
+            "    return np.random.default_rng(3)  # repro-lint: disable=RPL101\n"
+        )
+        assert engine.lint_source(source, SRC) == []
+
+    def test_decorator_line_does_not_suppress_body(self, engine):
+        source = (
+            "import functools\n"
+            "import numpy as np\n"
+            "@functools.lru_cache  # repro-lint: disable=RPL101\n"
+            "def f():\n"
+            "    return np.random.default_rng(3)\n"
+        )
+        findings = engine.lint_source(source, SRC)
+        assert [(f.code, f.line) for f in findings] == [("RPL101", 5)]
+
     def test_parse_line_mapping(self):
         out = parse_suppressions(
             "x = 1\ny = 2  # repro-lint: disable=RPL101, RPL104\n"
@@ -85,33 +106,94 @@ class TestEngineBasics:
 
 
 class TestBaseline:
-    def _finding(self, path="src/repro/a.py", code="RPL101", line=1):
-        return Finding(path=path, line=line, col=1, code=code, message="m")
+    def _finding(
+        self, path="src/repro/a.py", code="RPL101", line=1, fingerprint="fp1"
+    ):
+        return Finding(
+            path=path,
+            line=line,
+            col=1,
+            code=code,
+            message="m",
+            fingerprint=fingerprint,
+        )
 
-    def test_round_trip(self, tmp_path):
-        findings = [self._finding(), self._finding(line=9)]
+    def test_round_trip_is_version_2(self, tmp_path):
+        findings = [
+            self._finding(fingerprint="aaa"),
+            self._finding(line=9, fingerprint="bbb"),
+        ]
         path = tmp_path / "baseline.json"
         Baseline.from_findings(findings).save(path)
+        raw = json.loads(path.read_text())
+        assert raw["version"] == 2
+        assert raw["findings"]["src/repro/a.py"]["RPL101"] == ["aaa", "bbb"]
         loaded = Baseline.load(path)
-        assert loaded.counts == {("src/repro/a.py", "RPL101"): 2}
+        assert loaded.fingerprints == {
+            ("src/repro/a.py", "RPL101"): ["aaa", "bbb"]
+        }
 
     def test_missing_file_is_empty(self, tmp_path):
-        assert Baseline.load(tmp_path / "nope.json").counts == {}
+        assert Baseline.load(tmp_path / "nope.json").fingerprints == {}
 
-    def test_within_budget_absorbed(self):
-        baseline = Baseline(counts={("src/repro/a.py", "RPL101"): 2})
+    def test_known_fingerprint_absorbed(self):
+        baseline = Baseline(
+            fingerprints={("src/repro/a.py", "RPL101"): ["fp1"]}
+        )
         new, baselined = baseline.apply([self._finding()])
         assert new == [] and baselined == 1
 
-    def test_over_budget_reports_group(self):
-        baseline = Baseline(counts={("src/repro/a.py", "RPL101"): 1})
-        findings = [self._finding(), self._finding(line=9)]
-        new, baselined = baseline.apply(findings)
-        assert len(new) == 2 and baselined == 0
+    def test_swapped_findings_cannot_mask_each_other(self):
+        # The count-based format's failure mode: one fixed violation
+        # plus one *new* violation of the same code in the same file
+        # used to cancel out.  Fingerprints tell them apart.
+        baseline = Baseline(
+            fingerprints={("src/repro/a.py", "RPL101"): ["fp-old"]}
+        )
+        new, baselined = baseline.apply(
+            [self._finding(line=9, fingerprint="fp-new")]
+        )
+        assert [f.fingerprint for f in new] == ["fp-new"] and baselined == 0
 
-    def test_unknown_group_reported(self):
+    def test_entry_absorbs_at_most_one_occurrence(self):
+        baseline = Baseline(
+            fingerprints={("src/repro/a.py", "RPL101"): ["fp1"]}
+        )
+        new, baselined = baseline.apply(
+            [self._finding(line=1), self._finding(line=9)]
+        )
+        assert len(new) == 1 and baselined == 1
+
+    def test_unknown_finding_reported(self):
         new, baselined = Baseline().apply([self._finding()])
         assert len(new) == 1 and baselined == 0
+
+    def test_version_1_file_applies_count_semantics(self, tmp_path, capsys):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "findings": {"src/repro/a.py": {"RPL101": 2}},
+                }
+            )
+        )
+        baseline = Baseline.load(path)
+        assert "version-1" in capsys.readouterr().err
+        new, baselined = baseline.apply(
+            [self._finding(), self._finding(line=9, fingerprint="other")]
+        )
+        assert new == [] and baselined == 2
+
+    def test_write_baseline_migrates_v1_to_v2(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {"version": 1, "findings": {"src/repro/a.py": {"RPL101": 1}}}
+            )
+        )
+        Baseline.from_findings([self._finding()]).save(path)
+        assert json.loads(path.read_text())["version"] == 2
 
 
 class TestReporters:

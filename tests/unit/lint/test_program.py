@@ -1,0 +1,570 @@
+"""Whole-program pass: index, RPL201-205, graph export, determinism.
+
+Each rule is exercised on a small synthetic tree built through
+:meth:`ProgramIndex.from_sources`; the fixture is constructed so the
+*clean* variant produces zero findings, and every violation test
+mutates exactly one file.  The agreement tests at the bottom run the
+static extractors against the real repository and compare them with
+the runtime contracts they mirror — the bidirectional guarantee the
+RPL203/RPL204/RPL205 rules rest on.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.layers import CLI_LAYER, LAYERS, layer_of, validate_layers
+from repro.lint.program import (
+    ProgramAnalyzer,
+    ProgramIndex,
+    extract_event_kinds,
+    extract_exit_constants,
+    extract_exit_matrix,
+    extract_metric_contract,
+    module_name,
+    render_graph_dot,
+    render_graph_json,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+METRICS = '''\
+from repro.obs._schema import Determinism, MetricKind, MetricSpec
+
+_C, _G = MetricKind.COUNTER, MetricKind.GAUGE
+_EV, _TI = Determinism.EVENTS, Determinism.TIMING
+
+SPECS = {
+    "gen.items": MetricSpec("gen.items", _C, "items", "generate", _EV),
+    "gen.elapsed_s": MetricSpec(
+        "gen.elapsed_s", _G, "seconds", "generate", _TI
+    ),
+    "agg.rows_total": MetricSpec("agg.rows_total", _G, "rows", "agg", _EV),
+    "fidelity.findings_ok": MetricSpec(
+        "fidelity.findings_ok", _C, "findings", "fidelity", _EV
+    ),
+}
+'''
+
+EVENTS = '''\
+KINDS = (
+    "counter_add",
+    "span_begin",
+)
+
+
+def write_jsonl(path, events):
+    pass
+'''
+
+EXIT = '''\
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+EXIT_INTERNAL = 3
+
+CLI_EXIT_MATRIX = {
+    "repro.tool.cli": (0, 1, 2, 3),
+}
+'''
+
+OBS_INIT = '''\
+def add(name, value=1):
+    pass
+
+
+def set_gauge(name, value):
+    pass
+
+
+def span(name):
+    pass
+
+
+def log_event(kind):
+    pass
+'''
+
+EMIT = '''\
+from repro import obs
+from repro.obs import clock
+
+
+def emit(n, verdict):
+    obs.add("gen.items", n)
+    obs.set_gauge("agg.rows_total", n)
+    obs.add(f"fidelity.findings_{verdict}")
+    obs.log_event("counter_add")
+    obs.log_event("span_begin")
+
+
+def timed():
+    t0 = clock.now_s()
+    obs.set_gauge("gen.elapsed_s", clock.now_s() - t0)
+'''
+
+CLI = '''\
+from repro._exit import EXIT_INTERNAL, EXIT_USAGE
+
+
+def main(argv=None):
+    if argv is None:
+        return EXIT_USAGE
+    if argv == ["boom"]:
+        return EXIT_INTERNAL
+    if argv:
+        return 1
+    return 0
+'''
+
+CLEAN = {
+    "src/repro/__init__.py": "",
+    "src/repro/_exit.py": EXIT,
+    "src/repro/_rng.py": "def as_generator(seed=None):\n    return seed\n",
+    "src/repro/obs/__init__.py": OBS_INIT,
+    "src/repro/obs/clock.py": "def now_s():\n    return 0.0\n",
+    "src/repro/obs/events.py": EVENTS,
+    "src/repro/obs/metrics.py": METRICS,
+    "src/repro/traffic/emit.py": EMIT,
+    "src/repro/tool/__init__.py": "",
+    "src/repro/tool/cli.py": CLI,
+}
+
+
+def _analyze(**overrides):
+    sources = dict(CLEAN)
+    for relpath, source in overrides.items():
+        if source is None:
+            del sources[relpath]
+        else:
+            sources[relpath] = source
+    return ProgramAnalyzer(ProgramIndex.from_sources(sources)).run()
+
+
+def _codes(findings):
+    return [f.code for f in findings]
+
+
+class TestModuleName:
+    def test_src_prefix_stripped(self):
+        assert module_name("src/repro/geo/country.py") == "repro.geo.country"
+
+    def test_package_init(self):
+        assert module_name("src/repro/obs/__init__.py") == "repro.obs"
+
+    def test_bare_repro_prefix(self):
+        assert module_name("repro/a.py") == "repro.a"
+
+    def test_outside_package_is_none(self):
+        assert module_name("tests/unit/test_x.py") is None
+        assert module_name("src/other/a.py") is None
+
+
+class TestImportResolution:
+    def test_from_repro_import_submodule(self):
+        index = ProgramIndex.from_sources(
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/obs/__init__.py": "",
+                "src/repro/user.py": "from repro import obs\n",
+            }
+        )
+        info = index.modules["repro.user"]
+        assert [e.target for e in info.imports] == ["repro.obs"]
+        assert info.aliases["obs"] == "repro.obs"
+
+    def test_relative_import(self):
+        index = ProgramIndex.from_sources(
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/pkg/__init__.py": "",
+                "src/repro/pkg/a.py": "from . import b\n",
+                "src/repro/pkg/b.py": "",
+            }
+        )
+        info = index.modules["repro.pkg.a"]
+        assert [e.target for e in info.imports] == ["repro.pkg.b"]
+
+    def test_imported_attribute_alias(self):
+        index = ProgramIndex.from_sources(
+            {
+                "src/repro/obs/clock.py": "def now_s():\n    return 0.0\n",
+                "src/repro/user.py": "from repro.obs.clock import now_s\n",
+            }
+        )
+        info = index.modules["repro.user"]
+        assert info.aliases["now_s"] == "repro.obs.clock.now_s"
+
+    def test_containing_module_longest_prefix(self):
+        index = ProgramIndex.from_sources(
+            {
+                "src/repro/obs/__init__.py": "",
+                "src/repro/obs/clock.py": "",
+            }
+        )
+        assert index.containing_module("repro.obs.clock.now_s") == (
+            "repro.obs.clock"
+        )
+        assert index.containing_module("repro.obs.other") == "repro.obs"
+        assert index.containing_module("numpy.save") is None
+
+    def test_unparseable_file_is_skipped(self):
+        index = ProgramIndex.from_sources(
+            {"src/repro/bad.py": "def broken(:\n"}
+        )
+        assert index.modules == {}
+
+
+class TestLayerSpec:
+    def test_spec_is_a_valid_dag(self):
+        validate_layers()
+
+    def test_longest_prefix_wins(self):
+        assert layer_of("repro.dataset.store") == "datastore"
+        assert layer_of("repro.dataset.builder") == "dataset"
+        assert layer_of("repro.resilience.supervisor") == "supervisor"
+        assert layer_of("repro.resilience.retry") == "resilience"
+
+    def test_cli_pseudo_layer(self):
+        assert layer_of("repro.dataset.cli") == CLI_LAYER
+        assert layer_of("repro.experiments.__main__") == CLI_LAYER
+
+    def test_dag_rejects_forward_deps(self):
+        from repro.lint.layers import LayerSpec
+
+        with pytest.raises(ValueError):
+            validate_layers(
+                [LayerSpec("a", ("repro.a",), ("b",))]
+            )
+
+
+class TestRPL201:
+    def test_clean_fixture(self):
+        assert _analyze() == []
+
+    def test_layer_violation(self):
+        findings = _analyze(
+            **{"src/repro/geo/bad.py": "from repro.obs import events\n"}
+        )
+        assert _codes(findings) == ["RPL201"]
+        assert "'geo' may not import layer 'obs'" in findings[0].message
+
+    def test_cli_import_forbidden(self):
+        findings = _analyze(
+            **{"src/repro/services/x.py": "from repro.tool import cli\n"}
+        )
+        assert _codes(findings) == ["RPL201"]
+        assert "CLI module" in findings[0].message
+
+    def test_own_package_init_may_reexport_cli(self):
+        assert _analyze(
+            **{"src/repro/tool/__init__.py": "from repro.tool import cli\n"}
+        ) == []
+
+    def test_cli_may_import_anything(self):
+        source = CLI + "\nfrom repro.traffic import emit\n"
+        assert _analyze(**{"src/repro/tool/cli.py": source}) == []
+
+
+class TestRPL202:
+    def test_clock_into_numpy_save(self):
+        findings = _analyze(
+            **{
+                "src/repro/traffic/writer.py": (
+                    "import numpy as np\n"
+                    "from repro.obs import clock\n"
+                    "def write(path, data):\n"
+                    "    stamp = clock.now_s()\n"
+                    "    np.savez(path, data=data, stamp=stamp)\n"
+                )
+            }
+        )
+        assert _codes(findings) == ["RPL202"]
+        assert findings[0].path == "src/repro/traffic/writer.py"
+        assert findings[0].line == 5
+
+    def test_taint_crosses_module_boundaries(self):
+        findings = _analyze(
+            **{
+                "src/repro/network/stamp.py": (
+                    "from repro.obs import clock\n"
+                    "def stamp():\n"
+                    "    return clock.now_s()\n"
+                ),
+                "src/repro/traffic/writer.py": (
+                    "import numpy as np\n"
+                    "from repro.network.stamp import stamp\n"
+                    "def write(path):\n"
+                    "    value = stamp()\n"
+                    "    np.save(path, value)\n"
+                ),
+            }
+        )
+        assert _codes(findings) == ["RPL202"]
+        assert findings[0].path == "src/repro/traffic/writer.py"
+
+    def test_unseeded_rng_into_event_log(self):
+        findings = _analyze(
+            **{
+                "src/repro/traffic/writer.py": (
+                    "from repro._rng import as_generator\n"
+                    "from repro.obs import events\n"
+                    "def dump(path):\n"
+                    "    g = as_generator()\n"
+                    "    events.write_jsonl(path, g)\n"
+                )
+            }
+        )
+        assert _codes(findings) == ["RPL202"]
+
+    def test_seeded_rng_is_clean(self):
+        assert _analyze(
+            **{
+                "src/repro/traffic/writer.py": (
+                    "from repro._rng import as_generator\n"
+                    "from repro.obs import events\n"
+                    "def dump(path):\n"
+                    "    g = as_generator(7)\n"
+                    "    events.write_jsonl(path, g)\n"
+                )
+            }
+        ) == []
+
+    def test_timing_metric_is_exempt(self):
+        # EMIT's timed() already feeds clock values into the
+        # TIMING-class gauge — the clean fixture proves the exemption.
+        assert _analyze() == []
+
+    def test_clock_into_events_class_metric(self):
+        findings = _analyze(
+            **{
+                "src/repro/traffic/bad_gauge.py": (
+                    "from repro import obs\n"
+                    "from repro.obs import clock\n"
+                    "def f():\n"
+                    '    obs.set_gauge("agg.rows_total", clock.now_s())\n'
+                )
+            }
+        )
+        assert _codes(findings) == ["RPL202"]
+
+
+class TestRPL203:
+    def test_undeclared_metric(self):
+        findings = _analyze(
+            **{
+                "src/repro/traffic/extra.py": (
+                    "from repro import obs\n"
+                    'def f():\n    obs.add("nope.metric")\n'
+                )
+            }
+        )
+        assert _codes(findings) == ["RPL203"]
+        assert "'nope.metric'" in findings[0].message
+
+    def test_kind_mismatch(self):
+        findings = _analyze(
+            **{
+                "src/repro/traffic/extra.py": (
+                    "from repro import obs\n"
+                    'def f():\n    obs.add("agg.rows_total")\n'
+                )
+            }
+        )
+        assert _codes(findings) == ["RPL203"]
+        assert "declared GAUGE" in findings[0].message
+
+    def test_fstring_matching_no_declared_name(self):
+        findings = _analyze(
+            **{
+                "src/repro/traffic/extra.py": (
+                    "from repro import obs\n"
+                    'def f(x):\n    obs.add(f"zzz.{x}")\n'
+                )
+            }
+        )
+        assert _codes(findings) == ["RPL203"]
+
+    def test_fstring_matching_declared_prefix_is_clean(self):
+        # EMIT emits f"fidelity.findings_{verdict}" against the
+        # declared fidelity.findings_ok counter.
+        assert _analyze() == []
+
+    def test_dynamic_metric_name(self):
+        findings = _analyze(
+            **{
+                "src/repro/traffic/extra.py": (
+                    "from repro import obs\n"
+                    "def f(name):\n    obs.add(name)\n"
+                )
+            }
+        )
+        assert _codes(findings) == ["RPL203"]
+        assert "not a string literal" in findings[0].message
+
+    def test_unknown_event_kind(self):
+        findings = _analyze(
+            **{
+                "src/repro/traffic/extra.py": (
+                    "from repro import obs\n"
+                    'def f():\n    obs.log_event("bogus_kind")\n'
+                )
+            }
+        )
+        assert _codes(findings) == ["RPL203"]
+
+    def test_suppression_silences_program_finding(self):
+        assert _analyze(
+            **{
+                "src/repro/traffic/extra.py": (
+                    "from repro import obs\n"
+                    "def f():\n"
+                    '    obs.add("nope.metric")'
+                    "  # repro-lint: disable=RPL203\n"
+                )
+            }
+        ) == []
+
+
+class TestRPL204:
+    def test_dead_metric(self):
+        emit = EMIT.replace('obs.add("gen.items", n)\n    ', "")
+        findings = _analyze(**{"src/repro/traffic/emit.py": emit})
+        assert _codes(findings) == ["RPL204"]
+        assert findings[0].path == "src/repro/obs/metrics.py"
+        assert "'gen.items'" in findings[0].message
+
+    def test_dead_event_kind(self):
+        emit = EMIT.replace('    obs.log_event("span_begin")\n', "")
+        findings = _analyze(**{"src/repro/traffic/emit.py": emit})
+        assert _codes(findings) == ["RPL204"]
+        assert findings[0].path == "src/repro/obs/events.py"
+        assert "'span_begin'" in findings[0].message
+
+
+class TestRPL205:
+    def test_undeclared_exit_code(self):
+        cli = CLI.replace("return 1", "return 4")
+        findings = _analyze(**{"src/repro/tool/cli.py": cli})
+        codes = _codes(findings)
+        # 4 is undeclared at its site, and declared 1 is now unreached.
+        assert codes == ["RPL205", "RPL205"]
+        assert any("exit code 4 is not declared" in f.message for f in findings)
+        assert any("declares exit code 1" in f.message for f in findings)
+
+    def test_declared_code_never_emitted(self):
+        cli = CLI.replace(
+            "    if argv is None:\n        return EXIT_USAGE\n", ""
+        )
+        findings = _analyze(**{"src/repro/tool/cli.py": cli})
+        assert _codes(findings) == ["RPL205"]
+        assert "declares exit code 2" in findings[0].message
+
+    def test_cli_missing_from_matrix(self):
+        findings = _analyze(
+            **{
+                "src/repro/other/__init__.py": "",
+                "src/repro/other/cli.py": "def main():\n    return 0\n",
+            }
+        )
+        assert _codes(findings) == ["RPL205"]
+        assert "not covered" in findings[0].message
+
+    def test_matrix_entry_without_module(self):
+        exit_src = EXIT.replace(
+            '    "repro.tool.cli": (0, 1, 2, 3),',
+            '    "repro.tool.cli": (0, 1, 2, 3),\n'
+            '    "repro.ghost.cli": (0,),',
+        )
+        findings = _analyze(**{"src/repro/_exit.py": exit_src})
+        assert _codes(findings) == ["RPL205"]
+        assert findings[0].path == "src/repro/_exit.py"
+        assert "repro.ghost.cli" in findings[0].message
+
+    def test_symbolic_constants_resolve(self):
+        constants = extract_exit_constants(
+            ProgramIndex.from_sources({"src/repro/_exit.py": EXIT})
+        )
+        assert constants == {
+            "EXIT_OK": 0,
+            "EXIT_FINDINGS": 1,
+            "EXIT_USAGE": 2,
+            "EXIT_INTERNAL": 3,
+        }
+
+
+class TestGraphExport:
+    def test_graph_structure(self):
+        analyzer = ProgramAnalyzer(ProgramIndex.from_sources(CLEAN))
+        graph = analyzer.graph()
+        assert {layer["name"] for layer in graph["layers"]} == {
+            spec.name for spec in LAYERS
+        }
+        names = {m["name"] for m in graph["modules"]}
+        assert "repro.traffic.emit" in names
+        assert {"src": "repro.traffic.emit", "dst": "repro.obs"} in [
+            {"src": e["src"], "dst": e["dst"]} for e in graph["edges"]
+        ]
+        assert graph["symbols"]["exit_codes"] == {
+            "repro.tool.cli": [0, 1, 2, 3]
+        }
+        assert "gen.items" in graph["symbols"]["metrics"]
+        assert "counter_add" in graph["symbols"]["events"]
+
+    def test_json_and_dot_render(self):
+        analyzer = ProgramAnalyzer(ProgramIndex.from_sources(CLEAN))
+        graph = analyzer.graph()
+        assert render_graph_json(graph) == render_graph_json(analyzer.graph())
+        dot = render_graph_dot(graph)
+        assert dot.startswith("digraph repro_layers {")
+        assert '"traffic" -> "obs"' in dot
+
+
+@pytest.fixture(scope="module")
+def repo_index():
+    return ProgramIndex.from_root(REPO_ROOT)
+
+
+class TestStaticRuntimeAgreement:
+    """The static mirrors agree with the runtime contracts, both ways."""
+
+    def test_metric_contract_matches_runtime_specs(self, repo_index):
+        from repro.obs.metrics import SPECS
+
+        contract = extract_metric_contract(repo_index)
+        assert contract is not None
+        assert set(contract) == set(SPECS)
+        for name, spec in SPECS.items():
+            assert contract[name].kind == spec.kind.name, name
+            assert contract[name].determinism == spec.determinism.name, name
+
+    def test_event_kinds_match_runtime(self, repo_index):
+        from repro.obs.events import KINDS
+
+        extracted = extract_event_kinds(repo_index)
+        assert extracted is not None
+        assert set(extracted[0]) == set(KINDS)
+
+    def test_exit_matrix_matches_runtime(self, repo_index):
+        from repro._exit import CLI_EXIT_MATRIX
+
+        extracted = extract_exit_matrix(repo_index)
+        assert extracted is not None
+        static = {m: codes for m, (codes, _) in extracted[0].items()}
+        assert static == {
+            m: set(codes) for m, codes in CLI_EXIT_MATRIX.items()
+        }
+
+
+class TestDeterminism:
+    def test_findings_identical_across_runs(self, repo_index):
+        a = ProgramAnalyzer(repo_index).run()
+        b = ProgramAnalyzer(ProgramIndex.from_root(REPO_ROOT)).run()
+        assert a == b
+
+    def test_graph_json_identical_across_runs(self, repo_index):
+        a = render_graph_json(ProgramAnalyzer(repo_index).graph())
+        b = render_graph_json(
+            ProgramAnalyzer(ProgramIndex.from_root(REPO_ROOT)).graph()
+        )
+        assert a == b

@@ -1,8 +1,9 @@
 """The repository's own tree is clean under its checked-in baseline.
 
-This is the CI gate run as a test: ``repro-lint src/ tests/`` must exit
-0 against ``lint-baseline.json``, and the baseline itself must carry no
-RNG-discipline debt (RPL101/RPL102 findings are fixed, never
+This is the CI gate run as a test: ``repro-lint src/ tests/`` must
+exit 0 against ``lint-baseline.json`` — per-file rules *and* the
+whole-program pass (RPL201–205) — and the baseline itself must carry
+no RNG-discipline debt (RPL101/RPL102 findings are fixed, never
 grandfathered).
 """
 
@@ -10,6 +11,7 @@ from pathlib import Path
 
 from repro.lint.baseline import Baseline
 from repro.lint.engine import LintEngine
+from repro.lint.program import ProgramAnalyzer, ProgramIndex
 
 REPO_ROOT = Path(__file__).resolve().parents[3]
 
@@ -24,9 +26,29 @@ def test_repo_tree_is_clean_modulo_baseline():
     assert not new, "new lint findings:\n" + "\n".join(f.format() for f in new)
 
 
+def test_whole_program_pass_is_clean():
+    """RPL201–205 report nothing on the tree (no baseline allowance)."""
+    analyzer = ProgramAnalyzer(ProgramIndex.from_root(REPO_ROOT))
+    findings = analyzer.run()
+    assert not findings, "program findings:\n" + "\n".join(
+        f.format() for f in findings
+    )
+
+
+def test_every_module_has_a_layer():
+    analyzer = ProgramAnalyzer(ProgramIndex.from_root(REPO_ROOT))
+    from repro.lint.layers import layer_of
+
+    unassigned = [
+        name
+        for name in analyzer.index.modules
+        if layer_of(name) is None
+    ]
+    assert not unassigned, f"modules without a layer: {sorted(unassigned)}"
+
+
 def test_baseline_has_no_rng_discipline_debt():
     baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
-    rng_debt = [
-        key for key in baseline.counts if key[1] in ("RPL101", "RPL102")
-    ]
+    keys = set(baseline.fingerprints) | set(baseline.legacy_counts)
+    rng_debt = [key for key in keys if key[1] in ("RPL101", "RPL102")]
     assert not rng_debt, f"RNG findings must be fixed, not baselined: {rng_debt}"

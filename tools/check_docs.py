@@ -23,6 +23,16 @@ Two stdlib-only checks, run by the ``docs`` CI job (no installs):
    :data:`repro.obs.metrics.SPECS` must agree in both directions (name,
    unit, stage), so the robustness doc can never drift from the
    supervisor's actual instrumentation.
+5. **Lint rule catalog** — the table under the "Rule catalog" section
+   of ``docs/static-analysis.md`` and the rules the analyzer actually
+   ships (:func:`repro.lint.rules.default_rules` plus
+   :data:`repro.lint.program.PROGRAM_RULES`) must agree in both
+   directions, including each rule's name and summary line.
+6. **Layer DAG** — the table under "The layer DAG" section of
+   ``docs/static-analysis.md`` and :data:`repro.lint.layers.LAYERS`
+   must agree in both directions: every declared layer is documented
+   with exactly its prefixes and allowed dependencies, and no
+   documented layer is undeclared.
 
 Exit status 0 when clean, 1 with one problem per line otherwise.
 
@@ -262,6 +272,118 @@ def check_resilience_metrics(root: Path) -> List[str]:
     return problems
 
 
+#: Section headings in docs/static-analysis.md the lint checks parse.
+RULES_SECTION = "Rule catalog"
+LAYERS_SECTION = "The layer DAG"
+
+#: ``| `RPL123` | name | summary |`` row in the rule catalog table.
+_RULE_ROW = re.compile(
+    r"^\|\s*`(RPL\d{3})`\s*\|\s*([^|]+?)\s*\|\s*([^|]+?)\s*\|"
+)
+
+#: ``| `layer` | `prefix`, ... | deps |`` row in the layer DAG table.
+_LAYER_ROW = re.compile(
+    r"^\|\s*`([a-z][a-z-]*)`\s*\|\s*([^|]+?)\s*\|\s*([^|]+?)\s*\|"
+)
+
+
+def check_lint_rules(root: Path) -> List[str]:
+    """``docs/static-analysis.md`` rule catalog vs the shipped rules."""
+    doc = root / "docs" / "static-analysis.md"
+    if not doc.exists():
+        return [f"{doc.relative_to(root)}: missing"]
+    try:
+        from repro.lint.program import PROGRAM_RULES
+        from repro.lint.rules import default_rules
+    except ImportError as exc:
+        return [f"cannot import repro.lint (set PYTHONPATH=src): {exc}"]
+
+    declared: Dict[str, Tuple[str, str]] = {
+        "RPL000": ("parse-failure", "file does not parse")
+    }
+    for rule in list(default_rules()) + list(PROGRAM_RULES):
+        declared[rule.code] = (rule.name, rule.summary)
+
+    documented: Dict[str, Tuple[str, str]] = {}
+    text = _section(doc.read_text(encoding="utf-8"), RULES_SECTION)
+    for line in text.splitlines():
+        match = _RULE_ROW.match(line)
+        if match:
+            documented[match.group(1)] = (match.group(2), match.group(3))
+
+    problems = []
+    rel = doc.relative_to(root)
+    for code in sorted(set(declared) - set(documented)):
+        problems.append(f"{rel}: shipped rule {code} is undocumented")
+    for code in sorted(set(documented) - set(declared)):
+        problems.append(
+            f"{rel}: documented rule {code} does not exist in repro.lint"
+        )
+    for code in sorted(set(declared) & set(documented)):
+        if documented[code] != declared[code]:
+            problems.append(
+                f"{rel}: {code} documented as {documented[code]} != "
+                f"shipped {declared[code]}"
+            )
+    return problems
+
+
+def check_layer_dag(root: Path) -> List[str]:
+    """``docs/static-analysis.md`` layer table vs repro.lint.layers."""
+    doc = root / "docs" / "static-analysis.md"
+    if not doc.exists():
+        return [f"{doc.relative_to(root)}: missing"]
+    try:
+        from repro.lint.layers import LAYERS
+    except ImportError as exc:
+        return [f"cannot import repro.lint.layers (set PYTHONPATH=src): {exc}"]
+
+    declared = {
+        spec.name: (tuple(spec.prefixes), tuple(spec.deps))
+        for spec in LAYERS
+    }
+    documented: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {}
+    text = _section(doc.read_text(encoding="utf-8"), LAYERS_SECTION)
+    for line in text.splitlines():
+        match = _LAYER_ROW.match(line)
+        if not match:
+            continue
+        prefixes = tuple(
+            p.strip().strip("`") for p in match.group(2).split(",")
+        )
+        deps_cell = match.group(3).strip()
+        deps = (
+            ()
+            if deps_cell in ("—", "-", "")
+            else tuple(d.strip() for d in deps_cell.split(","))
+        )
+        documented[match.group(1)] = (prefixes, deps)
+
+    problems = []
+    rel = doc.relative_to(root)
+    for name in sorted(set(declared) - set(documented)):
+        problems.append(f"{rel}: declared layer {name!r} is undocumented")
+    for name in sorted(set(documented) - set(declared)):
+        problems.append(
+            f"{rel}: documented layer {name!r} is not declared in "
+            "repro.lint.layers.LAYERS"
+        )
+    for name in sorted(set(declared) & set(documented)):
+        doc_prefixes, doc_deps = documented[name]
+        decl_prefixes, decl_deps = declared[name]
+        if doc_prefixes != decl_prefixes:
+            problems.append(
+                f"{rel}: layer {name} documented prefixes "
+                f"{doc_prefixes} != declared {decl_prefixes}"
+            )
+        if doc_deps != decl_deps:
+            problems.append(
+                f"{rel}: layer {name} documented deps {doc_deps} != "
+                f"declared {decl_deps}"
+            )
+    return problems
+
+
 def main(argv: List[str]) -> int:
     root = Path(argv[1]).resolve() if len(argv) > 1 else REPO_ROOT
     problems = (
@@ -269,6 +391,8 @@ def main(argv: List[str]) -> int:
         + check_metrics_contract(root)
         + check_findings_contract(root)
         + check_resilience_metrics(root)
+        + check_lint_rules(root)
+        + check_layer_dag(root)
     )
     for problem in problems:
         print(problem)
