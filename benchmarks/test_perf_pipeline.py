@@ -44,6 +44,13 @@ full tree — the per-file rules plus the whole-program pass
 below ``MAX_LINT_ELAPSED`` so the lint CI gate never becomes the slow
 step (``lint`` section of the JSON artifact).
 
+A ninth leg benchmarks the serving layer (``repro.serve``): a
+volume-level dataset is indexed once, a Poisson schedule is generated,
+and the open-loop load harness measures query latency percentiles,
+throughput, cache hit rate, and the saturation point (``serve``
+section of the JSON artifact — the numbers ``docs/serving.md`` and the
+README quote).
+
 A seventh leg climbs the scale ladder (10³, 10⁴, 10⁵, 10⁶ subscribers)
 through the streamed builder — fixed chunk size, every shard partial
 spilled to disk — recording records/s and peak RSS per rung
@@ -443,6 +450,48 @@ def _run_lint() -> dict:
     }
 
 
+def _run_serve(shared: dict) -> dict:
+    """Index a dataset, then drive it with the open-loop load harness.
+
+    One build of the volume-level cube over the shared country, one
+    :class:`~repro.serve.engine.ServeEngine` indexing pass, one Poisson
+    schedule, one harness run — the latency/throughput/saturation
+    figures land in the ``serve`` section of the JSON artifact.
+    """
+    from repro.dataset.builder import build_volume_level_dataset
+    from repro.serve import ServeEngine, generate_schedule, run_load
+    from repro.serve.queries import CubeProfile
+    from repro.serve.workload import WorkloadSpec
+
+    dataset = build_volume_level_dataset(
+        country=shared["country"], seed=13
+    ).dataset
+
+    start = time.perf_counter()
+    engine = ServeEngine(dataset)
+    index_elapsed = time.perf_counter() - start
+
+    spec = WorkloadSpec(
+        duration_s=30.0,
+        mean_active_users=200.0,
+        mean_requests_per_minute_per_user=60.0,
+        user_sampling_window_s=5.0,
+    )
+    requests = generate_schedule(spec, CubeProfile.of(dataset), seed=13)
+
+    start = time.perf_counter()
+    report = run_load(engine, requests)
+    harness_elapsed = time.perf_counter() - start
+    leg = report.to_dict()
+    leg.update(
+        n_communes=dataset.n_communes,
+        n_head=dataset.n_head,
+        index_build_s=index_elapsed,
+        harness_elapsed_s=harness_elapsed,
+    )
+    return leg
+
+
 def _leg_stats(
     elapsed: float, sessions: int, flows: int, records: int, n_workers: int
 ) -> dict:
@@ -474,6 +523,7 @@ def test_perf_session_pipeline(benchmark):
     fidelity = _run_fidelity()
     resilience = _run_resilience(shared)
     lint = _run_lint()
+    serve = _run_serve(shared)
 
     speedup = optimized["sessions_per_s"] / baseline["sessions_per_s"]
     print()
@@ -518,6 +568,14 @@ def test_perf_session_pipeline(benchmark):
         f"{lint['program_elapsed_s']:.2f} s whole-program "
         f"({lint['findings']} findings)"
     )
+    print(
+        f"serve    : {serve['n_requests']} requests, p99 "
+        f"{serve['latency_p99_s'] * 1e3:.2f} ms, "
+        f"{serve['throughput_rps']:,.0f} rps throughput, saturation "
+        f"{serve['saturation_rps']:,.0f} rps, cache hit rate "
+        f"{serve['cache_hit_rate']:.2f} "
+        f"(index build {serve['index_build_s'] * 1e3:.0f} ms)"
+    )
 
     # The ladder runs last: its 10^6 rung dominates the process RSS
     # high-water mark, so every earlier leg reads uncontaminated values.
@@ -543,6 +601,7 @@ def test_perf_session_pipeline(benchmark):
                 "fidelity": fidelity,
                 "resilience": resilience,
                 "lint": lint,
+                "serve": serve,
                 "scale_ladder": scale_ladder,
             },
             indent=2,
@@ -568,6 +627,11 @@ def test_perf_session_pipeline(benchmark):
     assert resilience["overhead_fraction"] < MAX_SUPERVISED_OVERHEAD
     # The lint CI gate must never become the slow step of a PR.
     assert lint["elapsed_s"] < MAX_LINT_ELAPSED
+    # The serving contract: every request answered, and the measured
+    # saturation point must clear the offered load (the engine keeps up
+    # with the workload it was benchmarked under).
+    assert serve["n_errors"] == 0
+    assert serve["saturation_rps"] > serve["offered_rps"]
     # The out-of-core contract: a nationwide-scale build stays inside a
     # laptop's memory...
     assert scale_ladder["rungs"][-1]["n_subscribers"] == 1_000_000

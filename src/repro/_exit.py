@@ -44,6 +44,7 @@ CLI_EXIT_MATRIX: Dict[str, Tuple[int, ...]] = {
     "repro.fidelity.cli": (0, 1, 2, 3),
     "repro.lint.cli": (0, 1, 2, 3),
     "repro.obs.cli": (0, 1, 2, 3),
+    "repro.serve.cli": (0, 1, 2, 3),
 }
 
 __all__ = [

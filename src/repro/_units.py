@@ -21,6 +21,10 @@ KIB = 1_024
 #: event timestamps generally): classic pcap stores microseconds.
 MICROS_PER_SECOND = 1_000_000
 
+#: Arrival-offset scale of scheduled-workload CSVs (``repro.serve``):
+#: the Logos format stores offsets in milliseconds.
+MILLIS_PER_SECOND = 1_000
+
 _SCALE = (
     (TB, "TB"),
     (GB, "GB"),
@@ -62,6 +66,7 @@ __all__ = [
     "GB",
     "TB",
     "MICROS_PER_SECOND",
+    "MILLIS_PER_SECOND",
     "format_bytes",
     "parse_bytes",
 ]

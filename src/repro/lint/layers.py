@@ -148,6 +148,11 @@ LAYERS: Tuple[LayerSpec, ...] = (
         ("repro.fidelity",),
         ("foundation", "obs", "experiments", "fidelity-contract"),
     ),
+    LayerSpec(
+        "serve",
+        ("repro.serve",),
+        ("foundation", "obs", "geo", "datastore", "analysis"),
+    ),
 )
 
 

@@ -27,6 +27,13 @@ and is built so the answer is reproducible.  An event is a plain
     ``checkpoint`` per shard restored on resume.  Emitted on the parent
     in shard-index order after execution settles, so they inherit the
     worker-count-independence of the rest of the log.
+``schedule`` / ``request``
+    Serving-layer workload history (``repro.serve``): one ``schedule``
+    per Poisson sampling window (``{"active_users", "requests"}``) and
+    one ``request`` per executed scheduled request (``{"family",
+    "mode", "priority"}``), emitted in schedule order.  Both carry only
+    seed-derived data — never latencies — so the log stays a
+    deterministic trace.
 
 Determinism contract: events carry **no timestamps**, shard events are
 captured inside the shard's private session and spliced into the parent
@@ -56,6 +63,8 @@ KINDS = (
     "retry",
     "quarantine",
     "checkpoint",
+    "schedule",
+    "request",
 )
 
 

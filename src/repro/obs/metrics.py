@@ -264,6 +264,62 @@ SPECS: Dict[str, MetricSpec] = _spec_table(
             "fraction of scorecard findings inside their accept band",
             rel_tol=1e-12,
         ),
+        # --- serving layer -------------------------------------------
+        MetricSpec(
+            "serve.queries", _C, "queries", "serve", _EV,
+            "queries accepted and answered by the serving engine",
+        ),
+        MetricSpec(
+            "serve.errors", _C, "queries", "serve", _EV,
+            "queries rejected as malformed or out of range",
+        ),
+        MetricSpec(
+            "serve.index_builds", _C, "indexes", "serve", _EV,
+            "index constructions (eager at load plus each materialized "
+            "similarity view)",
+        ),
+        MetricSpec(
+            "serve.cache_hits", _C, "queries", "serve", _EV,
+            "queries answered from the result cache (LRU-replayed, "
+            "worker-count independent)",
+        ),
+        MetricSpec(
+            "serve.cache_misses", _C, "queries", "serve", _EV,
+            "queries that missed the result cache and were computed",
+        ),
+        MetricSpec(
+            "serve.load_requests", _C, "requests", "serve", _EV,
+            "scheduled requests executed by the load harness",
+        ),
+        MetricSpec(
+            "serve.load_windows", _C, "windows", "serve", _EV,
+            "Poisson sampling windows realized by the workload generator",
+        ),
+        MetricSpec(
+            "serve.cache_hit_rate", _G, "fraction", "serve", _DE,
+            "fraction of harness queries answered from the result cache",
+            rel_tol=1e-12,
+        ),
+        MetricSpec(
+            "serve.latency_p50_s", _G, "seconds", "serve", _TI,
+            "median simulated open-loop request latency",
+        ),
+        MetricSpec(
+            "serve.latency_p95_s", _G, "seconds", "serve", _TI,
+            "95th-percentile simulated open-loop request latency",
+        ),
+        MetricSpec(
+            "serve.latency_p99_s", _G, "seconds", "serve", _TI,
+            "99th-percentile simulated open-loop request latency",
+        ),
+        MetricSpec(
+            "serve.throughput_rps", _G, "requests/s", "serve", _TI,
+            "requests completed per second at the native schedule",
+        ),
+        MetricSpec(
+            "serve.saturation_rps", _G, "requests/s", "serve", _TI,
+            "highest offered rate whose simulated p99 met the bound",
+        ),
     ]
 )
 

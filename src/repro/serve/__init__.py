@@ -1,0 +1,46 @@
+"""The serving layer: query a built dataset, load-test the engine.
+
+``repro.serve`` turns built datasets into a live query surface
+(``docs/serving.md``): :class:`~repro.serve.engine.ServeEngine`
+answers point/top-k/range/similarity queries from precomputed indexes
+behind an LRU result cache, and :func:`~repro.serve.load.run_load`
+drives it with open-loop workloads — Poisson-generated or replayed
+from Logos-style CSVs — measuring latency percentiles, throughput and
+a saturation point.  The ``repro-serve`` CLI wraps both.
+"""
+
+from repro.serve.cache import LRUCache
+from repro.serve.engine import DEFAULT_CACHE_CAPACITY, ServeEngine
+from repro.serve.load import LoadReport, run_load
+from repro.serve.queries import (
+    CubeProfile,
+    Query,
+    QueryError,
+    parse_query,
+    query_from_dict,
+)
+from repro.serve.workload import (
+    ScheduledRequest,
+    WorkloadSpec,
+    generate_schedule,
+    parse_schedule_csv,
+    render_schedule_csv,
+)
+
+__all__ = [
+    "CubeProfile",
+    "DEFAULT_CACHE_CAPACITY",
+    "LRUCache",
+    "LoadReport",
+    "Query",
+    "QueryError",
+    "ScheduledRequest",
+    "ServeEngine",
+    "WorkloadSpec",
+    "generate_schedule",
+    "parse_query",
+    "parse_schedule_csv",
+    "query_from_dict",
+    "render_schedule_csv",
+    "run_load",
+]

@@ -1,0 +1,87 @@
+"""Result cache of the serving engine.
+
+A plain LRU over canonical query keys (``repro.serve.queries``): the
+engine stores the *encoded* result string, so a cache hit returns the
+exact bytes the miss produced — cached and uncached answers are
+byte-identical by construction, and the test suite pins it.
+
+Hit/miss totals are tracked on the cache itself and surfaced through
+the ``serve.cache_hits`` / ``serve.cache_misses`` metrics by the load
+harness (``docs/serving.md``).  The counts are a pure function of the
+key sequence and the capacity — :func:`simulate_hits` replays exactly
+that function without executing anything, which is how the harness
+reports cache behaviour independently of how many worker processes
+executed the requests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Optional, Tuple
+
+
+class LRUCache:
+    """Least-recently-used string cache with hit/miss accounting.
+
+    ``capacity`` 0 disables caching: every lookup misses and nothing is
+    stored (the reference configuration for cache-correctness tests).
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "_data")
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict[str, str]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: str) -> Optional[str]:
+        """The cached value, refreshed as most-recent; None on miss."""
+        if self.capacity == 0 or key not in self._data:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return self._data[key]
+
+    def put(self, key: str, value: str) -> None:
+        """Store ``value``, evicting the least-recent entry when full."""
+        if self.capacity == 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size snapshot (plain ints, JSON-ready)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._data),
+            "capacity": self.capacity,
+        }
+
+
+def simulate_hits(keys: Iterable[str], capacity: int) -> Tuple[int, int]:
+    """Replay the LRU policy over ``keys``; returns ``(hits, misses)``.
+
+    Pure — no values are stored, nothing is executed.  Matches what a
+    single :class:`LRUCache` of the same capacity would count when the
+    keys are looked up (and stored on miss) in order, which is exactly
+    the serial engine's behaviour.
+    """
+    cache = LRUCache(capacity)
+    for key in keys:
+        if cache.get(key) is None:
+            cache.put(key, "")
+    return cache.hits, cache.misses
+
+
+__all__ = ["LRUCache", "simulate_hits"]

@@ -1,0 +1,372 @@
+"""``repro-serve`` command-line interface.
+
+Examples::
+
+    repro-dataset build --communes 300 --seed 7 --out panel.npz
+    repro-serve point panel.npz --commune 12 --service video --hour 68
+    repro-serve topk panel.npz --commune 12 --k 5
+    repro-serve range panel.npz --service video --start 48 --end 168
+    repro-serve similarity panel.npz --kind service --a video --b audio
+    repro-serve query panel.npz '{"family":"topk","commune":3,"k":3}'
+    repro-serve schedule panel.npz --seed 7 --duration 60 --out load.csv
+    repro-serve load panel.npz --csv load.csv --p99-bound-ms 50 \\
+        --out report.json
+
+Query answers are printed as canonical JSON on stdout.  ``load``
+writes the harness report (p50/p95/p99 latency, throughput, cache hit
+rate, saturation point — ``docs/serving.md``) and follows the shared
+exit contract in :mod:`repro._exit`: ``0`` ok, ``1`` findings (the p99
+bound was exceeded or requests errored), ``2`` usage error or
+unreadable input, ``3`` internal failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro._exit import EXIT_FINDINGS, EXIT_INTERNAL, EXIT_OK, EXIT_USAGE
+from repro._units import MILLIS_PER_SECOND
+from repro.dataset.store import CorruptDatasetError, MobileTrafficDataset
+from repro.obs import events as obs_events
+from repro.obs import runtime
+from repro.serve.engine import DEFAULT_CACHE_CAPACITY, ServeEngine
+from repro.serve.load import run_load
+from repro.serve.queries import (
+    CubeProfile,
+    Query,
+    parse_query,
+)
+from repro.serve.workload import (
+    WorkloadSpec,
+    generate_schedule,
+    parse_schedule_csv,
+    render_schedule_csv,
+)
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=60.0,
+        help="replay horizon in seconds",
+    )
+    parser.add_argument(
+        "--users",
+        type=float,
+        default=100.0,
+        help="mean Poisson active users per sampling window",
+    )
+    parser.add_argument(
+        "--rpm",
+        type=float,
+        default=20.0,
+        help="mean requests per minute per active user",
+    )
+    parser.add_argument(
+        "--window",
+        type=float,
+        default=60.0,
+        help="active-user resampling window in seconds",
+    )
+    parser.add_argument(
+        "--interactive-fraction",
+        type=float,
+        default=0.8,
+        help="probability a request is interactive (else batch)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Query a built dataset over the commune x service x time "
+            "cube and load-test the engine with open-loop workloads "
+            "(docs/serving.md)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    point = sub.add_parser(
+        "point", help="volume of one (commune, service, hour) cell"
+    )
+    point.add_argument("dataset", metavar="DATASET")
+    point.add_argument("--commune", type=int, required=True)
+    point.add_argument("--service", required=True)
+    point.add_argument(
+        "--hour",
+        type=int,
+        required=True,
+        help="hour of week, 0 = Saturday 00:00",
+    )
+    point.add_argument("--direction", choices=("dl", "ul"), default="dl")
+
+    topk = sub.add_parser(
+        "topk", help="top-k services by weekly volume in one commune"
+    )
+    topk.add_argument("dataset", metavar="DATASET")
+    topk.add_argument("--commune", type=int, required=True)
+    topk.add_argument("--k", type=int, default=5)
+    topk.add_argument("--direction", choices=("dl", "ul"), default="dl")
+
+    hour_range = sub.add_parser(
+        "range", help="volume of one service over an hour-of-week range"
+    )
+    hour_range.add_argument("dataset", metavar="DATASET")
+    hour_range.add_argument("--service", required=True)
+    hour_range.add_argument(
+        "--start", type=int, required=True, help="first hour (inclusive)"
+    )
+    hour_range.add_argument(
+        "--end", type=int, required=True, help="last hour (exclusive)"
+    )
+    hour_range.add_argument(
+        "--commune",
+        type=int,
+        default=None,
+        help="commune index (default: national)",
+    )
+    hour_range.add_argument("--direction", choices=("dl", "ul"), default="dl")
+
+    similarity = sub.add_parser(
+        "similarity", help="pairwise r^2 between services or communes"
+    )
+    similarity.add_argument("dataset", metavar="DATASET")
+    similarity.add_argument(
+        "--kind", choices=("service", "commune"), default="service"
+    )
+    similarity.add_argument(
+        "--a", required=True, help="service name or commune index"
+    )
+    similarity.add_argument(
+        "--b", required=True, help="service name or commune index"
+    )
+    similarity.add_argument("--direction", choices=("dl", "ul"), default="dl")
+
+    query = sub.add_parser("query", help="answer one JSON-encoded query")
+    query.add_argument("dataset", metavar="DATASET")
+    query.add_argument("body", metavar="JSON", help="query object")
+
+    schedule = sub.add_parser(
+        "schedule", help="generate a Poisson workload schedule CSV"
+    )
+    schedule.add_argument("dataset", metavar="DATASET")
+    _add_workload_arguments(schedule)
+    schedule.add_argument(
+        "--out", metavar="PATH", required=True, help="write the CSV here"
+    )
+
+    load = sub.add_parser(
+        "load", help="run the open-loop load harness against the engine"
+    )
+    load.add_argument("dataset", metavar="DATASET")
+    load.add_argument(
+        "--csv",
+        metavar="PATH",
+        default=None,
+        help="replay a scheduled-request CSV instead of generating",
+    )
+    _add_workload_arguments(load)
+    load.add_argument("--workers", type=int, default=1)
+    load.add_argument(
+        "--cache-capacity", type=int, default=DEFAULT_CACHE_CAPACITY
+    )
+    load.add_argument(
+        "--p99-bound-ms",
+        type=float,
+        default=None,
+        help="fail (exit 1) when measured p99 exceeds this bound",
+    )
+    load.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the JSON report here (default: stdout)",
+    )
+    load.add_argument(
+        "--events-out",
+        metavar="PATH",
+        default=None,
+        help="record and write the structured JSONL event log",
+    )
+    return parser
+
+
+def _engine_for(args: argparse.Namespace) -> ServeEngine:
+    return ServeEngine.open(args.dataset)
+
+
+def _print_answer(engine: ServeEngine, query: Query) -> int:
+    print(engine.query_encoded(query))
+    return EXIT_OK
+
+
+def _cmd_point(args: argparse.Namespace) -> int:
+    return _print_answer(
+        _engine_for(args),
+        Query(
+            family="point",
+            direction=args.direction,
+            commune=args.commune,
+            service=args.service,
+            hour=args.hour,
+        ),
+    )
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    return _print_answer(
+        _engine_for(args),
+        Query(
+            family="topk",
+            direction=args.direction,
+            commune=args.commune,
+            k=args.k,
+        ),
+    )
+
+
+def _cmd_range(args: argparse.Namespace) -> int:
+    return _print_answer(
+        _engine_for(args),
+        Query(
+            family="range",
+            direction=args.direction,
+            service=args.service,
+            hour_start=args.start,
+            hour_end=args.end,
+            commune=args.commune,
+        ),
+    )
+
+
+def _cmd_similarity(args: argparse.Namespace) -> int:
+    if args.kind == "commune":
+        try:
+            a: object = int(args.a)
+            b: object = int(args.b)
+        except ValueError:
+            raise ValueError(
+                "commune similarity takes integer commune indices, got "
+                f"{args.a!r} / {args.b!r}"
+            ) from None
+    else:
+        a, b = args.a, args.b
+    return _print_answer(
+        _engine_for(args),
+        Query(
+            family="similarity",
+            direction=args.direction,
+            kind=args.kind,
+            a=a,
+            b=b,
+        ),
+    )
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    return _print_answer(_engine_for(args), parse_query(args.body))
+
+
+def _workload_spec(args: argparse.Namespace) -> WorkloadSpec:
+    return WorkloadSpec(
+        duration_s=args.duration,
+        mean_active_users=args.users,
+        mean_requests_per_minute_per_user=args.rpm,
+        user_sampling_window_s=args.window,
+        interactive_fraction=args.interactive_fraction,
+    )
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    profile = CubeProfile.of(MobileTrafficDataset.load(args.dataset))
+    requests = generate_schedule(_workload_spec(args), profile, args.seed)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(render_schedule_csv(requests))
+    print(
+        f"{len(requests)} requests scheduled to {args.out}", file=sys.stderr
+    )
+    return EXIT_OK
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    engine = ServeEngine.open(
+        args.dataset, cache_capacity=args.cache_capacity
+    )
+    with runtime.observed(log_events=args.events_out is not None) as session:
+        if args.csv:
+            with open(args.csv, "r", encoding="utf-8") as handle:
+                requests = parse_schedule_csv(handle.read())
+        else:
+            requests = generate_schedule(
+                _workload_spec(args), engine.profile, args.seed
+            )
+        report = run_load(engine, requests, n_workers=args.workers)
+        events = session.export_events()
+    rendered = json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"report written to {args.out}", file=sys.stderr)
+    else:
+        print(rendered, end="")
+    if args.events_out:
+        obs_events.write_jsonl(args.events_out, events)
+        print(f"event log written to {args.events_out}", file=sys.stderr)
+    p99_ms = report.latency_p99_s * MILLIS_PER_SECOND
+    print(
+        f"requests={report.n_requests} errors={report.n_errors} "
+        f"p99={p99_ms:.3f}ms throughput={report.throughput_rps:.0f}rps "
+        f"saturation={report.saturation_rps:.0f}rps "
+        f"cache_hit_rate={report.cache_hit_rate:.3f}",
+        file=sys.stderr,
+    )
+    if report.n_errors > 0:
+        print(
+            f"repro-serve: {report.n_errors} requests errored",
+            file=sys.stderr,
+        )
+        return EXIT_FINDINGS
+    if args.p99_bound_ms is not None and p99_ms > args.p99_bound_ms:
+        print(
+            f"repro-serve: p99 {p99_ms:.3f}ms exceeds bound "
+            f"{args.p99_bound_ms:.3f}ms",
+            file=sys.stderr,
+        )
+        return EXIT_FINDINGS
+    return EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "point":
+            return _cmd_point(args)
+        if args.command == "topk":
+            return _cmd_topk(args)
+        if args.command == "range":
+            return _cmd_range(args)
+        if args.command == "similarity":
+            return _cmd_similarity(args)
+        if args.command == "query":
+            return _cmd_query(args)
+        if args.command == "schedule":
+            return _cmd_schedule(args)
+        if args.command == "load":
+            return _cmd_load(args)
+    except (OSError, ValueError, CorruptDatasetError) as exc:
+        print(f"repro-serve: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except Exception as exc:  # unexpected: the tool itself broke
+        print(f"repro-serve: internal error: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
+    return EXIT_USAGE
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,213 @@
+"""The read-only query engine over a built dataset.
+
+:class:`ServeEngine` wraps one
+:class:`~repro.dataset.store.MobileTrafficDataset` and answers the four
+query families of :mod:`repro.serve.queries` from indexes precomputed
+once at load:
+
+- an hourly cube ``(C, S, 168)`` folded from the dataset's native bin
+  resolution, in float64;
+- prefix sums along the hour axis (per commune and national), so any
+  time-range aggregation is two lookups regardless of span;
+- per-commune service rankings (stable descending argsort of weekly
+  volumes), so top-k is a slice;
+- the per-subscriber volume matrix, from which the paper's pairwise r²
+  similarity matrices (service × service and commune × commune, §5 /
+  Fig. 10) are materialized lazily per direction on first use.
+
+Results are returned as plain dicts and cached by canonical query key
+in an LRU (:mod:`repro.serve.cache`) holding the *encoded* result, so a
+hit returns byte-identical output to the miss that populated it.
+Answers are a pure function of the dataset bytes — the engine never
+reads a clock or an unseeded RNG — which is what makes the load
+harness's result digests comparable across runs and worker counts.
+
+Instrumentation (``docs/serving.md``): ``serve.queries`` counts
+accepted queries, ``serve.errors`` rejected ones, and
+``serve.index_builds`` index constructions (the eager build at load
+plus each lazily materialized similarity view).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
+
+import numpy as np
+
+from repro import obs
+from repro._time import WEEK_HOURS
+from repro.core.correlation import pairwise_r2
+from repro.dataset.store import MobileTrafficDataset
+from repro.serve.cache import LRUCache
+from repro.serve.queries import (
+    CubeProfile,
+    Query,
+    QueryError,
+    encode_canonical,
+    validate_query,
+)
+
+#: Default result-cache capacity (entries).
+DEFAULT_CACHE_CAPACITY = 1024
+
+
+class ServeEngine:
+    """Serve point/topk/range/similarity queries from one dataset."""
+
+    def __init__(
+        self,
+        dataset: MobileTrafficDataset,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+    ):
+        self.dataset = dataset
+        self.profile = CubeProfile.of(dataset)
+        self.cache = LRUCache(cache_capacity)
+        #: Lazily materialized (direction, kind) -> r² matrix views.
+        self._similarity: Dict[Tuple[str, str], np.ndarray] = {}
+        with obs.span("serve.index_build"):
+            self._build_indexes()
+        obs.add("serve.index_builds")
+
+    @classmethod
+    def open(
+        cls,
+        path: Union[str, Path],
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+    ) -> "ServeEngine":
+        """Load a saved dataset archive and index it."""
+        return cls(
+            MobileTrafficDataset.load(path), cache_capacity=cache_capacity
+        )
+
+    # ------------------------------------------------------------------
+    # index construction
+    # ------------------------------------------------------------------
+    def _build_indexes(self) -> None:
+        dataset = self.dataset
+        bph = dataset.axis.bins_per_hour
+        c, s = dataset.n_communes, dataset.n_head
+        #: (C, S, 169) hour-axis prefix sums and (S, 169) national ones,
+        #: per direction; index [.., h] holds the volume of hours < h.
+        self._cumulative: Dict[str, np.ndarray] = {}
+        self._national_cumulative: Dict[str, np.ndarray] = {}
+        self._weekly: Dict[str, np.ndarray] = {}
+        self._rank_order: Dict[str, np.ndarray] = {}
+        for direction in ("dl", "ul"):
+            hourly = (
+                dataset.tensor(direction)
+                .astype(np.float64)
+                .reshape(c, s, WEEK_HOURS, bph)
+                .sum(axis=3)
+            )
+            cumulative = np.zeros((c, s, WEEK_HOURS + 1), dtype=np.float64)
+            np.cumsum(hourly, axis=2, out=cumulative[:, :, 1:])
+            self._cumulative[direction] = cumulative
+            self._national_cumulative[direction] = cumulative.sum(axis=0)
+            weekly = cumulative[:, :, WEEK_HOURS]
+            self._weekly[direction] = weekly
+            self._rank_order[direction] = np.argsort(
+                -weekly, axis=1, kind="stable"
+            )
+
+    def _similarity_matrix(self, direction: str, kind: str) -> np.ndarray:
+        """The (a, b) -> r² view, materialized on first use."""
+        key = (direction, kind)
+        matrix = self._similarity.get(key)
+        if matrix is None:
+            columns = self.dataset.per_subscriber_matrix(direction)
+            if kind == "commune":
+                columns = columns.T
+            with obs.span("serve.materialize_similarity"):
+                matrix = pairwise_r2(columns)
+            self._similarity[key] = matrix
+            obs.add("serve.index_builds")
+        return matrix
+
+    def warm(self, queries: Iterable[Query]) -> None:
+        """Materialize every similarity view ``queries`` will touch.
+
+        The load harness calls this before forking workers so lazy view
+        construction happens exactly once, in the parent — keeping the
+        ``serve.index_builds`` counter independent of the worker count.
+        """
+        for query in queries:
+            if query.family == "similarity":
+                self._similarity_matrix(query.direction, query.kind)
+
+    # ------------------------------------------------------------------
+    # the query families
+    # ------------------------------------------------------------------
+    def _answer(self, query: Query) -> Dict[str, Any]:
+        dataset = self.dataset
+        direction = query.direction
+        if query.family == "point":
+            j = dataset.head_index(query.service)
+            cumulative = self._cumulative[direction]
+            volume = (
+                cumulative[query.commune, j, query.hour + 1]
+                - cumulative[query.commune, j, query.hour]
+            )
+            return {"volume_bytes": float(volume)}
+        if query.family == "topk":
+            weekly = self._weekly[direction][query.commune]
+            order = self._rank_order[direction][query.commune]
+            k = min(query.k, dataset.n_head)
+            return {
+                "ranking": [
+                    {
+                        "service": dataset.head_names[j],
+                        "volume_bytes": float(weekly[j]),
+                    }
+                    for j in order[:k].tolist()
+                ]
+            }
+        if query.family == "range":
+            j = dataset.head_index(query.service)
+            if query.commune is None:
+                cumulative = self._national_cumulative[direction][j]
+            else:
+                cumulative = self._cumulative[direction][query.commune, j]
+            volume = cumulative[query.hour_end] - cumulative[query.hour_start]
+            return {
+                "volume_bytes": float(volume),
+                "n_hours": query.hour_end - query.hour_start,
+            }
+        matrix = self._similarity_matrix(direction, query.kind)
+        if query.kind == "service":
+            ia = dataset.head_index(query.a)
+            ib = dataset.head_index(query.b)
+        else:
+            ia, ib = query.a, query.b
+        return {"r2": float(matrix[ia, ib])}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def query_encoded(self, query: Query) -> str:
+        """Answer ``query`` as canonical JSON bytes (the cached form)."""
+        try:
+            validate_query(query, self.profile)
+        except QueryError:
+            obs.add("serve.errors")
+            raise
+        obs.add("serve.queries")
+        key = query.canonical()
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        encoded = encode_canonical(self._answer(query))
+        self.cache.put(key, encoded)
+        return encoded
+
+    def query(self, query: Query) -> Dict[str, Any]:
+        """Answer ``query`` as a plain dict.
+
+        Decoded from the canonical encoding, so repeated calls — cached
+        or not — return structurally identical objects.
+        """
+        return json.loads(self.query_encoded(query))
+
+
+__all__ = ["DEFAULT_CACHE_CAPACITY", "ServeEngine"]

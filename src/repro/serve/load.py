@@ -1,0 +1,408 @@
+"""Open-loop load harness for the serving engine.
+
+Drives a schedule of timed requests (``repro.serve.workload``) against
+a :class:`~repro.serve.engine.ServeEngine` and reports latency
+percentiles, throughput, cache behaviour, and a measured saturation
+point.  Open-loop means arrivals never wait for responses: the schedule
+fixes when each request *would* arrive, per-request service times are
+measured back-to-back on the real engine, and a deterministic
+single-server priority-queue simulation combines the two —
+``interactive`` requests are served before queued ``batch`` ones,
+higher priorities first within a mode, FIFO within a priority.
+
+Separating measurement from queueing keeps the two contracts clean:
+
+- query **results** are a pure function of ``(dataset bytes,
+  schedule)`` — the result digest is byte-identical across runs and
+  worker counts;
+- **latencies** are wall-clock measurements (timing determinism class)
+  surfaced only through the ``serve.*_s`` / ``serve.*_rps`` timing
+  gauges and the report, never through the event log.
+
+The saturation point replays the same measured service times at
+compressed arrival schedules (offered rate × m) and bisects for the
+highest offered rate whose simulated p99 stays under a bound — one
+measurement pass yields the whole latency-vs-load curve.
+
+With ``n_workers > 1`` the requests are partitioned into contiguous
+chunks executed by forked workers (platforms without ``fork`` fall
+back to serial); per-chunk metrics are captured with
+:func:`repro.obs.shard_capture` and absorbed in chunk order, and cache
+hit/miss totals are replayed parent-side from the key sequence
+(:func:`repro.serve.cache.simulate_hits`), so every metric the harness
+emits is independent of the worker count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro._units import MILLIS_PER_SECOND
+from repro.obs import clock
+from repro.serve.cache import simulate_hits
+from repro.serve.engine import ServeEngine
+from repro.serve.queries import QueryError, encode_canonical
+from repro.serve.workload import PRIORITY_VALUES, ScheduledRequest
+
+#: Default saturation bound: simulated p99 must stay under this many
+#: multiples of the median measured service time.
+SATURATION_P99_SERVICE_MULTIPLE = 50.0
+
+#: Saturation search range: offered-rate multipliers 2**MIN .. 2**MAX.
+_SATURATION_MIN_EXP = -4
+_SATURATION_MAX_EXP = 12
+
+
+@dataclass
+class LoadReport:
+    """Everything one harness run measured (JSON-ready via to_dict)."""
+
+    n_requests: int
+    n_errors: int
+    #: Schedule horizon (last arrival offset), seconds.
+    duration_s: float
+    #: Simulated completion of the last request at the native rate.
+    makespan_s: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    latency_mean_s: float
+    mean_service_s: float
+    #: Requests completed per second at the native schedule.
+    throughput_rps: float
+    #: Requests offered per second by the native schedule.
+    offered_rps: float
+    #: Highest offered rate whose simulated p99 met the bound.
+    saturation_rps: float
+    saturation_p99_limit_s: float
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    #: sha256 over (request_id, encoded result) in schedule order.
+    result_digest: str
+    by_mode: Dict[str, Dict[str, Any]]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "n_requests": self.n_requests,
+            "n_errors": self.n_errors,
+            "duration_s": self.duration_s,
+            "makespan_s": self.makespan_s,
+            "latency_p50_s": self.latency_p50_s,
+            "latency_p95_s": self.latency_p95_s,
+            "latency_p99_s": self.latency_p99_s,
+            "latency_mean_s": self.latency_mean_s,
+            "mean_service_s": self.mean_service_s,
+            "throughput_rps": self.throughput_rps,
+            "offered_rps": self.offered_rps,
+            "saturation_rps": self.saturation_rps,
+            "saturation_p99_limit_s": self.saturation_p99_limit_s,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "result_digest": self.result_digest,
+            "by_mode": self.by_mode,
+        }
+
+
+def simulate_queue(
+    arrivals_s: np.ndarray,
+    service_s: np.ndarray,
+    modes: Sequence[str],
+    priorities: Sequence[str],
+) -> np.ndarray:
+    """Latency of each request under a single-server priority queue.
+
+    Non-preemptive: whenever the server frees, the arrived-but-unserved
+    request with the best ``(interactive-first, priority desc, arrival,
+    index)`` key is served next.  Pure — the only inputs are the
+    schedule and the per-request service times.
+    """
+    n = len(arrivals_s)
+    latencies = np.zeros(n, dtype=np.float64)
+    if n == 0:
+        return latencies
+    order = np.argsort(arrivals_s, kind="stable")
+    heap: List[Tuple[int, int, float, int]] = []
+    next_arrival = 0
+    now = 0.0
+    for _ in range(n):
+        if not heap:
+            now = max(now, float(arrivals_s[order[next_arrival]]))
+        while (
+            next_arrival < n
+            and float(arrivals_s[order[next_arrival]]) <= now
+        ):
+            i = int(order[next_arrival])
+            heapq.heappush(
+                heap,
+                (
+                    0 if modes[i] == "interactive" else 1,
+                    -PRIORITY_VALUES[priorities[i]],
+                    float(arrivals_s[i]),
+                    i,
+                ),
+            )
+            next_arrival += 1
+        i = heapq.heappop(heap)[-1]
+        now += float(service_s[i])
+        latencies[i] = now - float(arrivals_s[i])
+    return latencies
+
+
+def find_saturation_rps(
+    arrivals_s: np.ndarray,
+    service_s: np.ndarray,
+    modes: Sequence[str],
+    priorities: Sequence[str],
+    p99_limit_s: float,
+) -> float:
+    """Highest offered rate (req/s) whose simulated p99 meets the bound.
+
+    Replays the measured service times at compressed schedules
+    (arrivals divided by a multiplier) over a coarse power-of-two sweep
+    plus a bisection refinement.  Returns 0.0 when even the slowest
+    probed rate violates the bound.
+    """
+    n = len(arrivals_s)
+    if n == 0:
+        return 0.0
+    horizon = max(float(arrivals_s.max()), 1e-9)
+
+    def p99_at(multiplier: float) -> float:
+        scaled = arrivals_s / multiplier
+        latencies = simulate_queue(scaled, service_s, modes, priorities)
+        return float(np.percentile(latencies, 99))
+
+    low: Optional[float] = None
+    high: Optional[float] = None
+    for exponent in range(_SATURATION_MIN_EXP, _SATURATION_MAX_EXP + 1):
+        multiplier = 2.0**exponent
+        if p99_at(multiplier) <= p99_limit_s:
+            low = multiplier
+        else:
+            high = multiplier
+            break
+    if low is None:
+        return 0.0
+    if high is not None:
+        for _ in range(12):
+            mid = (low + high) / 2.0
+            if p99_at(mid) <= p99_limit_s:
+                low = mid
+            else:
+                high = mid
+    return n * low / horizon
+
+
+# Installed once per forked worker by the pool initializer; the parent
+# never assigns it.
+_WORKER_STATE: Optional[Tuple[ServeEngine, List[ScheduledRequest]]] = None
+
+
+def _init_worker(engine: ServeEngine, requests: List[ScheduledRequest]) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (engine, requests)
+
+
+def _execute_range(
+    engine: ServeEngine,
+    requests: List[ScheduledRequest],
+    start: int,
+    stop: int,
+) -> Tuple[List[str], List[float], int]:
+    """Execute requests [start, stop); returns (results, times, errors)."""
+    results: List[str] = []
+    times: List[float] = []
+    errors = 0
+    for request in requests[start:stop]:
+        t0 = clock.now_s()
+        try:
+            encoded = engine.query_encoded(request.query)
+        except QueryError as exc:
+            encoded = encode_canonical({"error": str(exc)})
+            errors += 1
+        times.append(clock.now_s() - t0)
+        results.append(encoded)
+    return results, times, errors
+
+
+def _worker_execute(task: Tuple[int, int]) -> Dict[str, Any]:
+    state = _WORKER_STATE
+    assert state is not None, "worker invoked without harness state"
+    engine, requests = state
+    start, stop = task
+    with obs.shard_capture(f"serve.chunk{start}") as capture:
+        results, times, errors = _execute_range(engine, requests, start, stop)
+    return {
+        "results": results,
+        "times": times,
+        "errors": errors,
+        "obs": capture.export,
+    }
+
+
+def _execute_schedule(
+    engine: ServeEngine,
+    requests: List[ScheduledRequest],
+    n_workers: int,
+) -> Tuple[List[str], List[float], int]:
+    n = len(requests)
+    if n_workers <= 1 or n < 2:
+        return _execute_range(engine, requests, 0, n)
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        return _execute_range(engine, requests, 0, n)
+    bounds = np.linspace(0, n, min(n_workers, n) + 1).astype(int)
+    tasks = [
+        (int(bounds[i]), int(bounds[i + 1]))
+        for i in range(len(bounds) - 1)
+        if bounds[i] < bounds[i + 1]
+    ]
+    with context.Pool(
+        processes=len(tasks),
+        initializer=_init_worker,
+        initargs=(engine, requests),
+    ) as pool:
+        chunks = pool.map(_worker_execute, tasks)
+    results: List[str] = []
+    times: List[float] = []
+    errors = 0
+    for chunk in chunks:
+        obs.absorb_shard(chunk["obs"])
+        results.extend(chunk["results"])
+        times.extend(chunk["times"])
+        errors += int(chunk["errors"])
+    return results, times, errors
+
+
+def _percentiles(latencies: np.ndarray) -> Tuple[float, float, float, float]:
+    if latencies.size == 0:
+        return 0.0, 0.0, 0.0, 0.0
+    p50, p95, p99 = (
+        float(v) for v in np.percentile(latencies, [50, 95, 99])
+    )
+    return p50, p95, p99, float(latencies.mean())
+
+
+def run_load(
+    engine: ServeEngine,
+    requests: List[ScheduledRequest],
+    n_workers: int = 1,
+    saturation_p99_limit_s: Optional[float] = None,
+) -> LoadReport:
+    """Execute a schedule and measure the serving engine under it.
+
+    See the module docstring for the measurement model.  All ``serve.*``
+    metrics the harness emits are worker-count independent; the latency
+    and rate figures are wall-clock (timing class) by nature.
+    """
+    engine.warm(request.query for request in requests)
+    results, times, errors = _execute_schedule(engine, requests, n_workers)
+    obs.add("serve.load_requests", len(requests))
+    for request in requests:
+        obs.log_event(
+            "request",
+            request.request_id,
+            {
+                "family": request.query.family,
+                "mode": request.mode,
+                "priority": request.priority,
+            },
+        )
+
+    arrivals_s = np.asarray(
+        [request.arrival_offset_ms / MILLIS_PER_SECOND for request in requests],
+        dtype=np.float64,
+    )
+    service_s = np.asarray(times, dtype=np.float64)
+    modes = [request.mode for request in requests]
+    priorities = [request.priority for request in requests]
+    latencies = simulate_queue(arrivals_s, service_s, modes, priorities)
+    p50, p95, p99, mean_latency = _percentiles(latencies)
+
+    n = len(requests)
+    mean_service = float(service_s.mean()) if n else 0.0
+    if saturation_p99_limit_s is None:
+        saturation_p99_limit_s = SATURATION_P99_SERVICE_MULTIPLE * (
+            float(np.median(service_s)) if n else 0.0
+        )
+    duration_s = float(arrivals_s.max()) if n else 0.0
+    makespan_s = (
+        float((arrivals_s + latencies).max()) if n else 0.0
+    )
+    throughput = n / makespan_s if makespan_s > 0 else 0.0
+    offered = n / duration_s if duration_s > 0 else 0.0
+    saturation = (
+        find_saturation_rps(
+            arrivals_s, service_s, modes, priorities, saturation_p99_limit_s
+        )
+        if n
+        else 0.0
+    )
+
+    keys = [request.query.canonical() for request in requests]
+    hits, misses = simulate_hits(keys, engine.cache.capacity)
+    hit_rate = hits / n if n else 0.0
+    obs.add("serve.cache_hits", hits)
+    obs.add("serve.cache_misses", misses)
+    obs.set_gauge("serve.cache_hit_rate", hit_rate)
+    obs.set_gauge("serve.latency_p50_s", p50)
+    obs.set_gauge("serve.latency_p95_s", p95)
+    obs.set_gauge("serve.latency_p99_s", p99)
+    obs.set_gauge("serve.throughput_rps", throughput)
+    obs.set_gauge("serve.saturation_rps", saturation)
+
+    digest = hashlib.sha256()
+    for request, encoded in zip(requests, results):
+        digest.update(request.request_id.encode("utf-8"))
+        digest.update(b" ")
+        digest.update(encoded.encode("utf-8"))
+        digest.update(b"\n")
+
+    by_mode: Dict[str, Dict[str, Any]] = {}
+    for mode in ("interactive", "batch"):
+        mask = np.asarray([m == mode for m in modes], dtype=bool)
+        if mask.any():
+            by_mode[mode] = {
+                "requests": int(mask.sum()),
+                "latency_p99_s": float(np.percentile(latencies[mask], 99)),
+            }
+
+    return LoadReport(
+        n_requests=n,
+        n_errors=errors,
+        duration_s=duration_s,
+        makespan_s=makespan_s,
+        latency_p50_s=p50,
+        latency_p95_s=p95,
+        latency_p99_s=p99,
+        latency_mean_s=mean_latency,
+        mean_service_s=mean_service,
+        throughput_rps=throughput,
+        offered_rps=offered,
+        saturation_rps=saturation,
+        saturation_p99_limit_s=float(saturation_p99_limit_s),
+        cache_hits=hits,
+        cache_misses=misses,
+        cache_hit_rate=hit_rate,
+        result_digest=digest.hexdigest(),
+        by_mode=by_mode,
+    )
+
+
+__all__ = [
+    "LoadReport",
+    "SATURATION_P99_SERVICE_MULTIPLE",
+    "find_saturation_rps",
+    "run_load",
+    "simulate_queue",
+]

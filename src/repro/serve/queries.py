@@ -1,0 +1,295 @@
+"""The query surface of the serving layer.
+
+``repro-serve`` answers four query families over the commune × service
+× time cube a built :class:`~repro.dataset.store.MobileTrafficDataset`
+holds (``docs/serving.md``):
+
+``point``
+    Traffic volume of one head service in one commune during one
+    hour of the measurement week.
+``topk``
+    The ``k`` head services with the largest weekly volume in one
+    commune, descending, ties broken by catalog order.
+``range``
+    Total volume of one service over a half-open hour-of-week range,
+    in one commune or nationally.
+``similarity``
+    The paper's pairwise Pearson r² (§5): between two services over
+    their per-subscriber commune volumes (the Fig. 10 quantity), or
+    between two communes over their per-subscriber service vectors.
+
+A :class:`Query` is a frozen value object with a *canonical* JSON
+encoding — sorted keys, fixed separators, ``None`` fields dropped — so
+equal queries always serialize to identical bytes.  The canonical form
+is the cache key, the CSV ``body_json`` field of scheduled workloads
+(``repro.serve.workload``), and the wire format of the CLI; keeping it
+byte-stable is what makes cached and uncached answers comparable and
+harness schedules replayable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro._time import WEEK_HOURS
+
+#: The closed set of query families (validated by :func:`query_from_dict`).
+FAMILIES = ("point", "topk", "range", "similarity")
+
+#: Traffic directions a query may address.
+DIRECTIONS = ("dl", "ul")
+
+#: Similarity query kinds: service-pair or commune-pair r².
+SIMILARITY_KINDS = ("service", "commune")
+
+
+class QueryError(ValueError):
+    """A query that cannot be answered against the loaded dataset.
+
+    Raised for malformed query objects (unknown family, missing or
+    mistyped fields) and for valid shapes that reference entities the
+    dataset does not have (unknown service name, commune index out of
+    range).  The CLI maps it to the shared usage exit code (2)."""
+
+
+@dataclass(frozen=True)
+class CubeProfile:
+    """The dimensions a query is validated against.
+
+    A lightweight stand-in for the full dataset: the workload generator
+    samples query parameters from it without holding tensors, and the
+    engine validates queries against it before touching an index.
+    """
+
+    n_communes: int
+    head_names: Tuple[str, ...]
+
+    @classmethod
+    def of(cls, dataset: Any) -> "CubeProfile":
+        """Profile of a :class:`~repro.dataset.store.MobileTrafficDataset`."""
+        return cls(
+            n_communes=int(dataset.n_communes),
+            head_names=tuple(dataset.head_names),
+        )
+
+    @property
+    def n_head(self) -> int:
+        return len(self.head_names)
+
+
+@dataclass(frozen=True)
+class Query:
+    """One query against the cube; unused fields stay ``None``.
+
+    Field semantics per family (``docs/serving.md`` carries the same
+    table):
+
+    - ``point``: ``commune``, ``service``, ``hour`` (hour-of-week,
+      0 = Saturday 00:00).
+    - ``topk``: ``commune``, ``k``.
+    - ``range``: ``service``, ``hour_start``/``hour_end`` (half-open),
+      ``commune`` or ``None`` for national.
+    - ``similarity``: ``kind`` plus ``a``/``b`` — service names for
+      ``kind="service"``, commune indices for ``kind="commune"``.
+
+    ``direction`` applies to every family and defaults to downlink.
+    """
+
+    family: str
+    direction: str = "dl"
+    commune: Optional[int] = None
+    service: Optional[str] = None
+    hour: Optional[int] = None
+    hour_start: Optional[int] = None
+    hour_end: Optional[int] = None
+    k: Optional[int] = None
+    kind: Optional[str] = None
+    a: Optional[Union[int, str]] = None
+    b: Optional[Union[int, str]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The query as a plain dict, ``None`` fields dropped."""
+        out: Dict[str, Any] = {"family": self.family, "direction": self.direction}
+        for field_name in (
+            "commune",
+            "service",
+            "hour",
+            "hour_start",
+            "hour_end",
+            "k",
+            "kind",
+            "a",
+            "b",
+        ):
+            value = getattr(self, field_name)
+            if value is not None:
+                out[field_name] = value
+        return out
+
+    def canonical(self) -> str:
+        """Byte-stable JSON encoding (the cache / CSV / wire format)."""
+        return encode_canonical(self.to_dict())
+
+
+def encode_canonical(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, fixed separators, no whitespace."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _require_int(obj: Dict[str, Any], field_name: str) -> int:
+    value = obj.get(field_name)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise QueryError(
+            f"query field {field_name!r} must be an integer, got {value!r}"
+        )
+    return value
+
+
+def _require_str(obj: Dict[str, Any], field_name: str) -> str:
+    value = obj.get(field_name)
+    if not isinstance(value, str):
+        raise QueryError(
+            f"query field {field_name!r} must be a string, got {value!r}"
+        )
+    return value
+
+
+def query_from_dict(obj: Dict[str, Any]) -> Query:
+    """Build a :class:`Query` from a plain dict, validating its shape.
+
+    Shape validation only — existence checks (service names, commune
+    bounds) happen against a :class:`CubeProfile` in
+    :func:`validate_query` so a query can be parsed without a dataset.
+    """
+    if not isinstance(obj, dict):
+        raise QueryError(f"query must be a JSON object, got {type(obj).__name__}")
+    family = obj.get("family")
+    if family not in FAMILIES:
+        raise QueryError(
+            f"query family must be one of {FAMILIES}, got {family!r}"
+        )
+    direction = obj.get("direction", "dl")
+    if direction not in DIRECTIONS:
+        raise QueryError(
+            f"direction must be one of {DIRECTIONS}, got {direction!r}"
+        )
+    if family == "point":
+        return Query(
+            family="point",
+            direction=direction,
+            commune=_require_int(obj, "commune"),
+            service=_require_str(obj, "service"),
+            hour=_require_int(obj, "hour"),
+        )
+    if family == "topk":
+        return Query(
+            family="topk",
+            direction=direction,
+            commune=_require_int(obj, "commune"),
+            k=_require_int(obj, "k"),
+        )
+    if family == "range":
+        commune = obj.get("commune")
+        if commune is not None and (
+            not isinstance(commune, int) or isinstance(commune, bool)
+        ):
+            raise QueryError(
+                f"query field 'commune' must be an integer or absent, "
+                f"got {commune!r}"
+            )
+        return Query(
+            family="range",
+            direction=direction,
+            service=_require_str(obj, "service"),
+            hour_start=_require_int(obj, "hour_start"),
+            hour_end=_require_int(obj, "hour_end"),
+            commune=commune,
+        )
+    kind = obj.get("kind")
+    if kind not in SIMILARITY_KINDS:
+        raise QueryError(
+            f"similarity kind must be one of {SIMILARITY_KINDS}, got {kind!r}"
+        )
+    if kind == "service":
+        a: Union[int, str] = _require_str(obj, "a")
+        b: Union[int, str] = _require_str(obj, "b")
+    else:
+        a = _require_int(obj, "a")
+        b = _require_int(obj, "b")
+    return Query(family="similarity", direction=direction, kind=kind, a=a, b=b)
+
+
+def parse_query(text: str) -> Query:
+    """Parse one canonical-JSON query string."""
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise QueryError(f"query is not valid JSON: {exc}") from exc
+    return query_from_dict(obj)
+
+
+def _check_commune(profile: CubeProfile, commune: int) -> None:
+    if not 0 <= commune < profile.n_communes:
+        raise QueryError(
+            f"commune index {commune} out of range "
+            f"[0, {profile.n_communes})"
+        )
+
+
+def _check_service(profile: CubeProfile, service: str) -> None:
+    if service not in profile.head_names:
+        raise QueryError(f"{service!r} is not a head service of this dataset")
+
+
+def _check_hour(hour: int, field_name: str = "hour") -> None:
+    if not 0 <= hour < WEEK_HOURS:
+        raise QueryError(
+            f"{field_name} must be in [0, {WEEK_HOURS}), got {hour}"
+        )
+
+
+def validate_query(query: Query, profile: CubeProfile) -> None:
+    """Raise :class:`QueryError` unless ``query`` fits the profile."""
+    if query.family == "point":
+        _check_commune(profile, query.commune)
+        _check_service(profile, query.service)
+        _check_hour(query.hour)
+        return
+    if query.family == "topk":
+        _check_commune(profile, query.commune)
+        if query.k < 1:
+            raise QueryError(f"k must be >= 1, got {query.k}")
+        return
+    if query.family == "range":
+        _check_service(profile, query.service)
+        _check_hour(query.hour_start, "hour_start")
+        if not query.hour_start < query.hour_end <= WEEK_HOURS:
+            raise QueryError(
+                f"need hour_start < hour_end <= {WEEK_HOURS}, got "
+                f"[{query.hour_start}, {query.hour_end})"
+            )
+        if query.commune is not None:
+            _check_commune(profile, query.commune)
+        return
+    if query.kind == "service":
+        _check_service(profile, query.a)
+        _check_service(profile, query.b)
+    else:
+        _check_commune(profile, query.a)
+        _check_commune(profile, query.b)
+
+
+__all__ = [
+    "CubeProfile",
+    "DIRECTIONS",
+    "FAMILIES",
+    "Query",
+    "QueryError",
+    "SIMILARITY_KINDS",
+    "encode_canonical",
+    "parse_query",
+    "query_from_dict",
+    "validate_query",
+]

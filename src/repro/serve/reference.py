@@ -1,0 +1,149 @@
+"""Brute-force reference answers for the serving engine.
+
+Every query family is re-implemented here directly against the dataset
+tensors, with explicit loops and none of the engine's precomputed
+indexes or caches.  The property tests
+(``tests/property/test_serve_queries.py``) drive both implementations
+with generated queries and require the answers to agree — the engine's
+index structures are an optimization, never a semantic.
+
+Kept deliberately slow and obvious; nothing in the serving path
+imports this module.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List
+
+from repro.serve.queries import CubeProfile, Query, validate_query
+
+
+def _hour_slice(dataset: Any, direction: str, commune: int, service_index: int,
+                hour: int) -> float:
+    """Volume of one (commune, service, hour-of-week) cell, in bytes."""
+    bph = dataset.axis.bins_per_hour
+    tensor = dataset.tensor(direction)
+    total = 0.0
+    for b in range(hour * bph, (hour + 1) * bph):
+        total += float(tensor[commune, service_index, b])
+    return total
+
+
+def _is_constant(x: List[float]) -> bool:
+    """The constant-column rule of :func:`repro.core.correlation.pairwise_r2`.
+
+    A vector whose variation sits at floating-point noise level —
+    centred norm below ``1e-9`` of its magnitude — counts as constant.
+    """
+    n = len(x)
+    mx = sum(x) / n
+    norm = math.sqrt(sum((v - mx) ** 2 for v in x))
+    scale = max(max(abs(v) for v in x), 1.0)
+    return norm <= 1e-9 * scale
+
+
+def _r2(x: List[float], y: List[float]) -> float:
+    """Pearson r² computed longhand, with ``pairwise_r2`` semantics:
+    a constant vector correlates 0 with everything."""
+    if _is_constant(x) or _is_constant(y):
+        return 0.0
+    n = len(x)
+    mx = sum(x) / n
+    my = sum(y) / n
+    xd = [v - mx for v in x]
+    yd = [v - my for v in y]
+    denom = math.sqrt(sum(v * v for v in xd)) * math.sqrt(
+        sum(v * v for v in yd)
+    )
+    r = sum(a * b for a, b in zip(xd, yd)) / denom
+    r = max(-1.0, min(1.0, r))
+    return r * r
+
+
+def _per_subscriber_commune_volumes(
+    dataset: Any, direction: str, service_index: int
+) -> List[float]:
+    """Weekly per-subscriber volume of one service, per commune."""
+    tensor = dataset.tensor(direction)
+    out = []
+    for c in range(dataset.n_communes):
+        volume = float(tensor[c, service_index, :].sum())
+        out.append(volume / max(float(dataset.users[c]), 1.0))
+    return out
+
+
+def _per_subscriber_service_vector(
+    dataset: Any, direction: str, commune: int
+) -> List[float]:
+    """Weekly per-subscriber volume of every head service in one commune."""
+    tensor = dataset.tensor(direction)
+    subscribers = max(float(dataset.users[commune]), 1.0)
+    return [
+        float(tensor[commune, j, :].sum()) / subscribers
+        for j in range(dataset.n_head)
+    ]
+
+
+def reference_answer(dataset: Any, query: Query) -> Dict[str, Any]:
+    """Answer ``query`` by brute force; same result schema as the engine."""
+    validate_query(query, CubeProfile.of(dataset))
+    direction = query.direction
+    if query.family == "point":
+        j = dataset.head_index(query.service)
+        return {
+            "volume_bytes": _hour_slice(
+                dataset, direction, query.commune, j, query.hour
+            )
+        }
+    if query.family == "topk":
+        # Accumulate in float64 like the engine's prefix sums do, so
+        # near-tied services rank identically in both implementations.
+        weekly = [
+            sum(
+                float(v)
+                for v in dataset.tensor(direction)[query.commune, j, :]
+            )
+            for j in range(dataset.n_head)
+        ]
+        order = sorted(range(dataset.n_head), key=lambda j: (-weekly[j], j))
+        k = min(query.k, dataset.n_head)
+        return {
+            "ranking": [
+                {
+                    "service": dataset.head_names[j],
+                    "volume_bytes": weekly[j],
+                }
+                for j in order[:k]
+            ]
+        }
+    if query.family == "range":
+        j = dataset.head_index(query.service)
+        communes = (
+            range(dataset.n_communes)
+            if query.commune is None
+            else [query.commune]
+        )
+        total = 0.0
+        for c in communes:
+            for hour in range(query.hour_start, query.hour_end):
+                total += _hour_slice(dataset, direction, c, j, hour)
+        return {
+            "volume_bytes": total,
+            "n_hours": query.hour_end - query.hour_start,
+        }
+    if query.kind == "service":
+        ia, ib = dataset.head_index(query.a), dataset.head_index(query.b)
+        if ia == ib:
+            return {"r2": 1.0}
+        x = _per_subscriber_commune_volumes(dataset, direction, ia)
+        y = _per_subscriber_commune_volumes(dataset, direction, ib)
+    else:
+        if query.a == query.b:
+            return {"r2": 1.0}
+        x = _per_subscriber_service_vector(dataset, direction, query.a)
+        y = _per_subscriber_service_vector(dataset, direction, query.b)
+    return {"r2": _r2(x, y)}
+
+
+__all__ = ["reference_answer"]

@@ -1,0 +1,313 @@
+"""Workload models for the serving layer.
+
+Two ways to produce a schedule of timed queries (``docs/serving.md``):
+
+**Poisson generation** — the AsyncFlow workload model: a population of
+``mean_active_users`` (Poisson-resampled every
+``user_sampling_window_s`` seconds) each issuing
+``mean_requests_per_minute_per_user`` requests per minute (Poisson).
+Per window the realized request count is drawn, arrival offsets are
+uniform within the window, and each request gets a query sampled from
+the family mix plus a mode/priority.  The whole schedule is a pure
+function of ``(spec, profile, seed)``.
+
+**CSV replay** — Logos-style scheduled request CSVs::
+
+    request_id,arrival_offset,mode,priority,body_json
+
+``arrival_offset`` is float milliseconds from replay start;
+``mode`` is ``interactive`` | ``batch`` (default ``interactive``);
+``priority`` is ``low`` | ``mid`` | ``high`` (default ``mid``);
+``body_json`` is the canonical query JSON; a missing ``request_id`` is
+auto-generated in row order.  :func:`render_schedule_csv` /
+:func:`parse_schedule_csv` round-trip a schedule exactly, so a
+generated workload can be exported, versioned, and replayed.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro._rng import SeedLike, as_generator, spawn
+from repro._time import WEEK_HOURS
+from repro._units import MILLIS_PER_SECOND
+from repro.serve.queries import CubeProfile, Query, parse_query
+
+#: The Logos CSV header (field order is part of the format).
+CSV_HEADER = ("request_id", "arrival_offset", "mode", "priority", "body_json")
+
+#: Request modes: user-facing low-latency vs. background batch.
+MODES = ("interactive", "batch")
+
+#: Priority levels and their numeric values (higher serves first).
+PRIORITY_VALUES = {"low": 1, "mid": 5, "high": 10}
+
+#: Query-family sampling order for :class:`WorkloadSpec.mix`.
+MIX_FAMILIES = ("point", "topk", "range", "similarity")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of the Poisson workload generator."""
+
+    #: Replay horizon in seconds.
+    duration_s: float = 60.0
+    #: Mean of the Poisson active-user draw per sampling window.
+    mean_active_users: float = 100.0
+    #: Mean per-user request rate (requests / minute).
+    mean_requests_per_minute_per_user: float = 20.0
+    #: Seconds between active-user resamples.
+    user_sampling_window_s: float = 60.0
+    #: Probability a request is ``interactive`` (else ``batch``).
+    interactive_fraction: float = 0.8
+    #: Sampling weights over :data:`MIX_FAMILIES`; normalized at use.
+    mix: Tuple[float, float, float, float] = (0.35, 0.30, 0.20, 0.15)
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0, got {self.duration_s}")
+        if self.mean_active_users < 0:
+            raise ValueError(
+                f"mean_active_users must be >= 0, got {self.mean_active_users}"
+            )
+        if self.mean_requests_per_minute_per_user < 0:
+            raise ValueError(
+                "mean_requests_per_minute_per_user must be >= 0, got "
+                f"{self.mean_requests_per_minute_per_user}"
+            )
+        if self.user_sampling_window_s <= 0:
+            raise ValueError(
+                "user_sampling_window_s must be > 0, got "
+                f"{self.user_sampling_window_s}"
+            )
+        if not 0.0 <= self.interactive_fraction <= 1.0:
+            raise ValueError(
+                "interactive_fraction must be in [0, 1], got "
+                f"{self.interactive_fraction}"
+            )
+        if len(self.mix) != len(MIX_FAMILIES) or min(self.mix) < 0 or sum(
+            self.mix
+        ) <= 0:
+            raise ValueError(f"mix must be 4 non-negative weights, got {self.mix}")
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One timed request of a workload schedule."""
+
+    request_id: str
+    #: Milliseconds from the start of the replay.
+    arrival_offset_ms: float
+    mode: str
+    priority: str
+    query: Query
+
+
+def _sample_query(
+    rng: np.random.Generator, profile: CubeProfile, mix: np.ndarray
+) -> Query:
+    family = MIX_FAMILIES[int(rng.choice(len(MIX_FAMILIES), p=mix))]
+    direction = "dl" if rng.random() < 0.7 else "ul"
+    if family == "point":
+        return Query(
+            family="point",
+            direction=direction,
+            commune=int(rng.integers(profile.n_communes)),
+            service=profile.head_names[int(rng.integers(profile.n_head))],
+            hour=int(rng.integers(WEEK_HOURS)),
+        )
+    if family == "topk":
+        return Query(
+            family="topk",
+            direction=direction,
+            commune=int(rng.integers(profile.n_communes)),
+            k=int(rng.integers(1, profile.n_head + 1)),
+        )
+    if family == "range":
+        hour_start = int(rng.integers(WEEK_HOURS))
+        hour_end = int(rng.integers(hour_start + 1, WEEK_HOURS + 1))
+        commune: Optional[int] = (
+            None
+            if rng.random() < 0.5
+            else int(rng.integers(profile.n_communes))
+        )
+        return Query(
+            family="range",
+            direction=direction,
+            service=profile.head_names[int(rng.integers(profile.n_head))],
+            hour_start=hour_start,
+            hour_end=hour_end,
+            commune=commune,
+        )
+    kind = "service" if rng.random() < 0.5 else "commune"
+    n = profile.n_head if kind == "service" else profile.n_communes
+    if n >= 2:
+        ia, ib = (int(i) for i in rng.choice(n, size=2, replace=False))
+    else:
+        ia = ib = int(rng.integers(n))
+    if kind == "service":
+        return Query(
+            family="similarity",
+            direction=direction,
+            kind=kind,
+            a=profile.head_names[ia],
+            b=profile.head_names[ib],
+        )
+    return Query(
+        family="similarity", direction=direction, kind=kind, a=ia, b=ib
+    )
+
+
+def generate_schedule(
+    spec: WorkloadSpec, profile: CubeProfile, seed: SeedLike
+) -> List[ScheduledRequest]:
+    """Realize one Poisson schedule — a pure function of the inputs.
+
+    Emits one ``schedule`` event per sampling window (realized active
+    users and request count) and bumps ``serve.load_windows``; both are
+    seed-derived, so the event log stays deterministic.
+    """
+    parent = as_generator(seed)
+    rng = spawn(parent, "serve.workload")
+    requests: List[ScheduledRequest] = []
+    mix = np.asarray(spec.mix, dtype=float)
+    mix = mix / mix.sum()
+    rate_per_user_s = spec.mean_requests_per_minute_per_user / 60.0
+    n_windows = int(np.ceil(spec.duration_s / spec.user_sampling_window_s))
+    for window in range(n_windows):
+        window_start = window * spec.user_sampling_window_s
+        window_len = min(
+            spec.user_sampling_window_s, spec.duration_s - window_start
+        )
+        active_users = int(rng.poisson(spec.mean_active_users))
+        expected = active_users * rate_per_user_s * window_len
+        n_requests = int(rng.poisson(expected)) if expected > 0 else 0
+        offsets = np.sort(
+            rng.uniform(window_start, window_start + window_len, n_requests)
+        )
+        for offset in offsets:
+            mode = (
+                "interactive"
+                if rng.random() < spec.interactive_fraction
+                else "batch"
+            )
+            priority = ("low", "mid", "high")[
+                int(rng.choice(3, p=(0.2, 0.6, 0.2)))
+            ]
+            requests.append(
+                ScheduledRequest(
+                    request_id=f"req-{len(requests):06d}",
+                    arrival_offset_ms=float(offset) * MILLIS_PER_SECOND,
+                    mode=mode,
+                    priority=priority,
+                    query=_sample_query(rng, profile, mix),
+                )
+            )
+        obs.log_event(
+            "schedule",
+            f"window-{window}",
+            {"active_users": active_users, "requests": n_requests},
+        )
+    obs.add("serve.load_windows", n_windows)
+    return requests
+
+
+def render_schedule_csv(requests: List[ScheduledRequest]) -> str:
+    """Serialize a schedule in the Logos CSV format."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(CSV_HEADER)
+    for request in requests:
+        writer.writerow(
+            [
+                request.request_id,
+                str(request.arrival_offset_ms),
+                request.mode,
+                request.priority,
+                request.query.canonical(),
+            ]
+        )
+    return buffer.getvalue()
+
+
+def parse_schedule_csv(text: str) -> List[ScheduledRequest]:
+    """Parse a Logos CSV back into a schedule.
+
+    Optional fields take the format's defaults: a blank ``request_id``
+    is generated from the row index, ``mode`` defaults to
+    ``interactive`` and ``priority`` to ``mid``.  Malformed rows raise
+    ``ValueError`` with the offending row number.
+    """
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("schedule CSV is empty") from None
+    if tuple(header) != CSV_HEADER:
+        raise ValueError(
+            f"schedule CSV header must be {','.join(CSV_HEADER)!r}, "
+            f"got {','.join(header)!r}"
+        )
+    requests: List[ScheduledRequest] = []
+    for row_number, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != len(CSV_HEADER):
+            raise ValueError(
+                f"schedule CSV row {row_number}: expected "
+                f"{len(CSV_HEADER)} fields, got {len(row)}"
+            )
+        request_id, offset_text, mode, priority, body = row
+        try:
+            offset = float(offset_text)
+        except ValueError:
+            raise ValueError(
+                f"schedule CSV row {row_number}: arrival_offset "
+                f"{offset_text!r} is not a number"
+            ) from None
+        if offset < 0:
+            raise ValueError(
+                f"schedule CSV row {row_number}: arrival_offset must be "
+                f">= 0, got {offset}"
+            )
+        mode = mode or "interactive"
+        if mode not in MODES:
+            raise ValueError(
+                f"schedule CSV row {row_number}: mode must be one of "
+                f"{MODES}, got {mode!r}"
+            )
+        priority = priority or "mid"
+        if priority not in PRIORITY_VALUES:
+            raise ValueError(
+                f"schedule CSV row {row_number}: priority must be one of "
+                f"{tuple(sorted(PRIORITY_VALUES))}, got {priority!r}"
+            )
+        requests.append(
+            ScheduledRequest(
+                request_id=request_id or f"req-{len(requests):06d}",
+                arrival_offset_ms=offset,
+                mode=mode,
+                priority=priority,
+                query=parse_query(body),
+            )
+        )
+    return requests
+
+
+__all__ = [
+    "CSV_HEADER",
+    "MIX_FAMILIES",
+    "MODES",
+    "PRIORITY_VALUES",
+    "ScheduledRequest",
+    "WorkloadSpec",
+    "generate_schedule",
+    "parse_schedule_csv",
+    "render_schedule_csv",
+]

@@ -1,0 +1,142 @@
+"""Property tests: the serving engine agrees with the brute-force reference.
+
+Queries are generated over the full parameter space of each family and
+answered three ways — by a cache-backed engine, by a cache-disabled
+engine, and by :func:`repro.serve.reference.reference_answer` — and all
+three must agree.  The engine's prefix sums, rankings, and materialized
+similarity views are optimizations, never semantics.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro._time import WEEK_HOURS
+from repro.serve.engine import ServeEngine
+from repro.serve.queries import Query
+from repro.serve.reference import reference_answer
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+_ENGINES = {}
+
+
+def _engines(dataset):
+    """Session-lived (cached, uncached) engine pair for the dataset."""
+    key = id(dataset)
+    if key not in _ENGINES:
+        _ENGINES[key] = (
+            ServeEngine(dataset, cache_capacity=256),
+            ServeEngine(dataset, cache_capacity=0),
+        )
+    return _ENGINES[key]
+
+
+def directions():
+    return st.sampled_from(("dl", "ul"))
+
+
+@st.composite
+def point_query(draw, n_communes, head_names):
+    return Query(
+        family="point",
+        direction=draw(directions()),
+        commune=draw(st.integers(0, n_communes - 1)),
+        service=draw(st.sampled_from(head_names)),
+        hour=draw(st.integers(0, WEEK_HOURS - 1)),
+    )
+
+
+@st.composite
+def topk_query(draw, n_communes, n_head):
+    return Query(
+        family="topk",
+        direction=draw(directions()),
+        commune=draw(st.integers(0, n_communes - 1)),
+        k=draw(st.integers(1, n_head + 3)),
+    )
+
+
+@st.composite
+def range_query(draw, n_communes, head_names):
+    start = draw(st.integers(0, WEEK_HOURS - 1))
+    end = draw(st.integers(start + 1, WEEK_HOURS))
+    return Query(
+        family="range",
+        direction=draw(directions()),
+        service=draw(st.sampled_from(head_names)),
+        hour_start=start,
+        hour_end=end,
+        commune=draw(
+            st.one_of(st.none(), st.integers(0, n_communes - 1))
+        ),
+    )
+
+
+@st.composite
+def similarity_query(draw, n_communes, head_names):
+    kind = draw(st.sampled_from(("service", "commune")))
+    if kind == "service":
+        a = draw(st.sampled_from(head_names))
+        b = draw(st.sampled_from(head_names))
+    else:
+        a = draw(st.integers(0, n_communes - 1))
+        b = draw(st.integers(0, n_communes - 1))
+    return Query(
+        family="similarity", direction=draw(directions()), kind=kind, a=a, b=b
+    )
+
+
+@st.composite
+def any_query(draw, dataset):
+    n_communes = dataset.n_communes
+    head_names = tuple(dataset.head_names)
+    return draw(
+        st.one_of(
+            point_query(n_communes, head_names),
+            topk_query(n_communes, len(head_names)),
+            range_query(n_communes, head_names),
+            similarity_query(n_communes, head_names),
+        )
+    )
+
+
+def _assert_same_answer(got, want, query):
+    if query.family == "topk":
+        assert [r["service"] for r in got["ranking"]] == [
+            r["service"] for r in want["ranking"]
+        ], query
+        for g, w in zip(got["ranking"], want["ranking"]):
+            assert g["volume_bytes"] == pytest.approx(
+                w["volume_bytes"], rel=1e-9, abs=1e-6
+            ), query
+    else:
+        assert sorted(got) == sorted(want), query
+        for field in want:
+            assert got[field] == pytest.approx(
+                want[field], rel=1e-6, abs=1e-9
+            ), query
+
+
+class TestEngineMatchesReference:
+    @given(data=st.data())
+    @SETTINGS
+    def test_all_families(self, volume_dataset, data):
+        query = data.draw(any_query(volume_dataset))
+        cached, uncached = _engines(volume_dataset)
+        want = reference_answer(volume_dataset, query)
+        _assert_same_answer(uncached.query(query), want, query)
+        _assert_same_answer(cached.query(query), want, query)
+
+    @given(data=st.data())
+    @SETTINGS
+    def test_cached_answers_are_byte_identical(self, volume_dataset, data):
+        query = data.draw(any_query(volume_dataset))
+        cached, uncached = _engines(volume_dataset)
+        assert cached.query_encoded(query) == uncached.query_encoded(query)
+        # A repeat is a guaranteed hit and must not change the bytes.
+        assert cached.query_encoded(query) == uncached.query_encoded(query)

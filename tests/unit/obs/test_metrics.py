@@ -44,7 +44,17 @@ class TestSpecs:
             for spec in SPECS.values()
             if spec.determinism is Determinism.TIMING
         ]
-        assert timing == ["build.peak_rss_bytes"]
+        assert timing == [
+            "build.peak_rss_bytes",
+            "serve.latency_p50_s",
+            "serve.latency_p95_s",
+            "serve.latency_p99_s",
+            "serve.throughput_rps",
+            "serve.saturation_rps",
+        ]
+        # Timing gauges carry memory or clock-derived readings only.
+        for name in timing:
+            assert SPECS[name].unit in ("bytes", "seconds", "requests/s"), name
 
     def test_names_are_stage_dotted(self):
         for name in SPECS:

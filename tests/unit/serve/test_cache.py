@@ -1,0 +1,82 @@
+"""LRU result-cache semantics and the pure hit/miss replay."""
+
+import pytest
+
+from repro.serve.cache import LRUCache, simulate_hits
+
+
+class TestLRUCache:
+    def test_miss_then_hit(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", "1")
+        assert cache.get("a") == "1"
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "entries": 1,
+            "capacity": 4,
+        }
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", "1")
+        cache.put("b", "2")
+        assert cache.get("a") == "1"  # refresh a; b is now oldest
+        cache.put("c", "3")
+        assert cache.get("b") is None
+        assert cache.get("a") == "1"
+        assert cache.get("c") == "3"
+        assert len(cache) == 2
+
+    def test_put_refreshes_existing_key(self):
+        cache = LRUCache(2)
+        cache.put("a", "1")
+        cache.put("b", "2")
+        cache.put("a", "updated")  # a becomes most recent
+        cache.put("c", "3")
+        assert cache.get("b") is None
+        assert cache.get("a") == "updated"
+
+    def test_capacity_zero_disables_caching(self):
+        cache = LRUCache(0)
+        cache.put("a", "1")
+        assert cache.get("a") is None
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        assert cache.stats()["misses"] == 2
+        assert cache.stats()["hits"] == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LRUCache(-1)
+
+
+class TestSimulateHits:
+    def test_empty(self):
+        assert simulate_hits([], 8) == (0, 0)
+
+    def test_all_distinct_keys_miss(self):
+        keys = [f"k{i}" for i in range(5)]
+        assert simulate_hits(keys, 8) == (0, 5)
+
+    def test_repeats_hit_within_capacity(self):
+        assert simulate_hits(["a", "b", "a", "b", "a"], 8) == (3, 2)
+
+    def test_capacity_zero_never_hits(self):
+        assert simulate_hits(["a", "a", "a"], 0) == (0, 3)
+
+    def test_eviction_limits_hits(self):
+        # Cycling 3 distinct keys through a 2-entry cache always evicts
+        # the key about to be requested.
+        keys = ["a", "b", "c"] * 4
+        assert simulate_hits(keys, 2) == (0, 12)
+
+    def test_matches_a_real_cache_driven_the_engine_way(self):
+        keys = ["a", "b", "a", "c", "b", "a", "d", "a", "c", "c"]
+        capacity = 3
+        cache = LRUCache(capacity)
+        for key in keys:
+            if cache.get(key) is None:
+                cache.put(key, "value-" + key)
+        assert simulate_hits(keys, capacity) == (cache.hits, cache.misses)

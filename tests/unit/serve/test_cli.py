@@ -1,0 +1,214 @@
+"""``repro-serve`` happy paths and the schedule/load round trip.
+
+The exit-code matrix itself (one test per declared code) lives in
+``tests/unit/test_cli_exit_contract.py``; this file exercises the
+query surface and the workload pipeline end to end.
+"""
+
+import json
+
+import pytest
+
+from repro._exit import EXIT_FINDINGS, EXIT_OK, EXIT_USAGE
+from repro.dataset.cli import main as main_dataset
+from repro.serve.cli import main as main_serve
+from repro.serve.engine import ServeEngine
+from repro.serve.queries import Query
+
+
+@pytest.fixture(scope="module")
+def dataset_path(tmp_path_factory):
+    out = tmp_path_factory.mktemp("serve-cli") / "tiny.npz"
+    assert main_dataset(
+        ["build", "--communes", "48", "--seed", "11", "--out", str(out)]
+    ) == EXIT_OK
+    return str(out)
+
+
+@pytest.fixture(scope="module")
+def engine(dataset_path):
+    return ServeEngine.open(dataset_path)
+
+
+def _stdout_json(capsys):
+    return json.loads(capsys.readouterr().out)
+
+
+class TestQueryCommands:
+    def test_point(self, dataset_path, engine, capsys):
+        service = engine.dataset.head_names[0]
+        assert main_serve(
+            [
+                "point",
+                dataset_path,
+                "--commune", "3",
+                "--service", service,
+                "--hour", "68",
+            ]
+        ) == EXIT_OK
+        body = _stdout_json(capsys)
+        want = engine.query(
+            Query(family="point", commune=3, service=service, hour=68)
+        )
+        assert body["volume_bytes"] == pytest.approx(want["volume_bytes"])
+
+    def test_topk(self, dataset_path, engine, capsys):
+        assert main_serve(
+            ["topk", dataset_path, "--commune", "5", "--k", "4"]
+        ) == EXIT_OK
+        ranking = _stdout_json(capsys)["ranking"]
+        assert len(ranking) == 4
+        want = engine.query(Query(family="topk", commune=5, k=4))["ranking"]
+        assert [r["service"] for r in ranking] == [
+            r["service"] for r in want
+        ]
+
+    def test_range_national(self, dataset_path, engine, capsys):
+        service = engine.dataset.head_names[2]
+        assert main_serve(
+            [
+                "range",
+                dataset_path,
+                "--service", service,
+                "--start", "48",
+                "--end", "72",
+            ]
+        ) == EXIT_OK
+        body = _stdout_json(capsys)
+        assert body["n_hours"] == 24
+
+    def test_similarity_commune(self, dataset_path, capsys):
+        assert main_serve(
+            [
+                "similarity",
+                dataset_path,
+                "--kind", "commune",
+                "--a", "0",
+                "--b", "7",
+            ]
+        ) == EXIT_OK
+        assert 0.0 <= _stdout_json(capsys)["r2"] <= 1.0
+
+    def test_similarity_commune_rejects_names(self, dataset_path, capsys):
+        assert main_serve(
+            [
+                "similarity",
+                dataset_path,
+                "--kind", "commune",
+                "--a", "north",
+                "--b", "south",
+            ]
+        ) == EXIT_USAGE
+        assert "integer commune indices" in capsys.readouterr().err
+
+    def test_json_query(self, dataset_path, capsys):
+        body = '{"family":"topk","commune":1,"k":2}'
+        assert main_serve(["query", dataset_path, body]) == EXIT_OK
+        assert len(_stdout_json(capsys)["ranking"]) == 2
+
+    def test_malformed_json_query(self, dataset_path, capsys):
+        assert main_serve(
+            ["query", dataset_path, "{nope"]
+        ) == EXIT_USAGE
+        assert "repro-serve" in capsys.readouterr().err
+
+    def test_out_of_range_query(self, dataset_path, capsys):
+        assert main_serve(
+            ["topk", dataset_path, "--commune", "9999"]
+        ) == EXIT_USAGE
+        assert "commune index" in capsys.readouterr().err
+
+
+class TestScheduleAndLoad:
+    def test_schedule_then_replay(self, dataset_path, tmp_path, capsys):
+        csv_path = str(tmp_path / "load.csv")
+        assert main_serve(
+            [
+                "schedule",
+                dataset_path,
+                "--seed", "5",
+                "--duration", "4",
+                "--window", "2",
+                "--users", "30",
+                "--rpm", "60",
+                "--out", csv_path,
+            ]
+        ) == EXIT_OK
+        assert "requests scheduled" in capsys.readouterr().err
+
+        report_path = str(tmp_path / "report.json")
+        events_path = str(tmp_path / "events.jsonl")
+        assert main_serve(
+            [
+                "load",
+                dataset_path,
+                "--csv", csv_path,
+                "--out", report_path,
+                "--events-out", events_path,
+            ]
+        ) == EXIT_OK
+        with open(report_path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert report["n_errors"] == 0
+        assert report["n_requests"] > 0
+        assert len(report["result_digest"]) == 64
+        with open(events_path, "r", encoding="utf-8") as handle:
+            kinds = [json.loads(line)["e"] for line in handle if line.strip()]
+        assert "request" in kinds
+
+    def test_generated_load_to_stdout(self, dataset_path, capsys):
+        assert main_serve(
+            [
+                "load",
+                dataset_path,
+                "--seed", "6",
+                "--duration", "2",
+                "--window", "1",
+                "--users", "20",
+                "--rpm", "60",
+            ]
+        ) == EXIT_OK
+        report = _stdout_json(capsys)
+        assert report["n_requests"] > 0
+
+    def test_replay_is_deterministic(self, dataset_path, tmp_path, capsys):
+        csv_path = str(tmp_path / "load.csv")
+        assert main_serve(
+            [
+                "schedule",
+                dataset_path,
+                "--seed", "9",
+                "--duration", "3",
+                "--window", "1",
+                "--users", "25",
+                "--rpm", "60",
+                "--out", csv_path,
+            ]
+        ) == EXIT_OK
+        digests = []
+        for name in ("a.json", "b.json"):
+            out = str(tmp_path / name)
+            assert main_serve(
+                ["load", dataset_path, "--csv", csv_path, "--out", out]
+            ) == EXIT_OK
+            with open(out, "r", encoding="utf-8") as handle:
+                digests.append(json.load(handle)["result_digest"])
+        capsys.readouterr()
+        assert digests[0] == digests[1]
+
+    def test_unreadable_csv(self, dataset_path, tmp_path, capsys):
+        assert main_serve(
+            ["load", dataset_path, "--csv", str(tmp_path / "no.csv")]
+        ) == EXIT_USAGE
+        assert "repro-serve" in capsys.readouterr().err
+
+    def test_errored_requests_exit_findings(self, dataset_path, tmp_path, capsys):
+        csv_path = tmp_path / "bad.csv"
+        csv_path.write_text(
+            "request_id,arrival_offset,mode,priority,body_json\n"
+            'r0,0,,,"{""family"":""topk"",""commune"":99999,""k"":1}"\n'
+        )
+        assert main_serve(
+            ["load", dataset_path, "--csv", str(csv_path)]
+        ) == EXIT_FINDINGS
+        assert "errored" in capsys.readouterr().err

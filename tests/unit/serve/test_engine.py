@@ -1,0 +1,160 @@
+"""The serving engine against the brute-force reference."""
+
+import pytest
+
+from repro import obs
+from repro._time import WEEK_HOURS
+from repro.serve.engine import ServeEngine
+from repro.serve.queries import Query, QueryError
+from repro.serve.reference import reference_answer
+
+
+@pytest.fixture(scope="module")
+def engine(volume_dataset):
+    return ServeEngine(volume_dataset)
+
+
+def _spot_queries(dataset):
+    last = dataset.n_communes - 1
+    names = dataset.head_names
+    return [
+        Query(family="point", commune=0, service=names[0], hour=0),
+        Query(
+            family="point",
+            direction="ul",
+            commune=last,
+            service=names[-1],
+            hour=WEEK_HOURS - 1,
+        ),
+        Query(family="topk", commune=3, k=5),
+        Query(family="topk", direction="ul", commune=last, k=len(names) + 10),
+        Query(family="range", service=names[1], hour_start=0, hour_end=24),
+        Query(
+            family="range",
+            service=names[2],
+            hour_start=47,
+            hour_end=WEEK_HOURS,
+            commune=7,
+        ),
+        Query(family="similarity", kind="service", a=names[0], b=names[3]),
+        Query(family="similarity", kind="service", a=names[2], b=names[2]),
+        Query(family="similarity", kind="commune", a=0, b=last),
+        Query(family="similarity", direction="ul", kind="commune", a=5, b=5),
+    ]
+
+
+class TestAgainstReference:
+    def test_spot_queries_match(self, engine, volume_dataset):
+        for query in _spot_queries(volume_dataset):
+            got = engine.query(query)
+            want = reference_answer(volume_dataset, query)
+            if query.family == "topk":
+                assert [r["service"] for r in got["ranking"]] == [
+                    r["service"] for r in want["ranking"]
+                ]
+                for g, w in zip(got["ranking"], want["ranking"]):
+                    assert g["volume_bytes"] == pytest.approx(
+                        w["volume_bytes"], rel=1e-9
+                    )
+            else:
+                for field, value in want.items():
+                    assert got[field] == pytest.approx(value, rel=1e-6), query
+
+    def test_topk_is_sorted_descending(self, engine):
+        ranking = engine.query(Query(family="topk", commune=1, k=30))["ranking"]
+        volumes = [r["volume_bytes"] for r in ranking]
+        assert volumes == sorted(volumes, reverse=True)
+        assert len(set(r["service"] for r in ranking)) == len(ranking)
+
+    def test_range_full_week_equals_weekly_topk_volume(self, engine):
+        names = engine.dataset.head_names
+        full = engine.query(
+            Query(
+                family="range",
+                service=names[0],
+                hour_start=0,
+                hour_end=WEEK_HOURS,
+                commune=2,
+            )
+        )
+        ranking = engine.query(
+            Query(family="topk", commune=2, k=len(names))
+        )["ranking"]
+        weekly = {r["service"]: r["volume_bytes"] for r in ranking}
+        assert full["volume_bytes"] == pytest.approx(weekly[names[0]], rel=1e-9)
+
+    def test_range_national_is_sum_of_communes(self, engine):
+        name = engine.dataset.head_names[4]
+        national = engine.query(
+            Query(family="range", service=name, hour_start=10, hour_end=20)
+        )["volume_bytes"]
+        total = sum(
+            engine.query(
+                Query(
+                    family="range",
+                    service=name,
+                    hour_start=10,
+                    hour_end=20,
+                    commune=c,
+                )
+            )["volume_bytes"]
+            for c in range(engine.dataset.n_communes)
+        )
+        assert national == pytest.approx(total, rel=1e-9)
+
+    def test_similarity_is_symmetric_and_bounded(self, engine):
+        names = engine.dataset.head_names
+        ab = engine.query(
+            Query(family="similarity", kind="service", a=names[0], b=names[1])
+        )["r2"]
+        ba = engine.query(
+            Query(family="similarity", kind="service", a=names[1], b=names[0])
+        )["r2"]
+        assert ab == pytest.approx(ba, rel=1e-12)
+        assert 0.0 <= ab <= 1.0
+
+
+class TestCacheCorrectness:
+    def test_cached_result_is_byte_identical(self, volume_dataset):
+        cached = ServeEngine(volume_dataset, cache_capacity=64)
+        query = Query(family="topk", commune=0, k=7)
+        first = cached.query_encoded(query)
+        second = cached.query_encoded(query)
+        assert first == second
+        assert cached.cache.hits == 1
+
+    def test_cached_matches_uncached_engine(self, volume_dataset):
+        cached = ServeEngine(volume_dataset, cache_capacity=64)
+        uncached = ServeEngine(volume_dataset, cache_capacity=0)
+        for query in _spot_queries(volume_dataset):
+            for _ in range(2):  # second pass hits the cache
+                assert cached.query_encoded(query) == uncached.query_encoded(
+                    query
+                )
+        assert cached.cache.hits > 0
+        assert uncached.cache.hits == 0
+
+
+class TestErrors:
+    def test_invalid_query_raises_and_counts(self, engine):
+        bad = Query(family="point", commune=-1, service="x", hour=0)
+        with obs.observed() as session:
+            with pytest.raises(QueryError):
+                engine.query(bad)
+            ok = Query(family="topk", commune=0, k=1)
+            engine.query(ok)
+            counters = session.export()["counters"]
+        assert counters["serve.errors"] == 1
+        assert counters["serve.queries"] == 1
+
+    def test_index_builds_counted_once_per_view(self, volume_dataset):
+        with obs.observed() as session:
+            fresh = ServeEngine(volume_dataset, cache_capacity=0)
+            names = volume_dataset.head_names
+            query = Query(
+                family="similarity", kind="service", a=names[0], b=names[1]
+            )
+            fresh.query(query)
+            fresh.query(query)  # same view, no rebuild
+            counters = session.export()["counters"]
+        assert counters["serve.index_builds"] == 2  # load + one lazy view

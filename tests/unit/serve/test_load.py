@@ -1,0 +1,225 @@
+"""The open-loop load harness: queueing, saturation, worker invariance."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.serve.cache import simulate_hits
+from repro.serve.engine import ServeEngine
+from repro.serve.load import find_saturation_rps, run_load, simulate_queue
+from repro.serve.queries import CubeProfile, Query
+from repro.serve.workload import (
+    ScheduledRequest,
+    WorkloadSpec,
+    generate_schedule,
+)
+
+SPEC = WorkloadSpec(
+    duration_s=6.0,
+    mean_active_users=40.0,
+    mean_requests_per_minute_per_user=60.0,
+    user_sampling_window_s=2.0,
+)
+
+
+@pytest.fixture(scope="module")
+def engine(volume_dataset):
+    return ServeEngine(volume_dataset)
+
+
+@pytest.fixture(scope="module")
+def schedule(volume_dataset):
+    return generate_schedule(SPEC, CubeProfile.of(volume_dataset), 21)
+
+
+class TestSimulateQueue:
+    def test_empty(self):
+        assert simulate_queue(np.array([]), np.array([]), [], []).size == 0
+
+    def test_single_request_waits_only_for_service(self):
+        latencies = simulate_queue(
+            np.array([3.0]), np.array([2.0]), ["interactive"], ["mid"]
+        )
+        assert latencies[0] == pytest.approx(2.0)
+
+    def test_idle_gaps_reset_the_server(self):
+        latencies = simulate_queue(
+            np.array([0.0, 10.0]),
+            np.array([1.0, 1.0]),
+            ["interactive", "interactive"],
+            ["mid", "mid"],
+        )
+        assert latencies.tolist() == pytest.approx([1.0, 1.0])
+
+    def test_backlog_queues_fifo(self):
+        latencies = simulate_queue(
+            np.array([0.0, 0.0, 0.0]),
+            np.array([1.0, 1.0, 1.0]),
+            ["interactive"] * 3,
+            ["mid"] * 3,
+        )
+        assert sorted(latencies.tolist()) == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_interactive_preempts_queued_batch(self):
+        # Both queued at t=0: the interactive one is served first even
+        # though the batch request has the lower index.
+        latencies = simulate_queue(
+            np.array([0.0, 0.0]),
+            np.array([1.0, 1.0]),
+            ["batch", "interactive"],
+            ["mid", "mid"],
+        )
+        assert latencies[1] == pytest.approx(1.0)
+        assert latencies[0] == pytest.approx(2.0)
+
+    def test_priority_orders_within_a_mode(self):
+        latencies = simulate_queue(
+            np.array([0.0, 0.0, 0.0]),
+            np.array([1.0, 1.0, 1.0]),
+            ["interactive"] * 3,
+            ["low", "high", "mid"],
+        )
+        assert latencies[1] == pytest.approx(1.0)  # high first
+        assert latencies[2] == pytest.approx(2.0)  # then mid
+        assert latencies[0] == pytest.approx(3.0)  # low last
+
+    def test_non_preemptive(self):
+        # A long batch job started at t=0 is not interrupted by an
+        # interactive arrival at t=1.
+        latencies = simulate_queue(
+            np.array([0.0, 1.0]),
+            np.array([5.0, 1.0]),
+            ["batch", "interactive"],
+            ["mid", "high"],
+        )
+        assert latencies[0] == pytest.approx(5.0)
+        assert latencies[1] == pytest.approx(5.0)  # served 5 -> 6
+
+
+class TestSaturation:
+    def _uniform(self, n, service):
+        arrivals = np.linspace(0.0, 10.0, n)
+        return arrivals, np.full(n, service), ["interactive"] * n, ["mid"] * n
+
+    def test_zero_when_bound_unreachable(self):
+        arrivals, service, modes, priorities = self._uniform(20, 1.0)
+        assert find_saturation_rps(
+            arrivals, service, modes, priorities, p99_limit_s=0.5
+        ) == pytest.approx(0.0)
+
+    def test_saturation_tracks_service_rate(self):
+        # Service time 10 ms -> a single server saturates near 100 rps;
+        # the measured knee should land within a factor of two.
+        arrivals, service, modes, priorities = self._uniform(200, 0.01)
+        rate = find_saturation_rps(
+            arrivals, service, modes, priorities, p99_limit_s=0.5
+        )
+        assert 50.0 < rate < 220.0
+
+    def test_faster_service_saturates_later(self):
+        arrivals, service, modes, priorities = self._uniform(100, 0.01)
+        slow = find_saturation_rps(
+            arrivals, service, modes, priorities, p99_limit_s=0.2
+        )
+        fast = find_saturation_rps(
+            arrivals, service / 10.0, modes, priorities, p99_limit_s=0.2
+        )
+        assert fast > slow
+
+    def test_empty_schedule(self):
+        assert find_saturation_rps(
+            np.array([]), np.array([]), [], [], p99_limit_s=1.0
+        ) == pytest.approx(0.0)
+
+
+class TestRunLoad:
+    def test_report_is_complete_and_consistent(self, engine, schedule):
+        report = run_load(engine, schedule)
+        assert report.n_requests == len(schedule)
+        assert report.n_errors == 0
+        assert report.cache_hits + report.cache_misses == len(schedule)
+        assert report.cache_hit_rate == pytest.approx(
+            report.cache_hits / len(schedule)
+        )
+        assert report.latency_p50_s <= report.latency_p95_s
+        assert report.latency_p95_s <= report.latency_p99_s
+        assert report.throughput_rps > 0.0
+        assert report.saturation_rps > 0.0
+        assert len(report.result_digest) == 64
+        round_trip = report.to_dict()
+        assert round_trip["result_digest"] == report.result_digest
+        assert round_trip["n_requests"] == report.n_requests
+
+    def test_digest_is_worker_count_invariant(self, volume_dataset, schedule):
+        digests = []
+        cache_counts = []
+        for n_workers in (1, 3):
+            engine = ServeEngine(volume_dataset)
+            report = run_load(engine, schedule, n_workers=n_workers)
+            digests.append(report.result_digest)
+            cache_counts.append((report.cache_hits, report.cache_misses))
+        assert digests[0] == digests[1]
+        assert cache_counts[0] == cache_counts[1]
+
+    def test_cache_counts_match_the_serial_engine(self, volume_dataset, schedule):
+        engine = ServeEngine(volume_dataset)
+        report = run_load(engine, schedule, n_workers=1)
+        # The harness replays the key sequence; the serial engine's own
+        # cache saw exactly the same sequence during execution.
+        assert (report.cache_hits, report.cache_misses) == (
+            engine.cache.hits,
+            engine.cache.misses,
+        )
+        keys = [request.query.canonical() for request in schedule]
+        assert (report.cache_hits, report.cache_misses) == simulate_hits(
+            keys, engine.cache.capacity
+        )
+
+    def test_invalid_queries_become_error_results(self, volume_dataset):
+        engine = ServeEngine(volume_dataset)
+        requests = [
+            ScheduledRequest(
+                request_id="req-000000",
+                arrival_offset_ms=0.0,
+                mode="interactive",
+                priority="mid",
+                query=Query(family="topk", commune=0, k=3),
+            ),
+            ScheduledRequest(
+                request_id="req-000001",
+                arrival_offset_ms=1.0,
+                mode="interactive",
+                priority="mid",
+                query=Query(
+                    family="topk", commune=volume_dataset.n_communes, k=3
+                ),
+            ),
+        ]
+        report = run_load(engine, requests)
+        assert report.n_errors == 1
+        assert report.n_requests == 2
+
+    def test_empty_schedule(self, engine):
+        report = run_load(engine, [])
+        assert report.n_requests == 0
+        assert report.throughput_rps == pytest.approx(0.0)
+        assert report.saturation_rps == pytest.approx(0.0)
+
+    def test_emits_contract_metrics_and_request_events(
+        self, volume_dataset, schedule
+    ):
+        engine = ServeEngine(volume_dataset)
+        with obs.observed(log_events=True) as session:
+            run_load(engine, schedule)
+            counters = session.export()["counters"]
+            gauges = session.export()["gauges"]
+            events = session.export_events()
+        assert counters["serve.load_requests"] == len(schedule)
+        assert counters["serve.queries"] == len(schedule)
+        assert (
+            counters["serve.cache_hits"] + counters["serve.cache_misses"]
+            == len(schedule)
+        )
+        assert "serve.cache_hit_rate" in gauges
+        request_events = [name for kind, name, _ in events if kind == "request"]
+        assert request_events == [r.request_id for r in schedule]

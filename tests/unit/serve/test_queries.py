@@ -1,0 +1,181 @@
+"""The query value objects, their canonical encoding, and validation."""
+
+import json
+
+import pytest
+
+from repro._time import WEEK_HOURS
+from repro.serve.queries import (
+    CubeProfile,
+    Query,
+    QueryError,
+    encode_canonical,
+    parse_query,
+    query_from_dict,
+    validate_query,
+)
+
+PROFILE = CubeProfile(n_communes=10, head_names=("video", "audio", "web"))
+
+
+class TestCanonicalEncoding:
+    def test_none_fields_are_dropped(self):
+        q = Query(family="topk", commune=3, k=5)
+        assert q.to_dict() == {
+            "family": "topk",
+            "direction": "dl",
+            "commune": 3,
+            "k": 5,
+        }
+        assert "service" not in q.canonical()
+
+    def test_keys_are_sorted_and_compact(self):
+        text = Query(family="point", commune=1, service="web", hour=2).canonical()
+        assert text == (
+            '{"commune":1,"direction":"dl","family":"point",'
+            '"hour":2,"service":"web"}'
+        )
+        assert " " not in text
+
+    def test_equal_queries_encode_identically(self):
+        a = Query(family="range", service="web", hour_start=0, hour_end=24)
+        b = Query(family="range", service="web", hour_start=0, hour_end=24)
+        assert a == b
+        assert a.canonical() == b.canonical()
+
+    def test_encode_canonical_is_key_order_independent(self):
+        assert encode_canonical({"b": 1, "a": 2}) == encode_canonical(
+            {"a": 2, "b": 1}
+        )
+
+
+class TestFromDict:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            Query(family="point", commune=1, service="web", hour=0),
+            Query(family="topk", direction="ul", commune=9, k=2),
+            Query(family="range", service="audio", hour_start=3, hour_end=9),
+            Query(
+                family="range",
+                service="audio",
+                hour_start=0,
+                hour_end=WEEK_HOURS,
+                commune=4,
+            ),
+            Query(family="similarity", kind="service", a="video", b="web"),
+            Query(family="similarity", kind="commune", a=0, b=7),
+        ],
+    )
+    def test_round_trip(self, query):
+        assert query_from_dict(query.to_dict()) == query
+        assert parse_query(query.canonical()) == query
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(QueryError, match="family"):
+            query_from_dict({"family": "percentile"})
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(QueryError, match="direction"):
+            query_from_dict({"family": "topk", "direction": "up", "commune": 0, "k": 1})
+
+    def test_bool_is_not_an_integer(self):
+        with pytest.raises(QueryError, match="commune"):
+            query_from_dict({"family": "topk", "commune": True, "k": 1})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(QueryError, match="service"):
+            query_from_dict({"family": "point", "commune": 0, "hour": 1})
+
+    def test_similarity_kind_required(self):
+        with pytest.raises(QueryError, match="kind"):
+            query_from_dict({"family": "similarity", "a": "video", "b": "web"})
+
+    def test_commune_similarity_wants_integers(self):
+        with pytest.raises(QueryError, match="'a'"):
+            query_from_dict(
+                {"family": "similarity", "kind": "commune", "a": "x", "b": 1}
+            )
+
+    def test_non_object_rejected(self):
+        with pytest.raises(QueryError, match="object"):
+            query_from_dict(["topk"])
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(QueryError, match="JSON"):
+            parse_query("{not json")
+
+
+class TestValidate:
+    def test_accepts_in_bounds_queries(self):
+        validate_query(
+            Query(family="point", commune=9, service="web", hour=167), PROFILE
+        )
+        validate_query(
+            Query(
+                family="range",
+                service="video",
+                hour_start=0,
+                hour_end=WEEK_HOURS,
+            ),
+            PROFILE,
+        )
+
+    @pytest.mark.parametrize(
+        "query, message",
+        [
+            (
+                Query(family="point", commune=10, service="web", hour=0),
+                "commune index",
+            ),
+            (
+                Query(family="point", commune=0, service="nope", hour=0),
+                "head service",
+            ),
+            (
+                Query(family="point", commune=0, service="web", hour=WEEK_HOURS),
+                "hour",
+            ),
+            (Query(family="topk", commune=0, k=0), "k must be"),
+            (
+                Query(
+                    family="range", service="web", hour_start=5, hour_end=5
+                ),
+                "hour_start < hour_end",
+            ),
+            (
+                Query(
+                    family="range",
+                    service="web",
+                    hour_start=0,
+                    hour_end=WEEK_HOURS + 1,
+                ),
+                "hour_start < hour_end",
+            ),
+            (
+                Query(family="similarity", kind="commune", a=0, b=10),
+                "commune index",
+            ),
+            (
+                Query(family="similarity", kind="service", a="web", b="nope"),
+                "head service",
+            ),
+        ],
+    )
+    def test_rejects_out_of_profile_queries(self, query, message):
+        with pytest.raises(QueryError, match=message):
+            validate_query(query, PROFILE)
+
+
+class TestProfile:
+    def test_n_head(self):
+        assert PROFILE.n_head == 3
+
+    def test_of_dataset(self, volume_dataset):
+        profile = CubeProfile.of(volume_dataset)
+        assert profile.n_communes == volume_dataset.n_communes
+        assert profile.head_names == tuple(volume_dataset.head_names)
+
+    def test_canonical_is_json(self):
+        body = json.loads(Query(family="topk", commune=0, k=1).canonical())
+        assert body["family"] == "topk"

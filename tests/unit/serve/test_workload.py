@@ -1,0 +1,149 @@
+"""Workload generation determinism and the Logos CSV round trip."""
+
+import pytest
+
+from repro import obs
+from repro._units import MILLIS_PER_SECOND
+from repro.serve.queries import CubeProfile, QueryError, validate_query
+from repro.serve.workload import (
+    CSV_HEADER,
+    WorkloadSpec,
+    generate_schedule,
+    parse_schedule_csv,
+    render_schedule_csv,
+)
+
+PROFILE = CubeProfile(
+    n_communes=40,
+    head_names=tuple(f"svc{i}" for i in range(12)),
+)
+SPEC = WorkloadSpec(
+    duration_s=10.0,
+    mean_active_users=30.0,
+    mean_requests_per_minute_per_user=60.0,
+    user_sampling_window_s=2.5,
+)
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs, message",
+        [
+            ({"duration_s": 0.0}, "duration_s"),
+            ({"mean_active_users": -1.0}, "mean_active_users"),
+            ({"mean_requests_per_minute_per_user": -0.5}, "requests_per_minute"),
+            ({"user_sampling_window_s": 0.0}, "window"),
+            ({"interactive_fraction": 1.5}, "interactive_fraction"),
+            ({"mix": (1.0, 1.0, 1.0)}, "mix"),
+            ({"mix": (0.0, 0.0, 0.0, 0.0)}, "mix"),
+            ({"mix": (-1.0, 1.0, 1.0, 1.0)}, "mix"),
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs, message):
+        with pytest.raises(ValueError, match=message):
+            WorkloadSpec(**kwargs)
+
+
+class TestGenerate:
+    def test_same_seed_same_schedule(self):
+        assert generate_schedule(SPEC, PROFILE, 7) == generate_schedule(
+            SPEC, PROFILE, 7
+        )
+
+    def test_different_seeds_differ(self):
+        a = generate_schedule(SPEC, PROFILE, 7)
+        b = generate_schedule(SPEC, PROFILE, 8)
+        assert a != b
+
+    def test_arrivals_sorted_and_in_horizon(self):
+        requests = generate_schedule(SPEC, PROFILE, 3)
+        assert requests, "expected a non-empty schedule at this rate"
+        offsets = [r.arrival_offset_ms for r in requests]
+        assert offsets == sorted(offsets)
+        assert offsets[0] >= 0.0
+        assert offsets[-1] <= SPEC.duration_s * MILLIS_PER_SECOND
+
+    def test_every_query_validates_against_the_profile(self):
+        for request in generate_schedule(SPEC, PROFILE, 11):
+            validate_query(request.query, PROFILE)
+            assert request.mode in ("interactive", "batch")
+            assert request.priority in ("low", "mid", "high")
+
+    def test_request_ids_are_sequential(self):
+        requests = generate_schedule(SPEC, PROFILE, 5)
+        assert [r.request_id for r in requests] == [
+            f"req-{i:06d}" for i in range(len(requests))
+        ]
+
+    def test_emits_schedule_events_and_window_counter(self):
+        with obs.observed(log_events=True) as session:
+            generate_schedule(SPEC, PROFILE, 7)
+            counters = session.export()["counters"]
+            events = session.export_events()
+        assert counters["serve.load_windows"] == 4  # ceil(10 / 2.5)
+        windows = [name for kind, name, _ in events if kind == "schedule"]
+        assert windows == [f"window-{i}" for i in range(4)]
+
+    def test_zero_rate_yields_empty_schedule(self):
+        silent = WorkloadSpec(duration_s=5.0, mean_active_users=0.0)
+        assert generate_schedule(silent, PROFILE, 7) == []
+
+
+class TestCsvRoundTrip:
+    def test_render_parse_is_identity(self):
+        requests = generate_schedule(SPEC, PROFILE, 9)
+        text = render_schedule_csv(requests)
+        assert text.splitlines()[0] == ",".join(CSV_HEADER)
+        assert parse_schedule_csv(text) == requests
+
+    def test_blank_optional_fields_take_defaults(self):
+        body = '{"commune":1,"direction":"dl","family":"topk","k":2}'
+        quoted = '"' + body.replace('"', '""') + '"'
+        text = ",".join(CSV_HEADER) + "\n" + f",125.0,,,{quoted}\n"
+        (request,) = parse_schedule_csv(text)
+        assert request.request_id == "req-000000"
+        assert request.arrival_offset_ms == pytest.approx(125.0)
+        assert request.mode == "interactive"
+        assert request.priority == "mid"
+        assert request.query.family == "topk"
+
+    @pytest.mark.parametrize(
+        "text, message",
+        [
+            ("", "empty"),
+            ("wrong,header\n", "header"),
+            (
+                ",".join(CSV_HEADER) + "\nreq-0,not-a-number,,,{}\n",
+                "row 2.*not a number",
+            ),
+            (
+                ",".join(CSV_HEADER) + "\nreq-0,-5,,,{}\n",
+                "row 2.*>= 0",
+            ),
+            (
+                ",".join(CSV_HEADER) + "\nreq-0,0,walking,,{}\n",
+                "row 2.*mode",
+            ),
+            (
+                ",".join(CSV_HEADER) + "\nreq-0,0,,urgent,{}\n",
+                "row 2.*priority",
+            ),
+            (
+                ",".join(CSV_HEADER) + "\nreq-0,0,interactive\n",
+                "row 2.*fields",
+            ),
+        ],
+    )
+    def test_malformed_rows_name_the_row(self, text, message):
+        with pytest.raises(ValueError, match=message):
+            parse_schedule_csv(text)
+
+    def test_bad_body_json_raises_query_error(self):
+        text = ",".join(CSV_HEADER) + "\nreq-0,0,,,not-json\n"
+        with pytest.raises(QueryError):
+            parse_schedule_csv(text)
+
+    def test_blank_lines_are_skipped(self):
+        requests = generate_schedule(SPEC, PROFILE, 2)[:3]
+        text = render_schedule_csv(requests) + "\n\n"
+        assert parse_schedule_csv(text) == requests

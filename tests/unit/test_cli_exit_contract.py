@@ -14,6 +14,8 @@ directions of that contract:
 
 import json
 
+import pytest
+
 from repro._exit import (
     CLI_EXIT_MATRIX,
     EXIT_FINDINGS,
@@ -28,6 +30,7 @@ from repro.fidelity.cli import main as main_scorecard
 from repro.lint.cli import main as main_lint
 from repro.obs.cli import main as main_obs
 from repro.obs.runtime import SCHEMA as RUNTIME_SCHEMA
+from repro.serve.cli import main as main_serve
 
 ALL_CODES = (EXIT_OK, EXIT_FINDINGS, EXIT_USAGE, EXIT_INTERNAL)
 
@@ -44,6 +47,7 @@ class TestStaticContract:
             "repro.fidelity.cli",
             "repro.lint.cli",
             "repro.obs.cli",
+            "repro.serve.cli",
         ]
         for module, codes in CLI_EXIT_MATRIX.items():
             assert tuple(codes) == ALL_CODES, module
@@ -224,4 +228,56 @@ class TestScorecardCli:
 
         monkeypatch.setattr(fid_cli.fid, "load_scorecard", boom)
         assert main_scorecard(["show", "whatever.json"]) == EXIT_INTERNAL
+        assert "internal error" in capsys.readouterr().err
+
+
+class TestServeCli:
+    @pytest.fixture(scope="class")
+    def dataset_path(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("serve") / "tiny.npz"
+        assert main_dataset(
+            ["build", "--communes", "64", "--seed", "3", "--out", str(out)]
+        ) == EXIT_OK
+        return str(out)
+
+    def test_0_topk(self, dataset_path, capsys):
+        assert main_serve(
+            ["topk", dataset_path, "--commune", "2", "--k", "3"]
+        ) == EXIT_OK
+        assert "ranking" in capsys.readouterr().out
+
+    def test_1_p99_bound_exceeded(self, dataset_path, capsys):
+        # A 0 ms bound is unreachable: any executed schedule fails it.
+        assert main_serve(
+            [
+                "load",
+                dataset_path,
+                "--duration", "2",
+                "--window", "1",
+                "--users", "50",
+                "--rpm", "60",
+                "--p99-bound-ms", "0",
+            ]
+        ) == EXIT_FINDINGS
+        assert "exceeds bound" in capsys.readouterr().err
+
+    def test_2_missing_dataset(self, tmp_path, capsys):
+        missing = str(tmp_path / "no.npz")
+        assert main_serve(
+            ["topk", missing, "--commune", "0"]
+        ) == EXIT_USAGE
+        assert "repro-serve" in capsys.readouterr().err
+
+    def test_3_internal_failure(self, dataset_path, capsys, monkeypatch):
+        import repro.serve.cli as serve_cli
+
+        def boom(path, cache_capacity=0):
+            raise RuntimeError("synthetic crash")
+
+        monkeypatch.setattr(
+            serve_cli.ServeEngine, "open", staticmethod(boom)
+        )
+        assert main_serve(
+            ["topk", dataset_path, "--commune", "0"]
+        ) == EXIT_INTERNAL
         assert "internal error" in capsys.readouterr().err

@@ -5,9 +5,11 @@ Two stdlib-only checks, run by the ``docs`` CI job (no installs):
 
 1. **Links** — every intra-repo markdown link (``[text](relative/path)``)
    in every tracked ``*.md`` file must resolve to an existing file or
-   directory.  External (``http``/``https``/``mailto``) and
-   pure-anchor (``#...``) targets are skipped; fenced code blocks are
-   stripped first so example snippets cannot trip the check.
+   directory, and any ``#fragment`` on a markdown target (including
+   pure-anchor ``#...`` self-links) must match a heading in that file
+   under GitHub's slug rules.  External (``http``/``https``/``mailto``)
+   targets are skipped; fenced code blocks are stripped first so
+   example snippets cannot trip the check.
 2. **Metrics contract** — the tables under the "The metrics contract"
    section of ``docs/observability.md`` and the declared specs in
    :data:`repro.obs.metrics.SPECS` must agree in *both* directions:
@@ -33,6 +35,16 @@ Two stdlib-only checks, run by the ``docs`` CI job (no installs):
    must agree in both directions: every declared layer is documented
    with exactly its prefixes and allowed dependencies, and no
    documented layer is undeclared.
+7. **Serving metrics** — the table under the "Serving metrics" section
+   of ``docs/serving.md`` and the ``serve.*`` subset of
+   :data:`repro.obs.metrics.SPECS` must agree in both directions (name,
+   unit, stage), mirroring the resilience check.
+8. **Serving event kinds** — the table under the "Event kinds" section
+   of ``docs/serving.md``, the declared kinds in
+   :data:`repro.obs.events.KINDS`, and the literal ``log_event(...)``
+   emission sites under ``src/repro/serve`` must all agree: every kind
+   the serving layer emits is documented and declared, and every
+   documented kind is actually emitted.
 
 Exit status 0 when clean, 1 with one problem per line otherwise.
 
@@ -73,6 +85,23 @@ _FINDING_ROW = re.compile(
 )
 
 _HEADING = re.compile(r"^##\s+(.*)$")
+_ANY_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's heading-to-anchor rule: drop punctuation, dash spaces."""
+    cleaned = re.sub(r"[^\w\- ]", "", heading.strip().lower())
+    return cleaned.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set:
+    """Every heading anchor a markdown file exposes."""
+    slugs = set()
+    for line in _strip_fences(path.read_text(encoding="utf-8")).splitlines():
+        match = _ANY_HEADING.match(line)
+        if match:
+            slugs.add(_slugify(match.group(1)))
+    return slugs
 
 
 def _section(text: str, title: str) -> str:
@@ -110,21 +139,30 @@ def _strip_fences(text: str) -> str:
 
 def check_links(root: Path) -> List[str]:
     problems = []
+    anchor_cache: Dict[Path, set] = {}
     for path in _markdown_files(root):
         text = _strip_fences(path.read_text(encoding="utf-8"))
         for lineno, line in enumerate(text.splitlines(), start=1):
             for match in _LINK.finditer(line):
-                target = match.group(1)
-                if target.startswith(_EXTERNAL) or target.startswith("#"):
+                rel = path.relative_to(root)
+                raw = match.group(1)
+                if raw.startswith(_EXTERNAL):
                     continue
-                target = target.split("#", 1)[0]
-                if not target:
-                    continue
-                resolved = (path.parent / target).resolve()
+                target, _, fragment = raw.partition("#")
+                resolved = (
+                    (path.parent / target).resolve() if target else path
+                )
                 if not resolved.exists():
-                    rel = path.relative_to(root)
+                    problems.append(f"{rel}:{lineno}: broken link -> {raw}")
+                    continue
+                if not fragment or resolved.suffix != ".md":
+                    continue
+                if resolved not in anchor_cache:
+                    anchor_cache[resolved] = _anchors(resolved)
+                if fragment not in anchor_cache[resolved]:
                     problems.append(
-                        f"{rel}:{lineno}: broken link -> {match.group(1)}"
+                        f"{rel}:{lineno}: broken anchor -> {raw} "
+                        f"(no heading slugs to #{fragment})"
                     )
     return problems
 
@@ -384,6 +422,100 @@ def check_layer_dag(root: Path) -> List[str]:
     return problems
 
 
+#: Section headings in docs/serving.md the serving checks parse.
+SERVE_METRICS_SECTION = "Serving metrics"
+SERVE_EVENTS_SECTION = "Event kinds"
+
+#: ``| `kind` | ... |`` row in the event-kind table (undotted names).
+_KIND_ROW = re.compile(r"^\|\s*`([a-z][a-z_]*)`\s*\|")
+
+#: Literal first argument of an ``obs.log_event("kind", ...)`` call.
+_LOG_EVENT_CALL = re.compile(r"log_event\(\s*\"([a-z_]+)\"")
+
+
+def check_serve_metrics(root: Path) -> List[str]:
+    """``docs/serving.md`` vs the ``serve.*`` slice of SPECS."""
+    doc = root / "docs" / "serving.md"
+    if not doc.exists():
+        return [f"{doc.relative_to(root)}: missing"]
+    try:
+        from repro.obs.metrics import SPECS
+    except ImportError as exc:
+        return [f"cannot import repro.obs.metrics (set PYTHONPATH=src): {exc}"]
+
+    declared = {
+        name: (spec.unit, spec.stage)
+        for name, spec in SPECS.items()
+        if name.startswith("serve.")
+    }
+    documented: Dict[str, Tuple[str, str]] = {}
+    text = _section(doc.read_text(encoding="utf-8"), SERVE_METRICS_SECTION)
+    for line in text.splitlines():
+        match = _METRIC_ROW.match(line)
+        if match:
+            documented[match.group(1)] = (match.group(2), match.group(3))
+
+    problems = []
+    rel = doc.relative_to(root)
+    for name in sorted(set(declared) - set(documented)):
+        problems.append(
+            f"{rel}: declared serving metric {name!r} is undocumented"
+        )
+    for name in sorted(set(documented) - set(declared)):
+        problems.append(
+            f"{rel}: documented metric {name!r} is not a declared "
+            "serve.* metric in repro.obs.metrics.SPECS"
+        )
+    for name in sorted(set(declared) & set(documented)):
+        if documented[name] != declared[name]:
+            problems.append(
+                f"{rel}: {name} documented as {documented[name]} != "
+                f"declared {declared[name]}"
+            )
+    return problems
+
+
+def check_serve_events(root: Path) -> List[str]:
+    """``docs/serving.md`` event table vs KINDS and the emission sites."""
+    doc = root / "docs" / "serving.md"
+    if not doc.exists():
+        return [f"{doc.relative_to(root)}: missing"]
+    try:
+        from repro.obs.events import KINDS
+    except ImportError as exc:
+        return [f"cannot import repro.obs.events (set PYTHONPATH=src): {exc}"]
+
+    emitted = set()
+    for source in sorted((root / "src" / "repro" / "serve").glob("*.py")):
+        emitted.update(_LOG_EVENT_CALL.findall(source.read_text("utf-8")))
+
+    documented = set()
+    text = _section(doc.read_text(encoding="utf-8"), SERVE_EVENTS_SECTION)
+    for line in text.splitlines():
+        match = _KIND_ROW.match(line)
+        if match:
+            documented.add(match.group(1))
+
+    problems = []
+    rel = doc.relative_to(root)
+    for kind in sorted(emitted - documented):
+        problems.append(
+            f"{rel}: event kind {kind!r} emitted by repro.serve is "
+            "undocumented"
+        )
+    for kind in sorted(documented - emitted):
+        problems.append(
+            f"{rel}: documented event kind {kind!r} has no emission "
+            "site under src/repro/serve"
+        )
+    for kind in sorted(documented - set(KINDS)):
+        problems.append(
+            f"{rel}: documented event kind {kind!r} is not declared in "
+            "repro.obs.events.KINDS"
+        )
+    return problems
+
+
 def main(argv: List[str]) -> int:
     root = Path(argv[1]).resolve() if len(argv) > 1 else REPO_ROOT
     problems = (
@@ -393,6 +525,8 @@ def main(argv: List[str]) -> int:
         + check_resilience_metrics(root)
         + check_lint_rules(root)
         + check_layer_dag(root)
+        + check_serve_metrics(root)
+        + check_serve_events(root)
     )
     for problem in problems:
         print(problem)
