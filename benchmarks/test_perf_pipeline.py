@@ -49,7 +49,18 @@ volume-level dataset is indexed once, a Poisson schedule is generated,
 and the open-loop load harness measures query latency percentiles,
 throughput, cache hit rate, and the saturation point (``serve``
 section of the JSON artifact — the numbers ``docs/serving.md`` and the
-README quote).
+README quote).  The same schedule is then replayed fully telemetered —
+observed session, structured event log, ``TRACE_SAMPLE_RATE`` request
+tracing — and the surcharge over the dark run is asserted below
+``MAX_TELEMETRY_OVERHEAD``.
+
+The JSON artifact is stamped the way the performance-regression
+observatory stamps its records (:mod:`repro.bench.history`): schema
+version, git SHA, and the fingerprint of the workload config.  A
+matching record — the five gated indicators of
+:data:`repro.bench.contract.GATES` — is appended to
+``benchmarks/history.jsonl`` so ``repro-bench diff``/``gate`` can
+compare perf-pipeline runs across commits.
 
 A seventh leg climbs the scale ladder (10³, 10⁴, 10⁵, 10⁶ subscribers)
 through the streamed builder — fixed chunk size, every shard partial
@@ -98,6 +109,8 @@ MIN_SPEEDUP = 5.0
 MAX_DISABLED_OVERHEAD = 0.02
 MAX_EVENT_LOG_OVERHEAD = 0.03
 MAX_SUPERVISED_OVERHEAD = 0.03
+MAX_TELEMETRY_OVERHEAD = 0.03
+TRACE_SAMPLE_RATE = 0.05
 LADDER_RUNGS = [1_000, 10_000, 100_000, 1_000_000]
 LADDER_SHARDS = 8
 LADDER_CHUNK = 8192
@@ -482,12 +495,38 @@ def _run_serve(shared: dict) -> dict:
     start = time.perf_counter()
     report = run_load(engine, requests)
     harness_elapsed = time.perf_counter() - start
+
+    # Telemetry surcharge: the identical schedule replayed dark vs
+    # fully telemetered (observed session + structured event log +
+    # sampled request tracing).  Min-of-two per mode damps wall-clock
+    # noise, mirroring the resilience leg.
+    def _dark() -> float:
+        start = time.perf_counter()
+        run_load(engine, requests)
+        return time.perf_counter() - start
+
+    def _telemetered() -> float:
+        traced = ServeEngine(
+            dataset, trace_seed=13, trace_sample_rate=TRACE_SAMPLE_RATE
+        )
+        start = time.perf_counter()
+        with obs.observed(log_events=True):
+            run_load(traced, requests)
+        return time.perf_counter() - start
+
+    dark_s = min(harness_elapsed, _dark())
+    telemetered_s = min(_telemetered() for _ in range(2))
+
     leg = report.to_dict()
     leg.update(
         n_communes=dataset.n_communes,
         n_head=dataset.n_head,
         index_build_s=index_elapsed,
         harness_elapsed_s=harness_elapsed,
+        dark_elapsed_s=dark_s,
+        telemetered_elapsed_s=telemetered_s,
+        trace_sample_rate=TRACE_SAMPLE_RATE,
+        telemetry_overhead_fraction=telemetered_s / dark_s - 1.0,
     )
     return leg
 
@@ -576,6 +615,12 @@ def test_perf_session_pipeline(benchmark):
         f"{serve['cache_hit_rate']:.2f} "
         f"(index build {serve['index_build_s'] * 1e3:.0f} ms)"
     )
+    print(
+        f"telemetry: {serve['telemetered_elapsed_s']:.2f} s telemetered vs "
+        f"{serve['dark_elapsed_s']:.2f} s dark "
+        f"({100 * serve['telemetry_overhead_fraction']:+.2f}% at "
+        f"{100 * serve['trace_sample_rate']:.0f}% trace sampling)"
+    )
 
     # The ladder runs last: its 10^6 rung dominates the process RSS
     # high-water mark, so every earlier leg reads uncontaminated values.
@@ -588,9 +633,29 @@ def test_perf_session_pipeline(benchmark):
         f"({regression['ratio']:.2f}x)"
     )
 
+    # Stamp the artifact the way the observatory stamps its records —
+    # schema, git SHA, config fingerprint — and append the gated
+    # indicators to the history store for repro-bench diff/gate.
+    from repro.bench.history import (
+        SCHEMA,
+        append_record,
+        config_fingerprint,
+        git_sha,
+        make_record,
+    )
+
+    bench_config = {
+        "source": "perf_pipeline",
+        "n_subscribers": N_SUBSCRIBERS,
+        "n_communes": N_COMMUNES,
+        "n_workers": N_WORKERS,
+    }
     BENCH_JSON.write_text(
         json.dumps(
             {
+                "schema": SCHEMA,
+                "git_sha": git_sha(REPO_ROOT),
+                "config_fingerprint": config_fingerprint(bench_config),
                 "n_subscribers": N_SUBSCRIBERS,
                 "n_communes": N_COMMUNES,
                 "baseline": baseline,
@@ -607,6 +672,26 @@ def test_perf_session_pipeline(benchmark):
             indent=2,
         )
         + "\n"
+    )
+    append_record(
+        Path(__file__).parent / "history.jsonl",
+        make_record(
+            bench_config,
+            {
+                "build": {
+                    "records_per_s": optimized["records_per_s"],
+                    "peak_rss_bytes": scale_ladder["rungs"][0][
+                        "peak_rss_bytes"
+                    ],
+                },
+                "serve": {
+                    "throughput_rps": serve["throughput_rps"],
+                    "latency_p99_s": serve["latency_p99_s"],
+                    "saturation_rps": serve["saturation_rps"],
+                },
+            },
+            sha=git_sha(REPO_ROOT),
+        ),
     )
 
     # A laptop-scale floor: the chain must stay usable for 10^5-subscriber
@@ -632,6 +717,9 @@ def test_perf_session_pipeline(benchmark):
     # with the workload it was benchmarked under).
     assert serve["n_errors"] == 0
     assert serve["saturation_rps"] > serve["offered_rps"]
+    # Full telemetry — observed session, event log, sampled tracing —
+    # must stay a rounding error on the serve harness.
+    assert serve["telemetry_overhead_fraction"] < MAX_TELEMETRY_OVERHEAD
     # The out-of-core contract: a nationwide-scale build stays inside a
     # laptop's memory...
     assert scale_ladder["rungs"][-1]["n_subscribers"] == 1_000_000

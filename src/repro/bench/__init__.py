@@ -1,0 +1,48 @@
+"""The performance-regression observatory (``repro-bench``).
+
+Turns the repository's benchmark legs into a *tracked* signal: every
+run is stamped with the schema version, the git commit, and a
+fingerprint of its configuration, appended to the append-only history
+store ``benchmarks/history.jsonl``, and gated against the noise-banded
+indicator contract in :mod:`repro.bench.contract`.  A regression —
+records/s or saturation dropping, p99 or peak RSS growing beyond a
+declared band versus the median of comparable prior runs — exits ``1``
+through the shared CLI contract (:mod:`repro._exit`), which is what the
+CI ``bench-gate`` job enforces.
+
+Records hold measured values (wall-clock throughput, latency
+percentiles, RSS) but no wall-clock *timestamps*: ordering is the
+file's append order plus the git SHA, so the store itself diffs
+cleanly and two runs of the same commit and config are comparable
+line-for-line.  See ``docs/observability.md``.
+"""
+
+from repro.bench.contract import GATES, GateFinding, GateSpec, evaluate_gate
+from repro.bench.history import (
+    SCHEMA,
+    append_record,
+    config_fingerprint,
+    git_sha,
+    load_history,
+    make_record,
+    validate_record,
+)
+from repro.bench.legs import DEFAULT_CONFIG, run_build_leg, run_legs, run_serve_leg
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "GATES",
+    "GateFinding",
+    "GateSpec",
+    "SCHEMA",
+    "append_record",
+    "config_fingerprint",
+    "evaluate_gate",
+    "git_sha",
+    "load_history",
+    "make_record",
+    "run_build_leg",
+    "run_legs",
+    "run_serve_leg",
+    "validate_record",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.bench`` — alias for the ``repro-bench`` script."""
+
+from repro.bench.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,205 @@
+"""``repro-bench`` command-line interface.
+
+Examples::
+
+    repro-bench run --history benchmarks/history.jsonl
+    repro-bench run --history benchmarks/history.jsonl \\
+        --prom-out bench.prom --trace-out bench.trace.json
+    repro-bench diff --history benchmarks/history.jsonl
+    repro-bench gate --history benchmarks/history.jsonl
+
+``run`` executes the micro legs (:mod:`repro.bench.legs`) under an
+observed session, stamps the results with the schema version, git SHA,
+and config fingerprint, and appends the record to the history store.
+``diff`` prints each gated indicator of the newest record against the
+median of comparable prior records.  ``gate`` applies the noise-banded
+contract (:mod:`repro.bench.contract`) and follows the shared exit
+contract in :mod:`repro._exit`: ``0`` ok (including a fresh history
+with no comparable baseline), ``1`` at least one indicator regressed
+beyond its band, ``2`` usage error or unreadable input, ``3`` internal
+failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro._exit import EXIT_FINDINGS, EXIT_INTERNAL, EXIT_OK, EXIT_USAGE
+from repro.bench import contract as bench_contract
+from repro.bench import history as bench_history
+from repro.bench import legs as bench_legs
+from repro.obs import prom as obs_prom
+from repro.obs import runtime
+from repro.obs import trace as obs_trace
+
+DEFAULT_HISTORY = "benchmarks/history.jsonl"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Run tracked micro benchmark legs, append them to the "
+            "history store, and gate regressions against noise bands "
+            "(docs/observability.md)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run the micro legs and append a stamped record"
+    )
+    run.add_argument(
+        "--history",
+        metavar="PATH",
+        default=DEFAULT_HISTORY,
+        help=f"history store to append to (default: {DEFAULT_HISTORY})",
+    )
+    run.add_argument(
+        "--no-append",
+        action="store_true",
+        help="print the record without touching the history store",
+    )
+    for key, value in bench_legs.DEFAULT_CONFIG.items():
+        run.add_argument(
+            f"--{key.replace('_', '-')}",
+            type=type(value),
+            default=value,
+            dest=f"cfg_{key}",
+            help=f"leg config {key} (default: {value})",
+        )
+    run.add_argument(
+        "--prom-out",
+        metavar="PATH",
+        default=None,
+        help="write the session's Prometheus exposition here",
+    )
+    run.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome-trace JSON of the span tree here",
+    )
+
+    for name, help_text in (
+        (
+            "diff",
+            "compare the newest record against its baseline (informational)",
+        ),
+        ("gate", "fail (exit 1) when a gated indicator regressed"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--history", metavar="PATH", default=DEFAULT_HISTORY)
+        cmd.add_argument(
+            "--candidate",
+            metavar="PATH",
+            default=None,
+            help=(
+                "use this record (JSON file) instead of the history's "
+                "newest line"
+            ),
+        )
+    return parser
+
+
+def _config_from(args: argparse.Namespace) -> dict:
+    return {
+        key: getattr(args, f"cfg_{key}")
+        for key in bench_legs.DEFAULT_CONFIG
+    }
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    with runtime.observed() as session:
+        legs = bench_legs.run_legs(config)
+        record = bench_history.make_record(config, legs)
+        if not args.no_append:
+            bench_history.append_record(args.history, record)
+        dump = session.export(meta={"command": "bench-run"})
+    if args.prom_out:
+        with open(args.prom_out, "w", encoding="utf-8") as handle:
+            handle.write(obs_prom.render_prom(dump))
+        print(f"exposition written to {args.prom_out}", file=sys.stderr)
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(
+                obs_trace.render_trace_json(obs_trace.to_chrome_trace(dump))
+            )
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+    print(bench_history.render_record(record))
+    if not args.no_append:
+        print(f"record appended to {args.history}", file=sys.stderr)
+    return EXIT_OK
+
+
+def _candidate_and_baselines(args: argparse.Namespace):
+    history = bench_history.load_history(args.history)
+    if args.candidate:
+        with open(args.candidate, "r", encoding="utf-8") as handle:
+            candidate = bench_history.validate_record(json.load(handle))
+    elif history:
+        candidate = history[-1]
+        history = history[:-1]
+    else:
+        raise ValueError(f"history store {args.history} is empty")
+    return candidate, bench_contract.baseline_records(history, candidate)
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    candidate, baselines = _candidate_and_baselines(args)
+    print(
+        f"candidate {candidate['git_sha'][:12]} config "
+        f"{candidate['config_fingerprint']} vs {len(baselines)} baseline "
+        "record(s):"
+    )
+    for line in bench_contract.diff_lines(candidate, baselines):
+        print(f"  {line}")
+    return EXIT_OK
+
+
+def _cmd_gate(args: argparse.Namespace) -> int:
+    candidate, baselines = _candidate_and_baselines(args)
+    if not baselines:
+        print(
+            "repro-bench: no comparable baseline (fresh config "
+            "fingerprint) — gate passes vacuously",
+            file=sys.stderr,
+        )
+        return EXIT_OK
+    findings = bench_contract.evaluate_gate(candidate, baselines)
+    if findings:
+        for finding in findings:
+            print(f"repro-bench: REGRESSION {finding.render()}", file=sys.stderr)
+        return EXIT_FINDINGS
+    print(
+        f"repro-bench: {len(bench_contract.GATES)} gated indicators within "
+        f"their noise bands ({len(baselines)} baseline record(s))",
+        file=sys.stderr,
+    )
+    return EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "diff":
+            return _cmd_diff(args)
+        if args.command == "gate":
+            return _cmd_gate(args)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"repro-bench: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except Exception as exc:  # unexpected: the tool itself broke
+        print(f"repro-bench: internal error: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
+    return EXIT_USAGE
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,217 @@
+"""The gate contract: which indicators regress, and how much is noise.
+
+Each :class:`GateSpec` names one dotted indicator into a record's
+``legs`` payload (``"serve.latency_p99_s"`` → ``legs["serve"]
+["latency_p99_s"]``), the direction that counts as *better*, and the
+relative noise band inside which run-to-run variation is expected.
+The bands are deliberately wide — these are wall-clock measurements on
+shared CI runners; the gate exists to catch step-change regressions
+(an accidental O(n²), a lost fast path), not single-digit-percent
+drift.  Tightening a band is a contract change reviewed like any
+other: the table below is the single source of truth, mirrored in the
+``docs/observability.md`` observatory section.
+
+A candidate regresses an indicator when it falls outside the band on
+the *worse* side of the **median** of comparable prior records (same
+``config_fingerprint``); the median makes the baseline robust to a
+single outlier run in the history.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro import obs
+
+#: Directions an indicator can prefer.
+HIGHER = "higher"
+LOWER = "lower"
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """One gated indicator: dotted path, preferred direction, noise band."""
+
+    indicator: str
+    direction: str  # HIGHER | LOWER
+    noise_band: float  # relative; 0.30 = 30% worse than baseline fails
+    summary: str
+
+
+#: The gated indicator table (mirrored in docs/observability.md).
+GATES: tuple = (
+    GateSpec(
+        "build.records_per_s",
+        HIGHER,
+        0.30,
+        "measurement-chain ingest throughput",
+    ),
+    GateSpec(
+        "build.peak_rss_bytes",
+        LOWER,
+        0.25,
+        "build peak resident set",
+    ),
+    GateSpec(
+        "serve.throughput_rps",
+        HIGHER,
+        0.30,
+        "serving throughput at the native schedule",
+    ),
+    GateSpec(
+        "serve.latency_p99_s",
+        LOWER,
+        0.35,
+        "simulated open-loop p99 latency",
+    ),
+    GateSpec(
+        "serve.saturation_rps",
+        HIGHER,
+        0.30,
+        "highest offered rate meeting the p99 bound",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class GateFinding:
+    """One indicator outside its band versus the baseline."""
+
+    indicator: str
+    direction: str
+    candidate: float
+    baseline: float
+    noise_band: float
+    #: Relative change, signed so that positive is *worse*.
+    worse_by: float
+
+    def render(self) -> str:
+        return (
+            f"{self.indicator}: {self.candidate:.6g} vs baseline "
+            f"{self.baseline:.6g} ({self.direction} is better) — "
+            f"{100 * self.worse_by:.1f}% worse, band "
+            f"{100 * self.noise_band:.0f}%"
+        )
+
+
+def indicator_value(record: Mapping[str, Any], indicator: str) -> Optional[float]:
+    """``legs``-relative dotted lookup; None when the leg/field is absent."""
+    node: Any = record.get("legs", {})
+    for part in indicator.split("."):
+        if not isinstance(node, Mapping) or part not in node:
+            return None
+        node = node[part]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def baseline_records(
+    history: Sequence[Mapping[str, Any]], candidate: Mapping[str, Any]
+) -> List[Mapping[str, Any]]:
+    """Prior records comparable to ``candidate`` (same config fingerprint)."""
+    fingerprint = candidate.get("config_fingerprint")
+    return [
+        record
+        for record in history
+        if record is not candidate
+        and record.get("config_fingerprint") == fingerprint
+    ]
+
+
+def evaluate_gate(
+    candidate: Mapping[str, Any],
+    baselines: Sequence[Mapping[str, Any]],
+    gates: Sequence[GateSpec] = GATES,
+) -> List[GateFinding]:
+    """Every gated indicator of ``candidate`` outside its noise band.
+
+    The baseline per indicator is the median over ``baselines`` that
+    carry it; indicators absent from the candidate or from every
+    baseline are skipped (a new leg starts its own history).  The
+    number of regressions found is surfaced through the
+    ``bench.gate_regressions`` counter.
+    """
+    findings: List[GateFinding] = []
+    for gate in gates:
+        value = indicator_value(candidate, gate.indicator)
+        if value is None:
+            continue
+        prior = [
+            v
+            for record in baselines
+            if (v := indicator_value(record, gate.indicator)) is not None
+        ]
+        if not prior:
+            continue
+        baseline = statistics.median(prior)
+        if baseline == 0:
+            continue
+        if gate.direction == HIGHER:
+            worse_by = (baseline - value) / abs(baseline)
+        else:
+            worse_by = (value - baseline) / abs(baseline)
+        if worse_by > gate.noise_band:
+            findings.append(
+                GateFinding(
+                    indicator=gate.indicator,
+                    direction=gate.direction,
+                    candidate=value,
+                    baseline=baseline,
+                    noise_band=gate.noise_band,
+                    worse_by=worse_by,
+                )
+            )
+    if findings:
+        obs.add("bench.gate_regressions", len(findings))
+    return findings
+
+
+def diff_lines(
+    candidate: Mapping[str, Any],
+    baselines: Sequence[Mapping[str, Any]],
+    gates: Sequence[GateSpec] = GATES,
+) -> List[str]:
+    """Human-readable per-indicator comparison (informational)."""
+    lines: List[str] = []
+    for gate in gates:
+        value = indicator_value(candidate, gate.indicator)
+        prior = [
+            v
+            for record in baselines
+            if (v := indicator_value(record, gate.indicator)) is not None
+        ]
+        if value is None:
+            lines.append(f"{gate.indicator:<28s} (absent from candidate)")
+            continue
+        if not prior:
+            lines.append(
+                f"{gate.indicator:<28s} {value:>12.6g}  (no baseline)"
+            )
+            continue
+        baseline = statistics.median(prior)
+        delta = (
+            (value - baseline) / abs(baseline) if baseline else float("nan")
+        )
+        lines.append(
+            f"{gate.indicator:<28s} {value:>12.6g}  baseline "
+            f"{baseline:>12.6g}  ({100 * delta:+.1f}%, "
+            f"{gate.direction} is better, band "
+            f"{100 * gate.noise_band:.0f}%)"
+        )
+    return lines
+
+
+__all__ = [
+    "GATES",
+    "GateFinding",
+    "GateSpec",
+    "HIGHER",
+    "LOWER",
+    "baseline_records",
+    "diff_lines",
+    "evaluate_gate",
+    "indicator_value",
+]

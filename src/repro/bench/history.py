@@ -1,0 +1,153 @@
+"""The append-only benchmark history store (``benchmarks/history.jsonl``).
+
+One JSON object per line, canonical encoding (sorted keys, compact
+separators), schema-versioned::
+
+    {"schema": "repro-bench/1",
+     "git_sha": "<commit or 'unknown'>",
+     "config_fingerprint": "<sha256[:16] of the canonical config>",
+     "config": {...},
+     "legs": {"build": {...}, "serve": {...}}}
+
+Records deliberately carry **no wall-clock timestamps**: ordering is
+the file's append order plus the git SHA, so the store diffs cleanly
+in review and two runs of the same commit/config are comparable
+line-for-line.  The leg payloads themselves hold measured values
+(throughput, percentiles, RSS) — those are the *subject* of the store,
+not its identity.
+
+Comparability is the fingerprint's job: ``repro-bench gate`` only
+baselines a candidate against prior records whose
+``config_fingerprint`` matches, so changing the benchmark shape starts
+a fresh baseline instead of producing false regressions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro import obs
+
+#: Record schema identifier; bump on incompatible layout changes.
+SCHEMA = "repro-bench/1"
+
+_REQUIRED_KEYS = ("schema", "git_sha", "config_fingerprint", "config", "legs")
+
+
+def config_fingerprint(config: Mapping[str, Any]) -> str:
+    """sha256 (first 16 hex chars) of the canonical config encoding.
+
+    Pure function of the configuration content — key order at the call
+    site does not matter.
+    """
+    canonical = json.dumps(dict(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def git_sha(root: Optional[Union[str, Path]] = None) -> str:
+    """The checked-out commit, or ``"unknown"`` outside a work tree."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(root) if root is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def make_record(
+    config: Mapping[str, Any],
+    legs: Mapping[str, Any],
+    sha: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Assemble one stamped history record (schema + SHA + fingerprint)."""
+    return {
+        "schema": SCHEMA,
+        "git_sha": sha if sha is not None else git_sha(),
+        "config_fingerprint": config_fingerprint(config),
+        "config": dict(config),
+        "legs": dict(legs),
+    }
+
+
+def validate_record(record: Any) -> Dict[str, Any]:
+    """Return ``record`` if well-formed, raise ``ValueError`` otherwise."""
+    if not isinstance(record, dict):
+        raise ValueError(f"history record must be an object, got {type(record).__name__}")
+    for key in _REQUIRED_KEYS:
+        if key not in record:
+            raise ValueError(f"history record is missing {key!r}")
+    if record["schema"] != SCHEMA:
+        raise ValueError(
+            f"history record schema {record['schema']!r} != {SCHEMA!r}"
+        )
+    if not isinstance(record["legs"], dict) or not record["legs"]:
+        raise ValueError("history record has no legs")
+    if record["config_fingerprint"] != config_fingerprint(record["config"]):
+        raise ValueError(
+            "history record fingerprint does not match its config"
+        )
+    return record
+
+
+def render_record(record: Mapping[str, Any]) -> str:
+    """Canonical single-line encoding of one record."""
+    return json.dumps(dict(record), sort_keys=True, separators=(",", ":"))
+
+
+def append_record(
+    path: Union[str, Path], record: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """Validate and append one record line; returns the record."""
+    validated = validate_record(dict(record))
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "a", encoding="utf-8") as handle:
+        handle.write(render_record(validated) + "\n")
+    obs.add("bench.history_appends")
+    return validated
+
+
+def load_history(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Every record in the store, in append order.
+
+    Raises ``ValueError`` on a malformed line — a corrupt history must
+    fail the gate loudly, not silently shrink the baseline.
+    """
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                parsed = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from None
+            try:
+                records.append(validate_record(parsed))
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+    return records
+
+
+__all__ = [
+    "SCHEMA",
+    "append_record",
+    "config_fingerprint",
+    "git_sha",
+    "load_history",
+    "make_record",
+    "render_record",
+    "validate_record",
+]

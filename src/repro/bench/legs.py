@@ -1,0 +1,120 @@
+"""The micro benchmark legs ``repro-bench run`` measures.
+
+Two legs, sized to finish in seconds so the CI gate stays cheap:
+
+- **build** — the end-to-end session-level measurement chain
+  (generation → GTP → probe → DPI → aggregation) at a small subscriber
+  count; records/s and peak RSS are the gated indicators.
+- **serve** — a volume-level dataset indexed once, then driven by the
+  open-loop load harness (:mod:`repro.serve.load`); throughput,
+  histogram-derived p99, and the saturation point are gated.
+
+Each leg increments the ``bench.legs`` counter and returns a plain
+dict that lands under ``legs`` in the history record.  The leg values
+are wall-clock measurements (timing class) — they are written to the
+history store and compared against noise bands there, never emitted
+through deterministic metrics or the event log.
+
+``python -m pytest benchmarks/`` measures the same subsystems at full
+size; these legs are the *tracked* micro variant whose run-to-run noise
+the :mod:`repro.bench.contract` bands are calibrated for.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from repro import obs
+from repro.obs import clock
+
+#: The default micro-leg configuration (fingerprinted into records).
+DEFAULT_CONFIG: Dict[str, Any] = {
+    "subscribers": 300,
+    "communes": 48,
+    "services": 60,
+    "seed": 7,
+    "duration_s": 5.0,
+    "users": 50.0,
+    "rpm": 60.0,
+    "window": 5.0,
+}
+
+
+def run_build_leg(config: Mapping[str, Any] = DEFAULT_CONFIG) -> Dict[str, Any]:
+    """Time one end-to-end session-level build; returns the leg payload."""
+    from repro.dataset.builder import build_session_level_dataset
+    from repro.geo.country import CountryConfig
+
+    start = clock.now_s()
+    artifacts = build_session_level_dataset(
+        n_subscribers=int(config["subscribers"]),
+        country_config=CountryConfig(n_communes=int(config["communes"])),
+        n_services=int(config["services"]),
+        seed=int(config["seed"]),
+    )
+    elapsed = clock.now_s() - start
+    stats = artifacts.extras["generator"]
+    records = int(stats.flows_generated)
+    obs.add("bench.legs")
+    return {
+        "elapsed_s": elapsed,
+        "sessions": int(stats.sessions_generated),
+        "records": records,
+        "records_per_s": records / elapsed if elapsed > 0 else 0.0,
+        "peak_rss_bytes": clock.peak_rss_bytes(),
+    }
+
+
+def run_serve_leg(config: Mapping[str, Any] = DEFAULT_CONFIG) -> Dict[str, Any]:
+    """Index a volume-level dataset and drive it with the load harness."""
+    from repro.dataset.builder import build_volume_level_dataset
+    from repro.geo.country import CountryConfig
+    from repro.serve.engine import ServeEngine
+    from repro.serve.load import run_load
+    from repro.serve.workload import WorkloadSpec, generate_schedule
+
+    dataset = build_volume_level_dataset(
+        country_config=CountryConfig(n_communes=int(config["communes"])),
+        n_services=int(config["services"]),
+        seed=int(config["seed"]),
+    ).dataset
+
+    start = clock.now_s()
+    engine = ServeEngine(dataset)
+    index_elapsed = clock.now_s() - start
+
+    spec = WorkloadSpec(
+        duration_s=float(config["duration_s"]),
+        mean_active_users=float(config["users"]),
+        mean_requests_per_minute_per_user=float(config["rpm"]),
+        user_sampling_window_s=float(config["window"]),
+    )
+    requests = generate_schedule(spec, engine.profile, int(config["seed"]))
+
+    start = clock.now_s()
+    report = run_load(engine, requests)
+    harness_elapsed = clock.now_s() - start
+    obs.add("bench.legs")
+    return {
+        "index_build_s": index_elapsed,
+        "harness_elapsed_s": harness_elapsed,
+        "n_requests": report.n_requests,
+        "n_errors": report.n_errors,
+        "throughput_rps": report.throughput_rps,
+        "latency_p50_s": report.latency_p50_s,
+        "latency_p99_s": report.latency_p99_s,
+        "saturation_rps": report.saturation_rps,
+        "cache_hit_rate": report.cache_hit_rate,
+        "peak_rss_bytes": clock.peak_rss_bytes(),
+    }
+
+
+def run_legs(config: Mapping[str, Any] = DEFAULT_CONFIG) -> Dict[str, Any]:
+    """Both legs, in declaration order — the record's ``legs`` payload."""
+    return {
+        "build": run_build_leg(config),
+        "serve": run_serve_leg(config),
+    }
+
+
+__all__ = ["DEFAULT_CONFIG", "run_build_leg", "run_legs", "run_serve_leg"]

@@ -153,6 +153,11 @@ LAYERS: Tuple[LayerSpec, ...] = (
         ("repro.serve",),
         ("foundation", "obs", "geo", "datastore", "analysis"),
     ),
+    LayerSpec(
+        "bench",
+        ("repro.bench",),
+        ("foundation", "obs", "geo", "dataset", "serve"),
+    ),
 )
 
 

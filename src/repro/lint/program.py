@@ -72,6 +72,12 @@ _UNSEEDED_RNG = "repro._rng.as_generator"
 #: Fully-qualified emission entry points (after alias resolution).
 _COUNTER_FQNS = ("repro.obs.add", "repro.obs.runtime.add")
 _GAUGE_FQNS = ("repro.obs.set_gauge", "repro.obs.runtime.set_gauge")
+_HIST_FQNS = (
+    "repro.obs.observe",
+    "repro.obs.runtime.observe",
+    "repro.obs.merge_histogram",
+    "repro.obs.runtime.merge_histogram",
+)
 _SPAN_FQNS = ("repro.obs.span", "repro.obs.runtime.span")
 _EVENT_FQNS = ("repro.obs.log_event", "repro.obs.runtime.log_event")
 _JSONL_SINKS = (
@@ -452,7 +458,7 @@ def _matches(form: NameForm, name: str) -> bool:
 class Emission:
     """One metric/span/event emission site."""
 
-    channel: str  # "counter" | "gauge" | "span" | "event"
+    channel: str  # "counter" | "gauge" | "hist" | "span" | "event"
     form: NameForm
     module: str
     line: int
@@ -566,6 +572,8 @@ class SymbolTable:
             channel = "counter"
         elif fqn in _GAUGE_FQNS:
             channel = "gauge"
+        elif fqn in _HIST_FQNS:
+            channel = "hist"
         elif fqn in _SPAN_FQNS:
             channel = "span"
         elif fqn in _EVENT_FQNS:
@@ -754,7 +762,7 @@ class TaintPass:
             sink = "the structured event log"
         elif fqn in _EVENT_FQNS:
             sink = "the structured event log (obs.log_event)"
-        elif fqn in _COUNTER_FQNS or fqn in _GAUGE_FQNS:
+        elif fqn in _COUNTER_FQNS or fqn in _GAUGE_FQNS or fqn in _HIST_FQNS:
             if self._metric_exempt(_name_form(node.args[0] if node.args else None)):
                 return
             sink = "a contract metric"
@@ -910,7 +918,7 @@ class ProgramAnalyzer:
         for em in self.symbols.emissions:
             info = modules_by_name[em.module]
             where = (em.line, em.col)
-            if em.channel in ("counter", "gauge"):
+            if em.channel in ("counter", "gauge", "hist"):
                 if contract is None:
                     continue
                 if em.form[0] == "dyn":
@@ -939,7 +947,11 @@ class ProgramAnalyzer:
                         "repro.obs.metrics.SPECS",
                     )
                     continue
-                want = "COUNTER" if em.channel == "counter" else "GAUGE"
+                want = {
+                    "counter": "COUNTER",
+                    "gauge": "GAUGE",
+                    "hist": "HISTOGRAM",
+                }[em.channel]
                 bad = [c for c in matches if c.kind != want]
                 if bad:
                     self._report(
@@ -978,7 +990,11 @@ class ProgramAnalyzer:
             metrics_info = self.index.modules[METRICS_MODULE]
             for name in sorted(self.metric_contract):
                 spec = self.metric_contract[name]
-                channel = "counter" if spec.kind == "COUNTER" else "gauge"
+                channel = {
+                    "COUNTER": "counter",
+                    "GAUGE": "gauge",
+                    "HISTOGRAM": "hist",
+                }.get(spec.kind, "gauge")
                 emitted = any(
                     em.channel == channel and _matches(em.form, name)
                     for em in self.symbols.emissions
@@ -1094,7 +1110,8 @@ class ProgramAnalyzer:
                 {
                     em.form[1]
                     for em in self.symbols.emissions
-                    if em.channel in ("counter", "gauge") and em.form[0] == "lit"
+                    if em.channel in ("counter", "gauge", "hist")
+                    and em.form[0] == "lit"
                 }
             ),
             "events": sorted(

@@ -35,6 +35,12 @@ from repro.obs.export import (
     render_json,
     render_text,
 )
+from repro.obs.hist import (
+    DEFAULT_LAYOUT,
+    HistogramLayout,
+    LatencyHistogram,
+    merge_all,
+)
 from repro.obs.metrics import (
     SPECS,
     Determinism,
@@ -43,6 +49,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     spec_names,
 )
+from repro.obs.prom import render_prom
 from repro.obs.runtime import (
     ObsSession,
     SCHEMA,
@@ -53,6 +60,8 @@ from repro.obs.runtime import (
     enable,
     is_enabled,
     log_event,
+    merge_histogram,
+    observe,
     observed,
     set_gauge,
     shard_capture,
@@ -62,8 +71,11 @@ from repro.obs.spans import SpanNode, find, flatten
 from repro.obs.trace import render_trace_json, to_chrome_trace
 
 __all__ = [
+    "DEFAULT_LAYOUT",
     "DiffResult",
     "Determinism",
+    "HistogramLayout",
+    "LatencyHistogram",
     "MetricKind",
     "MetricSpec",
     "MetricsRegistry",
@@ -83,10 +95,14 @@ __all__ = [
     "load_dump",
     "load_jsonl",
     "log_event",
+    "merge_all",
+    "merge_histogram",
+    "observe",
     "observed",
     "parse_jsonl",
     "render_json",
     "render_jsonl",
+    "render_prom",
     "render_text",
     "render_trace_json",
     "set_gauge",

@@ -9,6 +9,7 @@ Examples::
     repro-obs show run_a.json --top 5
     repro-obs diff run_a.json run_b.json
     repro-obs trace run_a.json --out run_a.trace.json
+    repro-obs export run_a.json --format prom
     repro-obs list-metrics
 
 Exit codes follow the shared contract in :mod:`repro._exit`: ``0``
@@ -28,6 +29,7 @@ from typing import List, Optional
 from repro._exit import EXIT_INTERNAL, EXIT_USAGE
 from repro.obs import events as obs_events
 from repro.obs import export as obs_export
+from repro.obs import prom as obs_prom
 from repro.obs import runtime
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import SPECS
@@ -110,6 +112,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the trace here (default: stdout)",
     )
 
+    export = sub.add_parser(
+        "export",
+        help="render a dump's metric registry in an exposition format",
+    )
+    export.add_argument("dump", metavar="PATH")
+    export.add_argument(
+        "--format",
+        choices=("prom",),
+        default="prom",
+        help="exposition format (Prometheus text 0.0.4)",
+    )
+    export.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the exposition here (default: stdout)",
+    )
+
     sub.add_parser("list-metrics", help="print the metrics contract table")
     return parser
 
@@ -181,6 +201,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_export(args: argparse.Namespace) -> int:
+    dump = obs_export.load_dump(args.dump)
+    rendered = obs_prom.render_prom(dump)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"exposition written to {args.out}", file=sys.stderr)
+    else:
+        print(rendered, end="")
+    return 0
+
+
 def _cmd_list_metrics(args: argparse.Namespace) -> int:
     for name in sorted(SPECS):
         spec = SPECS[name]
@@ -203,6 +235,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_diff(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "export":
+            return _cmd_export(args)
         if args.command == "list-metrics":
             return _cmd_list_metrics(args)
     except (OSError, ValueError, json.JSONDecodeError) as exc:

@@ -34,6 +34,13 @@ and is built so the answer is reproducible.  An event is a plain
     "mode", "priority"}``), emitted in schedule order.  Both carry only
     seed-derived data — never latencies — so the log stays a
     deterministic trace.
+``trace``
+    One per request selected for phase-level tracing by the pure
+    ``(seed, request_id)`` sampler (``repro.serve.load``): request id
+    plus ``{"family", "mode", "cache"}`` where ``cache`` is the
+    replayed would-be outcome (traced requests bypass the live result
+    cache so their span structure is cache-state independent).  Emitted
+    on the parent in schedule order — seed-derived only, no timings.
 
 Determinism contract: events carry **no timestamps**, shard events are
 captured inside the shard's private session and spliced into the parent
@@ -65,6 +72,7 @@ KINDS = (
     "checkpoint",
     "schedule",
     "request",
+    "trace",
 )
 
 

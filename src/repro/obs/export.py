@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple
 
+from repro.obs.hist import LatencyHistogram
 from repro.obs.metrics import (
     DEFAULT_GAUGE_REL_TOL,
     SPECS,
@@ -87,6 +88,17 @@ def render_text(dump: Dict[str, Any], top: int = 0) -> str:
         for name in sorted(gauges):
             unit = SPECS[name].unit if name in SPECS else "?"
             lines.append(f"  {name:<32s} {gauges[name]:>14,.1f} {unit}")
+    histograms = dump.get("histograms", {})
+    if histograms:
+        lines.append("histograms (timing — never compared):")
+        for name in sorted(histograms):
+            hist = LatencyHistogram.from_dict(histograms[name])
+            unit = SPECS[name].unit if name in SPECS else "?"
+            p50, p95, p99 = hist.percentiles((50.0, 95.0, 99.0))
+            lines.append(
+                f"  {name:<32s} n={hist.n:<10,d} p50={p50:.3g} "
+                f"p95={p95:.3g} p99={p99:.3g} {unit}"
+            )
     if not lines:
         lines.append("(empty dump — nothing was recorded)")
     return "\n".join(lines)
@@ -166,14 +178,18 @@ def diff_dumps(a: Dict[str, Any], b: Dict[str, Any]) -> DiffResult:
     """Compare two dumps: exact on counters, approximate on gauges.
 
     Span trees contribute informational timing rows only — wall-clock
-    is timing-class and never part of the verdict.
+    is timing-class and never part of the verdict.  Histograms carry
+    bucketed wall-clock latencies, so they are validated against the
+    contract but likewise never compared.
     """
     result = DiffResult()
     result.contract_problems.extend(_check_schema(a, "A"))
     result.contract_problems.extend(_check_schema(b, "B"))
     for label, dump in (("A", a), ("B", b)):
         ok, problems = validate_export(
-            dump.get("counters", {}), dump.get("gauges", {})
+            dump.get("counters", {}),
+            dump.get("gauges", {}),
+            dump.get("histograms", {}),
         )
         if not ok:
             result.contract_problems.extend(

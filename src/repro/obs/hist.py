@@ -1,0 +1,306 @@
+"""Deterministic, mergeable log-linear latency histograms.
+
+The serving load harness measures hundreds of thousands of per-request
+wall-clock latencies; keeping them as raw lists is unbounded memory and
+makes multi-worker percentile aggregation depend on how requests were
+partitioned.  This module provides the bounded-memory alternative: a
+**log-linear histogram** with a fixed, declared bucket layout whose
+merge is exact integer addition — associative, commutative, and
+byte-identical regardless of how observations were sharded.
+
+Bucket layout
+-------------
+
+Each power-of-two *binade* ``[2^(e-1), 2^e)`` is split into
+``subbuckets`` equal-width linear buckets (``subbuckets`` must be a
+power of two).  Bucketing a value uses only exact float64 operations:
+
+- ``m, e = math.frexp(v)`` gives ``v = m * 2^e`` with ``m`` in
+  ``[0.5, 1)`` — exact by construction;
+- ``m - 0.5`` is exact by the Sterbenz lemma (``0.5 <= m < 1``);
+- multiplying by ``2 * subbuckets`` (a power of two) is exact, so
+  ``int((m - 0.5) * 2 * subbuckets)`` is a true floor.
+
+Bucket 0 collects zero and negative observations.  Values below the
+smallest finite bucket clamp up into it; values at or above the top of
+the largest binade clamp down into it (both documented as out-of-range,
+with the error bound below holding only for in-range values).
+
+Error bound
+-----------
+
+For a bucket covering ``[lo, hi)`` at sub-position ``sub`` the relative
+width is ``(hi - lo) / lo = 1 / (subbuckets + sub) <= 1 / subbuckets``.
+Every bucket reports its **upper bound** as the representative value, so
+for any in-range observation ``v``::
+
+    v <= representative(bucket_index(v)) <= v * (1 + 1/subbuckets)
+
+Percentiles use the nearest-rank method (rank ``ceil(q/100 * n)``).
+Bucketing is monotone non-decreasing, so the rank-``k`` observation
+falls in the first bucket whose cumulative count reaches ``k``; the
+reported percentile is that bucket's upper bound and therefore never
+under-reports and overshoots by at most a factor ``1 + 1/subbuckets``
+relative to the exact nearest-rank percentile.
+
+Merging histograms with identical layouts sums integer bucket counts —
+exact in any order and any grouping — and the canonical JSON encoding
+(sorted keys, fixed separators) is byte-identical for equal contents,
+so a merged histogram encodes identically no matter how many workers
+contributed.  This module is stdlib-only by design: it sits in
+``repro.obs`` which must not depend on numpy.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+SCHEMA = "repro-hist/1"
+
+DEFAULT_SUBBUCKETS = 64
+DEFAULT_MIN_EXP = -30
+DEFAULT_MAX_EXP = 33
+
+ZERO_BUCKET = 0
+
+
+@dataclass(frozen=True)
+class HistogramLayout:
+    """Declared bucket geometry; two histograms merge iff equal.
+
+    ``subbuckets`` linear buckets per binade; finite binades cover
+    ``[2^(min_exp - 1), 2^max_exp)``.  The defaults span ~4.7e-10 s to
+    ~8.6e9 s with a relative error bound of 1/64 ≈ 1.6%.
+    """
+
+    subbuckets: int = DEFAULT_SUBBUCKETS
+    min_exp: int = DEFAULT_MIN_EXP
+    max_exp: int = DEFAULT_MAX_EXP
+
+    def __post_init__(self) -> None:
+        if self.subbuckets < 1 or (
+            self.subbuckets & (self.subbuckets - 1)
+        ) != 0:
+            raise ValueError(
+                "subbuckets must be a positive power of two, got "
+                f"{self.subbuckets}"
+            )
+        if self.min_exp >= self.max_exp:
+            raise ValueError(
+                f"min_exp {self.min_exp} must be < max_exp {self.max_exp}"
+            )
+
+    @property
+    def n_buckets(self) -> int:
+        """Zero bucket plus every finite bucket."""
+        return 1 + (self.max_exp - self.min_exp + 1) * self.subbuckets
+
+    @property
+    def relative_error_bound(self) -> float:
+        """Max relative percentile overshoot for in-range values."""
+        return 1.0 / self.subbuckets
+
+    def bucket_index(self, value: float) -> int:
+        """Exact float64 bucketing; see the module docstring."""
+        if value != value:
+            raise ValueError("cannot bucket NaN")
+        if value <= 0.0:
+            return ZERO_BUCKET
+        if math.isinf(value):
+            return self.n_buckets - 1
+        mantissa, exponent = math.frexp(value)
+        if exponent < self.min_exp:
+            return 1
+        if exponent > self.max_exp:
+            return self.n_buckets - 1
+        sub = int((mantissa - 0.5) * 2.0 * self.subbuckets)
+        return 1 + (exponent - self.min_exp) * self.subbuckets + sub
+
+    def bucket_bounds(self, index: int) -> Tuple[float, float]:
+        """``[lo, hi)`` covered by a bucket; ``(0.0, 0.0)`` for bucket 0."""
+        self._check_index(index)
+        if index == ZERO_BUCKET:
+            return (0.0, 0.0)
+        position = index - 1
+        exponent = self.min_exp + position // self.subbuckets
+        sub = position % self.subbuckets
+        lo = math.ldexp(1.0 + sub / self.subbuckets, exponent - 1)
+        hi = math.ldexp(1.0 + (sub + 1) / self.subbuckets, exponent - 1)
+        return (lo, hi)
+
+    def representative(self, index: int) -> float:
+        """Upper bucket bound — the value a bucket reports."""
+        if index == ZERO_BUCKET:
+            return 0.0
+        return self.bucket_bounds(index)[1]
+
+    def _check_index(self, index: int) -> None:
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise TypeError(f"bucket index must be an int, got {index!r}")
+        if not 0 <= index < self.n_buckets:
+            raise ValueError(
+                f"bucket index {index} out of range [0, {self.n_buckets})"
+            )
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "max_exp": self.max_exp,
+            "min_exp": self.min_exp,
+            "subbuckets": self.subbuckets,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, int]) -> "HistogramLayout":
+        return cls(
+            subbuckets=payload["subbuckets"],
+            min_exp=payload["min_exp"],
+            max_exp=payload["max_exp"],
+        )
+
+
+DEFAULT_LAYOUT = HistogramLayout()
+
+
+class LatencyHistogram:
+    """Sparse bucket counts over one :class:`HistogramLayout`."""
+
+    __slots__ = ("layout", "_counts", "_n")
+
+    def __init__(self, layout: HistogramLayout = DEFAULT_LAYOUT) -> None:
+        self.layout = layout
+        self._counts: Dict[int, int] = {}
+        self._n = 0
+
+    @property
+    def n(self) -> int:
+        """Total observations."""
+        return self._n
+
+    def observe(self, value: float) -> int:
+        """Record one value; returns the bucket index it landed in."""
+        index = self.layout.bucket_index(value)
+        self.observe_bucket(index)
+        return index
+
+    def observe_bucket(self, index: int, count: int = 1) -> None:
+        """Record ``count`` observations directly into one bucket."""
+        self.layout._check_index(index)
+        if not isinstance(count, int) or isinstance(count, bool):
+            raise TypeError(f"count must be an int, got {count!r}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self._counts[index] = self._counts.get(index, 0) + count
+        self._n += count
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other`` into this histogram (exact integer sums)."""
+        if other.layout != self.layout:
+            raise ValueError(
+                "cannot merge histograms with different layouts: "
+                f"{self.layout} vs {other.layout}"
+            )
+        for index, count in other._counts.items():
+            self._counts[index] = self._counts.get(index, 0) + count
+        self._n += other._n
+
+    def bucket_counts(self) -> List[Tuple[int, int]]:
+        """``(index, count)`` pairs in ascending bucket order."""
+        return sorted(self._counts.items())
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile; upper bound of the rank bucket.
+
+        Returns 0.0 for an empty histogram.  For in-range data the
+        result ``p`` satisfies ``exact <= p <= exact * (1 +
+        layout.relative_error_bound)`` where ``exact`` is the
+        nearest-rank percentile of the raw observations.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self._n == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self._n / 100.0))
+        cumulative = 0
+        index = ZERO_BUCKET
+        for index, count in self.bucket_counts():
+            cumulative += count
+            if cumulative >= rank:
+                break
+        return self.layout.representative(index)
+
+    def percentiles(self, qs: Sequence[float]) -> List[float]:
+        return [self.percentile(q) for q in qs]
+
+    def upper_sum(self) -> float:
+        """Sum of representatives — a deterministic upper bound on the
+        true sum of observations (within the relative error bound)."""
+        return sum(
+            count * self.layout.representative(index)
+            for index, count in self.bucket_counts()
+        )
+
+    def mean_upper_bound(self) -> float:
+        """Deterministic mean estimate from bucket representatives."""
+        if self._n == 0:
+            return 0.0
+        return self.upper_sum() / self._n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencyHistogram):
+            return NotImplemented
+        return self.layout == other.layout and self._counts == other._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "layout": self.layout.to_dict(),
+            "counts": {
+                str(index): count for index, count in self.bucket_counts()
+            },
+            "n": self._n,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "LatencyHistogram":
+        if payload.get("schema") != SCHEMA:
+            raise ValueError(
+                f"expected schema {SCHEMA!r}, got {payload.get('schema')!r}"
+            )
+        layout = HistogramLayout.from_dict(payload["layout"])  # type: ignore[arg-type]
+        hist = cls(layout)
+        counts = payload["counts"]
+        if not isinstance(counts, dict):
+            raise ValueError("counts must be an object")
+        for key, count in counts.items():
+            hist.observe_bucket(int(key), count)
+        if hist.n != payload.get("n"):
+            raise ValueError(
+                f"count total {hist.n} disagrees with declared n "
+                f"{payload.get('n')}"
+            )
+        return hist
+
+    def encode(self) -> str:
+        """Canonical JSON — byte-identical for equal histograms."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def decode(cls, text: str) -> "LatencyHistogram":
+        return cls.from_dict(json.loads(text))
+
+
+def merge_all(
+    histograms: Iterable[LatencyHistogram],
+    layout: HistogramLayout = DEFAULT_LAYOUT,
+) -> LatencyHistogram:
+    """Merge any number of histograms into a fresh one."""
+    merged = LatencyHistogram(layout)
+    for histogram in histograms:
+        merged.merge(histogram)
+    return merged

@@ -31,6 +31,8 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.obs.hist import LatencyHistogram
+
 Number = Union[int, float]
 
 
@@ -39,6 +41,7 @@ class MetricKind(enum.Enum):
 
     COUNTER = "counter"  # monotone, merged by summation
     GAUGE = "gauge"  # point-in-time value, merged by last-write
+    HISTOGRAM = "histogram"  # log-linear buckets, merged by count sums
 
 
 class Determinism(enum.Enum):
@@ -87,7 +90,7 @@ def _spec_table(specs: Iterable[MetricSpec]) -> Dict[str, MetricSpec]:
     return table
 
 
-_C, _G = MetricKind.COUNTER, MetricKind.GAUGE
+_C, _G, _H = MetricKind.COUNTER, MetricKind.GAUGE, MetricKind.HISTOGRAM
 _EV, _DE, _TI = Determinism.EVENTS, Determinism.DERIVED, Determinism.TIMING
 
 #: The full metrics contract: every name the pipeline may emit.
@@ -320,6 +323,33 @@ SPECS: Dict[str, MetricSpec] = _spec_table(
             "serve.saturation_rps", _G, "requests/s", "serve", _TI,
             "highest offered rate whose simulated p99 met the bound",
         ),
+        MetricSpec(
+            "serve.trace_sampled", _C, "requests", "serve", _EV,
+            "requests selected for phase-level tracing by the pure "
+            "(seed, request_id) sampler",
+        ),
+        MetricSpec(
+            "serve.latency.seconds", _H, "seconds", "serve", _TI,
+            "log-linear histogram of simulated open-loop request "
+            "latencies (merged across workers)",
+        ),
+        MetricSpec(
+            "serve.latency.service_seconds", _H, "seconds", "serve", _TI,
+            "log-linear histogram of measured per-request service times",
+        ),
+        # --- benchmark observatory -----------------------------------
+        MetricSpec(
+            "bench.legs", _C, "legs", "bench", _EV,
+            "micro benchmark legs executed by repro-bench",
+        ),
+        MetricSpec(
+            "bench.history_appends", _C, "records", "bench", _EV,
+            "run records appended to the benchmark history store",
+        ),
+        MetricSpec(
+            "bench.gate_regressions", _C, "indicators", "bench", _EV,
+            "gate indicators found outside their declared noise band",
+        ),
     ]
 )
 
@@ -339,11 +369,12 @@ class MetricsRegistry:
     what makes the no-op/"never enabled" path exactly empty.
     """
 
-    __slots__ = ("counters", "gauges")
+    __slots__ = ("counters", "gauges", "histograms")
 
     def __init__(self) -> None:
         self.counters: Dict[str, Number] = {}
         self.gauges: Dict[str, Number] = {}
+        self.histograms: Dict[str, LatencyHistogram] = {}
 
     def add(self, name: str, value: Number = 1) -> None:
         """Increment counter ``name`` by ``value``."""
@@ -367,6 +398,27 @@ class MetricsRegistry:
             )
         self.gauges[name] = value
 
+    def _histogram_for(self, name: str) -> LatencyHistogram:
+        spec = SPECS.get(name)
+        if spec is None or spec.kind is not MetricKind.HISTOGRAM:
+            raise KeyError(
+                f"{name!r} is not a declared histogram — add a MetricSpec "
+                "to repro.obs.metrics.SPECS and document it in "
+                "docs/observability.md"
+            )
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = LatencyHistogram()
+        return hist
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        self._histogram_for(name).observe(value)
+
+    def merge_histogram(self, name: str, hist: LatencyHistogram) -> None:
+        """Fold an externally built histogram into histogram ``name``."""
+        self._histogram_for(name).merge(hist)
+
     def get(self, name: str) -> Optional[Number]:
         """Current value of a metric, or None if never touched."""
         if name in self.counters:
@@ -386,12 +438,21 @@ class MetricsRegistry:
         """Gauge name -> value, sorted by name."""
         return {name: self.gauges[name] for name in sorted(self.gauges)}
 
+    def export_histograms(self) -> Dict[str, Dict[str, object]]:
+        """Histogram name -> encoded dict, sorted by name."""
+        return {
+            name: self.histograms[name].to_dict()
+            for name in sorted(self.histograms)
+        }
+
     def __len__(self) -> int:
-        return len(self.counters) + len(self.gauges)
+        return len(self.counters) + len(self.gauges) + len(self.histograms)
 
 
 def validate_export(
-    counters: Dict[str, Number], gauges: Dict[str, Number]
+    counters: Dict[str, Number],
+    gauges: Dict[str, Number],
+    histograms: Optional[Dict[str, Dict[str, object]]] = None,
 ) -> Tuple[bool, List[str]]:
     """Check an exported metric map against the contract.
 
@@ -404,13 +465,27 @@ def validate_export(
         if spec is None:
             problems.append(f"undeclared counter {name!r}")
         elif spec.kind is not MetricKind.COUNTER:
-            problems.append(f"{name!r} exported as counter but declared gauge")
+            problems.append(
+                f"{name!r} exported as counter but declared "
+                f"{spec.kind.value}"
+            )
     for name in sorted(gauges):
         spec = SPECS.get(name)
         if spec is None:
             problems.append(f"undeclared gauge {name!r}")
         elif spec.kind is not MetricKind.GAUGE:
-            problems.append(f"{name!r} exported as gauge but declared counter")
+            problems.append(
+                f"{name!r} exported as gauge but declared {spec.kind.value}"
+            )
+    for name in sorted(histograms or {}):
+        spec = SPECS.get(name)
+        if spec is None:
+            problems.append(f"undeclared histogram {name!r}")
+        elif spec.kind is not MetricKind.HISTOGRAM:
+            problems.append(
+                f"{name!r} exported as histogram but declared "
+                f"{spec.kind.value}"
+            )
     return not problems, problems
 
 

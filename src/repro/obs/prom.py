@@ -1,0 +1,92 @@
+"""Prometheus text exposition for obs dumps (stdlib-only).
+
+Renders the counter/gauge/histogram registry of one exported session in
+the Prometheus text format (version 0.0.4), the snapshot surface a
+future resident server would serve at ``/metrics``:
+
+- metric names are mangled ``repro_`` + dots→underscores; counters get
+  the conventional ``_total`` suffix;
+- every series carries ``# HELP`` / ``# TYPE`` headers sourced from the
+  declared contract (:data:`repro.obs.metrics.SPECS`), so the
+  exposition can never show an undocumented metric;
+- histograms render as cumulative ``_bucket{le="..."}`` series over the
+  log-linear bucket upper bounds, plus ``_sum`` (the deterministic
+  representative sum) and ``_count``.
+
+Output is byte-stable: series are emitted in sorted metric-name order
+and bucket order, with no timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.obs.hist import LatencyHistogram
+from repro.obs.metrics import SPECS
+
+PROM_PREFIX = "repro"
+
+
+def _mangle(name: str) -> str:
+    return f"{PROM_PREFIX}_{name.replace('.', '_').replace('/', '_')}"
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+        # bool before int: True is an int in python
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _help_line(prom_name: str, metric_name: str) -> List[str]:
+    spec = SPECS.get(metric_name)
+    if spec is None:
+        return []
+    return [f"# HELP {prom_name} {spec.description} [{spec.unit}]"]
+
+
+def _render_scalar(
+    lines: List[str], metric_name: str, value: Any, prom_type: str
+) -> None:
+    prom_name = _mangle(metric_name)
+    if prom_type == "counter":
+        prom_name += "_total"
+    lines.extend(_help_line(prom_name, metric_name))
+    lines.append(f"# TYPE {prom_name} {prom_type}")
+    lines.append(f"{prom_name} {_format_value(value)}")
+
+
+def _render_histogram(
+    lines: List[str], metric_name: str, payload: Dict[str, Any]
+) -> None:
+    hist = LatencyHistogram.from_dict(payload)
+    prom_name = _mangle(metric_name)
+    lines.extend(_help_line(prom_name, metric_name))
+    lines.append(f"# TYPE {prom_name} histogram")
+    cumulative = 0
+    for index, count in hist.bucket_counts():
+        cumulative += count
+        upper = hist.layout.representative(index)
+        lines.append(
+            f'{prom_name}_bucket{{le="{_format_value(upper)}"}} {cumulative}'
+        )
+    lines.append(f'{prom_name}_bucket{{le="+Inf"}} {hist.n}')
+    lines.append(f"{prom_name}_sum {_format_value(hist.upper_sum())}")
+    lines.append(f"{prom_name}_count {hist.n}")
+
+
+def render_prom(dump: Dict[str, Any]) -> str:
+    """One obs dump (``ObsSession.export()`` shape) as exposition text."""
+    lines: List[str] = []
+    for name in sorted(dump.get("counters", {})):
+        _render_scalar(lines, name, dump["counters"][name], "counter")
+    for name in sorted(dump.get("gauges", {})):
+        _render_scalar(lines, name, dump["gauges"][name], "gauge")
+    for name in sorted(dump.get("histograms", {})):
+        _render_histogram(lines, name, dump["histograms"][name])
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+__all__ = ["PROM_PREFIX", "render_prom"]

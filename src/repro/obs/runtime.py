@@ -30,6 +30,7 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from repro.obs import clock
 from repro.obs.events import Event
+from repro.obs.hist import LatencyHistogram
 from repro.obs.metrics import SPECS, Determinism, MetricsRegistry, Number
 from repro.obs.spans import SpanNode
 
@@ -77,6 +78,7 @@ class ObsSession:
             "schema": SCHEMA,
             "counters": self.registry.export_counters(),
             "gauges": self.registry.export_gauges(),
+            "histograms": self.registry.export_histograms(),
             "spans": self.root.to_dict(),
             "meta": dict(meta or {}),
         }
@@ -170,6 +172,29 @@ def set_gauge(name: str, value: Number) -> None:
         # Timing-class gauges (RSS, wall-clock) would make the event
         # log run-dependent; the log stays a deterministic trace.
         session.events.append(("gauge", name, value))
+
+
+def observe(name: str, value: float) -> None:
+    """Record one value into histogram ``name``; no-op unless enabled.
+
+    Histogram observations are timing-class by contract (they carry
+    wall-clock latencies) and therefore never reach the structured
+    event log — only the bucketed snapshot in the export does.
+    """
+    session = _ACTIVE
+    if session is None:
+        return
+    session.api_events += 1
+    session.registry.observe(name, value)
+
+
+def merge_histogram(name: str, hist: LatencyHistogram) -> None:
+    """Fold a pre-built histogram into ``name``; no-op unless enabled."""
+    session = _ACTIVE
+    if session is None:
+        return
+    session.api_events += 1
+    session.registry.merge_histogram(name, hist)
 
 
 def log_event(kind: str, name: str, value: Any = None) -> None:
@@ -284,6 +309,7 @@ class _ShardCapture:
                 session.events.append(("snapshot", self.label, counters))
             self.export = {
                 "counters": counters,
+                "histograms": session.registry.export_histograms(),
                 "spans": session.export()["spans"],
                 "api_events": session.api_events,
                 "events": session.events,
@@ -309,6 +335,10 @@ def absorb_shard(export: Optional[Dict[str, Any]]) -> None:
     if session is None or export is None:
         return
     session.registry.merge_counters(export["counters"])
+    for name in sorted(export.get("histograms", {})):
+        session.registry.merge_histogram(
+            name, LatencyHistogram.from_dict(export["histograms"][name])
+        )
     session.stack[-1].graft(SpanNode.from_dict(export["spans"]))
     session.api_events += int(export.get("api_events", 0))
     if session.log_events:
@@ -329,6 +359,8 @@ __all__ = [
     "enable",
     "is_enabled",
     "log_event",
+    "merge_histogram",
+    "observe",
     "observed",
     "set_gauge",
     "shard_capture",

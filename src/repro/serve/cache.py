@@ -17,7 +17,7 @@ executed the requests.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 class LRUCache:
@@ -69,19 +69,50 @@ class LRUCache:
         }
 
 
-def simulate_hits(keys: Iterable[str], capacity: int) -> Tuple[int, int]:
-    """Replay the LRU policy over ``keys``; returns ``(hits, misses)``.
+def simulate_hit_flags(
+    keys: Sequence[str],
+    capacity: int,
+    bypass: Optional[Sequence[bool]] = None,
+) -> List[Optional[bool]]:
+    """Per-key LRU replay: ``True`` hit, ``False`` miss, ``None`` bypassed.
 
-    Pure — no values are stored, nothing is executed.  Matches what a
-    single :class:`LRUCache` of the same capacity would count when the
-    keys are looked up (and stored on miss) in order, which is exactly
-    the serial engine's behaviour.
+    Pure — no values are stored, nothing is executed.  ``bypass`` marks
+    keys that skip the cache entirely, mirroring the engine's
+    phase-traced requests (which neither read nor populate the live
+    cache so their span structure stays cache-state independent); the
+    outcome is a pure function of the key sequence, the capacity, and
+    the bypass mask.
     """
     cache = LRUCache(capacity)
-    for key in keys:
+    flags: List[Optional[bool]] = []
+    for index, key in enumerate(keys):
+        if bypass is not None and bypass[index]:
+            flags.append(None)
+            continue
         if cache.get(key) is None:
             cache.put(key, "")
-    return cache.hits, cache.misses
+            flags.append(False)
+        else:
+            flags.append(True)
+    return flags
 
 
-__all__ = ["LRUCache", "simulate_hits"]
+def simulate_hits(
+    keys: Iterable[str],
+    capacity: int,
+    bypass: Optional[Sequence[bool]] = None,
+) -> Tuple[int, int]:
+    """Replay the LRU policy over ``keys``; returns ``(hits, misses)``.
+
+    Matches what a single :class:`LRUCache` of the same capacity would
+    count when the keys are looked up (and stored on miss) in order,
+    which is exactly the serial engine's behaviour.  Bypassed keys (see
+    :func:`simulate_hit_flags`) count as neither hit nor miss.
+    """
+    flags = simulate_hit_flags(list(keys), capacity, bypass)
+    hits = sum(1 for flag in flags if flag is True)
+    misses = sum(1 for flag in flags if flag is False)
+    return hits, misses
+
+
+__all__ = ["LRUCache", "simulate_hit_flags", "simulate_hits"]

@@ -10,14 +10,19 @@ Examples::
     repro-serve query panel.npz '{"family":"topk","commune":3,"k":3}'
     repro-serve schedule panel.npz --seed 7 --duration 60 --out load.csv
     repro-serve load panel.npz --csv load.csv --p99-bound-ms 50 \\
-        --out report.json
+        --trace-sample 0.01 --out report.json
+    repro-serve stats panel.npz --duration 10 --out serve.prom
 
 Query answers are printed as canonical JSON on stdout.  ``load``
 writes the harness report (p50/p95/p99 latency, throughput, cache hit
-rate, saturation point — ``docs/serving.md``) and follows the shared
-exit contract in :mod:`repro._exit`: ``0`` ok, ``1`` findings (the p99
-bound was exceeded or requests errored), ``2`` usage error or
-unreadable input, ``3`` internal failure.
+rate, saturation point — ``docs/serving.md``); ``--trace-sample``
+phase-traces a deterministic ``(seed, request_id)``-sampled subset of
+requests into the event log.  ``stats`` runs the same harness and
+renders the resulting metric registry — counters, gauges, and the
+``serve.latency.*`` histograms — in Prometheus text exposition format.
+Both follow the shared exit contract in :mod:`repro._exit`: ``0`` ok,
+``1`` findings (the p99 bound was exceeded or requests errored), ``2``
+usage error or unreadable input, ``3`` internal failure.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from repro._exit import EXIT_FINDINGS, EXIT_INTERNAL, EXIT_OK, EXIT_USAGE
 from repro._units import MILLIS_PER_SECOND
 from repro.dataset.store import CorruptDatasetError, MobileTrafficDataset
 from repro.obs import events as obs_events
+from repro.obs import prom as obs_prom
 from repro.obs import runtime
 from repro.serve.engine import DEFAULT_CACHE_CAPACITY, ServeEngine
 from repro.serve.load import run_load
@@ -45,6 +51,24 @@ from repro.serve.workload import (
     parse_schedule_csv,
     render_schedule_csv,
 )
+
+
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.0,
+        help=(
+            "fraction of requests to phase-trace; sampling is a pure "
+            "function of (--trace-seed, request id)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-seed",
+        type=int,
+        default=None,
+        help="trace-sampling seed (default: --seed)",
+    )
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
@@ -176,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument(
         "--cache-capacity", type=int, default=DEFAULT_CACHE_CAPACITY
     )
+    _add_trace_arguments(load)
     load.add_argument(
         "--p99-bound-ms",
         type=float,
@@ -193,6 +218,33 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="record and write the structured JSONL event log",
+    )
+
+    stats = sub.add_parser(
+        "stats",
+        help=(
+            "run a workload and render the metric registry in "
+            "Prometheus text format"
+        ),
+    )
+    stats.add_argument("dataset", metavar="DATASET")
+    stats.add_argument(
+        "--csv",
+        metavar="PATH",
+        default=None,
+        help="replay a scheduled-request CSV instead of generating",
+    )
+    _add_workload_arguments(stats)
+    stats.add_argument("--workers", type=int, default=1)
+    stats.add_argument(
+        "--cache-capacity", type=int, default=DEFAULT_CACHE_CAPACITY
+    )
+    _add_trace_arguments(stats)
+    stats.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the exposition here (default: stdout)",
     )
     return parser
 
@@ -294,18 +346,27 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
-def _cmd_load(args: argparse.Namespace) -> int:
-    engine = ServeEngine.open(
-        args.dataset, cache_capacity=args.cache_capacity
+def _load_engine(args: argparse.Namespace) -> ServeEngine:
+    trace_seed = args.trace_seed if args.trace_seed is not None else args.seed
+    return ServeEngine.open(
+        args.dataset,
+        cache_capacity=args.cache_capacity,
+        trace_seed=trace_seed,
+        trace_sample_rate=args.trace_sample,
     )
+
+
+def _load_requests(args: argparse.Namespace, engine: ServeEngine) -> list:
+    if args.csv:
+        with open(args.csv, "r", encoding="utf-8") as handle:
+            return parse_schedule_csv(handle.read())
+    return generate_schedule(_workload_spec(args), engine.profile, args.seed)
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    engine = _load_engine(args)
     with runtime.observed(log_events=args.events_out is not None) as session:
-        if args.csv:
-            with open(args.csv, "r", encoding="utf-8") as handle:
-                requests = parse_schedule_csv(handle.read())
-        else:
-            requests = generate_schedule(
-                _workload_spec(args), engine.profile, args.seed
-            )
+        requests = _load_requests(args, engine)
         report = run_load(engine, requests, n_workers=args.workers)
         events = session.export_events()
     rendered = json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
@@ -342,6 +403,24 @@ def _cmd_load(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    engine = _load_engine(args)
+    with runtime.observed() as session:
+        requests = _load_requests(args, engine)
+        run_load(engine, requests, n_workers=args.workers)
+        dump = session.export(
+            meta={"command": "stats", "dataset": args.dataset}
+        )
+    rendered = obs_prom.render_prom(dump)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"exposition written to {args.out}", file=sys.stderr)
+    else:
+        print(rendered, end="")
+    return EXIT_OK
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -359,6 +438,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_schedule(args)
         if args.command == "load":
             return _cmd_load(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
     except (OSError, ValueError, CorruptDatasetError) as exc:
         print(f"repro-serve: {exc}", file=sys.stderr)
         return EXIT_USAGE

@@ -25,11 +25,16 @@ harness's result digests comparable across runs and worker counts.
 Instrumentation (``docs/serving.md``): ``serve.queries`` counts
 accepted queries, ``serve.errors`` rejected ones, and
 ``serve.index_builds`` index constructions (the eager build at load
-plus each lazily materialized similarity view).
+plus each lazily materialized similarity view).  ``serve.trace_sampled``
+counts requests routed through the phase-traced path: sampling is a
+pure function of ``(trace_seed, request_id)`` and traced requests
+bypass the result cache, so the emitted span structure is identical
+for any worker count and cache state.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any, Dict, Iterable, Optional, Tuple, Union
@@ -52,6 +57,30 @@ from repro.serve.queries import (
 #: Default result-cache capacity (entries).
 DEFAULT_CACHE_CAPACITY = 1024
 
+#: The per-request phases a traced request times, in execution order.
+TRACE_PHASES = (
+    "serve.request.parse",
+    "serve.request.cache_lookup",
+    "serve.request.index_scan",
+    "serve.request.encode",
+)
+
+
+def trace_sampled(seed: int, request_id: str, rate: float) -> bool:
+    """Pure ``(seed, request_id)`` trace-sampling decision.
+
+    Hashes ``"{seed}:{request_id}"`` with sha256 and compares the first
+    8 bytes against ``rate`` scaled to 2**64 — no RNG state, no
+    execution order, no worker count involved, so the set of traced
+    requests is identical for any partitioning of a schedule.
+    """
+    if rate <= 0.0:
+        return False
+    if rate >= 1.0:
+        return True
+    digest = hashlib.sha256(f"{seed}:{request_id}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") < int(rate * 2.0**64)
+
 
 class ServeEngine:
     """Serve point/topk/range/similarity queries from one dataset."""
@@ -60,10 +89,20 @@ class ServeEngine:
         self,
         dataset: MobileTrafficDataset,
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+        trace_seed: int = 0,
+        trace_sample_rate: float = 0.0,
     ):
+        if not 0.0 <= trace_sample_rate <= 1.0:
+            raise ValueError(
+                f"trace_sample_rate must be in [0, 1], got {trace_sample_rate}"
+            )
         self.dataset = dataset
         self.profile = CubeProfile.of(dataset)
         self.cache = LRUCache(cache_capacity)
+        #: Trace sampling is a pure function of (trace_seed, request_id)
+        #: — see :func:`trace_sampled`; rate 0 disables tracing.
+        self.trace_seed = trace_seed
+        self.trace_sample_rate = trace_sample_rate
         #: Lazily materialized (direction, kind) -> r² matrix views.
         self._similarity: Dict[Tuple[str, str], np.ndarray] = {}
         with obs.span("serve.index_build"):
@@ -75,10 +114,15 @@ class ServeEngine:
         cls,
         path: Union[str, Path],
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+        trace_seed: int = 0,
+        trace_sample_rate: float = 0.0,
     ) -> "ServeEngine":
         """Load a saved dataset archive and index it."""
         return cls(
-            MobileTrafficDataset.load(path), cache_capacity=cache_capacity
+            MobileTrafficDataset.load(path),
+            cache_capacity=cache_capacity,
+            trace_seed=trace_seed,
+            trace_sample_rate=trace_sample_rate,
         )
 
     # ------------------------------------------------------------------
@@ -185,8 +229,25 @@ class ServeEngine:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def query_encoded(self, query: Query) -> str:
-        """Answer ``query`` as canonical JSON bytes (the cached form)."""
+    def query_encoded(
+        self, query: Query, request_id: Optional[str] = None
+    ) -> str:
+        """Answer ``query`` as canonical JSON bytes (the cached form).
+
+        When a ``request_id`` is given and the pure sampler selects it
+        (:func:`trace_sampled`), the request runs the phase-traced path
+        instead: parse → cache lookup → index scan → encode, each as an
+        obs span.  Traced requests **bypass the result cache** — they
+        recompute the answer fresh and leave the cache untouched — so
+        their span structure never depends on per-worker cache state
+        and the event log stays byte-identical across worker counts.
+        Cached and uncached answers are byte-identical by construction,
+        so bypassing never changes the returned bytes.
+        """
+        if request_id is not None and trace_sampled(
+            self.trace_seed, request_id, self.trace_sample_rate
+        ):
+            return self._query_traced(query)
         try:
             validate_query(query, self.profile)
         except QueryError:
@@ -201,6 +262,25 @@ class ServeEngine:
         self.cache.put(key, encoded)
         return encoded
 
+    def _query_traced(self, query: Query) -> str:
+        """The phase-traced request path (cache-bypassing, see above)."""
+        obs.add("serve.trace_sampled")
+        with obs.span("serve.request"):
+            with obs.span("serve.request.parse"):
+                try:
+                    validate_query(query, self.profile)
+                except QueryError:
+                    obs.add("serve.errors")
+                    raise
+            obs.add("serve.queries")
+            with obs.span("serve.request.cache_lookup"):
+                query.canonical()
+            with obs.span("serve.request.index_scan"):
+                answer = self._answer(query)
+            with obs.span("serve.request.encode"):
+                encoded = encode_canonical(answer)
+        return encoded
+
     def query(self, query: Query) -> Dict[str, Any]:
         """Answer ``query`` as a plain dict.
 
@@ -210,4 +290,9 @@ class ServeEngine:
         return json.loads(self.query_encoded(query))
 
 
-__all__ = ["DEFAULT_CACHE_CAPACITY", "ServeEngine"]
+__all__ = [
+    "DEFAULT_CACHE_CAPACITY",
+    "ServeEngine",
+    "TRACE_PHASES",
+    "trace_sampled",
+]

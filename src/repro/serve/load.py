@@ -17,26 +17,50 @@ Separating measurement from queueing keeps the two contracts clean:
   worker counts;
 - **latencies** are wall-clock measurements (timing determinism class)
   surfaced only through the ``serve.*_s`` / ``serve.*_rps`` timing
-  gauges and the report, never through the event log.
+  gauges, the ``serve.latency.*`` histograms, and the report — never
+  through the event log.
 
-The saturation point replays the same measured service times at
+Latency accounting is histogram-based and **worker-merge invariant**:
+each measured service time is quantized at the measurement site into a
+bucket of the declared log-linear layout
+(:data:`repro.obs.hist.DEFAULT_LAYOUT`), workers ship bucket indices
+(bounded-size integers, not raw float lists), and everything derived —
+the queue simulation runs on bucket representatives, the latency
+histogram, every reported percentile, and the saturation point — is a
+pure function of ``(schedule, bucket indices)``.  Partitioning the same
+measurements across 1, 2 or 4 workers therefore yields *identical*
+derived results, and merging per-worker histograms is exact integer
+addition.  The report carries both histogram-derived percentiles and
+exact nearest-rank percentiles of the simulated latencies; the two
+agree within one bucket's relative width (``1/subbuckets``), which
+``tools/serve_smoke.py`` asserts on every CI run.
+
+The saturation point replays the same quantized service times at
 compressed arrival schedules (offered rate × m) and bisects for the
-highest offered rate whose simulated p99 stays under a bound — one
-measurement pass yields the whole latency-vs-load curve.
+highest offered rate whose simulated p99 (histogram-derived) stays
+under a bound — one measurement pass yields the whole latency-vs-load
+curve.
 
 With ``n_workers > 1`` the requests are partitioned into contiguous
 chunks executed by forked workers (platforms without ``fork`` fall
-back to serial); per-chunk metrics are captured with
-:func:`repro.obs.shard_capture` and absorbed in chunk order, and cache
-hit/miss totals are replayed parent-side from the key sequence
-(:func:`repro.serve.cache.simulate_hits`), so every metric the harness
-emits is independent of the worker count.
+back to serial); per-chunk metrics — including the per-chunk service
+histograms — are captured with :func:`repro.obs.shard_capture` and
+absorbed in chunk order, and cache hit/miss totals are replayed
+parent-side from the key sequence
+(:func:`repro.serve.cache.simulate_hit_flags`), so every metric the
+harness emits is independent of the worker count.  Requests selected by
+the engine's pure trace sampler bypass the result cache (see
+``repro.serve.engine``); the replay models that with a bypass mask, and
+one ``trace`` event per sampled request — request id, family, mode, and
+the replayed would-be cache outcome — is emitted parent-side in
+schedule order.
 """
 
 from __future__ import annotations
 
 import hashlib
 import heapq
+import math
 import multiprocessing
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -46,8 +70,9 @@ import numpy as np
 from repro import obs
 from repro._units import MILLIS_PER_SECOND
 from repro.obs import clock
-from repro.serve.cache import simulate_hits
-from repro.serve.engine import ServeEngine
+from repro.obs.hist import DEFAULT_LAYOUT, HistogramLayout, LatencyHistogram
+from repro.serve.cache import simulate_hit_flags
+from repro.serve.engine import ServeEngine, trace_sampled
 from repro.serve.queries import QueryError, encode_canonical
 from repro.serve.workload import PRIORITY_VALUES, ScheduledRequest
 
@@ -58,6 +83,9 @@ SATURATION_P99_SERVICE_MULTIPLE = 50.0
 #: Saturation search range: offered-rate multipliers 2**MIN .. 2**MAX.
 _SATURATION_MIN_EXP = -4
 _SATURATION_MAX_EXP = 12
+
+#: The bucket layout every harness histogram uses.
+LAYOUT = DEFAULT_LAYOUT
 
 
 @dataclass
@@ -70,10 +98,17 @@ class LoadReport:
     duration_s: float
     #: Simulated completion of the last request at the native rate.
     makespan_s: float
+    #: Histogram-derived (nearest-rank over merged buckets) percentiles.
     latency_p50_s: float
     latency_p95_s: float
     latency_p99_s: float
     latency_mean_s: float
+    #: Exact nearest-rank percentiles of the simulated latencies — the
+    #: histogram values above exceed these by at most one bucket's
+    #: relative width (``hist_rel_error_bound``).
+    latency_p50_exact_s: float
+    latency_p95_exact_s: float
+    latency_p99_exact_s: float
     mean_service_s: float
     #: Requests completed per second at the native schedule.
     throughput_rps: float
@@ -85,6 +120,13 @@ class LoadReport:
     cache_hits: int
     cache_misses: int
     cache_hit_rate: float
+    #: Requests phase-traced by the pure (seed, request_id) sampler.
+    trace_sampled: int
+    #: Canonical encodings of the merged latency / service histograms.
+    latency_hist: str
+    service_hist: str
+    #: Per-bucket relative width bound of the histogram layout.
+    hist_rel_error_bound: float
     #: sha256 over (request_id, encoded result) in schedule order.
     result_digest: str
     by_mode: Dict[str, Dict[str, Any]]
@@ -99,6 +141,9 @@ class LoadReport:
             "latency_p95_s": self.latency_p95_s,
             "latency_p99_s": self.latency_p99_s,
             "latency_mean_s": self.latency_mean_s,
+            "latency_p50_exact_s": self.latency_p50_exact_s,
+            "latency_p95_exact_s": self.latency_p95_exact_s,
+            "latency_p99_exact_s": self.latency_p99_exact_s,
             "mean_service_s": self.mean_service_s,
             "throughput_rps": self.throughput_rps,
             "offered_rps": self.offered_rps,
@@ -107,6 +152,10 @@ class LoadReport:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
+            "trace_sampled": self.trace_sampled,
+            "latency_hist": self.latency_hist,
+            "service_hist": self.service_hist,
+            "hist_rel_error_bound": self.hist_rel_error_bound,
             "result_digest": self.result_digest,
             "by_mode": self.by_mode,
         }
@@ -157,6 +206,28 @@ def simulate_queue(
     return latencies
 
 
+def histogram_of(
+    values: np.ndarray, layout: HistogramLayout = DEFAULT_LAYOUT
+) -> LatencyHistogram:
+    """Bucket an array of non-negative values into a fresh histogram."""
+    hist = LatencyHistogram(layout)
+    for value in values:
+        hist.observe(float(value))
+    return hist
+
+
+def nearest_rank(values: np.ndarray, q: float) -> float:
+    """Exact nearest-rank percentile (rank ``ceil(q/100 * n)``).
+
+    The rank convention the histogram percentile uses, so the two are
+    directly comparable under the per-bucket error bound.
+    """
+    if values.size == 0:
+        return 0.0
+    rank = max(1, math.ceil(q * values.size / 100.0))
+    return float(np.partition(values, rank - 1)[rank - 1])
+
+
 def find_saturation_rps(
     arrivals_s: np.ndarray,
     service_s: np.ndarray,
@@ -166,10 +237,12 @@ def find_saturation_rps(
 ) -> float:
     """Highest offered rate (req/s) whose simulated p99 meets the bound.
 
-    Replays the measured service times at compressed schedules
+    Replays the (quantized) service times at compressed schedules
     (arrivals divided by a multiplier) over a coarse power-of-two sweep
-    plus a bisection refinement.  Returns 0.0 when even the slowest
-    probed rate violates the bound.
+    plus a bisection refinement; each probe's p99 is histogram-derived,
+    so the whole curve is a pure function of the schedule and the
+    service-time buckets.  Returns 0.0 when even the slowest probed
+    rate violates the bound.
     """
     n = len(arrivals_s)
     if n == 0:
@@ -179,7 +252,7 @@ def find_saturation_rps(
     def p99_at(multiplier: float) -> float:
         scaled = arrivals_s / multiplier
         latencies = simulate_queue(scaled, service_s, modes, priorities)
-        return float(np.percentile(latencies, 99))
+        return histogram_of(latencies).percentile(99.0)
 
     low: Optional[float] = None
     high: Optional[float] = None
@@ -217,21 +290,30 @@ def _execute_range(
     requests: List[ScheduledRequest],
     start: int,
     stop: int,
-) -> Tuple[List[str], List[float], int]:
-    """Execute requests [start, stop); returns (results, times, errors)."""
+) -> Tuple[List[str], List[int], int]:
+    """Execute requests [start, stop); returns (results, buckets, errors).
+
+    Each measured service time is quantized into its histogram bucket
+    *here*, at the measurement site: downstream derivations see only
+    bucket indices, which is what makes them partition-invariant.
+    """
     results: List[str] = []
-    times: List[float] = []
+    buckets: List[int] = []
     errors = 0
     for request in requests[start:stop]:
         t0 = clock.now_s()
         try:
-            encoded = engine.query_encoded(request.query)
+            encoded = engine.query_encoded(
+                request.query, request_id=request.request_id
+            )
         except QueryError as exc:
             encoded = encode_canonical({"error": str(exc)})
             errors += 1
-        times.append(clock.now_s() - t0)
+        elapsed = clock.now_s() - t0
+        obs.observe("serve.latency.service_seconds", elapsed)
+        buckets.append(LAYOUT.bucket_index(elapsed))
         results.append(encoded)
-    return results, times, errors
+    return results, buckets, errors
 
 
 def _worker_execute(task: Tuple[int, int]) -> Dict[str, Any]:
@@ -240,10 +322,12 @@ def _worker_execute(task: Tuple[int, int]) -> Dict[str, Any]:
     engine, requests = state
     start, stop = task
     with obs.shard_capture(f"serve.chunk{start}") as capture:
-        results, times, errors = _execute_range(engine, requests, start, stop)
+        results, buckets, errors = _execute_range(
+            engine, requests, start, stop
+        )
     return {
         "results": results,
-        "times": times,
+        "buckets": buckets,
         "errors": errors,
         "obs": capture.export,
     }
@@ -253,7 +337,7 @@ def _execute_schedule(
     engine: ServeEngine,
     requests: List[ScheduledRequest],
     n_workers: int,
-) -> Tuple[List[str], List[float], int]:
+) -> Tuple[List[str], List[int], int]:
     n = len(requests)
     if n_workers <= 1 or n < 2:
         return _execute_range(engine, requests, 0, n)
@@ -274,23 +358,14 @@ def _execute_schedule(
     ) as pool:
         chunks = pool.map(_worker_execute, tasks)
     results: List[str] = []
-    times: List[float] = []
+    buckets: List[int] = []
     errors = 0
     for chunk in chunks:
         obs.absorb_shard(chunk["obs"])
         results.extend(chunk["results"])
-        times.extend(chunk["times"])
+        buckets.extend(chunk["buckets"])
         errors += int(chunk["errors"])
-    return results, times, errors
-
-
-def _percentiles(latencies: np.ndarray) -> Tuple[float, float, float, float]:
-    if latencies.size == 0:
-        return 0.0, 0.0, 0.0, 0.0
-    p50, p95, p99 = (
-        float(v) for v in np.percentile(latencies, [50, 95, 99])
-    )
-    return p50, p95, p99, float(latencies.mean())
+    return results, buckets, errors
 
 
 def run_load(
@@ -303,10 +378,14 @@ def run_load(
 
     See the module docstring for the measurement model.  All ``serve.*``
     metrics the harness emits are worker-count independent; the latency
-    and rate figures are wall-clock (timing class) by nature.
+    and rate figures are wall-clock (timing class) by nature, but once
+    the per-request measurements are fixed (as bucket indices) every
+    derived figure — percentiles, throughput, saturation — is a pure
+    function of ``(schedule, buckets)`` and identical for any worker
+    count.
     """
     engine.warm(request.query for request in requests)
-    results, times, errors = _execute_schedule(engine, requests, n_workers)
+    results, buckets, errors = _execute_schedule(engine, requests, n_workers)
     obs.add("serve.load_requests", len(requests))
     for request in requests:
         obs.log_event(
@@ -319,17 +398,29 @@ def run_load(
             },
         )
 
+    n = len(requests)
     arrivals_s = np.asarray(
         [request.arrival_offset_ms / MILLIS_PER_SECOND for request in requests],
         dtype=np.float64,
     )
-    service_s = np.asarray(times, dtype=np.float64)
     modes = [request.mode for request in requests]
     priorities = [request.priority for request in requests]
-    latencies = simulate_queue(arrivals_s, service_s, modes, priorities)
-    p50, p95, p99, mean_latency = _percentiles(latencies)
 
-    n = len(requests)
+    # Quantized service times: bucket representatives, so the queue
+    # simulation (and everything after it) is partition-invariant.
+    service_hist = LatencyHistogram(LAYOUT)
+    for bucket in buckets:
+        service_hist.observe_bucket(bucket)
+    service_s = np.asarray(
+        [LAYOUT.representative(bucket) for bucket in buckets],
+        dtype=np.float64,
+    )
+    latencies = simulate_queue(arrivals_s, service_s, modes, priorities)
+    latency_hist = histogram_of(latencies)
+    p50, p95, p99 = latency_hist.percentiles((50.0, 95.0, 99.0))
+    mean_latency = float(latencies.mean()) if n else 0.0
+    obs.merge_histogram("serve.latency.seconds", latency_hist)
+
     mean_service = float(service_s.mean()) if n else 0.0
     if saturation_p99_limit_s is None:
         saturation_p99_limit_s = SATURATION_P99_SERVICE_MULTIPLE * (
@@ -349,9 +440,34 @@ def run_load(
         else 0.0
     )
 
+    # Pure replay of the trace sampler and the cache: which requests
+    # bypassed the cache, and what the rest hit or missed — identical
+    # for any worker count.
+    sampled = [
+        trace_sampled(
+            engine.trace_seed, request.request_id, engine.trace_sample_rate
+        )
+        for request in requests
+    ]
+    n_sampled = sum(sampled)
     keys = [request.query.canonical() for request in requests]
-    hits, misses = simulate_hits(keys, engine.cache.capacity)
+    flags = simulate_hit_flags(keys, engine.cache.capacity, bypass=sampled)
+    hits = sum(1 for flag in flags if flag is True)
+    misses = sum(1 for flag in flags if flag is False)
     hit_rate = hits / n if n else 0.0
+    if n_sampled:
+        would_be = simulate_hit_flags(keys, engine.cache.capacity)
+        for request, is_sampled, flag in zip(requests, sampled, would_be):
+            if is_sampled:
+                obs.log_event(
+                    "trace",
+                    request.request_id,
+                    {
+                        "family": request.query.family,
+                        "mode": request.mode,
+                        "cache": "hit" if flag else "miss",
+                    },
+                )
     obs.add("serve.cache_hits", hits)
     obs.add("serve.cache_misses", misses)
     obs.set_gauge("serve.cache_hit_rate", hit_rate)
@@ -374,7 +490,9 @@ def run_load(
         if mask.any():
             by_mode[mode] = {
                 "requests": int(mask.sum()),
-                "latency_p99_s": float(np.percentile(latencies[mask], 99)),
+                "latency_p99_s": histogram_of(latencies[mask]).percentile(
+                    99.0
+                ),
             }
 
     return LoadReport(
@@ -386,6 +504,9 @@ def run_load(
         latency_p95_s=p95,
         latency_p99_s=p99,
         latency_mean_s=mean_latency,
+        latency_p50_exact_s=nearest_rank(latencies, 50.0),
+        latency_p95_exact_s=nearest_rank(latencies, 95.0),
+        latency_p99_exact_s=nearest_rank(latencies, 99.0),
         mean_service_s=mean_service,
         throughput_rps=throughput,
         offered_rps=offered,
@@ -394,15 +515,22 @@ def run_load(
         cache_hits=hits,
         cache_misses=misses,
         cache_hit_rate=hit_rate,
+        trace_sampled=n_sampled,
+        latency_hist=latency_hist.encode(),
+        service_hist=service_hist.encode(),
+        hist_rel_error_bound=LAYOUT.relative_error_bound,
         result_digest=digest.hexdigest(),
         by_mode=by_mode,
     )
 
 
 __all__ = [
+    "LAYOUT",
     "LoadReport",
     "SATURATION_P99_SERVICE_MULTIPLE",
     "find_saturation_rps",
+    "histogram_of",
+    "nearest_rank",
     "run_load",
     "simulate_queue",
 ]

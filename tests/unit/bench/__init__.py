@@ -1,0 +1,1 @@
+"""Unit tests of the performance-regression observatory."""

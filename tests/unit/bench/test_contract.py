@@ -1,0 +1,142 @@
+"""The noise-banded gate contract over history records."""
+
+import pytest
+
+from repro import obs
+from repro.bench.contract import (
+    GATES,
+    GateSpec,
+    baseline_records,
+    diff_lines,
+    evaluate_gate,
+    indicator_value,
+)
+from repro.bench.history import make_record
+
+CONFIG = {"subscribers": 10, "seed": 7}
+
+
+def _record(sha="r", p99=1e-4, rps=100.0, records_per_s=50_000.0, config=CONFIG):
+    return make_record(
+        config,
+        {
+            "build": {
+                "records_per_s": records_per_s,
+                "peak_rss_bytes": 100_000_000,
+            },
+            "serve": {
+                "throughput_rps": rps,
+                "latency_p99_s": p99,
+                "saturation_rps": 10_000.0,
+            },
+        },
+        sha=sha,
+    )
+
+
+class TestGates:
+    def test_every_gate_names_a_direction_and_band(self):
+        assert len(GATES) == 5
+        for gate in GATES:
+            assert gate.direction in ("higher", "lower")
+            assert 0.0 < gate.noise_band < 1.0
+            assert gate.summary
+
+    def test_gated_indicators_are_unique(self):
+        names = [gate.indicator for gate in GATES]
+        assert len(names) == len(set(names))
+
+
+class TestIndicatorValue:
+    def test_dotted_lookup_into_legs(self):
+        record = _record()
+        assert indicator_value(record, "serve.latency_p99_s") == pytest.approx(1e-4)
+        assert indicator_value(record, "build.records_per_s") == pytest.approx(50_000.0)
+
+    def test_absent_paths_are_none(self):
+        record = _record()
+        assert indicator_value(record, "serve.nope") is None
+        assert indicator_value(record, "nope.nope") is None
+
+    def test_non_numeric_values_are_none(self):
+        record = _record()
+        record["legs"]["serve"]["flag"] = True
+        record["legs"]["serve"]["name"] = "x"
+        assert indicator_value(record, "serve.flag") is None
+        assert indicator_value(record, "serve.name") is None
+
+
+class TestBaselines:
+    def test_same_fingerprint_only(self):
+        candidate = _record("c")
+        same = _record("a")
+        other = _record("b", config={"subscribers": 99, "seed": 7})
+        assert baseline_records([same, other, candidate], candidate) == [same]
+
+
+class TestEvaluateGate:
+    def test_clean_candidate_has_no_findings(self):
+        assert evaluate_gate(_record("c"), [_record("a"), _record("b")]) == []
+
+    def test_within_band_drift_passes(self):
+        # 20% slower p99 is inside the 35% band.
+        findings = evaluate_gate(_record("c", p99=1.2e-4), [_record("a")])
+        assert findings == []
+
+    def test_lower_is_better_regression(self):
+        findings = evaluate_gate(_record("c", p99=1e-2), [_record("a")])
+        assert [f.indicator for f in findings] == ["serve.latency_p99_s"]
+        assert findings[0].worse_by > 10.0
+        assert "worse" in findings[0].render()
+
+    def test_higher_is_better_regression(self):
+        findings = evaluate_gate(_record("c", rps=10.0), [_record("a")])
+        assert [f.indicator for f in findings] == ["serve.throughput_rps"]
+        assert findings[0].worse_by == pytest.approx(0.9)
+
+    def test_improvement_never_fails(self):
+        findings = evaluate_gate(
+            _record("c", p99=1e-6, rps=1e6), [_record("a")]
+        )
+        assert findings == []
+
+    def test_baseline_is_the_median(self):
+        # Median of (100, 100, 10) rps is 100: the outlier baseline
+        # cannot mask a real regression.
+        baselines = [
+            _record("a"),
+            _record("b"),
+            _record("o", rps=10.0),
+        ]
+        findings = evaluate_gate(_record("c", rps=30.0), baselines)
+        assert [f.indicator for f in findings] == ["serve.throughput_rps"]
+
+    def test_missing_indicator_is_skipped(self):
+        candidate = _record("c")
+        del candidate["legs"]["build"]
+        findings = evaluate_gate(candidate, [_record("a")])
+        assert findings == []
+
+    def test_custom_gates(self):
+        gate = GateSpec("serve.saturation_rps", "higher", 0.1, "sat")
+        findings = evaluate_gate(
+            _record("c"), [_record("a")], gates=(gate,)
+        )
+        assert findings == []
+
+    def test_regressions_count_in_the_metrics_contract(self):
+        with obs.observed() as session:
+            evaluate_gate(_record("c", p99=1e-2, rps=1.0), [_record("a")])
+            counters = session.export()["counters"]
+        assert counters["bench.gate_regressions"] == 2
+
+
+class TestDiffLines:
+    def test_one_line_per_gate(self):
+        lines = diff_lines(_record("c"), [_record("a")])
+        assert len(lines) == len(GATES)
+        assert any("records_per_s" in line for line in lines)
+
+    def test_no_baseline_is_labelled(self):
+        lines = diff_lines(_record("c"), [])
+        assert all("(no baseline)" in line for line in lines)

@@ -1,0 +1,122 @@
+"""The stamped, append-only benchmark history store."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.bench.history import (
+    SCHEMA,
+    append_record,
+    config_fingerprint,
+    git_sha,
+    load_history,
+    make_record,
+    render_record,
+    validate_record,
+)
+
+CONFIG = {"subscribers": 10, "seed": 7}
+LEGS = {"build": {"records_per_s": 1000.0}, "serve": {"latency_p99_s": 1e-4}}
+
+
+class TestFingerprint:
+    def test_stable_and_order_independent(self):
+        a = config_fingerprint({"x": 1, "y": 2.0})
+        b = config_fingerprint({"y": 2.0, "x": 1})
+        assert a == b
+        assert len(a) == 16
+
+    def test_sensitive_to_values(self):
+        assert config_fingerprint({"x": 1}) != config_fingerprint({"x": 2})
+
+
+class TestRecord:
+    def test_make_record_is_stamped(self):
+        record = make_record(CONFIG, LEGS, sha="abc123")
+        assert record["schema"] == SCHEMA
+        assert record["git_sha"] == "abc123"
+        assert record["config_fingerprint"] == config_fingerprint(CONFIG)
+        assert validate_record(record) is record
+
+    def test_default_sha_comes_from_git(self):
+        record = make_record(CONFIG, LEGS)
+        assert record["git_sha"] == git_sha()
+
+    def test_render_is_canonical_single_line(self):
+        record = make_record(CONFIG, LEGS, sha="abc")
+        line = render_record(record)
+        assert "\n" not in line
+        assert json.loads(line) == record
+        assert line == render_record(json.loads(line))
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda r: r.pop("legs"), "missing"),
+            (lambda r: r.update(schema="repro-bench/999"), "schema"),
+            (lambda r: r.update(legs={}), "no legs"),
+            (lambda r: r.update(config={"other": 1}), "fingerprint"),
+        ],
+    )
+    def test_validate_rejects_malformed(self, mutate, message):
+        record = make_record(CONFIG, LEGS, sha="abc")
+        mutate(record)
+        with pytest.raises(ValueError, match=message):
+            validate_record(record)
+
+    def test_validate_rejects_non_object(self):
+        with pytest.raises(ValueError, match="object"):
+            validate_record([1, 2, 3])
+
+    def test_records_carry_no_timestamps(self):
+        record = make_record(CONFIG, LEGS, sha="abc")
+        assert set(record) == {
+            "schema",
+            "git_sha",
+            "config_fingerprint",
+            "config",
+            "legs",
+        }
+
+
+class TestStore:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "nested" / "history.jsonl"
+        first = make_record(CONFIG, LEGS, sha="a")
+        second = make_record(CONFIG, LEGS, sha="b")
+        append_record(path, first)
+        append_record(path, second)
+        assert load_history(path) == [first, second]
+
+    def test_append_counts_in_the_metrics_contract(self, tmp_path):
+        with obs.observed() as session:
+            append_record(
+                tmp_path / "h.jsonl", make_record(CONFIG, LEGS, sha="a")
+            )
+            counters = session.export()["counters"]
+        assert counters["bench.history_appends"] == 1
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        record = make_record(CONFIG, LEGS, sha="a")
+        path.write_text(render_record(record) + "\n\n")
+        assert load_history(path) == [record]
+
+    def test_load_fails_loudly_on_corrupt_lines(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="not JSON"):
+            load_history(path)
+
+    def test_load_fails_loudly_on_invalid_records(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"schema": "repro-bench/1"}\n')
+        with pytest.raises(ValueError, match="missing"):
+            load_history(path)
+
+    def test_append_validates_before_writing(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        with pytest.raises(ValueError):
+            append_record(path, {"schema": SCHEMA})
+        assert not path.exists()

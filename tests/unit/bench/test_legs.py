@@ -1,0 +1,35 @@
+"""Smoke the micro benchmark legs at a tiny configuration."""
+
+from repro import obs
+from repro.bench.contract import GATES, indicator_value
+from repro.bench.history import make_record
+from repro.bench.legs import DEFAULT_CONFIG, run_legs
+
+TINY = {
+    "subscribers": 30,
+    "communes": 12,
+    "services": 24,
+    "seed": 3,
+    "duration_s": 1.0,
+    "users": 10.0,
+    "rpm": 30.0,
+    "window": 1.0,
+}
+
+
+class TestRunLegs:
+    def test_legs_cover_every_gated_indicator(self):
+        with obs.observed() as session:
+            legs = run_legs(TINY)
+            counters = session.export()["counters"]
+        record = make_record(TINY, legs, sha="test")
+        for gate in GATES:
+            value = indicator_value(record, gate.indicator)
+            assert value is not None and value > 0.0, gate.indicator
+        assert counters["bench.legs"] == 2
+        assert legs["serve"]["n_errors"] == 0
+
+    def test_default_config_covers_every_leg_knob(self):
+        # Every knob the legs read must be declared (the CLI generates
+        # its --flags from this dict, and the fingerprint hashes it).
+        assert set(TINY) == set(DEFAULT_CONFIG)

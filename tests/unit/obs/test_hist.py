@@ -1,0 +1,226 @@
+"""The mergeable log-linear latency histogram primitive."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro._rng import as_generator
+
+from repro.obs.hist import (
+    DEFAULT_LAYOUT,
+    SCHEMA,
+    ZERO_BUCKET,
+    HistogramLayout,
+    LatencyHistogram,
+    merge_all,
+)
+
+
+def _exact_nearest_rank(values, q):
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered) / 100.0))
+    return ordered[rank - 1]
+
+
+class TestLayout:
+    def test_subbuckets_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            HistogramLayout(subbuckets=48)
+        with pytest.raises(ValueError, match="power of two"):
+            HistogramLayout(subbuckets=0)
+
+    def test_exponent_range_must_be_ordered(self):
+        with pytest.raises(ValueError, match="min_exp"):
+            HistogramLayout(min_exp=5, max_exp=5)
+
+    def test_default_error_bound(self):
+        assert DEFAULT_LAYOUT.relative_error_bound == pytest.approx(1 / 64)
+
+    def test_zero_and_negative_land_in_bucket_zero(self):
+        assert DEFAULT_LAYOUT.bucket_index(0.0) == ZERO_BUCKET
+        assert DEFAULT_LAYOUT.bucket_index(-1.5) == ZERO_BUCKET
+        assert DEFAULT_LAYOUT.representative(ZERO_BUCKET) == 0.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            DEFAULT_LAYOUT.bucket_index(float("nan"))
+
+    def test_out_of_range_values_clamp(self):
+        # Below the smallest finite bucket: clamp up into bucket 1.
+        assert DEFAULT_LAYOUT.bucket_index(1e-300) == 1
+        # Above the largest binade (and +inf): clamp into the top bucket.
+        top = DEFAULT_LAYOUT.n_buckets - 1
+        assert DEFAULT_LAYOUT.bucket_index(1e300) == top
+        assert DEFAULT_LAYOUT.bucket_index(float("inf")) == top
+
+    def test_bounds_bracket_the_value(self):
+        rng = as_generator(7)
+        for value in rng.lognormal(mean=-7.0, sigma=3.0, size=500):
+            index = DEFAULT_LAYOUT.bucket_index(float(value))
+            lo, hi = DEFAULT_LAYOUT.bucket_bounds(index)
+            assert lo <= value < hi
+
+    def test_bucketing_is_monotone(self):
+        rng = as_generator(8)
+        values = np.sort(rng.lognormal(mean=-5.0, sigma=2.0, size=300))
+        indices = [DEFAULT_LAYOUT.bucket_index(float(v)) for v in values]
+        assert indices == sorted(indices)
+
+    def test_representative_never_under_reports(self):
+        rng = as_generator(9)
+        bound = DEFAULT_LAYOUT.relative_error_bound
+        for value in rng.lognormal(mean=-7.0, sigma=3.0, size=500):
+            value = float(value)
+            rep = DEFAULT_LAYOUT.representative(
+                DEFAULT_LAYOUT.bucket_index(value)
+            )
+            assert value <= rep <= value * (1.0 + bound)
+
+    def test_bad_indices_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            DEFAULT_LAYOUT.bucket_bounds(DEFAULT_LAYOUT.n_buckets)
+        with pytest.raises(TypeError, match="int"):
+            DEFAULT_LAYOUT.bucket_bounds(1.5)
+        with pytest.raises(TypeError, match="int"):
+            DEFAULT_LAYOUT.bucket_bounds(True)
+
+    def test_layout_round_trips(self):
+        layout = HistogramLayout(subbuckets=8, min_exp=-4, max_exp=4)
+        assert HistogramLayout.from_dict(layout.to_dict()) == layout
+
+
+class TestPercentiles:
+    @pytest.mark.parametrize("q", [0.0, 1.0, 50.0, 95.0, 99.0, 100.0])
+    def test_within_one_bucket_of_brute_force(self, q):
+        rng = as_generator(21)
+        values = rng.lognormal(mean=-8.0, sigma=1.5, size=2_000).tolist()
+        hist = LatencyHistogram()
+        for value in values:
+            hist.observe(value)
+        exact = _exact_nearest_rank(values, q)
+        reported = hist.percentile(q)
+        bound = hist.layout.relative_error_bound
+        assert exact <= reported <= exact * (1.0 + bound)
+
+    def test_empty_histogram_reports_zero(self):
+        assert LatencyHistogram().percentile(99.0) == 0.0
+        assert LatencyHistogram().mean_upper_bound() == 0.0
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            LatencyHistogram().percentile(101.0)
+
+    def test_percentiles_vectorized(self):
+        hist = LatencyHistogram()
+        for value in (0.001, 0.002, 0.003):
+            hist.observe(value)
+        assert hist.percentiles([50.0, 100.0]) == [
+            hist.percentile(50.0),
+            hist.percentile(100.0),
+        ]
+
+    def test_mean_upper_bound_brackets_the_mean(self):
+        rng = as_generator(22)
+        values = rng.lognormal(mean=-6.0, sigma=1.0, size=1_000).tolist()
+        hist = LatencyHistogram()
+        for value in values:
+            hist.observe(value)
+        mean = sum(values) / len(values)
+        bound = hist.layout.relative_error_bound
+        assert mean <= hist.mean_upper_bound() <= mean * (1.0 + bound)
+
+
+class TestMerge:
+    def _hist_of(self, values):
+        hist = LatencyHistogram()
+        for value in values:
+            hist.observe(value)
+        return hist
+
+    def test_merge_is_commutative(self):
+        rng = as_generator(31)
+        a_values = rng.lognormal(size=200).tolist()
+        b_values = rng.lognormal(size=300).tolist()
+        ab = self._hist_of(a_values)
+        ab.merge(self._hist_of(b_values))
+        ba = self._hist_of(b_values)
+        ba.merge(self._hist_of(a_values))
+        assert ab == ba
+        assert ab.encode() == ba.encode()
+
+    def test_merge_is_associative(self):
+        rng = as_generator(32)
+        parts = [rng.lognormal(size=100).tolist() for _ in range(3)]
+        left = self._hist_of(parts[0])
+        left.merge(self._hist_of(parts[1]))
+        left.merge(self._hist_of(parts[2]))
+        inner = self._hist_of(parts[1])
+        inner.merge(self._hist_of(parts[2]))
+        right = self._hist_of(parts[0])
+        right.merge(inner)
+        assert left == right
+        assert left.encode() == right.encode()
+
+    @pytest.mark.parametrize("n_parts", [1, 2, 4, 7])
+    def test_any_partition_encodes_byte_identically(self, n_parts):
+        # The worker-merge invariance the load harness relies on: the
+        # same observations sharded any way merge to the same bytes.
+        rng = as_generator(33)
+        values = rng.lognormal(mean=-8.0, sigma=2.0, size=700).tolist()
+        whole = self._hist_of(values)
+        chunks = [values[i::n_parts] for i in range(n_parts)]
+        merged = merge_all(self._hist_of(chunk) for chunk in chunks)
+        assert merged.encode() == whole.encode()
+
+    def test_merge_rejects_layout_mismatch(self):
+        other = LatencyHistogram(HistogramLayout(subbuckets=8))
+        with pytest.raises(ValueError, match="different layouts"):
+            LatencyHistogram().merge(other)
+
+    def test_merge_sums_counts_exactly(self):
+        a = LatencyHistogram()
+        a.observe_bucket(5, 3)
+        b = LatencyHistogram()
+        b.observe_bucket(5, 4)
+        b.observe_bucket(9, 1)
+        a.merge(b)
+        assert dict(a.bucket_counts()) == {5: 7, 9: 1}
+        assert a.n == 8
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        hist = LatencyHistogram()
+        for value in (1e-5, 3e-4, 3e-4, 0.0, 2.0):
+            hist.observe(value)
+        decoded = LatencyHistogram.decode(hist.encode())
+        assert decoded == hist
+        assert decoded.encode() == hist.encode()
+        assert decoded.n == hist.n
+
+    def test_schema_is_declared(self):
+        payload = json.loads(LatencyHistogram().encode())
+        assert payload["schema"] == SCHEMA
+
+    def test_decode_rejects_wrong_schema(self):
+        payload = LatencyHistogram().to_dict()
+        payload["schema"] = "repro-hist/999"
+        with pytest.raises(ValueError, match="schema"):
+            LatencyHistogram.from_dict(payload)
+
+    def test_decode_rejects_inconsistent_total(self):
+        hist = LatencyHistogram()
+        hist.observe(0.001)
+        payload = hist.to_dict()
+        payload["n"] = 5
+        with pytest.raises(ValueError, match="disagrees"):
+            LatencyHistogram.from_dict(payload)
+
+    def test_observe_bucket_validates_count(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError, match=">= 1"):
+            hist.observe_bucket(1, 0)
+        with pytest.raises(TypeError, match="int"):
+            hist.observe_bucket(1, 1.5)

@@ -51,10 +51,17 @@ class TestSpecs:
             "serve.latency_p99_s",
             "serve.throughput_rps",
             "serve.saturation_rps",
+            "serve.latency.seconds",
+            "serve.latency.service_seconds",
         ]
-        # Timing gauges carry memory or clock-derived readings only.
+        # Timing metrics carry memory or clock-derived readings only.
         for name in timing:
             assert SPECS[name].unit in ("bytes", "seconds", "requests/s"), name
+
+    def test_histograms_are_timing_class(self):
+        for spec in SPECS.values():
+            if spec.kind is MetricKind.HISTOGRAM:
+                assert spec.determinism is Determinism.TIMING, spec.name
 
     def test_names_are_stage_dotted(self):
         for name in SPECS:

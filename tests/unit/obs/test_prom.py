@@ -1,0 +1,66 @@
+"""Prometheus text exposition of obs dumps."""
+
+from repro.obs.hist import LatencyHistogram
+from repro.obs.prom import render_prom
+
+
+def _dump(counters=None, gauges=None, histograms=None):
+    return {
+        "schema": "repro-obs/1",
+        "counters": counters or {},
+        "gauges": gauges or {},
+        "histograms": histograms or {},
+        "spans": None,
+        "meta": {},
+    }
+
+
+class TestRenderProm:
+    def test_empty_dump_renders_empty(self):
+        assert render_prom(_dump()) == ""
+
+    def test_counter_gets_total_suffix_and_headers(self):
+        text = render_prom(_dump(counters={"generator.sessions": 42}))
+        assert "# TYPE repro_generator_sessions_total counter" in text
+        assert "# HELP repro_generator_sessions_total" in text
+        assert "repro_generator_sessions_total 42" in text
+
+    def test_gauge_renders_float(self):
+        text = render_prom(_dump(gauges={"serve.cache_hit_rate": 0.25}))
+        assert "# TYPE repro_serve_cache_hit_rate gauge" in text
+        assert "repro_serve_cache_hit_rate 0.25" in text
+
+    def test_histogram_renders_cumulative_buckets(self):
+        hist = LatencyHistogram()
+        hist.observe(1e-4)
+        hist.observe(1e-4)
+        hist.observe(2e-3)
+        text = render_prom(
+            _dump(histograms={"serve.latency.seconds": hist.to_dict()})
+        )
+        assert "# TYPE repro_serve_latency_seconds histogram" in text
+        assert 'repro_serve_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_serve_latency_seconds_count 3" in text
+        assert "repro_serve_latency_seconds_sum" in text
+        # Bucket counts are cumulative: the 2-count bucket precedes 3.
+        lines = [l for l in text.splitlines() if "_bucket{" in l]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+
+    def test_output_is_sorted_and_stable(self):
+        dump = _dump(
+            counters={"serve.queries": 1, "generator.flows": 2},
+            gauges={"serve.cache_hit_rate": 0.5},
+        )
+        text = render_prom(dump)
+        assert text == render_prom(dump)
+        flows = text.index("repro_generator_flows_total")
+        queries = text.index("repro_serve_queries_total")
+        assert flows < queries
+        assert text.endswith("\n")
+
+    def test_undeclared_metric_gets_no_help_line(self):
+        text = render_prom(_dump(counters={"nope.nope": 1}))
+        assert "# HELP" not in text
+        assert "repro_nope_nope_total 1" in text

@@ -1,12 +1,23 @@
 """The open-loop load harness: queueing, saturation, worker invariance."""
 
+import itertools
+
 import numpy as np
 import pytest
 
 from repro import obs
+from repro.obs import clock
+from repro.obs.hist import LatencyHistogram
 from repro.serve.cache import simulate_hits
 from repro.serve.engine import ServeEngine
-from repro.serve.load import find_saturation_rps, run_load, simulate_queue
+from repro.serve.load import (
+    LAYOUT,
+    find_saturation_rps,
+    histogram_of,
+    nearest_rank,
+    run_load,
+    simulate_queue,
+)
 from repro.serve.queries import CubeProfile, Query
 from repro.serve.workload import (
     ScheduledRequest,
@@ -205,6 +216,42 @@ class TestRunLoad:
         assert report.throughput_rps == pytest.approx(0.0)
         assert report.saturation_rps == pytest.approx(0.0)
 
+    def test_histogram_fields_round_trip(self, engine, schedule):
+        report = run_load(engine, schedule)
+        latency_hist = LatencyHistogram.decode(report.latency_hist)
+        service_hist = LatencyHistogram.decode(report.service_hist)
+        assert latency_hist.n == len(schedule)
+        assert service_hist.n == len(schedule)
+        assert report.hist_rel_error_bound == pytest.approx(
+            LAYOUT.relative_error_bound
+        )
+        assert report.latency_p99_s == pytest.approx(
+            latency_hist.percentile(99.0)
+        )
+        round_trip = report.to_dict()
+        assert round_trip["latency_hist"] == report.latency_hist
+        assert round_trip["latency_p99_exact_s"] == report.latency_p99_exact_s
+
+    def test_exact_percentiles_within_one_bucket(self, engine, schedule):
+        report = run_load(engine, schedule)
+        width = report.hist_rel_error_bound
+        for hist_v, exact_v in (
+            (report.latency_p50_s, report.latency_p50_exact_s),
+            (report.latency_p95_s, report.latency_p95_exact_s),
+            (report.latency_p99_s, report.latency_p99_exact_s),
+        ):
+            assert exact_v <= hist_v <= exact_v * (1.0 + width) + 1e-12
+
+    def test_emits_latency_histograms(self, volume_dataset, schedule):
+        engine = ServeEngine(volume_dataset)
+        with obs.observed() as session:
+            run_load(engine, schedule)
+            histograms = session.registry.export_histograms()
+        assert histograms["serve.latency.seconds"]["n"] == len(schedule)
+        assert histograms["serve.latency.service_seconds"]["n"] == len(
+            schedule
+        )
+
     def test_emits_contract_metrics_and_request_events(
         self, volume_dataset, schedule
     ):
@@ -223,3 +270,62 @@ class TestRunLoad:
         assert "serve.cache_hit_rate" in gauges
         request_events = [name for kind, name, _ in events if kind == "request"]
         assert request_events == [r.request_id for r in schedule]
+
+
+class TestHelpers:
+    def test_nearest_rank_matches_sorted_lookup(self):
+        values = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+        assert nearest_rank(values, 50.0) == pytest.approx(3.0)
+        assert nearest_rank(values, 100.0) == pytest.approx(5.0)
+        assert nearest_rank(values, 0.0) == pytest.approx(1.0)
+
+    def test_histogram_of_counts_everything(self):
+        values = np.array([1e-4, 2e-4, 3e-3])
+        hist = histogram_of(values)
+        assert hist.n == 3
+        assert hist.layout == LAYOUT
+
+
+class TestWorkerMergeInvariance:
+    """With deterministic measurements, the whole report is a pure
+    function of the schedule — identical for any worker count."""
+
+    def _report(self, volume_dataset, schedule, n_workers, monkeypatch):
+        # A *linear* fake clock: elapsed depends only on the number of
+        # clock calls between a request's own t0 and t1, which is
+        # offset-invariant under fork — forked workers inherit the
+        # counter wherever it stands, but each request still spans the
+        # same number of calls.
+        counter = itertools.count()
+        monkeypatch.setattr(clock, "now_s", lambda: next(counter) * 1e-4)
+        engine = ServeEngine(volume_dataset)
+        return run_load(engine, schedule, n_workers=n_workers).to_dict()
+
+    def test_full_report_identical_across_worker_counts(
+        self, volume_dataset, schedule, monkeypatch
+    ):
+        baseline = self._report(volume_dataset, schedule, 1, monkeypatch)
+        for n_workers in (2, 4):
+            assert (
+                self._report(volume_dataset, schedule, n_workers, monkeypatch)
+                == baseline
+            )
+
+    def test_histogram_encoding_identical_across_worker_counts(
+        self, volume_dataset, schedule
+    ):
+        # Even with the *real* clock the bucketed service-time stream is
+        # fixed at the measurement site, so the derived report fields
+        # are a pure function of (schedule, buckets) — here only the
+        # structural invariants are asserted, since real measurements
+        # legitimately differ run to run.
+        reports = []
+        for n_workers in (1, 3):
+            engine = ServeEngine(volume_dataset)
+            reports.append(run_load(engine, schedule, n_workers=n_workers))
+        for report in reports:
+            hist = LatencyHistogram.decode(report.latency_hist)
+            assert hist.n == len(schedule)
+            assert report.latency_p99_s == pytest.approx(
+                hist.percentile(99.0)
+            )

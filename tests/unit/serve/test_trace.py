@@ -1,0 +1,154 @@
+"""Per-request phase tracing: the pure sampler and the traced path."""
+
+import itertools
+
+import pytest
+
+from repro import obs
+from repro.obs import clock
+from repro.obs.spans import find
+from repro.serve.engine import TRACE_PHASES, ServeEngine, trace_sampled
+from repro.serve.load import run_load
+from repro.serve.queries import CubeProfile, Query, QueryError
+from repro.serve.workload import WorkloadSpec, generate_schedule
+
+SPEC = WorkloadSpec(
+    duration_s=4.0,
+    mean_active_users=30.0,
+    mean_requests_per_minute_per_user=60.0,
+    user_sampling_window_s=2.0,
+)
+
+
+class TestSampler:
+    def test_pure_function_of_seed_and_id(self):
+        for request_id in ("req-000000", "req-000007", "x"):
+            first = trace_sampled(7, request_id, 0.5)
+            assert trace_sampled(7, request_id, 0.5) is first
+
+    def test_rate_zero_never_samples(self):
+        assert not any(
+            trace_sampled(7, f"req-{i:06d}", 0.0) for i in range(200)
+        )
+
+    def test_rate_one_always_samples(self):
+        assert all(trace_sampled(7, f"req-{i:06d}", 1.0) for i in range(200))
+
+    def test_fraction_tracks_the_rate(self):
+        n = 5_000
+        hits = sum(trace_sampled(7, f"req-{i:06d}", 0.2) for i in range(n))
+        assert 0.15 < hits / n < 0.25
+
+    def test_seed_changes_the_sample(self):
+        ids = [f"req-{i:06d}" for i in range(500)]
+        a = {i for i in ids if trace_sampled(1, i, 0.3)}
+        b = {i for i in ids if trace_sampled(2, i, 0.3)}
+        assert a != b
+
+    def test_rate_validated_on_the_engine(self, volume_dataset):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            ServeEngine(volume_dataset, trace_sample_rate=1.5)
+
+
+class TestTracedPath:
+    def test_traced_request_emits_phase_spans(self, volume_dataset):
+        engine = ServeEngine(volume_dataset, trace_sample_rate=1.0)
+        query = Query(family="topk", commune=0, k=3)
+        with obs.observed() as session:
+            engine.query_encoded(query, request_id="req-000000")
+        request_span = find(session.root, "serve.request")
+        assert request_span is not None
+        assert request_span.count == 1
+        for phase in TRACE_PHASES:
+            child = request_span.children[phase]
+            assert child.count == 1
+
+    def test_untraced_request_emits_no_request_span(self, volume_dataset):
+        engine = ServeEngine(volume_dataset, trace_sample_rate=0.0)
+        with obs.observed() as session:
+            engine.query_encoded(
+                Query(family="topk", commune=0, k=3),
+                request_id="req-000000",
+            )
+        assert find(session.root, "serve.request") is None
+
+    def test_traced_bytes_match_untraced_bytes(self, volume_dataset):
+        traced = ServeEngine(volume_dataset, trace_sample_rate=1.0)
+        plain = ServeEngine(volume_dataset, trace_sample_rate=0.0)
+        query = Query(family="point", commune=1, service="YouTube", hour=10)
+        assert traced.query_encoded(
+            query, request_id="req-000000"
+        ) == plain.query_encoded(query, request_id="req-000000")
+
+    def test_traced_requests_bypass_the_cache(self, volume_dataset):
+        engine = ServeEngine(volume_dataset, trace_sample_rate=1.0)
+        query = Query(family="topk", commune=0, k=3)
+        for i in range(3):
+            engine.query_encoded(query, request_id=f"req-{i:06d}")
+        assert engine.cache.hits == 0
+        assert engine.cache.misses == 0
+        assert len(engine.cache) == 0
+
+    def test_traced_counter_and_validation(self, volume_dataset):
+        engine = ServeEngine(volume_dataset, trace_sample_rate=1.0)
+        with obs.observed() as session:
+            engine.query_encoded(
+                Query(family="topk", commune=0, k=3),
+                request_id="req-000000",
+            )
+            with pytest.raises(QueryError):
+                engine.query_encoded(
+                    Query(
+                        family="topk",
+                        commune=volume_dataset.n_communes,
+                        k=3,
+                    ),
+                    request_id="req-000001",
+                )
+            counters = session.export()["counters"]
+        assert counters["serve.trace_sampled"] == 2
+        assert counters["serve.queries"] == 1
+        assert counters["serve.errors"] == 1
+
+    def test_no_request_id_never_traces(self, volume_dataset):
+        engine = ServeEngine(volume_dataset, trace_sample_rate=1.0)
+        with obs.observed() as session:
+            engine.query_encoded(Query(family="topk", commune=0, k=3))
+            counters = session.export()["counters"]
+        assert "serve.trace_sampled" not in counters
+        assert engine.cache.misses == 1
+
+
+class TestHarnessEventIdentity:
+    def _events(self, volume_dataset, schedule, n_workers, monkeypatch):
+        # A linear fake clock makes the raw measurements themselves a
+        # pure function of each request's own call count, so the full
+        # event log is comparable across worker counts.
+        counter = itertools.count()
+        monkeypatch.setattr(clock, "now_s", lambda: next(counter) * 1e-4)
+        engine = ServeEngine(
+            volume_dataset, trace_seed=21, trace_sample_rate=0.2
+        )
+        with obs.observed(log_events=True) as session:
+            run_load(engine, schedule, n_workers=n_workers)
+            events = session.export_events()
+        # Shard-capture snapshots carry partition-dependent labels by
+        # design; every other event must be byte-identical.
+        return [e for e in events if e[0] != "snapshot"]
+
+    def test_event_log_identical_across_worker_counts(
+        self, volume_dataset, monkeypatch
+    ):
+        schedule = generate_schedule(
+            SPEC, CubeProfile.of(volume_dataset), 31
+        )
+        baseline = self._events(volume_dataset, schedule, 1, monkeypatch)
+        trace_events = [e for e in baseline if e[0] == "trace"]
+        assert trace_events, "expected at least one sampled trace event"
+        for kind, name, payload in trace_events:
+            assert set(payload) == {"family", "mode", "cache"}
+        for n_workers in (2, 4):
+            assert (
+                self._events(volume_dataset, schedule, n_workers, monkeypatch)
+                == baseline
+            )

@@ -16,6 +16,12 @@ drives the whole serving surface end to end:
    ``--p99-bound-ms``; the measured saturation point above the offered
    rate.  The default bound (50 ms against a measured p99 of well under
    1 ms) fails on order-of-magnitude regressions, not runner noise.
+   The p99 gate reads the histogram-derived percentile (the number the
+   mergeable :mod:`repro.obs.hist` sketch reports), and a final
+   cross-check asserts every reported percentile sits within one
+   bucket's relative width of the exact nearest-rank value — so the
+   smoke also guards the sketch's accuracy contract, not just the
+   engine's speed.
 
 The full latency/throughput report is written to ``--out`` and uploaded
 as a CI artifact, so a regression leaves the numbers behind.
@@ -140,6 +146,20 @@ def main(argv=None) -> int:
             f"saturation {report.saturation_rps:,.0f} rps does not clear "
             f"the offered {report.offered_rps:,.0f} rps"
         )
+    # Histogram accuracy cross-check: each sketch-derived percentile
+    # must bracket the exact nearest-rank value from above, within one
+    # bucket's relative width (1/subbuckets-per-binade).
+    width = report.hist_rel_error_bound
+    for q, hist_v, exact_v in (
+        (50, report.latency_p50_s, report.latency_p50_exact_s),
+        (95, report.latency_p95_s, report.latency_p95_exact_s),
+        (99, report.latency_p99_s, report.latency_p99_exact_s),
+    ):
+        if not exact_v <= hist_v <= exact_v * (1.0 + width) + 1e-12:
+            failures.append(
+                f"histogram p{q} {hist_v:.6g} s disagrees with exact "
+                f"{exact_v:.6g} s beyond one bucket width ({width:.4%})"
+            )
 
     for failure in failures:
         print(f"serve-smoke: FAIL — {failure}")
