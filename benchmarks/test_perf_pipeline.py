@@ -57,8 +57,10 @@ tracing — and the surcharge over the dark run is asserted below
 The JSON artifact is stamped the way the performance-regression
 observatory stamps its records (:mod:`repro.bench.history`): schema
 version, git SHA, and the fingerprint of the workload config.  A
-matching record — the five gated indicators of
-:data:`repro.bench.contract.GATES` — is appended to
+matching record — the gated indicators of
+:data:`repro.bench.contract.GATES`, including the overload pair
+(goodput and admitted-p99 at 2× the measured saturation) — is appended
+to
 ``benchmarks/history.jsonl`` so ``repro-bench diff``/``gate`` can
 compare perf-pipeline runs across commits.
 
@@ -531,6 +533,79 @@ def _run_serve(shared: dict) -> dict:
     return leg
 
 
+def _run_overload(shared: dict) -> dict:
+    """Drive the serving engine at 1x/2x/4x its measured saturation.
+
+    The overload contract (``docs/robustness.md``): every request
+    carries a deadline, admission control is sized to the measured
+    saturation rate, and the 2x probe's goodput / shed rate /
+    admitted-p99 are the headline (and gated) figures.
+    """
+    from dataclasses import replace
+
+    from repro.dataset.builder import build_volume_level_dataset
+    from repro.serve import (
+        OverloadPolicy,
+        ServeEngine,
+        generate_schedule,
+        run_load,
+    )
+    from repro.serve.queries import CubeProfile
+    from repro.serve.workload import WorkloadSpec
+
+    dataset = build_volume_level_dataset(
+        country=shared["country"], seed=13
+    ).dataset
+    engine = ServeEngine(dataset)
+    spec = WorkloadSpec(
+        duration_s=30.0,
+        mean_active_users=200.0,
+        mean_requests_per_minute_per_user=60.0,
+        user_sampling_window_s=5.0,
+        interactive_deadline_ms=50.0,
+        batch_deadline_ms=250.0,
+    )
+    requests = generate_schedule(spec, CubeProfile.of(dataset), seed=13)
+
+    baseline = run_load(engine, requests)
+    saturation = baseline.saturation_rps or baseline.offered_rps or 1.0
+    offered = baseline.offered_rps or 1.0
+    policy = OverloadPolicy(seed=13, tokens_per_s=max(saturation, 1.0))
+
+    start = time.perf_counter()
+    probes = {}
+    for multiplier in (1, 2, 4):
+        factor = offered / (multiplier * saturation)
+        scaled = [
+            replace(
+                request,
+                arrival_offset_ms=request.arrival_offset_ms * factor,
+            )
+            for request in requests
+        ]
+        section = run_load(engine, scaled, overload=policy).overload
+        probes[f"{multiplier}x"] = {
+            "offered_rps": multiplier * saturation,
+            "goodput_rps": section["goodput_rps"],
+            "shed_rate": section["shed_rate"],
+            "n_admitted": section["n_admitted"],
+            "n_deadline_exceeded": section["n_deadline_exceeded"],
+            "admitted_p99_s": section["admitted_p99_s"],
+            "health": section["health"]["state"],
+        }
+    elapsed = time.perf_counter() - start
+    headline = probes["2x"]
+    return {
+        "n_requests": baseline.n_requests,
+        "saturation_rps": saturation,
+        "harness_elapsed_s": elapsed,
+        "at": probes,
+        "goodput_rps": headline["goodput_rps"],
+        "shed_rate": headline["shed_rate"],
+        "admitted_p99_s": headline["admitted_p99_s"],
+    }
+
+
 def _leg_stats(
     elapsed: float, sessions: int, flows: int, records: int, n_workers: int
 ) -> dict:
@@ -563,6 +638,7 @@ def test_perf_session_pipeline(benchmark):
     resilience = _run_resilience(shared)
     lint = _run_lint()
     serve = _run_serve(shared)
+    overload = _run_overload(shared)
 
     speedup = optimized["sessions_per_s"] / baseline["sessions_per_s"]
     print()
@@ -621,6 +697,14 @@ def test_perf_session_pipeline(benchmark):
         f"({100 * serve['telemetry_overhead_fraction']:+.2f}% at "
         f"{100 * serve['trace_sample_rate']:.0f}% trace sampling)"
     )
+    print(
+        f"overload : at 2x saturation "
+        f"({2 * overload['saturation_rps']:,.0f} rps offered): "
+        f"{overload['goodput_rps']:,.0f} rps goodput, "
+        f"{100 * overload['shed_rate']:.1f}% shed, admitted p99 "
+        f"{overload['admitted_p99_s'] * 1e3:.2f} ms, health "
+        f"{overload['at']['2x']['health']}"
+    )
 
     # The ladder runs last: its 10^6 rung dominates the process RSS
     # high-water mark, so every earlier leg reads uncontaminated values.
@@ -667,6 +751,7 @@ def test_perf_session_pipeline(benchmark):
                 "resilience": resilience,
                 "lint": lint,
                 "serve": serve,
+                "overload": overload,
                 "scale_ladder": scale_ladder,
             },
             indent=2,
@@ -688,6 +773,10 @@ def test_perf_session_pipeline(benchmark):
                     "throughput_rps": serve["throughput_rps"],
                     "latency_p99_s": serve["latency_p99_s"],
                     "saturation_rps": serve["saturation_rps"],
+                },
+                "overload": {
+                    "goodput_rps": overload["goodput_rps"],
+                    "admitted_p99_s": overload["admitted_p99_s"],
                 },
             },
             sha=git_sha(REPO_ROOT),
@@ -717,6 +806,14 @@ def test_perf_session_pipeline(benchmark):
     # with the workload it was benchmarked under).
     assert serve["n_errors"] == 0
     assert serve["saturation_rps"] > serve["offered_rps"]
+    # Overload-safe serving (docs/robustness.md): pushing the offered
+    # rate past saturation must engage shedding monotonically while
+    # goodput never collapses to zero.
+    assert overload["goodput_rps"] > 0
+    assert (
+        overload["at"]["4x"]["shed_rate"]
+        >= overload["at"]["1x"]["shed_rate"]
+    )
     # Full telemetry — observed session, event log, sampled tracing —
     # must stay a rounding error on the serve harness.
     assert serve["telemetry_overhead_fraction"] < MAX_TELEMETRY_OVERHEAD

@@ -72,6 +72,18 @@ GATES: tuple = (
         0.30,
         "highest offered rate meeting the p99 bound",
     ),
+    GateSpec(
+        "overload.goodput_rps",
+        HIGHER,
+        0.30,
+        "fresh answers per second at 2x the saturation rate",
+    ),
+    GateSpec(
+        "overload.admitted_p99_s",
+        LOWER,
+        0.35,
+        "p99 latency over admitted requests at 2x saturation",
+    ),
 )
 
 

@@ -1,6 +1,6 @@
 """The micro benchmark legs ``repro-bench run`` measures.
 
-Two legs, sized to finish in seconds so the CI gate stays cheap:
+Three legs, sized to finish in seconds so the CI gate stays cheap:
 
 - **build** — the end-to-end session-level measurement chain
   (generation → GTP → probe → DPI → aggregation) at a small subscriber
@@ -8,6 +8,10 @@ Two legs, sized to finish in seconds so the CI gate stays cheap:
 - **serve** — a volume-level dataset indexed once, then driven by the
   open-loop load harness (:mod:`repro.serve.load`); throughput,
   histogram-derived p99, and the saturation point are gated.
+- **overload** — the same engine driven at 1×/2×/4× its measured
+  saturation rate under admission control
+  (:mod:`repro.serve.overload`); goodput, shed rate, and admitted-p99
+  at 2× are the headline figures, with goodput and admitted-p99 gated.
 
 Each leg increments the ``bench.legs`` counter and returns a plain
 dict that lands under ``legs`` in the history record.  The leg values
@@ -37,7 +41,12 @@ DEFAULT_CONFIG: Dict[str, Any] = {
     "users": 50.0,
     "rpm": 60.0,
     "window": 5.0,
+    "deadline_ms": 50.0,
 }
+
+#: Offered-rate multiples of the measured saturation the overload leg
+#: probes; the middle one is the headline.
+OVERLOAD_MULTIPLIERS = (1, 2, 4)
 
 
 def run_build_leg(config: Mapping[str, Any] = DEFAULT_CONFIG) -> Dict[str, Any]:
@@ -109,12 +118,104 @@ def run_serve_leg(config: Mapping[str, Any] = DEFAULT_CONFIG) -> Dict[str, Any]:
     }
 
 
-def run_legs(config: Mapping[str, Any] = DEFAULT_CONFIG) -> Dict[str, Any]:
-    """Both legs, in declaration order — the record's ``legs`` payload."""
+def run_overload_leg(
+    config: Mapping[str, Any] = DEFAULT_CONFIG,
+) -> Dict[str, Any]:
+    """Drive the engine at multiples of its measured saturation rate.
+
+    One baseline harness pass measures the saturation point; the
+    schedule is then compressed so the offered rate hits each multiple
+    in :data:`OVERLOAD_MULTIPLIERS`, with a token bucket sized to the
+    saturation rate — so the 2× and 4× probes exercise real shedding,
+    deadline misses (every request carries the configured budget), and
+    the degraded-answer path.  The headline figures come from the 2×
+    probe; ``goodput_rps`` and ``admitted_p99_s`` are the gated pair.
+    """
+    from dataclasses import replace
+
+    from repro.dataset.builder import build_volume_level_dataset
+    from repro.geo.country import CountryConfig
+    from repro.serve.engine import ServeEngine
+    from repro.serve.load import run_load
+    from repro.serve.overload import OverloadPolicy
+    from repro.serve.workload import WorkloadSpec, generate_schedule
+
+    dataset = build_volume_level_dataset(
+        country_config=CountryConfig(n_communes=int(config["communes"])),
+        n_services=int(config["services"]),
+        seed=int(config["seed"]),
+    ).dataset
+    engine = ServeEngine(dataset)
+    spec = WorkloadSpec(
+        duration_s=float(config["duration_s"]),
+        mean_active_users=float(config["users"]),
+        mean_requests_per_minute_per_user=float(config["rpm"]),
+        user_sampling_window_s=float(config["window"]),
+        interactive_deadline_ms=float(config["deadline_ms"]),
+        batch_deadline_ms=float(config["deadline_ms"]),
+    )
+    requests = generate_schedule(spec, engine.profile, int(config["seed"]))
+
+    baseline = run_load(engine, requests)
+    # Saturation can come back 0.0 when even the slowest probe violated
+    # the bound; fall back to the offered rate so the probes still run.
+    saturation = baseline.saturation_rps or baseline.offered_rps or 1.0
+    offered = baseline.offered_rps or 1.0
+    policy = OverloadPolicy(
+        seed=int(config["seed"]), tokens_per_s=max(saturation, 1.0)
+    )
+
+    start = clock.now_s()
+    probes: Dict[str, Dict[str, Any]] = {}
+    for multiplier in OVERLOAD_MULTIPLIERS:
+        factor = offered / (multiplier * saturation)
+        scaled = [
+            replace(
+                request,
+                arrival_offset_ms=request.arrival_offset_ms * factor,
+            )
+            for request in requests
+        ]
+        report = run_load(engine, scaled, overload=policy)
+        section = report.overload
+        assert section is not None
+        probes[f"{multiplier}x"] = {
+            "offered_rps": report.offered_rps,
+            "goodput_rps": section["goodput_rps"],
+            "shed_rate": section["shed_rate"],
+            "admitted_p99_s": section["admitted_p99_s"],
+            "n_deadline_exceeded": section["n_deadline_exceeded"],
+            "health": section["health"]["state"],
+        }
+    elapsed = clock.now_s() - start
+    headline = probes["2x"]
+    obs.add("bench.legs")
     return {
-        "build": run_build_leg(config),
-        "serve": run_serve_leg(config),
+        "harness_elapsed_s": elapsed,
+        "saturation_rps": saturation,
+        "n_requests": baseline.n_requests,
+        "at": probes,
+        "goodput_rps": headline["goodput_rps"],
+        "shed_rate": headline["shed_rate"],
+        "admitted_p99_s": headline["admitted_p99_s"],
+        "peak_rss_bytes": clock.peak_rss_bytes(),
     }
 
 
-__all__ = ["DEFAULT_CONFIG", "run_build_leg", "run_legs", "run_serve_leg"]
+def run_legs(config: Mapping[str, Any] = DEFAULT_CONFIG) -> Dict[str, Any]:
+    """Every leg, in declaration order — the record's ``legs`` payload."""
+    return {
+        "build": run_build_leg(config),
+        "serve": run_serve_leg(config),
+        "overload": run_overload_leg(config),
+    }
+
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "OVERLOAD_MULTIPLIERS",
+    "run_build_leg",
+    "run_legs",
+    "run_overload_leg",
+    "run_serve_leg",
+]

@@ -151,7 +151,7 @@ LAYERS: Tuple[LayerSpec, ...] = (
     LayerSpec(
         "serve",
         ("repro.serve",),
-        ("foundation", "obs", "geo", "datastore", "analysis"),
+        ("foundation", "obs", "geo", "datastore", "resilience", "analysis"),
     ),
     LayerSpec(
         "bench",

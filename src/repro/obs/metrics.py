@@ -93,6 +93,13 @@ def _spec_table(specs: Iterable[MetricSpec]) -> Dict[str, MetricSpec]:
 _C, _G, _H = MetricKind.COUNTER, MetricKind.GAUGE, MetricKind.HISTOGRAM
 _EV, _DE, _TI = Determinism.EVENTS, Determinism.DERIVED, Determinism.TIMING
 
+#: The serving health ladder, worst-last; the ``serve.health.state``
+#: gauge carries the index, and :mod:`repro.obs.prom` renders the same
+#: order as a labeled state set.  Declared here (not in
+#: ``repro.serve.health``, which re-exports it) so the exposition layer
+#: never imports upward into the serving layer.
+SERVE_HEALTH_STATES = ("ok", "degraded", "shedding")
+
 #: The full metrics contract: every name the pipeline may emit.
 SPECS: Dict[str, MetricSpec] = _spec_table(
     [
@@ -337,6 +344,63 @@ SPECS: Dict[str, MetricSpec] = _spec_table(
             "serve.latency.service_seconds", _H, "seconds", "serve", _TI,
             "log-linear histogram of measured per-request service times",
         ),
+        # --- serving under overload ----------------------------------
+        # Timing class throughout: shed and deadline outcomes depend on
+        # measured service times, so under a real clock they are
+        # run-dependent (under the harness's fake clock they are a pure
+        # function of (seed, schedule, fault_plan) and pinned by tests).
+        MetricSpec(
+            "serve.deadline_exceeded", _C, "requests", "serve", _TI,
+            "requests whose latency budget expired at a phase boundary "
+            "and were answered with a typed deadline_exceeded payload",
+        ),
+        MetricSpec(
+            "serve.shed.requests", _C, "requests", "serve", _TI,
+            "requests shed by admission control (rate limiter plus "
+            "queue-pressure shedding), never executed",
+        ),
+        MetricSpec(
+            "serve.shed.rate_limited", _C, "requests", "serve", _TI,
+            "requests shed because the token-bucket rate limiter was "
+            "empty on arrival",
+        ),
+        MetricSpec(
+            "serve.shed.queue_full", _C, "requests", "serve", _TI,
+            "requests shed by the queue-pressure hash (priority-aware, "
+            "batch and low-priority shed first)",
+        ),
+        MetricSpec(
+            "serve.shed.stale_answers", _C, "requests", "serve", _TI,
+            "shed or degraded requests answered from the result cache "
+            "as explicitly stale=true responses",
+        ),
+        MetricSpec(
+            "serve.shed.rate", _G, "fraction", "serve", _TI,
+            "fraction of offered requests shed by admission control",
+        ),
+        MetricSpec(
+            "serve.health.state", _G, "state", "serve", _TI,
+            "serving health state (0 ok, 1 degraded, 2 shedding)",
+        ),
+        MetricSpec(
+            "serve.health.transitions", _C, "transitions", "serve", _TI,
+            "health state-machine transitions over one harness run",
+        ),
+        MetricSpec(
+            "serve.cache.corrupt_detected", _C, "entries", "serve", _TI,
+            "cache entries whose stored digest failed verification on "
+            "read (detected, evicted, and recomputed — never served)",
+        ),
+        MetricSpec(
+            "serve.overload.goodput_rps", _G, "requests/s", "serve", _TI,
+            "admitted requests completing within deadline per second "
+            "under the overload schedule",
+        ),
+        MetricSpec(
+            "serve.overload.admitted_p99_s", _G, "seconds", "serve", _TI,
+            "99th-percentile simulated latency over admitted requests "
+            "under the overload schedule",
+        ),
         # --- benchmark observatory -----------------------------------
         MetricSpec(
             "bench.legs", _C, "legs", "bench", _EV,
@@ -496,6 +560,7 @@ __all__ = [
     "MetricSpec",
     "MetricsRegistry",
     "Number",
+    "SERVE_HEALTH_STATES",
     "SPECS",
     "spec_names",
     "validate_export",

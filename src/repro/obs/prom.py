@@ -11,7 +11,11 @@ future resident server would serve at ``/metrics``:
   exposition can never show an undocumented metric;
 - histograms render as cumulative ``_bucket{le="..."}`` series over the
   log-linear bucket upper bounds, plus ``_sum`` (the deterministic
-  representative sum) and ``_count``.
+  representative sum) and ``_count``;
+- enumerated state gauges (``serve.health.state``) additionally render
+  as a labeled state set — one 0/1 series per state, exactly one set —
+  the conventional shape for alerting on ``state="shedding"`` without
+  decoding rung numbers.
 
 Output is byte-stable: series are emitted in sorted metric-name order
 and bucket order, with no timestamps.
@@ -22,9 +26,12 @@ from __future__ import annotations
 from typing import Any, Dict, List
 
 from repro.obs.hist import LatencyHistogram
-from repro.obs.metrics import SPECS
+from repro.obs.metrics import SERVE_HEALTH_STATES, SPECS
 
 PROM_PREFIX = "repro"
+
+#: Enumerated gauges rendered as labeled state sets: name → state order.
+STATE_SETS = {"serve.health.state": SERVE_HEALTH_STATES}
 
 
 def _mangle(name: str) -> str:
@@ -55,6 +62,15 @@ def _render_scalar(
         prom_name += "_total"
     lines.extend(_help_line(prom_name, metric_name))
     lines.append(f"# TYPE {prom_name} {prom_type}")
+    states = STATE_SETS.get(metric_name)
+    if states is not None:
+        # State set: one 0/1 series per state, exactly one set. Out-of-
+        # range values render all-zero rather than inventing a state.
+        current = value if isinstance(value, int) else int(value)
+        for index, state in enumerate(states):
+            flag = 1 if index == current else 0
+            lines.append(f'{prom_name}{{state="{state}"}} {flag}')
+        return
     lines.append(f"{prom_name} {_format_value(value)}")
 
 
@@ -89,4 +105,4 @@ def render_prom(dump: Dict[str, Any]) -> str:
     return "\n".join(lines) + "\n" if lines else ""
 
 
-__all__ = ["PROM_PREFIX", "render_prom"]
+__all__ = ["PROM_PREFIX", "STATE_SETS", "render_prom"]

@@ -157,7 +157,11 @@ def add(name: str, value: Number = 1) -> None:
         return
     session.api_events += 1
     session.registry.add(name, value)
-    if session.log_events:
+    if session.log_events and SPECS[name].determinism is not Determinism.TIMING:
+        # Timing-class counters (overload/shed outcomes under a real
+        # clock) would make the event log run-dependent, exactly like
+        # timing-class gauges below — the log stays a deterministic
+        # trace.
         session.events.append(("counter", name, value))
 
 

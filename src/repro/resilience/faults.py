@@ -33,6 +33,31 @@ Plans are either written explicitly (a list of :class:`FaultSpec`) or
 sampled from a seed with :meth:`FaultPlan.sample`, which draws one
 spawned RNG stream per fault kind so scenarios are decorrelated and
 stable under changes to the other kinds' rates.
+
+Serve-path faults
+-----------------
+
+The serving layer (``docs/robustness.md``, "Serving under overload")
+has its own fault vocabulary (:data:`SERVE_FAULT_KINDS`), addressed by
+``stage × request_id`` instead of ``(shard_index, attempt)`` — a query
+path has no shards, but every request carries a stable id:
+
+``index_unavailable``
+    The similarity/aggregation indexes are unreachable for this
+    request — the engine must degrade (answer stale from cache where
+    the family allows it) instead of crashing.
+``slow_phase``
+    The addressed phase takes ``delay_ms`` longer — the deadline-budget
+    and saturation machinery must absorb it.
+``corrupt_cache_entry``
+    The cached bytes for this request's key are damaged in place.  The
+    engine must *detect* the damage via the stored canonical-JSON
+    digest, count it, evict, and recompute — a corrupt entry is never
+    served.
+
+Serve faults are sampled with :meth:`FaultPlan.sample_serve` and looked
+up with :meth:`FaultPlan.serve_faults_for`; the two address spaces
+coexist in one plan.
 """
 
 from __future__ import annotations
@@ -43,7 +68,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro._rng import SeedLike, as_generator, spawn
 
-#: The closed set of injectable fault kinds.
+#: The closed set of injectable build-path fault kinds.
 FAULT_KINDS = (
     "worker_exception",
     "worker_hang",
@@ -53,6 +78,26 @@ FAULT_KINDS = (
 
 #: Pipeline stages a fault can address inside one shard run.
 FAULT_STAGES = ("generate", "aggregate", "result")
+
+#: The closed set of injectable serve-path fault kinds.
+SERVE_FAULT_KINDS = (
+    "index_unavailable",
+    "slow_phase",
+    "corrupt_cache_entry",
+)
+
+#: Request phases a serve fault can address (the engine's trace phases).
+SERVE_FAULT_STAGES = ("parse", "cache_lookup", "index_scan", "encode")
+
+#: Default phase each serve fault kind fires in when unaddressed.
+_SERVE_DEFAULT_STAGE = {
+    "index_unavailable": "index_scan",
+    "slow_phase": "index_scan",
+    "corrupt_cache_entry": "cache_lookup",
+}
+
+#: Default injected delay for ``slow_phase`` faults, milliseconds.
+DEFAULT_SLOW_PHASE_DELAY_MS = 50.0
 
 
 class InjectedWorkerError(RuntimeError):
@@ -70,26 +115,55 @@ class InjectedHangError(RuntimeError):
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """One injectable fault, addressed by ``(shard_index, attempt)``."""
+    """One injectable fault.
+
+    Build-path kinds (:data:`FAULT_KINDS`) are addressed by
+    ``(shard_index, attempt)``; serve-path kinds
+    (:data:`SERVE_FAULT_KINDS`) by ``(request_id, attempt)`` with the
+    stage drawn from :data:`SERVE_FAULT_STAGES`.
+    """
 
     kind: str
-    shard_index: int
+    shard_index: int = 0
     attempt: int = 0
     stage: str = "generate"
     #: Fraction of probe records dropped (``drop_records`` only).
     drop_fraction: float = 0.25
+    #: Serve-path address: the request this fault fires on.
+    request_id: Optional[str] = None
+    #: Injected extra latency (``slow_phase`` only), milliseconds.
+    delay_ms: float = DEFAULT_SLOW_PHASE_DELAY_MS
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
-            raise ValueError(
-                f"unknown fault kind {self.kind!r}; expected one of "
-                f"{FAULT_KINDS}"
-            )
-        if self.stage not in FAULT_STAGES:
-            raise ValueError(
-                f"unknown fault stage {self.stage!r}; expected one of "
-                f"{FAULT_STAGES}"
-            )
+        if self.kind in SERVE_FAULT_KINDS:
+            if self.request_id is None:
+                raise ValueError(
+                    f"serve fault {self.kind!r} must address a request_id"
+                )
+            if self.stage not in SERVE_FAULT_STAGES:
+                raise ValueError(
+                    f"serve fault stage {self.stage!r} must be one of "
+                    f"{SERVE_FAULT_STAGES}"
+                )
+            if self.delay_ms < 0:
+                raise ValueError(
+                    f"delay_ms must be >= 0, got {self.delay_ms}"
+                )
+        else:
+            if self.kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {self.kind!r}; expected one of "
+                    f"{FAULT_KINDS} or {SERVE_FAULT_KINDS}"
+                )
+            if self.request_id is not None:
+                raise ValueError(
+                    f"build fault {self.kind!r} cannot address a request_id"
+                )
+            if self.stage not in FAULT_STAGES:
+                raise ValueError(
+                    f"unknown fault stage {self.stage!r}; expected one of "
+                    f"{FAULT_STAGES}"
+                )
         if self.shard_index < 0:
             raise ValueError(
                 f"shard_index must be >= 0, got {self.shard_index}"
@@ -113,9 +187,14 @@ class FaultPlan:
     def __init__(self, faults: Sequence[FaultSpec] = ()):
         self._faults: Tuple[FaultSpec, ...] = tuple(faults)
         self._by_address: Dict[Tuple[int, int], List[FaultSpec]] = {}
+        self._by_request: Dict[Tuple[str, int], List[FaultSpec]] = {}
         for fault in self._faults:
-            key = (fault.shard_index, fault.attempt)
-            self._by_address.setdefault(key, []).append(fault)
+            if fault.request_id is not None:
+                request_key = (fault.request_id, fault.attempt)
+                self._by_request.setdefault(request_key, []).append(fault)
+            else:
+                key = (fault.shard_index, fault.attempt)
+                self._by_address.setdefault(key, []).append(fault)
 
     @property
     def faults(self) -> Tuple[FaultSpec, ...]:
@@ -127,34 +206,78 @@ class FaultPlan:
     def faults_for(
         self, shard_index: int, attempt: int
     ) -> Tuple[FaultSpec, ...]:
-        """Every fault addressed to one ``(shard_index, attempt)``."""
+        """Every build fault addressed to one ``(shard_index, attempt)``."""
         return tuple(self._by_address.get((shard_index, attempt), ()))
+
+    def serve_faults_for(
+        self,
+        request_id: str,
+        attempt: int = 0,
+        stage: Optional[str] = None,
+    ) -> Tuple[FaultSpec, ...]:
+        """Every serve fault addressed to ``(request_id, attempt)``.
+
+        ``stage`` narrows to faults firing in one request phase.  Like
+        the build-path lookup, a fault injected at attempt 0 does not
+        re-fire on the retry — the retrying client's success fixture.
+        """
+        faults = self._by_request.get((request_id, attempt), ())
+        if stage is not None:
+            faults = [f for f in faults if f.stage == stage]
+        return tuple(faults)
 
     def describe(self) -> List[str]:
         """One human-readable line per fault, in declaration order."""
-        return [
-            f"{f.kind} @ shard {f.shard_index} attempt {f.attempt} "
-            f"stage {f.stage}"
-            for f in self._faults
-        ]
+        lines = []
+        for f in self._faults:
+            if f.request_id is not None:
+                lines.append(
+                    f"{f.kind} @ request {f.request_id} attempt "
+                    f"{f.attempt} stage {f.stage}"
+                )
+            else:
+                lines.append(
+                    f"{f.kind} @ shard {f.shard_index} attempt {f.attempt} "
+                    f"stage {f.stage}"
+                )
+        return lines
 
     @classmethod
     def parse(cls, specs: Sequence[str]) -> "FaultPlan":
-        """Build a plan from ``kind:shard[:attempt[:stage]]`` strings.
+        """Build a plan from ``kind:address[:attempt[:stage]]`` strings.
 
-        The CLI's ``--fault`` flag format; e.g.
-        ``worker_exception:2``, ``drop_records:0:1:aggregate``.
+        The CLI's ``--fault`` flag format.  For build kinds the address
+        is a shard index (``worker_exception:2``,
+        ``drop_records:0:1:aggregate``); for serve kinds it is a request
+        id (``index_unavailable:req-000005``,
+        ``slow_phase:req-000012:0:encode``).
         """
         faults = []
         for text in specs:
             parts = text.split(":")
             if not 2 <= len(parts) <= 4:
                 raise ValueError(
-                    f"fault spec {text!r} is not kind:shard[:attempt[:stage]]"
+                    f"fault spec {text!r} is not "
+                    f"kind:address[:attempt[:stage]]"
                 )
             kind = parts[0]
-            shard_index = int(parts[1])
             attempt = int(parts[2]) if len(parts) > 2 else 0
+            if kind in SERVE_FAULT_KINDS:
+                stage = (
+                    parts[3]
+                    if len(parts) > 3
+                    else _SERVE_DEFAULT_STAGE[kind]
+                )
+                faults.append(
+                    FaultSpec(
+                        kind=kind,
+                        request_id=parts[1],
+                        attempt=attempt,
+                        stage=stage,
+                    )
+                )
+                continue
+            shard_index = int(parts[1])
             if len(parts) > 3:
                 stage = parts[3]
             else:
@@ -167,6 +290,52 @@ class FaultPlan:
                     stage=stage,
                 )
             )
+        return cls(faults)
+
+    @classmethod
+    def sample_serve(
+        cls,
+        seed: SeedLike,
+        request_ids: Sequence[str],
+        rates: Optional[Dict[str, float]] = None,
+        delay_ms: float = DEFAULT_SLOW_PHASE_DELAY_MS,
+    ) -> "FaultPlan":
+        """Sample a reproducible serve-path scenario over a schedule.
+
+        ``rates`` maps serve fault kind to the per-request injection
+        probability.  Mirrors :meth:`sample`: one spawned stream per
+        kind in the fixed :data:`SERVE_FAULT_KINDS` order, so re-rating
+        one kind never perturbs the others' scenarios.
+        """
+        rates = dict(rates or {})
+        for kind in sorted(rates):
+            if kind not in SERVE_FAULT_KINDS:
+                raise ValueError(
+                    f"unknown serve fault kind {kind!r} in rates"
+                )
+            if not 0.0 <= rates[kind] <= 1.0:
+                raise ValueError(
+                    f"rate for {kind!r} must be in [0, 1], got {rates[kind]}"
+                )
+        parent = as_generator(seed)
+        streams = {
+            kind: spawn(parent, f"faults.serve.{kind}")
+            for kind in SERVE_FAULT_KINDS
+        }
+        faults = []
+        for kind in SERVE_FAULT_KINDS:
+            rate = rates.get(kind, 0.0)
+            stream = streams[kind]
+            for request_id in request_ids:
+                if stream.random() < rate:
+                    faults.append(
+                        FaultSpec(
+                            kind=kind,
+                            request_id=request_id,
+                            stage=_SERVE_DEFAULT_STAGE[kind],
+                            delay_ms=delay_ms,
+                        )
+                    )
         return cls(faults)
 
     @classmethod
@@ -269,12 +438,15 @@ def wants_corrupt_result(faults: Sequence[FaultSpec]) -> bool:
 
 
 __all__ = [
+    "DEFAULT_SLOW_PHASE_DELAY_MS",
     "FAULT_KINDS",
     "FAULT_STAGES",
     "FaultPlan",
     "FaultSpec",
     "InjectedHangError",
     "InjectedWorkerError",
+    "SERVE_FAULT_KINDS",
+    "SERVE_FAULT_STAGES",
     "drop_fraction_for",
     "fire_stage_faults",
     "wants_corrupt_result",

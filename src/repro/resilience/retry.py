@@ -14,6 +14,7 @@ waiting).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional
 
@@ -74,6 +75,20 @@ class RetryPolicy:
         word = seed_material_word([seed, shard_index, attempt])
         jitter = 0.75 + 0.5 * (float(word) / float(2**32))
         return self.backoff_base_s * (2.0 ** (attempt - 1)) * jitter
+
+    def request_backoff_s(
+        self, seed: int, request_id: str, attempt: int
+    ) -> float:
+        """:meth:`backoff_s` addressed by a serve-path request id.
+
+        Request ids are strings, so the id is folded to a stable
+        integer index (first four sha256 bytes) before entering the
+        same seed-material derivation — the schedule stays a pure
+        function of ``(seed, request_id, attempt)`` and is shared by
+        the retrying harness client and the chaos smoke.
+        """
+        digest = hashlib.sha256(request_id.encode("utf-8")).digest()
+        return self.backoff_s(seed, int.from_bytes(digest[:4], "big"), attempt)
 
 
 __all__ = ["ON_EXHAUSTED", "RetryPolicy"]

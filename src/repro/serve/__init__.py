@@ -7,11 +7,30 @@ behind an LRU result cache, and :func:`~repro.serve.load.run_load`
 drives it with open-loop workloads — Poisson-generated or replayed
 from Logos-style CSVs — measuring latency percentiles, throughput and
 a saturation point.  The ``repro-serve`` CLI wraps both.
+
+The layer is overload-safe (``docs/robustness.md``): queries carry
+optional deadline budgets checked at phase boundaries
+(:meth:`~repro.serve.engine.ServeEngine.execute`), admission control
+sheds deterministically under pressure (:mod:`repro.serve.overload`),
+degraded mode answers point/top-k queries stale from the cache, and a
+:class:`~repro.serve.health.ServeHealth` ladder tracks ok → degraded →
+shedding.
 """
 
 from repro.serve.cache import LRUCache
-from repro.serve.engine import DEFAULT_CACHE_CAPACITY, ServeEngine
+from repro.serve.engine import (
+    DEFAULT_CACHE_CAPACITY,
+    DeadlineExceeded,
+    ServeEngine,
+    ServeResult,
+)
+from repro.serve.health import ServeHealth
 from repro.serve.load import LoadReport, run_load
+from repro.serve.overload import (
+    OverloadPolicy,
+    RetryingClient,
+    simulate_overload,
+)
 from repro.serve.queries import (
     CubeProfile,
     Query,
@@ -30,12 +49,17 @@ from repro.serve.workload import (
 __all__ = [
     "CubeProfile",
     "DEFAULT_CACHE_CAPACITY",
+    "DeadlineExceeded",
     "LRUCache",
     "LoadReport",
+    "OverloadPolicy",
     "Query",
     "QueryError",
+    "RetryingClient",
     "ScheduledRequest",
     "ServeEngine",
+    "ServeHealth",
+    "ServeResult",
     "WorkloadSpec",
     "generate_schedule",
     "parse_query",
@@ -43,4 +67,5 @@ __all__ = [
     "query_from_dict",
     "render_schedule_csv",
     "run_load",
+    "simulate_overload",
 ]

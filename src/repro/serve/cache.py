@@ -12,12 +12,26 @@ key sequence and the capacity — :func:`simulate_hits` replays exactly
 that function without executing anything, which is how the harness
 reports cache behaviour independently of how many worker processes
 executed the requests.
+
+Every entry is stored alongside a sha256 digest of its bytes, taken at
+``put`` time.  Reads verify the digest: an entry damaged in place (the
+``corrupt_cache_entry`` fault of :mod:`repro.resilience.faults`) is
+*detected*, counted on :attr:`LRUCache.corrupt_detected`, evicted, and
+reported as a miss — corrupt bytes are never returned.  :meth:`peek`
+reads without touching recency or hit/miss accounting, which is how
+degraded mode serves explicitly-stale answers without perturbing the
+cache state the deterministic replay models (``docs/robustness.md``).
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def _digest(value: str) -> str:
+    return hashlib.sha256(value.encode("utf-8")).hexdigest()
 
 
 class LRUCache:
@@ -27,7 +41,7 @@ class LRUCache:
     stored (the reference configuration for cache-correctness tests).
     """
 
-    __slots__ = ("capacity", "hits", "misses", "_data")
+    __slots__ = ("capacity", "hits", "misses", "corrupt_detected", "_data")
 
     def __init__(self, capacity: int = 1024):
         if capacity < 0:
@@ -35,19 +49,50 @@ class LRUCache:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
-        self._data: "OrderedDict[str, str]" = OrderedDict()
+        #: Entries whose stored digest failed verification on read.
+        self.corrupt_detected = 0
+        self._data: "OrderedDict[str, Tuple[str, str]]" = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._data)
 
+    def _checked(self, key: str) -> Optional[str]:
+        """The verified value for a present key; evicts on corruption."""
+        value, digest = self._data[key]
+        if _digest(value) != digest:
+            del self._data[key]
+            self.corrupt_detected += 1
+            return None
+        return value
+
     def get(self, key: str) -> Optional[str]:
-        """The cached value, refreshed as most-recent; None on miss."""
+        """The cached value, refreshed as most-recent; None on miss.
+
+        A present-but-corrupt entry (stored digest mismatch) counts as
+        a miss: it is evicted and ``corrupt_detected`` is bumped, so
+        the caller recomputes exactly as for an absent key.
+        """
         if self.capacity == 0 or key not in self._data:
+            self.misses += 1
+            return None
+        value = self._checked(key)
+        if value is None:
             self.misses += 1
             return None
         self._data.move_to_end(key)
         self.hits += 1
-        return self._data[key]
+        return value
+
+    def peek(self, key: str) -> Optional[str]:
+        """The verified value without recency or hit/miss accounting.
+
+        Degraded mode's stale-read path: present and intact returns the
+        bytes, absent returns None, corrupt is evicted and counted like
+        :meth:`get` but perturbs nothing else.
+        """
+        if self.capacity == 0 or key not in self._data:
+            return None
+        return self._checked(key)
 
     def put(self, key: str, value: str) -> None:
         """Store ``value``, evicting the least-recent entry when full."""
@@ -55,12 +100,31 @@ class LRUCache:
             return
         if key in self._data:
             self._data.move_to_end(key)
-        self._data[key] = value
+        self._data[key] = (value, _digest(value))
         while len(self._data) > self.capacity:
             self._data.popitem(last=False)
 
+    def corrupt(self, key: str) -> bool:
+        """Damage the stored bytes of ``key`` in place (fault injection).
+
+        Flips the entry's value without updating its digest — the next
+        read must detect the mismatch.  Returns whether the key was
+        present to damage.  Test/chaos-harness surface only; the
+        serving path never calls it.
+        """
+        if key not in self._data:
+            return False
+        value, digest = self._data[key]
+        self._data[key] = ("\x00" + value, digest)
+        return True
+
     def stats(self) -> Dict[str, int]:
-        """Hit/miss/size snapshot (plain ints, JSON-ready)."""
+        """Hit/miss/size snapshot (plain ints, JSON-ready).
+
+        ``corrupt_detected`` is deliberately kept out: the four keys
+        are pinned by tests and external consumers; corruption counts
+        surface through the ``serve.cache.corrupt_detected`` metric.
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,

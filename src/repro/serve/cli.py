@@ -13,21 +13,33 @@ Examples::
         --trace-sample 0.01 --out report.json
     repro-serve stats panel.npz --duration 10 --out serve.prom
 
-Query answers are printed as canonical JSON on stdout.  ``load``
-writes the harness report (p50/p95/p99 latency, throughput, cache hit
-rate, saturation point — ``docs/serving.md``); ``--trace-sample``
-phase-traces a deterministic ``(seed, request_id)``-sampled subset of
-requests into the event log.  ``stats`` runs the same harness and
-renders the resulting metric registry — counters, gauges, and the
-``serve.latency.*`` histograms — in Prometheus text exposition format.
-Both follow the shared exit contract in :mod:`repro._exit`: ``0`` ok,
-``1`` findings (the p99 bound was exceeded or requests errored), ``2``
-usage error or unreadable input, ``3`` internal failure.
+Query answers are printed as canonical JSON on stdout; ``--deadline-ms``
+attaches a latency budget checked at phase boundaries, and a budget
+miss prints the typed ``deadline_exceeded`` answer and exits ``1``.
+``load`` writes the harness report (p50/p95/p99 latency, throughput,
+cache hit rate, saturation point — ``docs/serving.md``);
+``--trace-sample`` phase-traces a deterministic ``(seed,
+request_id)``-sampled subset of requests into the event log;
+``--overload`` (with ``--queue-capacity`` / ``--tokens-per-s`` /
+``--token-burst`` / ``--overload-seed``) adds the admission-control
+replay to the report, and repeatable ``--fault kind:request_id`` specs
+inject serve-path faults (``docs/robustness.md``).  ``stats`` runs the
+same harness and renders the resulting metric registry — counters,
+gauges (including the ``serve.health.state`` ladder as a labeled state
+set), and the ``serve.latency.*`` histograms — in Prometheus text
+exposition format.  Both follow the shared exit contract in
+:mod:`repro._exit`: ``0`` ok, ``1`` findings (the p99 bound was
+exceeded, requests errored, or a single query missed its deadline),
+``2`` usage error or unreadable input, ``3`` internal failure — a
+dataset file that exists but fails integrity checks
+(:class:`~repro.dataset.store.CorruptDatasetError`) is an internal
+failure, not a usage error.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import List, Optional
@@ -38,8 +50,10 @@ from repro.dataset.store import CorruptDatasetError, MobileTrafficDataset
 from repro.obs import events as obs_events
 from repro.obs import prom as obs_prom
 from repro.obs import runtime
+from repro.resilience.faults import FaultPlan
 from repro.serve.engine import DEFAULT_CACHE_CAPACITY, ServeEngine
 from repro.serve.load import run_load
+from repro.serve.overload import OverloadPolicy
 from repro.serve.queries import (
     CubeProfile,
     Query,
@@ -68,6 +82,64 @@ def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="trace-sampling seed (default: --seed)",
+    )
+
+
+def _add_deadline_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help=(
+            "latency budget in milliseconds; a miss prints the typed "
+            "deadline_exceeded answer and exits 1"
+        ),
+    )
+
+
+def _add_overload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--overload",
+        action="store_true",
+        help=(
+            "replay admission control (token bucket + bounded queue "
+            "with deterministic shedding) and add the overload section"
+        ),
+    )
+    parser.add_argument(
+        "--overload-seed",
+        type=int,
+        default=0,
+        help="seed of the pure shed hash",
+    )
+    parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=OverloadPolicy.queue_capacity,
+        help="maximum simulated queue depth before unconditional shed",
+    )
+    parser.add_argument(
+        "--tokens-per-s",
+        type=float,
+        default=OverloadPolicy.tokens_per_s,
+        help="token-bucket refill rate (requests per second)",
+    )
+    parser.add_argument(
+        "--token-burst",
+        type=float,
+        default=OverloadPolicy.token_burst,
+        help="token-bucket burst capacity",
+    )
+    parser.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help=(
+            "inject a serve-path fault, "
+            "kind:request_id[:attempt[:stage]] (repeatable); implies "
+            "admission control even without --overload"
+        ),
     )
 
 
@@ -129,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="hour of week, 0 = Saturday 00:00",
     )
     point.add_argument("--direction", choices=("dl", "ul"), default="dl")
+    _add_deadline_argument(point)
 
     topk = sub.add_parser(
         "topk", help="top-k services by weekly volume in one commune"
@@ -137,6 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
     topk.add_argument("--commune", type=int, required=True)
     topk.add_argument("--k", type=int, default=5)
     topk.add_argument("--direction", choices=("dl", "ul"), default="dl")
+    _add_deadline_argument(topk)
 
     hour_range = sub.add_parser(
         "range", help="volume of one service over an hour-of-week range"
@@ -156,6 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="commune index (default: national)",
     )
     hour_range.add_argument("--direction", choices=("dl", "ul"), default="dl")
+    _add_deadline_argument(hour_range)
 
     similarity = sub.add_parser(
         "similarity", help="pairwise r^2 between services or communes"
@@ -171,10 +246,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--b", required=True, help="service name or commune index"
     )
     similarity.add_argument("--direction", choices=("dl", "ul"), default="dl")
+    _add_deadline_argument(similarity)
 
     query = sub.add_parser("query", help="answer one JSON-encoded query")
     query.add_argument("dataset", metavar="DATASET")
     query.add_argument("body", metavar="JSON", help="query object")
+    _add_deadline_argument(query)
 
     schedule = sub.add_parser(
         "schedule", help="generate a Poisson workload schedule CSV"
@@ -201,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-capacity", type=int, default=DEFAULT_CACHE_CAPACITY
     )
     _add_trace_arguments(load)
+    _add_overload_arguments(load)
     load.add_argument(
         "--p99-bound-ms",
         type=float,
@@ -240,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-capacity", type=int, default=DEFAULT_CACHE_CAPACITY
     )
     _add_trace_arguments(stats)
+    _add_overload_arguments(stats)
     stats.add_argument(
         "--out",
         metavar="PATH",
@@ -254,8 +333,16 @@ def _engine_for(args: argparse.Namespace) -> ServeEngine:
 
 
 def _print_answer(engine: ServeEngine, query: Query) -> int:
-    print(engine.query_encoded(query))
-    return EXIT_OK
+    if query.deadline_ms is None:
+        print(engine.query_encoded(query))
+        return EXIT_OK
+    # The deadline-checked path: a budget miss is a finding (exit 1)
+    # with the typed answer on stdout, not a usage error.
+    result = engine.execute(query)
+    if result.status == "invalid":
+        raise ValueError(json.loads(result.encoded)["error"])
+    print(result.encoded)
+    return EXIT_OK if result.ok else EXIT_FINDINGS
 
 
 def _cmd_point(args: argparse.Namespace) -> int:
@@ -267,6 +354,7 @@ def _cmd_point(args: argparse.Namespace) -> int:
             commune=args.commune,
             service=args.service,
             hour=args.hour,
+            deadline_ms=args.deadline_ms,
         ),
     )
 
@@ -279,6 +367,7 @@ def _cmd_topk(args: argparse.Namespace) -> int:
             direction=args.direction,
             commune=args.commune,
             k=args.k,
+            deadline_ms=args.deadline_ms,
         ),
     )
 
@@ -293,6 +382,7 @@ def _cmd_range(args: argparse.Namespace) -> int:
             hour_start=args.start,
             hour_end=args.end,
             commune=args.commune,
+            deadline_ms=args.deadline_ms,
         ),
     )
 
@@ -317,12 +407,16 @@ def _cmd_similarity(args: argparse.Namespace) -> int:
             kind=args.kind,
             a=a,
             b=b,
+            deadline_ms=args.deadline_ms,
         ),
     )
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    return _print_answer(_engine_for(args), parse_query(args.body))
+    query = parse_query(args.body)
+    if args.deadline_ms is not None:
+        query = dataclasses.replace(query, deadline_ms=args.deadline_ms)
+    return _print_answer(_engine_for(args), query)
 
 
 def _workload_spec(args: argparse.Namespace) -> WorkloadSpec:
@@ -363,11 +457,32 @@ def _load_requests(args: argparse.Namespace, engine: ServeEngine) -> list:
     return generate_schedule(_workload_spec(args), engine.profile, args.seed)
 
 
+def _overload_policy(args: argparse.Namespace) -> Optional[OverloadPolicy]:
+    if not args.overload and not args.fault:
+        return None
+    return OverloadPolicy(
+        seed=args.overload_seed,
+        queue_capacity=args.queue_capacity,
+        tokens_per_s=args.tokens_per_s,
+        token_burst=args.token_burst,
+    )
+
+
+def _fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
+    return FaultPlan.parse(args.fault) if args.fault else None
+
+
 def _cmd_load(args: argparse.Namespace) -> int:
     engine = _load_engine(args)
     with runtime.observed(log_events=args.events_out is not None) as session:
         requests = _load_requests(args, engine)
-        report = run_load(engine, requests, n_workers=args.workers)
+        report = run_load(
+            engine,
+            requests,
+            n_workers=args.workers,
+            overload=_overload_policy(args),
+            fault_plan=_fault_plan(args),
+        )
         events = session.export_events()
     rendered = json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
     if args.out:
@@ -387,6 +502,16 @@ def _cmd_load(args: argparse.Namespace) -> int:
         f"cache_hit_rate={report.cache_hit_rate:.3f}",
         file=sys.stderr,
     )
+    if report.overload is not None:
+        section = report.overload
+        print(
+            f"overload: health={section['health']['state']} "
+            f"admitted={section['n_admitted']} shed={section['n_shed']} "
+            f"deadline_exceeded={section['n_deadline_exceeded']} "
+            f"stale={len(section['stale_answers'])} "
+            f"goodput={section['goodput_rps']:.0f}rps",
+            file=sys.stderr,
+        )
     if report.n_errors > 0:
         print(
             f"repro-serve: {report.n_errors} requests errored",
@@ -407,7 +532,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     engine = _load_engine(args)
     with runtime.observed() as session:
         requests = _load_requests(args, engine)
-        run_load(engine, requests, n_workers=args.workers)
+        run_load(
+            engine,
+            requests,
+            n_workers=args.workers,
+            overload=_overload_policy(args),
+            fault_plan=_fault_plan(args),
+        )
         dump = session.export(
             meta={"command": "stats", "dataset": args.dataset}
         )
@@ -440,7 +571,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_load(args)
         if args.command == "stats":
             return _cmd_stats(args)
-    except (OSError, ValueError, CorruptDatasetError) as exc:
+    except CorruptDatasetError as exc:
+        # The file exists but fails integrity checks: the serving stack
+        # is broken, not the invocation — exit 3, never a traceback.
+        print(f"repro-serve: corrupt dataset: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
+    except (OSError, ValueError) as exc:
         print(f"repro-serve: {exc}", file=sys.stderr)
         return EXIT_USAGE
     except Exception as exc:  # unexpected: the tool itself broke

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, Optional, Tuple, Union
 
@@ -43,9 +44,13 @@ import numpy as np
 
 from repro import obs
 from repro._time import WEEK_HOURS
+from repro._units import MILLIS_PER_SECOND
 from repro.core.correlation import pairwise_r2
 from repro.dataset.store import MobileTrafficDataset
+from repro.obs import clock
+from repro.resilience.faults import FaultPlan
 from repro.serve.cache import LRUCache
+from repro.serve.health import ServeHealth
 from repro.serve.queries import (
     CubeProfile,
     Query,
@@ -64,6 +69,48 @@ TRACE_PHASES = (
     "serve.request.index_scan",
     "serve.request.encode",
 )
+
+#: Query families degraded mode may answer stale from the cache.
+STALE_SERVABLE_FAMILIES = ("point", "topk")
+
+
+@dataclass(frozen=True)
+class DeadlineExceeded:
+    """A latency budget that expired at one phase boundary."""
+
+    phase: str
+    deadline_ms: float
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The canonical answer body a deadline miss is encoded as."""
+        return {
+            "error": "deadline_exceeded",
+            "phase": self.phase,
+            "deadline_ms": self.deadline_ms,
+        }
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One :meth:`ServeEngine.execute` outcome.
+
+    ``status`` is the closed set ``ok`` (fresh or cached answer),
+    ``stale`` (degraded-mode cache answer, ``encoded`` carries an
+    explicit ``"stale": true`` stamp), ``deadline_exceeded`` (typed
+    budget miss, see :class:`DeadlineExceeded`), ``unavailable`` (a
+    fault made the indexes unreachable and no stale answer existed),
+    and ``invalid`` (the query failed validation).  ``encoded`` is
+    always canonical JSON — every status has a well-formed body.
+    """
+
+    encoded: str
+    status: str
+    stale: bool = False
+    deadline: Optional[DeadlineExceeded] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
 
 def trace_sampled(seed: int, request_id: str, rate: float) -> bool:
@@ -103,6 +150,12 @@ class ServeEngine:
         #: — see :func:`trace_sampled`; rate 0 disables tracing.
         self.trace_seed = trace_seed
         self.trace_sample_rate = trace_sample_rate
+        #: Health ladder exported through ``repro-serve stats``
+        #: (``docs/robustness.md``, "Serving under overload").
+        self.health = ServeHealth()
+        #: Serve-path fault plan consulted by :meth:`execute`; ``None``
+        #: means no injection (see :meth:`install_faults`).
+        self.fault_plan: Optional[FaultPlan] = None
         #: Lazily materialized (direction, kind) -> r² matrix views.
         self._similarity: Dict[Tuple[str, str], np.ndarray] = {}
         with obs.span("serve.index_build"):
@@ -254,13 +307,145 @@ class ServeEngine:
             obs.add("serve.errors")
             raise
         obs.add("serve.queries")
-        key = query.canonical()
+        key = query.cache_key()
         cached = self.cache.get(key)
         if cached is not None:
             return cached
         encoded = encode_canonical(self._answer(query))
         self.cache.put(key, encoded)
         return encoded
+
+    def install_faults(self, plan: Optional[FaultPlan]) -> None:
+        """Arm (or with ``None`` disarm) a serve-path fault plan.
+
+        Consulted only by :meth:`execute`; the plain
+        :meth:`query_encoded` path never reads it, so an armed plan
+        cannot perturb harness measurement or cached-answer bytes.
+        """
+        self.fault_plan = plan
+
+    def execute(
+        self,
+        query: Query,
+        request_id: Optional[str] = None,
+        attempt: int = 0,
+    ) -> ServeResult:
+        """Answer ``query`` under its deadline budget and armed faults.
+
+        The overload-safe request path (``docs/serving.md``): never
+        raises for an answerable request.  The budget
+        (``query.deadline_ms``) is checked at every phase boundary of
+        :data:`TRACE_PHASES`; once spent, a typed
+        :class:`DeadlineExceeded` answer comes back instead of the
+        result.  Injected ``slow_phase`` faults charge their delay
+        against the budget without sleeping, so under the harness's
+        fake clock the set of deadline hits is a pure function of
+        ``(seed, schedule, fault_plan)``.  ``corrupt_cache_entry``
+        faults are *detected* via the stored digest (counted on
+        ``serve.cache.corrupt_detected``), evicted, and recomputed —
+        corrupt bytes are never served.  ``index_unavailable`` faults
+        degrade: point/top-k queries with a cached answer come back
+        explicitly stamped ``"stale": true``; everything else gets a
+        typed ``unavailable`` answer.
+        """
+        plan = self.fault_plan
+        rid = request_id if request_id is not None else ""
+        if plan is not None and request_id is not None:
+            faults_at = lambda stage: plan.serve_faults_for(  # noqa: E731
+                rid, attempt, stage
+            )
+        else:
+            faults_at = lambda stage: ()  # noqa: E731
+        budget_s = (
+            None
+            if query.deadline_ms is None
+            else query.deadline_ms / MILLIS_PER_SECOND
+        )
+        t0 = clock.now_s()
+        charged_s = 0.0
+
+        def expired(stage: str) -> bool:
+            """Charge this phase's injected delays, then check the budget."""
+            nonlocal charged_s
+            for fault in faults_at(stage):
+                if fault.kind == "slow_phase":
+                    charged_s += fault.delay_ms / MILLIS_PER_SECOND
+            if budget_s is None:
+                return False
+            return (clock.now_s() - t0) + charged_s > budget_s
+
+        def deadline_result(stage: str) -> ServeResult:
+            obs.add("serve.deadline_exceeded")
+            deadline = DeadlineExceeded(
+                phase=stage, deadline_ms=float(query.deadline_ms)
+            )
+            return ServeResult(
+                encoded=encode_canonical(deadline.to_payload()),
+                status="deadline_exceeded",
+                deadline=deadline,
+            )
+
+        # -- parse ----------------------------------------------------
+        try:
+            validate_query(query, self.profile)
+        except QueryError as exc:
+            obs.add("serve.errors")
+            return ServeResult(
+                encoded=encode_canonical({"error": str(exc)}),
+                status="invalid",
+            )
+        obs.add("serve.queries")
+        if expired("parse"):
+            return deadline_result("parse")
+
+        # -- cache lookup ---------------------------------------------
+        key = query.cache_key()
+        for fault in faults_at("cache_lookup"):
+            if fault.kind == "corrupt_cache_entry":
+                self.cache.corrupt(key)
+        before_corrupt = self.cache.corrupt_detected
+        cached = self.cache.get(key)
+        detected = self.cache.corrupt_detected - before_corrupt
+        if detected:
+            obs.add("serve.cache.corrupt_detected", detected)
+        if expired("cache_lookup"):
+            return deadline_result("cache_lookup")
+
+        # -- index scan -----------------------------------------------
+        unavailable = any(
+            fault.kind == "index_unavailable"
+            for fault in faults_at("index_scan")
+        )
+        if unavailable:
+            self.health.note("degraded")
+            if (
+                cached is not None
+                and query.family in STALE_SERVABLE_FAMILIES
+            ):
+                obs.add("serve.shed.stale_answers")
+                stale_body = json.loads(cached)
+                stale_body["stale"] = True
+                return ServeResult(
+                    encoded=encode_canonical(stale_body),
+                    status="stale",
+                    stale=True,
+                )
+            return ServeResult(
+                encoded=encode_canonical({"error": "index_unavailable"}),
+                status="unavailable",
+            )
+        if cached is not None:
+            return ServeResult(encoded=cached, status="ok")
+        answer = self._answer(query)
+        if expired("index_scan"):
+            return deadline_result("index_scan")
+
+        # -- encode ---------------------------------------------------
+        encoded = encode_canonical(answer)
+        self.cache.put(key, encoded)
+        if expired("encode"):
+            return deadline_result("encode")
+        return ServeResult(encoded=encoded, status="ok")
 
     def _query_traced(self, query: Query) -> str:
         """The phase-traced request path (cache-bypassing, see above)."""
@@ -292,7 +477,10 @@ class ServeEngine:
 
 __all__ = [
     "DEFAULT_CACHE_CAPACITY",
+    "DeadlineExceeded",
+    "STALE_SERVABLE_FAMILIES",
     "ServeEngine",
+    "ServeResult",
     "TRACE_PHASES",
     "trace_sampled",
 ]

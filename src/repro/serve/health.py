@@ -1,0 +1,81 @@
+"""The serving health state machine.
+
+A three-rung ladder — ``ok`` → ``degraded`` → ``shedding`` — that only
+ratchets upward within one observation window (``docs/robustness.md``,
+"Serving under overload"):
+
+``ok``
+    Every admitted request is answered fresh.
+``degraded``
+    At least one request was answered stale from the cache or refused
+    because a fault marked the indexes unavailable.
+``shedding``
+    Admission control dropped at least one request (rate limiter or
+    queue pressure).
+
+The ratchet makes the end-of-run state a pure function of the *set* of
+events observed, not their order — two permutations of the same
+requests land on the same state, which is what keeps the harness report
+byte-identical across worker counts.  :meth:`ServeHealth.reset` starts
+a fresh window.
+
+State changes are exported through the metrics contract:
+``serve.health.state`` carries the numeric rung and
+``serve.health.transitions`` counts ratchet steps; ``repro-serve
+stats`` renders the current state as a labeled Prometheus state set
+(``repro.obs.prom``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro import obs
+from repro.obs.metrics import SERVE_HEALTH_STATES
+
+#: The ladder, worst-last; index is the exported gauge value.
+HEALTH_STATES = SERVE_HEALTH_STATES
+
+_LEVEL: Dict[str, int] = {state: i for i, state in enumerate(HEALTH_STATES)}
+
+
+class ServeHealth:
+    """Ratcheting ok → degraded → shedding ladder with accounting."""
+
+    __slots__ = ("state", "transitions")
+
+    def __init__(self) -> None:
+        self.state = "ok"
+        self.transitions = 0
+
+    @property
+    def level(self) -> int:
+        """The numeric rung (0 ok, 1 degraded, 2 shedding)."""
+        return _LEVEL[self.state]
+
+    def note(self, state: str) -> bool:
+        """Observe a condition; ratchet upward if it is worse.
+
+        Returns whether the state changed.  Each change bumps
+        ``serve.health.transitions`` and re-exports
+        ``serve.health.state``.
+        """
+        if state not in _LEVEL:
+            raise ValueError(
+                f"unknown health state {state!r}; expected one of "
+                f"{HEALTH_STATES}"
+            )
+        if _LEVEL[state] <= self.level:
+            return False
+        self.state = state
+        self.transitions += 1
+        obs.add("serve.health.transitions")
+        obs.set_gauge("serve.health.state", self.level)
+        return True
+
+    def reset(self) -> None:
+        """Start a fresh observation window at ``ok`` (no transition)."""
+        self.state = "ok"
+
+
+__all__ = ["HEALTH_STATES", "ServeHealth"]

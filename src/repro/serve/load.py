@@ -60,6 +60,7 @@ from __future__ import annotations
 
 import hashlib
 import heapq
+import json
 import math
 import multiprocessing
 from dataclasses import dataclass
@@ -71,8 +72,15 @@ from repro import obs
 from repro._units import MILLIS_PER_SECOND
 from repro.obs import clock
 from repro.obs.hist import DEFAULT_LAYOUT, HistogramLayout, LatencyHistogram
-from repro.serve.cache import simulate_hit_flags
-from repro.serve.engine import ServeEngine, trace_sampled
+from repro.resilience.faults import FaultPlan
+from repro.serve.cache import LRUCache, simulate_hit_flags
+from repro.serve.engine import (
+    STALE_SERVABLE_FAMILIES,
+    ServeEngine,
+    trace_sampled,
+)
+from repro.serve.health import ServeHealth
+from repro.serve.overload import OverloadPolicy, simulate_overload
 from repro.serve.queries import QueryError, encode_canonical
 from repro.serve.workload import PRIORITY_VALUES, ScheduledRequest
 
@@ -130,9 +138,14 @@ class LoadReport:
     #: sha256 over (request_id, encoded result) in schedule order.
     result_digest: str
     by_mode: Dict[str, Dict[str, Any]]
+    #: Overload section (admission control, shed/deadline sets, health)
+    #: — present only when the harness ran with an
+    #: :class:`~repro.serve.overload.OverloadPolicy`, so reports of
+    #: overload-free runs stay byte-identical to pre-overload builds.
+    overload: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "n_requests": self.n_requests,
             "n_errors": self.n_errors,
             "duration_s": self.duration_s,
@@ -159,6 +172,9 @@ class LoadReport:
             "result_digest": self.result_digest,
             "by_mode": self.by_mode,
         }
+        if self.overload is not None:
+            out["overload"] = self.overload
+        return out
 
 
 def simulate_queue(
@@ -275,6 +291,195 @@ def find_saturation_rps(
     return n * low / horizon
 
 
+def _overload_section(
+    policy: OverloadPolicy,
+    requests: List[ScheduledRequest],
+    arrivals_s: np.ndarray,
+    service_s: np.ndarray,
+    modes: Sequence[str],
+    priorities: Sequence[str],
+    results: List[str],
+    sampled: Sequence[bool],
+    keys: Sequence[str],
+    cache_capacity: int,
+    fault_plan: Optional[FaultPlan],
+    duration_s: float,
+) -> Dict[str, Any]:
+    """The overload section of the report — a pure parent-side replay.
+
+    Inputs are the schedule, the quantized service times, the blind
+    measurement pass's encoded results, and the (policy, fault plan)
+    pair; nothing here reads a clock or executes a query, so the whole
+    section — shed set, deadline-exceeded set, stale answers, health
+    transitions, latency figures — is byte-identical for any worker
+    count (``docs/serving.md``).
+
+    The replay models the engine's overload-safe path: shed requests
+    never touch the cache (stale answers for point/top-k read it
+    without refreshing recency), deadline misses carry no payload,
+    ``index_unavailable`` faults degrade to stale/unavailable answers,
+    and ``corrupt_cache_entry`` faults are detected via the stored
+    digest, counted, and recomputed — never answered corrupt.
+    """
+    n = len(requests)
+    request_ids = [request.request_id for request in requests]
+    deadlines_s: List[Optional[float]] = [
+        None
+        if request.query.deadline_ms is None
+        else request.query.deadline_ms / MILLIS_PER_SECOND
+        for request in requests
+    ]
+    outcome = simulate_overload(
+        policy,
+        arrivals_s,
+        service_s,
+        modes,
+        priorities,
+        request_ids,
+        deadlines_s,
+        fault_plan,
+    )
+
+    cache = LRUCache(cache_capacity)
+    shed_ids: List[str] = []
+    deadline_ids: List[str] = []
+    stale_ids: List[str] = []
+    unavailable_ids: List[str] = []
+    answered_ids: List[str] = []
+    hits = misses = 0
+    # Fresh result payloads and explicitly-stale degraded answers are
+    # digested *separately*: a shed or deadline-exceeded request never
+    # contributes to the result-payload digest (the property
+    # tests/unit/serve/test_load.py pins), while its stale answer — if
+    # degraded mode produced one — is accounted on its own digest.
+    payload_digest = hashlib.sha256()
+    stale_digest = hashlib.sha256()
+
+    def _fold(digest: "hashlib._Hash", request_id: str, payload: str) -> None:
+        digest.update(request_id.encode("utf-8"))
+        digest.update(b" ")
+        digest.update(payload.encode("utf-8"))
+        digest.update(b"\n")
+
+    def contribute(request_id: str, payload: str) -> None:
+        answered_ids.append(request_id)
+        _fold(payload_digest, request_id, payload)
+
+    def contribute_stale(request_id: str, cached: str) -> None:
+        stale_ids.append(request_id)
+        stale_body = json.loads(cached)
+        stale_body["stale"] = True
+        _fold(stale_digest, request_id, encode_canonical(stale_body))
+
+    for i, request in enumerate(requests):
+        rid = request_ids[i]
+        key = keys[i]
+        faults = (
+            fault_plan.serve_faults_for(rid)
+            if fault_plan is not None
+            else ()
+        )
+        if outcome.shed_cause[i] is not None:
+            shed_ids.append(rid)
+            if request.query.family in STALE_SERVABLE_FAMILIES:
+                cached = cache.peek(key)
+                if cached is not None:
+                    contribute_stale(rid, cached)
+            continue
+        if outcome.deadline_exceeded[i]:
+            # The typed deadline answer carries no result payload.
+            deadline_ids.append(rid)
+            continue
+        for fault in faults:
+            if fault.kind == "corrupt_cache_entry":
+                cache.corrupt(key)
+        if any(f.kind == "index_unavailable" for f in faults):
+            cached = cache.peek(key)
+            if (
+                cached is not None
+                and request.query.family in STALE_SERVABLE_FAMILIES
+            ):
+                contribute_stale(rid, cached)
+            else:
+                unavailable_ids.append(rid)
+            continue
+        if sampled[i]:
+            # Trace-sampled requests bypass the cache (see the engine).
+            contribute(rid, results[i])
+            continue
+        cached = cache.get(key)
+        if cached is None:
+            misses += 1
+            cache.put(key, results[i])
+            contribute(rid, results[i])
+        else:
+            hits += 1
+            contribute(rid, cached)
+
+    n_shed = len(shed_ids)
+    admitted_mask = np.asarray(outcome.admitted, dtype=bool)
+    admitted_latencies = outcome.latencies_s[admitted_mask]
+    admitted_hist = histogram_of(admitted_latencies)
+    admitted_p50, admitted_p99 = admitted_hist.percentiles((50.0, 99.0))
+    goodput = len(answered_ids) / duration_s if duration_s > 0 else 0.0
+    shed_rate = n_shed / n if n else 0.0
+
+    health = ServeHealth()
+    path = [health.state]
+    if stale_ids or unavailable_ids:
+        if health.note("degraded"):
+            path.append(health.state)
+    if n_shed:
+        if health.note("shedding"):
+            path.append(health.state)
+    obs.set_gauge("serve.health.state", health.level)
+
+    obs.add("serve.shed.requests", n_shed)
+    obs.add("serve.shed.rate_limited", outcome.shed_count("rate_limited"))
+    obs.add("serve.shed.queue_full", outcome.shed_count("queue_full"))
+    obs.add("serve.shed.stale_answers", len(stale_ids))
+    obs.add("serve.deadline_exceeded", len(deadline_ids))
+    obs.add("serve.cache.corrupt_detected", cache.corrupt_detected)
+    obs.set_gauge("serve.shed.rate", shed_rate)
+    obs.set_gauge("serve.overload.goodput_rps", goodput)
+    obs.set_gauge("serve.overload.admitted_p99_s", admitted_p99)
+
+    return {
+        "policy": {
+            "seed": policy.seed,
+            "queue_capacity": policy.queue_capacity,
+            "tokens_per_s": policy.tokens_per_s,
+            "token_burst": policy.token_burst,
+        },
+        "n_admitted": int(admitted_mask.sum()),
+        "n_shed": n_shed,
+        "shed_rate": shed_rate,
+        "shed_rate_limited": outcome.shed_count("rate_limited"),
+        "shed_queue_full": outcome.shed_count("queue_full"),
+        "shed_requests": shed_ids,
+        "n_deadline_exceeded": len(deadline_ids),
+        "deadline_exceeded": deadline_ids,
+        "stale_answers": stale_ids,
+        "unavailable": unavailable_ids,
+        "answered": answered_ids,
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "corrupt_detected": cache.corrupt_detected,
+        "goodput_rps": goodput,
+        "admitted_p50_s": admitted_p50,
+        "admitted_p99_s": admitted_p99,
+        "admitted_latency_hist": admitted_hist.encode(),
+        "health": {
+            "state": health.state,
+            "level": health.level,
+            "transitions": health.transitions,
+            "path": path,
+        },
+        "payload_digest": payload_digest.hexdigest(),
+        "stale_digest": stale_digest.hexdigest(),
+    }
+
+
 # Installed once per forked worker by the pool initializer; the parent
 # never assigns it.
 _WORKER_STATE: Optional[Tuple[ServeEngine, List[ScheduledRequest]]] = None
@@ -373,6 +578,8 @@ def run_load(
     requests: List[ScheduledRequest],
     n_workers: int = 1,
     saturation_p99_limit_s: Optional[float] = None,
+    overload: Optional[OverloadPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> LoadReport:
     """Execute a schedule and measure the serving engine under it.
 
@@ -383,7 +590,18 @@ def run_load(
     derived figure — percentiles, throughput, saturation — is a pure
     function of ``(schedule, buckets)`` and identical for any worker
     count.
+
+    With an :class:`~repro.serve.overload.OverloadPolicy` (and
+    optionally a serve-path :class:`~repro.resilience.faults.FaultPlan`)
+    the report gains an ``overload`` section: the measurement pass
+    stays overload-blind, and admission control, shedding, deadlines,
+    degraded-mode stale answers, and fault effects are replayed
+    parent-side (:func:`_overload_section`) — so the section inherits
+    the same worker-count invariance.  A fault plan without an explicit
+    policy runs under the default :class:`OverloadPolicy`.
     """
+    if overload is None and fault_plan is not None:
+        overload = OverloadPolicy()
     engine.warm(request.query for request in requests)
     results, buckets, errors = _execute_schedule(engine, requests, n_workers)
     obs.add("serve.load_requests", len(requests))
@@ -450,7 +668,9 @@ def run_load(
         for request in requests
     ]
     n_sampled = sum(sampled)
-    keys = [request.query.canonical() for request in requests]
+    # The engine caches by deadline-free key (deadlines never change
+    # what an answer is); identical to canonical() when no deadline.
+    keys = [request.query.cache_key() for request in requests]
     flags = simulate_hit_flags(keys, engine.cache.capacity, bypass=sampled)
     hits = sum(1 for flag in flags if flag is True)
     misses = sum(1 for flag in flags if flag is False)
@@ -476,6 +696,10 @@ def run_load(
     obs.set_gauge("serve.latency_p99_s", p99)
     obs.set_gauge("serve.throughput_rps", throughput)
     obs.set_gauge("serve.saturation_rps", saturation)
+    # Always export the health rung so ``repro-serve stats`` renders the
+    # ladder even for overload-free runs; the overload replay (below)
+    # overwrites it with the simulated end-of-run state.
+    obs.set_gauge("serve.health.state", engine.health.level)
 
     digest = hashlib.sha256()
     for request, encoded in zip(requests, results):
@@ -494,6 +718,25 @@ def run_load(
                     99.0
                 ),
             }
+
+    overload_section = (
+        _overload_section(
+            overload,
+            requests,
+            arrivals_s,
+            service_s,
+            modes,
+            priorities,
+            results,
+            sampled,
+            keys,
+            engine.cache.capacity,
+            fault_plan,
+            duration_s,
+        )
+        if overload is not None
+        else None
+    )
 
     return LoadReport(
         n_requests=n,
@@ -521,6 +764,7 @@ def run_load(
         hist_rel_error_bound=LAYOUT.relative_error_bound,
         result_digest=digest.hexdigest(),
         by_mode=by_mode,
+        overload=overload_section,
     )
 
 

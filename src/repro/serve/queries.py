@@ -95,6 +95,12 @@ class Query:
       ``kind="service"``, commune indices for ``kind="commune"``.
 
     ``direction`` applies to every family and defaults to downlink.
+    ``deadline_ms`` is an optional latency budget: when set, the engine
+    checks it at every phase boundary and answers ``deadline_exceeded``
+    once the budget is spent (``docs/serving.md``).  It never affects
+    *what* the answer would be, so the cache key (:meth:`cache_key`)
+    drops it — the same query with different deadlines shares one cache
+    entry.
     """
 
     family: str
@@ -108,6 +114,8 @@ class Query:
     kind: Optional[str] = None
     a: Optional[Union[int, str]] = None
     b: Optional[Union[int, str]] = None
+    #: Latency budget in milliseconds; ``None`` means unbounded.
+    deadline_ms: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """The query as a plain dict, ``None`` fields dropped."""
@@ -122,6 +130,7 @@ class Query:
             "kind",
             "a",
             "b",
+            "deadline_ms",
         ):
             value = getattr(self, field_name)
             if value is not None:
@@ -129,8 +138,23 @@ class Query:
         return out
 
     def canonical(self) -> str:
-        """Byte-stable JSON encoding (the cache / CSV / wire format)."""
+        """Byte-stable JSON encoding (the CSV / wire format)."""
         return encode_canonical(self.to_dict())
+
+    def cache_key(self) -> str:
+        """The canonical encoding with the deadline dropped.
+
+        Deadlines bound *when* an answer arrives, never what it is, so
+        deadline-bearing and deadline-free forms of the same query must
+        share one cache entry — both for hit-rate and so a stale
+        degraded-mode answer (``docs/serving.md``) can be served from an
+        entry populated by either form.
+        """
+        if self.deadline_ms is None:
+            return self.canonical()
+        out = self.to_dict()
+        del out["deadline_ms"]
+        return encode_canonical(out)
 
 
 def encode_canonical(obj: Any) -> str:
@@ -175,6 +199,20 @@ def query_from_dict(obj: Dict[str, Any]) -> Query:
         raise QueryError(
             f"direction must be one of {DIRECTIONS}, got {direction!r}"
         )
+    deadline_ms = obj.get("deadline_ms")
+    if deadline_ms is not None:
+        if isinstance(deadline_ms, bool) or not isinstance(
+            deadline_ms, (int, float)
+        ):
+            raise QueryError(
+                f"query field 'deadline_ms' must be a number or absent, "
+                f"got {deadline_ms!r}"
+            )
+        if deadline_ms <= 0:
+            raise QueryError(
+                f"deadline_ms must be > 0, got {deadline_ms}"
+            )
+        deadline_ms = float(deadline_ms)
     if family == "point":
         return Query(
             family="point",
@@ -182,6 +220,7 @@ def query_from_dict(obj: Dict[str, Any]) -> Query:
             commune=_require_int(obj, "commune"),
             service=_require_str(obj, "service"),
             hour=_require_int(obj, "hour"),
+            deadline_ms=deadline_ms,
         )
     if family == "topk":
         return Query(
@@ -189,6 +228,7 @@ def query_from_dict(obj: Dict[str, Any]) -> Query:
             direction=direction,
             commune=_require_int(obj, "commune"),
             k=_require_int(obj, "k"),
+            deadline_ms=deadline_ms,
         )
     if family == "range":
         commune = obj.get("commune")
@@ -206,6 +246,7 @@ def query_from_dict(obj: Dict[str, Any]) -> Query:
             hour_start=_require_int(obj, "hour_start"),
             hour_end=_require_int(obj, "hour_end"),
             commune=commune,
+            deadline_ms=deadline_ms,
         )
     kind = obj.get("kind")
     if kind not in SIMILARITY_KINDS:
@@ -218,7 +259,14 @@ def query_from_dict(obj: Dict[str, Any]) -> Query:
     else:
         a = _require_int(obj, "a")
         b = _require_int(obj, "b")
-    return Query(family="similarity", direction=direction, kind=kind, a=a, b=b)
+    return Query(
+        family="similarity",
+        direction=direction,
+        kind=kind,
+        a=a,
+        b=b,
+        deadline_ms=deadline_ms,
+    )
 
 
 def parse_query(text: str) -> Query:
@@ -252,6 +300,10 @@ def _check_hour(hour: int, field_name: str = "hour") -> None:
 
 def validate_query(query: Query, profile: CubeProfile) -> None:
     """Raise :class:`QueryError` unless ``query`` fits the profile."""
+    if query.deadline_ms is not None and not query.deadline_ms > 0:
+        raise QueryError(
+            f"deadline_ms must be > 0, got {query.deadline_ms}"
+        )
     if query.family == "point":
         _check_commune(profile, query.commune)
         _check_service(profile, query.service)

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import csv
 import io
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -68,6 +68,13 @@ class WorkloadSpec:
     interactive_fraction: float = 0.8
     #: Sampling weights over :data:`MIX_FAMILIES`; normalized at use.
     mix: Tuple[float, float, float, float] = (0.35, 0.30, 0.20, 0.15)
+    #: Latency budget stamped onto interactive requests' queries
+    #: (milliseconds); ``None`` leaves them unbounded.  The budget
+    #: travels inside the query's canonical JSON, so exported CSVs
+    #: round-trip it (``docs/serving.md``).
+    interactive_deadline_ms: Optional[float] = None
+    #: Latency budget stamped onto batch requests' queries.
+    batch_deadline_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -95,6 +102,12 @@ class WorkloadSpec:
             self.mix
         ) <= 0:
             raise ValueError(f"mix must be 4 non-negative weights, got {self.mix}")
+        for field_name in ("interactive_deadline_ms", "batch_deadline_ms"):
+            value = getattr(self, field_name)
+            if value is not None and value <= 0:
+                raise ValueError(
+                    f"{field_name} must be > 0 or None, got {value}"
+                )
 
 
 @dataclass(frozen=True)
@@ -200,13 +213,21 @@ def generate_schedule(
             priority = ("low", "mid", "high")[
                 int(rng.choice(3, p=(0.2, 0.6, 0.2)))
             ]
+            query = _sample_query(rng, profile, mix)
+            deadline_ms = (
+                spec.interactive_deadline_ms
+                if mode == "interactive"
+                else spec.batch_deadline_ms
+            )
+            if deadline_ms is not None:
+                query = replace(query, deadline_ms=float(deadline_ms))
             requests.append(
                 ScheduledRequest(
                     request_id=f"req-{len(requests):06d}",
                     arrival_offset_ms=float(offset) * MILLIS_PER_SECOND,
                     mode=mode,
                     priority=priority,
-                    query=_sample_query(rng, profile, mix),
+                    query=query,
                 )
             )
         obs.log_event(

@@ -29,6 +29,10 @@ def _record(sha="r", p99=1e-4, rps=100.0, records_per_s=50_000.0, config=CONFIG)
                 "latency_p99_s": p99,
                 "saturation_rps": 10_000.0,
             },
+            "overload": {
+                "goodput_rps": 5_000.0,
+                "admitted_p99_s": 2e-4,
+            },
         },
         sha=sha,
     )
@@ -36,7 +40,7 @@ def _record(sha="r", p99=1e-4, rps=100.0, records_per_s=50_000.0, config=CONFIG)
 
 class TestGates:
     def test_every_gate_names_a_direction_and_band(self):
-        assert len(GATES) == 5
+        assert len(GATES) == 7
         for gate in GATES:
             assert gate.direction in ("higher", "lower")
             assert 0.0 < gate.noise_band < 1.0
@@ -116,6 +120,20 @@ class TestEvaluateGate:
         del candidate["legs"]["build"]
         findings = evaluate_gate(candidate, [_record("a")])
         assert findings == []
+
+    def test_overload_goodput_regression(self):
+        def with_overload(record, goodput):
+            record["legs"]["overload"] = {
+                "goodput_rps": goodput,
+                "admitted_p99_s": 1e-4,
+            }
+            return record
+
+        findings = evaluate_gate(
+            with_overload(_record("c"), 10.0),
+            [with_overload(_record("a"), 100.0)],
+        )
+        assert [f.indicator for f in findings] == ["overload.goodput_rps"]
 
     def test_custom_gates(self):
         gate = GateSpec("serve.saturation_rps", "higher", 0.1, "sat")

@@ -14,6 +14,7 @@ TINY = {
     "users": 10.0,
     "rpm": 30.0,
     "window": 1.0,
+    "deadline_ms": 50.0,
 }
 
 
@@ -26,8 +27,9 @@ class TestRunLegs:
         for gate in GATES:
             value = indicator_value(record, gate.indicator)
             assert value is not None and value > 0.0, gate.indicator
-        assert counters["bench.legs"] == 2
+        assert counters["bench.legs"] == 3
         assert legs["serve"]["n_errors"] == 0
+        assert set(legs["overload"]["at"]) == {"1x", "2x", "4x"}
 
     def test_default_config_covers_every_leg_knob(self):
         # Every knob the legs read must be declared (the CLI generates

@@ -23,10 +23,20 @@ class TestSpecs:
             assert spec.stage, spec.name
             assert spec.description, spec.name
 
-    def test_counters_are_events_class(self):
+    def test_counters_are_events_or_timing_class(self):
+        # Counters feed the deterministic event log (events class)
+        # except the serving-overload set, which counts outcomes of
+        # measured service times and is therefore timing class — the
+        # runtime keeps timing counters out of the event log entirely
+        # (see repro.obs.runtime.ObsSession.add).
         for spec in SPECS.values():
             if spec.kind is MetricKind.COUNTER:
-                assert spec.determinism is Determinism.EVENTS, spec.name
+                assert spec.determinism in (
+                    Determinism.EVENTS,
+                    Determinism.TIMING,
+                ), spec.name
+                if spec.determinism is Determinism.TIMING:
+                    assert spec.stage == "serve", spec.name
 
     def test_gauges_are_derived_or_timing_class(self):
         # Gauges carry either deterministic derived floats or sanctioned
@@ -53,10 +63,31 @@ class TestSpecs:
             "serve.saturation_rps",
             "serve.latency.seconds",
             "serve.latency.service_seconds",
+            "serve.deadline_exceeded",
+            "serve.shed.requests",
+            "serve.shed.rate_limited",
+            "serve.shed.queue_full",
+            "serve.shed.stale_answers",
+            "serve.shed.rate",
+            "serve.health.state",
+            "serve.health.transitions",
+            "serve.cache.corrupt_detected",
+            "serve.overload.goodput_rps",
+            "serve.overload.admitted_p99_s",
         ]
-        # Timing metrics carry memory or clock-derived readings only.
+        # Timing metrics carry memory or clock-derived readings, or
+        # counts/fractions of outcomes derived from them.
         for name in timing:
-            assert SPECS[name].unit in ("bytes", "seconds", "requests/s"), name
+            assert SPECS[name].unit in (
+                "bytes",
+                "seconds",
+                "requests/s",
+                "requests",
+                "fraction",
+                "state",
+                "transitions",
+                "entries",
+            ), name
 
     def test_histograms_are_timing_class(self):
         for spec in SPECS.values():

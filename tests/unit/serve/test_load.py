@@ -1,23 +1,29 @@
 """The open-loop load harness: queueing, saturation, worker invariance."""
 
 import itertools
+from dataclasses import replace
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import obs
 from repro.obs import clock
 from repro.obs.hist import LatencyHistogram
+from repro.resilience.faults import FaultPlan
 from repro.serve.cache import simulate_hits
 from repro.serve.engine import ServeEngine
 from repro.serve.load import (
     LAYOUT,
+    _overload_section,
     find_saturation_rps,
     histogram_of,
     nearest_rank,
     run_load,
     simulate_queue,
 )
+from repro.serve.overload import OverloadPolicy
 from repro.serve.queries import CubeProfile, Query
 from repro.serve.workload import (
     ScheduledRequest,
@@ -311,6 +317,72 @@ class TestWorkerMergeInvariance:
                 == baseline
             )
 
+    def _overload_report(self, volume_dataset, schedule, n_workers, monkeypatch):
+        counter = itertools.count()
+        monkeypatch.setattr(clock, "now_s", lambda: next(counter) * 1e-4)
+        # Compress the schedule to 8x its native rate and give every
+        # query a tight budget so shedding and deadline misses actually
+        # occur; echo each request once (same query, later arrival) so
+        # shed echoes can find a cached answer and go out stale.
+        requests = []
+        for i, request in enumerate(schedule):
+            query = replace(request.query, deadline_ms=5.0)
+            requests.append(
+                replace(
+                    request,
+                    arrival_offset_ms=request.arrival_offset_ms / 8.0,
+                    query=query,
+                )
+            )
+            requests.append(
+                replace(
+                    request,
+                    request_id=f"echo-{i:06d}",
+                    arrival_offset_ms=request.arrival_offset_ms / 8.0
+                    + 400.0,
+                    query=query,
+                )
+            )
+        plan = FaultPlan.sample_serve(
+            9,
+            [request.request_id for request in requests],
+            rates={
+                "index_unavailable": 0.05,
+                "slow_phase": 0.05,
+                "corrupt_cache_entry": 0.05,
+            },
+        )
+        policy = OverloadPolicy(
+            seed=5, queue_capacity=4, tokens_per_s=60.0, token_burst=10.0
+        )
+        engine = ServeEngine(volume_dataset)
+        return run_load(
+            engine,
+            requests,
+            n_workers=n_workers,
+            overload=policy,
+            fault_plan=plan,
+        ).to_dict()
+
+    def test_overload_report_identical_across_worker_counts(
+        self, volume_dataset, schedule, monkeypatch
+    ):
+        baseline = self._overload_report(volume_dataset, schedule, 1, monkeypatch)
+        overload = baseline["overload"]
+        # The scenario is only meaningful if the machinery is exercised.
+        assert overload["n_shed"] > 0
+        assert overload["n_deadline_exceeded"] > 0
+        assert overload["stale_answers"]
+        assert overload["health"]["state"] == "shedding"
+        assert len(overload["payload_digest"]) == 64
+        for n_workers in (2, 4):
+            assert (
+                self._overload_report(
+                    volume_dataset, schedule, n_workers, monkeypatch
+                )
+                == baseline
+            )
+
     def test_histogram_encoding_identical_across_worker_counts(
         self, volume_dataset, schedule
     ):
@@ -329,3 +401,78 @@ class TestWorkerMergeInvariance:
             assert report.latency_p99_s == pytest.approx(
                 hist.percentile(99.0)
             )
+
+
+def _synthetic_requests(n):
+    """A self-contained schedule the replay can run without an engine."""
+    requests = []
+    for i in range(n):
+        query = Query(
+            family="point",
+            commune=i % 4,
+            service="svc",
+            hour=i % 24,
+            deadline_ms=2.0 if i % 3 else None,
+        )
+        requests.append(
+            ScheduledRequest(
+                request_id=f"req-{i:06d}",
+                arrival_offset_ms=float(i),
+                mode="interactive" if i % 2 else "batch",
+                priority=("low", "mid", "high")[i % 3],
+                query=query,
+            )
+        )
+    return requests
+
+
+class TestOverloadSectionProperty:
+    """A shed or deadline-exceeded request never contributes a result
+    payload — the answered set is disjoint from every refusal set."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        capacity=st.integers(min_value=1, max_value=8),
+        tokens_per_s=st.floats(min_value=1.0, max_value=500.0),
+        service_ms=st.floats(min_value=0.1, max_value=50.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_refused_requests_carry_no_payload(
+        self, seed, capacity, tokens_per_s, service_ms
+    ):
+        n = 64
+        requests = _synthetic_requests(n)
+        policy = OverloadPolicy(
+            seed=seed,
+            queue_capacity=capacity,
+            tokens_per_s=tokens_per_s,
+            token_burst=2.0,
+        )
+        section = _overload_section(
+            policy,
+            requests,
+            np.array([r.arrival_offset_ms / 1000.0 for r in requests]),
+            np.full(n, service_ms / 1000.0),
+            [r.mode for r in requests],
+            [r.priority for r in requests],
+            ['{"volume": %d}' % i for i in range(n)],
+            [False] * n,
+            [r.query.cache_key() for r in requests],
+            8,
+            None,
+            duration_s=1.0,
+        )
+        answered = set(section["answered"])
+        assert answered.isdisjoint(section["shed_requests"])
+        assert answered.isdisjoint(section["deadline_exceeded"])
+        assert answered.isdisjoint(section["stale_answers"])
+        # Without faults, every request lands in exactly one verdict
+        # bin (stale answers overlay the shed set, never a new bin).
+        assert (
+            len(answered)
+            + len(section["shed_requests"])
+            + len(section["deadline_exceeded"])
+            + len(section["unavailable"])
+            == n
+        )
+        assert set(section["stale_answers"]) <= set(section["shed_requests"])

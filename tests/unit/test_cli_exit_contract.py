@@ -13,6 +13,7 @@ directions of that contract:
 """
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -322,6 +323,20 @@ class TestServeCli:
             ["topk", missing, "--commune", "0"]
         ) == EXIT_USAGE
         assert "repro-serve" in capsys.readouterr().err
+
+    def test_3_corrupt_dataset(self, dataset_path, tmp_path, capsys):
+        # A torn archive is an integrity failure of our own artifact,
+        # not a usage error: the CLI reports it and exits internal —
+        # never a traceback (docs/serving.md, "Exit codes").
+        blob = Path(dataset_path).read_bytes()
+        torn = tmp_path / "torn.npz"
+        torn.write_bytes(blob[: len(blob) // 2])
+        assert main_serve(
+            ["topk", str(torn), "--commune", "0"]
+        ) == EXIT_INTERNAL
+        err = capsys.readouterr().err
+        assert "corrupt dataset" in err
+        assert "Traceback" not in err
 
     def test_3_internal_failure(self, dataset_path, capsys, monkeypatch):
         import repro.serve.cli as serve_cli

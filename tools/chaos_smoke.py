@@ -1,0 +1,286 @@
+#!/usr/bin/env python3
+"""Chaos smoke: the serving overload path under injected faults, gated.
+
+Run by the ``chaos-smoke`` CI job on every PR (see
+``.github/workflows/ci.yml``, ``docs/robustness.md`` "Serving under
+overload", and ``docs/serving.md`` "Serving under pressure").  One
+process drives the overload-safe serving surface end to end:
+
+1. **Build** — a small volume-level dataset is built, saved, and
+   reopened through :meth:`repro.serve.engine.ServeEngine.open` (the
+   CLI's load path).
+2. **Overload harness** — a Poisson schedule of at least ``--requests``
+   deadline-stamped requests is compressed to twice the *measured*
+   saturation rate and replayed through :func:`repro.serve.load.run_load`
+   behind admission control (token bucket + bounded queue) with a
+   sampled serve-path fault plan (``index_unavailable``, ``slow_phase``,
+   ``corrupt_cache_entry``).
+3. **Retry leg** — every request the plan hit with an attempt-0
+   ``index_unavailable`` fault is driven through
+   :class:`repro.serve.overload.RetryingClient` against a faulted
+   engine; each must recover to a fresh, byte-correct answer on the
+   retry.
+4. **Gates** —
+
+   - **zero incorrect fresh responses**: the harness's
+     ``payload_digest`` (folded over every answered request) must equal
+     a digest recomputed from a *clean, fault-free* engine — a shed,
+     deadline-exceeded, or stale-stamped request never contributes, so
+     any corrupt or wrong byte served fresh breaks the equality;
+   - **zero corrupt entries served**: stale answers are read through
+     the cache's digest-verifying path and fresh answers are covered by
+     the digest gate, so corruption can only surface as the
+     ``corrupt_detected`` count — which is reported, never served;
+   - **bounded tail**: p99 latency over *admitted* requests at or
+     below ``--p99-bound-ms`` (default 250 ms — shedding is supposed to
+     keep the queue, and therefore the tail, bounded at 2x overload);
+   - the refusal sets are disjoint from the answered set, and the
+     health ladder ends in ``shedding``.
+
+The full overload report is written to ``--out`` and uploaded as a CI
+artifact, so a failure leaves the verdict-by-verdict numbers behind.
+
+Exit status 0 when every gate passes, 1 otherwise.
+
+Usage::
+
+    PYTHONPATH=src python tools/chaos_smoke.py [--communes N]
+        [--requests N] [--workers N] [--p99-bound-ms M] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import hashlib
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+MAX_SCALE_DOUBLINGS = 8
+
+#: Per-kind rates of the sampled serve fault plan.
+FAULT_RATES = {
+    "index_unavailable": 0.02,
+    "slow_phase": 0.02,
+    "corrupt_cache_entry": 0.02,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chaos-smoke", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--communes", type=int, default=144)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=1_000,
+        help="minimum number of scheduled requests",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--p99-bound-ms",
+        type=float,
+        default=250.0,
+        help="bound on p99 latency over admitted requests",
+    )
+    parser.add_argument(
+        "--out",
+        default="chaos-smoke-report.json",
+        help="write the overload report here (the CI artifact)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    from repro._units import MILLIS_PER_SECOND
+    from repro.dataset.builder import build_volume_level_dataset
+    from repro.geo.country import CountryConfig
+    from repro.resilience.faults import FaultPlan
+    from repro.serve import ServeEngine, generate_schedule, run_load
+    from repro.serve.overload import OverloadPolicy, RetryingClient
+    from repro.serve.queries import CubeProfile
+    from repro.serve.workload import WorkloadSpec
+
+    artifacts = build_volume_level_dataset(
+        country_config=CountryConfig(n_communes=args.communes),
+        seed=args.seed,
+    )
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
+        path = Path(tmp) / "panel.npz"
+        artifacts.dataset.save(path)
+        engine = ServeEngine.open(path)
+    profile = CubeProfile.of(engine.dataset)
+    print(
+        f"chaos-smoke: built and indexed {profile.n_communes} communes "
+        f"x {profile.n_head} services"
+    )
+
+    # Scale the offered rate until the realized Poisson draw clears the
+    # request floor; every request carries a mode-specific deadline.
+    users = 50.0
+    requests = []
+    for _ in range(MAX_SCALE_DOUBLINGS):
+        spec = WorkloadSpec(
+            duration_s=20.0,
+            mean_active_users=users,
+            mean_requests_per_minute_per_user=60.0,
+            user_sampling_window_s=5.0,
+            interactive_deadline_ms=50.0,
+            batch_deadline_ms=250.0,
+        )
+        requests = generate_schedule(spec, profile, seed=args.seed)
+        if len(requests) >= args.requests:
+            break
+        users *= 2.0
+
+    # Measure the engine's saturation at the native schedule, then
+    # compress arrivals to twice that rate — genuine overload, scaled to
+    # whatever this runner can actually do.
+    baseline = run_load(engine, requests, n_workers=args.workers)
+    saturation = baseline.saturation_rps or baseline.offered_rps or 1.0
+    factor = baseline.offered_rps / (2.0 * saturation)
+    overloaded = [
+        dataclasses.replace(
+            request, arrival_offset_ms=request.arrival_offset_ms * factor
+        )
+        for request in requests
+    ]
+    request_ids = [request.request_id for request in overloaded]
+    plan = FaultPlan.sample_serve(args.seed, request_ids, rates=FAULT_RATES)
+    policy = OverloadPolicy(seed=args.seed, tokens_per_s=max(saturation, 1.0))
+
+    chaos_engine = ServeEngine(engine.dataset)
+    report = run_load(
+        chaos_engine,
+        overloaded,
+        n_workers=args.workers,
+        overload=policy,
+        fault_plan=plan,
+    )
+    overload = report.overload
+    assert overload is not None
+
+    # Gate 1: recompute the answered-payload digest on a clean engine.
+    clean = ServeEngine(engine.dataset)
+    by_id = {request.request_id: request for request in overloaded}
+    expected = hashlib.sha256()
+    for rid in overload["answered"]:
+        expected.update(rid.encode("utf-8"))
+        expected.update(b" ")
+        expected.update(clean.query_encoded(by_id[rid].query).encode("utf-8"))
+        expected.update(b"\n")
+
+    # Retry leg: attempt-0 index_unavailable faults must be beaten by
+    # one retry, byte-for-byte.
+    faulted = ServeEngine(engine.dataset)
+    faulted.install_faults(plan)
+    retry_client = RetryingClient(faulted, seed=args.seed)
+    retried = recovered = 0
+    retry_failures = []
+    for rid in request_ids:
+        kinds = {
+            fault.kind for fault in plan.serve_faults_for(rid, attempt=0)
+        }
+        if "index_unavailable" not in kinds:
+            continue
+        retried += 1
+        outcome = retry_client.execute(by_id[rid].query, rid)
+        if (
+            outcome.attempts == 2
+            and outcome.result.status == "ok"
+            and outcome.result.encoded == clean.query_encoded(by_id[rid].query)
+        ):
+            recovered += 1
+        else:
+            retry_failures.append(
+                f"{rid}: status {outcome.result.status} after "
+                f"{outcome.attempts} attempts"
+            )
+
+    admitted_p99_ms = overload["admitted_p99_s"] * MILLIS_PER_SECOND
+    payload = report.to_dict()
+    payload["chaos"] = {
+        "saturation_rps": saturation,
+        "overload_multiplier": 2.0,
+        "fault_rates": FAULT_RATES,
+        "n_faults": len(plan),
+        "retried": retried,
+        "recovered": recovered,
+    }
+    Path(args.out).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(
+        f"chaos-smoke: {report.n_requests} requests at 2x saturation "
+        f"({2 * saturation:,.0f} rps offered), health "
+        f"{overload['health']['state']}, admitted {overload['n_admitted']}, "
+        f"shed {overload['n_shed']} ({overload['shed_rate']:.1%}), "
+        f"deadline-exceeded {overload['n_deadline_exceeded']}, stale "
+        f"{len(overload['stale_answers'])}, corrupt detected "
+        f"{overload['corrupt_detected']}, admitted p99 "
+        f"{admitted_p99_ms:.3f} ms, goodput "
+        f"{overload['goodput_rps']:,.0f} rps -> {args.out}"
+    )
+
+    failures = []
+    if report.n_requests < args.requests:
+        failures.append(
+            f"schedule realized only {report.n_requests} requests "
+            f"(< {args.requests})"
+        )
+    if overload["payload_digest"] != expected.hexdigest():
+        failures.append(
+            "answered-payload digest does not match the clean engine: "
+            "an incorrect (or corrupt) response was served as fresh"
+        )
+    answered = set(overload["answered"])
+    for refused in ("shed_requests", "deadline_exceeded", "stale_answers"):
+        overlap = answered.intersection(overload[refused])
+        if overlap:
+            failures.append(
+                f"{len(overlap)} requests are both answered and in "
+                f"{refused} — a refusal carried a result payload"
+            )
+    if admitted_p99_ms > args.p99_bound_ms:
+        failures.append(
+            f"admitted p99 {admitted_p99_ms:.3f} ms exceeds the "
+            f"{args.p99_bound_ms:.1f} ms bound"
+        )
+    if overload["health"]["state"] != "shedding":
+        failures.append(
+            f"health ended at {overload['health']['state']!r}; a 2x "
+            "overload run that never shed is not testing overload"
+        )
+    if retried == 0:
+        failures.append(
+            "the sampled plan addressed no attempt-0 index_unavailable "
+            "faults — the retry path was not exercised"
+        )
+    retry_failures_shown = retry_failures[:5]
+    for failure in retry_failures_shown:
+        failures.append(f"retry did not recover: {failure}")
+    if len(retry_failures) > len(retry_failures_shown):
+        failures.append(
+            f"... and {len(retry_failures) - len(retry_failures_shown)} "
+            "more retry failures"
+        )
+
+    for failure in failures:
+        print(f"chaos-smoke: FAIL — {failure}")
+    if failures:
+        return 1
+    print(
+        f"chaos-smoke: OK ({retried} faulted requests all recovered "
+        "on retry)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
